@@ -1,0 +1,90 @@
+// Ablation of the Executor's window ordering: Algorithm 1 prioritizes
+// execution windows whose end time is closest to the starting point
+// (exploiting the temporal locality of system events); the ablated
+// variant pops windows FIFO. Metric: simulated time and events examined
+// until the staged attack chain is fully recovered, across the five
+// Table I cases (same guided refinement workflow as bench_table1).
+
+#include "bench/bench_common.h"
+#include "util/string_util.h"
+
+namespace aptrace::bench {
+namespace {
+
+struct Outcome {
+  bool recovered = false;
+  DurationMicros time = 0;
+  size_t events = 0;
+};
+
+Outcome Investigate(const EventStore& store,
+                    const workload::AttackScenario& scenario,
+                    bool temporal, int k) {
+  SimClock clock;
+  SessionOptions options;
+  options.num_windows_k = k;
+  options.temporal_priority = temporal;
+  Session session(&store, &clock, options);
+  Outcome out;
+  if (!session.Start(scenario.bdl_scripts[0]).ok()) return out;
+  const auto found = [&] {
+    return workload::ChainRecovered(session.graph(), scenario);
+  };
+  RunLimits peek;
+  peek.max_updates = 5;
+  peek.sim_time = 3 * kMicrosPerMinute;
+  peek.should_stop = found;
+  (void)session.Step(peek);
+  for (size_t v = 1; v < scenario.bdl_scripts.size() && !found(); ++v) {
+    if (!session.UpdateScript(scenario.bdl_scripts[v]).ok()) break;
+    RunLimits limits;
+    limits.should_stop = found;
+    if (v + 1 < scenario.bdl_scripts.size()) {
+      limits.max_updates = 10;
+      limits.sim_time = 2 * kMicrosPerMinute;
+    }
+    (void)session.Step(limits);
+  }
+  out.recovered = found();
+  out.time = clock.NowMicros() - session.stats().run_start;
+  out.events = session.graph().NumEdges();
+  return out;
+}
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  std::printf(
+      "==============================================================\n"
+      "Ablation: temporal (nearest-first) vs FIFO window ordering\n"
+      "metric: guided investigation to full chain recovery (Table I flow)\n"
+      "==============================================================\n");
+  std::printf("%-22s | %10s %8s %5s | %10s %8s %5s\n", "",
+              "time", "events", "ok", "time", "events", "ok");
+  std::printf("%-22s | %25s | %25s\n", "Attack", "temporal (Algorithm 1)",
+              "FIFO (ablation)");
+
+  for (const std::string& name : workload::AttackCaseNames()) {
+    auto built = workload::BuildAttackCase(name, args.ToConfig());
+    if (!built.ok()) continue;
+    const Outcome t = Investigate(*built->store, built->scenario, true,
+                                  args.windows_k);
+    const Outcome f = Investigate(*built->store, built->scenario, false,
+                                  args.windows_k);
+    std::printf("%-22s | %10s %8zu %5s | %10s %8zu %5s\n",
+                built->scenario.title.c_str(),
+                FormatDuration(t.time).c_str(), t.events,
+                t.recovered ? "yes" : "NO",
+                FormatDuration(f.time).c_str(), f.events,
+                f.recovered ? "yes" : "NO");
+  }
+  std::printf(
+      "\nshape to check: FIFO wastes the budget on temporally distant "
+      "windows, taking longer\n(or failing the 10-minute budget) and "
+      "examining more events before the chain appears.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aptrace::bench
+
+int main(int argc, char** argv) { return aptrace::bench::Main(argc, argv); }

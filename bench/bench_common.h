@@ -1,0 +1,147 @@
+#ifndef APTRACE_BENCH_BENCH_COMMON_H_
+#define APTRACE_BENCH_BENCH_COMMON_H_
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/engine.h"
+#include "workload/enterprise.h"
+#include "workload/scenario.h"
+
+namespace aptrace::bench {
+
+/// Command-line knobs shared by the experiment binaries. All experiments
+/// are deterministic for a given seed.
+struct BenchArgs {
+  size_t num_cases = 200;  // random starting events (paper: 200)
+  int num_hosts = 12;      // enterprise fleet size (paper: 256, scaled)
+  int days = 30;
+  uint64_t seed = 42;
+  int windows_k = 8;       // the paper's empirical k
+  int threads = 0;         // 0 = hardware concurrency (results identical)
+
+  static BenchArgs Parse(int argc, char** argv) {
+    BenchArgs args;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--cases=", 8) == 0) {
+        args.num_cases = static_cast<size_t>(std::atoll(a + 8));
+      } else if (std::strncmp(a, "--hosts=", 8) == 0) {
+        args.num_hosts = std::atoi(a + 8);
+      } else if (std::strncmp(a, "--days=", 7) == 0) {
+        args.days = std::atoi(a + 7);
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        args.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else if (std::strncmp(a, "--k=", 4) == 0) {
+        args.windows_k = std::atoi(a + 4);
+      } else if (std::strncmp(a, "--threads=", 10) == 0) {
+        args.threads = std::atoi(a + 10);
+      } else if (std::strcmp(a, "--help") == 0) {
+        std::printf(
+            "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
+            "--threads=N\n");
+        std::exit(0);
+      }
+    }
+    return args;
+  }
+
+  workload::TraceConfig ToConfig() const {
+    workload::TraceConfig config;
+    config.num_hosts = num_hosts;
+    config.days = days;
+    config.seed = seed;
+    return config;
+  }
+};
+
+/// Result of one backtracking run over the enterprise trace.
+struct CaseRun {
+  StopReason reason = StopReason::kCompleted;
+  std::vector<double> waits_seconds;  // between consecutive updates
+  size_t graph_edges = 0;
+  size_t graph_nodes = 0;
+  DurationMicros elapsed = 0;  // simulated
+};
+
+/// Backtracks from `alert` with either engine, capped at `sim_cap`
+/// simulated time (negative = uncapped). `on_update` is optional.
+inline CaseRun RunCase(const EventStore& store, const Event& alert,
+                       bool use_baseline, int windows_k,
+                       DurationMicros sim_cap,
+                       const std::function<void(const UpdateBatch&,
+                                                Clock&)>& on_update = {}) {
+  SimClock clock;
+  SessionOptions options;
+  options.use_baseline = use_baseline;
+  options.num_windows_k = windows_k;
+  Session session(&store, &clock, options);
+
+  const bdl::TrackingSpec spec = workload::GenericSpecFor(store, alert);
+  CaseRun run;
+  if (!session.StartWithSpec(spec, alert).ok()) return run;
+
+  RunLimits limits;
+  limits.sim_time = sim_cap;
+  if (on_update) {
+    limits.on_update = [&](const UpdateBatch& b) { on_update(b, clock); };
+  }
+  auto reason = session.Step(limits);
+  run.reason = reason.ok() ? reason.value() : StopReason::kStopped;
+  run.waits_seconds = session.update_log().WaitingTimesSeconds();
+  run.graph_edges = session.graph().NumEdges();
+  run.graph_nodes = session.graph().NumNodes();
+  run.elapsed = clock.NowMicros() - session.stats().run_start;
+  return run;
+}
+
+/// Runs fn(i) for every i in [0, n) across worker threads (the store is
+/// safe for concurrent read-only sessions). Each i must write only its own
+/// pre-sized result slot; aggregation stays serial and deterministic.
+inline void ParallelFor(size_t n, int requested_threads,
+                        const std::function<void(size_t)>& fn) {
+  int threads = requested_threads > 0
+                    ? requested_threads
+                    : static_cast<int>(std::thread::hardware_concurrency());
+  threads = std::max(1, std::min<int>(threads, 32));
+  if (threads == 1 || n <= 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const size_t i = next.fetch_add(1);
+        if (i >= n) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+inline void PrintHeader(const char* title, const BenchArgs& args,
+                        size_t store_events) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf(
+      "trace: %d hosts, %d days, %zu events | cases: %zu | seed: %llu | "
+      "k: %d\n",
+      args.num_hosts, args.days, store_events, args.num_cases,
+      static_cast<unsigned long long>(args.seed), args.windows_k);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace aptrace::bench
+
+#endif  // APTRACE_BENCH_BENCH_COMMON_H_

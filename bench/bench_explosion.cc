@@ -1,0 +1,69 @@
+// Reproduces the Section IV-B1 experiment ("Severity of Dependency
+// Explosion"): backtrack from random events with the baseline engine,
+// capped at two simulated hours, and report how often the runs take long
+// and how large the dependency graphs grow. The paper reports: ~50% of
+// executions over 20 minutes, 36% hitting the 2-hour cap; >36% of graphs
+// over 1,000 events, 26% over 2,500, 17% over 5,000, max 35,288.
+
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+namespace aptrace::bench {
+namespace {
+
+int Main(int argc, char** argv) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  auto store = workload::BuildEnterpriseTrace(args.ToConfig());
+  PrintHeader("Section IV-B1: severity of the dependency explosion", args,
+              store->NumEvents());
+
+  const auto alerts =
+      workload::SampleAnomalyEvents(*store, args.num_cases, args.seed);
+  const DurationMicros cap = 2 * kMicrosPerHour;
+
+  std::vector<CaseRun> runs(alerts.size());
+  ParallelFor(alerts.size(), args.threads, [&](size_t i) {
+    runs[i] = RunCase(*store, alerts[i], /*use_baseline=*/true,
+                      args.windows_k, cap);
+  });
+  size_t over_20min = 0;
+  size_t hit_cap = 0;
+  SampleStats sizes;
+  size_t max_size = 0;
+  for (const CaseRun& run : runs) {
+    if (run.elapsed > 20 * kMicrosPerMinute) over_20min++;
+    if (run.reason == StopReason::kExternalLimit) hit_cap++;
+    sizes.Add(static_cast<double>(run.graph_edges));
+    max_size = std::max(max_size, run.graph_edges);
+  }
+
+  const double n = static_cast<double>(alerts.size());
+  std::printf("executions over 20 minutes : %5.1f%%   (paper: ~50%%)\n",
+              100.0 * over_20min / n);
+  std::printf("executions hitting 2h cap  : %5.1f%%   (paper: 36%%)\n",
+              100.0 * hit_cap / n);
+  size_t over1000 = 0;
+  size_t over2500 = 0;
+  size_t over5000 = 0;
+  for (double s : sizes.samples()) {
+    over1000 += s > 1000;
+    over2500 += s > 2500;
+    over5000 += s > 5000;
+  }
+  std::printf("graphs with > 1000 events  : %5.1f%%   (paper: >36%%)\n",
+              100.0 * over1000 / n);
+  std::printf("graphs with > 2500 events  : %5.1f%%   (paper: 26%%)\n",
+              100.0 * over2500 / n);
+  std::printf("graphs with > 5000 events  : %5.1f%%   (paper: 17%%)\n",
+              100.0 * over5000 / n);
+  std::printf("largest dependency graph   : %zu events (paper: 35,288)\n",
+              max_size);
+  std::printf("median / mean graph size   : %.0f / %.0f events\n",
+              sizes.Median(), sizes.Mean());
+  return 0;
+}
+
+}  // namespace
+}  // namespace aptrace::bench
+
+int main(int argc, char** argv) { return aptrace::bench::Main(argc, argv); }

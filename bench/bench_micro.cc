@@ -1,0 +1,203 @@
+// Microbenchmarks (google-benchmark) of the building blocks: storage
+// backward-dependency scans, execution-window generation, BDL
+// compilation, wildcard matching, and graph insertion. These quantify the
+// real (not simulated) cost of the engine itself — the paper's Section
+// IV-F argues the runtime overhead is moderate.
+
+#include <benchmark/benchmark.h>
+
+#include "bdl/analyzer.h"
+#include "core/engine.h"
+#include "workload/scenario.h"
+#include "core/exec_window.h"
+#include "graph/dep_graph.h"
+#include "storage/event_store.h"
+#include "util/rng.h"
+#include "util/wildcard.h"
+
+namespace aptrace {
+namespace {
+
+std::unique_ptr<EventStore> BuildScanStore(size_t num_events) {
+  EventStoreOptions options;
+  options.cost_model = CostModel::Free();
+  auto store = std::make_unique<EventStore>(options);
+  auto& c = store->catalog();
+  const HostId h = c.InternHost("h");
+  std::vector<ObjectId> procs;
+  std::vector<ObjectId> files;
+  for (int i = 0; i < 64; ++i) {
+    procs.push_back(c.AddProcess(h, {.exename = "p" + std::to_string(i)}));
+  }
+  for (int i = 0; i < 512; ++i) {
+    files.push_back(c.AddFile(h, {.path = "/f" + std::to_string(i)}));
+  }
+  Rng rng(7);
+  for (size_t i = 0; i < num_events; ++i) {
+    Event e;
+    e.subject = procs[rng.Zipf(procs.size(), 1.0)];
+    e.object = files[rng.Zipf(files.size(), 1.0)];
+    e.timestamp = static_cast<TimeMicros>(rng.Uniform(30 * kMicrosPerDay));
+    e.action = rng.Bernoulli(0.5) ? ActionType::kWrite : ActionType::kRead;
+    e.direction = ActionDefaultDirection(e.action);
+    e.host = h;
+    store->Append(e);
+  }
+  store->Seal();
+  return store;
+}
+
+void BM_StorageScanDest(benchmark::State& state) {
+  static const auto store = BuildScanStore(1 << 20);
+  // The hottest process: Zipf rank 0.
+  const ObjectId hot = 0;
+  size_t rows = 0;
+  for (auto _ : state) {
+    rows += store->ScanDest(hot, 0, 30 * kMicrosPerDay, nullptr,
+                            [](const Event&) {});
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_StorageScanDest);
+
+void BM_StorageScanWindow(benchmark::State& state) {
+  static const auto store = BuildScanStore(1 << 20);
+  const ObjectId hot = 0;
+  // A one-hour window, like the executor's near windows.
+  size_t rows = 0;
+  TimeMicros begin = 12 * kMicrosPerDay;
+  for (auto _ : state) {
+    rows += store->ScanDest(hot, begin, begin + kMicrosPerHour, nullptr,
+                            [](const Event&) {});
+    begin += kMicrosPerHour;
+    if (begin > 29 * kMicrosPerDay) begin = 0;
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_StorageScanWindow);
+
+void BM_GenExeWindows(benchmark::State& state) {
+  Event e;
+  e.id = 1;
+  e.subject = 1;
+  e.object = 2;
+  e.timestamp = 30 * kMicrosPerDay;
+  e.action = ActionType::kWrite;
+  e.direction = FlowDirection::kSubjectToObject;
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(GenExeWindows(e, 0, 0, k));
+  }
+}
+BENCHMARK(BM_GenExeWindows)->Arg(1)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_BdlCompile(benchmark::State& state) {
+  constexpr char kScript[] = R"(
+from "04/02/2019" to "05/01/2019"
+in "desktop1", "desktop2"
+backward file f[path = "C://Sensitive/important.doc" and event_time = "04/16/2019:06:15:14" and type = "write"]
+  -> proc p[exename = "malware1" or exename = "malware2" and event_id = 12]
+  -> ip i[dstip = "168.120.11.118"]
+where time < 10mins and hop < 25 and proc.exename != "explorer"
+output = "./result.dot")";
+  for (auto _ : state) {
+    auto spec = bdl::CompileBdl(kScript);
+    benchmark::DoNotOptimize(spec);
+  }
+}
+BENCHMARK(BM_BdlCompile);
+
+void BM_WildcardMatch(benchmark::State& state) {
+  const WildcardMatcher matcher("*.dll");
+  const std::string hit = "C://Windows/System32/kernel32.dll";
+  const std::string miss = "C://Users/victim/Documents/report.doc";
+  bool acc = false;
+  for (auto _ : state) {
+    acc ^= matcher.Matches(hit);
+    acc ^= matcher.Matches(miss);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_WildcardMatch);
+
+void BM_GraphAddEdges(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<Event> events;
+  for (int i = 0; i < 10000; ++i) {
+    Event e;
+    e.id = static_cast<EventId>(i);
+    e.subject = rng.Uniform(512);
+    e.object = 512 + rng.Uniform(2048);
+    e.timestamp = i;
+    e.action = ActionType::kWrite;
+    e.direction = FlowDirection::kSubjectToObject;
+    events.push_back(e);
+  }
+  for (auto _ : state) {
+    DepGraph graph;
+    graph.SetStart(events[0].FlowDest());
+    for (const Event& e : events) graph.AddEventEdge(e);
+    benchmark::DoNotOptimize(graph.NumEdges());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 10000);
+}
+BENCHMARK(BM_GraphAddEdges);
+
+void BM_ConditionEval(benchmark::State& state) {
+  auto spec = bdl::CompileBdl(
+      "backward proc p[] -> * where file.path != \"*.dll\" and "
+      "proc.exename != \"findstr.exe\" and subject_pid > 100");
+  ObjectCatalog catalog;
+  const HostId h = catalog.InternHost("h");
+  const ObjectId proc = catalog.AddProcess(h, {.exename = "java.exe",
+                                               .pid = 4121});
+  const ObjectId file = catalog.AddFile(
+      h, {.path = "C://Windows/System32/kernel32.dll"});
+  Event e;
+  e.subject = proc;
+  e.object = file;
+  e.action = ActionType::kRead;
+  e.direction = FlowDirection::kObjectToSubject;
+  bdl::EvalContext ctx;
+  ctx.object = &catalog.Get(file);
+  ctx.event = &e;
+  ctx.catalog = &catalog;
+  bool acc = false;
+  for (auto _ : state) {
+    acc ^= bdl::ConditionKeeps(spec->where.get(), ctx);
+  }
+  benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_ConditionEval);
+
+void BM_EndToEndBacktrack(benchmark::State& state) {
+  // Real (wall-clock) cost of a complete small analysis: engine overhead
+  // only, the cost model charged to a SimClock.
+  static const auto built = [] {
+    return workload::BuildAttackCase("excel_macro",
+                                     workload::TraceConfig::Small());
+  }();
+  if (!built.ok()) {
+    state.SkipWithError("case build failed");
+    return;
+  }
+  const auto& scenario = built->scenario;
+  for (auto _ : state) {
+    SimClock clock;
+    Session session(built->store.get(), &clock);
+    if (!session.Start(scenario.bdl_scripts.back()).ok()) {
+      state.SkipWithError("start failed");
+      return;
+    }
+    RunLimits limits;
+    limits.sim_time = 10 * kMicrosPerMinute;
+    (void)session.Step(limits);
+    benchmark::DoNotOptimize(session.graph().NumEdges());
+  }
+}
+BENCHMARK(BM_EndToEndBacktrack);
+
+}  // namespace
+}  // namespace aptrace
+
+BENCHMARK_MAIN();

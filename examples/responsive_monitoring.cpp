@@ -1,0 +1,134 @@
+// Responsiveness side by side: backtrack the same alert with the
+// execute-to-complete baseline and with APTrace's execution-window
+// partitioning, printing the update timeline of each. This is Table II's
+// phenomenon at single-run scale: the baseline blocks on dependency-
+// explosion nodes, APTrace keeps a steady drip of updates.
+//
+// Also demonstrates a quantity-based `prioritize` rule (paper Program 2).
+//
+//   $ ./build/examples/responsive_monitoring
+
+#include <cstdio>
+#include <vector>
+
+#include "core/engine.h"
+#include "util/string_util.h"
+#include "workload/enterprise.h"
+
+using namespace aptrace;
+
+namespace {
+
+struct Timeline {
+  std::vector<double> update_times;  // seconds since run start
+  size_t final_edges = 0;
+  double longest_wait = 0;
+};
+
+Timeline Run(const EventStore& store, const Event& alert, bool baseline,
+             DurationMicros cap) {
+  SimClock clock;
+  SessionOptions options;
+  options.use_baseline = baseline;
+  Session session(&store, &clock, options);
+  const bdl::TrackingSpec spec = workload::GenericSpecFor(store, alert);
+
+  Timeline t;
+  if (!session.StartWithSpec(spec, alert).ok()) return t;
+  RunLimits limits;
+  limits.sim_time = cap;
+  limits.on_update = [&](const UpdateBatch& b) {
+    t.update_times.push_back(
+        static_cast<double>(b.sim_time - session.stats().run_start) /
+        kMicrosPerSecond);
+  };
+  (void)session.Step(limits);
+  t.final_edges = session.graph().NumEdges();
+  double prev = 0;
+  for (double u : t.update_times) {
+    t.longest_wait = std::max(t.longest_wait, u - prev);
+    prev = u;
+  }
+  return t;
+}
+
+void PrintTimeline(const char* name, const Timeline& t,
+                   DurationMicros cap) {
+  // A 60-column strip chart: '#' where an update landed.
+  const int kCols = 60;
+  std::string strip(kCols, '.');
+  for (double u : t.update_times) {
+    int col = static_cast<int>(u / (static_cast<double>(cap) /
+                                    kMicrosPerSecond) * kCols);
+    if (col >= kCols) col = kCols - 1;
+    strip[col] = '#';
+  }
+  std::printf("%-9s |%s|\n", name, strip.c_str());
+  std::printf("          %zu updates, %zu edges, longest wait %.0fs\n\n",
+              t.update_times.size(), t.final_edges, t.longest_wait);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Building the enterprise trace (this is the slow part)...\n");
+  workload::TraceConfig config;
+  config.num_hosts = 8;
+  auto store = workload::BuildEnterpriseTrace(config);
+  std::printf("%zu events across %zu hosts\n\n", store->NumEvents(),
+              store->catalog().NumHosts());
+
+  // Pick an alert whose closure is explosive: the telemetry collector's
+  // database write (its history funnels the whole fleet).
+  const auto candidates = store->catalog().FindProcessesByName("telemetryd");
+  Event alert{};
+  bool found = false;
+  if (!candidates.empty()) {
+    // Find that process's last write.
+    for (size_t i = store->NumEvents(); i-- > 0 && !found;) {
+      const Event& e = store->Get(i);
+      if (e.subject == candidates[0] && e.action == ActionType::kWrite) {
+        alert = e;
+        found = true;
+      }
+    }
+  }
+  if (!found) alert = store->Get(store->NumEvents() - 1);
+
+  std::printf("alert: %s -> %s at %s\n\n",
+              store->catalog().Get(alert.subject).Label().c_str(),
+              store->catalog().Get(alert.object).Label().c_str(),
+              FormatBdlTime(alert.timestamp).c_str());
+
+  const DurationMicros cap = 30 * kMicrosPerMinute;
+  std::printf("30 simulated minutes of analysis; each '#' is a graph "
+              "update:\n\n");
+  const Timeline baseline = Run(*store, alert, /*baseline=*/true, cap);
+  const Timeline aptrace = Run(*store, alert, /*baseline=*/false, cap);
+  PrintTimeline("Baseline", baseline, cap);
+  PrintTimeline("APTrace", aptrace, cap);
+
+  if (aptrace.longest_wait > 0) {
+    std::printf("longest-wait reduction: %.1fx\n\n",
+                baseline.longest_wait / aptrace.longest_wait);
+  }
+
+  // Bonus: the same analysis with a quantity-based prioritization rule
+  // (paper Program 2): prefer processes that read a document and pushed
+  // at least as many bytes to the network.
+  std::printf("Re-running APTrace with a Program-2 style prioritize rule:\n");
+  SimClock clock;
+  Session session(store.get(), &clock);
+  std::string script = workload::GenericSpecFor(*store, alert).source_text;
+  script +=
+      "\nprioritize [type = file and src.path = \"*doc*\"] <- [type = "
+      "network and dst.ip = \"*\" and amount >= size]";
+  if (session.Start(script, alert).ok()) {
+    RunLimits limits;
+    limits.sim_time = cap;
+    (void)session.Step(limits);
+    std::printf("  %zu edges explored with upload-prioritized ordering\n",
+                session.graph().NumEdges());
+  }
+  return 0;
+}

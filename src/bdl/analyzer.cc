@@ -1,0 +1,399 @@
+#include "bdl/analyzer.h"
+
+#include <functional>
+
+#include "bdl/parser.h"
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+
+namespace {
+
+Status ErrorAt(int line, const std::string& msg) {
+  return Status::InvalidArgument("BDL semantic error at line " +
+                                 std::to_string(line) + ": " + msg);
+}
+
+/// Node/field-path type names. `network` appears in the paper's Program 2.
+std::optional<ObjectType> ParseTypeName(std::string_view name) {
+  const std::string n = ToLower(name);
+  if (n == "proc" || n == "process") return ObjectType::kProcess;
+  if (n == "file") return ObjectType::kFile;
+  if (n == "ip" || n == "network" || n == "socket") return ObjectType::kIp;
+  return std::nullopt;
+}
+
+std::optional<EndpointSel> ParseEndpointName(std::string_view name) {
+  const std::string n = ToLower(name);
+  if (n == "src") return EndpointSel::kFlowSrc;
+  if (n == "dst") return EndpointSel::kFlowDst;
+  return std::nullopt;
+}
+
+enum class FieldValueClass { kString, kInt, kTime, kBool };
+
+FieldValueClass ClassOf(FieldId f) {
+  switch (f) {
+    case FieldId::kSubjectName:
+    case FieldId::kActionType:
+    case FieldId::kHost:
+    case FieldId::kFilename:
+    case FieldId::kPath:
+    case FieldId::kExename:
+    case FieldId::kSrcIp:
+    case FieldId::kDstIp:
+      return FieldValueClass::kString;
+    case FieldId::kSubjectPid:
+    case FieldId::kEventId:
+    case FieldId::kAmount:
+    case FieldId::kPid:
+      return FieldValueClass::kInt;
+    case FieldId::kEventTime:
+    case FieldId::kLastModificationTime:
+    case FieldId::kLastAccessTime:
+    case FieldId::kCreationTime:
+    case FieldId::kStarttime:
+    case FieldId::kIpStartTime:
+      return FieldValueClass::kTime;
+    case FieldId::kIsReadOnly:
+    case FieldId::kIsWriteThrough:
+      return FieldValueClass::kBool;
+  }
+  return FieldValueClass::kString;
+}
+
+/// Compiles one leaf: resolves the (possibly dotted) field path and types
+/// the literal value against the field.
+Result<std::unique_ptr<Condition>> CompileLeaf(
+    const AstExpr& ast, std::optional<ObjectType> default_scope) {
+  Condition::LeafSpec leaf;
+  leaf.op = ast.op;
+  leaf.type_scope = default_scope;
+
+  // Field path: [type.][src|dst.]field
+  std::vector<std::string> path = ast.field_path;
+  size_t i = 0;
+  if (path.size() > 1) {
+    if (auto t = ParseTypeName(path[i]); t.has_value()) {
+      leaf.type_scope = t;
+      i++;
+    }
+  }
+  if (path.size() - i > 1) {
+    if (auto e = ParseEndpointName(path[i]); e.has_value()) {
+      leaf.endpoint = *e;
+      i++;
+    }
+  }
+  if (path.size() - i != 1) {
+    return ErrorAt(ast.line,
+                   "cannot resolve field path '" + Join(path, ".") + "'");
+  }
+  // `src.path` / `dst.ip` style paths look at the flow endpoint whatever
+  // its declared type scope; resolve the final component. In endpoint
+  // paths "ip" means the destination address of the endpoint socket.
+  std::string field_name = path[i];
+  if (leaf.endpoint != EndpointSel::kSelf && ToLower(field_name) == "ip") {
+    field_name = "dst_ip";
+  }
+  auto field = ResolveField(
+      leaf.endpoint == EndpointSel::kSelf ? leaf.type_scope : std::nullopt,
+      field_name);
+  if (!field.ok()) return ErrorAt(ast.line, field.status().message());
+  leaf.field = field.value();
+
+  // When the field pins the applicable type (e.g. `exename` exists only on
+  // processes), narrow the scope so evaluation NAs out cleanly elsewhere.
+  if (leaf.endpoint == EndpointSel::kSelf && !leaf.type_scope.has_value()) {
+    for (ObjectType t : {ObjectType::kProcess, ObjectType::kFile,
+                         ObjectType::kIp}) {
+      if (FieldApplicableTo(leaf.field, t)) {
+        // Shared fields apply to all three; only narrow when unique.
+        if (leaf.type_scope.has_value()) {
+          leaf.type_scope = std::nullopt;  // applies to 2+ types: leave open
+          break;
+        }
+        leaf.type_scope = t;
+      }
+    }
+  }
+
+  // Type the literal.
+  switch (ClassOf(leaf.field)) {
+    case FieldValueClass::kString:
+      if (ast.value.kind != AstValue::Kind::kString &&
+          ast.value.kind != AstValue::Kind::kIdent) {
+        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
+                                     "' expects a string value");
+      }
+      leaf.str_value = std::make_shared<WildcardMatcher>(ast.value.text);
+      break;
+    case FieldValueClass::kInt:
+      if (ast.value.kind != AstValue::Kind::kNumber) {
+        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
+                                     "' expects a numeric value");
+      }
+      leaf.int_value = ast.value.number;
+      break;
+    case FieldValueClass::kTime: {
+      if (ast.value.kind != AstValue::Kind::kString) {
+        return ErrorAt(ast.line,
+                       "field '" + std::string(FieldIdName(leaf.field)) +
+                           "' expects a time string \"MM/DD/YYYY[:HH:MM:SS]\"");
+      }
+      auto t = ParseBdlTime(ast.value.text);
+      if (!t.ok()) return ErrorAt(ast.line, t.status().message());
+      leaf.int_value = t.value();
+      break;
+    }
+    case FieldValueClass::kBool: {
+      const std::string v = ToLower(ast.value.text);
+      if (ast.value.kind != AstValue::Kind::kIdent || (v != "true" && v != "false")) {
+        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
+                                     "' expects true or false");
+      }
+      if (ast.op != CompareOp::kEq && ast.op != CompareOp::kNe) {
+        return ErrorAt(ast.line, "boolean fields support only = and !=");
+      }
+      leaf.bool_value = (v == "true");
+      break;
+    }
+  }
+  return Condition::Leaf(std::move(leaf));
+}
+
+Result<std::unique_ptr<Condition>> CompileExpr(
+    const AstExpr& ast, std::optional<ObjectType> default_scope) {
+  switch (ast.kind) {
+    case AstExpr::Kind::kLeaf:
+      return CompileLeaf(ast, default_scope);
+    case AstExpr::Kind::kAnd: {
+      auto l = CompileExpr(*ast.lhs, default_scope);
+      if (!l.ok()) return l.status();
+      auto r = CompileExpr(*ast.rhs, default_scope);
+      if (!r.ok()) return r.status();
+      return Condition::And(std::move(l.value()), std::move(r.value()));
+    }
+    case AstExpr::Kind::kOr: {
+      auto l = CompileExpr(*ast.lhs, default_scope);
+      if (!l.ok()) return l.status();
+      auto r = CompileExpr(*ast.rhs, default_scope);
+      if (!r.ok()) return r.status();
+      return Condition::Or(std::move(l.value()), std::move(r.value()));
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+bool IsSpecialLeaf(const AstExpr& e, std::string_view name) {
+  return e.kind == AstExpr::Kind::kLeaf && e.field_path.size() == 1 &&
+         ToLower(e.field_path[0]) == name;
+}
+
+/// Removes `time` / `hop` budget leaves from the where tree, recording
+/// them in the spec. They may only occur in conjunctive positions (the
+/// paper restricts them to `<=`; we also accept `<` as Program 1 does).
+/// Returns the pruned tree (possibly null).
+Result<std::unique_ptr<AstExpr>> ExtractBudgets(std::unique_ptr<AstExpr> e,
+                                                TrackingSpec* spec,
+                                                bool under_or) {
+  if (e == nullptr) return std::unique_ptr<AstExpr>(nullptr);
+  if (IsSpecialLeaf(*e, "time") || IsSpecialLeaf(*e, "hop")) {
+    if (under_or) {
+      return ErrorAt(e->line,
+                     "'time'/'hop' budgets cannot appear under 'or'");
+    }
+    if (e->op != CompareOp::kLt && e->op != CompareOp::kLe) {
+      return ErrorAt(e->line, "'time'/'hop' budgets support only < and <=");
+    }
+    if (IsSpecialLeaf(*e, "time")) {
+      DurationMicros d = 0;
+      if (e->value.kind == AstValue::Kind::kDuration) {
+        auto parsed = ParseBdlDuration(e->value.text);
+        if (!parsed.ok()) return ErrorAt(e->line, parsed.status().message());
+        d = parsed.value();
+      } else if (e->value.kind == AstValue::Kind::kNumber) {
+        // A bare number is interpreted as minutes.
+        d = e->value.number * kMicrosPerMinute;
+      } else {
+        return ErrorAt(e->line, "'time' budget expects a duration (10mins)");
+      }
+      spec->time_budget = d;
+    } else {
+      if (e->value.kind != AstValue::Kind::kNumber) {
+        return ErrorAt(e->line, "'hop' budget expects a number");
+      }
+      spec->hop_limit = static_cast<int>(e->value.number);
+    }
+    return std::unique_ptr<AstExpr>(nullptr);  // remove the leaf
+  }
+  if (e->kind == AstExpr::Kind::kLeaf) return e;
+
+  const bool next_under_or = under_or || e->kind == AstExpr::Kind::kOr;
+  auto l = ExtractBudgets(std::move(e->lhs), spec, next_under_or);
+  if (!l.ok()) return l.status();
+  auto r = ExtractBudgets(std::move(e->rhs), spec, next_under_or);
+  if (!r.ok()) return r.status();
+  e->lhs = std::move(l.value());
+  e->rhs = std::move(r.value());
+  if (e->lhs == nullptr) return std::move(e->rhs);
+  if (e->rhs == nullptr) return std::move(e->lhs);
+  return e;
+}
+
+/// Compiles one prioritize pattern bracket into an EventPattern. Only
+/// conjunctions are allowed inside a pattern.
+Status CompilePrioritizePattern(const AstExpr& ast,
+                                QuantityRule::EventPattern* out) {
+  // Flatten the conjunction.
+  std::vector<const AstExpr*> leaves;
+  std::function<Status(const AstExpr&)> flatten =
+      [&](const AstExpr& e) -> Status {
+    if (e.kind == AstExpr::Kind::kOr) {
+      return ErrorAt(e.line, "'or' is not supported in prioritize patterns");
+    }
+    if (e.kind == AstExpr::Kind::kAnd) {
+      if (auto s = flatten(*e.lhs); !s.ok()) return s;
+      return flatten(*e.rhs);
+    }
+    leaves.push_back(&e);
+    return Status::Ok();
+  };
+  if (auto s = flatten(ast); !s.ok()) return s;
+
+  std::unique_ptr<Condition> cond;
+  for (const AstExpr* leaf : leaves) {
+    // `type = file|proc|network` names the event's object type.
+    if (IsSpecialLeaf(*leaf, "type") &&
+        (leaf->value.kind == AstValue::Kind::kIdent ||
+         leaf->value.kind == AstValue::Kind::kString)) {
+      if (auto t = ParseTypeName(leaf->value.text); t.has_value()) {
+        out->object_type = t;
+        continue;
+      }
+      // Not a type name: falls through to action_type matching below.
+    }
+    // `amount >= size`: quantity comparison against the upstream event.
+    if (IsSpecialLeaf(*leaf, "amount") &&
+        leaf->value.kind == AstValue::Kind::kIdent &&
+        ToLower(leaf->value.text) == "size") {
+      out->amount_vs_upstream = true;
+      out->amount_op = leaf->op;
+      continue;
+    }
+    auto compiled = CompileLeaf(*leaf, std::nullopt);
+    if (!compiled.ok()) return compiled.status();
+    cond = cond == nullptr
+               ? std::move(compiled.value())
+               : Condition::And(std::move(cond), std::move(compiled.value()));
+  }
+  out->cond = std::move(cond);
+  return Status::Ok();
+}
+
+}  // namespace
+
+const char* TrackDirectionName(TrackDirection d) {
+  return d == TrackDirection::kBackward ? "backward" : "forward";
+}
+
+Result<TrackingSpec> Analyze(const AstScript& script) {
+  TrackingSpec spec;
+  spec.direction =
+      script.forward ? TrackDirection::kForward : TrackDirection::kBackward;
+
+  if (script.from_time.has_value()) {
+    auto t = ParseBdlTime(*script.from_time);
+    if (!t.ok()) return t.status();
+    spec.time_from = t.value();
+  }
+  if (script.to_time.has_value()) {
+    auto t = ParseBdlTime(*script.to_time);
+    if (!t.ok()) return t.status();
+    spec.time_to = t.value();
+  }
+  if (spec.time_from.has_value() && spec.time_to.has_value() &&
+      *spec.time_from >= *spec.time_to) {
+    return Status::InvalidArgument(
+        "BDL semantic error: 'from' time must precede 'to' time");
+  }
+  for (const std::string& h : script.hosts) {
+    spec.hosts.push_back(ToLower(h));
+  }
+
+  for (const AstNode& node : script.chain) {
+    NodePattern pattern;
+    pattern.wildcard = node.wildcard;
+    pattern.var = node.var;
+    if (!node.wildcard) {
+      auto type = ParseTypeName(node.type_name);
+      if (!type.has_value()) {
+        return ErrorAt(node.line, "unknown node type '" + node.type_name +
+                                      "' (want proc|file|ip)");
+      }
+      pattern.type = type;
+      if (node.cond != nullptr) {
+        auto cond = CompileExpr(*node.cond, pattern.type);
+        if (!cond.ok()) return cond.status();
+        pattern.cond = std::shared_ptr<const Condition>(
+            std::move(cond.value()));
+      }
+    }
+    spec.chain.push_back(std::move(pattern));
+  }
+
+  if (script.where != nullptr) {
+    // Deep-copy the where AST so budget extraction can restructure it
+    // without mutating the caller's AST.
+    std::function<std::unique_ptr<AstExpr>(const AstExpr&)> clone =
+        [&](const AstExpr& e) -> std::unique_ptr<AstExpr> {
+      auto c = std::make_unique<AstExpr>();
+      c->kind = e.kind;
+      c->field_path = e.field_path;
+      c->op = e.op;
+      c->value = e.value;
+      c->line = e.line;
+      if (e.lhs) c->lhs = clone(*e.lhs);
+      if (e.rhs) c->rhs = clone(*e.rhs);
+      return c;
+    };
+    auto pruned = ExtractBudgets(clone(*script.where), &spec, false);
+    if (!pruned.ok()) return pruned.status();
+    if (pruned.value() != nullptr) {
+      auto cond = CompileExpr(*pruned.value(), std::nullopt);
+      if (!cond.ok()) return cond.status();
+      spec.where = std::shared_ptr<const Condition>(std::move(cond.value()));
+    }
+  }
+
+  for (const AstPrioritize& pri : script.prioritize) {
+    QuantityRule rule;
+    for (const auto& pattern : pri.patterns) {
+      QuantityRule::EventPattern ep;
+      if (auto s = CompilePrioritizePattern(*pattern, &ep); !s.ok()) return s;
+      rule.chain.push_back(std::move(ep));
+    }
+    spec.prioritize.push_back(std::move(rule));
+  }
+
+  if (script.output_path.has_value()) spec.output_path = *script.output_path;
+  return spec;
+}
+
+Result<TrackingSpec> CompileBdl(std::string_view text) {
+  auto ast = Parser::Parse(text);
+  if (!ast.ok()) return ast.status();
+  auto spec = Analyze(ast.value());
+  if (!spec.ok()) return spec.status();
+  spec.value().source_text = std::string(text);
+  return spec;
+}
+
+bool NodePattern::Matches(const EvalContext& ctx) const {
+  if (wildcard) return true;
+  if (ctx.object == nullptr) return false;
+  if (type.has_value() && ctx.object->type() != *type) return false;
+  return ConditionMatches(cond.get(), ctx);
+}
+
+}  // namespace aptrace::bdl

@@ -1,0 +1,24 @@
+#ifndef APTRACE_BDL_ANALYZER_H_
+#define APTRACE_BDL_ANALYZER_H_
+
+#include <string_view>
+
+#include "bdl/ast.h"
+#include "bdl/spec.h"
+#include "util/status.h"
+
+namespace aptrace::bdl {
+
+/// Semantic analysis: resolves field names against the event schema, types
+/// the literals (time strings, durations, booleans), compiles wildcard
+/// patterns, extracts `time` / `hop` termination budgets from the where
+/// statement, and compiles `prioritize` rules. This is the compile step
+/// the paper's Refiner performs to produce executable metadata.
+Result<TrackingSpec> Analyze(const AstScript& script);
+
+/// Parse + Analyze in one step.
+Result<TrackingSpec> CompileBdl(std::string_view text);
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_ANALYZER_H_

@@ -1,0 +1,83 @@
+#ifndef APTRACE_BDL_AST_H_
+#define APTRACE_BDL_AST_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace aptrace::bdl {
+
+/// Comparison operators allowed in BDL conditions (paper Section III-A1).
+enum class CompareOp : uint8_t { kLt, kLe, kGt, kGe, kEq, kNe };
+
+const char* CompareOpName(CompareOp op);
+
+/// A literal appearing on the right-hand side of a condition. Time strings
+/// stay as kString until the analyzer knows the field's type. kIdent covers
+/// bare-word values such as `true`, `false`, and the quantity keyword
+/// `size` in Program 2 (`amount >= size`).
+struct AstValue {
+  enum class Kind : uint8_t { kString, kNumber, kDuration, kIdent };
+  Kind kind = Kind::kString;
+  std::string text;
+  int64_t number = 0;
+};
+
+/// Condition expression tree. Leaves compare a (possibly dotted) field
+/// path against a value; inner nodes are and/or.
+struct AstExpr {
+  enum class Kind : uint8_t { kLeaf, kAnd, kOr };
+  Kind kind = Kind::kLeaf;
+
+  // Leaf payload.
+  std::vector<std::string> field_path;  // e.g. {"exename"}, {"proc","exename"},
+                                        // {"proc","dst","isReadonly"}
+  CompareOp op = CompareOp::kEq;
+  AstValue value;
+
+  // Inner-node payload.
+  std::unique_ptr<AstExpr> lhs;
+  std::unique_ptr<AstExpr> rhs;
+
+  int line = 0;  // source position of the leaf / operator, for diagnostics
+};
+
+/// One node of the tracking statement: `type var[condition_list]` or the
+/// `*` wildcard end point.
+struct AstNode {
+  bool wildcard = false;
+  std::string type_name;  // "proc" | "file" | "ip" (empty for wildcard)
+  std::string var;        // user variable name (may be empty)
+  std::unique_ptr<AstExpr> cond;  // may be null (no conditions)
+  int line = 0;
+};
+
+/// A `prioritize` statement (paper Program 2): a chain of event patterns
+/// connected by `<-`, read "the right event feeds the left one".
+struct AstPrioritize {
+  std::vector<std::unique_ptr<AstExpr>> patterns;
+  int line = 0;
+};
+
+/// A whole BDL script.
+struct AstScript {
+  bool forward = false;  // `forward` instead of `backward`
+
+  std::optional<std::string> from_time;  // general constraint
+  std::optional<std::string> to_time;
+  std::vector<std::string> hosts;        // `in "h1", "h2"`
+
+  std::vector<AstNode> chain;            // `backward n1 -> n2 -> ...`
+
+  std::unique_ptr<AstExpr> where;        // may be null
+
+  std::vector<AstPrioritize> prioritize;
+
+  std::optional<std::string> output_path;  // `output = "path"`
+};
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_AST_H_

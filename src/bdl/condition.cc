@@ -1,0 +1,181 @@
+#include "bdl/condition.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+
+Tribool TriAnd(Tribool a, Tribool b) {
+  if (a == Tribool::kFalse || b == Tribool::kFalse) return Tribool::kFalse;
+  if (a == Tribool::kNA) return b;
+  if (b == Tribool::kNA) return a;
+  return Tribool::kTrue;
+}
+
+Tribool TriOr(Tribool a, Tribool b) {
+  if (a == Tribool::kTrue || b == Tribool::kTrue) return Tribool::kTrue;
+  if (a == Tribool::kNA) return b;
+  if (b == Tribool::kNA) return a;
+  return Tribool::kFalse;
+}
+
+std::unique_ptr<Condition> Condition::And(std::unique_ptr<Condition> l,
+                                          std::unique_ptr<Condition> r) {
+  auto c = std::unique_ptr<Condition>(new Condition());
+  c->kind_ = Kind::kAnd;
+  c->lhs_ = std::move(l);
+  c->rhs_ = std::move(r);
+  return c;
+}
+
+std::unique_ptr<Condition> Condition::Or(std::unique_ptr<Condition> l,
+                                         std::unique_ptr<Condition> r) {
+  auto c = std::unique_ptr<Condition>(new Condition());
+  c->kind_ = Kind::kOr;
+  c->lhs_ = std::move(l);
+  c->rhs_ = std::move(r);
+  return c;
+}
+
+std::unique_ptr<Condition> Condition::Leaf(LeafSpec leaf) {
+  auto c = std::unique_ptr<Condition>(new Condition());
+  c->kind_ = Kind::kLeaf;
+  c->leaf_ = std::move(leaf);
+  return c;
+}
+
+namespace {
+
+// Case-insensitive three-way compare for ordered string comparisons.
+int CompareStringsCi(const std::string& a, const std::string& b) {
+  const std::string la = ToLower(a);
+  const std::string lb = ToLower(b);
+  if (la < lb) return -1;
+  if (la > lb) return 1;
+  return 0;
+}
+
+Tribool ApplyOp(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kLt: return cmp < 0 ? Tribool::kTrue : Tribool::kFalse;
+    case CompareOp::kLe: return cmp <= 0 ? Tribool::kTrue : Tribool::kFalse;
+    case CompareOp::kGt: return cmp > 0 ? Tribool::kTrue : Tribool::kFalse;
+    case CompareOp::kGe: return cmp >= 0 ? Tribool::kTrue : Tribool::kFalse;
+    case CompareOp::kEq: return cmp == 0 ? Tribool::kTrue : Tribool::kFalse;
+    case CompareOp::kNe: return cmp != 0 ? Tribool::kTrue : Tribool::kFalse;
+  }
+  return Tribool::kNA;
+}
+
+}  // namespace
+
+Tribool Condition::Eval(const EvalContext& ctx) const {
+  switch (kind_) {
+    case Kind::kAnd:
+      return TriAnd(lhs_->Eval(ctx), rhs_->Eval(ctx));
+    case Kind::kOr:
+      return TriOr(lhs_->Eval(ctx), rhs_->Eval(ctx));
+    case Kind::kLeaf:
+      break;
+  }
+
+  if (ctx.object == nullptr || ctx.catalog == nullptr) return Tribool::kNA;
+
+  // Resolve the endpoint object the field is read from.
+  const SystemObject* target = ctx.object;
+  if (leaf_.endpoint != EndpointSel::kSelf) {
+    if (ctx.event == nullptr) return Tribool::kNA;
+    const ObjectId id = leaf_.endpoint == EndpointSel::kFlowSrc
+                            ? ctx.event->FlowSource()
+                            : ctx.event->FlowDest();
+    target = &ctx.catalog->Get(id);
+  }
+
+  // Type scope: when the leaf names a type (e.g. `proc.exename`), objects
+  // of other types are out of scope -> NA.
+  if (leaf_.type_scope.has_value() &&
+      target->type() != *leaf_.type_scope) {
+    return Tribool::kNA;
+  }
+
+  std::optional<FieldValue> fv =
+      ReadField(leaf_.field, *target, ctx.event, *ctx.catalog, ctx.derived);
+  if (!fv.has_value()) return Tribool::kNA;
+
+  // String comparisons.
+  if (std::holds_alternative<std::string>(*fv)) {
+    const std::string& s = std::get<std::string>(*fv);
+    if (leaf_.str_value != nullptr) {
+      // `=` / `!=` on strings are pattern matches (paper Section III-A1);
+      // ordered operators fall back to case-insensitive lexicographic.
+      if (leaf_.op == CompareOp::kEq) {
+        return leaf_.str_value->Matches(s) ? Tribool::kTrue : Tribool::kFalse;
+      }
+      if (leaf_.op == CompareOp::kNe) {
+        return leaf_.str_value->Matches(s) ? Tribool::kFalse : Tribool::kTrue;
+      }
+      return ApplyOp(leaf_.op, CompareStringsCi(s, leaf_.str_value->pattern()));
+    }
+    return Tribool::kNA;  // comparing a string field to a non-string value
+  }
+
+  // Integer (and timestamp) comparisons.
+  if (std::holds_alternative<int64_t>(*fv)) {
+    if (!leaf_.int_value.has_value()) return Tribool::kNA;
+    const int64_t v = std::get<int64_t>(*fv);
+    const int cmp = v < *leaf_.int_value ? -1 : (v > *leaf_.int_value ? 1 : 0);
+    return ApplyOp(leaf_.op, cmp);
+  }
+
+  // Boolean comparisons (derived attributes).
+  if (std::holds_alternative<bool>(*fv)) {
+    if (!leaf_.bool_value.has_value()) return Tribool::kNA;
+    const bool v = std::get<bool>(*fv);
+    const int cmp = static_cast<int>(v) - static_cast<int>(*leaf_.bool_value);
+    return ApplyOp(leaf_.op, cmp);
+  }
+
+  return Tribool::kNA;
+}
+
+std::string Condition::ToString() const {
+  std::ostringstream os;
+  switch (kind_) {
+    case Kind::kAnd:
+      os << "(" << lhs_->ToString() << " and " << rhs_->ToString() << ")";
+      break;
+    case Kind::kOr:
+      os << "(" << lhs_->ToString() << " or " << rhs_->ToString() << ")";
+      break;
+    case Kind::kLeaf: {
+      if (leaf_.type_scope.has_value()) {
+        os << ObjectTypeName(*leaf_.type_scope) << ".";
+      }
+      if (leaf_.endpoint == EndpointSel::kFlowSrc) os << "src.";
+      if (leaf_.endpoint == EndpointSel::kFlowDst) os << "dst.";
+      os << FieldIdName(leaf_.field) << " " << CompareOpName(leaf_.op) << " ";
+      if (leaf_.str_value != nullptr) {
+        os << "\"" << leaf_.str_value->pattern() << "\"";
+      } else if (leaf_.int_value.has_value()) {
+        os << *leaf_.int_value;
+      } else if (leaf_.bool_value.has_value()) {
+        os << (*leaf_.bool_value ? "true" : "false");
+      }
+      break;
+    }
+  }
+  return os.str();
+}
+
+bool ConditionKeeps(const Condition* cond, const EvalContext& ctx) {
+  if (cond == nullptr) return true;
+  return cond->Eval(ctx) != Tribool::kFalse;
+}
+
+bool ConditionMatches(const Condition* cond, const EvalContext& ctx) {
+  if (cond == nullptr) return true;
+  return cond->Eval(ctx) == Tribool::kTrue;
+}
+
+}  // namespace aptrace::bdl

@@ -1,0 +1,99 @@
+#ifndef APTRACE_BDL_CONDITION_H_
+#define APTRACE_BDL_CONDITION_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "bdl/ast.h"
+#include "event/catalog.h"
+#include "event/event.h"
+#include "event/schema.h"
+#include "util/wildcard.h"
+
+namespace aptrace::bdl {
+
+/// Three-valued logic for condition evaluation. A leaf that does not apply
+/// to the object under test (e.g. `proc.exename` on a file) evaluates to
+/// kNA; kNA is neutral in `and`/`or`. This is what makes a mixed filter
+/// like `file.path != "*.dll" and proc.exename != "findstr.exe"` behave as
+/// analysts expect: each conjunct constrains only its own object type.
+enum class Tribool : uint8_t { kFalse = 0, kTrue = 1, kNA = 2 };
+
+Tribool TriAnd(Tribool a, Tribool b);
+Tribool TriOr(Tribool a, Tribool b);
+
+/// Which object a leaf reads its field from, relative to the event being
+/// considered. kSelf is the object under test; kFlowSrc / kFlowDst are the
+/// event's data-flow endpoints (used by `src.path`, `dst.ip`,
+/// `proc.dst.isReadonly` style paths).
+enum class EndpointSel : uint8_t { kSelf, kFlowSrc, kFlowDst };
+
+/// Evaluation context: the object under test and, when available, the
+/// event through which it was reached.
+struct EvalContext {
+  const SystemObject* object = nullptr;  // required
+  const Event* event = nullptr;          // optional
+  const ObjectCatalog* catalog = nullptr;  // required
+  const DerivedAttrs* derived = nullptr;   // optional
+};
+
+/// A compiled, immutable condition tree. Compilation resolves field names,
+/// parses time literals, and pre-compiles wildcard patterns, so evaluation
+/// per event is cheap. Built by the analyzer; shared by spec copies.
+class Condition {
+ public:
+  enum class Kind : uint8_t { kLeaf, kAnd, kOr };
+
+  /// Inner node.
+  static std::unique_ptr<Condition> And(std::unique_ptr<Condition> l,
+                                        std::unique_ptr<Condition> r);
+  static std::unique_ptr<Condition> Or(std::unique_ptr<Condition> l,
+                                       std::unique_ptr<Condition> r);
+
+  /// Leaf comparing `field` (read from `endpoint`, restricted to objects
+  /// of `type_scope` when set) against a pre-compiled value.
+  struct LeafSpec {
+    std::optional<ObjectType> type_scope;
+    EndpointSel endpoint = EndpointSel::kSelf;
+    FieldId field = FieldId::kHost;
+    CompareOp op = CompareOp::kEq;
+    // Exactly one of the following is engaged, fixed at compile time.
+    std::optional<int64_t> int_value;
+    std::optional<bool> bool_value;
+    std::shared_ptr<WildcardMatcher> str_value;
+  };
+  static std::unique_ptr<Condition> Leaf(LeafSpec leaf);
+
+  /// Evaluates against the context. Never fails; missing context
+  /// information yields kNA.
+  Tribool Eval(const EvalContext& ctx) const;
+
+  Kind kind() const { return kind_; }
+  const LeafSpec& leaf() const { return leaf_; }
+  const Condition* lhs() const { return lhs_.get(); }
+  const Condition* rhs() const { return rhs_.get(); }
+
+  /// Debug rendering, e.g. "(exename != \"explorer\" and hop <= 25)".
+  std::string ToString() const;
+
+ private:
+  Condition() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  LeafSpec leaf_;
+  std::unique_ptr<Condition> lhs_;
+  std::unique_ptr<Condition> rhs_;
+};
+
+/// Filter interpretation (where-statement): keep the object unless the
+/// condition positively fails. Null condition keeps everything.
+bool ConditionKeeps(const Condition* cond, const EvalContext& ctx);
+
+/// Pattern interpretation (node patterns): the object matches only if the
+/// condition positively holds. Null condition matches everything.
+bool ConditionMatches(const Condition* cond, const EvalContext& ctx);
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_CONDITION_H_

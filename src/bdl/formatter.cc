@@ -1,0 +1,160 @@
+#include "bdl/formatter.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+
+namespace {
+
+bool IsTimeField(FieldId f) {
+  switch (f) {
+    case FieldId::kEventTime:
+    case FieldId::kLastModificationTime:
+    case FieldId::kLastAccessTime:
+    case FieldId::kCreationTime:
+    case FieldId::kStarttime:
+    case FieldId::kIpStartTime:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+void FormatLeaf(const Condition::LeafSpec& leaf, std::ostringstream& os) {
+  if (leaf.type_scope.has_value()) {
+    os << ObjectTypeName(*leaf.type_scope) << ".";
+  }
+  if (leaf.endpoint == EndpointSel::kFlowSrc) os << "src.";
+  if (leaf.endpoint == EndpointSel::kFlowDst) os << "dst.";
+  os << FieldIdName(leaf.field) << " " << CompareOpName(leaf.op) << " ";
+  if (leaf.str_value != nullptr) {
+    os << "\"" << EscapeString(leaf.str_value->pattern()) << "\"";
+  } else if (leaf.bool_value.has_value()) {
+    os << (*leaf.bool_value ? "true" : "false");
+  } else if (leaf.int_value.has_value()) {
+    if (IsTimeField(leaf.field)) {
+      os << "\"" << FormatBdlTime(*leaf.int_value) << "\"";
+    } else {
+      os << *leaf.int_value;
+    }
+  }
+}
+
+void FormatConditionInto(const Condition* cond, std::ostringstream& os) {
+  switch (cond->kind()) {
+    case Condition::Kind::kLeaf:
+      FormatLeaf(cond->leaf(), os);
+      break;
+    case Condition::Kind::kAnd:
+      os << "(";
+      FormatConditionInto(cond->lhs(), os);
+      os << " and ";
+      FormatConditionInto(cond->rhs(), os);
+      os << ")";
+      break;
+    case Condition::Kind::kOr:
+      os << "(";
+      FormatConditionInto(cond->lhs(), os);
+      os << " or ";
+      FormatConditionInto(cond->rhs(), os);
+      os << ")";
+      break;
+  }
+}
+
+}  // namespace
+
+std::string FormatCondition(const Condition* cond) {
+  if (cond == nullptr) return "";
+  std::ostringstream os;
+  FormatConditionInto(cond, os);
+  return os.str();
+}
+
+std::string FormatSpec(const TrackingSpec& spec) {
+  std::ostringstream os;
+  if (spec.time_from.has_value() && spec.time_to.has_value()) {
+    os << "from \"" << FormatBdlTime(*spec.time_from) << "\" to \""
+       << FormatBdlTime(*spec.time_to) << "\"\n";
+  }
+  if (!spec.hosts.empty()) {
+    os << "in ";
+    for (size_t i = 0; i < spec.hosts.size(); ++i) {
+      if (i) os << ", ";
+      os << "\"" << EscapeString(spec.hosts[i]) << "\"";
+    }
+    os << "\n";
+  }
+
+  os << TrackDirectionName(spec.direction);
+  for (size_t i = 0; i < spec.chain.size(); ++i) {
+    if (i) os << " ->";
+    const NodePattern& p = spec.chain[i];
+    if (p.wildcard) {
+      os << " *";
+      continue;
+    }
+    os << " " << ObjectTypeName(*p.type);
+    if (!p.var.empty()) os << " " << p.var;
+    os << "[" << FormatCondition(p.cond.get()) << "]";
+  }
+  os << "\n";
+
+  // The where statement: the object filter plus the extracted budgets.
+  std::vector<std::string> where_parts;
+  if (spec.where != nullptr) {
+    where_parts.push_back(FormatCondition(spec.where.get()));
+  }
+  if (spec.time_budget >= 0) {
+    // Milliseconds are the finest duration literal, so this is exact.
+    where_parts.push_back(
+        "time <= " + std::to_string(spec.time_budget / kMicrosPerMilli) +
+        "ms");
+  }
+  if (spec.hop_limit >= 0) {
+    where_parts.push_back("hop <= " + std::to_string(spec.hop_limit));
+  }
+  if (!where_parts.empty()) {
+    os << "where " << Join(where_parts, " and ") << "\n";
+  }
+
+  for (const QuantityRule& rule : spec.prioritize) {
+    os << "prioritize";
+    for (size_t i = 0; i < rule.chain.size(); ++i) {
+      if (i) os << " <-";
+      const auto& p = rule.chain[i];
+      os << " [";
+      std::vector<std::string> parts;
+      if (p.object_type.has_value()) {
+        parts.push_back(std::string("type = ") +
+                        ObjectTypeName(*p.object_type));
+      }
+      if (p.cond != nullptr) parts.push_back(FormatCondition(p.cond.get()));
+      if (p.amount_vs_upstream) {
+        parts.push_back(std::string("amount ") +
+                        CompareOpName(p.amount_op) + " size");
+      }
+      os << Join(parts, " and ") << "]";
+    }
+    os << "\n";
+  }
+
+  if (!spec.output_path.empty()) {
+    os << "output = \"" << EscapeString(spec.output_path) << "\"\n";
+  }
+  return os.str();
+}
+
+}  // namespace aptrace::bdl

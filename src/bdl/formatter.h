@@ -1,0 +1,21 @@
+#ifndef APTRACE_BDL_FORMATTER_H_
+#define APTRACE_BDL_FORMATTER_H_
+
+#include <string>
+
+#include "bdl/spec.h"
+
+namespace aptrace::bdl {
+
+/// Renders a compiled TrackingSpec back to canonical BDL text. The output
+/// re-compiles to an equivalent spec (round-trip property, tested in
+/// tests/bdl_formatter_test.cc); tooling uses it to display, diff, and
+/// persist scripts.
+std::string FormatSpec(const TrackingSpec& spec);
+
+/// Renders one compiled condition tree as parseable BDL (null -> "").
+std::string FormatCondition(const Condition* cond);
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_FORMATTER_H_

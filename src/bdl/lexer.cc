@@ -1,0 +1,219 @@
+#include "bdl/lexer.h"
+
+#include <cctype>
+
+namespace aptrace::bdl {
+
+const char* TokenKindName(TokenKind k) {
+  switch (k) {
+    case TokenKind::kIdent: return "identifier";
+    case TokenKind::kString: return "string";
+    case TokenKind::kNumber: return "number";
+    case TokenKind::kDuration: return "duration";
+    case TokenKind::kLt: return "'<'";
+    case TokenKind::kLe: return "'<='";
+    case TokenKind::kGt: return "'>'";
+    case TokenKind::kGe: return "'>='";
+    case TokenKind::kEq: return "'='";
+    case TokenKind::kNe: return "'!='";
+    case TokenKind::kArrow: return "'->'";
+    case TokenKind::kBackArrow: return "'<-'";
+    case TokenKind::kComma: return "','";
+    case TokenKind::kDot: return "'.'";
+    case TokenKind::kStar: return "'*'";
+    case TokenKind::kLBracket: return "'['";
+    case TokenKind::kRBracket: return "']'";
+    case TokenKind::kLParen: return "'('";
+    case TokenKind::kRParen: return "')'";
+    case TokenKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+Lexer::Lexer(std::string_view input) : input_(input) {}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < input_.size() ? input_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  const char c = input_[pos_++];
+  if (c == '\n') {
+    line_++;
+    column_ = 1;
+  } else {
+    column_++;
+  }
+  return c;
+}
+
+Status Lexer::Error(const std::string& msg) const {
+  return Status::InvalidArgument("BDL lex error at line " +
+                                 std::to_string(line_) + ", column " +
+                                 std::to_string(column_) + ": " + msg);
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (!AtEnd()) {
+    const char c = Peek();
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+      continue;
+    }
+    // Line comments.
+    if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+      continue;
+    }
+
+    Token tok;
+    tok.line = line_;
+    tok.column = column_;
+
+    // String literal.
+    if (c == '"') {
+      Advance();
+      std::string text;
+      bool closed = false;
+      while (!AtEnd()) {
+        const char d = Advance();
+        if (d == '"') {
+          closed = true;
+          break;
+        }
+        if (d == '\\' && !AtEnd() && (Peek() == '"' || Peek() == '\\')) {
+          text += Advance();
+        } else {
+          text += d;
+        }
+      }
+      if (!closed) return Error("unterminated string literal");
+      tok.kind = TokenKind::kString;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Number or duration.
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string text;
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        text += Advance();
+      }
+      if (!AtEnd() && std::isalpha(static_cast<unsigned char>(Peek()))) {
+        // Duration literal: keep the unit characters.
+        while (!AtEnd() &&
+               std::isalpha(static_cast<unsigned char>(Peek()))) {
+          text += Advance();
+        }
+        tok.kind = TokenKind::kDuration;
+        tok.text = std::move(text);
+      } else {
+        tok.kind = TokenKind::kNumber;
+        tok.number = 0;
+        for (char d : text) tok.number = tok.number * 10 + (d - '0');
+        tok.text = std::move(text);
+      }
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Identifier.
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string text;
+      while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                          Peek() == '_')) {
+        text += Advance();
+      }
+      tok.kind = TokenKind::kIdent;
+      tok.text = std::move(text);
+      out.push_back(std::move(tok));
+      continue;
+    }
+
+    // Operators and punctuation.
+    switch (c) {
+      case '<':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok.kind = TokenKind::kLe;
+        } else if (Peek() == '-') {
+          Advance();
+          tok.kind = TokenKind::kBackArrow;
+        } else {
+          tok.kind = TokenKind::kLt;
+        }
+        break;
+      case '>':
+        Advance();
+        if (Peek() == '=') {
+          Advance();
+          tok.kind = TokenKind::kGe;
+        } else {
+          tok.kind = TokenKind::kGt;
+        }
+        break;
+      case '=':
+        Advance();
+        // Accept both `=` and `==` for equality.
+        if (Peek() == '=') Advance();
+        tok.kind = TokenKind::kEq;
+        break;
+      case '!':
+        Advance();
+        if (Peek() != '=') return Error("expected '=' after '!'");
+        Advance();
+        tok.kind = TokenKind::kNe;
+        break;
+      case '-':
+        Advance();
+        if (Peek() != '>') return Error("expected '>' after '-'");
+        Advance();
+        tok.kind = TokenKind::kArrow;
+        break;
+      case ',':
+        Advance();
+        tok.kind = TokenKind::kComma;
+        break;
+      case '.':
+        Advance();
+        tok.kind = TokenKind::kDot;
+        break;
+      case '*':
+        Advance();
+        tok.kind = TokenKind::kStar;
+        break;
+      case '[':
+        Advance();
+        tok.kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        Advance();
+        tok.kind = TokenKind::kRBracket;
+        break;
+      case '(':
+        Advance();
+        tok.kind = TokenKind::kLParen;
+        break;
+      case ')':
+        Advance();
+        tok.kind = TokenKind::kRParen;
+        break;
+      default:
+        return Error(std::string("unexpected character '") + c + "'");
+    }
+    out.push_back(std::move(tok));
+  }
+
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.line = line_;
+  end.column = column_;
+  out.push_back(std::move(end));
+  return out;
+}
+
+}  // namespace aptrace::bdl

@@ -1,0 +1,43 @@
+#ifndef APTRACE_BDL_LEXER_H_
+#define APTRACE_BDL_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bdl/token.h"
+#include "util/status.h"
+
+namespace aptrace::bdl {
+
+/// Tokenizes a BDL script.
+///
+/// Lexical rules:
+///  * `//` starts a line comment (the paper's Program 1 uses them);
+///  * string literals use double quotes with `\"` and `\\` escapes;
+///  * a run of digits immediately followed by letters is a duration
+///    literal (`10mins`); a bare run of digits is a number;
+///  * identifiers are `[A-Za-z_][A-Za-z0-9_]*`; dots are separate tokens
+///    so the parser can read dotted field paths (`proc.exename`).
+class Lexer {
+ public:
+  explicit Lexer(std::string_view input);
+
+  /// Tokenizes the whole input. On success the final token is kEnd.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Status Error(const std::string& msg) const;
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= input_.size(); }
+
+  std::string_view input_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_LEXER_H_

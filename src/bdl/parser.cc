@@ -1,0 +1,325 @@
+#include "bdl/parser.h"
+
+#include "bdl/lexer.h"
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+Result<AstScript> Parser::Parse(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(tokens.value()));
+  return parser.ParseScript();
+}
+
+const Token& Parser::Peek(size_t ahead) const {
+  const size_t i = pos_ + ahead;
+  return i < tokens_.size() ? tokens_[i] : tokens_.back();
+}
+
+const Token& Parser::Advance() {
+  const Token& t = Peek();
+  if (pos_ + 1 < tokens_.size()) pos_++;
+  return t;
+}
+
+bool Parser::CheckKeyword(std::string_view keyword) const {
+  return Peek().kind == TokenKind::kIdent &&
+         ToLower(Peek().text) == ToLower(keyword);
+}
+
+bool Parser::MatchKeyword(std::string_view keyword) {
+  if (!CheckKeyword(keyword)) return false;
+  Advance();
+  return true;
+}
+
+Status Parser::Expect(TokenKind kind, const char* what) {
+  if (Check(kind)) {
+    Advance();
+    return Status::Ok();
+  }
+  return ErrorHere(std::string("expected ") + TokenKindName(kind) + " (" +
+                   what + "), found " + TokenKindName(Peek().kind) +
+                   (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+}
+
+Status Parser::ErrorHere(const std::string& msg) const {
+  return Status::InvalidArgument("BDL parse error at line " +
+                                 std::to_string(Peek().line) + ", column " +
+                                 std::to_string(Peek().column) + ": " + msg);
+}
+
+Result<AstScript> Parser::ParseScript() {
+  AstScript script;
+
+  // General constraints: `from .. to ..` and/or `in ..`, in any order.
+  for (;;) {
+    if (CheckKeyword("from")) {
+      Advance();
+      if (!Check(TokenKind::kString))
+        return ErrorHere("expected time string after 'from'");
+      script.from_time = Advance().text;
+      if (!MatchKeyword("to")) return ErrorHere("expected 'to' after 'from'");
+      if (!Check(TokenKind::kString))
+        return ErrorHere("expected time string after 'to'");
+      script.to_time = Advance().text;
+      continue;
+    }
+    if (CheckKeyword("in")) {
+      Advance();
+      for (;;) {
+        if (!Check(TokenKind::kString))
+          return ErrorHere("expected host string after 'in'");
+        script.hosts.push_back(Advance().text);
+        if (!Check(TokenKind::kComma)) break;
+        Advance();
+      }
+      continue;
+    }
+    break;
+  }
+
+  // Tracking statement (required).
+  if (auto s = ParseTracking(&script); !s.ok()) return s;
+
+  // Optional clauses, in any order.
+  for (;;) {
+    if (CheckKeyword("where")) {
+      Advance();
+      auto expr = ParseOrExpr();
+      if (!expr.ok()) return expr.status();
+      if (script.where != nullptr) {
+        // Multiple where clauses and-compose.
+        auto combined = std::make_unique<AstExpr>();
+        combined->kind = AstExpr::Kind::kAnd;
+        combined->lhs = std::move(script.where);
+        combined->rhs = std::move(expr.value());
+        script.where = std::move(combined);
+      } else {
+        script.where = std::move(expr.value());
+      }
+      continue;
+    }
+    if (CheckKeyword("prioritize")) {
+      const int line = Peek().line;
+      Advance();
+      AstPrioritize pri;
+      pri.line = line;
+      for (;;) {
+        if (auto s = Expect(TokenKind::kLBracket, "prioritize pattern");
+            !s.ok())
+          return s;
+        auto expr = ParseOrExpr();
+        if (!expr.ok()) return expr.status();
+        if (auto s = Expect(TokenKind::kRBracket, "prioritize pattern");
+            !s.ok())
+          return s;
+        pri.patterns.push_back(std::move(expr.value()));
+        if (!Check(TokenKind::kBackArrow)) break;
+        Advance();
+      }
+      script.prioritize.push_back(std::move(pri));
+      continue;
+    }
+    if (CheckKeyword("output")) {
+      Advance();
+      if (auto s = Expect(TokenKind::kEq, "output assignment"); !s.ok())
+        return s;
+      if (!Check(TokenKind::kString))
+        return ErrorHere("expected path string after 'output ='");
+      script.output_path = Advance().text;
+      continue;
+    }
+    break;
+  }
+
+  if (!Check(TokenKind::kEnd)) {
+    return ErrorHere("unexpected trailing input");
+  }
+  return script;
+}
+
+Status Parser::ParseTracking(AstScript* script) {
+  if (MatchKeyword("forward")) {
+    script->forward = true;
+  } else if (!MatchKeyword("backward")) {
+    return ErrorHere("expected a 'backward' or 'forward' tracking statement");
+  }
+  for (;;) {
+    auto node = ParseNode();
+    if (!node.ok()) return node.status();
+    script->chain.push_back(std::move(node.value()));
+    if (!Check(TokenKind::kArrow)) break;
+    Advance();
+  }
+  if (script->chain.empty()) {
+    return ErrorHere("tracking statement needs at least a starting point");
+  }
+  if (script->chain.front().wildcard) {
+    return ErrorHere("the starting point cannot be '*'");
+  }
+  for (size_t i = 0; i + 1 < script->chain.size(); ++i) {
+    if (script->chain[i].wildcard) {
+      return ErrorHere("'*' may only appear as the end point");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<AstNode> Parser::ParseNode() {
+  AstNode node;
+  node.line = Peek().line;
+  if (Check(TokenKind::kStar)) {
+    Advance();
+    node.wildcard = true;
+    return node;
+  }
+  if (!Check(TokenKind::kIdent)) {
+    return ErrorHere("expected node type (proc|file|ip) or '*'");
+  }
+  node.type_name = ToLower(Advance().text);
+  // Optional variable name before '['.
+  if (Check(TokenKind::kIdent)) {
+    node.var = Advance().text;
+  }
+  if (auto s = Expect(TokenKind::kLBracket, "node condition list"); !s.ok())
+    return s;
+  if (!Check(TokenKind::kRBracket)) {
+    auto expr = ParseOrExpr();
+    if (!expr.ok()) return expr.status();
+    node.cond = std::move(expr.value());
+  }
+  if (auto s = Expect(TokenKind::kRBracket, "node condition list"); !s.ok())
+    return s;
+  return node;
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::ParseOrExpr() {
+  auto lhs = ParseAndExpr();
+  if (!lhs.ok()) return lhs.status();
+  auto node = std::move(lhs.value());
+  while (CheckKeyword("or")) {
+    const int line = Peek().line;
+    Advance();
+    auto rhs = ParseAndExpr();
+    if (!rhs.ok()) return rhs.status();
+    auto parent = std::make_unique<AstExpr>();
+    parent->kind = AstExpr::Kind::kOr;
+    parent->line = line;
+    parent->lhs = std::move(node);
+    parent->rhs = std::move(rhs.value());
+    node = std::move(parent);
+  }
+  return node;
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::ParseAndExpr() {
+  auto lhs = ParsePrimary();
+  if (!lhs.ok()) return lhs.status();
+  auto node = std::move(lhs.value());
+  // `,` inside condition lists acts as a conjunction: Program 4 writes
+  // `[dst_ip = "..", subject_name = ".." and ..]`.
+  while (CheckKeyword("and") || Check(TokenKind::kComma)) {
+    const int line = Peek().line;
+    Advance();
+    auto rhs = ParsePrimary();
+    if (!rhs.ok()) return rhs.status();
+    auto parent = std::make_unique<AstExpr>();
+    parent->kind = AstExpr::Kind::kAnd;
+    parent->line = line;
+    parent->lhs = std::move(node);
+    parent->rhs = std::move(rhs.value());
+    node = std::move(parent);
+  }
+  return node;
+}
+
+Result<std::unique_ptr<AstExpr>> Parser::ParsePrimary() {
+  if (Check(TokenKind::kLParen)) {
+    Advance();
+    auto inner = ParseOrExpr();
+    if (!inner.ok()) return inner.status();
+    if (auto s = Expect(TokenKind::kRParen, "parenthesized condition");
+        !s.ok())
+      return s;
+    return inner;
+  }
+  if (!Check(TokenKind::kIdent)) {
+    return ErrorHere("expected a field name");
+  }
+  auto leaf = std::make_unique<AstExpr>();
+  leaf->kind = AstExpr::Kind::kLeaf;
+  leaf->line = Peek().line;
+  leaf->field_path.push_back(Advance().text);
+  while (Check(TokenKind::kDot)) {
+    Advance();
+    if (!Check(TokenKind::kIdent)) {
+      return ErrorHere("expected a field name after '.'");
+    }
+    leaf->field_path.push_back(Advance().text);
+  }
+
+  switch (Peek().kind) {
+    case TokenKind::kLt: leaf->op = CompareOp::kLt; break;
+    case TokenKind::kLe: leaf->op = CompareOp::kLe; break;
+    case TokenKind::kGt: leaf->op = CompareOp::kGt; break;
+    case TokenKind::kGe: leaf->op = CompareOp::kGe; break;
+    case TokenKind::kEq: leaf->op = CompareOp::kEq; break;
+    case TokenKind::kNe: leaf->op = CompareOp::kNe; break;
+    default:
+      return ErrorHere("expected a comparison operator");
+  }
+  Advance();
+
+  auto value = ParseValue();
+  if (!value.ok()) return value.status();
+  leaf->value = std::move(value.value());
+  return leaf;
+}
+
+Result<AstValue> Parser::ParseValue() {
+  AstValue v;
+  switch (Peek().kind) {
+    case TokenKind::kString:
+      v.kind = AstValue::Kind::kString;
+      v.text = Advance().text;
+      return v;
+    case TokenKind::kNumber:
+      v.kind = AstValue::Kind::kNumber;
+      v.number = Peek().number;
+      v.text = Advance().text;
+      return v;
+    case TokenKind::kDuration:
+      v.kind = AstValue::Kind::kDuration;
+      v.text = Advance().text;
+      return v;
+    case TokenKind::kIdent:
+      v.kind = AstValue::Kind::kIdent;
+      v.text = Advance().text;
+      return v;
+    case TokenKind::kStar:
+      // Bare `*` as a value means "match anything".
+      v.kind = AstValue::Kind::kString;
+      v.text = "*";
+      Advance();
+      return v;
+    default:
+      return ErrorHere("expected a value (string, number, duration)");
+  }
+}
+
+}  // namespace aptrace::bdl

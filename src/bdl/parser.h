@@ -1,0 +1,64 @@
+#ifndef APTRACE_BDL_PARSER_H_
+#define APTRACE_BDL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "bdl/ast.h"
+#include "bdl/token.h"
+#include "util/status.h"
+
+namespace aptrace::bdl {
+
+/// Recursive-descent parser for BDL. Grammar (paper Section III-A):
+///
+///   script      := general* tracking clause*
+///   general     := "from" STRING "to" STRING
+///                | "in" STRING ("," STRING)*
+///   tracking    := "backward" node ("->" node)*
+///   node        := TYPE [IDENT] "[" or_expr "]" | "*"
+///   clause      := "where" or_expr
+///                | "prioritize" "[" or_expr "]" ("<-" "[" or_expr "]")*
+///                | "output" "=" STRING
+///   or_expr     := and_expr ("or" and_expr)*
+///   and_expr    := primary ("and" primary)*
+///   primary     := "(" or_expr ")" | path OP value
+///   path        := IDENT ("." IDENT)*
+///   value       := STRING | NUMBER | DURATION | IDENT
+///
+/// Keywords are case-insensitive. TYPE is proc|file|ip (plus `network` as
+/// an alias of ip inside prioritize patterns, matching Program 2).
+class Parser {
+ public:
+  /// Parses `text` into an AST.
+  static Result<AstScript> Parse(std::string_view text);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<AstScript> ParseScript();
+  Status ParseGeneral(AstScript* script);
+  Status ParseTracking(AstScript* script);
+  Result<AstNode> ParseNode();
+  Result<std::unique_ptr<AstExpr>> ParseOrExpr();
+  Result<std::unique_ptr<AstExpr>> ParseAndExpr();
+  Result<std::unique_ptr<AstExpr>> ParsePrimary();
+  Result<AstValue> ParseValue();
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  /// True (and consumes) if the current token is an identifier equal to
+  /// `keyword` case-insensitively.
+  bool MatchKeyword(std::string_view keyword);
+  bool CheckKeyword(std::string_view keyword) const;
+  Status Expect(TokenKind kind, const char* what);
+  Status ErrorHere(const std::string& msg) const;
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_PARSER_H_

@@ -1,0 +1,94 @@
+#ifndef APTRACE_BDL_SPEC_H_
+#define APTRACE_BDL_SPEC_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bdl/ast.h"
+#include "bdl/condition.h"
+#include "event/object.h"
+#include "util/clock.h"
+
+namespace aptrace::bdl {
+
+/// Tracking direction. The paper's contribution is backward (provenance)
+/// tracking; forward tracking — "what did the compromise taint?" — is the
+/// standard companion analysis (King & Chen 2003 §5) and shares the whole
+/// machinery with the data-flow arrows reversed.
+enum class TrackDirection : uint8_t { kBackward, kForward };
+
+const char* TrackDirectionName(TrackDirection d);
+
+/// A compiled node of the tracking statement chain n1 -> n2 -> ... -> nk.
+struct NodePattern {
+  bool wildcard = false;
+  std::optional<ObjectType> type;  // engaged unless wildcard
+  std::string var;
+  std::shared_ptr<const Condition> cond;  // may be null (no conditions)
+
+  /// True if the object (in the context of `ctx.event`, when present)
+  /// satisfies this pattern.
+  bool Matches(const EvalContext& ctx) const;
+};
+
+/// Compiled `prioritize` rule (paper Program 2): a chain of event patterns
+/// p0 <- p1 <- ..., meaning an event matching p_{i+1} feeds the source of
+/// an event matching p_i. `amount_vs_upstream` encodes the quantity clause
+/// `amount >= size`: the downstream event must move at least as many bytes
+/// as the upstream one.
+struct QuantityRule {
+  struct EventPattern {
+    std::optional<ObjectType> object_type;  // from a `type = ...` clause
+    std::shared_ptr<const Condition> cond;  // may be null
+    bool amount_vs_upstream = false;
+    CompareOp amount_op = CompareOp::kGe;
+  };
+  std::vector<EventPattern> chain;
+};
+
+/// The Refiner's compiled "metadata": everything the Executor needs to run
+/// one backtracking analysis (paper Figure 3).
+struct TrackingSpec {
+  TrackDirection direction = TrackDirection::kBackward;
+
+  /// General constraints; unset means "default range" (the engine
+  /// substitutes the store's full time span).
+  std::optional<TimeMicros> time_from;
+  std::optional<TimeMicros> time_to;
+  /// Host name patterns (lowercased); empty = all hosts.
+  std::vector<std::string> hosts;
+
+  /// chain[0] is the starting point (never wildcard), chain.back() the end
+  /// point (may be wildcard), the rest intermediate points.
+  std::vector<NodePattern> chain;
+
+  /// Object filter from the where statement (kNA-neutral semantics);
+  /// null = keep everything.
+  std::shared_ptr<const Condition> where;
+
+  /// Termination budgets from `where time <= ...` / `where hop <= ...`;
+  /// negative = unlimited.
+  DurationMicros time_budget = -1;
+  int hop_limit = -1;
+
+  std::vector<QuantityRule> prioritize;
+
+  /// From `output = "path"`; empty = no DOT dump.
+  std::string output_path;
+
+  /// Original script text (for diffs and error reporting).
+  std::string source_text;
+
+  size_t NumIntermediatePoints() const {
+    return chain.size() >= 2 ? chain.size() - 2 : 0;
+  }
+  bool HasEndConstraint() const {
+    return chain.size() >= 2 && !chain.back().wildcard;
+  }
+};
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_SPEC_H_

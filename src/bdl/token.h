@@ -1,0 +1,45 @@
+#ifndef APTRACE_BDL_TOKEN_H_
+#define APTRACE_BDL_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aptrace::bdl {
+
+/// Lexical token kinds of the Backtracking Descriptive Language.
+enum class TokenKind : uint8_t {
+  kIdent,     // keywords and field names; keyword-ness decided by parser
+  kString,    // "..." literal (also used for time literals)
+  kNumber,    // integer literal
+  kDuration,  // e.g. 10mins, 30s (digits immediately followed by letters)
+  kLt,        // <
+  kLe,        // <=
+  kGt,        // >
+  kGe,        // >=
+  kEq,        // =
+  kNe,        // !=
+  kArrow,     // ->
+  kBackArrow, // <-
+  kComma,     // ,
+  kDot,       // .
+  kStar,      // *
+  kLBracket,  // [
+  kRBracket,  // ]
+  kLParen,    // (
+  kRParen,    // )
+  kEnd,       // end of input
+};
+
+const char* TokenKindName(TokenKind k);
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // raw text (string literals are unquoted)
+  int64_t number = 0;  // for kNumber
+  int line = 1;        // 1-based source position, for error messages
+  int column = 1;
+};
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_TOKEN_H_

@@ -1,0 +1,73 @@
+#ifndef APTRACE_CORE_BACKTRACK_ENGINE_H_
+#define APTRACE_CORE_BACKTRACK_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "core/context.h"
+#include "core/update_log.h"
+#include "graph/dep_graph.h"
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// Why a Run() call returned.
+enum class StopReason : uint8_t {
+  kCompleted,      // nothing left to explore
+  kTimeBudget,     // the spec's `where time <= ...` budget was exhausted
+  kExternalLimit,  // the caller's per-step sim-time limit was hit
+  kUpdateCap,      // the caller's per-step update cap was hit
+  kStopped,        // the caller's should_stop() returned true
+};
+
+const char* StopReasonName(StopReason r);
+
+/// Per-Run() stop criteria. A Run is resumable: calling Run again
+/// continues from the exact point the previous call stopped at.
+struct RunLimits {
+  /// Stop after this much simulated time in this Run call; -1 = none.
+  DurationMicros sim_time = -1;
+
+  /// Stop after this many graph updates in this Run call; 0 = unlimited.
+  size_t max_updates = 0;
+
+  /// Checked between work units; return true to pause.
+  std::function<bool()> should_stop;
+
+  /// Invoked after each update batch becomes visible.
+  std::function<void(const UpdateBatch&)> on_update;
+};
+
+/// Counters one engine run accumulates (across resumes).
+struct RunStats {
+  uint64_t work_units = 0;      // windows (APTrace) or node queries (baseline)
+  uint64_t events_added = 0;
+  uint64_t events_filtered = 0;  // dropped by host/where filters
+  uint64_t objects_excluded = 0; // distinct objects deleted by the where filter
+  TimeMicros run_start = 0;      // sim time at bootstrap
+};
+
+/// Common interface of the two backtracking engines: the responsive
+/// Executor (execution-window partitioning, Algorithm 1) and the
+/// execute-to-complete BaselineExecutor (King & Chen).
+class BacktrackEngine {
+ public:
+  virtual ~BacktrackEngine() = default;
+
+  /// Runs until a limit triggers or exploration completes. Resumable.
+  virtual StopReason Run(const RunLimits& limits) = 0;
+
+  /// True when there is nothing left to explore (Run would return
+  /// kCompleted immediately).
+  virtual bool Exhausted() const = 0;
+
+  virtual const DepGraph& graph() const = 0;
+  virtual DepGraph* mutable_graph() = 0;
+  virtual const UpdateLog& update_log() const = 0;
+  virtual const RunStats& stats() const = 0;
+  virtual const TrackingContext& context() const = 0;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_BACKTRACK_ENGINE_H_

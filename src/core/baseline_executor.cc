@@ -1,0 +1,159 @@
+#include "core/baseline_executor.h"
+
+#include <algorithm>
+
+namespace aptrace {
+
+BaselineExecutor::BaselineExecutor(TrackingContext ctx, Clock* clock)
+    : ctx_(std::move(ctx)), clock_(clock) {}
+
+bool BaselineExecutor::forward() const {
+  return ctx_.spec.direction == bdl::TrackDirection::kForward;
+}
+
+void BaselineExecutor::Bootstrap() {
+  stats_.run_start = clock_->NowMicros();
+  log_.SetRunStart(stats_.run_start);
+  graph_.SetStart(ctx_.start_node);
+  graph_.AddEventEdge(ctx_.start_event);
+  Want(forward() ? ctx_.start_event.FlowDest()
+                 : ctx_.start_event.FlowSource(),
+       ctx_.start_event.timestamp);
+  bootstrapped_ = true;
+}
+
+void BaselineExecutor::Want(ObjectId object, TimeMicros t) {
+  if (excluded_.count(object)) return;
+  if (forward()) {
+    // Forward: explore the object's future from just after t; the bound
+    // only ever moves earlier.
+    const TimeMicros from = t + 1;
+    auto [it, inserted] = explore_until_.try_emplace(object, from);
+    if (!inserted) it->second = std::min(it->second, from);
+    auto cov = covered_until_.find(object);
+    const TimeMicros covered =
+        cov == covered_until_.end() ? ctx_.te : cov->second;
+    if (it->second >= covered) return;  // nothing new to scan
+  } else {
+    auto [it, inserted] = explore_until_.try_emplace(object, t);
+    if (!inserted) it->second = std::max(it->second, t);
+    auto cov = covered_until_.find(object);
+    const TimeMicros covered =
+        cov == covered_until_.end() ? ctx_.ts : cov->second;
+    if (it->second <= covered) return;  // nothing new to scan
+  }
+  if (pending_.insert(object).second) frontier_.push_back(object);
+}
+
+StopReason BaselineExecutor::Run(const RunLimits& limits) {
+  if (!bootstrapped_) Bootstrap();
+  const TimeMicros step_start = clock_->NowMicros();
+  size_t updates_this_step = 0;
+  const ObjectCatalog& catalog = ctx_.store->catalog();
+
+  while (!frontier_.empty()) {
+    if (limits.should_stop && limits.should_stop()) return StopReason::kStopped;
+    const TimeMicros now = clock_->NowMicros();
+    if (ctx_.spec.time_budget >= 0 &&
+        now - stats_.run_start >= ctx_.spec.time_budget) {
+      return StopReason::kTimeBudget;
+    }
+    if (limits.sim_time >= 0 && now - step_start >= limits.sim_time) {
+      return StopReason::kExternalLimit;
+    }
+    if (limits.max_updates != 0 && updates_this_step >= limits.max_updates) {
+      return StopReason::kUpdateCap;
+    }
+
+    const ObjectId frontier = frontier_.front();
+    frontier_.pop_front();
+    pending_.erase(frontier);
+    if (excluded_.count(frontier)) continue;
+    if (ctx_.spec.hop_limit >= 0 && graph_.HasNode(frontier) &&
+        graph_.GetNode(frontier).hop + 1 > ctx_.spec.hop_limit) {
+      continue;
+    }
+
+    TimeMicros begin;
+    TimeMicros end;
+    if (forward()) {
+      auto cov = covered_until_.try_emplace(frontier, ctx_.te).first;
+      begin = explore_until_[frontier];
+      end = cov->second;
+      if (begin >= end) continue;
+      cov->second = begin;
+    } else {
+      auto cov = covered_until_.try_emplace(frontier, ctx_.ts).first;
+      begin = cov->second;
+      end = explore_until_[frontier];
+      if (begin >= end) continue;
+      cov->second = end;
+    }
+
+    // ONE monolithic query over the object's whole relevant history: this
+    // is what execution-window partitioning replaces.
+    size_t batch_edges = 0;
+    size_t batch_nodes = 0;
+    // Heuristic filters are pushed into the query, same as the responsive
+    // engine, so the comparison isolates the partitioning strategy.
+    const bool fwd = forward();
+    const auto discovered = [fwd](const Event& e) {
+      return fwd ? e.FlowDest() : e.FlowSource();
+    };
+    const auto filter = [&](const Event& e) {
+      if (!ctx_.HostAllowed(e.host)) {
+        stats_.events_filtered++;
+        return false;
+      }
+      const ObjectId fresh = discovered(e);
+      if (excluded_.count(fresh)) {
+        stats_.events_filtered++;
+        return false;
+      }
+      if (!ctx_.IsAnchor(fresh) && !ctx_.WhereKeeps(catalog.Get(fresh), &e)) {
+        excluded_.insert(fresh);
+        stats_.objects_excluded++;
+        stats_.events_filtered++;
+        return false;
+      }
+      return true;
+    };
+    const auto visit = [&](const Event& e) {
+      const ObjectId fresh = discovered(e);
+      const ObjectId known = fwd ? e.FlowSource() : e.FlowDest();
+      if (ctx_.spec.hop_limit >= 0 && !graph_.HasNode(fresh) &&
+          graph_.HopOf(known) + 1 > ctx_.spec.hop_limit) {
+        stats_.events_filtered++;
+        return;
+      }
+      const DepGraph::AddResult res = graph_.AddEventEdge(e);
+      if (res == DepGraph::AddResult::kDuplicate) return;
+      batch_edges++;
+      if (res == DepGraph::AddResult::kNewEdgeAndNode) batch_nodes++;
+      stats_.events_added++;
+      Want(fresh, e.timestamp);
+    };
+    if (fwd) {
+      ctx_.store->ScanSrc(frontier, begin, end, clock_, visit, filter);
+    } else {
+      ctx_.store->ScanDest(frontier, begin, end, clock_, visit, filter);
+    }
+    stats_.work_units++;
+
+    // Execute-to-complete: the whole batch becomes visible only now.
+    if (batch_edges > 0) {
+      UpdateBatch batch;
+      batch.sim_time = clock_->NowMicros();
+      batch.new_edges = batch_edges;
+      batch.new_nodes = batch_nodes;
+      batch.total_edges = graph_.NumEdges();
+      batch.total_nodes = graph_.NumNodes();
+      log_.Add(batch);
+      updates_this_step++;
+      if (limits.on_update) limits.on_update(batch);
+    }
+  }
+  return StopReason::kCompleted;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,62 @@
+#ifndef APTRACE_CORE_BASELINE_EXECUTOR_H_
+#define APTRACE_CORE_BASELINE_EXECUTOR_H_
+
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/backtrack_engine.h"
+
+namespace aptrace {
+
+/// The baseline backtracking engine (King & Chen, "Backtracking
+/// Intrusions", SOSP'03) as the paper evaluates it: a breadth-first search
+/// over objects where each explored object issues ONE query over its whole
+/// relevant history. Results of a query become visible only when the query
+/// completes ("execute-to-complete"), so a dependency-explosion node
+/// blocks the analyst for the full scan duration — the behaviour Table II
+/// and Figure 4 quantify.
+///
+/// Honors the same spec filters (host range, where statement, hop and time
+/// budgets) so heuristic comparisons are apples-to-apples.
+class BaselineExecutor : public BacktrackEngine {
+ public:
+  BaselineExecutor(TrackingContext ctx, Clock* clock);
+
+  StopReason Run(const RunLimits& limits) override;
+  bool Exhausted() const override {
+    return bootstrapped_ && frontier_.empty();
+  }
+
+  const DepGraph& graph() const override { return graph_; }
+  DepGraph* mutable_graph() override { return &graph_; }
+  const UpdateLog& update_log() const override { return log_; }
+  const RunStats& stats() const override { return stats_; }
+  const TrackingContext& context() const override { return ctx_; }
+
+ private:
+  void Bootstrap();
+  /// Marks the object as needing exploration up to (backward) or from
+  /// just after (forward) time `t`; enqueues it if it is not already
+  /// pending.
+  void Want(ObjectId object, TimeMicros t);
+  bool forward() const;
+
+  TrackingContext ctx_;
+  Clock* clock_;
+  DepGraph graph_;
+  UpdateLog log_;
+  RunStats stats_;
+  std::deque<ObjectId> frontier_;
+  std::unordered_set<ObjectId> pending_;      // objects in frontier_
+  // Direction-dependent watermarks: backward = explore/covered grow
+  // upward from ctx.ts; forward = they shrink downward from ctx.te.
+  std::unordered_map<ObjectId, TimeMicros> explore_until_;
+  std::unordered_map<ObjectId, TimeMicros> covered_until_;
+  std::unordered_set<ObjectId> excluded_;
+  bool bootstrapped_ = false;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_BASELINE_EXECUTOR_H_

@@ -1,0 +1,189 @@
+#include "core/context.h"
+
+#include <algorithm>
+
+#include "util/wildcard.h"
+
+namespace aptrace {
+
+namespace {
+
+using bdl::Condition;
+using bdl::EvalContext;
+
+/// Walks a condition tree looking for an `event_time = <t>` equality leaf
+/// in a conjunctive position; used to narrow the start-point scan.
+std::optional<TimeMicros> FindEventTimeEquality(const Condition* cond) {
+  if (cond == nullptr) return std::nullopt;
+  switch (cond->kind()) {
+    case Condition::Kind::kLeaf: {
+      const auto& leaf = cond->leaf();
+      if (leaf.field == FieldId::kEventTime &&
+          leaf.op == bdl::CompareOp::kEq && leaf.int_value.has_value()) {
+        return *leaf.int_value;
+      }
+      return std::nullopt;
+    }
+    case Condition::Kind::kAnd: {
+      if (auto t = FindEventTimeEquality(cond->lhs()); t.has_value()) return t;
+      return FindEventTimeEquality(cond->rhs());
+    }
+    case Condition::Kind::kOr:
+      // Under `or` the equality would not be a guaranteed bound.
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+/// Tests the event against the chain's first pattern, returning the
+/// endpoint object that satisfied it (flow destination preferred, since
+/// the starting node is normally what the alert wrote to).
+std::optional<ObjectId> MatchStartNode(const Event& e,
+                                       const bdl::NodePattern& pattern,
+                                       const ObjectCatalog& catalog,
+                                       const DerivedAttrs* derived) {
+  ObjectId candidates[2] = {e.FlowDest(), e.FlowSource()};
+  for (int i = 0; i < 2; ++i) {
+    if (i == 1 && candidates[1] == candidates[0]) break;
+    EvalContext ctx;
+    const SystemObject& obj = catalog.Get(candidates[i]);
+    ctx.object = &obj;
+    ctx.event = &e;
+    ctx.catalog = &catalog;
+    ctx.derived = derived;
+    if (pattern.Matches(ctx)) return candidates[i];
+  }
+  return std::nullopt;
+}
+
+/// Resolves the spec's host name patterns into a HostId set; nullopt when
+/// the spec has no host constraint.
+std::optional<std::unordered_set<HostId>> ResolveHostFilter(
+    const EventStore& store, const bdl::TrackingSpec& spec) {
+  if (spec.hosts.empty()) return std::nullopt;
+  std::unordered_set<HostId> ids;
+  std::vector<WildcardMatcher> matchers;
+  matchers.reserve(spec.hosts.size());
+  for (const std::string& h : spec.hosts) matchers.emplace_back(h);
+  const size_t n = store.catalog().NumHosts();
+  for (size_t i = 0; i < n; ++i) {
+    const HostId id = static_cast<HostId>(i);
+    const std::string& name = store.catalog().HostName(id);
+    for (const auto& m : matchers) {
+      if (m.Matches(name)) {
+        ids.insert(id);
+        break;
+      }
+    }
+  }
+  return ids;
+}
+
+struct ResolvedRange {
+  TimeMicros ts;
+  TimeMicros te;
+};
+
+ResolvedRange ResolveRange(const EventStore& store,
+                           const bdl::TrackingSpec& spec) {
+  // The store's span, half-open (+1 so the last event is included).
+  TimeMicros ts = store.MinTime();
+  TimeMicros te = store.MaxTime() + 1;
+  if (spec.time_from.has_value()) ts = std::max(ts, *spec.time_from);
+  if (spec.time_to.has_value()) te = std::min(te, *spec.time_to);
+  return {ts, te};
+}
+
+}  // namespace
+
+bool TrackingContext::WhereKeeps(const SystemObject& object,
+                                 const Event* event) const {
+  EvalContext ctx;
+  ctx.object = &object;
+  ctx.event = event;
+  ctx.catalog = &store->catalog();
+  ctx.derived = derived.get();
+  return bdl::ConditionKeeps(spec.where.get(), ctx);
+}
+
+std::vector<StartMatch> FindStartEvents(const EventStore& store,
+                                        const bdl::TrackingSpec& spec,
+                                        Clock* clock, size_t limit) {
+  std::vector<StartMatch> out;
+  if (spec.chain.empty()) return out;
+  const bdl::NodePattern& pattern = spec.chain.front();
+  const auto [ts, te] = ResolveRange(store, spec);
+  if (ts >= te) return out;
+
+  // Narrow the scan when the pattern pins event_time exactly.
+  TimeMicros scan_lo = ts;
+  TimeMicros scan_hi = te;
+  if (auto t = FindEventTimeEquality(pattern.cond.get()); t.has_value()) {
+    scan_lo = std::max(ts, *t);
+    scan_hi = std::min(te, *t + 1);
+  }
+
+  const auto host_filter = ResolveHostFilter(store, spec);
+  StoreDerivedAttrs derived(&store, ts, te);
+
+  store.ScanRange(scan_lo, scan_hi, clock, [&](const Event& e) {
+    if (out.size() >= limit) return;
+    if (host_filter.has_value() && host_filter->count(e.host) == 0) return;
+    if (auto node = MatchStartNode(e, pattern, store.catalog(), &derived);
+        node.has_value()) {
+      out.push_back({e, *node});
+    }
+  });
+  return out;
+}
+
+Result<TrackingContext> ResolveContext(const EventStore& store,
+                                       bdl::TrackingSpec spec, Clock* clock,
+                                       std::optional<Event> start_override) {
+  if (!store.sealed()) {
+    return Status::FailedPrecondition("event store is not sealed");
+  }
+  if (store.NumEvents() == 0) {
+    return Status::FailedPrecondition("event store is empty");
+  }
+  if (spec.chain.empty()) {
+    return Status::InvalidArgument("tracking spec has no starting point");
+  }
+
+  TrackingContext ctx;
+  ctx.store = &store;
+  const auto [ts, te] = ResolveRange(store, spec);
+  if (ts >= te) {
+    return Status::InvalidArgument(
+        "the spec's time range does not intersect the store's span");
+  }
+  ctx.ts = ts;
+  ctx.te = te;
+  ctx.host_filter = ResolveHostFilter(store, spec);
+  ctx.derived = std::make_shared<StoreDerivedAttrs>(&store, ts, te);
+
+  if (start_override.has_value()) {
+    if (start_override->timestamp < ts || start_override->timestamp >= te) {
+      return Status::InvalidArgument(
+          "the injected starting event lies outside the spec's time range");
+    }
+    ctx.start_event = *start_override;
+    auto node = MatchStartNode(*start_override, spec.chain.front(),
+                               store.catalog(), ctx.derived.get());
+    // An injected start event need not match the pattern (the experiment
+    // harness uses arbitrary alerts); default to the flow destination.
+    ctx.start_node = node.value_or(start_override->FlowDest());
+  } else {
+    auto matches = FindStartEvents(store, spec, clock, /*limit=*/1);
+    if (matches.empty()) {
+      return Status::NotFound(
+          "no event matches the starting-point pattern in the given range");
+    }
+    ctx.start_event = matches.front().event;
+    ctx.start_node = matches.front().node;
+  }
+  ctx.spec = std::move(spec);
+  return ctx;
+}
+
+}  // namespace aptrace

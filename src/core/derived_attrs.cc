@@ -1,0 +1,27 @@
+#include "core/derived_attrs.h"
+
+namespace aptrace {
+
+bool StoreDerivedAttrs::IsReadOnly(ObjectId file) const {
+  auto it = read_only_cache_.find(file);
+  if (it != read_only_cache_.end()) return it->second;
+  const bool result = !store_->HasIncomingWrite(file, begin_, end_);
+  read_only_cache_.emplace(file, result);
+  return result;
+}
+
+bool StoreDerivedAttrs::IsWriteThrough(ObjectId proc) const {
+  auto it = write_through_cache_.find(proc);
+  if (it != write_through_cache_.end()) return it->second;
+  const std::vector<ObjectId> dests = store_->FlowDestsOf(proc, begin_, end_);
+  bool result = !dests.empty();
+  if (dests.size() != 1) {
+    result = false;
+  } else {
+    result = store_->catalog().Get(dests[0]).is_process();
+  }
+  write_through_cache_.emplace(proc, result);
+  return result;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,25 @@
+#include "core/engine.h"
+
+namespace aptrace {
+
+Result<RunReport> RunBdlScript(const EventStore& store, Clock* clock,
+                               std::string_view bdl_text,
+                               const SessionOptions& options,
+                               const RunLimits& limits,
+                               std::optional<Event> start_override) {
+  Session session(&store, clock, options);
+  if (auto s = session.Start(bdl_text, start_override); !s.ok()) return s;
+  auto reason = session.Step(limits);
+  if (!reason.ok()) return reason.status();
+  if (auto s = session.Finish(); !s.ok()) return s;
+
+  RunReport report;
+  report.reason = reason.value();
+  report.graph_nodes = session.graph().NumNodes();
+  report.graph_edges = session.graph().NumEdges();
+  report.log = session.update_log();
+  report.stats = session.stats();
+  return report;
+}
+
+}  // namespace aptrace

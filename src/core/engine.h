@@ -1,0 +1,47 @@
+#ifndef APTRACE_CORE_ENGINE_H_
+#define APTRACE_CORE_ENGINE_H_
+
+/// \file
+/// Public entry point of the APTrace library.
+///
+/// Most applications use the interactive Session (core/session.h) for the
+/// paper's monitor / pause / refine / resume workflow. This header adds a
+/// one-shot convenience for batch use and pulls in the full public API.
+
+#include <optional>
+#include <string_view>
+
+#include "bdl/analyzer.h"
+#include "core/baseline_executor.h"
+#include "core/executor.h"
+#include "core/refiner.h"
+#include "core/resource_model.h"
+#include "core/session.h"
+#include "graph/dot_writer.h"
+#include "storage/event_store.h"
+
+namespace aptrace {
+
+/// Result of a one-shot script run.
+struct RunReport {
+  StopReason reason = StopReason::kCompleted;
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  UpdateLog log;
+  RunStats stats;
+};
+
+/// Compiles and runs a BDL script to completion (or until `limits`
+/// trigger), finalizes the result (path pruning + DOT output), and
+/// returns a report. `clock` drives and accumulates the simulated cost;
+/// pass a fresh SimClock for an isolated measurement.
+Result<RunReport> RunBdlScript(const EventStore& store, Clock* clock,
+                               std::string_view bdl_text,
+                               const SessionOptions& options = {},
+                               const RunLimits& limits = {},
+                               std::optional<Event> start_override =
+                                   std::nullopt);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_ENGINE_H_

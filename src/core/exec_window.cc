@@ -1,0 +1,80 @@
+#include "core/exec_window.h"
+
+#include <algorithm>
+
+namespace aptrace {
+
+std::vector<ExecWindow> GenExeWindows(const Event& e, TimeMicros global_start,
+                                      TimeMicros clip_begin, int k) {
+  std::vector<ExecWindow> out;
+  const TimeMicros ts = global_start;
+  const TimeMicros te = e.timestamp;
+  const TimeMicros clip = std::max(clip_begin, ts);
+  if (k < 1 || clip >= te) return out;
+
+  // sigma = (te - ts) / (2^k - 1), at least one microsecond.
+  const TimeMicros total = te - ts;
+  const TimeMicros denom =
+      (k >= 62) ? total : ((static_cast<TimeMicros>(1) << k) - 1);
+  TimeMicros sigma = denom > 0 ? total / denom : 1;
+  if (sigma < 1) sigma = 1;
+
+  TimeMicros end = te;
+  for (int i = 0; i < k && end > clip; ++i) {
+    TimeMicros len = sigma << i;
+    if (len <= 0) len = total;  // shift overflow guard for very large k
+    TimeMicros begin = end - len;
+    if (i == k - 1 || begin < ts) begin = ts;  // absorb rounding remainder
+    const TimeMicros clipped_begin = std::max(begin, clip);
+    if (clipped_begin < end) {
+      ExecWindow w;
+      w.begin = clipped_begin;
+      w.finish = end;
+      w.dep_event = e.id;
+      w.frontier = e.FlowSource();
+      w.priority_key = w.finish;
+      out.push_back(w);
+    }
+    end = begin;
+  }
+  return out;
+}
+
+std::vector<ExecWindow> GenExeWindowsForward(const Event& e,
+                                             TimeMicros global_end,
+                                             TimeMicros clip_end, int k) {
+  std::vector<ExecWindow> out;
+  // Forward dependencies are strictly later than the event itself.
+  const TimeMicros ts = e.timestamp + 1;
+  const TimeMicros te = global_end;
+  const TimeMicros clip = std::min(clip_end, te);
+  if (k < 1 || ts >= clip) return out;
+
+  const TimeMicros total = te - ts;
+  const TimeMicros denom =
+      (k >= 62) ? total : ((static_cast<TimeMicros>(1) << k) - 1);
+  TimeMicros sigma = denom > 0 ? total / denom : 1;
+  if (sigma < 1) sigma = 1;
+
+  TimeMicros begin = ts;
+  for (int i = 0; i < k && begin < clip; ++i) {
+    TimeMicros len = sigma << i;
+    if (len <= 0) len = total;  // shift overflow guard
+    TimeMicros end = begin + len;
+    if (i == k - 1 || end > te) end = te;  // absorb rounding remainder
+    const TimeMicros clipped_end = std::min(end, clip);
+    if (begin < clipped_end) {
+      ExecWindow w;
+      w.begin = begin;
+      w.finish = clipped_end;
+      w.dep_event = e.id;
+      w.frontier = e.FlowDest();
+      w.priority_key = -w.begin;
+      out.push_back(w);
+    }
+    begin = end;
+  }
+  return out;
+}
+
+}  // namespace aptrace

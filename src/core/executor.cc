@@ -1,0 +1,265 @@
+#include "core/executor.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace aptrace {
+
+const char* StopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::kCompleted: return "completed";
+    case StopReason::kTimeBudget: return "time-budget";
+    case StopReason::kExternalLimit: return "external-limit";
+    case StopReason::kUpdateCap: return "update-cap";
+    case StopReason::kStopped: return "stopped";
+  }
+  return "?";
+}
+
+Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
+                   bool temporal_priority, bool coverage_dedup)
+    : ctx_(std::move(ctx)),
+      clock_(clock),
+      k_(std::max(1, num_windows_k)),
+      coverage_dedup_(coverage_dedup),
+      maintainer_(&ctx_, &graph_),
+      queue_(ExecWindowLess{temporal_priority}) {}
+
+void Executor::Bootstrap() {
+  stats_.run_start = clock_->NowMicros();
+  log_.SetRunStart(stats_.run_start);
+  graph_.SetStart(ctx_.start_node);
+  // G <- e0 (Algorithm 1 line 1): the alert edge seeds the graph...
+  graph_.AddEventEdge(ctx_.start_event);
+  const int state = maintainer_.OnEdgeAdded(ctx_.start_event);
+  // ...and its execution windows seed the queue.
+  EnqueueWindowsFor(ctx_.start_event, state);
+  bootstrapped_ = true;
+}
+
+void Executor::EnqueueWindowsFor(const Event& e, int state) {
+  const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
+  // The object whose history the windows will scan: backward tracking
+  // explores the event's flow source; forward tracking its destination.
+  const ObjectId frontier = forward ? e.FlowDest() : e.FlowSource();
+  if (excluded_.count(frontier)) return;
+  // Coverage watermark: backward = highest finish already scheduled
+  // (grows toward the start event); forward = lowest begin already
+  // scheduled (grows toward the trace end).
+  auto [it, inserted] =
+      covered_until_.try_emplace(frontier, forward ? ctx_.te : ctx_.ts);
+  const TimeMicros covered =
+      coverage_dedup_ ? it->second : (forward ? ctx_.te : ctx_.ts);
+  std::vector<ExecWindow> windows =
+      forward ? GenExeWindowsForward(e, ctx_.te, covered, k_)
+              : GenExeWindows(e, ctx_.ts, covered, k_);
+  if (windows.empty()) return;
+  if (forward) {
+    it->second = std::min(it->second, e.timestamp + 1);
+  } else {
+    it->second = std::max(it->second, e.timestamp);
+  }
+  const int hop = graph_.HasNode(frontier) ? graph_.GetNode(frontier).hop : 0;
+  const bool boosted = maintainer_.IsBoosted(frontier);
+  for (ExecWindow& w : windows) {
+    w.hop = hop;
+    w.state = state;
+    w.boosted = boosted;
+    w.seq = seq_++;
+    queue_.push(w);
+  }
+}
+
+void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
+                             size_t* batch_nodes) {
+  const ObjectCatalog& catalog = ctx_.store->catalog();
+  const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
+  // The newly discovered endpoint of a scanned event: its flow source
+  // when tracking backward, its flow destination when tracking forward.
+  const auto discovered = [forward](const Event& e) {
+    return forward ? e.FlowDest() : e.FlowSource();
+  };
+  // The host range and where-filter are pushed into the query itself (the
+  // Refiner compiles them into the executable metadata): rows they reject
+  // are discarded server-side at a fraction of the fetch cost.
+  const auto filter = [&](const Event& e) {
+    if (!ctx_.HostAllowed(e.host)) {
+      stats_.events_filtered++;
+      return false;
+    }
+    const ObjectId fresh = discovered(e);
+    if (excluded_.count(fresh)) {
+      stats_.events_filtered++;
+      return false;
+    }
+    if (!ctx_.IsAnchor(fresh) && !ctx_.WhereKeeps(catalog.Get(fresh), &e)) {
+      // "deleted from the tracking analysis without further exploration"
+      // (paper Section III-A1).
+      excluded_.insert(fresh);
+      stats_.objects_excluded++;
+      stats_.events_filtered++;
+      return false;
+    }
+    return true;
+  };
+  const auto visit = [&](const Event& e) {
+    // Hop budget: do not extend paths beyond the limit.
+    const ObjectId fresh = discovered(e);
+    const ObjectId known = forward ? e.FlowSource() : e.FlowDest();
+    if (ctx_.spec.hop_limit >= 0 && !graph_.HasNode(fresh) &&
+        graph_.HopOf(known) + 1 > ctx_.spec.hop_limit) {
+      stats_.events_filtered++;
+      return;
+    }
+    const DepGraph::AddResult res = graph_.AddEventEdge(e);
+    if (res == DepGraph::AddResult::kDuplicate) return;
+    (*batch_edges)++;
+    if (res == DepGraph::AddResult::kNewEdgeAndNode) (*batch_nodes)++;
+    stats_.events_added++;
+    const int state = maintainer_.OnEdgeAdded(e);
+    EnqueueWindowsFor(e, state);
+  };
+  if (forward) {
+    ctx_.store->ScanSrc(w.frontier, w.begin, w.finish, clock_, visit, filter);
+  } else {
+    ctx_.store->ScanDest(w.frontier, w.begin, w.finish, clock_, visit,
+                         filter);
+  }
+  stats_.work_units++;
+}
+
+StopReason Executor::Run(const RunLimits& limits) {
+  if (!bootstrapped_) Bootstrap();
+  const TimeMicros step_start = clock_->NowMicros();
+  size_t updates_this_step = 0;
+
+  while (!queue_.empty()) {
+    if (limits.should_stop && limits.should_stop()) return StopReason::kStopped;
+    const TimeMicros now = clock_->NowMicros();
+    if (ctx_.spec.time_budget >= 0 &&
+        now - stats_.run_start >= ctx_.spec.time_budget) {
+      return StopReason::kTimeBudget;
+    }
+    if (limits.sim_time >= 0 && now - step_start >= limits.sim_time) {
+      return StopReason::kExternalLimit;
+    }
+    if (limits.max_updates != 0 && updates_this_step >= limits.max_updates) {
+      return StopReason::kUpdateCap;
+    }
+
+    const ExecWindow w = queue_.top();
+    queue_.pop();
+    // Stale windows: the frontier may have been excluded or pruned since
+    // this window was enqueued.
+    if (excluded_.count(w.frontier)) continue;
+    if (ctx_.spec.hop_limit >= 0 && graph_.HasNode(w.frontier) &&
+        graph_.GetNode(w.frontier).hop + 1 > ctx_.spec.hop_limit) {
+      // "stops exploring the path and switches to other shorter paths".
+      continue;
+    }
+
+    size_t batch_edges = 0;
+    size_t batch_nodes = 0;
+    ProcessWindow(w, &batch_edges, &batch_nodes);
+    if (batch_edges > 0) {
+      UpdateBatch batch;
+      batch.sim_time = clock_->NowMicros();
+      batch.new_edges = batch_edges;
+      batch.new_nodes = batch_nodes;
+      batch.total_edges = graph_.NumEdges();
+      batch.total_nodes = graph_.NumNodes();
+      log_.Add(batch);
+      updates_this_step++;
+      if (limits.on_update) limits.on_update(batch);
+    }
+  }
+  return StopReason::kCompleted;
+}
+
+void Executor::RebuildQueue() {
+  std::vector<ExecWindow> keep;
+  keep.reserve(queue_.size());
+  while (!queue_.empty()) {
+    ExecWindow w = queue_.top();
+    queue_.pop();
+    if (excluded_.count(w.frontier)) continue;
+    if (!graph_.HasNode(w.frontier)) continue;  // pruned from the graph
+    // Clamp into the (possibly narrowed) global range.
+    w.begin = std::max(w.begin, ctx_.ts);
+    w.finish = std::min(w.finish, ctx_.te);
+    if (w.begin >= w.finish) continue;
+    w.state = graph_.StateOf(w.frontier);
+    w.boosted = maintainer_.IsBoosted(w.frontier);
+    keep.push_back(std::move(w));
+  }
+  for (ExecWindow& w : keep) queue_.push(std::move(w));
+}
+
+void Executor::ApplyRefinedContext(TrackingContext new_ctx,
+                                   const RefineDelta& delta) {
+  ctx_ = std::move(new_ctx);
+  maintainer_.UpdateContext(&ctx_);
+
+  if (delta.range_narrowed) {
+    // Drop cached edges outside the new range; coverage clamps so future
+    // windows never rescan, and out-of-range pending windows are clamped
+    // away in RebuildQueue below.
+    graph_.RemoveEdgesIf([&](const DepGraph::Edge& e) {
+      return e.timestamp < ctx_.ts || e.timestamp >= ctx_.te;
+    });
+    maintainer_.PruneUnreachable();
+    const bool forward =
+        ctx_.spec.direction == bdl::TrackDirection::kForward;
+    for (auto& [obj, covered] : covered_until_) {
+      (void)obj;
+      if (forward) {
+        covered = std::min(covered, ctx_.te);
+      } else {
+        covered = std::max(covered, ctx_.ts);
+      }
+    }
+  }
+
+  if (delta.where_changed) {
+    // Re-evaluate every cached node against the new filter (object-level;
+    // event-level conditions apply to future exploration only).
+    excluded_.clear();
+    stats_.objects_excluded = 0;
+    std::vector<ObjectId> removed_nodes;
+    graph_.RemoveNodesIf([&](ObjectId id) {
+      if (ctx_.IsAnchor(id)) return false;  // same exemption as the scans
+      const SystemObject& obj = ctx_.store->catalog().Get(id);
+      if (ctx_.WhereKeeps(obj, nullptr)) return false;
+      excluded_.insert(id);
+      stats_.objects_excluded++;
+      removed_nodes.push_back(id);
+      return true;
+    });
+    maintainer_.PruneUnreachable();
+    // Allow pruned-but-not-excluded objects to be rediscovered cleanly.
+    for (ObjectId id : removed_nodes) covered_until_.erase(id);
+    const auto ids = graph_.NodeIds();
+    for (auto it = covered_until_.begin(); it != covered_until_.end();) {
+      if (!graph_.HasNode(it->first) && excluded_.count(it->first) == 0) {
+        it = covered_until_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  // Chain or filter changes both invalidate states (pruning may have
+  // removed state-carrying paths), so re-propagate over the cached graph.
+  maintainer_.RepropagateStates();
+  if (delta.prioritize_changed || delta.where_changed) {
+    maintainer_.RecomputeBoosts();
+  }
+  RebuildQueue();
+  APTRACE_LOG(Info) << "Refined context applied: chain=" << delta.chain_changed
+                    << " where=" << delta.where_changed
+                    << " prioritize=" << delta.prioritize_changed
+                    << " nodes=" << graph_.NumNodes()
+                    << " queue=" << queue_.size();
+}
+
+}  // namespace aptrace

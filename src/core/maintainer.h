@@ -1,0 +1,92 @@
+#ifndef APTRACE_CORE_MAINTAINER_H_
+#define APTRACE_CORE_MAINTAINER_H_
+
+#include <map>
+#include <unordered_set>
+
+#include "core/context.h"
+#include "graph/dep_graph.h"
+
+namespace aptrace {
+
+/// The Dependency Graph Maintainer (paper Section III-B2): owns the state
+/// propagation that realizes intermediate-point prioritization, tracks
+/// quantity-based `prioritize` rules, and performs the graph maintenance
+/// the Refiner needs (state re-propagation, pruning).
+///
+/// States: a node's state i means it was reached along an exploration path
+/// whose nodes matched the chain prefix n1..ni; matching is carried (a
+/// non-matching successor inherits its discoverer's state), so state is
+/// "longest matched prefix so far on the best path". The starting point
+/// has state 1. A node reaching state k = chain length means a full
+/// start-to-end pattern match.
+class GraphMaintainer {
+ public:
+  GraphMaintainer(const TrackingContext* ctx, DepGraph* graph);
+
+  /// Reacts to a newly added edge: propagates states from the edge's flow
+  /// destination to its source (with cascade through already-known edges)
+  /// and updates prioritize-rule progress. Returns the resulting state of
+  /// the flow-source node.
+  int OnEdgeAdded(const Event& event);
+
+  /// Recomputes every node state from scratch by breadth-first propagation
+  /// from the start. Used by the Refiner when the chain changed: the
+  /// cached graph is re-labelled in memory, with no database access
+  /// (paper Section III-B3).
+  void RepropagateStates();
+
+  /// True once some node has matched the full chain (state == k). Always
+  /// false for a chain consisting of only the starting point.
+  bool end_point_reached() const { return end_point_reached_; }
+
+  /// Prioritize-rule support: true if the node was boosted by a matched
+  /// quantity rule (paper Program 2).
+  bool IsBoosted(ObjectId node) const { return boosted_.count(node) != 0; }
+  /// Re-derives rule progress and boosts from the current graph contents
+  /// (after the Refiner pruned or replaced rules).
+  void RecomputeBoosts();
+
+  /// Removes nodes that are no longer connected to the start (undirected
+  /// reachability); used after where-filter pruning. Returns #removed.
+  size_t PruneUnreachable();
+
+  /// Final-result filtering (paper Section III-A): keeps only nodes lying
+  /// on exploration paths from the start to a full-chain match. No-op
+  /// (returns 0) when the chain has no intermediate/end constraints or no
+  /// full match exists yet. Returns #removed.
+  size_t PruneToMatchedPaths();
+
+  /// Points the maintainer at a new context (the Refiner swaps specs).
+  void UpdateContext(const TrackingContext* ctx);
+
+ private:
+  /// State the freshly discovered node earns when reached from a node
+  /// with `known_state` through `event`.
+  int StateAfterEdge(int known_state, ObjectId fresh,
+                     const Event& event) const;
+
+  bool NodeMatchesPattern(size_t chain_index, ObjectId node,
+                          const Event* event) const;
+
+  /// Quantity-rule bookkeeping, keyed by (rule index, process id).
+  struct RuleProgress {
+    bool upstream_seen = false;
+    bool downstream_seen = false;
+    uint64_t upstream_amount = 0;    // max over matching upstream events
+    uint64_t downstream_amount = 0;  // max over matching downstream events
+  };
+  void FeedRules(const Event& event);
+  bool EventMatchesRulePattern(const Event& event,
+                               const bdl::QuantityRule::EventPattern& p) const;
+
+  const TrackingContext* ctx_;
+  DepGraph* graph_;
+  bool end_point_reached_ = false;
+  std::map<std::pair<size_t, ObjectId>, RuleProgress> rule_progress_;
+  std::unordered_set<ObjectId> boosted_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_MAINTAINER_H_

@@ -1,0 +1,111 @@
+#include "core/refiner.h"
+
+#include <sstream>
+
+namespace aptrace {
+
+namespace {
+
+std::string CondStr(const bdl::Condition* c) {
+  return c == nullptr ? std::string() : c->ToString();
+}
+
+std::string ChainStr(const bdl::TrackingSpec& spec, size_t from_index) {
+  std::ostringstream os;
+  for (size_t i = from_index; i < spec.chain.size(); ++i) {
+    const auto& p = spec.chain[i];
+    if (p.wildcard) {
+      os << "*";
+    } else {
+      os << ObjectTypeName(*p.type) << "[" << CondStr(p.cond.get()) << "]";
+    }
+    os << " -> ";
+  }
+  return os.str();
+}
+
+std::string PrioritizeStr(const bdl::TrackingSpec& spec) {
+  std::ostringstream os;
+  for (const auto& rule : spec.prioritize) {
+    for (const auto& p : rule.chain) {
+      if (p.object_type.has_value()) os << ObjectTypeName(*p.object_type);
+      os << "[" << CondStr(p.cond.get()) << "]";
+      if (p.amount_vs_upstream) {
+        os << "{amount " << bdl::CompareOpName(p.amount_op) << " size}";
+      }
+      os << " <- ";
+    }
+    os << " ; ";
+  }
+  return os.str();
+}
+
+bool SameHostFilter(const TrackingContext& a, const TrackingContext& b) {
+  if (a.host_filter.has_value() != b.host_filter.has_value()) return false;
+  if (!a.host_filter.has_value()) return true;
+  return *a.host_filter == *b.host_filter;
+}
+
+}  // namespace
+
+const char* RefineActionName(RefineAction a) {
+  switch (a) {
+    case RefineAction::kNoChange: return "no-change";
+    case RefineAction::kReuse: return "reuse";
+    case RefineAction::kRestart: return "restart";
+  }
+  return "?";
+}
+
+RefineResult Refiner::Classify(const TrackingContext& current,
+                               const TrackingContext& updated) {
+  RefineResult result;
+
+  // A different starting point — or flipping the tracking direction —
+  // means a brand new analysis.
+  if (current.start_event.id != updated.start_event.id ||
+      current.start_node != updated.start_node ||
+      current.spec.direction != updated.spec.direction) {
+    result.action = RefineAction::kRestart;
+    return result;
+  }
+  // A changed host range invalidates the scan coverage: restart.
+  if (!SameHostFilter(current, updated)) {
+    result.action = RefineAction::kRestart;
+    return result;
+  }
+
+  RefineDelta& d = result.delta;
+  if (current.ts != updated.ts || current.te != updated.te) {
+    // Narrowing keeps cached work valid (old scans are supersets);
+    // widening needs history that was never scheduled: restart.
+    const bool narrowed =
+        updated.ts >= current.ts && updated.te <= current.te;
+    const bool start_in_range =
+        updated.start_event.timestamp >= updated.ts &&
+        updated.start_event.timestamp < updated.te;
+    if (!narrowed || !start_in_range) {
+      result.action = RefineAction::kRestart;
+      return result;
+    }
+    d.range_narrowed = true;
+  }
+  d.chain_changed =
+      ChainStr(current.spec, 1) != ChainStr(updated.spec, 1);
+  d.where_changed = CondStr(current.spec.where.get()) !=
+                    CondStr(updated.spec.where.get());
+  d.prioritize_changed =
+      PrioritizeStr(current.spec) != PrioritizeStr(updated.spec);
+  d.budgets_changed = current.spec.time_budget != updated.spec.time_budget ||
+                      current.spec.hop_limit != updated.spec.hop_limit;
+
+  if (d.chain_changed || d.where_changed || d.prioritize_changed ||
+      d.budgets_changed || d.range_narrowed) {
+    result.action = RefineAction::kReuse;
+  } else {
+    result.action = RefineAction::kNoChange;
+  }
+  return result;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,41 @@
+#ifndef APTRACE_CORE_REFINER_H_
+#define APTRACE_CORE_REFINER_H_
+
+#include "core/context.h"
+#include "core/executor.h"
+
+namespace aptrace {
+
+/// How the Refiner decided to treat a script update (paper Section
+/// III-B3).
+enum class RefineAction : uint8_t {
+  kNoChange,  // scripts are semantically identical
+  kReuse,     // same starting point: reuse the cached graph & queue
+  kRestart,   // different starting point / range: abandon the analysis
+};
+
+const char* RefineActionName(RefineAction a);
+
+struct RefineResult {
+  RefineAction action = RefineAction::kNoChange;
+  RefineDelta delta;  // meaningful when action == kReuse
+};
+
+/// The Refiner compares the currently executing context with the context
+/// compiled from an updated BDL script:
+///  * a different starting point (or a different time/host range, which
+///    changes what the cached scans covered) abandons the current
+///    analysis and restarts;
+///  * otherwise the cached dependency graph is reused — changed
+///    intermediate points trigger in-memory state re-propagation, changed
+///    where filters prune the cached graph and the pending queue, changed
+///    prioritize rules re-derive boosts.
+class Refiner {
+ public:
+  static RefineResult Classify(const TrackingContext& current,
+                               const TrackingContext& updated);
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_REFINER_H_

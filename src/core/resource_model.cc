@@ -1,0 +1,25 @@
+#include "core/resource_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aptrace {
+
+ResourceSample ResourceModel::Sample(const ResourceInputs& in) const {
+  const double t = static_cast<double>(std::max<DurationMicros>(in.elapsed, 0));
+
+  ResourceSample s;
+  s.mem_pct = params_.base_mem_pct +
+              params_.startup_mem_pct *
+                  std::exp(-t / params_.startup_decay_micros) +
+              params_.mem_pct_per_node * static_cast<double>(in.graph_nodes) +
+              params_.mem_pct_per_window * static_cast<double>(in.queue_size);
+  s.cpu_pct = params_.base_cpu_pct +
+              params_.cpu_ramp_pct *
+                  (1.0 - std::exp(-t / params_.cpu_ramp_micros));
+  s.mem_pct = std::clamp(s.mem_pct, 0.0, 100.0);
+  s.cpu_pct = std::clamp(s.cpu_pct, 0.0, 100.0);
+  return s;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,62 @@
+#ifndef APTRACE_CORE_RESOURCE_MODEL_H_
+#define APTRACE_CORE_RESOURCE_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// Engine state fed to the resource model when taking a sample.
+struct ResourceInputs {
+  DurationMicros elapsed = 0;   // since the analysis started
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  size_t queue_size = 0;        // pending execution windows
+  uint64_t rows_matched = 0;    // cumulative store rows fetched
+};
+
+/// One sample of simulated server utilization, in percent.
+struct ResourceSample {
+  double cpu_pct = 0;
+  double mem_pct = 0;
+};
+
+/// Analytic model of APTrace's server-side CPU and memory utilization,
+/// substituting for the Solaris-mode measurements of the paper's Figure 6
+/// (see DESIGN.md, substitution table).
+///
+/// Shape reproduced from the paper's observations:
+///  * memory peaks early (database initialization, BDL compilation,
+///    heuristics loading) at ~15% and decays to a ~3% plateau, plus a
+///    small term that grows with the cached graph and queue;
+///  * CPU ramps from ~3% toward ~11% as the search frontier widens.
+class ResourceModel {
+ public:
+  struct Params {
+    double base_mem_pct = 2.5;
+    double startup_mem_pct = 12.5;          // peak extra memory at t = 0
+    double startup_decay_micros = 90.0 * kMicrosPerSecond;
+    double mem_pct_per_node = 1.0 / 40000;  // cached graph footprint
+    double mem_pct_per_window = 1.0 / 80000;
+
+    double base_cpu_pct = 3.0;
+    double cpu_ramp_pct = 8.0;              // asymptotic extra CPU
+    double cpu_ramp_micros = 8.0 * kMicrosPerMinute;
+  };
+
+  ResourceModel() : ResourceModel(Params{}) {}
+  explicit ResourceModel(Params params) : params_(params) {}
+
+  ResourceSample Sample(const ResourceInputs& in) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_RESOURCE_MODEL_H_

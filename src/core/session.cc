@@ -1,0 +1,114 @@
+#include "core/session.h"
+
+#include "bdl/analyzer.h"
+#include "graph/dot_writer.h"
+#include "util/logging.h"
+
+namespace aptrace {
+
+Session::Session(const EventStore* store, Clock* clock,
+                 SessionOptions options)
+    : store_(store), clock_(clock), options_(options) {}
+
+Status Session::Start(std::string_view bdl_text,
+                      std::optional<Event> start_override) {
+  auto spec = bdl::CompileBdl(bdl_text);
+  if (!spec.ok()) return spec.status();
+  return StartWithSpec(std::move(spec.value()), start_override);
+}
+
+Status Session::StartWithSpec(bdl::TrackingSpec spec,
+                              std::optional<Event> start_override) {
+  auto ctx = ResolveContext(*store_, std::move(spec), clock_, start_override);
+  if (!ctx.ok()) return ctx.status();
+  start_override_ = start_override;
+  if (options_.use_baseline) {
+    engine_ = std::make_unique<BaselineExecutor>(std::move(ctx.value()),
+                                                 clock_);
+    executor_ = nullptr;
+  } else {
+    auto executor = std::make_unique<Executor>(std::move(ctx.value()), clock_,
+                                               options_.num_windows_k,
+                                               options_.temporal_priority);
+    executor_ = executor.get();
+    engine_ = std::move(executor);
+  }
+  last_action_ = RefineAction::kNoChange;
+  return Status::Ok();
+}
+
+Result<StopReason> Session::Step(const RunLimits& limits) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("session not started");
+  }
+  return engine_->Run(limits);
+}
+
+Status Session::UpdateScript(std::string_view bdl_text) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("session not started");
+  }
+  auto spec = bdl::CompileBdl(bdl_text);
+  if (!spec.ok()) return spec.status();
+  auto ctx = ResolveContext(*store_, std::move(spec.value()), clock_,
+                            start_override_);
+  if (!ctx.ok()) return ctx.status();
+
+  const RefineResult refine = Refiner::Classify(engine_->context(),
+                                                ctx.value());
+  last_action_ = refine.action;
+  APTRACE_LOG(Info) << "Refiner: " << RefineActionName(refine.action);
+
+  switch (refine.action) {
+    case RefineAction::kNoChange:
+      return Status::Ok();
+    case RefineAction::kReuse:
+      if (executor_ != nullptr) {
+        executor_->ApplyRefinedContext(std::move(ctx.value()), refine.delta);
+        return Status::Ok();
+      }
+      // The baseline engine cannot reuse partial work; fall through to a
+      // restart (this is exactly the execute-to-complete limitation the
+      // paper motivates APTrace with).
+      [[fallthrough]];
+    case RefineAction::kRestart: {
+      const bool use_baseline = options_.use_baseline;
+      if (use_baseline) {
+        engine_ = std::make_unique<BaselineExecutor>(std::move(ctx.value()),
+                                                     clock_);
+        executor_ = nullptr;
+      } else {
+        auto executor = std::make_unique<Executor>(
+            std::move(ctx.value()), clock_, options_.num_windows_k,
+            options_.temporal_priority);
+        executor_ = executor.get();
+        engine_ = std::move(executor);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+Status Session::Finish(bool prune_to_matched_paths) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition("session not started");
+  }
+  if (prune_to_matched_paths && executor_ != nullptr) {
+    const size_t removed = executor_->maintainer().PruneToMatchedPaths();
+    if (removed > 0) {
+      APTRACE_LOG(Info) << "Finish: pruned " << removed
+                        << " nodes not on matched paths";
+    }
+  }
+  const auto& spec = engine_->context().spec;
+  if (!spec.output_path.empty()) {
+    DotOptions opts;
+    opts.alert_event = engine_->context().start_event.id;
+    return WriteDotFile(engine_->graph(), store_->catalog(),
+                        spec.output_path, opts);
+  }
+  return Status::Ok();
+}
+
+}  // namespace aptrace

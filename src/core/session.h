@@ -1,0 +1,99 @@
+#ifndef APTRACE_CORE_SESSION_H_
+#define APTRACE_CORE_SESSION_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+
+#include "core/backtrack_engine.h"
+#include "core/baseline_executor.h"
+#include "core/executor.h"
+#include "core/refiner.h"
+#include "storage/event_store.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+struct SessionOptions {
+  /// Window count k of the execution-window partitioning algorithm.
+  int num_windows_k = 8;
+
+  /// Use the execute-to-complete baseline engine instead of APTrace's
+  /// responsive Executor (for comparison experiments).
+  bool use_baseline = false;
+
+  /// Nearest-first window ordering (Algorithm 1); false = FIFO ablation.
+  bool temporal_priority = true;
+};
+
+/// An interactive analysis session — the workflow of the paper's Figure 3:
+///
+///   Session s(&store, &clock);
+///   s.Start(bdl_v1);
+///   s.Step({.max_updates = 10});   // monitor the first updates...
+///   s.UpdateScript(bdl_v2);        // ...pause, add a heuristic, resume
+///   s.Step(...);
+///   s.Finish();                    // prune to matched paths, write DOT
+///
+/// Pausing is implicit: the engine only runs inside Step(), and
+/// UpdateScript() between Steps routes through the Refiner, which reuses
+/// the cached graph whenever the starting point is unchanged.
+class Session {
+ public:
+  Session(const EventStore* store, Clock* clock, SessionOptions options = {});
+
+  /// Compiles the script, resolves the starting point, and prepares the
+  /// engine. `start_override` injects an explicit alert event (used by the
+  /// experiment harness to backtrack from random events).
+  Status Start(std::string_view bdl_text,
+               std::optional<Event> start_override = std::nullopt);
+
+  /// Starts from an already compiled spec.
+  Status StartWithSpec(bdl::TrackingSpec spec,
+                       std::optional<Event> start_override = std::nullopt);
+
+  /// Runs the engine until a limit triggers; resumable.
+  Result<StopReason> Step(const RunLimits& limits = {});
+
+  /// Replaces the script between Steps (paper: pause, edit BDL, resume).
+  /// Routes through the Refiner: compatible changes reuse the cached
+  /// graph, incompatible ones restart the analysis.
+  Status UpdateScript(std::string_view bdl_text);
+
+  /// What the Refiner did on the last UpdateScript call.
+  RefineAction last_refine_action() const { return last_action_; }
+
+  bool started() const { return engine_ != nullptr; }
+  bool Exhausted() const { return engine_ != nullptr && engine_->Exhausted(); }
+
+  const DepGraph& graph() const { return engine_->graph(); }
+  const UpdateLog& update_log() const { return engine_->update_log(); }
+  const RunStats& stats() const { return engine_->stats(); }
+  const TrackingContext& context() const { return engine_->context(); }
+  BacktrackEngine* engine() { return engine_.get(); }
+
+  /// Persists the whole paused session (script, starting point, engine
+  /// state) to a file; resume later — in another process — with
+  /// LoadCheckpoint on a Session over the same store. Responsive engine
+  /// only.
+  Status SaveCheckpoint(const std::string& path) const;
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Finalizes the result (paper Section III-A): optionally removes the
+  /// paths that do not satisfy the intermediate points, then writes the
+  /// DOT output if the script requested one.
+  Status Finish(bool prune_to_matched_paths = true);
+
+ private:
+  const EventStore* store_;
+  Clock* clock_;
+  SessionOptions options_;
+  std::unique_ptr<BacktrackEngine> engine_;
+  Executor* executor_ = nullptr;  // engine_ downcast when !use_baseline
+  std::optional<Event> start_override_;
+  RefineAction last_action_ = RefineAction::kNoChange;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_SESSION_H_

@@ -1,0 +1,57 @@
+#ifndef APTRACE_CORE_UPDATE_LOG_H_
+#define APTRACE_CORE_UPDATE_LOG_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// One visible update to the dependency graph: a batch of edges that
+/// became available to the analyst at `sim_time` (when the producing query
+/// finished). The responsiveness metric of the paper (Table II) is the
+/// delta between consecutive update timestamps.
+struct UpdateBatch {
+  TimeMicros sim_time = 0;
+  size_t new_edges = 0;
+  size_t new_nodes = 0;
+  size_t total_edges = 0;  // graph size after this update
+  size_t total_nodes = 0;
+};
+
+/// Timestamped record of all updates of one analysis run.
+class UpdateLog {
+ public:
+  UpdateLog() = default;
+
+  void SetRunStart(TimeMicros t) { run_start_ = t; }
+  TimeMicros run_start() const { return run_start_; }
+
+  void Add(UpdateBatch batch) { batches_.push_back(batch); }
+
+  const std::vector<UpdateBatch>& batches() const { return batches_; }
+  size_t size() const { return batches_.size(); }
+  bool empty() const { return batches_.empty(); }
+
+  /// Waiting times between consecutive updates, in seconds: first entry is
+  /// run start -> first update, then update i -> update i+1.
+  std::vector<double> WaitingTimesSeconds() const {
+    std::vector<double> out;
+    TimeMicros prev = run_start_;
+    for (const UpdateBatch& b : batches_) {
+      out.push_back(static_cast<double>(b.sim_time - prev) /
+                    static_cast<double>(kMicrosPerSecond));
+      prev = b.sim_time;
+    }
+    return out;
+  }
+
+ private:
+  TimeMicros run_start_ = 0;
+  std::vector<UpdateBatch> batches_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_UPDATE_LOG_H_

@@ -1,0 +1,125 @@
+#include "detect/detector.h"
+
+#include "util/string_util.h"
+
+namespace aptrace::detect {
+
+void RareProcessChainDetector::OnEvent(const Event& e,
+                                       const ObjectCatalog& catalog,
+                                       bool training,
+                                       std::vector<Alert>* out) {
+  if (e.action != ActionType::kStart) return;
+  const SystemObject& parent = catalog.Get(e.subject);
+  const SystemObject& child = catalog.Get(e.object);
+  if (!parent.is_process() || !child.is_process()) return;
+  const auto pair = std::make_pair(ToLower(parent.process().exename),
+                                   ToLower(child.process().exename));
+  if (training) {
+    seen_.insert(pair);
+    return;
+  }
+  if (seen_.count(pair)) return;
+  // One alert per novel pair, not one per occurrence.
+  if (!alerted_.insert(pair).second) return;
+  out->push_back({e.id, name(),
+                  parent.process().exename + " started " +
+                      child.process().exename +
+                      ", a pairing never seen before",
+                  0.8});
+}
+
+void ExfilVolumeDetector::OnEvent(const Event& e,
+                                  const ObjectCatalog& catalog, bool training,
+                                  std::vector<Alert>* out) {
+  if (training) return;
+  if (e.action != ActionType::kConnect && e.action != ActionType::kWrite) {
+    return;
+  }
+  const SystemObject& obj = catalog.Get(e.object);
+  if (!obj.is_ip()) return;
+  if (e.amount < min_bytes_) return;
+  const std::string& dst = obj.ip().dst_ip;
+  for (const std::string& prefix : internal_prefixes_) {
+    if (StartsWith(dst, prefix)) return;
+  }
+  const SystemObject& subject = catalog.Get(e.subject);
+  out->push_back({e.id, name(),
+                  subject.process().exename + " sent " +
+                      std::to_string(e.amount) + " bytes to external " + dst,
+                  0.9});
+}
+
+void DroppedExecutableDetector::OnEvent(const Event& e,
+                                        const ObjectCatalog& catalog,
+                                        bool training,
+                                        std::vector<Alert>* out) {
+  if (training) return;
+  if (e.action != ActionType::kWrite) return;
+  const SystemObject& obj = catalog.Get(e.object);
+  if (!obj.is_file()) return;
+  const std::string path = ToLower(obj.file().path);
+  const bool executable = EndsWith(path, ".exe") || EndsWith(path, ".bin") ||
+                          EndsWith(path, ".bat") || EndsWith(path, ".vbs");
+  if (!executable) return;
+  const bool user_writable = path.find("users") != std::string::npos ||
+                             path.find("/home/") != std::string::npos ||
+                             path.find("/tmp/") != std::string::npos ||
+                             path.find("temp") != std::string::npos ||
+                             path.find("downloads") != std::string::npos;
+  if (!user_writable) return;
+  const SystemObject& subject = catalog.Get(e.subject);
+  out->push_back({e.id, name(),
+                  subject.process().exename + " dropped executable " +
+                      obj.file().path,
+                  0.7});
+}
+
+void UnusualWriterDetector::OnEvent(const Event& e,
+                                    const ObjectCatalog& catalog,
+                                    bool training, std::vector<Alert>* out) {
+  if (e.action != ActionType::kWrite) return;
+  const SystemObject& obj = catalog.Get(e.object);
+  if (!obj.is_file()) return;
+  const SystemObject& subject = catalog.Get(e.subject);
+  const std::string writer = ToLower(subject.process().exename);
+  if (training) {
+    writers_[e.object][writer]++;
+    return;
+  }
+  auto it = writers_.find(e.object);
+  // Only guard files with an established, exclusive writer: one process,
+  // writing repeatedly, during the whole training window.
+  if (it == writers_.end() || it->second.size() != 1) return;
+  const auto& [owner, count] = *it->second.begin();
+  if (count < min_training_writes_ || owner == writer) return;
+  out->push_back({e.id, name(),
+                  subject.process().exename + " wrote " + obj.file().path +
+                      ", which only " + owner + " wrote before",
+                  0.8});
+}
+
+DetectorPipeline DetectorPipeline::Standard() {
+  DetectorPipeline pipeline;
+  pipeline.Add(std::make_unique<RareProcessChainDetector>());
+  pipeline.Add(std::make_unique<ExfilVolumeDetector>(
+      std::vector<std::string>{"10.", "192.168.", "172.16."},
+      /*min_bytes=*/1024 * 1024));
+  pipeline.Add(std::make_unique<DroppedExecutableDetector>());
+  pipeline.Add(std::make_unique<UnusualWriterDetector>());
+  return pipeline;
+}
+
+std::vector<Alert> DetectorPipeline::Run(const EventStore& store,
+                                         TimeMicros train_until) {
+  std::vector<Alert> alerts;
+  store.ScanRange(store.MinTime(), store.MaxTime() + 1, /*clock=*/nullptr,
+                  [&](const Event& e) {
+                    const bool training = e.timestamp < train_until;
+                    for (auto& d : detectors_) {
+                      d->OnEvent(e, store.catalog(), training, &alerts);
+                    }
+                  });
+  return alerts;
+}
+
+}  // namespace aptrace::detect

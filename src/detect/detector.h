@@ -1,0 +1,121 @@
+#ifndef APTRACE_DETECT_DETECTOR_H_
+#define APTRACE_DETECT_DETECTOR_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "storage/event_store.h"
+
+namespace aptrace::detect {
+
+/// An anomaly alert — the input of backtracking analysis (paper Section
+/// II). The paper's deployment receives these from backend anomaly
+/// detectors; this module provides simple behavioural detectors so the
+/// whole pipeline (collect -> detect -> backtrack) runs end to end.
+struct Alert {
+  EventId event = kInvalidEventId;
+  std::string rule;     // name of the detector that fired
+  std::string message;  // human-readable explanation
+  double severity = 0.5;  // 0..1
+};
+
+/// A streaming behavioural detector. Events arrive in timestamp order;
+/// events before the training horizon build the baseline and never alert.
+class Detector {
+ public:
+  virtual ~Detector() = default;
+
+  virtual const char* name() const = 0;
+
+  /// Processes one event. `training` is true while the event is inside
+  /// the baseline-learning window. Alerts are appended to `out`.
+  virtual void OnEvent(const Event& e, const ObjectCatalog& catalog,
+                       bool training, std::vector<Alert>* out) = 0;
+};
+
+/// Alerts when a (parent exename -> child exename) process-start pair was
+/// never observed during training — e.g. the paper's A2 alert,
+/// sqlservr.exe abnormally starting cmd.exe.
+class RareProcessChainDetector : public Detector {
+ public:
+  const char* name() const override { return "rare-process-chain"; }
+  void OnEvent(const Event& e, const ObjectCatalog& catalog, bool training,
+               std::vector<Alert>* out) override;
+
+ private:
+  std::set<std::pair<std::string, std::string>> seen_;
+  std::set<std::pair<std::string, std::string>> alerted_;
+};
+
+/// Alerts on outbound connections that move at least `min_bytes` to an
+/// address outside the internal prefixes — the exfiltration alerts of
+/// cases A1, A3, and A5.
+class ExfilVolumeDetector : public Detector {
+ public:
+  ExfilVolumeDetector(std::vector<std::string> internal_prefixes,
+                      uint64_t min_bytes)
+      : internal_prefixes_(std::move(internal_prefixes)),
+        min_bytes_(min_bytes) {}
+
+  const char* name() const override { return "exfil-volume"; }
+  void OnEvent(const Event& e, const ObjectCatalog& catalog, bool training,
+               std::vector<Alert>* out) override;
+
+ private:
+  std::vector<std::string> internal_prefixes_;
+  uint64_t min_bytes_;
+};
+
+/// Alerts when a process drops an executable-looking file into a
+/// user-writable location (the malware-drop step of A1/A2).
+class DroppedExecutableDetector : public Detector {
+ public:
+  const char* name() const override { return "dropped-executable"; }
+  void OnEvent(const Event& e, const ObjectCatalog& catalog, bool training,
+               std::vector<Alert>* out) override;
+};
+
+/// Alerts when a file with an *established exclusive writer* (a single
+/// process wrote it at least `min_training_writes` times during training)
+/// is written by a different process — the tampering alert of A4 (the
+/// backdoor writing grades.db).
+class UnusualWriterDetector : public Detector {
+ public:
+  explicit UnusualWriterDetector(int min_training_writes = 3)
+      : min_training_writes_(min_training_writes) {}
+
+  const char* name() const override { return "unusual-writer"; }
+  void OnEvent(const Event& e, const ObjectCatalog& catalog, bool training,
+               std::vector<Alert>* out) override;
+
+ private:
+  int min_training_writes_;
+  // Object -> exename -> write count during training.
+  std::map<ObjectId, std::map<std::string, int>> writers_;
+};
+
+/// Replays a sealed store through a set of detectors in timestamp order.
+/// Events before `train_until` only build baselines.
+class DetectorPipeline {
+ public:
+  DetectorPipeline() = default;
+
+  void Add(std::unique_ptr<Detector> detector) {
+    detectors_.push_back(std::move(detector));
+  }
+
+  /// The standard detector set used by the CLI and the tests.
+  static DetectorPipeline Standard();
+
+  std::vector<Alert> Run(const EventStore& store, TimeMicros train_until);
+
+ private:
+  std::vector<std::unique_ptr<Detector>> detectors_;
+};
+
+}  // namespace aptrace::detect
+
+#endif  // APTRACE_DETECT_DETECTOR_H_

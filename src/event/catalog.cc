@@ -1,0 +1,64 @@
+#include "event/catalog.h"
+
+namespace aptrace {
+
+HostId ObjectCatalog::InternHost(std::string_view name) {
+  auto it = host_ids_.find(std::string(name));
+  if (it != host_ids_.end()) return it->second;
+  const HostId id = static_cast<HostId>(hosts_.size());
+  hosts_.emplace_back(name);
+  host_ids_.emplace(hosts_.back(), id);
+  return id;
+}
+
+const std::string& ObjectCatalog::HostName(HostId id) const {
+  if (id >= hosts_.size()) return unknown_host_;
+  return hosts_[id];
+}
+
+ObjectId ObjectCatalog::AddProcess(HostId host, ProcessAttrs attrs) {
+  const ObjectId id = objects_.size();
+  objects_.emplace_back(id, host, std::move(attrs));
+  return id;
+}
+
+ObjectId ObjectCatalog::AddFile(HostId host, FileAttrs attrs) {
+  const ObjectId id = objects_.size();
+  objects_.emplace_back(id, host, std::move(attrs));
+  return id;
+}
+
+ObjectId ObjectCatalog::AddIp(HostId host, IpAttrs attrs) {
+  const ObjectId id = objects_.size();
+  objects_.emplace_back(id, host, std::move(attrs));
+  return id;
+}
+
+std::vector<ObjectId> ObjectCatalog::FindProcessesByName(
+    std::string_view exename) const {
+  std::vector<ObjectId> out;
+  for (const auto& o : objects_) {
+    if (o.is_process() && o.process().exename == exename) out.push_back(o.id());
+  }
+  return out;
+}
+
+std::vector<ObjectId> ObjectCatalog::FindFilesByPath(
+    std::string_view path) const {
+  std::vector<ObjectId> out;
+  for (const auto& o : objects_) {
+    if (o.is_file() && o.file().path == path) out.push_back(o.id());
+  }
+  return out;
+}
+
+std::vector<ObjectId> ObjectCatalog::FindIpsByDst(
+    std::string_view dst_ip) const {
+  std::vector<ObjectId> out;
+  for (const auto& o : objects_) {
+    if (o.is_ip() && o.ip().dst_ip == dst_ip) out.push_back(o.id());
+  }
+  return out;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,59 @@
+#ifndef APTRACE_EVENT_CATALOG_H_
+#define APTRACE_EVENT_CATALOG_H_
+
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "event/object.h"
+
+namespace aptrace {
+
+/// Owns all SystemObjects of a trace and interns host names. Objects get
+/// dense, monotonically increasing ids; pointers remain stable for the
+/// catalog's lifetime (std::deque storage).
+///
+/// Not thread-safe during construction; read-only use after the trace is
+/// built is safe from any number of threads.
+class ObjectCatalog {
+ public:
+  ObjectCatalog() = default;
+
+  ObjectCatalog(const ObjectCatalog&) = delete;
+  ObjectCatalog& operator=(const ObjectCatalog&) = delete;
+
+  /// Interns a host name, returning its dense id.
+  HostId InternHost(std::string_view name);
+
+  /// Host name for an id; "?" if out of range.
+  const std::string& HostName(HostId id) const;
+  size_t NumHosts() const { return hosts_.size(); }
+
+  /// Creates objects. Each call creates a distinct object (two processes
+  /// with the same exename/pid are distinct instances).
+  ObjectId AddProcess(HostId host, ProcessAttrs attrs);
+  ObjectId AddFile(HostId host, FileAttrs attrs);
+  ObjectId AddIp(HostId host, IpAttrs attrs);
+
+  /// Precondition: id < size().
+  const SystemObject& Get(ObjectId id) const { return objects_[id]; }
+  size_t size() const { return objects_.size(); }
+
+  /// Linear-scan finders, intended for tests, examples, and scenario setup
+  /// (not on the analysis hot path).
+  std::vector<ObjectId> FindProcessesByName(std::string_view exename) const;
+  std::vector<ObjectId> FindFilesByPath(std::string_view path) const;
+  std::vector<ObjectId> FindIpsByDst(std::string_view dst_ip) const;
+
+ private:
+  std::deque<SystemObject> objects_;
+  std::vector<std::string> hosts_;
+  std::unordered_map<std::string, HostId> host_ids_;
+  std::string unknown_host_ = "?";
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_EVENT_CATALOG_H_

@@ -1,0 +1,43 @@
+#include "event/event.h"
+
+namespace aptrace {
+
+const char* ActionTypeName(ActionType a) {
+  switch (a) {
+    case ActionType::kRead:
+      return "read";
+    case ActionType::kWrite:
+      return "write";
+    case ActionType::kStart:
+      return "start";
+    case ActionType::kConnect:
+      return "connect";
+    case ActionType::kAccept:
+      return "accept";
+    case ActionType::kInject:
+      return "inject";
+    case ActionType::kRename:
+      return "rename";
+    case ActionType::kDelete:
+      return "delete";
+  }
+  return "?";
+}
+
+FlowDirection ActionDefaultDirection(ActionType a) {
+  switch (a) {
+    case ActionType::kRead:
+    case ActionType::kAccept:
+      return FlowDirection::kObjectToSubject;
+    case ActionType::kWrite:
+    case ActionType::kStart:
+    case ActionType::kConnect:
+    case ActionType::kInject:
+    case ActionType::kRename:
+    case ActionType::kDelete:
+      return FlowDirection::kSubjectToObject;
+  }
+  return FlowDirection::kSubjectToObject;
+}
+
+}  // namespace aptrace

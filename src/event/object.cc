@@ -1,0 +1,43 @@
+#include "event/object.h"
+
+#include <sstream>
+
+namespace aptrace {
+
+const char* ObjectTypeName(ObjectType t) {
+  switch (t) {
+    case ObjectType::kProcess:
+      return "proc";
+    case ObjectType::kFile:
+      return "file";
+    case ObjectType::kIp:
+      return "ip";
+  }
+  return "?";
+}
+
+std::string FileAttrs::Filename() const {
+  // Paths in the corpus mix '/' and '\\' (Windows and Linux hosts).
+  size_t pos = path.find_last_of("/\\");
+  if (pos == std::string::npos) return path;
+  return path.substr(pos + 1);
+}
+
+std::string SystemObject::Label() const {
+  std::ostringstream os;
+  switch (type_) {
+    case ObjectType::kProcess:
+      os << "proc:" << process().exename << "(" << process().pid << ")";
+      break;
+    case ObjectType::kFile:
+      os << "file:" << file().path;
+      break;
+    case ObjectType::kIp:
+      os << "ip:" << ip().src_ip << "->" << ip().dst_ip;
+      if (ip().dst_port) os << ":" << ip().dst_port;
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace aptrace

@@ -1,0 +1,99 @@
+#ifndef APTRACE_EVENT_OBJECT_H_
+#define APTRACE_EVENT_OBJECT_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// Dense identifier for a system object, assigned by ObjectCatalog.
+using ObjectId = uint64_t;
+constexpr ObjectId kInvalidObjectId = ~static_cast<ObjectId>(0);
+
+/// Hosts are interned to small ids by the catalog.
+using HostId = uint16_t;
+constexpr HostId kInvalidHostId = ~static_cast<HostId>(0);
+
+/// The three kinds of system objects in the paper's model (Section II):
+/// a file, a process instance, and a network socket.
+enum class ObjectType : uint8_t {
+  kProcess = 0,
+  kFile = 1,
+  kIp = 2,  // network connection ("ip" in BDL)
+};
+
+const char* ObjectTypeName(ObjectType t);
+
+/// Attributes of a process instance. BDL fields: host, exename, pid,
+/// starttime.
+struct ProcessAttrs {
+  std::string exename;
+  int64_t pid = 0;
+  TimeMicros start_time = 0;
+};
+
+/// Attributes of a file. BDL fields: filename, host, path,
+/// last_modification_time, last_access_time, creation_time.
+struct FileAttrs {
+  std::string path;
+  TimeMicros creation_time = 0;
+  TimeMicros last_modification_time = 0;
+  TimeMicros last_access_time = 0;
+
+  /// Final path component ("filename" in BDL).
+  std::string Filename() const;
+};
+
+/// Attributes of a network connection. BDL fields: src_ip, dst_ip,
+/// start_time.
+struct IpAttrs {
+  std::string src_ip;
+  std::string dst_ip;
+  int32_t dst_port = 0;
+  TimeMicros start_time = 0;
+};
+
+/// A system object: a node in the tracking graph. Immutable once created
+/// (the catalog owns them); events reference objects by ObjectId.
+class SystemObject {
+ public:
+  SystemObject(ObjectId id, HostId host, ProcessAttrs attrs)
+      : id_(id), host_(host), type_(ObjectType::kProcess),
+        attrs_(std::move(attrs)) {}
+  SystemObject(ObjectId id, HostId host, FileAttrs attrs)
+      : id_(id), host_(host), type_(ObjectType::kFile),
+        attrs_(std::move(attrs)) {}
+  SystemObject(ObjectId id, HostId host, IpAttrs attrs)
+      : id_(id), host_(host), type_(ObjectType::kIp),
+        attrs_(std::move(attrs)) {}
+
+  ObjectId id() const { return id_; }
+  HostId host() const { return host_; }
+  ObjectType type() const { return type_; }
+
+  bool is_process() const { return type_ == ObjectType::kProcess; }
+  bool is_file() const { return type_ == ObjectType::kFile; }
+  bool is_ip() const { return type_ == ObjectType::kIp; }
+
+  /// Preconditions: the object is of the corresponding type.
+  const ProcessAttrs& process() const { return std::get<ProcessAttrs>(attrs_); }
+  const FileAttrs& file() const { return std::get<FileAttrs>(attrs_); }
+  const IpAttrs& ip() const { return std::get<IpAttrs>(attrs_); }
+
+  /// Short human-readable label used in DOT output and logs, e.g.
+  /// "proc:java.exe(4121)", "file:C://Users/a.doc", "ip:10.0.0.1->1.2.3.4".
+  std::string Label() const;
+
+ private:
+  ObjectId id_;
+  HostId host_;
+  ObjectType type_;
+  std::variant<ProcessAttrs, FileAttrs, IpAttrs> attrs_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_EVENT_OBJECT_H_

@@ -1,0 +1,203 @@
+#include "event/schema.h"
+
+#include <unordered_map>
+
+#include "util/string_util.h"
+
+namespace aptrace {
+
+const char* FieldIdName(FieldId f) {
+  switch (f) {
+    case FieldId::kSubjectName: return "subject_name";
+    case FieldId::kSubjectPid: return "subject_pid";
+    case FieldId::kActionType: return "action_type";
+    case FieldId::kEventId: return "event_id";
+    case FieldId::kEventTime: return "event_time";
+    case FieldId::kAmount: return "amount";
+    case FieldId::kHost: return "host";
+    case FieldId::kFilename: return "filename";
+    case FieldId::kPath: return "path";
+    case FieldId::kLastModificationTime: return "last_modification_time";
+    case FieldId::kLastAccessTime: return "last_access_time";
+    case FieldId::kCreationTime: return "creation_time";
+    case FieldId::kExename: return "exename";
+    case FieldId::kPid: return "pid";
+    case FieldId::kStarttime: return "starttime";
+    case FieldId::kSrcIp: return "src_ip";
+    case FieldId::kDstIp: return "dst_ip";
+    case FieldId::kIpStartTime: return "start_time";
+    case FieldId::kIsReadOnly: return "isreadonly";
+    case FieldId::kIsWriteThrough: return "iswritethrough";
+  }
+  return "?";
+}
+
+namespace {
+
+// Name -> field, all lowercase. "type" is resolved by the BDL analyzer
+// (it is a node-pattern property, not an attribute read from events).
+const std::unordered_map<std::string, FieldId>& FieldTable() {
+  static const auto* kTable = new std::unordered_map<std::string, FieldId>{
+      {"subject_name", FieldId::kSubjectName},
+      {"subject_pid", FieldId::kSubjectPid},
+      {"action_type", FieldId::kActionType},
+      // Program 7/10 in the paper write `type = "start"` for the action of
+      // a proc node; accept "type" as an alias of action_type.
+      {"type", FieldId::kActionType},
+      {"event_id", FieldId::kEventId},
+      {"event_time", FieldId::kEventTime},
+      {"amount", FieldId::kAmount},
+      {"host", FieldId::kHost},
+      {"filename", FieldId::kFilename},
+      {"path", FieldId::kPath},
+      {"last_modification_time", FieldId::kLastModificationTime},
+      {"last_access_time", FieldId::kLastAccessTime},
+      {"creation_time", FieldId::kCreationTime},
+      {"exename", FieldId::kExename},
+      {"pid", FieldId::kPid},
+      {"starttime", FieldId::kStarttime},
+      {"src_ip", FieldId::kSrcIp},
+      {"srcip", FieldId::kSrcIp},
+      {"dst_ip", FieldId::kDstIp},
+      {"dstip", FieldId::kDstIp},
+      {"start_time", FieldId::kIpStartTime},
+      {"isreadonly", FieldId::kIsReadOnly},
+      {"iswritethrough", FieldId::kIsWriteThrough},
+  };
+  return *kTable;
+}
+
+}  // namespace
+
+Result<FieldId> ResolveField(std::optional<ObjectType> type,
+                             std::string_view name) {
+  const std::string lower = ToLower(name);
+  auto it = FieldTable().find(lower);
+  if (it == FieldTable().end()) {
+    return Status::InvalidArgument("unknown field '" + std::string(name) +
+                                   "'");
+  }
+  const FieldId f = it->second;
+  if (type.has_value() && !FieldApplicableTo(f, *type)) {
+    return Status::InvalidArgument("field '" + std::string(name) +
+                                   "' is not applicable to node type '" +
+                                   ObjectTypeName(*type) + "'");
+  }
+  return f;
+}
+
+bool FieldApplicableTo(FieldId field, ObjectType type) {
+  switch (field) {
+    case FieldId::kSubjectName:
+    case FieldId::kSubjectPid:
+    case FieldId::kActionType:
+    case FieldId::kEventId:
+    case FieldId::kEventTime:
+    case FieldId::kAmount:
+    case FieldId::kHost:
+      return true;
+    case FieldId::kFilename:
+    case FieldId::kPath:
+    case FieldId::kLastModificationTime:
+    case FieldId::kLastAccessTime:
+    case FieldId::kCreationTime:
+    case FieldId::kIsReadOnly:
+      return type == ObjectType::kFile;
+    case FieldId::kExename:
+    case FieldId::kPid:
+    case FieldId::kStarttime:
+    case FieldId::kIsWriteThrough:
+      return type == ObjectType::kProcess;
+    case FieldId::kSrcIp:
+    case FieldId::kDstIp:
+    case FieldId::kIpStartTime:
+      return type == ObjectType::kIp;
+  }
+  return false;
+}
+
+bool FieldNeedsEvent(FieldId field) {
+  switch (field) {
+    case FieldId::kSubjectName:
+    case FieldId::kSubjectPid:
+    case FieldId::kActionType:
+    case FieldId::kEventId:
+    case FieldId::kEventTime:
+    case FieldId::kAmount:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::optional<FieldValue> ReadField(FieldId field, const SystemObject& object,
+                                    const Event* event,
+                                    const ObjectCatalog& catalog,
+                                    const DerivedAttrs* derived) {
+  // Event-level fields.
+  if (FieldNeedsEvent(field)) {
+    if (event == nullptr) return std::nullopt;
+    switch (field) {
+      case FieldId::kSubjectName: {
+        const SystemObject& subj = catalog.Get(event->subject);
+        if (!subj.is_process()) return std::nullopt;
+        return FieldValue(subj.process().exename);
+      }
+      case FieldId::kSubjectPid: {
+        const SystemObject& subj = catalog.Get(event->subject);
+        if (!subj.is_process()) return std::nullopt;
+        return FieldValue(subj.process().pid);
+      }
+      case FieldId::kActionType:
+        return FieldValue(std::string(ActionTypeName(event->action)));
+      case FieldId::kEventId:
+        return FieldValue(static_cast<int64_t>(event->id));
+      case FieldId::kEventTime:
+        return FieldValue(static_cast<int64_t>(event->timestamp));
+      case FieldId::kAmount:
+        return FieldValue(static_cast<int64_t>(event->amount));
+      default:
+        return std::nullopt;
+    }
+  }
+
+  if (!FieldApplicableTo(field, object.type())) return std::nullopt;
+
+  switch (field) {
+    case FieldId::kHost:
+      return FieldValue(catalog.HostName(object.host()));
+    case FieldId::kFilename:
+      return FieldValue(object.file().Filename());
+    case FieldId::kPath:
+      return FieldValue(object.file().path);
+    case FieldId::kLastModificationTime:
+      return FieldValue(
+          static_cast<int64_t>(object.file().last_modification_time));
+    case FieldId::kLastAccessTime:
+      return FieldValue(static_cast<int64_t>(object.file().last_access_time));
+    case FieldId::kCreationTime:
+      return FieldValue(static_cast<int64_t>(object.file().creation_time));
+    case FieldId::kExename:
+      return FieldValue(object.process().exename);
+    case FieldId::kPid:
+      return FieldValue(object.process().pid);
+    case FieldId::kStarttime:
+      return FieldValue(static_cast<int64_t>(object.process().start_time));
+    case FieldId::kSrcIp:
+      return FieldValue(object.ip().src_ip);
+    case FieldId::kDstIp:
+      return FieldValue(object.ip().dst_ip);
+    case FieldId::kIpStartTime:
+      return FieldValue(static_cast<int64_t>(object.ip().start_time));
+    case FieldId::kIsReadOnly:
+      if (derived == nullptr) return std::nullopt;
+      return FieldValue(derived->IsReadOnly(object.id()));
+    case FieldId::kIsWriteThrough:
+      if (derived == nullptr) return std::nullopt;
+      return FieldValue(derived->IsWriteThrough(object.id()));
+    default:
+      return std::nullopt;
+  }
+}
+
+}  // namespace aptrace

@@ -1,0 +1,100 @@
+#ifndef APTRACE_EVENT_SCHEMA_H_
+#define APTRACE_EVENT_SCHEMA_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "event/catalog.h"
+#include "event/event.h"
+#include "event/object.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Every attribute name BDL can mention (paper Section III-A1).
+///
+/// Shared options usable on any node type: subject_name, subject_pid,
+/// action_type, event_id, event_time. Object-specific options: file
+/// (filename, host, path, last_modification_time, last_access_time,
+/// creation_time), proc (host, exename, pid, starttime), ip (src_ip,
+/// dst_ip, start_time). Derived attributes (paper Program 3): isreadonly,
+/// iswritethrough. `amount` supports quantity-based heuristics (Program 2).
+enum class FieldId : uint8_t {
+  // Shared event-level options.
+  kSubjectName,
+  kSubjectPid,
+  kActionType,
+  kEventId,
+  kEventTime,
+  kAmount,
+  // Common object option.
+  kHost,
+  // File options.
+  kFilename,
+  kPath,
+  kLastModificationTime,
+  kLastAccessTime,
+  kCreationTime,
+  // Process options.
+  kExename,
+  kPid,
+  kStarttime,
+  // Ip options.
+  kSrcIp,
+  kDstIp,
+  kIpStartTime,
+  // Derived attributes (require a DerivedAttrs provider).
+  kIsReadOnly,
+  kIsWriteThrough,
+};
+
+const char* FieldIdName(FieldId f);
+
+/// Value produced by reading a field: a string, an integer (also used for
+/// timestamps in micros), or a boolean.
+using FieldValue = std::variant<std::string, int64_t, bool>;
+
+/// Resolves `name` (case-insensitive) for a node of type `type`. Pass
+/// std::nullopt for `type` when any type is acceptable (the analyzer then
+/// checks applicability later). Errors name both the field and the type.
+Result<FieldId> ResolveField(std::optional<ObjectType> type,
+                             std::string_view name);
+
+/// True if `field` can be evaluated on an object of `type` (event-level
+/// shared fields are applicable to every type).
+bool FieldApplicableTo(FieldId field, ObjectType type);
+
+/// True if the field is event-level (needs an Event to evaluate).
+bool FieldNeedsEvent(FieldId field);
+
+/// Provider for derived attributes that need whole-trace knowledge.
+/// The core engine implements this against the event store, scoped to the
+/// analysis time range; see core/derived_attrs.h.
+class DerivedAttrs {
+ public:
+  virtual ~DerivedAttrs() = default;
+
+  /// "Read-only file": not written during the analyzed period.
+  virtual bool IsReadOnly(ObjectId file) const = 0;
+
+  /// "Write-through process": a helper process connected only to another
+  /// process (takes input from its parent and returns results to it).
+  virtual bool IsWriteThrough(ObjectId proc) const = 0;
+};
+
+/// Reads `field` for an object, optionally in the context of the event
+/// that reached it. Returns std::nullopt when the field does not apply to
+/// this object (e.g. `exename` on a file) or when required context is
+/// missing (event-level field with no event; derived field with no
+/// provider). Callers treat "not applicable" as a neutral truth value.
+std::optional<FieldValue> ReadField(FieldId field, const SystemObject& object,
+                                    const Event* event,
+                                    const ObjectCatalog& catalog,
+                                    const DerivedAttrs* derived);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_EVENT_SCHEMA_H_

@@ -1,0 +1,91 @@
+#include "graph/dot_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace aptrace {
+
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* ShapeFor(ObjectType t) {
+  switch (t) {
+    case ObjectType::kProcess:
+      return "ellipse";
+    case ObjectType::kFile:
+      return "box";
+    case ObjectType::kIp:
+      return "diamond";
+  }
+  return "ellipse";
+}
+
+}  // namespace
+
+void WriteDot(const DepGraph& graph, const ObjectCatalog& catalog,
+              std::ostream& os, const DotOptions& options) {
+  os << "digraph \"" << DotEscape(options.graph_name) << "\" {\n";
+  os << "  rankdir=LR;\n";
+  os << "  node [fontsize=10];\n";
+
+  // Deterministic output: sort nodes and edges by id.
+  std::vector<ObjectId> nodes = graph.NodeIds();
+  std::sort(nodes.begin(), nodes.end());
+  for (ObjectId id : nodes) {
+    const SystemObject& obj = catalog.Get(id);
+    os << "  n" << id << " [label=\"" << DotEscape(obj.Label()) << "\\n@"
+       << DotEscape(catalog.HostName(obj.host())) << "\" shape="
+       << ShapeFor(obj.type());
+    if (id == graph.start()) os << " style=filled fillcolor=lightyellow";
+    os << "];\n";
+  }
+
+  std::vector<DepGraph::Edge> edges;
+  graph.ForEachEdge([&](const DepGraph::Edge& e) { edges.push_back(e); });
+  std::sort(edges.begin(), edges.end(),
+            [](const DepGraph::Edge& a, const DepGraph::Edge& b) {
+              return a.event < b.event;
+            });
+  for (const auto& e : edges) {
+    os << "  n" << e.src << " -> n" << e.dst;
+    os << " [";
+    if (options.edge_labels) {
+      os << "label=\"" << ActionTypeName(e.action) << "\\n"
+         << FormatBdlTime(e.timestamp) << "\" ";
+    }
+    if (e.event == options.alert_event) {
+      os << "color=red penwidth=2.5";
+    } else {
+      os << "color=gray40";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+}
+
+Status WriteDotFile(const DepGraph& graph, const ObjectCatalog& catalog,
+                    const std::string& path, const DotOptions& options) {
+  std::ofstream f(path);
+  if (!f) {
+    return Status::InvalidArgument("cannot open DOT output file: " + path);
+  }
+  WriteDot(graph, catalog, f, options);
+  if (!f.good()) {
+    return Status::Internal("write failed for DOT output file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace aptrace

@@ -1,0 +1,39 @@
+#ifndef APTRACE_GRAPH_DOT_WRITER_H_
+#define APTRACE_GRAPH_DOT_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "event/catalog.h"
+#include "graph/dep_graph.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Rendering options for DOT export (the BDL `output = "path.dot"` clause
+/// produces this format, matching the paper's `./result.dot`).
+struct DotOptions {
+  /// Event id of the anomaly alert; its edge is drawn red and bold, like
+  /// the red bold arrow in the paper's Figure 2.
+  EventId alert_event = kInvalidEventId;
+
+  /// Include edge labels (action type + timestamp).
+  bool edge_labels = true;
+
+  /// Graph name in the DOT header.
+  std::string graph_name = "aptrace";
+};
+
+/// Writes `graph` as Graphviz DOT. Node shapes follow provenance-graph
+/// convention: processes are ellipses, files are boxes, sockets are
+/// diamonds.
+void WriteDot(const DepGraph& graph, const ObjectCatalog& catalog,
+              std::ostream& os, const DotOptions& options = {});
+
+/// Writes DOT to a file; fails if the file cannot be opened.
+Status WriteDotFile(const DepGraph& graph, const ObjectCatalog& catalog,
+                    const std::string& path, const DotOptions& options = {});
+
+}  // namespace aptrace
+
+#endif  // APTRACE_GRAPH_DOT_WRITER_H_

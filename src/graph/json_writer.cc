@@ -1,0 +1,88 @@
+#include "graph/json_writer.h"
+
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+namespace aptrace {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void WriteGraphJson(const DepGraph& graph, const ObjectCatalog& catalog,
+                    std::ostream& os) {
+  os << "{\n  \"start\": " << graph.start() << ",\n  \"nodes\": [\n";
+  std::vector<ObjectId> nodes = graph.NodeIds();
+  std::sort(nodes.begin(), nodes.end());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    const DepGraph::Node& n = graph.GetNode(nodes[i]);
+    const SystemObject& obj = catalog.Get(nodes[i]);
+    os << "    {\"id\": " << nodes[i] << ", \"type\": \""
+       << ObjectTypeName(obj.type()) << "\", \"label\": \""
+       << JsonEscape(obj.Label()) << "\", \"host\": \""
+       << JsonEscape(catalog.HostName(obj.host())) << "\", \"hop\": "
+       << n.hop << ", \"state\": " << n.state << "}"
+       << (i + 1 < nodes.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"edges\": [\n";
+  std::vector<DepGraph::Edge> edges;
+  graph.ForEachEdge([&](const DepGraph::Edge& e) { edges.push_back(e); });
+  std::sort(edges.begin(), edges.end(),
+            [](const DepGraph::Edge& a, const DepGraph::Edge& b) {
+              return a.event < b.event;
+            });
+  for (size_t i = 0; i < edges.size(); ++i) {
+    const DepGraph::Edge& e = edges[i];
+    os << "    {\"event\": " << e.event << ", \"src\": " << e.src
+       << ", \"dst\": " << e.dst << ", \"time\": " << e.timestamp
+       << ", \"action\": \"" << ActionTypeName(e.action)
+       << "\", \"amount\": " << e.amount << "}"
+       << (i + 1 < edges.size() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+}
+
+Status WriteGraphJsonFile(const DepGraph& graph, const ObjectCatalog& catalog,
+                          const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  WriteGraphJson(graph, catalog, f);
+  if (!f.good()) return Status::Internal("write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace aptrace

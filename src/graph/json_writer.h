@@ -1,0 +1,31 @@
+#ifndef APTRACE_GRAPH_JSON_WRITER_H_
+#define APTRACE_GRAPH_JSON_WRITER_H_
+
+#include <ostream>
+#include <string>
+
+#include "event/catalog.h"
+#include "graph/dep_graph.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Serializes a dependency graph as JSON, for web UIs and downstream
+/// tooling:
+///
+///   {
+///     "start": <object id>,
+///     "nodes": [{"id", "type", "label", "host", "hop", "state"}, ...],
+///     "edges": [{"event", "src", "dst", "time", "action", "amount"}, ...]
+///   }
+///
+/// Nodes and edges are sorted by id so the output is deterministic.
+void WriteGraphJson(const DepGraph& graph, const ObjectCatalog& catalog,
+                    std::ostream& os);
+
+Status WriteGraphJsonFile(const DepGraph& graph, const ObjectCatalog& catalog,
+                          const std::string& path);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_GRAPH_JSON_WRITER_H_

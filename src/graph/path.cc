@@ -1,0 +1,54 @@
+#include "graph/path.h"
+
+#include <algorithm>
+#include <deque>
+#include <unordered_map>
+
+namespace aptrace {
+
+CausalPath FindCausalPath(const DepGraph& graph, ObjectId target,
+                          bool forward) {
+  CausalPath path;
+  const ObjectId start = graph.start();
+  if (!graph.HasNode(start) || !graph.HasNode(target)) return path;
+
+  // BFS from the start along the exploration direction, remembering the
+  // edge that first reached each node.
+  struct Via {
+    EventId event;
+    ObjectId from;
+  };
+  std::unordered_map<ObjectId, Via> via;
+  std::deque<ObjectId> queue{start};
+  via.emplace(start, Via{kInvalidEventId, kInvalidObjectId});
+
+  while (!queue.empty() && via.count(target) == 0) {
+    const ObjectId node = queue.front();
+    queue.pop_front();
+    const DepGraph::Node& n = graph.GetNode(node);
+    const auto& edges = forward ? n.out_edges : n.in_edges;
+    for (EventId eid : edges) {
+      const DepGraph::Edge& edge = graph.GetEdge(eid);
+      const ObjectId next = forward ? edge.dst : edge.src;
+      if (via.emplace(next, Via{eid, node}).second) {
+        queue.push_back(next);
+      }
+    }
+  }
+  if (via.count(target) == 0) return path;
+
+  // Walk back from the target to the start, then reverse.
+  std::vector<PathStep> reversed;
+  ObjectId cursor = target;
+  while (cursor != start) {
+    const Via& v = via.at(cursor);
+    reversed.push_back({v.event, cursor});
+    cursor = v.from;
+  }
+  std::reverse(reversed.begin(), reversed.end());
+  path.origin = start;
+  path.steps = std::move(reversed);
+  return path;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,38 @@
+#ifndef APTRACE_GRAPH_PATH_H_
+#define APTRACE_GRAPH_PATH_H_
+
+#include <vector>
+
+#include "graph/dep_graph.h"
+
+namespace aptrace {
+
+/// One step of a causal path: the edge (event) taken and the node it
+/// leads to.
+struct PathStep {
+  EventId event = kInvalidEventId;
+  ObjectId node = kInvalidObjectId;
+};
+
+/// A path through the tracking graph, starting at `origin` and following
+/// `steps`. Empty steps with a valid origin = the trivial path.
+struct CausalPath {
+  ObjectId origin = kInvalidObjectId;
+  std::vector<PathStep> steps;
+
+  bool empty() const { return origin == kInvalidObjectId; }
+  size_t Hops() const { return steps.size(); }
+};
+
+/// Shortest causal chain from the graph's start node to `target`,
+/// following the *exploration* direction: for a backward-tracking graph
+/// each step moves from a node to one of its in-edge sources ("this is
+/// where the data came from"); for a forward-tracking graph to one of its
+/// out-edge destinations ("this is where the data went"). Returns an
+/// empty path when `target` is unreachable.
+CausalPath FindCausalPath(const DepGraph& graph, ObjectId target,
+                          bool forward = false);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_GRAPH_PATH_H_

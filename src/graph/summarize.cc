@@ -1,0 +1,185 @@
+#include "graph/summarize.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_set>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace aptrace {
+
+namespace {
+
+std::string DotEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+const char* ShapeFor(ObjectType t) {
+  switch (t) {
+    case ObjectType::kProcess:
+      return "ellipse";
+    case ObjectType::kFile:
+      return "box";
+    case ObjectType::kIp:
+      return "diamond";
+  }
+  return "ellipse";
+}
+
+/// Group pattern for a collapsible leaf: files by directory + extension,
+/// sockets by destination /16.
+std::string GroupPattern(const SystemObject& obj) {
+  if (obj.is_file()) {
+    const std::string& path = obj.file().path;
+    const size_t slash = path.find_last_of("/\\");
+    const std::string dir =
+        slash == std::string::npos ? "" : path.substr(0, slash + 1);
+    const std::string name = obj.file().Filename();
+    const size_t dot = name.find_last_of('.');
+    const std::string ext =
+        dot == std::string::npos ? "" : name.substr(dot);
+    return dir + "*" + ext;
+  }
+  const auto octets = Split(obj.ip().dst_ip, '.');
+  if (octets.size() == 4) {
+    return "sockets to " + octets[0] + "." + octets[1] + ".*";
+  }
+  return "sockets to " + obj.ip().dst_ip;
+}
+
+/// A collapsible node's connection signature: its distinct neighbours
+/// with edge orientation (true = this node is the flow source). Nodes
+/// sharing a signature and a path pattern collapse together — e.g. every
+/// /usr/include header written by apt and read by gcc.
+using Signature = std::vector<std::pair<ObjectId, bool>>;
+
+struct GroupKey {
+  Signature signature;
+  std::string pattern;
+
+  bool operator<(const GroupKey& other) const {
+    return std::tie(signature, pattern) <
+           std::tie(other.signature, other.pattern);
+  }
+};
+
+}  // namespace
+
+SummaryStats WriteDotSummarized(const DepGraph& graph,
+                                const ObjectCatalog& catalog,
+                                std::ostream& os,
+                                const SummarizeOptions& options) {
+  SummaryStats stats;
+  stats.original_nodes = graph.NumNodes();
+
+  // Endpoints of the alert edge are never collapsed.
+  std::unordered_set<ObjectId> pinned{graph.start()};
+  if (options.alert_event != kInvalidEventId &&
+      graph.HasEdge(options.alert_event)) {
+    const DepGraph::Edge& alert = graph.GetEdge(options.alert_event);
+    pinned.insert(alert.src);
+    pinned.insert(alert.dst);
+  }
+
+  // Pass 1: bucket collapsible nodes by connection signature. Only file
+  // and socket nodes with few distinct neighbours collapse; processes and
+  // busy hubs stay individual.
+  constexpr size_t kMaxSignature = 3;
+  std::map<GroupKey, std::vector<ObjectId>> groups;
+  graph.ForEachNode([&](const DepGraph::Node& n) {
+    if (pinned.count(n.object)) return;
+    const SystemObject& obj = catalog.Get(n.object);
+    if (obj.is_process()) return;
+    Signature signature;
+    for (EventId eid : n.out_edges) {
+      signature.emplace_back(graph.GetEdge(eid).dst, true);
+    }
+    for (EventId eid : n.in_edges) {
+      signature.emplace_back(graph.GetEdge(eid).src, false);
+    }
+    std::sort(signature.begin(), signature.end());
+    signature.erase(std::unique(signature.begin(), signature.end()),
+                    signature.end());
+    if (signature.empty() || signature.size() > kMaxSignature) return;
+    groups[{std::move(signature), GroupPattern(obj)}].push_back(n.object);
+  });
+
+  std::unordered_set<ObjectId> collapsed;
+  for (auto& [key, members] : groups) {
+    (void)key;
+    if (members.size() >= options.min_group_size) {
+      for (ObjectId id : members) collapsed.insert(id);
+    }
+  }
+
+  os << "digraph \"" << DotEscape(options.graph_name) << "\" {\n";
+  os << "  rankdir=LR;\n  node [fontsize=10];\n";
+
+  // Individual nodes.
+  std::vector<ObjectId> nodes = graph.NodeIds();
+  std::sort(nodes.begin(), nodes.end());
+  for (ObjectId id : nodes) {
+    if (collapsed.count(id)) continue;
+    const SystemObject& obj = catalog.Get(id);
+    os << "  n" << id << " [label=\"" << DotEscape(obj.Label())
+       << "\" shape=" << ShapeFor(obj.type());
+    if (id == graph.start()) os << " style=filled fillcolor=lightyellow";
+    os << "];\n";
+    stats.summary_nodes++;
+  }
+
+  // Group nodes + their single aggregated edge.
+  size_t group_index = 0;
+  for (const auto& [key, members] : groups) {
+    if (members.size() < options.min_group_size) continue;
+    const std::string gid = "g" + std::to_string(group_index++);
+    const SystemObject& sample = catalog.Get(members.front());
+    os << "  " << gid << " [label=\"" << members.size() << " x "
+       << DotEscape(key.pattern) << "\" shape=" << ShapeFor(sample.type())
+       << " style=\"filled,dashed\" fillcolor=gray90];\n";
+    for (const auto& [neighbor, member_is_source] : key.signature) {
+      if (member_is_source) {
+        os << "  " << gid << " -> n" << neighbor;
+      } else {
+        os << "  n" << neighbor << " -> " << gid;
+      }
+      os << " [label=\"" << members.size()
+         << " events\" color=gray60 style=dashed];\n";
+    }
+    stats.groups++;
+    stats.collapsed_nodes += members.size();
+    stats.summary_nodes++;  // the group node itself
+  }
+
+  // Remaining edges between individual nodes.
+  std::vector<DepGraph::Edge> edges;
+  graph.ForEachEdge([&](const DepGraph::Edge& e) {
+    if (collapsed.count(e.src) || collapsed.count(e.dst)) return;
+    edges.push_back(e);
+  });
+  std::sort(edges.begin(), edges.end(),
+            [](const DepGraph::Edge& a, const DepGraph::Edge& b) {
+              return a.event < b.event;
+            });
+  for (const auto& e : edges) {
+    os << "  n" << e.src << " -> n" << e.dst << " [label=\""
+       << ActionTypeName(e.action) << "\" ";
+    if (e.event == options.alert_event) {
+      os << "color=red penwidth=2.5";
+    } else {
+      os << "color=gray40";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return stats;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,49 @@
+#ifndef APTRACE_GRAPH_SUMMARIZE_H_
+#define APTRACE_GRAPH_SUMMARIZE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+#include "event/catalog.h"
+#include "graph/dep_graph.h"
+
+namespace aptrace {
+
+/// Display-level summarization, matching how the paper draws dependency
+/// graphs (Figures 2 and 5 show grouped grey nodes such as "*.dll,
+/// sockets"): *leaf* nodes of the same kind hanging off the same process
+/// collapse into one summary node labelled with their count and pattern.
+///
+/// A node is collapsible when it has exactly one neighbour (degree 1) and
+/// is a file or a socket; files group by "directory/*.extension", sockets
+/// by destination /16. Processes, multi-neighbour nodes, and the start
+/// node always stay individual.
+struct SummarizeOptions {
+  /// Only collapse groups with at least this many members.
+  size_t min_group_size = 3;
+
+  /// Highlight edge (the anomaly alert), as in DotOptions.
+  EventId alert_event = kInvalidEventId;
+
+  std::string graph_name = "aptrace-summary";
+};
+
+/// Statistics of one summarization (also useful for tests).
+struct SummaryStats {
+  size_t original_nodes = 0;
+  size_t summary_nodes = 0;   // nodes drawn after grouping
+  size_t groups = 0;          // collapsed groups drawn
+  size_t collapsed_nodes = 0; // original nodes hidden inside groups
+};
+
+/// Writes the summarized graph as Graphviz DOT and returns the grouping
+/// statistics.
+SummaryStats WriteDotSummarized(const DepGraph& graph,
+                                const ObjectCatalog& catalog,
+                                std::ostream& os,
+                                const SummarizeOptions& options = {});
+
+}  // namespace aptrace
+
+#endif  // APTRACE_GRAPH_SUMMARIZE_H_

@@ -1,0 +1,87 @@
+#ifndef APTRACE_STORAGE_COST_MODEL_H_
+#define APTRACE_STORAGE_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// Simulated I/O cost of a backward-dependency query against the audit-log
+/// database.
+///
+/// The paper's deployment stores 13 TB of events in PostgreSQL; the waiting
+/// time between dependency-graph updates is dominated by how many index
+/// rows a query must fetch before it returns. We reproduce that with a
+/// linear model charged to the engine's SimClock:
+///
+///   cost = query_overhead
+///        + partitions_probed * per_partition_probe
+///        + partitions_with_matches * per_partition_seek
+///        + rows_matched * per_row_fetch
+///
+/// Defaults are calibrated against the paper's own numbers. Two
+/// constraints pin the regime:
+///  * Table I: the 30.75K-event A1 graph takes over four hours to
+///    generate, i.e. the *per-node query* floor is ~0.5 s (plan + whole-
+///    history index traversal across the partitioned 13 TB store) — the
+///    explosion cost is breadth (tens of thousands of queries), not
+///    result size;
+///  * Table II: the worst baseline waits are ~20 minutes, which for the
+///    biggest hub nodes (10^4..10^5 dependents) implies a per-row fetch
+///    cost of single-digit milliseconds.
+/// A monolithic scan therefore costs seconds before its first row and
+/// minutes-to-hours on hub nodes, while a narrow execution window costs
+/// a fraction of a second — the asymmetry Table II quantifies.
+struct CostModel {
+  /// Fixed per-query cost (planning, round trip).
+  DurationMicros query_overhead = 300 * kMicrosPerMilli;
+
+  /// Cost of probing a time partition that overlaps the scan range
+  /// (partition-pruning metadata check + index descent). This term is
+  /// what makes a monolithic whole-history scan expensive even when it
+  /// matches few rows — a one-month range costs ~6 s before the first row
+  /// — while a narrow execution window costs milliseconds. It reproduces
+  /// the baseline's ~7 s average update time (Table II).
+  DurationMicros per_partition_probe = 8 * kMicrosPerMilli;
+
+  /// Cost of the first index descent in a partition that has matches.
+  DurationMicros per_partition_seek = 20 * kMicrosPerMilli;
+
+  /// Cost of fetching one matched row (index fetch + metadata join).
+  DurationMicros per_row_fetch = 8 * kMicrosPerMilli;
+
+  /// Cost of a row discarded *server-side* by pushed-down heuristics. The
+  /// Refiner compiles BDL where-filters into the query itself (paper
+  /// Figure 3: BDL becomes "executable instructions"), so excluded rows
+  /// are rejected by a cheap predicate over the index row instead of
+  /// being fetched and joined.
+  DurationMicros per_row_filtered = 1 * kMicrosPerMilli;
+
+  DurationMicros QueryCost(uint64_t rows_fetched, uint64_t rows_filtered,
+                           uint64_t partitions_probed,
+                           uint64_t partitions_with_matches) const {
+    return query_overhead +
+           static_cast<DurationMicros>(partitions_probed) *
+               per_partition_probe +
+           static_cast<DurationMicros>(partitions_with_matches) *
+               per_partition_seek +
+           static_cast<DurationMicros>(rows_fetched) * per_row_fetch +
+           static_cast<DurationMicros>(rows_filtered) * per_row_filtered;
+  }
+
+  /// A zero-cost model (for unit tests that only care about results).
+  static CostModel Free() {
+    CostModel m;
+    m.query_overhead = 0;
+    m.per_partition_probe = 0;
+    m.per_partition_seek = 0;
+    m.per_row_fetch = 0;
+    m.per_row_filtered = 0;
+    return m;
+  }
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_COST_MODEL_H_

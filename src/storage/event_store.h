@@ -1,0 +1,171 @@
+#ifndef APTRACE_STORAGE_EVENT_STORE_H_
+#define APTRACE_STORAGE_EVENT_STORE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "event/catalog.h"
+#include "event/event.h"
+#include "storage/cost_model.h"
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Store construction options.
+struct EventStoreOptions {
+  /// Width of a time partition. The paper's backend partitions audit logs
+  /// by day; we default to one simulated hour so partition pruning is
+  /// meaningful at laptop scale.
+  DurationMicros partition_micros = kMicrosPerHour;
+
+  CostModel cost_model;
+};
+
+/// Cumulative I/O counters, used by the resource model and the benches.
+/// Snapshot of the store's atomic counters (see EventStore::stats()).
+struct StoreStats {
+  uint64_t queries = 0;
+  uint64_t rows_matched = 0;   // fetched and delivered to the caller
+  uint64_t rows_filtered = 0;  // rejected server-side by a pushed filter
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  DurationMicros simulated_cost = 0;
+};
+
+/// Server-side row predicate pushed into a scan (the Refiner compiles BDL
+/// heuristics into the query). Return false to discard the row cheaply.
+using RowFilter = std::function<bool(const Event&)>;
+
+/// Time-partitioned event store simulating the audit-log database.
+///
+/// Lifecycle: create, obtain the mutable catalog, Append() events in any
+/// order, Seal(), then query. Queries charge simulated time to the Clock
+/// passed per call (so several analysis sessions with independent clocks
+/// can share one store).
+///
+/// Thread-safety: after Seal(), any number of threads may query
+/// concurrently (the counters are atomic). Appends — including streaming
+/// post-seal appends — require external synchronization with queries.
+///
+/// The core query is ScanDest: all events whose data-flow *destination* is
+/// a given object within [begin, end). This is exactly the query backward
+/// tracking issues per explored node (paper Section II: an event B depends
+/// on A when A's flow destination equals B's flow source).
+class EventStore {
+ public:
+  explicit EventStore(EventStoreOptions options = {});
+
+  EventStore(const EventStore&) = delete;
+  EventStore& operator=(const EventStore&) = delete;
+
+  /// Mutable during the build phase only.
+  ObjectCatalog& catalog() { return catalog_; }
+  const ObjectCatalog& catalog() const { return catalog_; }
+
+  /// Appends an event; the store assigns and returns its EventId.
+  /// Before Seal() this is the bulk-load path; after Seal() the event is
+  /// indexed incrementally (streaming ingestion), so live collectors can
+  /// keep feeding a store that analyses are already running against.
+  /// Precondition: subject/object ids exist in the catalog.
+  EventId Append(Event event);
+
+  /// Freezes the bulk-load phase and builds the per-partition indexes.
+  void Seal();
+  bool sealed() const { return sealed_; }
+
+  size_t NumEvents() const { return events_.size(); }
+  const Event& Get(EventId id) const { return events_[id]; }
+
+  /// Earliest/latest event timestamps; [0, 0) when empty.
+  TimeMicros MinTime() const { return min_time_; }
+  TimeMicros MaxTime() const { return max_time_; }
+
+  /// Scans events with FlowDest() == dest and begin <= timestamp < end,
+  /// in ascending time order, invoking `fn` for each row that passes
+  /// `filter` (null = no filter). Filtered rows are charged the cheap
+  /// server-side-rejection cost; delivered rows the full fetch cost.
+  /// Charges the cost model to `clock` (pass nullptr to skip charging).
+  /// Returns the number of rows delivered.
+  ///
+  /// Precondition: sealed.
+  size_t ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
+                  Clock* clock, const std::function<void(const Event&)>& fn,
+                  const RowFilter& filter = nullptr) const;
+
+  /// Number of rows ScanDest would match, without fetching them (charges
+  /// only probe/overhead cost — models a COUNT(*) over the index).
+  size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
+                   Clock* clock) const;
+
+  /// Mirror of ScanDest for forward tracking: events whose data-flow
+  /// *source* is `src` within [begin, end), ascending by time.
+  size_t ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end, Clock* clock,
+                 const std::function<void(const Event&)>& fn,
+                 const RowFilter& filter = nullptr) const;
+
+  /// Full-range scan of all events in [begin, end), ascending; used for
+  /// start-point resolution and derived-attribute computation. Charges
+  /// per-row cost for every row in range.
+  size_t ScanRange(TimeMicros begin, TimeMicros end, Clock* clock,
+                   const std::function<void(const Event&)>& fn) const;
+
+  /// True if the object was ever written (flow into it from a process via
+  /// a write-like action) within [begin, end). Used by derived attribute
+  /// isReadOnly. Does not charge cost (metadata lookup).
+  bool HasIncomingWrite(ObjectId object, TimeMicros begin,
+                        TimeMicros end) const;
+
+  /// Distinct flow destinations of events whose source is `src` within
+  /// [begin, end). Used by derived attribute isWriteThrough. No cost.
+  std::vector<ObjectId> FlowDestsOf(ObjectId src, TimeMicros begin,
+                                    TimeMicros end) const;
+
+  /// Snapshot of the cumulative I/O counters.
+  StoreStats stats() const;
+  void ResetStats();
+
+  const EventStoreOptions& options() const { return options_; }
+
+ private:
+  struct Partition {
+    // Event ids with FlowDest == key, sorted by timestamp (ties by id).
+    std::unordered_map<ObjectId, std::vector<EventId>> by_dest;
+    // Event ids with FlowSource == key, sorted by timestamp. Powers the
+    // derived-attribute queries.
+    std::unordered_map<ObjectId, std::vector<EventId>> by_src;
+    // All event ids in the partition, sorted by timestamp.
+    std::vector<EventId> all;
+  };
+
+  int64_t PartitionIndex(TimeMicros t) const;
+
+  /// Inserts one event into the partition indexes at its sorted position
+  /// (incremental path for post-seal appends).
+  void IndexEvent(const Event& e);
+
+  EventStoreOptions options_;
+  ObjectCatalog catalog_;
+  std::vector<Event> events_;  // indexed by EventId
+  std::map<int64_t, Partition> partitions_;
+  TimeMicros min_time_ = std::numeric_limits<TimeMicros>::max();
+  TimeMicros max_time_ = std::numeric_limits<TimeMicros>::min();
+  bool sealed_ = false;
+
+  // Atomic so concurrent read-only sessions can share the store.
+  mutable std::atomic<uint64_t> stat_queries_{0};
+  mutable std::atomic<uint64_t> stat_rows_matched_{0};
+  mutable std::atomic<uint64_t> stat_rows_filtered_{0};
+  mutable std::atomic<uint64_t> stat_partitions_probed_{0};
+  mutable std::atomic<uint64_t> stat_partitions_seeked_{0};
+  mutable std::atomic<int64_t> stat_simulated_cost_{0};
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_EVENT_STORE_H_

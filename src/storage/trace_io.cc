@@ -1,0 +1,212 @@
+#include "storage/trace_io.h"
+
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aptrace {
+
+namespace {
+
+constexpr char kMagic[] = "aptrace-trace v1";
+
+Status ParseError(size_t line_no, const std::string& why) {
+  return Status::InvalidArgument("trace parse error at line " +
+                                 std::to_string(line_no) + ": " + why);
+}
+
+bool ParseInt(const std::string& s, int64_t* out) {
+  if (s.empty()) return false;
+  size_t i = 0;
+  bool negative = false;
+  if (s[0] == '-') {
+    negative = true;
+    i = 1;
+    if (s.size() == 1) return false;
+  }
+  int64_t v = 0;
+  for (; i < s.size(); ++i) {
+    if (s[i] < '0' || s[i] > '9') return false;
+    v = v * 10 + (s[i] - '0');
+  }
+  *out = negative ? -v : v;
+  return true;
+}
+
+bool ParseUint(const std::string& s, uint64_t* out) {
+  int64_t v = 0;
+  if (!ParseInt(s, &v) || v < 0) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+}  // namespace
+
+Status SaveTrace(const EventStore& store, std::ostream& os) {
+  if (!store.sealed()) {
+    return Status::FailedPrecondition("store must be sealed before saving");
+  }
+  const ObjectCatalog& catalog = store.catalog();
+  os << kMagic << "\n";
+  for (size_t h = 0; h < catalog.NumHosts(); ++h) {
+    os << "H\t" << h << "\t" << catalog.HostName(static_cast<HostId>(h))
+       << "\n";
+  }
+  for (ObjectId id = 0; id < catalog.size(); ++id) {
+    const SystemObject& obj = catalog.Get(id);
+    switch (obj.type()) {
+      case ObjectType::kProcess:
+        os << "P\t" << id << "\t" << obj.host() << "\t" << obj.process().pid
+           << "\t" << obj.process().start_time << "\t"
+           << obj.process().exename << "\n";
+        break;
+      case ObjectType::kFile:
+        os << "F\t" << id << "\t" << obj.host() << "\t"
+           << obj.file().creation_time << "\t"
+           << obj.file().last_modification_time << "\t"
+           << obj.file().last_access_time << "\t" << obj.file().path << "\n";
+        break;
+      case ObjectType::kIp:
+        os << "I\t" << id << "\t" << obj.host() << "\t" << obj.ip().dst_port
+           << "\t" << obj.ip().start_time << "\t" << obj.ip().src_ip << "\t"
+           << obj.ip().dst_ip << "\n";
+        break;
+    }
+  }
+  for (EventId id = 0; id < store.NumEvents(); ++id) {
+    const Event& e = store.Get(id);
+    os << "E\t" << e.subject << "\t" << e.object << "\t" << e.timestamp
+       << "\t" << e.amount << "\t" << static_cast<int>(e.action) << "\t"
+       << static_cast<int>(e.direction) << "\t" << e.host << "\n";
+  }
+  if (!os.good()) return Status::Internal("trace write failed");
+  return Status::Ok();
+}
+
+Status SaveTraceFile(const EventStore& store, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  return SaveTrace(store, f);
+}
+
+Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
+                                              EventStoreOptions options) {
+  auto store = std::make_unique<EventStore>(std::move(options));
+  ObjectCatalog& catalog = store->catalog();
+
+  std::string line;
+  size_t line_no = 0;
+  if (!std::getline(is, line) || Trim(line) != kMagic) {
+    return ParseError(1, "missing or wrong header (want '" +
+                             std::string(kMagic) + "')");
+  }
+  line_no = 1;
+
+  while (std::getline(is, line)) {
+    line_no++;
+    if (line.empty()) continue;
+    const std::vector<std::string> f = Split(line, '\t');
+    const std::string& kind = f[0];
+
+    if (kind == "H") {
+      if (f.size() != 3) return ParseError(line_no, "host needs 3 fields");
+      uint64_t id = 0;
+      if (!ParseUint(f[1], &id)) return ParseError(line_no, "bad host id");
+      const HostId got = catalog.InternHost(f[2]);
+      if (got != id) {
+        return ParseError(line_no, "host ids must be dense and in order");
+      }
+    } else if (kind == "P") {
+      if (f.size() != 6) return ParseError(line_no, "proc needs 6 fields");
+      uint64_t id = 0, host = 0;
+      int64_t pid = 0, start = 0;
+      if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
+          !ParseInt(f[3], &pid) || !ParseInt(f[4], &start)) {
+        return ParseError(line_no, "bad proc fields");
+      }
+      const ObjectId got = catalog.AddProcess(
+          static_cast<HostId>(host),
+          {.exename = f[5], .pid = pid, .start_time = start});
+      if (got != id) {
+        return ParseError(line_no, "object ids must be dense and in order");
+      }
+    } else if (kind == "F") {
+      if (f.size() != 7) return ParseError(line_no, "file needs 7 fields");
+      uint64_t id = 0, host = 0;
+      int64_t created = 0, modified = 0, accessed = 0;
+      if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
+          !ParseInt(f[3], &created) || !ParseInt(f[4], &modified) ||
+          !ParseInt(f[5], &accessed)) {
+        return ParseError(line_no, "bad file fields");
+      }
+      const ObjectId got = catalog.AddFile(
+          static_cast<HostId>(host), {.path = f[6],
+                                      .creation_time = created,
+                                      .last_modification_time = modified,
+                                      .last_access_time = accessed});
+      if (got != id) {
+        return ParseError(line_no, "object ids must be dense and in order");
+      }
+    } else if (kind == "I") {
+      if (f.size() != 7) return ParseError(line_no, "ip needs 7 fields");
+      uint64_t id = 0, host = 0;
+      int64_t port = 0, start = 0;
+      if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
+          !ParseInt(f[3], &port) || !ParseInt(f[4], &start)) {
+        return ParseError(line_no, "bad ip fields");
+      }
+      const ObjectId got = catalog.AddIp(
+          static_cast<HostId>(host),
+          {.src_ip = f[5],
+           .dst_ip = f[6],
+           .dst_port = static_cast<int32_t>(port),
+           .start_time = start});
+      if (got != id) {
+        return ParseError(line_no, "object ids must be dense and in order");
+      }
+    } else if (kind == "E") {
+      if (f.size() != 8) return ParseError(line_no, "event needs 8 fields");
+      uint64_t subject = 0, object = 0, amount = 0, host = 0;
+      int64_t ts = 0, action = 0, direction = 0;
+      if (!ParseUint(f[1], &subject) || !ParseUint(f[2], &object) ||
+          !ParseInt(f[3], &ts) || !ParseUint(f[4], &amount) ||
+          !ParseInt(f[5], &action) || !ParseInt(f[6], &direction) ||
+          !ParseUint(f[7], &host)) {
+        return ParseError(line_no, "bad event fields");
+      }
+      if (subject >= catalog.size() || object >= catalog.size()) {
+        return ParseError(line_no, "event references unknown object");
+      }
+      if (action < 0 || action > static_cast<int>(ActionType::kDelete)) {
+        return ParseError(line_no, "bad action code");
+      }
+      if (direction < 0 || direction > 1) {
+        return ParseError(line_no, "bad direction code");
+      }
+      Event e;
+      e.subject = subject;
+      e.object = object;
+      e.timestamp = ts;
+      e.amount = amount;
+      e.action = static_cast<ActionType>(action);
+      e.direction = static_cast<FlowDirection>(direction);
+      e.host = static_cast<HostId>(host);
+      store->Append(e);
+    } else {
+      return ParseError(line_no, "unknown record kind '" + kind + "'");
+    }
+  }
+  store->Seal();
+  return store;
+}
+
+Result<std::unique_ptr<EventStore>> LoadTraceFile(const std::string& path,
+                                                  EventStoreOptions options) {
+  std::ifstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for read: " + path);
+  return LoadTrace(f, std::move(options));
+}
+
+}  // namespace aptrace

@@ -1,0 +1,42 @@
+#ifndef APTRACE_STORAGE_TRACE_IO_H_
+#define APTRACE_STORAGE_TRACE_IO_H_
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "storage/event_store.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Plain-text serialization of an event store (catalog + events), so
+/// traces — including the staged attack cases — can be exported once and
+/// re-analyzed from the CLI or other tools.
+///
+/// Format: line-oriented, tab-separated, one record per line.
+///
+///   aptrace-trace v1
+///   H <host_id> <name>
+///   P <object_id> <host_id> <pid> <start_time> <exename>
+///   F <object_id> <host_id> <created> <modified> <accessed> <path>
+///   I <object_id> <host_id> <port> <start_time> <src_ip> <dst_ip>
+///   E <subject> <object> <timestamp> <amount> <action> <direction> <host>
+///
+/// Ids are dense and appear in creation order, so loading reproduces the
+/// exact same ObjectIds/EventIds. Names/paths are the last field on the
+/// line and may contain any character except '\n' and '\t'.
+///
+/// Write with SaveTrace on a sealed store; LoadTrace returns a sealed
+/// store.
+Status SaveTrace(const EventStore& store, std::ostream& os);
+Status SaveTraceFile(const EventStore& store, const std::string& path);
+
+Result<std::unique_ptr<EventStore>> LoadTrace(
+    std::istream& is, EventStoreOptions options = {});
+Result<std::unique_ptr<EventStore>> LoadTraceFile(
+    const std::string& path, EventStoreOptions options = {});
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_TRACE_IO_H_

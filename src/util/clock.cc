@@ -1,0 +1,19 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace aptrace {
+
+namespace {
+TimeMicros MonotonicNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+RealClock::RealClock() : origin_(MonotonicNow()) {}
+
+TimeMicros RealClock::NowMicros() const { return MonotonicNow() - origin_; }
+
+}  // namespace aptrace

@@ -1,0 +1,69 @@
+#ifndef APTRACE_UTIL_CLOCK_H_
+#define APTRACE_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace aptrace {
+
+/// Timestamps and durations throughout the library are int64 microseconds.
+using TimeMicros = int64_t;
+using DurationMicros = int64_t;
+
+constexpr DurationMicros kMicrosPerMilli = 1000;
+constexpr DurationMicros kMicrosPerSecond = 1000 * kMicrosPerMilli;
+constexpr DurationMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
+constexpr DurationMicros kMicrosPerHour = 60 * kMicrosPerMinute;
+constexpr DurationMicros kMicrosPerDay = 24 * kMicrosPerHour;
+
+/// Abstract clock. The analysis engine never reads wall time directly; it
+/// asks a Clock so that experiments can run against a simulated clock that
+/// the storage cost model advances deterministically.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual TimeMicros NowMicros() const = 0;
+
+  /// Advances the clock by `delta` microseconds. On clocks that track real
+  /// time this is a no-op (real time advances on its own); on simulated
+  /// clocks this is how work is "charged".
+  virtual void AdvanceMicros(DurationMicros delta) = 0;
+};
+
+/// Deterministic simulated clock. Starts at `start` and only moves when
+/// AdvanceMicros is called (by the storage cost model and the engine).
+class SimClock : public Clock {
+ public:
+  explicit SimClock(TimeMicros start = 0) : now_(start) {}
+
+  TimeMicros NowMicros() const override { return now_; }
+  void AdvanceMicros(DurationMicros delta) override {
+    if (delta > 0) now_ += delta;
+  }
+
+  /// Jumps directly to `t` if `t` is in the future; otherwise no-op.
+  void AdvanceTo(TimeMicros t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  TimeMicros now_;
+};
+
+/// Wall-clock backed clock (CLOCK_MONOTONIC); AdvanceMicros is a no-op.
+/// Used by the micro-benchmarks and by interactive example sessions.
+class RealClock : public Clock {
+ public:
+  RealClock();
+
+  TimeMicros NowMicros() const override;
+  void AdvanceMicros(DurationMicros) override {}
+
+ private:
+  TimeMicros origin_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_CLOCK_H_

@@ -1,0 +1,53 @@
+#ifndef APTRACE_UTIL_LOGGING_H_
+#define APTRACE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace aptrace {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Global minimum level; messages below it are discarded. Defaults to
+/// kWarning so library users are not spammed; tests/benches raise or lower
+/// it as needed.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink; emits to stderr on destruction if enabled.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace aptrace
+
+#define APTRACE_LOG(level)                                        \
+  ::aptrace::internal_logging::LogMessage(::aptrace::LogLevel::k##level, \
+                                          __FILE__, __LINE__)
+
+#endif  // APTRACE_UTIL_LOGGING_H_

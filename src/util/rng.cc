@@ -1,0 +1,119 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace aptrace {
+
+namespace {
+
+// SplitMix64, used only to expand the seed into xoshiro state.
+uint64_t SplitMix64(uint64_t* x) {
+  uint64_t z = (*x += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t x = seed;
+  for (auto& s : s_) s = SplitMix64(&x);
+  // Avoid the all-zero state (possible only for adversarial seeds).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::Uniform(uint64_t n) {
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -n % n;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformRange(int64_t lo, int64_t hi) {
+  return lo + static_cast<int64_t>(
+                  Uniform(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Zipf(uint64_t n, double s) {
+  if (n <= 1) return 0;
+  const double u = NextDouble();
+  double x;
+  if (std::abs(1.0 - s) < 1e-9) {
+    // s = 1: H(k) ~= ln(k), so the inverse CDF is k = n^u.
+    x = std::pow(static_cast<double>(n), u);
+  } else {
+    // Inverse-CDF via the approximation in Gray et al. ("Quickly
+    // generating billion-record synthetic databases"): good enough for
+    // workload shaping.
+    const double t = std::pow(static_cast<double>(n), 1.0 - s);
+    const double g = (t - 1.0) / (1.0 - s) + 1.0;  // normalizer-ish
+    const double w = u * g;
+    if (w <= 1.0) {
+      x = 1.0;
+    } else {
+      x = std::pow(w * (1.0 - s) + s, 1.0 / (1.0 - s));
+    }
+  }
+  uint64_t rank = static_cast<uint64_t>(x) - 1;
+  if (rank >= n) rank = n - 1;
+  return rank;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; draws two uniforms per call (no caching for determinism
+  // simplicity).
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  double x = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    x -= weights[i];
+    if (x <= 0) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+Rng Rng::Fork() { return Rng(Next() ^ 0xa5a5a5a5deadbeefULL); }
+
+}  // namespace aptrace

@@ -1,0 +1,55 @@
+#ifndef APTRACE_UTIL_RNG_H_
+#define APTRACE_UTIL_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aptrace {
+
+/// Deterministic pseudo-random number generator (xoshiro256**) with the
+/// distribution helpers the workload generator needs. All experiments are
+/// seeded so results are reproducible run to run.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformRange(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Exponentially distributed double with the given mean (> 0). Used for
+  /// bursty inter-arrival times (temporal locality of system events).
+  double Exponential(double mean);
+
+  /// Zipf-like integer in [0, n) with exponent `s` (s > 0). Rank 0 is the
+  /// most probable. Used for heavy-tailed fan-in (dependency explosion).
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Gaussian via Box-Muller.
+  double Gaussian(double mean, double stddev);
+
+  /// Picks one element index weighted by `weights` (all >= 0, sum > 0).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Derives an independent child generator (for per-host streams).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_RNG_H_

@@ -1,0 +1,122 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace aptrace {
+
+void SampleStats::Add(double x) {
+  samples_.push_back(x);
+  sum_ += x;
+  sorted_valid_ = false;
+}
+
+void SampleStats::AddAll(const std::vector<double>& xs) {
+  for (double x : xs) Add(x);
+}
+
+double SampleStats::Mean() const {
+  if (samples_.empty()) return 0;
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+double SampleStats::Stddev() const {
+  const size_t n = samples_.size();
+  if (n < 2) return 0;
+  const double mean = Mean();
+  double acc = 0;
+  for (double x : samples_) acc += (x - mean) * (x - mean);
+  return std::sqrt(acc / static_cast<double>(n - 1));
+}
+
+void SampleStats::EnsureSorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double SampleStats::Min() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0 : sorted_.front();
+}
+
+double SampleStats::Max() const {
+  EnsureSorted();
+  return sorted_.empty() ? 0 : sorted_.back();
+}
+
+double SampleStats::Percentile(double p) const {
+  EnsureSorted();
+  if (sorted_.empty()) return 0;
+  if (p <= 0) return sorted_.front();
+  if (p >= 100) return sorted_.back();
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  return sorted_[lo] * (1.0 - frac) + sorted_[lo + 1] * frac;
+}
+
+double SampleStats::Median() const { return Percentile(50); }
+
+SampleStats::BoxPlot SampleStats::Box() const {
+  BoxPlot box;
+  if (samples_.empty()) return box;
+  EnsureSorted();
+  box.min = sorted_.front();
+  box.max = sorted_.back();
+  box.q1 = Percentile(25);
+  box.median = Percentile(50);
+  box.q3 = Percentile(75);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+  box.whisker_lo = box.max;
+  box.whisker_hi = box.min;
+  for (double x : sorted_) {
+    if (x < lo_fence || x > hi_fence) {
+      box.outliers.push_back(x);
+    } else {
+      box.whisker_lo = std::min(box.whisker_lo, x);
+      box.whisker_hi = std::max(box.whisker_hi, x);
+    }
+  }
+  return box;
+}
+
+Histogram::Histogram(double lo, double hi, size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets == 0 ? 1 : buckets, 0) {}
+
+void Histogram::Add(double x) {
+  raw_.push_back(x);
+  double pos = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  long idx = static_cast<long>(pos);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(counts_.size()))
+    idx = static_cast<long>(counts_.size()) - 1;
+  counts_[static_cast<size_t>(idx)]++;
+  total_++;
+}
+
+double Histogram::FractionAtLeast(double threshold) const {
+  if (raw_.empty()) return 0;
+  size_t n = 0;
+  for (double x : raw_) {
+    if (x >= threshold) n++;
+  }
+  return static_cast<double>(n) / static_cast<double>(raw_.size());
+}
+
+std::string Histogram::ToString() const {
+  std::ostringstream os;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    const double b = lo_ + width * static_cast<double>(i);
+    os << "[" << b << ", " << (b + width) << ") " << counts_[i] << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace aptrace

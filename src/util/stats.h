@@ -1,0 +1,90 @@
+#ifndef APTRACE_UTIL_STATS_H_
+#define APTRACE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace aptrace {
+
+/// Accumulates samples and answers the summary questions the paper's
+/// evaluation asks: mean, standard deviation, percentiles (Table II),
+/// and box-plot five-number summaries with outliers (Figure 4).
+class SampleStats {
+ public:
+  SampleStats() = default;
+
+  void Add(double x);
+  void AddAll(const std::vector<double>& xs);
+
+  size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sum() const { return sum_; }
+
+  double Mean() const;
+  /// Sample standard deviation (n - 1 denominator); 0 for n < 2.
+  double Stddev() const;
+  double Min() const;
+  double Max() const;
+
+  /// Percentile in [0, 100] by linear interpolation between closest ranks.
+  /// Precondition: at least one sample.
+  double Percentile(double p) const;
+
+  /// Median (= Percentile(50)).
+  double Median() const;
+
+  /// Box-plot summary: quartiles plus whiskers at 1.5 IQR (Tukey), and the
+  /// values outside the whiskers as outliers. Matches Figure 4's rendering.
+  struct BoxPlot {
+    double min = 0;       // smallest sample
+    double whisker_lo = 0;
+    double q1 = 0;
+    double median = 0;
+    double q3 = 0;
+    double whisker_hi = 0;
+    double max = 0;       // largest sample
+    std::vector<double> outliers;
+  };
+  BoxPlot Box() const;
+
+  /// Underlying samples (unsorted insertion order).
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  // Sorts lazily; mutable cache invalidated by Add.
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+};
+
+/// Fixed-width histogram over [lo, hi) with `buckets` bins; values outside
+/// the range are clamped into the first/last bin. Used for reporting
+/// graph-size distributions (Section IV-B1).
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void Add(double x);
+  size_t TotalCount() const { return total_; }
+
+  /// Fraction of samples >= threshold.
+  double FractionAtLeast(double threshold) const;
+
+  /// One line per bucket: "[lo, hi) count".
+  std::string ToString() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<size_t> counts_;
+  std::vector<double> raw_;  // kept for exact threshold queries
+  size_t total_ = 0;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_STATS_H_

@@ -1,0 +1,101 @@
+#ifndef APTRACE_UTIL_STATUS_H_
+#define APTRACE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace aptrace {
+
+/// Error categories used across the library. Kept deliberately small; the
+/// human-readable message carries the detail.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (bad BDL, bad config)
+  kNotFound,         // lookup miss (unknown object, no start event)
+  kFailedPrecondition,
+  kOutOfRange,
+  kInternal,
+};
+
+/// Returns a stable name for a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight status type: either OK or an error code plus message.
+///
+/// The library does not use exceptions (Google style); fallible operations
+/// return `Status` or `Result<T>`. `Status` is cheap to copy in the OK case
+/// (empty message string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or an error Status. Analogous to absl::StatusOr.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::...;` both work inside functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}           // NOLINT
+  Result(Status status) : status_(std::move(status)) {}   // NOLINT
+
+  bool ok() const { return status_.ok() && value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Accessors do not check in release builds beyond
+  /// std::optional's own behaviour; callers must test ok() first.
+  const T& value() const& { return *value_; }
+  T& value() & { return *value_; }
+  T&& value() && { return std::move(*value_); }
+
+  const T& operator*() const& { return *value_; }
+  T& operator*() & { return *value_; }
+  const T* operator->() const { return &*value_; }
+  T* operator->() { return &*value_; }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_STATUS_H_

@@ -1,0 +1,210 @@
+#include "util/string_util.h"
+
+#include <cctype>
+#include <cstdio>
+#include <sstream>
+
+namespace aptrace {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  size_t e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) b++;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) e--;
+  return s.substr(b, e - b);
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+namespace {
+
+bool IsLeapYear(int y) {
+  return (y % 4 == 0 && y % 100 != 0) || y % 400 == 0;
+}
+
+int DaysInMonth(int y, int m) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (m == 2 && IsLeapYear(y)) return 29;
+  return kDays[m - 1];
+}
+
+// Days since 1970-01-01 for the given civil date (UTC).
+int64_t DaysFromCivil(int y, int m, int d) {
+  int64_t days = 0;
+  if (y >= 1970) {
+    for (int yy = 1970; yy < y; ++yy) days += IsLeapYear(yy) ? 366 : 365;
+  } else {
+    for (int yy = y; yy < 1970; ++yy) days -= IsLeapYear(yy) ? 366 : 365;
+  }
+  for (int mm = 1; mm < m; ++mm) days += DaysInMonth(y, mm);
+  return days + (d - 1);
+}
+
+// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* y, int* m, int* d) {
+  int year = 1970;
+  for (;;) {
+    const int len = IsLeapYear(year) ? 366 : 365;
+    if (days >= len) {
+      days -= len;
+      year++;
+    } else if (days < 0) {
+      year--;
+      days += IsLeapYear(year) ? 366 : 365;
+    } else {
+      break;
+    }
+  }
+  int month = 1;
+  while (days >= DaysInMonth(year, month)) {
+    days -= DaysInMonth(year, month);
+    month++;
+  }
+  *y = year;
+  *m = month;
+  *d = static_cast<int>(days) + 1;
+}
+
+bool ParseIntField(std::string_view s, int* out) {
+  if (s.empty()) return false;
+  int v = 0;
+  for (char c : s) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+    v = v * 10 + (c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Result<TimeMicros> ParseBdlTime(std::string_view s) {
+  // Formats: MM/DD/YYYY or MM/DD/YYYY:HH:MM:SS.
+  const auto bad = [&] {
+    return Status::InvalidArgument("bad time literal: '" + std::string(s) +
+                                   "' (want MM/DD/YYYY[:HH:MM:SS])");
+  };
+  std::string_view date = s;
+  std::string_view tod;
+  // The first ':' (if any) separates date from time-of-day.
+  size_t colon = s.find(':');
+  if (colon != std::string_view::npos) {
+    date = s.substr(0, colon);
+    tod = s.substr(colon + 1);
+  }
+  auto dparts = Split(date, '/');
+  if (dparts.size() != 3) return bad();
+  int month, day, year;
+  if (!ParseIntField(dparts[0], &month) || !ParseIntField(dparts[1], &day) ||
+      !ParseIntField(dparts[2], &year)) {
+    return bad();
+  }
+  if (month < 1 || month > 12 || year < 1900 || year > 9999) return bad();
+  if (day < 1 || day > DaysInMonth(year, month)) return bad();
+  int hh = 0, mm = 0, ss = 0;
+  if (!tod.empty()) {
+    auto tparts = Split(tod, ':');
+    if (tparts.size() != 3) return bad();
+    if (!ParseIntField(tparts[0], &hh) || !ParseIntField(tparts[1], &mm) ||
+        !ParseIntField(tparts[2], &ss)) {
+      return bad();
+    }
+    if (hh > 23 || mm > 59 || ss > 59) return bad();
+  }
+  const int64_t days = DaysFromCivil(year, month, day);
+  return days * kMicrosPerDay + hh * kMicrosPerHour + mm * kMicrosPerMinute +
+         ss * kMicrosPerSecond;
+}
+
+std::string FormatBdlTime(TimeMicros t) {
+  int64_t days = t / kMicrosPerDay;
+  int64_t rem = t % kMicrosPerDay;
+  if (rem < 0) {
+    rem += kMicrosPerDay;
+    days -= 1;
+  }
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  const int hh = static_cast<int>(rem / kMicrosPerHour);
+  const int mm = static_cast<int>((rem % kMicrosPerHour) / kMicrosPerMinute);
+  const int ss = static_cast<int>((rem % kMicrosPerMinute) / kMicrosPerSecond);
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%02d/%02d/%04d:%02d:%02d:%02d", m, d, y, hh,
+                mm, ss);
+  return buf;
+}
+
+Result<DurationMicros> ParseBdlDuration(std::string_view s) {
+  const auto bad = [&] {
+    return Status::InvalidArgument("bad duration literal: '" + std::string(s) +
+                                   "' (want e.g. 10mins, 30s, 2h)");
+  };
+  size_t i = 0;
+  while (i < s.size() && std::isdigit(static_cast<unsigned char>(s[i]))) i++;
+  if (i == 0 || i == s.size()) return bad();
+  int64_t n = 0;
+  for (size_t j = 0; j < i; ++j) n = n * 10 + (s[j] - '0');
+  const std::string unit = ToLower(s.substr(i));
+  if (unit == "ms") return n * kMicrosPerMilli;
+  if (unit == "s" || unit == "sec" || unit == "secs") return n * kMicrosPerSecond;
+  if (unit == "m" || unit == "min" || unit == "mins")
+    return n * kMicrosPerMinute;
+  if (unit == "h" || unit == "hour" || unit == "hours") return n * kMicrosPerHour;
+  if (unit == "d" || unit == "day" || unit == "days") return n * kMicrosPerDay;
+  return bad();
+}
+
+std::string FormatDuration(DurationMicros d) {
+  std::ostringstream os;
+  if (d < 0) {
+    os << "-";
+    d = -d;
+  }
+  if (d < kMicrosPerSecond) {
+    os << (d / kMicrosPerMilli) << "ms";
+    return os.str();
+  }
+  const int64_t hours = d / kMicrosPerHour;
+  const int64_t mins = (d % kMicrosPerHour) / kMicrosPerMinute;
+  const int64_t secs = (d % kMicrosPerMinute) / kMicrosPerSecond;
+  if (hours) os << hours << "h";
+  if (mins) os << mins << "m";
+  if (secs || (!hours && !mins)) os << secs << "s";
+  return os.str();
+}
+
+}  // namespace aptrace

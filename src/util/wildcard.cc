@@ -1,0 +1,67 @@
+#include "util/wildcard.h"
+
+#include "util/string_util.h"
+
+namespace aptrace {
+
+WildcardMatcher::WildcardMatcher(std::string_view pattern)
+    : pattern_(pattern) {
+  is_literal_ = pattern.find('*') == std::string_view::npos &&
+                pattern.find('?') == std::string_view::npos;
+  if (is_literal_) {
+    literal_lower_ = ToLower(pattern);
+    return;
+  }
+  // Translate the glob into an anchored, case-insensitive regex.
+  std::string re;
+  re.reserve(pattern.size() * 2);
+  for (char c : pattern) {
+    switch (c) {
+      case '*':
+        re += ".*";
+        break;
+      case '?':
+        re += '.';
+        break;
+      // Escape regex metacharacters.
+      case '.':
+      case '(':
+      case ')':
+      case '[':
+      case ']':
+      case '{':
+      case '}':
+      case '+':
+      case '^':
+      case '$':
+      case '|':
+      case '\\':
+        re += '\\';
+        re += c;
+        break;
+      default:
+        re += c;
+    }
+  }
+  regex_ = std::make_unique<std::regex>(
+      re, std::regex::ECMAScript | std::regex::icase | std::regex::optimize);
+}
+
+bool WildcardMatcher::Matches(std::string_view text) const {
+  if (is_literal_) {
+    if (text.size() != literal_lower_.size()) return false;
+    for (size_t i = 0; i < text.size(); ++i) {
+      char c = text[i];
+      if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+      if (c != literal_lower_[i]) return false;
+    }
+    return true;
+  }
+  return std::regex_match(text.begin(), text.end(), *regex_);
+}
+
+bool WildcardMatch(std::string_view pattern, std::string_view text) {
+  return WildcardMatcher(pattern).Matches(text);
+}
+
+}  // namespace aptrace

@@ -1,0 +1,44 @@
+#ifndef APTRACE_UTIL_WILDCARD_H_
+#define APTRACE_UTIL_WILDCARD_H_
+
+#include <memory>
+#include <regex>
+#include <string>
+#include <string_view>
+
+namespace aptrace {
+
+/// BDL string comparisons with `=` / `!=` are pattern matches (paper
+/// Section III-A). Analysts write glob-style patterns such as "*.dll" or
+/// "C://Sensitive/important.doc"; a pattern with no metacharacters is an
+/// exact (case-insensitive) match.
+///
+/// Supported metacharacters: `*` (any run, including empty) and `?` (any
+/// single char). Everything else is literal. Matching is case-insensitive,
+/// mirroring Windows path semantics used by the paper's examples.
+class WildcardMatcher {
+ public:
+  /// Compiles the pattern once; Matches() is then cheap to call per event.
+  explicit WildcardMatcher(std::string_view pattern);
+
+  bool Matches(std::string_view text) const;
+
+  const std::string& pattern() const { return pattern_; }
+
+  /// True if the pattern contains no metacharacters (plain comparison).
+  bool is_literal() const { return is_literal_; }
+
+ private:
+  std::string pattern_;
+  std::string literal_lower_;  // set when is_literal_
+  bool is_literal_;
+  std::unique_ptr<std::regex> regex_;  // set when !is_literal_
+};
+
+/// One-shot convenience (compiles the pattern each call; prefer the class
+/// in hot paths).
+bool WildcardMatch(std::string_view pattern, std::string_view text);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_WILDCARD_H_

@@ -1,0 +1,63 @@
+#include "workload/attacks/attack_common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+namespace aptrace::workload::internal_attacks {
+
+CaseEnv InitCase(TraceConfig config,
+                 const std::vector<std::pair<std::string, bool>>& hosts) {
+  // Attack-case hosts carry a moderated background profile: each case
+  // supplies its own dependency-explosion amplifier (findstr crawls, SQL
+  // client floods, web request floods, header trees), and the paper's
+  // ten-minute guided investigations imply the victim hosts themselves
+  // are not pathologically noisy near the alert. The enterprise-wide
+  // responsiveness experiments use the full-noise fleet instead
+  // (workload/enterprise.cc).
+  config.explorer_scans_per_day =
+      std::min(config.explorer_scans_per_day, 8);
+  config.explorer_scan_width = std::min(config.explorer_scan_width, 6);
+  config.user_sessions_per_day = std::min(config.user_sessions_per_day, 6);
+  config.connections_per_day = std::min(config.connections_per_day, 10);
+  config.service_config_reads_per_day =
+      std::min(config.service_config_reads_per_day, 3);
+  config.doc_skew = 0.0;  // cold documents; hubs come from the amplifiers
+
+  CaseEnv env;
+  env.config = config;
+  env.store = std::make_unique<EventStore>();
+  env.builder = std::make_unique<TraceBuilder>(env.store.get());
+  env.rng = std::make_unique<Rng>(config.seed);
+  env.noise = std::make_unique<NoiseGenerator>(env.builder.get(), config,
+                                               env.rng.get());
+  for (const auto& [name, is_windows] : hosts) {
+    env.hosts.push_back(env.noise->SetupHost(name, is_windows));
+  }
+  for (HostEnv& h : env.hosts) {
+    env.noise->GenerateBackground(h, config.start_time, config.end_time());
+  }
+  env.noise->CrossHostChatter(env.hosts, config.start_time,
+                              config.end_time());
+  return env;
+}
+
+TimeMicros T(const char* bdl_time) {
+  auto t = ParseBdlTime(bdl_time);
+  if (!t.ok()) {
+    std::fprintf(stderr, "attack injector: bad time literal %s\n", bdl_time);
+    std::abort();
+  }
+  return t.value();
+}
+
+BuiltCase Finalize(CaseEnv env, AttackScenario scenario) {
+  env.store->Seal();
+  scenario.alert = env.store->Get(scenario.alert_event);
+  BuiltCase out;
+  out.store = std::move(env.store);
+  out.scenario = std::move(scenario);
+  return out;
+}
+
+}  // namespace aptrace::workload::internal_attacks

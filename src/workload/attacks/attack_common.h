@@ -1,0 +1,44 @@
+#ifndef APTRACE_WORKLOAD_ATTACKS_ATTACK_COMMON_H_
+#define APTRACE_WORKLOAD_ATTACKS_ATTACK_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+#include "workload/noise.h"
+#include "workload/scenario.h"
+#include "workload/trace_builder.h"
+
+namespace aptrace::workload::internal_attacks {
+
+/// Everything an attack injector needs: a store under construction, the
+/// builder/noise facade over it, and the prepared hosts with their
+/// background activity already emitted.
+struct CaseEnv {
+  TraceConfig config;
+  std::unique_ptr<EventStore> store;
+  std::unique_ptr<TraceBuilder> builder;
+  std::unique_ptr<Rng> rng;
+  std::unique_ptr<NoiseGenerator> noise;
+  std::vector<HostEnv> hosts;
+
+  HostEnv& host(size_t i) { return hosts[i]; }
+};
+
+/// Sets up `hosts` (name, is_windows) on a fresh store, generates each
+/// host's background over the config window plus cross-host chatter.
+CaseEnv InitCase(TraceConfig config,
+                 const std::vector<std::pair<std::string, bool>>& hosts);
+
+/// Parses a BDL time literal; aborts on malformed input (attack authoring
+/// is compile-time-fixed strings).
+TimeMicros T(const char* bdl_time);
+
+/// Seals the store and assembles the BuiltCase.
+BuiltCase Finalize(CaseEnv env, AttackScenario scenario);
+
+}  // namespace aptrace::workload::internal_attacks
+
+#endif  // APTRACE_WORKLOAD_ATTACKS_ATTACK_COMMON_H_

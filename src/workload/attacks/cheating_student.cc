@@ -1,0 +1,164 @@
+#include <string>
+#include <vector>
+
+#include "workload/attacks/attack_common.h"
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+using internal_attacks::CaseEnv;
+using internal_attacks::Finalize;
+using internal_attacks::InitCase;
+using internal_attacks::T;
+
+/// A4 — Cheating Student (paper Section IV-D, after ProTracer's case
+/// study).
+///
+/// A student steals the admin's SSH credential from the admin laptop,
+/// uploads a backdoor program to the grade server, and uses it to change
+/// his score. The alert is the abnormal write to grades.db.
+BuiltCase BuildCheatingStudent(const TraceConfig& base_config) {
+  TraceConfig config = base_config;
+  config.start_time = T("03/28/2019");
+  config.days = 26;
+
+  CaseEnv env = InitCase(config, {{"gradesrv", false},
+                                  {"adminlaptop", false},
+                                  {"dorm-pc", true}});
+  TraceBuilder& b = *env.builder;
+  NoiseGenerator& noise = *env.noise;
+  Rng& rng = *env.rng;
+  HostEnv& server = env.host(0);
+  HostEnv& admin = env.host(1);
+  HostEnv& dorm = env.host(2);
+
+  // The grade database and a month of legitimate updates: teachers
+  // connect to grademgr, which writes grades.db — hundreds of benign
+  // writers once backtracking starts from the alert write.
+  const ObjectId grades_db = b.File(server.host, "/srv/grades/grades.db",
+                                    config.start_time);
+  const ObjectId grademgr = b.Proc(server.host, "grademgr",
+                                   config.start_time);
+  noise.LoadDlls(server, grademgr, config.start_time + kMicrosPerMinute, 12);
+  const int kLegitUpdates = 1500;
+  for (int i = 0; i < kLegitUpdates; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             24ULL * kMicrosPerDay));
+    const std::string teacher_ip =
+        "10.4." + std::to_string(rng.Uniform(6)) + "." +
+        std::to_string(rng.Uniform(250) + 1);
+    const ObjectId sock = b.Socket(server.host, teacher_ip, server.ip, 8443,
+                                   t);
+    b.Accept(grademgr, sock, t, 4096);
+    b.Write(grademgr, grades_db, t + kMicrosPerSecond, 4096);
+  }
+  // Nightly backups read the database (more benign churn around it).
+  const ObjectId backupd = b.Proc(server.host, "backupd", config.start_time);
+  for (int d = 0; d < config.days - 2; ++d) {
+    const TimeMicros t = config.start_time + d * kMicrosPerDay +
+                         3 * kMicrosPerHour;
+    b.Read(backupd, grades_db, t, 1024 * 1024);
+    b.Write(backupd,
+            b.File(server.host, "/backup/grades-" + std::to_string(d) + ".bak",
+                   t),
+            t + kMicrosPerMinute, 1024 * 1024);
+  }
+
+  // SSH daemons.
+  const ObjectId admin_sshd = b.Proc(admin.host, "sshd", config.start_time);
+  const ObjectId server_sshd = b.Proc(server.host, "sshd", config.start_time);
+  // Benign admin logins to the server over the month.
+  for (int i = 0; i < 220; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             24ULL * kMicrosPerDay));
+    const ObjectId sock = b.Socket(admin.host, admin.ip, server.ip, 22, t);
+    const ObjectId ssh = b.StartProcess(admin.shell, admin.host, "ssh", t);
+    b.Connect(ssh, sock, t, 2048);
+    b.Accept(server_sshd, sock, t + kMicrosPerSecond, 2048);
+  }
+
+  // --- Step 1: credential theft from the admin laptop (04/21).
+  const ObjectId admin_cred = b.File(admin.host, "/home/admin/.ssh/id_rsa",
+                                     config.start_time);
+  const ObjectId steal_sock = b.Socket(dorm.host, dorm.ip, admin.ip, 22,
+                                       T("04/21/2019:22:10:00"));
+  const ObjectId putty = noise.SpawnUserApp(dorm, "putty.exe",
+                                            T("04/21/2019:22:05:00"),
+                                            {.dll_loads = 10,
+                                             .doc_reads = 1,
+                                             .doc_writes = 0,
+                                             .sockets = 0,
+                                             .helper = false,
+                                             .ambient = false});
+  b.Connect(putty, steal_sock, T("04/21/2019:22:10:00"), 2048);
+  b.Read(admin_sshd, admin_cred, T("04/21/2019:22:11:00"), 4096);
+  b.Write(admin_sshd, steal_sock, T("04/21/2019:22:11:30"), 4096);
+  b.Accept(putty, steal_sock, T("04/21/2019:22:12:00"), 4096);
+  const ObjectId cred_copy = b.File(dorm.host,
+                                    "C://Users/student/Desktop/id_rsa",
+                                    T("04/21/2019:22:13:00"));
+  b.Write(putty, cred_copy, T("04/21/2019:22:13:00"), 4096);
+
+  // --- Step 2: upload the backdoor to the grade server (04/22).
+  const ObjectId backdoor_src = b.File(dorm.host,
+                                       "C://Users/student/Desktop/helper.bin",
+                                       T("04/22/2019:21:00:00"));
+  const ObjectId scp = b.StartProcess(dorm.shell, dorm.host, "pscp.exe",
+                                      T("04/22/2019:23:30:00"));
+  b.Read(scp, cred_copy, T("04/22/2019:23:30:10"), 4096);
+  b.Read(scp, backdoor_src, T("04/22/2019:23:30:20"), 300 * 1024);
+  const ObjectId upload_sock = b.Socket(dorm.host, dorm.ip, server.ip, 22,
+                                        T("04/22/2019:23:31:00"));
+  b.Connect(scp, upload_sock, T("04/22/2019:23:31:00"), 300 * 1024);
+  b.Accept(server_sshd, upload_sock, T("04/22/2019:23:31:30"), 300 * 1024);
+  const ObjectId backdoor_bin = b.File(server.host, "/tmp/.helper.bin",
+                                       T("04/22/2019:23:32:00"));
+  b.Write(server_sshd, backdoor_bin, T("04/22/2019:23:32:00"), 300 * 1024);
+
+  // --- Step 3: run the backdoor and change the score — the alert.
+  const ObjectId backdoor = b.StartProcess(server_sshd, server.host,
+                                           ".helper.bin",
+                                           T("04/22/2019:23:45:00"));
+  b.Read(backdoor, backdoor_bin, T("04/22/2019:23:45:01"), 300 * 1024);
+  const EventId alert = b.Write(backdoor, grades_db,
+                                T("04/22/2019:23:47:02"), 4096);
+
+  AttackScenario scenario;
+  scenario.name = "cheating_student";
+  scenario.title = "Cheating Student";
+  scenario.description =
+      "The student steals the credential of the admin laptop, uploads a "
+      "backdoor program to the server, and changes his score.";
+  scenario.alert_event = alert;
+  scenario.primary_host = "gradesrv";
+  scenario.ground_truth = {backdoor, backdoor_bin, upload_sock, scp,
+                           cred_copy, steal_sock, admin_cred};
+  scenario.penetration_point = steal_sock;
+  scenario.num_heuristics = 3;
+
+  const std::string header =
+      "from \"03/28/2019\" to \"04/23/2019\"\n"
+      "backward file g[path = \"/srv/grades/grades.db\" and event_time = "
+      "\"04/22/2019:23:47:02\" and action_type = \"write\"] -> *\n";
+  const std::string footer = "output = \"a4_result.dot\"\n";
+
+  // v1: unguided.
+  scenario.bdl_scripts.push_back(header + footer);
+  // v2: exclude the legitimate grade-manager service after confirming its
+  // writes are the routine teacher updates.
+  scenario.bdl_scripts.push_back(
+      header + "where proc.exename != \"grademgr\" and time < 10mins\n" +
+      footer);
+  // v3: also exclude the teacher subnet's sockets and dll noise.
+  scenario.bdl_scripts.push_back(
+      header +
+      "where proc.exename != \"grademgr\" and ip.src_ip != \"10.4.*\" and "
+      "file.path != \"*.dll\" and time < 10mins\n" +
+      footer);
+
+  return Finalize(std::move(env), std::move(scenario));
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,167 @@
+#include <string>
+#include <vector>
+
+#include "workload/attacks/attack_common.h"
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+using internal_attacks::CaseEnv;
+using internal_attacks::Finalize;
+using internal_attacks::InitCase;
+using internal_attacks::T;
+
+/// A2 — Malicious Excel Macro (paper Section IV-D, CVE-2008-0081,
+/// Figure 5).
+///
+/// The user of Host 1 downloads data.xls through the browser; its macro
+/// drops java.exe, which connects to the SQL server on Host 2 and runs a
+/// batch script through the SQL shell interface; the script drops and
+/// launches the qfvkl.exe backdoor. The anomaly alert is sqlservr.exe
+/// starting cmd.exe.
+BuiltCase BuildExcelMacro(const TraceConfig& base_config) {
+  TraceConfig config = base_config;
+  config.start_time = T("03/03/2019");
+  config.days = 32;
+
+  CaseEnv env = InitCase(config, {{"host1", true}, {"host2", true}});
+  TraceBuilder& b = *env.builder;
+  NoiseGenerator& noise = *env.noise;
+  Rng& rng = *env.rng;
+  HostEnv& host1 = env.host(0);
+  HostEnv& host2 = env.host(1);
+
+  // Long-lived SQL server with a month of benign client traffic — the
+  // dependency-explosion source once backtracking reaches sqlservr.exe.
+  const ObjectId sqlservr = b.Proc(host2.host, "sqlservr.exe",
+                                   config.start_time);
+  noise.LoadDlls(host2, sqlservr, config.start_time + kMicrosPerMinute, 20);
+  const int kBenignClients = 2200;
+  for (int i = 0; i < kBenignClients; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             31ULL * kMicrosPerDay));
+    const std::string client_ip =
+        "10.2." + std::to_string(rng.Uniform(8)) + "." +
+        std::to_string(rng.Uniform(250) + 1);
+    const ObjectId sock = b.Socket(host2.host, client_ip, host2.ip, 1433, t);
+    b.Accept(sqlservr, sock, t, 16 * 1024);
+  }
+
+  // --- Step 1: drive-by download through the browser.
+  NoiseGenerator::AppActivity browse_act;
+  browse_act.dll_loads = 15;
+  browse_act.doc_reads = 1;
+  browse_act.doc_writes = 0;
+  browse_act.sockets = 2;
+  browse_act.ambient = false;
+  const ObjectId iexplorer =
+      noise.SpawnUserApp(host1, "iexplorer.exe", T("04/01/2019:11:15:00"),
+                         browse_act);
+  const ObjectId web_sock = b.Socket(host1.host, host1.ip, "172.16.157.129",
+                                     443, T("04/01/2019:11:21:00"));
+  b.Connect(iexplorer, web_sock, T("04/01/2019:11:21:00"), 2048);
+  b.Accept(iexplorer, web_sock, T("04/01/2019:11:21:10"), 900 * 1024);
+  const ObjectId cache_file = b.File(
+      host1.host, "C://Users/user/AppData/HTTPS0_172.16.157.129.XLS",
+      T("04/01/2019:11:22:00"));
+  b.Write(iexplorer, cache_file, T("04/01/2019:11:22:00"), 900 * 1024);
+  if (!host1.hot_files.empty()) {
+    b.Write(iexplorer, host1.hot_files[0], T("04/01/2019:11:22:10"), 4096);
+  }
+  const ObjectId data_xls = b.File(host1.host,
+                                   "C://Users/user/Downloads/data.xls",
+                                   T("04/01/2019:11:23:00"));
+  b.Write(iexplorer, data_xls, T("04/01/2019:11:23:00"), 900 * 1024);
+  // The File Explorer later lists the Downloads folder (metadata reads),
+  // entangling explorer.exe with the attack chain (paper: removed with a
+  // heuristic after inspection).
+  b.Read(host1.shell, data_xls, T("04/02/2019:09:38:00"), 512);
+
+  // --- Step 2: the macro runs and drops java.exe.
+  const ObjectId excel = b.StartProcess(host1.shell, host1.host, "excel.exe",
+                                        T("04/02/2019:09:40:00"));
+  noise.LoadDlls(host1, excel, T("04/02/2019:09:40:05"), 18);
+  b.Read(excel, data_xls, T("04/02/2019:09:40:30"), 900 * 1024);
+  const ObjectId java_file = b.File(host1.host,
+                                    "C://Users/user/Documents/java.exe",
+                                    T("04/02/2019:09:42:00"));
+  b.Write(excel, java_file, T("04/02/2019:09:42:00"), 250 * 1024);
+  const ObjectId java = b.StartProcess(excel, host1.host, "java.exe",
+                                       T("04/02/2019:09:45:00"));
+  b.Read(java, java_file, T("04/02/2019:09:45:01"), 250 * 1024);
+  noise.LoadDlls(host1, java, T("04/02/2019:09:45:05"), 10);
+
+  // --- Step 3: lateral movement into the SQL server's shell interface.
+  const ObjectId sql_sock = b.Socket(host1.host, host1.ip, host2.ip, 1433,
+                                     T("04/03/2019:11:30:00"));
+  b.Connect(java, sql_sock, T("04/03/2019:11:30:00"), 64 * 1024);
+  b.Accept(sqlservr, sql_sock, T("04/03/2019:11:31:00"), 64 * 1024);
+
+  // --- Step 4: the alert — sqlservr.exe abnormally starts cmd.exe.
+  const ObjectId cmd = b.Proc(host2.host, "cmd.exe",
+                              T("04/03/2019:11:34:45"));
+  const EventId alert = b.Emit(ActionType::kStart, sqlservr, cmd,
+                               T("04/03/2019:11:34:45"));
+
+  // --- Step 5: the backdoor drop on Host 2.
+  const ObjectId vbs = b.File(host2.host, "C://Windows/Temp/QFTHV.VBS",
+                              T("04/03/2019:11:35:10"));
+  b.Write(cmd, vbs, T("04/03/2019:11:35:10"), 4096);
+  const ObjectId cscript = b.StartProcess(cmd, host2.host, "cscript.exe",
+                                          T("04/03/2019:11:35:40"));
+  b.Read(cscript, vbs, T("04/03/2019:11:35:41"), 4096);
+  const ObjectId qfvkl_file = b.File(host2.host,
+                                     "C://Windows/Temp/qfvkl.exe",
+                                     T("04/03/2019:11:36:20"));
+  b.Write(cscript, qfvkl_file, T("04/03/2019:11:36:20"), 180 * 1024);
+  const ObjectId qfvkl = b.StartProcess(cscript, host2.host, "qfvkl.exe",
+                                        T("04/03/2019:11:37:00"));
+  b.Read(qfvkl, qfvkl_file, T("04/03/2019:11:37:01"), 180 * 1024);
+
+  AttackScenario scenario;
+  scenario.name = "excel_macro";
+  scenario.title = "Malicious Excel Macro";
+  scenario.description =
+      "A malicious Excel macro makes the SQL server run the command line "
+      "abnormally; the dropped backdoor lands on an internal host.";
+  scenario.alert_event = alert;
+  scenario.primary_host = "host2";
+  scenario.ground_truth = {iexplorer, data_xls, excel, java, sql_sock,
+                           sqlservr, web_sock};
+  scenario.penetration_point = web_sock;
+  scenario.num_heuristics = 3;
+
+  const std::string header =
+      "from \"03/03/2019\" to \"04/04/2019\"\n"
+      "backward proc p[exename = \"cmd.exe\" and event_time = "
+      "\"04/03/2019:11:34:45\" and action_type = \"start\" and subject_name "
+      "= \"sqlservr.exe\"] -> *\n";
+  const std::string chain_v3 =
+      "from \"03/03/2019\" to \"04/04/2019\"\n"
+      "backward proc p[exename = \"cmd.exe\" and event_time = "
+      "\"04/03/2019:11:34:45\" and action_type = \"start\" and subject_name "
+      "= \"sqlservr.exe\"] -> ip i[dst_ip = \"" + host2.ip +
+      "\" and src_ip = \"" + host1.ip +
+      "\" and subject_name = \"java.exe\"] -> *\n";
+  const std::string footer = "output = \"a2_result.dot\"\n";
+
+  // v1: unguided (paper Program 7).
+  scenario.bdl_scripts.push_back(header + footer);
+  // v2: exclude dll files (paper Program 8).
+  scenario.bdl_scripts.push_back(
+      header + "where file.path != \"*.dll\" and time < 10mins\n" + footer);
+  // v3: focus on the java.exe socket as an intermediate point (Program 9).
+  scenario.bdl_scripts.push_back(
+      chain_v3 + "where file.path != \"*.dll\" and time < 10mins\n" + footer);
+  // v4: also exclude the Windows File Explorer (paper Program 10).
+  scenario.bdl_scripts.push_back(
+      chain_v3 +
+      "where file.path != \"*.dll\" and proc.exename != \"explorer.exe\" and "
+      "time < 10mins\n" +
+      footer);
+
+  return Finalize(std::move(env), std::move(scenario));
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,180 @@
+#include <string>
+#include <vector>
+
+#include "workload/attacks/attack_common.h"
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+using internal_attacks::CaseEnv;
+using internal_attacks::Finalize;
+using internal_attacks::InitCase;
+using internal_attacks::T;
+
+/// A1 — Phishing Email (paper Section II & IV-D, CVE-2015-1701).
+///
+/// outlook.exe receives a phishing mail and writes the malicious Excel
+/// attachment; excel.exe opens it and drops java.exe; java.exe runs
+/// cmd.exe -> findstr.exe to scan the home directory for credentials
+/// (slowly, over two days), injects into notepad.exe to dump the internal
+/// database with escalated privileges, and finally exfiltrates to an
+/// external IP — the anomaly alert backtracking starts from.
+BuiltCase BuildPhishingEmail(const TraceConfig& base_config) {
+  TraceConfig config = base_config;
+  config.start_time = T("03/26/2019");
+  config.days = 32;
+
+  CaseEnv env = InitCase(config, {{"desktop7", true},
+                                  {"dbserver1", true},
+                                  {"desktop8", true}});
+  TraceBuilder& b = *env.builder;
+  NoiseGenerator& noise = *env.noise;
+  Rng& rng = *env.rng;
+  HostEnv& victim = env.host(0);
+  HostEnv& dbhost = env.host(1);
+
+  // Home directory contents findstr will crawl; a slice of them is
+  // written by a backup service during the window, extending the benign
+  // dependency chains one more layer.
+  std::vector<ObjectId> home_files;
+  const int kHomeFiles = 2400;
+  for (int i = 0; i < kHomeFiles; ++i) {
+    home_files.push_back(b.File(
+        victim.host, "C://Users/victim/home/f" + std::to_string(i) + ".txt",
+        config.start_time));
+  }
+  const ObjectId backupd = b.Proc(victim.host, "backupd.exe",
+                                  config.start_time);
+  for (int i = 0; i < 400; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             20ULL * kMicrosPerDay));
+    b.Write(backupd, home_files[rng.Uniform(home_files.size())], t, 4096);
+  }
+
+  // --- Step 1: the phishing mail arrives.
+  NoiseGenerator::AppActivity mail_act;
+  mail_act.dll_loads = 16;
+  mail_act.doc_reads = 2;
+  mail_act.doc_writes = 1;
+  mail_act.sockets = 0;
+  mail_act.ambient = false;
+  const ObjectId outlook =
+      noise.SpawnUserApp(victim, "outlook.exe", T("04/24/2019:09:30:00"),
+                         mail_act);
+  const ObjectId mail_sock = b.Socket(victim.host, victim.ip, "198.51.100.9",
+                                      993, T("04/24/2019:09:58:00"));
+  b.Connect(outlook, mail_sock, T("04/24/2019:09:58:00"), 2048);
+  b.Accept(outlook, mail_sock, T("04/24/2019:09:58:20"), 1900 * 1024);
+  const ObjectId attach = b.File(
+      victim.host, "C://Users/victim/AppData/Temp/quarterly_report.xls",
+      T("04/24/2019:09:59:00"));
+  b.Write(outlook, attach, T("04/24/2019:09:59:00"), 1800 * 1024);
+
+  // --- Step 2: the victim opens the attachment; the macro drops java.exe.
+  const ObjectId excel = b.StartProcess(outlook, victim.host, "excel.exe",
+                                        T("04/24/2019:10:03:00"));
+  noise.LoadDlls(victim, excel, T("04/24/2019:10:03:05"), 18);
+  b.Read(excel, attach, T("04/24/2019:10:03:30"), 1800 * 1024);
+  const ObjectId java_file =
+      b.File(victim.host, "C://Users/victim/Documents/java.exe",
+             T("04/24/2019:10:04:10"));
+  b.Write(excel, java_file, T("04/24/2019:10:04:10"), 300 * 1024);
+  const ObjectId java = b.StartProcess(excel, victim.host, "java.exe",
+                                       T("04/24/2019:10:05:00"));
+  b.Read(java, java_file, T("04/24/2019:10:05:01"), 300 * 1024);
+  noise.LoadDlls(victim, java, T("04/24/2019:10:05:05"), 10);
+
+  // --- Step 3: credential hunt. findstr.exe hibernates between batches to
+  // stay under the anomaly detectors' radar (paper Section II).
+  const ObjectId cmd = b.StartProcess(java, victim.host, "cmd.exe",
+                                      T("04/24/2019:10:06:00"));
+  const ObjectId findstr = b.StartProcess(cmd, victim.host, "findstr.exe",
+                                          T("04/24/2019:10:07:00"));
+  const TimeMicros scan_begin = T("04/24/2019:10:07:30");
+  const TimeMicros scan_end = T("04/26/2019:12:00:00");
+  for (size_t i = 0; i < home_files.size(); ++i) {
+    const TimeMicros t =
+        scan_begin + static_cast<DurationMicros>(
+                         (scan_end - scan_begin) *
+                         (static_cast<double>(i) / home_files.size()));
+    b.Read(findstr, home_files[i], t, 4096);
+  }
+  // findstr also sweeps part of the shared document pool.
+  for (int i = 0; i < 450 && !victim.doc_pool.empty(); ++i) {
+    const TimeMicros t = scan_begin + static_cast<DurationMicros>(rng.Uniform(
+                                          static_cast<uint64_t>(
+                                              scan_end - scan_begin)));
+    b.Read(findstr, victim.doc_pool[rng.Uniform(victim.doc_pool.size())], t,
+           4096);
+  }
+  const ObjectId findstr_out =
+      b.File(victim.host, "C://Users/victim/AppData/Temp/findstr.out",
+             T("04/26/2019:12:30:00"));
+  b.Write(findstr, findstr_out, T("04/26/2019:12:30:00"), 5 * 1024 * 1024);
+  b.Read(java, findstr_out, T("04/26/2019:13:00:00"), 5 * 1024 * 1024);
+
+  // --- Step 4: privilege escalation through notepad.exe (CVE-2015-1701)
+  // and the database dump.
+  NoiseGenerator::AppActivity pad_act;
+  pad_act.dll_loads = 12;
+  pad_act.doc_reads = 1;
+  pad_act.doc_writes = 0;
+  pad_act.sockets = 0;
+  pad_act.ambient = false;
+  const ObjectId notepad =
+      noise.SpawnUserApp(victim, "notepad.exe", T("04/26/2019:15:40:00"),
+                         pad_act);
+  b.Emit(ActionType::kInject, java, notepad, T("04/26/2019:15:50:00"),
+         200 * 1024);
+  const ObjectId sqlservr = b.Proc(dbhost.host, "sqlservr.exe",
+                                   config.start_time);
+  const ObjectId db_sock = b.Socket(victim.host, victim.ip, dbhost.ip, 1433,
+                                    T("04/26/2019:16:10:00"));
+  b.Connect(notepad, db_sock, T("04/26/2019:16:10:00"), 4096);
+  b.Write(sqlservr, db_sock, T("04/26/2019:16:11:00"), 55 * 1024 * 1024);
+  b.Accept(notepad, db_sock, T("04/26/2019:16:12:00"), 55 * 1024 * 1024);
+  b.Write(notepad, java, T("04/26/2019:16:20:00"), 55 * 1024 * 1024);
+
+  // --- Step 5: exfiltration — the anomaly alert.
+  const ObjectId ext_sock = b.Socket(victim.host, victim.ip,
+                                     "185.220.101.45", 443,
+                                     T("04/26/2019:16:31:16"));
+  const EventId alert = b.Connect(java, ext_sock, T("04/26/2019:16:31:16"),
+                                  56 * 1024 * 1024);
+
+  AttackScenario scenario;
+  scenario.name = "phishing_email";
+  scenario.title = "Phishing Email";
+  scenario.description =
+      "Phishing mail drops a malicious Excel attachment; the dropped "
+      "java.exe scans credentials via findstr.exe, escalates through "
+      "notepad.exe, dumps the internal database, and exfiltrates.";
+  scenario.alert_event = alert;
+  scenario.primary_host = "desktop7";
+  scenario.ground_truth = {outlook, excel, java, attach, mail_sock};
+  scenario.penetration_point = mail_sock;
+  scenario.num_heuristics = 2;
+
+  const std::string header =
+      "from \"03/26/2019\" to \"04/27/2019\"\n"
+      "backward ip alert[dst_ip = \"185.220.101.45\" and subject_name = "
+      "\"java.exe\" and event_time = \"04/26/2019:16:31:16\" and action_type "
+      "= \"connect\"] -> *\n";
+  const std::string footer = "output = \"a1_result.dot\"\n";
+  // v1: unguided (paper Program 4).
+  scenario.bdl_scripts.push_back(header + footer);
+  // v2: exclude dll files (paper Program 5).
+  scenario.bdl_scripts.push_back(
+      header + "where file.path != \"*.dll\" and time < 10mins\n" + footer);
+  // v3: also exclude findstr.exe (paper Program 6).
+  scenario.bdl_scripts.push_back(
+      header +
+      "where file.path != \"*.dll\" and proc.exename != \"findstr.exe\" and "
+      "time < 10mins\n" +
+      footer);
+
+  return Finalize(std::move(env), std::move(scenario));
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,33 @@
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+std::vector<std::string> AttackCaseNames() {
+  return {"phishing_email", "excel_macro", "shellshock", "cheating_student",
+          "wget_unzip_gcc"};
+}
+
+bool ChainRecovered(const DepGraph& graph, const AttackScenario& scenario) {
+  if (scenario.penetration_point == kInvalidObjectId ||
+      !graph.HasNode(scenario.penetration_point)) {
+    return false;
+  }
+  for (ObjectId id : scenario.ground_truth) {
+    if (!graph.HasNode(id)) return false;
+  }
+  return true;
+}
+
+Result<BuiltCase> BuildAttackCase(std::string_view name,
+                                  const TraceConfig& config) {
+  if (name == "phishing_email") return BuildPhishingEmail(config);
+  if (name == "excel_macro") return BuildExcelMacro(config);
+  if (name == "shellshock") return BuildShellShock(config);
+  if (name == "cheating_student") return BuildCheatingStudent(config);
+  if (name == "wget_unzip_gcc") return BuildWgetUnzipGcc(config);
+  return Status::NotFound("unknown attack case '" + std::string(name) +
+                          "'; known cases: phishing_email, excel_macro, "
+                          "shellshock, cheating_student, wget_unzip_gcc");
+}
+
+}  // namespace aptrace::workload

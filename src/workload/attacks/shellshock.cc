@@ -1,0 +1,138 @@
+#include <string>
+#include <vector>
+
+#include "workload/attacks/attack_common.h"
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+using internal_attacks::CaseEnv;
+using internal_attacks::Finalize;
+using internal_attacks::InitCase;
+using internal_attacks::T;
+
+/// A3 — Shell Shock (paper Section IV-D, CVE-2014-6271).
+///
+/// An attacker exploits Apache's CGI environment handling to spawn a bash
+/// shell from httpd; bash harvests credential files and stages the loot in
+/// /tmp, and httpd itself uploads it back over a connection to the
+/// attacker. The alert is httpd's outbound connection to the attacker IP.
+BuiltCase BuildShellShock(const TraceConfig& base_config) {
+  TraceConfig config = base_config;
+  config.start_time = T("03/25/2019");
+  config.days = 27;
+
+  CaseEnv env = InitCase(config, {{"websrv1", false}, {"client-pool", false}});
+  TraceBuilder& b = *env.builder;
+  NoiseGenerator& noise = *env.noise;
+  Rng& rng = *env.rng;
+  HostEnv& web = env.host(0);
+
+  // Apache with a month of benign request traffic: each request is a
+  // socket flowing into httpd plus served-content reads and a log write —
+  // tens of thousands of dependents once backtracking reaches httpd.
+  const ObjectId httpd = b.Proc(web.host, "httpd", config.start_time);
+  noise.LoadDlls(web, httpd, config.start_time + kMicrosPerMinute, 16);
+  std::vector<ObjectId> www_pool;
+  for (int i = 0; i < 420; ++i) {
+    www_pool.push_back(b.File(web.host,
+                              "/var/www/html/page" + std::to_string(i) +
+                                  ".html",
+                              config.start_time));
+  }
+  const ObjectId access_log =
+      b.File(web.host, "/var/log/httpd/access.log", config.start_time);
+  const int kRequests = 9000;
+  for (int i = 0; i < kRequests; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             26ULL * kMicrosPerDay));
+    const std::string client_ip =
+        "10.3." + std::to_string(rng.Uniform(16)) + "." +
+        std::to_string(rng.Uniform(250) + 1);
+    const ObjectId sock = b.Socket(web.host, client_ip, web.ip, 80, t);
+    b.Accept(httpd, sock, t, 2048);
+    if (rng.Bernoulli(0.4)) {
+      b.Read(httpd, www_pool[rng.Zipf(www_pool.size(), 1.0)],
+             t + kMicrosPerSecond, 16 * 1024);
+    }
+    if (rng.Bernoulli(0.5)) {
+      b.Write(httpd, access_log, t + kMicrosPerSecond, 256);
+    }
+  }
+
+  // --- The exploit request, five days before the exfiltration (the
+  // implant lies low and harvests slowly to stay under the anomaly
+  // detectors' radar).
+  const ObjectId attack_sock = b.Socket(web.host, "198.18.77.5", web.ip, 80,
+                                        T("04/15/2019:03:40:00"));
+  b.Accept(httpd, attack_sock, T("04/15/2019:03:40:00"), 4096);
+  const ObjectId bash = b.StartProcess(httpd, web.host, "bash",
+                                       T("04/15/2019:03:40:30"));
+
+  // --- Credential harvest, spread over the following days.
+  std::vector<ObjectId> secrets;
+  secrets.push_back(b.File(web.host, "/etc/passwd", config.start_time));
+  secrets.push_back(b.File(web.host, "/etc/shadow", config.start_time));
+  for (int i = 0; i < 6; ++i) {
+    secrets.push_back(b.File(web.host,
+                             "/home/ops/secrets/key" + std::to_string(i) +
+                                 ".pem",
+                             config.start_time));
+  }
+  TimeMicros t = T("04/15/2019:04:10:00");
+  for (ObjectId s : secrets) {
+    b.Read(bash, s, t, 8 * 1024);
+    t += 14 * kMicrosPerHour;  // hibernating between batches
+  }
+  const ObjectId stolen = b.File(web.host, "/tmp/.cache_stolen",
+                                 T("04/19/2019:23:50:00"));
+  b.Write(bash, stolen, T("04/19/2019:23:50:00"), 2 * 1024 * 1024);
+
+  // --- Upload through Apache: httpd reads the staged loot and ships it.
+  b.Read(httpd, stolen, T("04/20/2019:02:14:20"), 2 * 1024 * 1024);
+  const ObjectId exfil_sock = b.Socket(web.host, web.ip, "198.18.77.5", 443,
+                                       T("04/20/2019:02:15:40"));
+  const EventId alert = b.Connect(httpd, exfil_sock,
+                                  T("04/20/2019:02:15:40"),
+                                  2 * 1024 * 1024 + 128 * 1024);
+
+  AttackScenario scenario;
+  scenario.name = "shellshock";
+  scenario.title = "Shell Shock";
+  scenario.description =
+      "Shell Shock vulnerability of Apache executes a bash, steals "
+      "sensitive data, and uploads it through Apache.";
+  scenario.alert_event = alert;
+  scenario.primary_host = "websrv1";
+  scenario.ground_truth = {httpd, bash, stolen, attack_sock};
+  scenario.penetration_point = attack_sock;
+  scenario.num_heuristics = 2;
+
+  const std::string header =
+      "from \"03/25/2019\" to \"04/21/2019\"\n"
+      "backward ip alert[dst_ip = \"198.18.77.5\" and subject_name = "
+      "\"httpd\" and event_time = \"04/20/2019:02:15:40\" and action_type = "
+      "\"connect\"] -> *\n";
+  const std::string footer = "output = \"a3_result.dot\"\n";
+
+  // v1: unguided.
+  scenario.bdl_scripts.push_back(header + footer);
+  // v2: exclude served content and logs (benign web-server churn).
+  scenario.bdl_scripts.push_back(
+      header +
+      "where file.path != \"/var/www/*\" and file.path != \"*.log\" and time "
+      "< 10mins\n" +
+      footer);
+  // v3: also exclude benign internal client sockets — the exploit came
+  // from an external address.
+  scenario.bdl_scripts.push_back(
+      header +
+      "where file.path != \"/var/www/*\" and file.path != \"*.log\" and "
+      "ip.src_ip != \"10.*\" and time < 10mins\n" +
+      footer);
+
+  return Finalize(std::move(env), std::move(scenario));
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,194 @@
+#include <string>
+#include <vector>
+
+#include "workload/attacks/attack_common.h"
+#include "workload/scenario.h"
+
+namespace aptrace::workload {
+
+using internal_attacks::CaseEnv;
+using internal_attacks::Finalize;
+using internal_attacks::InitCase;
+using internal_attacks::T;
+
+/// A5 — wget-unzip-gcc (paper Section IV-D, after Xu et al. CCS'16).
+///
+/// A ZIP with malicious source code is downloaded, unzipped, compiled and
+/// executed; the malware steals sensitive data and uploads it. The
+/// compile step drags in hundreds of system headers and object files —
+/// the largest dependency explosion of the five cases (121K events in the
+/// paper).
+BuiltCase BuildWgetUnzipGcc(const TraceConfig& base_config) {
+  TraceConfig config = base_config;
+  config.start_time = T("03/25/2019");
+  config.days = 25;
+
+  CaseEnv env = InitCase(config, {{"devbox1", false}, {"datasrv1", false}});
+  TraceBuilder& b = *env.builder;
+  Rng& rng = *env.rng;
+  HostEnv& dev = env.host(0);
+  HostEnv& data = env.host(1);
+
+  // The system header pool, installed by the package manager inside the
+  // window (each header has a writer, extending the explosion one layer).
+  const int kHeaders = 2600;
+  std::vector<ObjectId> headers;
+  headers.reserve(kHeaders);
+  const ObjectId apt = b.Proc(dev.host, "apt", config.start_time);
+  const ObjectId repo_sock = b.Socket(dev.host, dev.ip, "151.101.130.132",
+                                      443, T("03/27/2019:08:00:00"));
+  b.Connect(apt, repo_sock, T("03/27/2019:08:00:00"), 2048);
+  b.Accept(apt, repo_sock, T("03/27/2019:08:00:30"), 64 * 1024 * 1024);
+  for (int i = 0; i < kHeaders; ++i) {
+    const ObjectId h = b.File(
+        dev.host, "/usr/include/pkg/h" + std::to_string(i) + ".h",
+        T("03/27/2019:08:05:00"));
+    b.Write(apt, h, T("03/27/2019:08:05:00") + i * 50 * kMicrosPerMilli,
+            8 * 1024);
+    headers.push_back(h);
+  }
+
+  // Benign developer builds all month share the header pool.
+  for (int build = 0; build < 20; ++build) {
+    const TimeMicros t = T("03/29/2019:10:00:00") +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             20ULL * kMicrosPerDay));
+    const ObjectId gcc_benign = b.StartProcess(dev.shell, dev.host, "gcc", t);
+    for (int i = 0; i < 200; ++i) {
+      b.Read(gcc_benign, headers[rng.Zipf(headers.size(), 0.8)],
+             t + i * 20 * kMicrosPerMilli, 8 * 1024);
+    }
+    b.Write(gcc_benign,
+            b.File(dev.host, "/home/dev/proj/out" + std::to_string(build) +
+                                 ".o",
+                   t),
+            t + kMicrosPerMinute, 64 * 1024);
+  }
+
+  // The sensitive database on the data server, fed by many clients.
+  const ObjectId sens_db = b.File(data.host, "/srv/data/sensitive.db",
+                                  config.start_time);
+  const ObjectId datad = b.Proc(data.host, "datad", config.start_time);
+  for (int i = 0; i < 1500; ++i) {
+    const TimeMicros t = config.start_time +
+                         static_cast<DurationMicros>(rng.Uniform(
+                             22ULL * kMicrosPerDay));
+    const std::string client_ip =
+        "10.5." + std::to_string(rng.Uniform(8)) + "." +
+        std::to_string(rng.Uniform(250) + 1);
+    const ObjectId sock = b.Socket(data.host, client_ip, data.ip, 5432, t);
+    b.Accept(datad, sock, t, 8 * 1024);
+    if (rng.Bernoulli(0.6)) b.Write(datad, sens_db, t + kMicrosPerSecond, 8 * 1024);
+  }
+
+  // --- Step 1: download the ZIP.
+  const ObjectId bash = b.StartProcess(dev.shell, dev.host, "bash",
+                                       T("04/18/2019:20:00:00"));
+  const ObjectId wget = b.StartProcess(bash, dev.host, "wget",
+                                       T("04/18/2019:20:10:00"));
+  const ObjectId dl_sock = b.Socket(dev.host, dev.ip, "162.252.172.88", 443,
+                                    T("04/18/2019:20:10:05"));
+  b.Connect(wget, dl_sock, T("04/18/2019:20:10:05"), 2048);
+  b.Accept(wget, dl_sock, T("04/18/2019:20:10:30"), 20 * 1024 * 1024);
+  const ObjectId zip = b.File(dev.host, "/home/dev/downloads/tool.zip",
+                              T("04/18/2019:20:11:00"));
+  b.Write(wget, zip, T("04/18/2019:20:11:00"), 20 * 1024 * 1024);
+
+  // --- Step 2: unzip the sources.
+  const ObjectId unzip = b.StartProcess(bash, dev.host, "unzip",
+                                        T("04/18/2019:20:15:00"));
+  b.Read(unzip, zip, T("04/18/2019:20:15:01"), 20 * 1024 * 1024);
+  std::vector<ObjectId> sources;
+  for (int i = 0; i < 8; ++i) {
+    const ObjectId src = b.File(
+        dev.host, "/home/dev/downloads/tool/src" + std::to_string(i) + ".c",
+        T("04/18/2019:20:15:30"));
+    b.Write(unzip, src, T("04/18/2019:20:15:30") + i * kMicrosPerSecond,
+            64 * 1024);
+    sources.push_back(src);
+  }
+
+  // --- Step 3: compile (the explosion: 700 header reads + object files).
+  const ObjectId gcc = b.StartProcess(bash, dev.host, "gcc",
+                                      T("04/18/2019:20:20:00"));
+  for (ObjectId src : sources) {
+    b.Read(gcc, src, T("04/18/2019:20:20:05"), 64 * 1024);
+  }
+  for (int i = 0; i < 1800; ++i) {
+    b.Read(gcc, headers[rng.Zipf(headers.size(), 0.6)],
+           T("04/18/2019:20:20:10") + i * 10 * kMicrosPerMilli, 8 * 1024);
+  }
+  std::vector<ObjectId> objects;
+  for (int i = 0; i < 8; ++i) {
+    const ObjectId obj = b.File(
+        dev.host, "/home/dev/downloads/tool/src" + std::to_string(i) + ".o",
+        T("04/18/2019:20:25:00"));
+    b.Write(gcc, obj, T("04/18/2019:20:25:00") + i * kMicrosPerSecond,
+            128 * 1024);
+    objects.push_back(obj);
+  }
+  const ObjectId ld = b.StartProcess(gcc, dev.host, "ld",
+                                     T("04/18/2019:20:26:00"));
+  for (ObjectId obj : objects) {
+    b.Read(ld, obj, T("04/18/2019:20:26:05"), 128 * 1024);
+  }
+  const ObjectId malware_bin = b.File(dev.host,
+                                      "/home/dev/downloads/tool/tool",
+                                      T("04/18/2019:20:27:00"));
+  b.Write(ld, malware_bin, T("04/18/2019:20:27:00"), 900 * 1024);
+
+  // --- Step 4: run the malware; it pulls the sensitive data.
+  const ObjectId malware = b.StartProcess(bash, dev.host, "tool",
+                                          T("04/18/2019:20:30:00"));
+  b.Read(malware, malware_bin, T("04/18/2019:20:30:01"), 900 * 1024);
+  const ObjectId db_sock = b.Socket(dev.host, dev.ip, data.ip, 5432,
+                                    T("04/18/2019:20:45:00"));
+  b.Connect(malware, db_sock, T("04/18/2019:20:45:00"), 4096);
+  b.Read(datad, sens_db, T("04/18/2019:20:46:00"), 70 * 1024 * 1024);
+  b.Write(datad, db_sock, T("04/18/2019:20:46:30"), 70 * 1024 * 1024);
+  b.Accept(malware, db_sock, T("04/18/2019:20:47:00"), 70 * 1024 * 1024);
+
+  // --- Step 5: exfiltration — the alert.
+  const ObjectId exfil_sock = b.Socket(dev.host, dev.ip, "162.252.172.88",
+                                       443, T("04/18/2019:21:05:33"));
+  const EventId alert = b.Connect(malware, exfil_sock,
+                                  T("04/18/2019:21:05:33"),
+                                  72 * 1024 * 1024);
+
+  AttackScenario scenario;
+  scenario.name = "wget_unzip_gcc";
+  scenario.title = "wget-unzip-gcc";
+  scenario.description =
+      "A ZIP containing malicious source code is downloaded, unzipped, "
+      "compiled and executed; the malware steals the sensitive data.";
+  scenario.alert_event = alert;
+  scenario.primary_host = "devbox1";
+  scenario.ground_truth = {malware, malware_bin, ld, gcc, unzip, zip, wget,
+                           dl_sock};
+  scenario.penetration_point = dl_sock;
+  scenario.num_heuristics = 2;
+
+  const std::string header =
+      "from \"03/25/2019\" to \"04/19/2019\"\n"
+      "backward ip alert[dst_ip = \"162.252.172.88\" and subject_name = "
+      "\"tool\" and event_time = \"04/18/2019:21:05:33\" and action_type = "
+      "\"connect\"] -> *\n";
+  const std::string footer = "output = \"a5_result.dot\"\n";
+
+  // v1: unguided.
+  scenario.bdl_scripts.push_back(header + footer);
+  // v2: exclude the system header tree (compiler noise).
+  scenario.bdl_scripts.push_back(
+      header + "where file.path != \"/usr/include/*\" and time < 10mins\n" +
+      footer);
+  // v3: also exclude intermediate object files.
+  scenario.bdl_scripts.push_back(
+      header +
+      "where file.path != \"/usr/include/*\" and file.path != \"*.o\" and "
+      "time < 10mins\n" +
+      footer);
+
+  return Finalize(std::move(env), std::move(scenario));
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,95 @@
+#include "workload/enterprise.h"
+
+#include <string>
+
+#include "bdl/analyzer.h"
+#include "util/rng.h"
+#include "workload/noise.h"
+#include "workload/trace_builder.h"
+
+namespace aptrace::workload {
+
+std::unique_ptr<EventStore> BuildEnterpriseTrace(const TraceConfig& config) {
+  auto store = std::make_unique<EventStore>();
+  TraceBuilder builder(store.get());
+  Rng rng(config.seed);
+  NoiseGenerator noise(&builder, config, &rng);
+
+  std::vector<HostEnv> hosts;
+  hosts.reserve(config.num_hosts);
+  for (int i = 0; i < config.num_hosts; ++i) {
+    char name[32];
+    std::snprintf(name, sizeof(name), "host%02d", i + 1);
+    // Mix of Windows desktops and Linux servers, as in the paper's fleet.
+    const bool is_windows = (i % 3) != 2;
+    hosts.push_back(noise.SetupHost(name, is_windows));
+  }
+
+  const TimeMicros from = config.start_time;
+  const TimeMicros to = config.end_time();
+  for (HostEnv& env : hosts) noise.GenerateBackground(env, from, to);
+  noise.CrossHostChatter(hosts, from, to);
+
+  // Deliberately busy services: every host funnels telemetry into a
+  // central collector, and a file server accepts bulk traffic. Their
+  // dependent sets grow into the tens of thousands — the dependency
+  // explosion tail of Figure 4 / Table II.
+  if (!hosts.empty()) {
+    HostEnv& collector_host = hosts[0];
+    const ObjectId collector =
+        builder.Proc(collector_host.host, "telemetryd", from);
+    const ObjectId collector_db = builder.File(
+        collector_host.host, "/srv/telemetry/metrics.db", from);
+    for (const HostEnv& env : hosts) {
+      // Frequent small reports: several per host per day.
+      // High-frequency telemetry: the collector becomes a mega-hub
+      // (tens of thousands of dependents), like the busiest services
+      // of a real fleet.
+      const int reports = config.days * 800;
+      for (int r = 0; r < reports; ++r) {
+        const TimeMicros t =
+            from + static_cast<DurationMicros>(
+                       rng.Uniform(static_cast<uint64_t>(to - from)));
+        const ObjectId sock = builder.Socket(env.host, env.ip,
+                                             collector_host.ip, 4317, t);
+        if (env.services.empty()) continue;
+        const ObjectId reporter =
+            env.services[rng.Uniform(env.services.size())];
+        builder.Connect(reporter, sock, t, 2048);
+        builder.Accept(collector, sock, t + kMicrosPerSecond, 2048);
+        if (rng.Bernoulli(0.5)) {
+          builder.Write(collector, collector_db, t + 2 * kMicrosPerSecond,
+                        2048);
+        }
+      }
+    }
+  }
+
+  store->Seal();
+  return store;
+}
+
+std::vector<Event> SampleAnomalyEvents(const EventStore& store, size_t n,
+                                       uint64_t seed) {
+  std::vector<Event> out;
+  if (store.NumEvents() == 0) return out;
+  Rng rng(seed);
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(store.Get(rng.Uniform(store.NumEvents())));
+  }
+  return out;
+}
+
+bdl::TrackingSpec GenericSpecFor(const EventStore& store, const Event& alert) {
+  const ObjectType dest_type = store.catalog().Get(alert.FlowDest()).type();
+  std::string script = "backward ";
+  script += ObjectTypeName(dest_type);
+  script += " x[] -> *";
+  auto spec = bdl::CompileBdl(script);
+  // The script above is statically valid; a failure here is a programming
+  // error surfaced loudly in tests.
+  return spec.ok() ? std::move(spec.value()) : bdl::TrackingSpec{};
+}
+
+}  // namespace aptrace::workload

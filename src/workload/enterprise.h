@@ -1,0 +1,32 @@
+#ifndef APTRACE_WORKLOAD_ENTERPRISE_H_
+#define APTRACE_WORKLOAD_ENTERPRISE_H_
+
+#include <memory>
+#include <vector>
+
+#include "bdl/spec.h"
+#include "storage/event_store.h"
+#include "workload/trace_config.h"
+
+namespace aptrace::workload {
+
+/// Builds the multi-host enterprise trace the responsiveness experiments
+/// run on (Sections IV-B, IV-E, IV-F): background noise on every host,
+/// cross-host chatter, and a few deliberately busy services whose
+/// dependent sets are enormous — the heavy tail that makes the baseline's
+/// monolithic scans block for a long time.
+std::unique_ptr<EventStore> BuildEnterpriseTrace(const TraceConfig& config);
+
+/// Samples `n` events uniformly from the store to serve as synthetic
+/// anomaly alerts (the paper randomly selected 200 events and treated
+/// them as starting points). Deterministic for a given seed.
+std::vector<Event> SampleAnomalyEvents(const EventStore& store, size_t n,
+                                       uint64_t seed);
+
+/// An unconstrained tracking spec ("backward <type> x[] -> *") suitable
+/// for backtracking from an arbitrary injected alert event.
+bdl::TrackingSpec GenericSpecFor(const EventStore& store, const Event& alert);
+
+}  // namespace aptrace::workload
+
+#endif  // APTRACE_WORKLOAD_ENTERPRISE_H_

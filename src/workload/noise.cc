@@ -1,0 +1,301 @@
+#include "workload/noise.h"
+
+#include <algorithm>
+
+namespace aptrace::workload {
+
+namespace {
+
+const char* const kWindowsApps[] = {"outlook.exe", "excel.exe", "winword.exe",
+                                    "chrome.exe",  "iexplorer.exe",
+                                    "notepad.exe", "cmd.exe"};
+const char* const kLinuxApps[] = {"bash", "vim", "python", "curl", "sshd",
+                                  "tar"};
+
+std::string ExternalIp(Rng* rng) {
+  return "203.0." + std::to_string(rng->Uniform(32)) + "." +
+         std::to_string(rng->Uniform(250) + 1);
+}
+
+}  // namespace
+
+TimeMicros NoiseGenerator::Jitter(TimeMicros base, DurationMicros spread) {
+  if (spread <= 0) return base;
+  return base + static_cast<DurationMicros>(
+                    rng_->Uniform(static_cast<uint64_t>(spread)));
+}
+
+size_t NoiseGenerator::PickDoc(const HostEnv& env, double skew_delta) {
+  const double s = cfg_.doc_skew + skew_delta;
+  if (s <= 0.0) return rng_->Uniform(env.doc_pool.size());
+  return rng_->Zipf(env.doc_pool.size(), s);
+}
+
+HostEnv NoiseGenerator::SetupHost(const std::string& name, bool is_windows) {
+  HostEnv env;
+  env.name = name;
+  env.is_windows = is_windows;
+  env.host = b_->Host(name);
+  env.ip = "10.1." + std::to_string(env.host / 250) + "." +
+           std::to_string(env.host % 250 + 1);
+  const TimeMicros t0 = cfg_.start_time;
+
+  env.shell = b_->Proc(env.host, is_windows ? "explorer.exe" : "init", t0);
+  const int num_services = 3;
+  for (int i = 0; i < num_services; ++i) {
+    env.services.push_back(b_->Proc(
+        env.host, is_windows ? "svchost.exe" : "systemd-journald", t0));
+  }
+
+  const std::string res_dir =
+      is_windows ? "C://Windows/Resources/" : "/usr/share/";
+  for (int i = 0; i < 80; ++i) {
+    env.static_pool.push_back(b_->File(
+        env.host, res_dir + "res" + std::to_string(i) + ".bin", t0));
+  }
+  const std::string dll_dir =
+      is_windows ? "C://Windows/System32/" : "/usr/lib/";
+  const std::string dll_ext = is_windows ? ".dll" : ".so";
+  for (int i = 0; i < cfg_.dll_pool_size; ++i) {
+    env.dll_pool.push_back(b_->File(
+        env.host, dll_dir + "lib" + std::to_string(i) + dll_ext, t0));
+  }
+  const std::string doc_dir =
+      is_windows ? "C://Users/user/Documents/" : "/home/user/";
+  for (int i = 0; i < cfg_.doc_pool_size; ++i) {
+    env.doc_pool.push_back(
+        b_->File(env.host, doc_dir + "doc" + std::to_string(i) + ".dat", t0));
+  }
+  for (int i = 0; i < cfg_.hot_file_count; ++i) {
+    env.hot_files.push_back(b_->File(
+        env.host,
+        is_windows ? "C://Users/user/AppData/INDEX" + std::to_string(i) + ".DAT"
+                   : "/var/cache/index" + std::to_string(i) + ".db",
+        t0));
+  }
+  for (int i = 0; i < cfg_.log_file_count; ++i) {
+    env.log_files.push_back(b_->File(
+        env.host,
+        is_windows ? "C://Windows/Logs/svc" + std::to_string(i) + ".log"
+                   : "/var/log/svc" + std::to_string(i) + ".log",
+        t0));
+  }
+  for (int i = 0; i < cfg_.config_pool_size; ++i) {
+    env.config_pool.push_back(b_->File(
+        env.host,
+        is_windows ? "C://Windows/System32/config/cfg" + std::to_string(i) +
+                         ".ini"
+                   : "/etc/conf.d/cfg" + std::to_string(i) + ".conf",
+        t0));
+  }
+  // Registry-hive-like state files: every application session writes its
+  // settings/MRU entries into them and reads them back, so they are the
+  // ubiquitous mid-sized fan-in hubs real audit logs are full of.
+  for (int i = 0; i < 5; ++i) {
+    env.registry.push_back(b_->File(
+        env.host,
+        is_windows ? "C://Windows/System32/config/NTUSER" +
+                         std::to_string(i) + ".DAT"
+                   : "/var/lib/state/state" + std::to_string(i) + ".db",
+        t0));
+  }
+  return env;
+}
+
+void NoiseGenerator::LoadDlls(HostEnv& env, ObjectId proc, TimeMicros t,
+                              int n) {
+  for (int i = 0; i < n && !env.dll_pool.empty(); ++i) {
+    const size_t idx = rng_->Zipf(env.dll_pool.size(), 1.1);
+    b_->Read(proc, env.dll_pool[idx], Jitter(t, 2 * kMicrosPerSecond),
+             64 * 1024);
+  }
+}
+
+ObjectId NoiseGenerator::SpawnUserApp(HostEnv& env, std::string_view exename,
+                                      TimeMicros t,
+                                      const AppActivity& activity) {
+  const ObjectId app = b_->StartProcess(env.shell, env.host, exename, t);
+  TimeMicros cursor = t + kMicrosPerSecond;
+  LoadDlls(env, app, cursor, activity.dll_loads);
+  cursor += 5 * kMicrosPerSecond;
+
+  for (int i = 0; i < activity.doc_reads && !env.doc_pool.empty(); ++i) {
+    b_->Read(app, env.doc_pool[PickDoc(env)],
+             Jitter(cursor, 30 * kMicrosPerSecond), 16 * 1024);
+  }
+  // Read-only resources (fonts, icons, locale data): never written, so
+  // they are leaf nodes — the benign bulk of real audit logs.
+  for (int i = 0; i < 12 && !env.static_pool.empty(); ++i) {
+    b_->Read(app, env.static_pool[rng_->Uniform(env.static_pool.size())],
+             Jitter(cursor, 30 * kMicrosPerSecond), 4096);
+  }
+  cursor += kMicrosPerMinute;
+  for (int i = 0; i < activity.doc_writes && !env.doc_pool.empty(); ++i) {
+    // Writes concentrate on popular documents (shared sheets, working
+    // sets), so a slice of the doc pool becomes mid-sized fan-in hubs —
+    // the fat middle of the dependent-count distribution that makes
+    // monolithic history scans block (Table II's 90/95th percentiles).
+    b_->Write(app, env.doc_pool[PickDoc(env)],
+              Jitter(cursor, 30 * kMicrosPerSecond), 8 * 1024);
+  }
+  // Apps touch the hot cache files too (high fan-in noise), both writing
+  // them and reading them — the read is what drags the hub into other
+  // processes' backward closures.
+  if (activity.ambient) {
+    // Settings and MRU bookkeeping in the registry hives.
+    if (!env.registry.empty()) {
+      for (int i = 0; i < 2; ++i) {
+        b_->Write(app, env.registry[rng_->Uniform(env.registry.size())],
+                  Jitter(cursor, kMicrosPerMinute), 512);
+      }
+      if (rng_->Bernoulli(0.35)) {
+        b_->Read(app, env.registry[rng_->Uniform(env.registry.size())],
+                 Jitter(cursor, kMicrosPerMinute), 512);
+      }
+    }
+    if (!env.hot_files.empty() && rng_->Bernoulli(0.6)) {
+      b_->Write(app, env.hot_files[rng_->Uniform(env.hot_files.size())],
+                Jitter(cursor, kMicrosPerMinute), 2048);
+    }
+    if (!env.hot_files.empty() && rng_->Bernoulli(0.4)) {
+      b_->Read(app, env.hot_files[rng_->Uniform(env.hot_files.size())],
+               Jitter(cursor, kMicrosPerMinute), 2048);
+    }
+    // Local services answer the app over IPC (name resolution, settings,
+    // notifications): the service hub flows into most app closures.
+    if (!env.services.empty() && rng_->Bernoulli(0.35)) {
+      b_->Write(env.services[rng_->Uniform(env.services.size())], app,
+                Jitter(cursor, kMicrosPerMinute), 512);
+    }
+  }
+  for (int i = 0; i < activity.sockets; ++i) {
+    const ObjectId sock = b_->Socket(env.host, env.ip, ExternalIp(rng_), 443,
+                                     cursor);
+    b_->Connect(app, sock, Jitter(cursor, kMicrosPerMinute), 4096);
+    if (rng_->Bernoulli(0.5)) {
+      b_->Accept(app, sock, Jitter(cursor + kMicrosPerSecond,
+                                   kMicrosPerMinute),
+                 32 * 1024);
+    }
+  }
+  if (activity.helper) {
+    // Write-through helper: takes input from the app, returns results to
+    // it, and touches nothing else (paper Section IV-C1).
+    const ObjectId helper = b_->StartProcess(
+        app, env.host, env.is_windows ? "conhost.exe" : "awk", cursor);
+    b_->Write(helper, app, cursor + 2 * kMicrosPerSecond, 1024);
+  }
+  return app;
+}
+
+void NoiseGenerator::GenerateBackground(HostEnv& env, TimeMicros from,
+                                        TimeMicros to) {
+  const int days = static_cast<int>((to - from) / kMicrosPerDay) + 1;
+  for (int day = 0; day < days; ++day) {
+    const TimeMicros day_start = from + day * kMicrosPerDay;
+    if (day_start >= to) break;
+
+    // File-explorer metadata scans, all day long: when anyone opens a
+    // folder, the explorer reads every file in it (paper Section IV-D,
+    // case A2). This is the canonical dependency-explosion source.
+    for (int s = 0; s < cfg_.explorer_scans_per_day; ++s) {
+      const TimeMicros t = Jitter(day_start, kMicrosPerDay);
+      if (t >= to) continue;
+      for (int i = 0; i < cfg_.explorer_scan_width && !env.doc_pool.empty();
+           ++i) {
+        // Popularity-skewed: the folders people open are the folders
+        // people edit, so the scanned files are mostly the
+        // heavily-written ones — explosion interiors are hub-on-hub.
+        b_->Read(env.shell, env.doc_pool[PickDoc(env, -0.1)],
+                 Jitter(t, kMicrosPerMinute), 512);
+      }
+      if (!env.hot_files.empty()) {
+        b_->Write(env.shell,
+                  env.hot_files[rng_->Uniform(env.hot_files.size())],
+                  Jitter(t, kMicrosPerMinute), 1024);
+      }
+    }
+
+    // Service churn: periodic log/telemetry writes.
+    for (int s = 0; s < cfg_.service_writes_per_day; ++s) {
+      const TimeMicros t = Jitter(day_start, kMicrosPerDay);
+      if (t >= to || env.services.empty() || env.log_files.empty()) continue;
+      const ObjectId svc = env.services[rng_->Uniform(env.services.size())];
+      b_->Write(svc, env.log_files[rng_->Uniform(env.log_files.size())], t,
+                512);
+      if (rng_->Bernoulli(0.4) && !env.hot_files.empty()) {
+        b_->Write(svc, env.hot_files[rng_->Uniform(env.hot_files.size())],
+                  Jitter(t, kMicrosPerSecond), 256);
+      }
+    }
+
+    // Services periodically re-read their configuration: long-lived
+    // service processes accumulate hundreds of in-flows over the window
+    // and become the mid-sized hubs of the dependent-count distribution.
+    for (const ObjectId svc : env.services) {
+      for (int s = 0; s < cfg_.service_config_reads_per_day; ++s) {
+        const TimeMicros t = Jitter(day_start, kMicrosPerDay);
+        if (t >= to || env.config_pool.empty()) continue;
+        b_->Read(svc, env.config_pool[rng_->Uniform(env.config_pool.size())],
+                 t, 1024);
+      }
+    }
+
+    // User sessions in business hours (bursts: temporal locality).
+    for (int s = 0; s < cfg_.user_sessions_per_day; ++s) {
+      const TimeMicros t =
+          Jitter(day_start + 9 * kMicrosPerHour, 8 * kMicrosPerHour);
+      if (t >= to) continue;
+      AppActivity act;
+      act.dll_loads = cfg_.dlls_per_process;
+      act.doc_reads = 2 + static_cast<int>(rng_->Uniform(4));
+      act.doc_writes = 1 + static_cast<int>(rng_->Uniform(4));
+      act.sockets = static_cast<int>(rng_->Uniform(3));
+      act.helper = rng_->Bernoulli(0.3);
+      const char* exe =
+          env.is_windows
+              ? kWindowsApps[rng_->Uniform(std::size(kWindowsApps))]
+              : kLinuxApps[rng_->Uniform(std::size(kLinuxApps))];
+      SpawnUserApp(env, exe, t, act);
+    }
+  }
+}
+
+void NoiseGenerator::CrossHostChatter(std::vector<HostEnv>& hosts,
+                                      TimeMicros from, TimeMicros to) {
+  if (hosts.size() < 2) return;
+  const int days = static_cast<int>((to - from) / kMicrosPerDay) + 1;
+  for (int day = 0; day < days; ++day) {
+    const TimeMicros day_start = from + day * kMicrosPerDay;
+    if (day_start >= to) break;
+    const int conns =
+        cfg_.connections_per_day * static_cast<int>(hosts.size());
+    for (int c = 0; c < conns; ++c) {
+      const size_t a = rng_->Uniform(hosts.size());
+      size_t b = rng_->Uniform(hosts.size());
+      if (b == a) b = (b + 1) % hosts.size();
+      HostEnv& client = hosts[a];
+      HostEnv& server = hosts[b];
+      const TimeMicros t = Jitter(day_start, kMicrosPerDay);
+      if (t >= to || client.services.empty() || server.services.empty())
+        continue;
+      const ObjectId sock =
+          b_->Socket(client.host, client.ip, server.ip, 445, t);
+      const ObjectId client_proc =
+          client.services[rng_->Uniform(client.services.size())];
+      const ObjectId server_proc =
+          server.services[rng_->Uniform(server.services.size())];
+      b_->Connect(client_proc, sock, t, 8 * 1024);
+      b_->Accept(server_proc, sock, t + kMicrosPerSecond, 8 * 1024);
+      // Occasionally the transferred data lands in a file: cross-host
+      // provenance chains.
+      if (rng_->Bernoulli(0.3) && !server.doc_pool.empty()) {
+        b_->Write(server_proc,
+                  server.doc_pool[rng_->Uniform(server.doc_pool.size())],
+                  t + 2 * kMicrosPerSecond, 8 * 1024);
+      }
+    }
+  }
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,90 @@
+#ifndef APTRACE_WORKLOAD_NOISE_H_
+#define APTRACE_WORKLOAD_NOISE_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "workload/trace_builder.h"
+#include "workload/trace_config.h"
+
+namespace aptrace::workload {
+
+/// Per-host fixture objects shared by the background generator and the
+/// attack injectors (attack processes load the same dlls, are spawned by
+/// the same explorer, and so on — that is what entangles the attack chain
+/// with benign noise and causes dependency explosion).
+struct HostEnv {
+  HostId host = kInvalidHostId;
+  std::string name;
+  std::string ip;
+  bool is_windows = true;
+
+  ObjectId shell = kInvalidObjectId;  // explorer.exe / init: spawns apps
+  std::vector<ObjectId> services;     // svchost.exe / systemd services
+  std::vector<ObjectId> dll_pool;     // shared libraries (read-only noise)
+  std::vector<ObjectId> doc_pool;     // user documents
+  std::vector<ObjectId> hot_files;    // INDEX.DAT-like high-fan-in files
+  std::vector<ObjectId> log_files;
+  std::vector<ObjectId> config_pool;  // config files services re-read
+  std::vector<ObjectId> registry;     // registry-hive-like state files every
+                                      // app session writes and reads
+  std::vector<ObjectId> static_pool;  // read-only resources (leaf nodes)
+};
+
+/// Generates the benign enterprise background this paper's evaluation sits
+/// on: file-explorer metadata scans, service log churn, bursty user app
+/// sessions with dll fan-out, helper (write-through) processes, and
+/// cross-host connections. Deterministic given the Rng.
+class NoiseGenerator {
+ public:
+  /// Activity profile for one user application session.
+  struct AppActivity {
+    int dll_loads = 12;
+    int doc_reads = 3;
+    int doc_writes = 1;
+    int sockets = 1;
+    bool helper = false;   // spawn a write-through helper child
+    bool ambient = true;   // touch hub files / receive service IPC; attack
+                           // injectors disable this for chain processes
+  };
+
+  NoiseGenerator(TraceBuilder* builder, const TraceConfig& config, Rng* rng)
+      : b_(builder), cfg_(config), rng_(rng) {}
+
+  /// Creates the host fixtures (shell, services, file pools).
+  HostEnv SetupHost(const std::string& name, bool is_windows);
+
+  /// Emits the host's background activity over [from, to).
+  void GenerateBackground(HostEnv& env, TimeMicros from, TimeMicros to);
+
+  /// Spawns a user application under the host's shell and plays out an
+  /// activity burst starting at `t`. Returns the new process, usable by
+  /// attack injectors as a realistic launch point. Events spread over a
+  /// few minutes after `t`.
+  ObjectId SpawnUserApp(HostEnv& env, std::string_view exename, TimeMicros t,
+                        const AppActivity& activity);
+
+  /// Emits benign cross-host chatter among `hosts` over [from, to).
+  void CrossHostChatter(std::vector<HostEnv>& hosts, TimeMicros from,
+                        TimeMicros to);
+
+  /// Library loads: the process reads `n` dlls drawn Zipf-style from the
+  /// host pool (a few dlls are extremely hot).
+  void LoadDlls(HostEnv& env, ObjectId proc, TimeMicros t, int n);
+
+ private:
+  TimeMicros Jitter(TimeMicros base, DurationMicros spread);
+
+  /// Picks a document index with the configured popularity skew (plus
+  /// `skew_delta`); uniform when the effective skew is <= 0.
+  size_t PickDoc(const HostEnv& env, double skew_delta = 0.0);
+
+  TraceBuilder* b_;
+  TraceConfig cfg_;
+  Rng* rng_;
+};
+
+}  // namespace aptrace::workload
+
+#endif  // APTRACE_WORKLOAD_NOISE_H_

@@ -1,0 +1,70 @@
+#ifndef APTRACE_WORKLOAD_SCENARIO_H_
+#define APTRACE_WORKLOAD_SCENARIO_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/dep_graph.h"
+#include "storage/event_store.h"
+#include "util/status.h"
+#include "workload/trace_config.h"
+
+namespace aptrace::workload {
+
+/// A staged attack case (paper Table I): the anomaly alert backtracking
+/// starts from, the BDL refinement sequence the blue team applied (v1 has
+/// no heuristics; each later version adds one), and the ground-truth
+/// causal chain the final graph must contain.
+struct AttackScenario {
+  std::string name;         // registry key, e.g. "phishing_email"
+  std::string title;        // Table I row label
+  std::string description;
+
+  EventId alert_event = kInvalidEventId;
+  Event alert;
+
+  /// BDL scripts v1..vn; scripts[0] is the unguided initial script.
+  std::vector<std::string> bdl_scripts;
+  /// Number of heuristics applied across the sequence (Table I column).
+  size_t num_heuristics = 0;
+
+  /// Objects of the true attack chain; the optimized final graph must
+  /// contain all of them (examples and tests assert this).
+  std::vector<ObjectId> ground_truth;
+  /// The penetration-point object (root cause) the analysis must reach.
+  ObjectId penetration_point = kInvalidObjectId;
+
+  std::string primary_host;
+};
+
+/// A scenario together with the store it was staged in.
+struct BuiltCase {
+  std::unique_ptr<EventStore> store;
+  AttackScenario scenario;
+};
+
+/// The five attack cases of Table I.
+std::vector<std::string> AttackCaseNames();
+
+/// True when the dependency graph contains the scenario's whole
+/// ground-truth chain (including the penetration point) — the moment the
+/// blue team considers the attack reconstructed.
+bool ChainRecovered(const DepGraph& graph, const AttackScenario& scenario);
+
+/// Builds the named case on top of fresh background noise. The config's
+/// start_time/days are overridden per case to match the paper's dates.
+Result<BuiltCase> BuildAttackCase(std::string_view name,
+                                  const TraceConfig& config);
+
+/// Individual builders (also reachable through BuildAttackCase).
+BuiltCase BuildPhishingEmail(const TraceConfig& config);
+BuiltCase BuildExcelMacro(const TraceConfig& config);
+BuiltCase BuildShellShock(const TraceConfig& config);
+BuiltCase BuildCheatingStudent(const TraceConfig& config);
+BuiltCase BuildWgetUnzipGcc(const TraceConfig& config);
+
+}  // namespace aptrace::workload
+
+#endif  // APTRACE_WORKLOAD_SCENARIO_H_

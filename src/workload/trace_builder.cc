@@ -1,0 +1,56 @@
+#include "workload/trace_builder.h"
+
+namespace aptrace::workload {
+
+ObjectId TraceBuilder::Proc(HostId host, std::string_view exename,
+                            TimeMicros start_time, int64_t pid) {
+  ProcessAttrs attrs;
+  attrs.exename = std::string(exename);
+  attrs.pid = pid != 0 ? pid : NextPid();
+  attrs.start_time = start_time;
+  return catalog().AddProcess(host, std::move(attrs));
+}
+
+ObjectId TraceBuilder::File(HostId host, std::string_view path,
+                            TimeMicros created) {
+  FileAttrs attrs;
+  attrs.path = std::string(path);
+  attrs.creation_time = created;
+  attrs.last_modification_time = created;
+  attrs.last_access_time = created;
+  return catalog().AddFile(host, std::move(attrs));
+}
+
+ObjectId TraceBuilder::Socket(HostId host, std::string_view src_ip,
+                              std::string_view dst_ip, int32_t dst_port,
+                              TimeMicros t) {
+  IpAttrs attrs;
+  attrs.src_ip = std::string(src_ip);
+  attrs.dst_ip = std::string(dst_ip);
+  attrs.dst_port = dst_port;
+  attrs.start_time = t;
+  return catalog().AddIp(host, std::move(attrs));
+}
+
+EventId TraceBuilder::Emit(ActionType action, ObjectId subject,
+                           ObjectId object, TimeMicros t, uint64_t amount) {
+  Event e;
+  e.subject = subject;
+  e.object = object;
+  e.timestamp = t;
+  e.amount = amount;
+  e.action = action;
+  e.direction = ActionDefaultDirection(action);
+  e.host = catalog().Get(subject).host();
+  return store_->Append(e);
+}
+
+ObjectId TraceBuilder::StartProcess(ObjectId parent, HostId host,
+                                    std::string_view exename, TimeMicros t,
+                                    int64_t pid) {
+  const ObjectId child = Proc(host, exename, t, pid);
+  Emit(ActionType::kStart, parent, child, t);
+  return child;
+}
+
+}  // namespace aptrace::workload

@@ -1,0 +1,74 @@
+#ifndef APTRACE_WORKLOAD_TRACE_BUILDER_H_
+#define APTRACE_WORKLOAD_TRACE_BUILDER_H_
+
+#include <string>
+#include <string_view>
+
+#include "storage/event_store.h"
+#include "util/rng.h"
+
+namespace aptrace::workload {
+
+/// Thin authoring layer over EventStore: creates objects with sensible
+/// attributes and emits events with the canonical flow direction for each
+/// action. All generator and attack-injector code goes through this.
+class TraceBuilder {
+ public:
+  explicit TraceBuilder(EventStore* store) : store_(store) {}
+
+  EventStore* store() { return store_; }
+  ObjectCatalog& catalog() { return store_->catalog(); }
+
+  HostId Host(std::string_view name) {
+    return catalog().InternHost(name);
+  }
+
+  /// Creates a process instance. `pid` of 0 draws a synthetic pid.
+  ObjectId Proc(HostId host, std::string_view exename, TimeMicros start_time,
+                int64_t pid = 0);
+
+  ObjectId File(HostId host, std::string_view path, TimeMicros created);
+
+  /// Creates a network-connection object shared by both endpoints.
+  ObjectId Socket(HostId host, std::string_view src_ip,
+                  std::string_view dst_ip, int32_t dst_port, TimeMicros t);
+
+  /// Emits an event; direction follows ActionDefaultDirection(action).
+  EventId Emit(ActionType action, ObjectId subject, ObjectId object,
+               TimeMicros t, uint64_t amount = 0);
+
+  /// Composite helpers (each emits one event).
+  EventId Read(ObjectId proc, ObjectId object, TimeMicros t,
+               uint64_t amount = 4096) {
+    return Emit(ActionType::kRead, proc, object, t, amount);
+  }
+  EventId Write(ObjectId proc, ObjectId object, TimeMicros t,
+                uint64_t amount = 4096) {
+    return Emit(ActionType::kWrite, proc, object, t, amount);
+  }
+  /// Starts a child process: creates the proc object and the start event.
+  ObjectId StartProcess(ObjectId parent, HostId host, std::string_view exename,
+                        TimeMicros t, int64_t pid = 0);
+
+  /// proc -> socket (connect + the write it implies).
+  EventId Connect(ObjectId proc, ObjectId socket, TimeMicros t,
+                  uint64_t amount = 1024) {
+    return Emit(ActionType::kConnect, proc, socket, t, amount);
+  }
+  /// socket -> proc (accept/receive).
+  EventId Accept(ObjectId proc, ObjectId socket, TimeMicros t,
+                 uint64_t amount = 1024) {
+    return Emit(ActionType::kAccept, proc, socket, t, amount);
+  }
+
+  /// Synthetic pid allocator (deterministic).
+  int64_t NextPid() { return next_pid_++; }
+
+ private:
+  EventStore* store_;
+  int64_t next_pid_ = 1000;
+};
+
+}  // namespace aptrace::workload
+
+#endif  // APTRACE_WORKLOAD_TRACE_BUILDER_H_

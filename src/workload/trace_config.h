@@ -1,0 +1,79 @@
+#ifndef APTRACE_WORKLOAD_TRACE_CONFIG_H_
+#define APTRACE_WORKLOAD_TRACE_CONFIG_H_
+
+#include <cstdint>
+
+#include "util/clock.h"
+
+namespace aptrace::workload {
+
+/// Knobs of the synthetic enterprise trace (see DESIGN.md, substitution
+/// table: this stands in for the paper's 256-host / 13 TB ETW + Linux
+/// Audit deployment at laptop scale). Defaults produce the properties the
+/// paper's algorithms exploit:
+///  * temporal locality — activity comes in bursts tied to process
+///    lifetimes and business hours;
+///  * heavy-tailed fan-in — a few objects (explorer.exe, web-cache index,
+///    busy services) accumulate enormous dependent sets, which is what
+///    makes dependency explosion and the baseline's blocking scans real.
+struct TraceConfig {
+  uint64_t seed = 42;
+
+  /// Fleet shape.
+  int num_hosts = 12;
+  int days = 30;
+
+  /// Trace epoch; defaults to the paper's A1 window start, 03/26/2019
+  /// (see attacks/*). Expressed in micros since the Unix epoch.
+  TimeMicros start_time = 1553558400LL * 1000000LL;  // 03/26/2019 00:00:00
+
+  /// Background activity rates, per host.
+  int dll_pool_size = 120;        // distinct library files
+  int doc_pool_size = 350;        // user documents
+  int hot_file_count = 3;         // INDEX.DAT-like hot files
+  int log_file_count = 6;
+  int user_sessions_per_day = 20; // app launch bursts during business hours
+  int explorer_scans_per_day = 40;// metadata scans by the file explorer
+  int explorer_scan_width = 20;   // files touched per scan
+  int dlls_per_process = 18;      // libraries loaded at app start
+  int service_writes_per_day = 48;// log/telemetry writes by services
+  int service_config_reads_per_day = 150;  // config-file reads per service:
+                                         // long-lived services become
+                                         // mid-sized fan-in hubs
+  int config_pool_size = 20;      // distinct config files per host
+
+  /// Cross-host chatter: average outbound connections per host per day.
+  int connections_per_day = 24;
+
+  /// Popularity skew of document reads/writes (Zipf exponent; 0 =
+  /// uniform). Skewed traffic concentrates edits on a few hub documents,
+  /// fattening the dependent-count tail that blocks monolithic scans.
+  double doc_skew = 0.9;
+
+  DurationMicros SpanMicros() const {
+    return static_cast<DurationMicros>(days) * kMicrosPerDay;
+  }
+  TimeMicros end_time() const { return start_time + SpanMicros(); }
+
+  /// A small config for fast unit tests.
+  static TraceConfig Small() {
+    TraceConfig c;
+    c.num_hosts = 3;
+    c.days = 7;
+    c.doc_pool_size = 60;
+    c.dll_pool_size = 30;
+    c.user_sessions_per_day = 4;
+    c.explorer_scans_per_day = 6;
+    c.explorer_scan_width = 5;
+    c.dlls_per_process = 5;
+    c.service_writes_per_day = 10;
+    c.service_config_reads_per_day = 3;
+    c.config_pool_size = 8;
+    c.connections_per_day = 6;
+    return c;
+  }
+};
+
+}  // namespace aptrace::workload
+
+#endif  // APTRACE_WORKLOAD_TRACE_CONFIG_H_

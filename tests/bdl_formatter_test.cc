@@ -1,0 +1,110 @@
+// The BDL formatter renders compiled specs back to canonical text; the
+// core property is the round trip compile(format(compile(s))) ==
+// compile(s) over the whole corpus.
+
+#include <gtest/gtest.h>
+
+#include "bdl/analyzer.h"
+#include "bdl/formatter.h"
+#include "core/refiner.h"  // not used directly; keeps ToString comparable
+
+namespace aptrace::bdl {
+namespace {
+
+TrackingSpec MustCompile(const std::string& text) {
+  auto spec = CompileBdl(text);
+  EXPECT_TRUE(spec.ok()) << spec.status() << "\nscript:\n" << text;
+  return spec.ok() ? std::move(spec.value()) : TrackingSpec{};
+}
+
+std::string CondStr(const Condition* c) {
+  return c == nullptr ? std::string() : c->ToString();
+}
+
+void ExpectEquivalent(const TrackingSpec& a, const TrackingSpec& b,
+                      const std::string& formatted) {
+  SCOPED_TRACE("formatted:\n" + formatted);
+  EXPECT_EQ(a.direction, b.direction);
+  EXPECT_EQ(a.time_from, b.time_from);
+  EXPECT_EQ(a.time_to, b.time_to);
+  EXPECT_EQ(a.hosts, b.hosts);
+  EXPECT_EQ(a.time_budget, b.time_budget);
+  EXPECT_EQ(a.hop_limit, b.hop_limit);
+  EXPECT_EQ(a.output_path, b.output_path);
+  EXPECT_EQ(CondStr(a.where.get()), CondStr(b.where.get()));
+  ASSERT_EQ(a.chain.size(), b.chain.size());
+  for (size_t i = 0; i < a.chain.size(); ++i) {
+    EXPECT_EQ(a.chain[i].wildcard, b.chain[i].wildcard);
+    EXPECT_EQ(a.chain[i].type, b.chain[i].type);
+    EXPECT_EQ(CondStr(a.chain[i].cond.get()),
+              CondStr(b.chain[i].cond.get()));
+  }
+  ASSERT_EQ(a.prioritize.size(), b.prioritize.size());
+  for (size_t i = 0; i < a.prioritize.size(); ++i) {
+    ASSERT_EQ(a.prioritize[i].chain.size(), b.prioritize[i].chain.size());
+    for (size_t j = 0; j < a.prioritize[i].chain.size(); ++j) {
+      const auto& pa = a.prioritize[i].chain[j];
+      const auto& pb = b.prioritize[i].chain[j];
+      EXPECT_EQ(pa.object_type, pb.object_type);
+      EXPECT_EQ(pa.amount_vs_upstream, pb.amount_vs_upstream);
+      EXPECT_EQ(CondStr(pa.cond.get()), CondStr(pb.cond.get()));
+    }
+  }
+}
+
+class FormatterRoundTrip : public testing::TestWithParam<const char*> {};
+
+TEST_P(FormatterRoundTrip, CompileFormatCompile) {
+  const TrackingSpec first = MustCompile(GetParam());
+  const std::string formatted = FormatSpec(first);
+  const TrackingSpec second = MustCompile(formatted);
+  ExpectEquivalent(first, second, formatted);
+  // Formatting is a fixed point after one round.
+  EXPECT_EQ(FormatSpec(second), formatted);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, FormatterRoundTrip,
+    testing::Values(
+        "backward proc p[] -> *",
+        "forward file f[] -> *",
+        "backward ip a[dst_ip = \"185.220.101.45\" and subject_name = "
+        "\"java.exe\"] -> *",
+        "from \"03/26/2019\" to \"04/27/2019\" in \"desktop1\", \"desktop2\" "
+        "backward file f[path = \"C://Sensitive/important.doc\" and "
+        "event_time = \"04/16/2019:06:15:14\"] -> proc p[exename = "
+        "\"malware*\" or pid = 12] -> ip i[dst_ip = \"168.120.11.118\"] "
+        "where time < 10mins and hop < 25 and proc.exename != \"explorer\" "
+        "output = \"./result.dot\"",
+        "backward proc p[] -> * where file.isReadonly = true or "
+        "proc.isWriteThrough = true",
+        "backward proc p[] -> * prioritize [type = file and src.path = "
+        "\"*secret*\"] <- [type = network and dst.ip = \"203.*\" and amount "
+        ">= size]",
+        "backward proc p[] -> * where time <= 1500ms",
+        "backward file f[path = \"weird \\\"quoted\\\" name\"] -> *",
+        "forward file f[] -> proc p[exename = \"java.exe\"] -> ip i[dst_ip "
+        "= \"185.*\"] where hop <= 7"));
+
+TEST(FormatterTest, EmptyConditionRendersEmptyBrackets) {
+  const TrackingSpec spec = MustCompile("backward proc p[] -> *");
+  const std::string formatted = FormatSpec(spec);
+  EXPECT_NE(formatted.find("proc p[]"), std::string::npos);
+  EXPECT_NE(formatted.find("-> *"), std::string::npos);
+}
+
+TEST(FormatterTest, TimeValuesRenderAsTimeStrings) {
+  const TrackingSpec spec = MustCompile(
+      "backward file f[event_time = \"04/16/2019:06:15:14\"] -> *");
+  const std::string formatted = FormatSpec(spec);
+  EXPECT_NE(formatted.find("\"04/16/2019:06:15:14\""), std::string::npos);
+  // Never the raw microsecond integer.
+  EXPECT_EQ(formatted.find("1555394114000000"), std::string::npos);
+}
+
+TEST(FormatterTest, FormatConditionNullIsEmpty) {
+  EXPECT_EQ(FormatCondition(nullptr), "");
+}
+
+}  // namespace
+}  // namespace aptrace::bdl

@@ -1,0 +1,111 @@
+#include <gtest/gtest.h>
+
+#include "bdl/lexer.h"
+
+namespace aptrace::bdl {
+namespace {
+
+std::vector<Token> Lex(std::string_view text) {
+  Lexer lexer(text);
+  auto tokens = lexer.Tokenize();
+  EXPECT_TRUE(tokens.ok()) << tokens.status();
+  return tokens.ok() ? std::move(tokens.value()) : std::vector<Token>{};
+}
+
+TEST(LexerTest, EmptyInputYieldsEnd) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, Identifiers) {
+  auto tokens = Lex("backward proc p_1");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[0].text, "backward");
+  EXPECT_EQ(tokens[2].text, "p_1");
+}
+
+TEST(LexerTest, StringsPreserveContent) {
+  auto tokens = Lex("\"C://Sensitive/important.doc\" \"04/16/2019:06:15:14\"");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "C://Sensitive/important.doc");
+  EXPECT_EQ(tokens[1].text, "04/16/2019:06:15:14");
+}
+
+TEST(LexerTest, StringEscapes) {
+  auto tokens = Lex(R"("a\"b\\c")");
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0].text, "a\"b\\c");
+}
+
+TEST(LexerTest, UnterminatedStringFails) {
+  Lexer lexer("\"oops");
+  EXPECT_FALSE(lexer.Tokenize().ok());
+}
+
+TEST(LexerTest, NumbersAndDurations) {
+  auto tokens = Lex("12 10mins 30s");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[0].number, 12);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDuration);
+  EXPECT_EQ(tokens[1].text, "10mins");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kDuration);
+  EXPECT_EQ(tokens[2].text, "30s");
+}
+
+TEST(LexerTest, OperatorsAndPunctuation) {
+  auto tokens = Lex("< <= > >= = != -> <- , . * [ ] ( )");
+  const TokenKind expected[] = {
+      TokenKind::kLt,     TokenKind::kLe,       TokenKind::kGt,
+      TokenKind::kGe,     TokenKind::kEq,       TokenKind::kNe,
+      TokenKind::kArrow,  TokenKind::kBackArrow, TokenKind::kComma,
+      TokenKind::kDot,    TokenKind::kStar,     TokenKind::kLBracket,
+      TokenKind::kRBracket, TokenKind::kLParen, TokenKind::kRParen,
+      TokenKind::kEnd};
+  ASSERT_EQ(tokens.size(), std::size(expected));
+  for (size_t i = 0; i < tokens.size(); ++i) {
+    EXPECT_EQ(tokens[i].kind, expected[i]) << "token " << i;
+  }
+}
+
+TEST(LexerTest, DoubleEqualsAccepted) {
+  auto tokens = Lex("a == 1");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEq);
+}
+
+TEST(LexerTest, LineCommentsSkipped) {
+  auto tokens = Lex("proc // this is ignored -> [ ] \"\n file");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "proc");
+  EXPECT_EQ(tokens[1].text, "file");
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Lex("a\nb\n  c");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[2].line, 3);
+  EXPECT_EQ(tokens[2].column, 3);
+}
+
+TEST(LexerTest, RejectsBareBangAndDash) {
+  EXPECT_FALSE(Lexer("a ! b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("a - b").Tokenize().ok());
+  EXPECT_FALSE(Lexer("#").Tokenize().ok());
+}
+
+TEST(LexerTest, DottedFieldPathLexesAsThreeTokens) {
+  auto tokens = Lex("proc.exename");
+  ASSERT_EQ(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kDot);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+}
+
+}  // namespace
+}  // namespace aptrace::bdl

@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include "bdl/parser.h"
+
+namespace aptrace::bdl {
+namespace {
+
+AstScript MustParse(std::string_view text) {
+  auto script = Parser::Parse(text);
+  EXPECT_TRUE(script.ok()) << script.status();
+  return script.ok() ? std::move(script.value()) : AstScript{};
+}
+
+// Program 1 of the paper (with the node-type fix for v3's `proc`).
+constexpr char kProgram1[] = R"(
+from "04/02/2019" to "05/01/2019"
+in "desktop1", "desktop2"
+backward file f[path = "C://Sensitive/important.doc" and event_time = "04/16/2019:06:15:14" and type = "write"]
+  -> proc p[exename = "malware1" or exename = "malware2" and event_id = 12] // added in v2
+  -> ip i[dstip = "168.120.11.118"]
+where time < 10mins and hop < 25
+  and proc.exename != "explorer" // added in v3
+output = "./result.dot"
+)";
+
+TEST(ParserTest, Program1FullStructure) {
+  const AstScript s = MustParse(kProgram1);
+  ASSERT_TRUE(s.from_time.has_value());
+  EXPECT_EQ(*s.from_time, "04/02/2019");
+  EXPECT_EQ(*s.to_time, "05/01/2019");
+  ASSERT_EQ(s.hosts.size(), 2u);
+  EXPECT_EQ(s.hosts[0], "desktop1");
+
+  ASSERT_EQ(s.chain.size(), 3u);
+  EXPECT_EQ(s.chain[0].type_name, "file");
+  EXPECT_EQ(s.chain[0].var, "f");
+  ASSERT_NE(s.chain[0].cond, nullptr);
+  EXPECT_EQ(s.chain[1].type_name, "proc");
+  EXPECT_EQ(s.chain[2].type_name, "ip");
+
+  ASSERT_NE(s.where, nullptr);
+  ASSERT_TRUE(s.output_path.has_value());
+  EXPECT_EQ(*s.output_path, "./result.dot");
+}
+
+TEST(ParserTest, AndBindsTighterThanOr) {
+  // a = "x" or b = "y" and c = 1  parses as  a or (b and c).
+  const AstScript s = MustParse(
+      "backward proc p[exename = \"x\" or exename = \"y\" and event_id = 1] "
+      "-> *");
+  const AstExpr* cond = s.chain[0].cond.get();
+  ASSERT_NE(cond, nullptr);
+  EXPECT_EQ(cond->kind, AstExpr::Kind::kOr);
+  EXPECT_EQ(cond->lhs->kind, AstExpr::Kind::kLeaf);
+  EXPECT_EQ(cond->rhs->kind, AstExpr::Kind::kAnd);
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const AstScript s = MustParse(
+      "backward proc p[(exename = \"x\" or exename = \"y\") and event_id = "
+      "1] -> *");
+  const AstExpr* cond = s.chain[0].cond.get();
+  EXPECT_EQ(cond->kind, AstExpr::Kind::kAnd);
+  EXPECT_EQ(cond->lhs->kind, AstExpr::Kind::kOr);
+}
+
+TEST(ParserTest, CommaActsAsConjunction) {
+  // Paper Program 4 separates the first two conditions with a comma.
+  const AstScript s = MustParse(
+      "backward ip alert[dst_ip = \"1.2.3.4\", subject_name = \"java.exe\" "
+      "and action_type = \"write\"] -> *");
+  const AstExpr* cond = s.chain[0].cond.get();
+  ASSERT_NE(cond, nullptr);
+  EXPECT_EQ(cond->kind, AstExpr::Kind::kAnd);
+}
+
+TEST(ParserTest, WildcardEndPoint) {
+  const AstScript s = MustParse("backward proc p[pid = 1] -> *");
+  ASSERT_EQ(s.chain.size(), 2u);
+  EXPECT_FALSE(s.chain[0].wildcard);
+  EXPECT_TRUE(s.chain[1].wildcard);
+}
+
+TEST(ParserTest, EmptyConditionListAllowed) {
+  const AstScript s = MustParse("backward proc p[] -> *");
+  EXPECT_EQ(s.chain[0].cond, nullptr);
+}
+
+TEST(ParserTest, NodeWithoutVariableName) {
+  const AstScript s = MustParse("backward proc[pid = 1] -> *");
+  EXPECT_EQ(s.chain[0].var, "");
+  EXPECT_EQ(s.chain[0].type_name, "proc");
+}
+
+TEST(ParserTest, DottedFieldPaths) {
+  const AstScript s = MustParse(
+      "backward proc p[] -> * where proc.dst.isReadonly = true");
+  const AstExpr* w = s.where.get();
+  ASSERT_NE(w, nullptr);
+  ASSERT_EQ(w->field_path.size(), 3u);
+  EXPECT_EQ(w->field_path[0], "proc");
+  EXPECT_EQ(w->field_path[1], "dst");
+  EXPECT_EQ(w->field_path[2], "isReadonly");
+  EXPECT_EQ(w->value.kind, AstValue::Kind::kIdent);
+  EXPECT_EQ(w->value.text, "true");
+}
+
+TEST(ParserTest, PrioritizeChain) {
+  // Paper Program 2.
+  const AstScript s = MustParse(
+      "backward proc p[] -> * "
+      "prioritize [type = file and src.path = \"sensitivefile\"] <- [type = "
+      "network and dst.ip = \"unkownIP\" and amount >= size]");
+  ASSERT_EQ(s.prioritize.size(), 1u);
+  ASSERT_EQ(s.prioritize[0].patterns.size(), 2u);
+}
+
+TEST(ParserTest, MultipleWhereClausesAndCompose) {
+  const AstScript s = MustParse(
+      "backward proc p[] -> * where hop < 5 where event_id != 3");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->kind, AstExpr::Kind::kAnd);
+}
+
+TEST(ParserTest, DurationValue) {
+  const AstScript s = MustParse("backward proc p[] -> * where time < 10mins");
+  ASSERT_NE(s.where, nullptr);
+  EXPECT_EQ(s.where->value.kind, AstValue::Kind::kDuration);
+  EXPECT_EQ(s.where->value.text, "10mins");
+}
+
+// ------------------------------------------------------------- errors
+
+struct BadScript {
+  const char* text;
+  const char* why;
+};
+
+class ParserErrorTest : public testing::TestWithParam<BadScript> {};
+
+TEST_P(ParserErrorTest, Rejected) {
+  auto script = Parser::Parse(GetParam().text);
+  EXPECT_FALSE(script.ok()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, ParserErrorTest,
+    testing::Values(
+        BadScript{"", "missing tracking statement"},
+        BadScript{"from \"04/02/2019\"", "from without to"},
+        BadScript{"backward", "no node after backward"},
+        BadScript{"backward * -> proc p[]", "wildcard start"},
+        BadScript{"backward proc p[] -> * -> ip i[]", "wildcard mid-chain"},
+        BadScript{"backward proc p[exename]", "missing operator"},
+        BadScript{"backward proc p[exename =]", "missing value"},
+        BadScript{"backward proc p[exename = \"x\"", "unclosed bracket"},
+        BadScript{"backward proc p[] -> * output \"x\"",
+                  "output missing equals"},
+        BadScript{"backward proc p[] -> * where", "empty where"},
+        BadScript{"backward proc p[(pid = 1] -> *", "unclosed paren"},
+        BadScript{"backward proc p[] -> * trailing junk",
+                  "trailing tokens"}));
+
+}  // namespace
+}  // namespace aptrace::bdl

@@ -1,0 +1,196 @@
+// Checkpoint/restore of paused investigations: saving mid-run and
+// resuming (in a fresh Session, as another process would) must produce
+// exactly the state and final results of an uninterrupted run.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "core/engine.h"
+#include "tests/test_trace.h"
+#include "util/rng.h"
+#include "workload/scenario.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+std::set<EventId> EdgeSet(const DepGraph& g) {
+  std::set<EventId> out;
+  g.ForEachEdge([&](const DepGraph::Edge& e) { out.insert(e.event); });
+  return out;
+}
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CheckpointTest, SaveBeforeStartFails) {
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  Session session(t.store.get(), &clock);
+  EXPECT_FALSE(session.SaveCheckpoint(TempPath("x.ckpt")).ok());
+}
+
+TEST(CheckpointTest, BaselineEngineRefuses) {
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  SessionOptions options;
+  options.use_baseline = true;
+  Session session(t.store.get(), &clock, options);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  EXPECT_FALSE(session.SaveCheckpoint(TempPath("x.ckpt")).ok());
+}
+
+TEST(CheckpointTest, MidRunRoundTripMatchesUninterrupted) {
+  const std::string path = TempPath("mini.ckpt");
+  MiniTrace t = MakeMiniTrace(CostModel{});  // real cost: elapsed matters
+
+  // Uninterrupted reference.
+  SimClock c_ref;
+  Session reference(t.store.get(), &c_ref);
+  ASSERT_TRUE(reference
+                  .Start("backward ip x[] -> * where file.path != \"*.dll\"",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(reference.Step({}).ok());
+
+  // Pause after one update, checkpoint, resume in a fresh session.
+  SimClock c1;
+  Session first(t.store.get(), &c1);
+  ASSERT_TRUE(first
+                  .Start("backward ip x[] -> * where file.path != \"*.dll\"",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  RunLimits pause;
+  pause.max_updates = 1;
+  ASSERT_TRUE(first.Step(pause).ok());
+  const size_t paused_edges = first.graph().NumEdges();
+  const TimeMicros paused_clock = c1.NowMicros();
+  ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+
+  SimClock c2;
+  Session resumed(t.store.get(), &c2);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok()) << path;
+  // The restored session picks up exactly where the first paused.
+  EXPECT_EQ(resumed.graph().NumEdges(), paused_edges);
+  EXPECT_EQ(c2.NowMicros(), paused_clock);
+  EXPECT_EQ(EdgeSet(resumed.graph()), EdgeSet(first.graph()));
+
+  auto reason = resumed.Step({});
+  ASSERT_TRUE(reason.ok());
+  EXPECT_EQ(reason.value(), StopReason::kCompleted);
+  EXPECT_EQ(EdgeSet(resumed.graph()), EdgeSet(reference.graph()));
+  // Total simulated time matches the uninterrupted run.
+  EXPECT_EQ(c2.NowMicros(), c_ref.NowMicros());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RandomPausePointsStillConverge) {
+  const std::string path = TempPath("rand.ckpt");
+  MiniTrace t = MakeMiniTrace();
+  Rng rng(5);
+  // Reference edge set.
+  SimClock c_ref;
+  Session reference(t.store.get(), &c_ref);
+  ASSERT_TRUE(reference
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(reference.Step({}).ok());
+
+  for (int trial = 0; trial < 4; ++trial) {
+    SimClock c1;
+    Session first(t.store.get(), &c1);
+    ASSERT_TRUE(first
+                    .Start("backward ip x[] -> *",
+                           t.store->Get(t.alert_event))
+                    .ok());
+    RunLimits pause;
+    pause.max_updates = 1 + rng.Uniform(4);
+    (void)first.Step(pause);
+    ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+
+    SimClock c2;
+    Session resumed(t.store.get(), &c2);
+    ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+    ASSERT_TRUE(resumed.Step({}).ok());
+    EXPECT_EQ(EdgeSet(resumed.graph()), EdgeSet(reference.graph()))
+        << "trial " << trial;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, RefinementAfterRestoreWorks) {
+  const std::string path = TempPath("refine.ckpt");
+  MiniTrace t = MakeMiniTrace();
+  SimClock c1;
+  Session first(t.store.get(), &c1);
+  ASSERT_TRUE(first
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  RunLimits pause;
+  pause.max_updates = 2;
+  (void)first.Step(pause);
+  ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+
+  SimClock c2;
+  Session resumed(t.store.get(), &c2);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+  ASSERT_TRUE(resumed
+                  .UpdateScript(
+                      "backward ip x[] -> * where file.path != \"*.dll\"")
+                  .ok());
+  EXPECT_EQ(resumed.last_refine_action(), RefineAction::kReuse);
+  ASSERT_TRUE(resumed.Step({}).ok());
+  EXPECT_EQ(resumed.graph().NumEdges(), MiniTrace::kClosureEdges - 3);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, WrongTraceRejected) {
+  const std::string path = TempPath("wrong.ckpt");
+  MiniTrace t = MakeMiniTrace();
+  SimClock c1;
+  Session first(t.store.get(), &c1);
+  ASSERT_TRUE(first
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(first.Step({}).ok());
+  ASSERT_TRUE(first.SaveCheckpoint(path).ok());
+
+  // A different (bigger, shifted) trace: the fingerprint must reject it.
+  auto other = workload::BuildAttackCase("shellshock",
+                                         workload::TraceConfig::Small());
+  ASSERT_TRUE(other.ok());
+  SimClock c2;
+  Session resumed(other->store.get(), &c2);
+  EXPECT_FALSE(resumed.LoadCheckpoint(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, GarbageFilesRejected) {
+  const std::string path = TempPath("garbage.ckpt");
+  {
+    std::ofstream f(path);
+    f << "not a checkpoint\njunk\n";
+  }
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  Session session(t.store.get(), &clock);
+  EXPECT_FALSE(session.LoadCheckpoint(path).ok());
+  EXPECT_FALSE(session.LoadCheckpoint("/no/such/file.ckpt").ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace aptrace

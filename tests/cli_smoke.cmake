@@ -1,0 +1,36 @@
+# Drives the aptrace CLI end to end: scenarios -> export -> run.
+file(MAKE_DIRECTORY ${WORKDIR})
+
+execute_process(COMMAND ${CLI} scenarios RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "phishing_email")
+  message(FATAL_ERROR "scenarios failed: rc=${rc} out=${out}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} export --scenario=excel_macro --out=${WORKDIR}/a2.tsv
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/a2.tsv)
+  message(FATAL_ERROR "export failed: rc=${rc} out=${out}")
+endif()
+
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --sim-limit=2mins --quiet --dot=${WORKDIR}/a2.dot
+          --json=${WORKDIR}/a2.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/a2.dot OR NOT EXISTS ${WORKDIR}/a2.json)
+  message(FATAL_ERROR "run failed: rc=${rc} out=${out}")
+endif()
+if(NOT out MATCHES "start point: event")
+  message(FATAL_ERROR "run output missing start point: ${out}")
+endif()
+
+# Drive the interactive shell with a piped command script.
+file(WRITE ${WORKDIR}/shell_cmds.txt "alerts\nstep\nstatus\nquit\n")
+execute_process(
+  COMMAND ${CLI} shell --trace=${WORKDIR}/a2.tsv
+  INPUT_FILE ${WORKDIR}/shell_cmds.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "alerts" OR NOT out MATCHES "no analysis running")
+  message(FATAL_ERROR "shell failed: rc=${rc} out=${out}")
+endif()

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/derived_attrs.h"
+#include "core/session.h"
+#include "tests/test_trace.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+class DerivedAttrsTest : public testing::Test {
+ protected:
+  MiniTrace trace_ = MakeMiniTrace();
+};
+
+TEST_F(DerivedAttrsTest, ReadOnlyFiles) {
+  StoreDerivedAttrs derived(trace_.store.get(), 0, 1000);
+  // Dlls are only ever read.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(derived.IsReadOnly(trace_.dll[i]));
+  }
+  // attach and java_file were written during the window.
+  EXPECT_FALSE(derived.IsReadOnly(trace_.attach));
+  EXPECT_FALSE(derived.IsReadOnly(trace_.java_file));
+}
+
+TEST_F(DerivedAttrsTest, ReadOnlyRespectsRange) {
+  // After t=25, attach is never written again: read-only in [25, 1000).
+  StoreDerivedAttrs derived(trace_.store.get(), 25, 1000);
+  EXPECT_TRUE(derived.IsReadOnly(trace_.attach));
+}
+
+TEST_F(DerivedAttrsTest, WriteThroughProcess) {
+  // Build a dedicated store: helper's only outgoing flow targets its
+  // parent process.
+  EventStore store;
+  auto& c = store.catalog();
+  const HostId h = c.InternHost("h");
+  const ObjectId parent = c.AddProcess(h, {.exename = "app"});
+  const ObjectId helper = c.AddProcess(h, {.exename = "helper"});
+  const ObjectId busy = c.AddProcess(h, {.exename = "busy"});
+  const ObjectId file = c.AddFile(h, {.path = "/f"});
+  auto emit = [&](ObjectId s, ObjectId o, TimeMicros t, ActionType a) {
+    Event e;
+    e.subject = s;
+    e.object = o;
+    e.timestamp = t;
+    e.action = a;
+    e.direction = ActionDefaultDirection(a);
+    e.host = h;
+    store.Append(e);
+  };
+  emit(parent, helper, 10, ActionType::kStart);
+  emit(helper, parent, 20, ActionType::kWrite);   // returns results
+  emit(busy, parent, 30, ActionType::kWrite);     // busy also writes a file:
+  emit(busy, file, 40, ActionType::kWrite);       // two distinct dests
+  store.Seal();
+
+  StoreDerivedAttrs derived(&store, 0, 100);
+  EXPECT_TRUE(derived.IsWriteThrough(helper));
+  EXPECT_FALSE(derived.IsWriteThrough(busy));   // writes proc AND file
+  // parent started helper (flow into a process) and nothing else: its
+  // single dest is a process, so by the definition it is write-through
+  // too — the heuristic is about out-flow shape only.
+  EXPECT_TRUE(derived.IsWriteThrough(parent));
+}
+
+TEST_F(DerivedAttrsTest, CachedAnswersAreStable) {
+  StoreDerivedAttrs derived(trace_.store.get(), 0, 1000);
+  const bool first = derived.IsReadOnly(trace_.dll[0]);
+  EXPECT_EQ(derived.IsReadOnly(trace_.dll[0]), first);
+  const bool wt = derived.IsWriteThrough(trace_.java);
+  EXPECT_EQ(derived.IsWriteThrough(trace_.java), wt);
+}
+
+TEST_F(DerivedAttrsTest, UsableFromBdlWhere) {
+  // Keep only read-only files (and everything that is not a file):
+  // written files (attach, java_file) are excluded from exploration.
+  SimClock clock;
+  Session session(trace_.store.get(), &clock);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> * where file.isReadonly = true",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  EXPECT_FALSE(session.graph().HasNode(trace_.attach));
+  EXPECT_FALSE(session.graph().HasNode(trace_.java_file));
+  EXPECT_TRUE(session.graph().HasNode(trace_.dll[0]));
+  EXPECT_TRUE(session.graph().HasNode(trace_.excel));
+}
+
+}  // namespace
+}  // namespace aptrace

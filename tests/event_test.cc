@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "event/catalog.h"
+#include "event/event.h"
+#include "event/object.h"
+#include "event/schema.h"
+#include "util/string_util.h"
+
+namespace aptrace {
+namespace {
+
+class EventModelTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = catalog_.InternHost("desktop1");
+    proc_ = catalog_.AddProcess(host_, {.exename = "java.exe",
+                                        .pid = 4121,
+                                        .start_time = 1000});
+    file_ = catalog_.AddFile(
+        host_, {.path = "C://Users/victim/Documents/report.doc",
+                .creation_time = 500,
+                .last_modification_time = 900,
+                .last_access_time = 950});
+    ip_ = catalog_.AddIp(host_, {.src_ip = "10.1.0.1",
+                                 .dst_ip = "185.220.101.45",
+                                 .dst_port = 443,
+                                 .start_time = 2000});
+  }
+
+  ObjectCatalog catalog_;
+  HostId host_ = kInvalidHostId;
+  ObjectId proc_ = kInvalidObjectId;
+  ObjectId file_ = kInvalidObjectId;
+  ObjectId ip_ = kInvalidObjectId;
+};
+
+TEST_F(EventModelTest, CatalogInternsHosts) {
+  EXPECT_EQ(catalog_.InternHost("desktop1"), host_);
+  const HostId other = catalog_.InternHost("desktop2");
+  EXPECT_NE(other, host_);
+  EXPECT_EQ(catalog_.HostName(host_), "desktop1");
+  EXPECT_EQ(catalog_.NumHosts(), 2u);
+  EXPECT_EQ(catalog_.HostName(999), "?");
+}
+
+TEST_F(EventModelTest, ObjectAccessors) {
+  const SystemObject& p = catalog_.Get(proc_);
+  EXPECT_TRUE(p.is_process());
+  EXPECT_EQ(p.process().exename, "java.exe");
+  EXPECT_EQ(p.Label(), "proc:java.exe(4121)");
+
+  const SystemObject& f = catalog_.Get(file_);
+  EXPECT_TRUE(f.is_file());
+  EXPECT_EQ(f.file().Filename(), "report.doc");
+
+  const SystemObject& i = catalog_.Get(ip_);
+  EXPECT_TRUE(i.is_ip());
+  EXPECT_EQ(i.Label(), "ip:10.1.0.1->185.220.101.45:443");
+}
+
+TEST_F(EventModelTest, FilenameHandlesBackslashAndBare) {
+  const ObjectId f1 = catalog_.AddFile(
+      host_, {.path = "C:\\Windows\\System32\\user32.dll"});
+  EXPECT_EQ(catalog_.Get(f1).file().Filename(), "user32.dll");
+  const ObjectId f2 = catalog_.AddFile(host_, {.path = "plain.txt"});
+  EXPECT_EQ(catalog_.Get(f2).file().Filename(), "plain.txt");
+}
+
+TEST_F(EventModelTest, CatalogFinders) {
+  EXPECT_EQ(catalog_.FindProcessesByName("java.exe").size(), 1u);
+  EXPECT_TRUE(catalog_.FindProcessesByName("nope.exe").empty());
+  EXPECT_EQ(catalog_.FindFilesByPath(
+                    "C://Users/victim/Documents/report.doc")
+                .size(),
+            1u);
+  EXPECT_EQ(catalog_.FindIpsByDst("185.220.101.45").size(), 1u);
+}
+
+TEST_F(EventModelTest, FlowEndpointsFollowDirection) {
+  Event write;  // proc writes file: data flows proc -> file
+  write.subject = proc_;
+  write.object = file_;
+  write.action = ActionType::kWrite;
+  write.direction = ActionDefaultDirection(ActionType::kWrite);
+  EXPECT_EQ(write.FlowSource(), proc_);
+  EXPECT_EQ(write.FlowDest(), file_);
+
+  Event read;  // proc reads file: data flows file -> proc
+  read.subject = proc_;
+  read.object = file_;
+  read.action = ActionType::kRead;
+  read.direction = ActionDefaultDirection(ActionType::kRead);
+  EXPECT_EQ(read.FlowSource(), file_);
+  EXPECT_EQ(read.FlowDest(), proc_);
+}
+
+TEST_F(EventModelTest, BackwardDependencyDefinition) {
+  // A: file -> proc (read) at t=10; B: proc -> ip (connect) at t=20.
+  Event a;
+  a.subject = proc_;
+  a.object = file_;
+  a.timestamp = 10;
+  a.action = ActionType::kRead;
+  a.direction = FlowDirection::kObjectToSubject;
+  Event b;
+  b.subject = proc_;
+  b.object = ip_;
+  b.timestamp = 20;
+  b.action = ActionType::kConnect;
+  b.direction = FlowDirection::kSubjectToObject;
+
+  EXPECT_TRUE(BackwardDependsOn(b, a));   // dest(A)=proc = source(B)
+  EXPECT_FALSE(BackwardDependsOn(a, b));  // wrong temporal order
+  b.timestamp = 5;
+  EXPECT_FALSE(BackwardDependsOn(b, a));  // A must precede B
+}
+
+TEST_F(EventModelTest, ActionDirectionTable) {
+  EXPECT_EQ(ActionDefaultDirection(ActionType::kRead),
+            FlowDirection::kObjectToSubject);
+  EXPECT_EQ(ActionDefaultDirection(ActionType::kAccept),
+            FlowDirection::kObjectToSubject);
+  for (ActionType a : {ActionType::kWrite, ActionType::kStart,
+                       ActionType::kConnect, ActionType::kInject,
+                       ActionType::kRename, ActionType::kDelete}) {
+    EXPECT_EQ(ActionDefaultDirection(a), FlowDirection::kSubjectToObject);
+  }
+}
+
+// ---------------------------------------------------------------- Schema
+
+TEST_F(EventModelTest, ResolveFieldScoped) {
+  auto f = ResolveField(ObjectType::kProcess, "exename");
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f.value(), FieldId::kExename);
+
+  // Wrong scope is rejected with a helpful message.
+  auto bad = ResolveField(ObjectType::kFile, "exename");
+  EXPECT_FALSE(bad.ok());
+
+  // Shared options resolve under any scope.
+  for (ObjectType t : {ObjectType::kProcess, ObjectType::kFile,
+                       ObjectType::kIp}) {
+    EXPECT_TRUE(ResolveField(t, "subject_name").ok());
+    EXPECT_TRUE(ResolveField(t, "event_time").ok());
+  }
+}
+
+TEST_F(EventModelTest, ResolveFieldCaseInsensitiveAndAliases) {
+  EXPECT_TRUE(ResolveField(std::nullopt, "EXENAME").ok());
+  auto dstip = ResolveField(ObjectType::kIp, "dstip");
+  ASSERT_TRUE(dstip.ok());
+  EXPECT_EQ(dstip.value(), FieldId::kDstIp);
+  EXPECT_FALSE(ResolveField(std::nullopt, "no_such_field").ok());
+}
+
+TEST_F(EventModelTest, ReadFieldObjectLevel) {
+  const SystemObject& p = catalog_.Get(proc_);
+  auto v = ReadField(FieldId::kExename, p, nullptr, catalog_, nullptr);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(std::get<std::string>(*v), "java.exe");
+
+  auto host = ReadField(FieldId::kHost, p, nullptr, catalog_, nullptr);
+  ASSERT_TRUE(host.has_value());
+  EXPECT_EQ(std::get<std::string>(*host), "desktop1");
+
+  // Inapplicable field -> nullopt, not a crash.
+  EXPECT_FALSE(
+      ReadField(FieldId::kPath, p, nullptr, catalog_, nullptr).has_value());
+}
+
+TEST_F(EventModelTest, ReadFieldEventLevel) {
+  Event e;
+  e.id = 77;
+  e.subject = proc_;
+  e.object = file_;
+  e.timestamp = 1234;
+  e.amount = 555;
+  e.action = ActionType::kWrite;
+  e.direction = FlowDirection::kSubjectToObject;
+
+  const SystemObject& f = catalog_.Get(file_);
+  auto name = ReadField(FieldId::kSubjectName, f, &e, catalog_, nullptr);
+  ASSERT_TRUE(name.has_value());
+  EXPECT_EQ(std::get<std::string>(*name), "java.exe");
+
+  auto action = ReadField(FieldId::kActionType, f, &e, catalog_, nullptr);
+  ASSERT_TRUE(action.has_value());
+  EXPECT_EQ(std::get<std::string>(*action), "write");
+
+  auto amount = ReadField(FieldId::kAmount, f, &e, catalog_, nullptr);
+  ASSERT_TRUE(amount.has_value());
+  EXPECT_EQ(std::get<int64_t>(*amount), 555);
+
+  // Event-level field without an event -> nullopt.
+  EXPECT_FALSE(
+      ReadField(FieldId::kEventTime, f, nullptr, catalog_, nullptr)
+          .has_value());
+}
+
+class FakeDerived : public DerivedAttrs {
+ public:
+  bool IsReadOnly(ObjectId) const override { return true; }
+  bool IsWriteThrough(ObjectId) const override { return false; }
+};
+
+TEST_F(EventModelTest, ReadFieldDerived) {
+  FakeDerived derived;
+  const SystemObject& f = catalog_.Get(file_);
+  auto ro = ReadField(FieldId::kIsReadOnly, f, nullptr, catalog_, &derived);
+  ASSERT_TRUE(ro.has_value());
+  EXPECT_TRUE(std::get<bool>(*ro));
+  // No provider -> nullopt.
+  EXPECT_FALSE(ReadField(FieldId::kIsReadOnly, f, nullptr, catalog_, nullptr)
+                   .has_value());
+  // Derived attr on the wrong type -> nullopt.
+  const SystemObject& p = catalog_.Get(proc_);
+  EXPECT_FALSE(ReadField(FieldId::kIsReadOnly, p, nullptr, catalog_, &derived)
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "core/exec_window.h"
+
+namespace aptrace {
+namespace {
+
+Event Ev(EventId id, ObjectId src_proc, ObjectId dst, TimeMicros t) {
+  Event e;
+  e.id = id;
+  e.subject = src_proc;
+  e.object = dst;
+  e.timestamp = t;
+  e.action = ActionType::kWrite;  // flow subject -> object
+  e.direction = FlowDirection::kSubjectToObject;
+  return e;
+}
+
+TEST(GenExeWindowsTest, GeometricLengthsRatioTwo) {
+  // [0, 255) with k=8: sigma = 255/255 = 1; lengths 1,2,4,...,128.
+  const Event e = Ev(1, 10, 20, 255);
+  const auto windows = GenExeWindows(e, 0, 0, 8);
+  ASSERT_EQ(windows.size(), 8u);
+  TimeMicros expected_len = 1;
+  TimeMicros expected_end = 255;
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.finish, expected_end);
+    EXPECT_EQ(w.finish - w.begin, expected_len);
+    expected_end = w.begin;
+    expected_len *= 2;
+  }
+}
+
+TEST(GenExeWindowsTest, UnionCoversRangeExactly) {
+  const Event e = Ev(1, 10, 20, 1000003);  // deliberately not divisible
+  const auto windows = GenExeWindows(e, 17, 17, 8);
+  ASSERT_FALSE(windows.empty());
+  // Nearest-first: finish of the first window is the event time.
+  EXPECT_EQ(windows.front().finish, 1000003);
+  // Contiguous, non-overlapping, covering down to global start.
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].finish, windows[i - 1].begin);
+  }
+  EXPECT_EQ(windows.back().begin, 17);
+}
+
+TEST(GenExeWindowsTest, ClipBeginDropsCoveredHistory) {
+  const Event e = Ev(1, 10, 20, 1000);
+  const auto windows = GenExeWindows(e, 0, 900, 8);
+  for (const auto& w : windows) {
+    EXPECT_GE(w.begin, 900);
+    EXPECT_LE(w.finish, 1000);
+  }
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows.back().begin, 900);
+  EXPECT_EQ(windows.front().finish, 1000);
+}
+
+TEST(GenExeWindowsTest, EmptyWhenFullyCovered) {
+  const Event e = Ev(1, 10, 20, 1000);
+  EXPECT_TRUE(GenExeWindows(e, 0, 1000, 8).empty());
+  EXPECT_TRUE(GenExeWindows(e, 0, 2000, 8).empty());
+  EXPECT_TRUE(GenExeWindows(e, 1000, 0, 8).empty());  // te == ts
+}
+
+TEST(GenExeWindowsTest, CarriesFrontierAndDepEvent) {
+  const Event e = Ev(42, 10, 20, 500);
+  const auto windows = GenExeWindows(e, 0, 0, 4);
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.dep_event, 42u);
+    EXPECT_EQ(w.frontier, 10u);  // FlowSource of a write is the subject
+  }
+}
+
+TEST(GenExeWindowsTest, TinyRangeProducesFewerWindows) {
+  // Range of 3 micros with k=8: sigma clamps to 1; only ~2-3 windows fit.
+  const Event e = Ev(1, 10, 20, 3);
+  const auto windows = GenExeWindows(e, 0, 0, 8);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_LE(windows.size(), 3u);
+  EXPECT_EQ(windows.back().begin, 0);
+  EXPECT_EQ(windows.front().finish, 3);
+}
+
+TEST(GenExeWindowsTest, KOneIsMonolithic) {
+  const Event e = Ev(1, 10, 20, 1000);
+  const auto windows = GenExeWindows(e, 100, 100, 1);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].begin, 100);
+  EXPECT_EQ(windows[0].finish, 1000);
+}
+
+// Property sweep: for any k and range, windows tile [clip, te) exactly
+// with no gaps or overlaps, and lengths (except the last) double.
+struct SweepParam {
+  int k;
+  TimeMicros ts;
+  TimeMicros te;
+  TimeMicros clip;
+};
+
+class GenExeWindowsSweep : public testing::TestWithParam<SweepParam> {};
+
+TEST_P(GenExeWindowsSweep, TilesExactly) {
+  const auto& p = GetParam();
+  const Event e = Ev(1, 10, 20, p.te);
+  const auto windows = GenExeWindows(e, p.ts, p.clip, p.k);
+  const TimeMicros effective_begin = std::max(p.ts, p.clip);
+  if (effective_begin >= p.te) {
+    EXPECT_TRUE(windows.empty());
+    return;
+  }
+  ASSERT_FALSE(windows.empty());
+  EXPECT_LE(windows.size(), static_cast<size_t>(p.k));
+  EXPECT_EQ(windows.front().finish, p.te);
+  EXPECT_EQ(windows.back().begin, effective_begin);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].finish, windows[i - 1].begin);  // contiguous
+    EXPECT_GT(windows[i].finish, windows[i].begin);      // non-empty
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GenExeWindowsSweep,
+    testing::Values(SweepParam{1, 0, 1000, 0}, SweepParam{2, 0, 1000, 0},
+                    SweepParam{4, 0, 1000, 0}, SweepParam{8, 0, 1000, 0},
+                    SweepParam{12, 0, 1000, 0}, SweepParam{16, 0, 1000, 0},
+                    SweepParam{8, 500, 1000000, 0},
+                    SweepParam{8, 0, 1000000007, 12345},
+                    SweepParam{8, 0, 7, 0}, SweepParam{8, 0, 1, 0},
+                    SweepParam{62, 0, 1000000, 0},
+                    SweepParam{8, 0, 1000, 999},
+                    SweepParam{8, 0, 1000, 1000}));
+
+TEST(ExecWindowLessTest, PriorityOrdering) {
+  std::priority_queue<ExecWindow, std::vector<ExecWindow>, ExecWindowLess> q;
+  auto mk = [](bool boosted, int state, TimeMicros finish, uint64_t seq) {
+    ExecWindow w;
+    w.boosted = boosted;
+    w.state = state;
+    w.finish = finish;
+    w.priority_key = finish;  // backward windows key on their finish time
+    w.seq = seq;
+    return w;
+  };
+  q.push(mk(false, 1, 100, 0));  // plain, early finish
+  q.push(mk(false, 1, 900, 1));  // plain, late finish (closer to start)
+  q.push(mk(false, 3, 100, 2));  // high state
+  q.push(mk(true, 1, 50, 3));    // boosted
+
+  // Boosted first, then highest state, then latest finish.
+  EXPECT_TRUE(q.top().boosted);
+  q.pop();
+  EXPECT_EQ(q.top().state, 3);
+  q.pop();
+  EXPECT_EQ(q.top().finish, 900);
+  q.pop();
+  EXPECT_EQ(q.top().finish, 100);
+}
+
+TEST(ExecWindowLessTest, FifoTieBreak) {
+  ExecWindowLess less;
+  ExecWindow a;
+  a.seq = 1;
+  ExecWindow b;
+  b.seq = 2;
+  // Same priority: the earlier seq is "greater" (popped first).
+  EXPECT_TRUE(less(b, a));
+  EXPECT_FALSE(less(a, b));
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,247 @@
+// Forward (impact) tracking: the extension analysis that shares the
+// engine with backward tracking but follows the data flow. Covers the
+// forward window generator, both engines, state propagation, and the
+// forward/backward duality on the mini trace.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bdl/analyzer.h"
+#include "core/baseline_executor.h"
+#include "core/executor.h"
+#include "tests/test_trace.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+Event Ev(EventId id, ObjectId subject, ObjectId object, TimeMicros t) {
+  Event e;
+  e.id = id;
+  e.subject = subject;
+  e.object = object;
+  e.timestamp = t;
+  e.action = ActionType::kWrite;
+  e.direction = FlowDirection::kSubjectToObject;
+  return e;
+}
+
+// ------------------------------------------------ forward windows
+
+TEST(GenExeWindowsForwardTest, GeometricLengthsForward) {
+  // Event at t=0, range end 256: sigma = 255/255 = 1; windows 1,2,...,128
+  // starting at t=1.
+  const Event e = Ev(1, 10, 20, 0);
+  const auto windows = GenExeWindowsForward(e, 256, 256, 8);
+  ASSERT_EQ(windows.size(), 8u);
+  TimeMicros expected_len = 1;
+  TimeMicros expected_begin = 1;
+  for (const auto& w : windows) {
+    EXPECT_EQ(w.begin, expected_begin);
+    EXPECT_EQ(w.finish - w.begin, expected_len);
+    EXPECT_EQ(w.frontier, 20u);  // flow destination is the frontier
+    EXPECT_EQ(w.priority_key, -w.begin);
+    expected_begin = w.finish;
+    expected_len *= 2;
+  }
+}
+
+TEST(GenExeWindowsForwardTest, TilesExactlyToEnd) {
+  const Event e = Ev(1, 10, 20, 1234);
+  const auto windows = GenExeWindowsForward(e, 1000003, 1000003, 8);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows.front().begin, 1235);
+  for (size_t i = 1; i < windows.size(); ++i) {
+    EXPECT_EQ(windows[i].begin, windows[i - 1].finish);
+  }
+  EXPECT_EQ(windows.back().finish, 1000003);
+}
+
+TEST(GenExeWindowsForwardTest, ClipDropsCoveredFuture) {
+  // The object's future from t=500 on is already scheduled: only
+  // (100, 500) remains.
+  const Event e = Ev(1, 10, 20, 100);
+  const auto windows = GenExeWindowsForward(e, 1000, 500, 8);
+  ASSERT_FALSE(windows.empty());
+  EXPECT_EQ(windows.front().begin, 101);
+  EXPECT_EQ(windows.back().finish, 500);
+  for (const auto& w : windows) EXPECT_LE(w.finish, 500);
+}
+
+TEST(GenExeWindowsForwardTest, EmptyWhenFullyCovered) {
+  const Event e = Ev(1, 10, 20, 100);
+  EXPECT_TRUE(GenExeWindowsForward(e, 1000, 101, 8).empty());
+  EXPECT_TRUE(GenExeWindowsForward(e, 100, 100, 8).empty());  // at the end
+}
+
+TEST(GenExeWindowsForwardTest, PriorityPrefersEarlierWindows) {
+  const Event e = Ev(1, 10, 20, 0);
+  const auto windows = GenExeWindowsForward(e, 1000, 1000, 4);
+  ASSERT_GE(windows.size(), 2u);
+  ExecWindowLess less;
+  // The earliest window must outrank the later one (it is "greater").
+  EXPECT_TRUE(less(windows[1], windows[0]));
+  EXPECT_FALSE(less(windows[0], windows[1]));
+}
+
+// ------------------------------------------------ engines on MiniTrace
+
+bdl::TrackingSpec Spec(const std::string& text) {
+  auto spec = bdl::CompileBdl(text);
+  EXPECT_TRUE(spec.ok()) << spec.status();
+  return spec.ok() ? std::move(spec.value()) : bdl::TrackingSpec{};
+}
+
+std::set<EventId> EdgeSet(const DepGraph& g) {
+  std::set<EventId> out;
+  g.ForEachEdge([&](const DepGraph::Edge& e) { out.insert(e.event); });
+  return out;
+}
+
+class ForwardTrackingTest : public testing::Test {
+ protected:
+  // The taint source: outlook writes the attachment (event id 2, t=20).
+  Event TaintEvent() { return trace_.store->Get(2); }
+
+  TrackingContext Ctx(const std::string& script) {
+    auto ctx = ResolveContext(*trace_.store, Spec(script), &clock_,
+                              TaintEvent());
+    EXPECT_TRUE(ctx.ok()) << ctx.status();
+    return std::move(ctx.value());
+  }
+
+  MiniTrace trace_ = MakeMiniTrace();
+  SimClock clock_;
+};
+
+TEST_F(ForwardTrackingTest, BdlParsesForwardKeyword) {
+  const bdl::TrackingSpec spec = Spec("forward file f[] -> *");
+  EXPECT_EQ(spec.direction, bdl::TrackDirection::kForward);
+  const bdl::TrackingSpec back = Spec("backward file f[] -> *");
+  EXPECT_EQ(back.direction, bdl::TrackDirection::kBackward);
+}
+
+TEST_F(ForwardTrackingTest, TaintClosureExact) {
+  Executor exec(Ctx("forward file f[] -> *"), &clock_, 8);
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+
+  const DepGraph& g = exec.graph();
+  // Tainted: attach -> excel -> {java_file, java} -> ext_sock; the start
+  // edge's writer (outlook) is a node of the seed edge.
+  for (ObjectId id : {trace_.attach, trace_.excel, trace_.java_file,
+                      trace_.java, trace_.ext_sock, trace_.outlook}) {
+    EXPECT_TRUE(g.HasNode(id)) << id;
+  }
+  // NOT tainted: dlls (they flow INTO java), the mail socket (flowed into
+  // outlook before the taint), noise, post-taint unrelated reads.
+  for (int i = 0; i < 3; ++i) EXPECT_FALSE(g.HasNode(trace_.dll[i]));
+  EXPECT_FALSE(g.HasNode(trace_.mail_sock));
+  EXPECT_FALSE(g.HasNode(trace_.benign));
+  EXPECT_FALSE(g.HasNode(trace_.doc1));
+  // late_file is read BY java after the alert: flow late_file -> java is
+  // not an out-flow of java, so it is not tainted either.
+  EXPECT_FALSE(g.HasNode(trace_.late_file));
+
+  // Exact edge set: seed write(2), attach read(4), java_file write(5),
+  // java start(6), java_file read(7), ext connect(alert).
+  EXPECT_EQ(EdgeSet(g),
+            (std::set<EventId>{2, 4, 5, 6, 7, trace_.alert_event}));
+  // Hops follow the taint chain.
+  EXPECT_EQ(g.HopOf(trace_.attach), 0);  // start node
+  EXPECT_EQ(g.HopOf(trace_.excel), 1);
+  EXPECT_EQ(g.HopOf(trace_.java), 2);
+  EXPECT_EQ(g.HopOf(trace_.ext_sock), 3);
+}
+
+TEST_F(ForwardTrackingTest, BaselineMatches) {
+  Executor exec(Ctx("forward file f[] -> *"), &clock_, 8);
+  exec.Run({});
+  SimClock clock2;
+  auto ctx = ResolveContext(*trace_.store, Spec("forward file f[] -> *"),
+                            &clock2, TaintEvent());
+  ASSERT_TRUE(ctx.ok());
+  BaselineExecutor baseline(std::move(ctx.value()), &clock2);
+  EXPECT_EQ(baseline.Run({}), StopReason::kCompleted);
+  EXPECT_EQ(EdgeSet(baseline.graph()), EdgeSet(exec.graph()));
+}
+
+class ForwardKSweep : public testing::TestWithParam<int> {};
+
+TEST_P(ForwardKSweep, ClosureIndependentOfK) {
+  MiniTrace trace = MakeMiniTrace();
+  SimClock clock;
+  auto spec = bdl::CompileBdl("forward file f[] -> *");
+  ASSERT_TRUE(spec.ok());
+  auto ctx = ResolveContext(*trace.store, std::move(spec.value()), &clock,
+                            trace.store->Get(2));
+  ASSERT_TRUE(ctx.ok());
+  Executor exec(std::move(ctx.value()), &clock, GetParam());
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+  EXPECT_EQ(exec.graph().NumEdges(), 6u);
+}
+
+INSTANTIATE_TEST_SUITE_P(K, ForwardKSweep, testing::Values(1, 2, 4, 8, 16));
+
+TEST_F(ForwardTrackingTest, WhereFilterApplies) {
+  Executor exec(
+      Ctx("forward file f[] -> * where proc.exename != \"java.exe\""),
+      &clock_, 8);
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+  EXPECT_FALSE(exec.graph().HasNode(trace_.java));
+  EXPECT_FALSE(exec.graph().HasNode(trace_.ext_sock));
+  EXPECT_TRUE(exec.graph().HasNode(trace_.excel));
+  EXPECT_TRUE(exec.graph().HasNode(trace_.java_file));
+}
+
+TEST_F(ForwardTrackingTest, StatePropagationAlongForwardChain) {
+  // file -> proc[java.exe] -> ip[185.*]: the exfil socket completes it.
+  Executor exec(Ctx("forward file f[] -> proc p[exename = \"java.exe\"] -> "
+                    "ip i[dst_ip = \"185.*\"]"),
+                &clock_, 8);
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+  const DepGraph& g = exec.graph();
+  EXPECT_EQ(g.StateOf(trace_.attach), 1);
+  EXPECT_EQ(g.StateOf(trace_.excel), 1);     // carries
+  EXPECT_EQ(g.StateOf(trace_.java), 2);      // matches n2
+  EXPECT_EQ(g.StateOf(trace_.ext_sock), 3);  // full chain
+  EXPECT_TRUE(exec.maintainer().end_point_reached());
+
+  // Every node of this closure lies on a matched taint path (java_file is
+  // a legitimate intermediate hop attach -> excel -> java_file -> java),
+  // so pruning removes nothing and the chain survives.
+  exec.maintainer().PruneToMatchedPaths();
+  EXPECT_TRUE(g.HasNode(trace_.ext_sock));
+  EXPECT_TRUE(g.HasNode(trace_.java));
+  EXPECT_TRUE(g.HasNode(trace_.java_file));
+  EXPECT_TRUE(g.HasNode(trace_.attach));
+}
+
+TEST_F(ForwardTrackingTest, HopLimitBounds) {
+  Executor exec(Ctx("forward file f[] -> * where hop <= 1"), &clock_, 8);
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+  EXPECT_TRUE(exec.graph().HasNode(trace_.excel));    // hop 1
+  EXPECT_FALSE(exec.graph().HasNode(trace_.java));    // hop 2
+  EXPECT_FALSE(exec.graph().HasNode(trace_.ext_sock));
+}
+
+TEST_F(ForwardTrackingTest, RoundTripBackwardFindsTaintSource) {
+  // Duality check: backward from the exfil alert reaches the attachment;
+  // forward from the attachment write reaches the exfil socket.
+  Executor forward(Ctx("forward file f[] -> *"), &clock_, 8);
+  forward.Run({});
+  EXPECT_TRUE(forward.graph().HasNode(trace_.ext_sock));
+
+  SimClock clock2;
+  auto ctx = ResolveContext(*trace_.store, Spec("backward ip x[] -> *"),
+                            &clock2, trace_.store->Get(trace_.alert_event));
+  ASSERT_TRUE(ctx.ok());
+  Executor backward(std::move(ctx.value()), &clock2, 8);
+  backward.Run({});
+  EXPECT_TRUE(backward.graph().HasNode(trace_.attach));
+}
+
+}  // namespace
+}  // namespace aptrace

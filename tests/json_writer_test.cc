@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/json_writer.h"
+#include "tests/test_trace.h"
+#include "core/session.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+class JsonWriterTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    trace_ = MakeMiniTrace();
+    session_ = std::make_unique<Session>(trace_.store.get(), &clock_);
+    ASSERT_TRUE(session_
+                    ->Start("backward ip x[] -> *",
+                            trace_.store->Get(trace_.alert_event))
+                    .ok());
+    ASSERT_TRUE(session_->Step({}).ok());
+  }
+
+  MiniTrace trace_;
+  SimClock clock_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(JsonWriterTest, StructureAndContent) {
+  std::ostringstream os;
+  WriteGraphJson(session_->graph(), trace_.store->catalog(), os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"start\": " + std::to_string(trace_.ext_sock)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"nodes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"edges\": ["), std::string::npos);
+  EXPECT_NE(json.find("java.exe"), std::string::npos);
+  EXPECT_NE(json.find("\"action\": \"connect\""), std::string::npos);
+  EXPECT_NE(json.find("\"host\": \"desktop1\""), std::string::npos);
+
+  // Balanced braces / brackets (cheap well-formedness check).
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  char prev = 0;
+  for (char c : json) {
+    if (c == '"' && prev != '\\') in_string = !in_string;
+    if (!in_string) {
+      if (c == '{') braces++;
+      if (c == '}') braces--;
+      if (c == '[') brackets++;
+      if (c == ']') brackets--;
+      EXPECT_GE(braces, 0);
+      EXPECT_GE(brackets, 0);
+    }
+    prev = c;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+
+  // Node count and edge count equal the graph's.
+  size_t id_count = 0;
+  for (size_t pos = 0; (pos = json.find("{\"id\":", pos)) != std::string::npos;
+       ++pos) {
+    id_count++;
+  }
+  EXPECT_EQ(id_count, session_->graph().NumNodes());
+  size_t edge_count = 0;
+  for (size_t pos = 0;
+       (pos = json.find("{\"event\":", pos)) != std::string::npos; ++pos) {
+    edge_count++;
+  }
+  EXPECT_EQ(edge_count, session_->graph().NumEdges());
+}
+
+TEST_F(JsonWriterTest, EscapesSpecialCharacters) {
+  ObjectCatalog catalog;
+  const HostId h = catalog.InternHost("h");
+  const ObjectId f = catalog.AddFile(
+      h, {.path = "C:\\weird\"path\nwith newline"});
+  DepGraph graph;
+  graph.SetStart(f);
+  std::ostringstream os;
+  WriteGraphJson(graph, catalog, os);
+  const std::string json = os.str();
+  EXPECT_NE(json.find("\\\\weird\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  EXPECT_EQ(json.find("weird\"path"), std::string::npos);
+}
+
+TEST_F(JsonWriterTest, FileOutput) {
+  const std::string path = ::testing::TempDir() + "/aptrace_graph.json";
+  ASSERT_TRUE(WriteGraphJsonFile(session_->graph(), trace_.store->catalog(),
+                                 path)
+                  .ok());
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteGraphJsonFile(session_->graph(),
+                                  trace_.store->catalog(),
+                                  "/no-such-dir/graph.json")
+                   .ok());
+}
+
+}  // namespace
+}  // namespace aptrace

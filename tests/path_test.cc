@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "graph/path.h"
+#include "tests/test_trace.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+class CausalPathTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<Session>(trace_.store.get(), &clock_);
+    ASSERT_TRUE(session_
+                    ->Start("backward ip x[] -> *",
+                            trace_.store->Get(trace_.alert_event))
+                    .ok());
+    ASSERT_TRUE(session_->Step({}).ok());
+  }
+
+  MiniTrace trace_ = MakeMiniTrace();
+  SimClock clock_;
+  std::unique_ptr<Session> session_;
+};
+
+TEST_F(CausalPathTest, FindsShortestBackwardChain) {
+  // ext_sock <- java <- excel <- outlook <- mail_sock: 4 hops.
+  const CausalPath path =
+      FindCausalPath(session_->graph(), trace_.mail_sock);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.origin, trace_.ext_sock);
+  ASSERT_EQ(path.Hops(), 4u);
+  EXPECT_EQ(path.steps[0].node, trace_.java);
+  EXPECT_EQ(path.steps[1].node, trace_.excel);
+  EXPECT_EQ(path.steps[2].node, trace_.outlook);
+  EXPECT_EQ(path.steps[3].node, trace_.mail_sock);
+  // Each step's edge really connects the chain in the graph.
+  ObjectId prev = path.origin;
+  for (const PathStep& step : path.steps) {
+    const DepGraph::Edge& e = session_->graph().GetEdge(step.event);
+    EXPECT_EQ(e.dst, prev);        // backward step: node -> its source
+    EXPECT_EQ(e.src, step.node);
+    prev = step.node;
+  }
+}
+
+TEST_F(CausalPathTest, TrivialPathToStart) {
+  const CausalPath path =
+      FindCausalPath(session_->graph(), trace_.ext_sock);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.Hops(), 0u);
+}
+
+TEST_F(CausalPathTest, UnreachableTargetEmpty) {
+  // benign never enters the graph.
+  const CausalPath path = FindCausalPath(session_->graph(), trace_.benign);
+  EXPECT_TRUE(path.empty());
+}
+
+TEST_F(CausalPathTest, ShortestNotJustAnyPath) {
+  // attach is reachable at hop 3 (via java<-excel<-attach); the path finder
+  // must not detour through java_file (also hop 3 but longer to attach).
+  const CausalPath path = FindCausalPath(session_->graph(), trace_.attach);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.Hops(), 3u);
+}
+
+TEST(CausalPathForwardTest, FollowsTaint) {
+  MiniTrace trace = MakeMiniTrace();
+  SimClock clock;
+  Session session(trace.store.get(), &clock);
+  ASSERT_TRUE(
+      session.Start("forward file f[] -> *", trace.store->Get(2)).ok());
+  ASSERT_TRUE(session.Step({}).ok());
+
+  const CausalPath path =
+      FindCausalPath(session.graph(), trace.ext_sock, /*forward=*/true);
+  ASSERT_FALSE(path.empty());
+  EXPECT_EQ(path.origin, trace.attach);
+  // attach -> excel -> java -> ext_sock.
+  ASSERT_EQ(path.Hops(), 3u);
+  EXPECT_EQ(path.steps[0].node, trace.excel);
+  EXPECT_EQ(path.steps[1].node, trace.java);
+  EXPECT_EQ(path.steps[2].node, trace.ext_sock);
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bdl/analyzer.h"
+#include "core/refiner.h"
+#include "core/session.h"
+#include "tests/test_trace.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+std::set<EventId> EdgeSet(const DepGraph& g) {
+  std::set<EventId> out;
+  g.ForEachEdge([&](const DepGraph::Edge& e) { out.insert(e.event); });
+  return out;
+}
+
+class RefinerTest : public testing::Test {
+ protected:
+  TrackingContext Ctx(const std::string& script,
+                      std::optional<EventId> start = std::nullopt) {
+    auto spec = bdl::CompileBdl(script);
+    EXPECT_TRUE(spec.ok()) << spec.status();
+    std::optional<Event> override_event;
+    override_event = trace_.store->Get(start.value_or(trace_.alert_event));
+    auto ctx = ResolveContext(*trace_.store, std::move(spec.value()),
+                              &clock_, override_event);
+    EXPECT_TRUE(ctx.ok()) << ctx.status();
+    return std::move(ctx.value());
+  }
+
+  MiniTrace trace_ = MakeMiniTrace();
+  SimClock clock_;
+};
+
+TEST_F(RefinerTest, IdenticalSpecsAreNoChange) {
+  const auto a = Ctx("backward ip x[] -> *");
+  const auto b = Ctx("backward ip x[] -> *");
+  EXPECT_EQ(Refiner::Classify(a, b).action, RefineAction::kNoChange);
+}
+
+TEST_F(RefinerTest, WhereChangeIsReuse) {
+  const auto a = Ctx("backward ip x[] -> *");
+  const auto b = Ctx("backward ip x[] -> * where file.path != \"*.dll\"");
+  const auto r = Refiner::Classify(a, b);
+  EXPECT_EQ(r.action, RefineAction::kReuse);
+  EXPECT_TRUE(r.delta.where_changed);
+  EXPECT_FALSE(r.delta.chain_changed);
+}
+
+TEST_F(RefinerTest, ChainChangeIsReuse) {
+  const auto a = Ctx("backward ip x[] -> *");
+  const auto b =
+      Ctx("backward ip x[] -> proc p[exename = \"excel.exe\"] -> *");
+  const auto r = Refiner::Classify(a, b);
+  EXPECT_EQ(r.action, RefineAction::kReuse);
+  EXPECT_TRUE(r.delta.chain_changed);
+}
+
+TEST_F(RefinerTest, BudgetChangeIsReuse) {
+  const auto a = Ctx("backward ip x[] -> *");
+  const auto b = Ctx("backward ip x[] -> * where hop <= 5");
+  const auto r = Refiner::Classify(a, b);
+  EXPECT_EQ(r.action, RefineAction::kReuse);
+  EXPECT_TRUE(r.delta.budgets_changed);
+  EXPECT_FALSE(r.delta.where_changed);
+}
+
+TEST_F(RefinerTest, DifferentStartIsRestart) {
+  const auto a = Ctx("backward ip x[] -> *");
+  // Use a different event as the starting point (event 0: the mail
+  // accept).
+  const auto b = Ctx("backward ip x[] -> *", EventId{0});
+  EXPECT_EQ(Refiner::Classify(a, b).action, RefineAction::kRestart);
+}
+
+TEST_F(RefinerTest, DifferentHostRangeIsRestart) {
+  const auto a = Ctx("backward ip x[] -> *");
+  const auto b = Ctx("in \"desktop1\" backward ip x[] -> *");
+  // Same effective hosts? The filter set differs from "all hosts": the
+  // coverage semantics changed, so the Refiner restarts.
+  EXPECT_EQ(Refiner::Classify(a, b).action, RefineAction::kRestart);
+}
+
+// ------------------------------------------------- session-level reuse
+
+TEST_F(RefinerTest, SessionRefineMatchesFreshRun) {
+  // Iterative workflow: explore a little, add the dll exclusion, finish.
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  RunLimits limits;
+  limits.max_updates = 2;
+  ASSERT_TRUE(session.Step(limits).ok());
+  ASSERT_TRUE(session
+                  .UpdateScript(
+                      "backward ip x[] -> * where file.path != \"*.dll\"")
+                  .ok());
+  EXPECT_EQ(session.last_refine_action(), RefineAction::kReuse);
+  auto reason = session.Step({});
+  ASSERT_TRUE(reason.ok());
+  EXPECT_EQ(reason.value(), StopReason::kCompleted);
+
+  // A fresh session running the refined script directly must agree.
+  SimClock clock2;
+  Session fresh(trace_.store.get(), &clock2);
+  ASSERT_TRUE(fresh
+                  .Start("backward ip x[] -> * where file.path != \"*.dll\"",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(fresh.Step({}).ok());
+  EXPECT_EQ(EdgeSet(session.graph()), EdgeSet(fresh.graph()));
+}
+
+TEST_F(RefinerTest, SessionRestartOnNewStart) {
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[dst_ip = \"185.220.101.45\"] -> *")
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  const size_t full = session.graph().NumEdges();
+  EXPECT_EQ(full, MiniTrace::kClosureEdges);
+
+  // Point the script at a different starting event: restart with a clean
+  // graph.
+  ASSERT_TRUE(session
+                  .UpdateScript(
+                      "backward ip x[dst_ip = \"198.51.100.9\"] -> *")
+                  .ok());
+  EXPECT_EQ(session.last_refine_action(), RefineAction::kRestart);
+  EXPECT_EQ(session.graph().NumEdges(), 0u);  // not bootstrapped yet
+  ASSERT_TRUE(session.Step({}).ok());
+  // Backtracking from the mail socket: the graph is tiny and rooted at
+  // the socket (the endpoint that matched the new start pattern).
+  EXPECT_EQ(session.graph().start(), trace_.mail_sock);
+  EXPECT_EQ(session.graph().NumEdges(), 1u);
+}
+
+TEST_F(RefinerTest, SessionNoChangeKeepsEverything) {
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  RunLimits limits;
+  limits.max_updates = 1;
+  ASSERT_TRUE(session.Step(limits).ok());
+  const size_t edges = session.graph().NumEdges();
+  ASSERT_TRUE(session.UpdateScript("backward ip x[] -> *").ok());
+  EXPECT_EQ(session.last_refine_action(), RefineAction::kNoChange);
+  EXPECT_EQ(session.graph().NumEdges(), edges);
+}
+
+TEST_F(RefinerTest, RelaxedWhereViaRestartFindsPrunedNodes) {
+  // Tighten, then relax: relaxation classifies as reuse (the strings
+  // differ), which cannot resurrect pruned scans; analysts restart by
+  // changing the start or range. Here we verify the documented contract:
+  // a fresh run of the relaxed script recovers the dll nodes.
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> * where file.path != \"*.dll\"",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  EXPECT_FALSE(session.graph().HasNode(trace_.dll[0]));
+
+  SimClock clock2;
+  Session fresh(trace_.store.get(), &clock2);
+  ASSERT_TRUE(fresh
+                  .Start("backward ip x[] -> *",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(fresh.Step({}).ok());
+  EXPECT_TRUE(fresh.graph().HasNode(trace_.dll[0]));
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace aptrace {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RngTest, UniformStaysInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(17), 17u);
+  }
+}
+
+TEST(RngTest, UniformCoversRange) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.Uniform(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(17);
+  bool lo_seen = false;
+  bool hi_seen = false;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    if (v == -3) lo_seen = true;
+    if (v == 3) hi_seen = true;
+  }
+  EXPECT_TRUE(lo_seen);
+  EXPECT_TRUE(hi_seen);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(19);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliEdgesAndMean) {
+  Rng rng(23);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.03);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(29);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.Exponential(5.0);
+    EXPECT_GE(x, 0.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 20000, 5.0, 0.25);
+}
+
+TEST(RngTest, ZipfIsHeavyTailed) {
+  Rng rng(31);
+  const uint64_t n = 100;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 50000; ++i) {
+    const uint64_t r = rng.Zipf(n, 1.1);
+    ASSERT_LT(r, n);
+    counts[r]++;
+  }
+  // Rank 0 should dominate the median rank by a large factor.
+  EXPECT_GT(counts[0], counts[n / 2] * 5);
+  // And the head should carry a large share of the mass.
+  int head = 0;
+  for (int i = 0; i < 10; ++i) head += counts[i];
+  EXPECT_GT(head, 50000 / 2);
+}
+
+TEST(RngTest, ZipfHandlesExponentOne) {
+  // Regression: s = 1.0 used to divide by zero in the normalizer and
+  // always return n - 1.
+  Rng rng(33);
+  const uint64_t n = 64;
+  std::vector<int> counts(n, 0);
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(n, 1.0)]++;
+  EXPECT_GT(counts[0], 0);
+  EXPECT_GT(counts[0], counts[n - 1]);
+  EXPECT_LT(counts[n - 1], 20000 / 4);  // not everything at the last rank
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(37);
+  double sum = 0;
+  double sq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+TEST(RngTest, WeightedIndexRespectsWeights) {
+  Rng rng(41);
+  std::vector<double> w{1, 0, 3};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 10000; ++i) counts[rng.WeightedIndex(w)]++;
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_NEAR(counts[2] / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(7);
+  Rng child = a.Fork();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == child.Next()) same++;
+  }
+  EXPECT_LT(same, 5);
+}
+
+}  // namespace
+}  // namespace aptrace

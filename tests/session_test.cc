@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/engine.h"
+#include "tests/test_trace.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+class SessionTest : public testing::Test {
+ protected:
+  MiniTrace trace_ = MakeMiniTrace();
+  SimClock clock_;
+};
+
+TEST_F(SessionTest, StepBeforeStartFails) {
+  Session session(trace_.store.get(), &clock_);
+  EXPECT_FALSE(session.Step({}).ok());
+  EXPECT_FALSE(session.UpdateScript("backward ip x[] -> *").ok());
+  EXPECT_FALSE(session.Finish().ok());
+  EXPECT_FALSE(session.started());
+}
+
+TEST_F(SessionTest, BadScriptReported) {
+  Session session(trace_.store.get(), &clock_);
+  const Status s = session.Start("this is not bdl");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(SessionTest, StartByPatternRunFinish) {
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(
+      session.Start("backward ip x[dst_ip = \"185.220.101.45\"] -> *").ok());
+  EXPECT_TRUE(session.started());
+  auto reason = session.Step({});
+  ASSERT_TRUE(reason.ok());
+  EXPECT_EQ(reason.value(), StopReason::kCompleted);
+  EXPECT_TRUE(session.Exhausted());
+  EXPECT_EQ(session.graph().NumEdges(), MiniTrace::kClosureEdges);
+  EXPECT_TRUE(session.Finish().ok());
+}
+
+TEST_F(SessionTest, FinishWritesDotOutput) {
+  const std::string path = ::testing::TempDir() + "/aptrace_session.dot";
+  std::remove(path.c_str());
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> * output = \"" + path + "\"",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  ASSERT_TRUE(session.Finish().ok());
+
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string dot = ss.str();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+  EXPECT_NE(dot.find("java.exe"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);  // alert highlighted
+  std::remove(path.c_str());
+}
+
+TEST_F(SessionTest, FinishPrunesToMatchedPaths) {
+  Session session(trace_.store.get(), &clock_);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[dst_ip = \"185.220.101.45\"] -> "
+                         "proc p[exename = \"excel.exe\"] -> ip m[dst_ip = "
+                         "\"198.51.100.9\"]")
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  const size_t before = session.graph().NumNodes();
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_LT(session.graph().NumNodes(), before);
+  EXPECT_TRUE(session.graph().HasNode(trace_.mail_sock));
+  EXPECT_FALSE(session.graph().HasNode(trace_.dll[0]));
+}
+
+TEST_F(SessionTest, BaselineEngineViaOptions) {
+  SessionOptions options;
+  options.use_baseline = true;
+  Session session(trace_.store.get(), &clock_, options);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         trace_.store->Get(trace_.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  EXPECT_EQ(session.graph().NumEdges(), MiniTrace::kClosureEdges);
+  // Baseline + script update = restart (execute-to-complete cannot reuse).
+  ASSERT_TRUE(session
+                  .UpdateScript(
+                      "backward ip x[] -> * where file.path != \"*.dll\"")
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+  EXPECT_EQ(session.graph().NumEdges(), MiniTrace::kClosureEdges - 3);
+}
+
+TEST_F(SessionTest, OneShotRunBdlScript) {
+  SimClock clock;
+  auto report = RunBdlScript(*trace_.store, &clock, "backward ip x[] -> *",
+                             {}, {}, trace_.store->Get(trace_.alert_event));
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_EQ(report->reason, StopReason::kCompleted);
+  EXPECT_EQ(report->graph_edges, MiniTrace::kClosureEdges);
+  EXPECT_EQ(report->graph_nodes, MiniTrace::kClosureNodes);
+  EXPECT_FALSE(report->log.empty());
+}
+
+TEST_F(SessionTest, ResourceModelShape) {
+  ResourceModel model;
+  // Early in the run: memory spike.
+  ResourceSample early = model.Sample({.elapsed = 0});
+  ResourceSample later = model.Sample({.elapsed = 10 * kMicrosPerMinute});
+  EXPECT_GT(early.mem_pct, 10.0);
+  EXPECT_LT(later.mem_pct, 5.0);
+  // CPU ramps up.
+  EXPECT_LT(early.cpu_pct, 4.0);
+  EXPECT_GT(later.cpu_pct, 8.0);
+  // Graph size adds memory.
+  ResourceSample big = model.Sample(
+      {.elapsed = 10 * kMicrosPerMinute, .graph_nodes = 400000});
+  EXPECT_GT(big.mem_pct, later.mem_pct + 5.0);
+  // Values stay in [0, 100].
+  ResourceSample huge = model.Sample(
+      {.elapsed = kMicrosPerHour, .graph_nodes = 100000000});
+  EXPECT_LE(huge.mem_pct, 100.0);
+  EXPECT_GE(huge.cpu_pct, 0.0);
+}
+
+}  // namespace
+}  // namespace aptrace

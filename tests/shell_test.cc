@@ -1,0 +1,130 @@
+// The interactive shell, driven through its stream interface.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "tests/test_trace.h"
+#include "tools/aptrace_shell.h"
+
+namespace aptrace::tools {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+std::string Drive(EventStore* store, const std::string& commands) {
+  std::istringstream in(commands);
+  std::ostringstream out;
+  EXPECT_EQ(RunShell(store, in, out), 0);
+  return out.str();
+}
+
+class ShellTest : public testing::Test {
+ protected:
+  MiniTrace trace_ = MakeMiniTrace();
+};
+
+TEST_F(ShellTest, HelpAndQuit) {
+  const std::string out = Drive(trace_.store.get(), "help\nquit\n");
+  EXPECT_NE(out.find("commands:"), std::string::npos);
+  EXPECT_NE(out.find("refine <file.bdl>"), std::string::npos);
+}
+
+TEST_F(ShellTest, UnknownCommandReported) {
+  const std::string out = Drive(trace_.store.get(), "frobnicate\nquit\n");
+  EXPECT_NE(out.find("unknown command 'frobnicate'"), std::string::npos);
+}
+
+TEST_F(ShellTest, CommandsRequireAnalysis) {
+  const std::string out =
+      Drive(trace_.store.get(), "step\nstatus\npath 3\ndot x\nquit\n");
+  // Every one of them refuses politely.
+  size_t count = 0;
+  for (size_t pos = 0;
+       (pos = out.find("no analysis running", pos)) != std::string::npos;
+       ++pos) {
+    count++;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST_F(ShellTest, FromStepStatusPath) {
+  const std::string commands =
+      "from " + std::to_string(trace_.alert_event) +
+      "\nrun\nstatus\npath " + std::to_string(trace_.mail_sock) + "\nquit\n";
+  const std::string out = Drive(trace_.store.get(), commands);
+  EXPECT_NE(out.find("tracking backward from event"), std::string::npos);
+  EXPECT_NE(out.find("completed;"), std::string::npos);
+  EXPECT_NE(out.find("graph: 11 events / 10 nodes"), std::string::npos);
+  // The causal chain to the mail socket prints every hop.
+  EXPECT_NE(out.find("outlook.exe"), std::string::npos);
+  EXPECT_NE(out.find("198.51.100.9"), std::string::npos);
+}
+
+TEST_F(ShellTest, FromRejectsBadEventIds) {
+  const std::string out =
+      Drive(trace_.store.get(), "from 999999\nfrom notanumber\nquit\n");
+  EXPECT_NE(out.find("need a valid event id"), std::string::npos);
+}
+
+TEST_F(ShellTest, StartAndRefineFromFiles) {
+  const std::string v1 = ::testing::TempDir() + "/shell_v1.bdl";
+  const std::string v2 = ::testing::TempDir() + "/shell_v2.bdl";
+  {
+    std::ofstream f(v1);
+    f << "backward ip x[dst_ip = \"185.220.101.45\"] -> *\n";
+  }
+  {
+    std::ofstream f(v2);
+    f << "backward ip x[dst_ip = \"185.220.101.45\"] -> * where file.path "
+         "!= \"*.dll\"\n";
+  }
+  const std::string out = Drive(
+      trace_.store.get(),
+      "start " + v1 + "\nstep 2\nrefine " + v2 + "\nrun\nstatus\nquit\n");
+  EXPECT_NE(out.find("refiner: reuse"), std::string::npos);
+  // 11-edge closure minus the 3 dll reads.
+  EXPECT_NE(out.find("graph: 8 events"), std::string::npos);
+  std::remove(v1.c_str());
+  std::remove(v2.c_str());
+}
+
+TEST_F(ShellTest, AlertsListsDetections) {
+  const std::string out = Drive(trace_.store.get(), "alerts 0\nquit\n");
+  EXPECT_NE(out.find("alerts (training before"), std::string::npos);
+}
+
+TEST_F(ShellTest, ExportsAndCheckpoints) {
+  const std::string dot = ::testing::TempDir() + "/shell_graph.dot";
+  const std::string sum = ::testing::TempDir() + "/shell_summary.dot";
+  const std::string ckpt = ::testing::TempDir() + "/shell.ckpt";
+  const std::string commands = "from " + std::to_string(trace_.alert_event) +
+                               "\nrun\ndot " + dot + "\nsummary " + sum +
+                               "\nsave " + ckpt + "\nquit\n";
+  const std::string out = Drive(trace_.store.get(), commands);
+  EXPECT_NE(out.find("written to " + dot), std::string::npos);
+  EXPECT_NE(out.find("groups hide"), std::string::npos);
+  EXPECT_NE(out.find("checkpoint written"), std::string::npos);
+
+  // A second shell resumes from the checkpoint.
+  const std::string out2 =
+      Drive(trace_.store.get(), "load " + ckpt + "\nstatus\nquit\n");
+  EXPECT_NE(out2.find("resumed from"), std::string::npos);
+  EXPECT_NE(out2.find("graph: 11 events"), std::string::npos);
+  std::remove(dot.c_str());
+  std::remove(sum.c_str());
+  std::remove(ckpt.c_str());
+}
+
+TEST_F(ShellTest, FmtPrintsCanonicalScript) {
+  const std::string out =
+      Drive(trace_.store.get(),
+            "from " + std::to_string(trace_.alert_event) + "\nfmt\nquit\n");
+  EXPECT_NE(out.find("backward ip x[] -> *"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aptrace::tools

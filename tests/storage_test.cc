@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "storage/event_store.h"
+#include "util/rng.h"
+
+namespace aptrace {
+namespace {
+
+Event MakeEvent(ObjectId subject, ObjectId object, TimeMicros t,
+                ActionType action, HostId host = 0) {
+  Event e;
+  e.subject = subject;
+  e.object = object;
+  e.timestamp = t;
+  e.action = action;
+  e.direction = ActionDefaultDirection(action);
+  e.host = host;
+  return e;
+}
+
+class EventStoreTest : public testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = store_.catalog().InternHost("h1");
+    proc_a_ = store_.catalog().AddProcess(host_, {.exename = "a.exe"});
+    proc_b_ = store_.catalog().AddProcess(host_, {.exename = "b.exe"});
+    file_x_ = store_.catalog().AddFile(host_, {.path = "/x"});
+    file_y_ = store_.catalog().AddFile(host_, {.path = "/y"});
+  }
+
+  EventStore store_;
+  HostId host_ = 0;
+  ObjectId proc_a_ = 0, proc_b_ = 0, file_x_ = 0, file_y_ = 0;
+};
+
+TEST_F(EventStoreTest, AppendAssignsSequentialIds) {
+  const EventId a = store_.Append(
+      MakeEvent(proc_a_, file_x_, 100, ActionType::kWrite, host_));
+  const EventId b = store_.Append(
+      MakeEvent(proc_a_, file_y_, 200, ActionType::kWrite, host_));
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(store_.NumEvents(), 2u);
+  EXPECT_EQ(store_.MinTime(), 100);
+  EXPECT_EQ(store_.MaxTime(), 200);
+}
+
+TEST_F(EventStoreTest, ScanDestReturnsOnlyMatchingWindow) {
+  // Three writes into file_x at t = 100, 200, 300; one into file_y.
+  store_.Append(MakeEvent(proc_a_, file_x_, 100, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_b_, file_x_, 200, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_x_, 300, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_y_, 150, ActionType::kWrite, host_));
+  store_.Seal();
+
+  std::vector<TimeMicros> times;
+  const size_t n = store_.ScanDest(file_x_, 100, 300, nullptr,
+                                   [&](const Event& e) {
+                                     times.push_back(e.timestamp);
+                                   });
+  EXPECT_EQ(n, 2u);  // [100, 300) is half-open
+  EXPECT_EQ(times, (std::vector<TimeMicros>{100, 200}));
+}
+
+TEST_F(EventStoreTest, ScanDestHonorsFlowDirection) {
+  // A read flows file -> proc, so the *process* is the destination.
+  store_.Append(MakeEvent(proc_a_, file_x_, 100, ActionType::kRead, host_));
+  store_.Seal();
+  EXPECT_EQ(store_.CountDest(proc_a_, 0, 1000, nullptr), 1u);
+  EXPECT_EQ(store_.CountDest(file_x_, 0, 1000, nullptr), 0u);
+}
+
+TEST_F(EventStoreTest, ScanChargesSimulatedCost) {
+  EventStoreOptions options;
+  options.cost_model.query_overhead = 1000;
+  options.cost_model.per_row_fetch = 10;
+  options.cost_model.per_partition_probe = 0;
+  options.cost_model.per_partition_seek = 0;
+  EventStore store(options);
+  const HostId h = store.catalog().InternHost("h");
+  const ObjectId p = store.catalog().AddProcess(h, {.exename = "p"});
+  const ObjectId f = store.catalog().AddFile(h, {.path = "/f"});
+  for (int i = 0; i < 5; ++i) {
+    store.Append(MakeEvent(p, f, 100 + i, ActionType::kWrite, h));
+  }
+  store.Seal();
+
+  SimClock clock;
+  store.ScanDest(f, 0, 1000, &clock, nullptr);
+  EXPECT_EQ(clock.NowMicros(), 1000 + 5 * 10);
+  EXPECT_EQ(store.stats().queries, 1u);
+  EXPECT_EQ(store.stats().rows_matched, 5u);
+  EXPECT_EQ(store.stats().simulated_cost, clock.NowMicros());
+}
+
+TEST_F(EventStoreTest, CountDestSkipsRowFetchCost) {
+  EventStoreOptions options;
+  options.cost_model.query_overhead = 100;
+  options.cost_model.per_row_fetch = 1000;
+  options.cost_model.per_partition_probe = 0;
+  options.cost_model.per_partition_seek = 0;
+  EventStore store(options);
+  const HostId h = store.catalog().InternHost("h");
+  const ObjectId p = store.catalog().AddProcess(h, {.exename = "p"});
+  const ObjectId f = store.catalog().AddFile(h, {.path = "/f"});
+  for (int i = 0; i < 7; ++i) {
+    store.Append(MakeEvent(p, f, 100 + i, ActionType::kWrite, h));
+  }
+  store.Seal();
+  SimClock clock;
+  EXPECT_EQ(store.CountDest(f, 0, 1000, &clock), 7u);
+  EXPECT_EQ(clock.NowMicros(), 100);  // overhead only
+}
+
+TEST_F(EventStoreTest, ScanRangeVisitsAllInOrder) {
+  store_.Append(MakeEvent(proc_a_, file_x_, 300, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_y_, 100, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_b_, file_x_, 200, ActionType::kRead, host_));
+  store_.Seal();
+  std::vector<TimeMicros> times;
+  store_.ScanRange(0, 1000, nullptr,
+                   [&](const Event& e) { times.push_back(e.timestamp); });
+  EXPECT_EQ(times, (std::vector<TimeMicros>{100, 200, 300}));
+}
+
+TEST_F(EventStoreTest, HasIncomingWriteTracksFlowsIntoObject) {
+  store_.Append(MakeEvent(proc_a_, file_x_, 100, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_y_, 200, ActionType::kRead, host_));
+  store_.Seal();
+  EXPECT_TRUE(store_.HasIncomingWrite(file_x_, 0, 1000));
+  // file_y was only read (flow out of it): it is "read-only".
+  EXPECT_FALSE(store_.HasIncomingWrite(file_y_, 0, 1000));
+  // Range matters.
+  EXPECT_FALSE(store_.HasIncomingWrite(file_x_, 101, 1000));
+}
+
+TEST_F(EventStoreTest, FlowDestsOfDeduplicates) {
+  store_.Append(MakeEvent(proc_a_, file_x_, 100, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_x_, 200, ActionType::kWrite, host_));
+  store_.Append(MakeEvent(proc_a_, file_y_, 300, ActionType::kWrite, host_));
+  store_.Seal();
+  const auto dests = store_.FlowDestsOf(proc_a_, 0, 1000);
+  EXPECT_EQ(dests.size(), 2u);
+  EXPECT_TRUE(std::is_sorted(dests.begin(), dests.end()));
+}
+
+TEST_F(EventStoreTest, EmptyStoreSealsSafely) {
+  store_.Seal();
+  EXPECT_EQ(store_.MinTime(), 0);
+  EXPECT_EQ(store_.MaxTime(), 0);
+  EXPECT_EQ(store_.CountDest(proc_a_, 0, 100, nullptr), 0u);
+}
+
+TEST_F(EventStoreTest, EmptyRangeIsEmpty) {
+  store_.Append(MakeEvent(proc_a_, file_x_, 100, ActionType::kWrite, host_));
+  store_.Seal();
+  EXPECT_EQ(store_.CountDest(file_x_, 100, 100, nullptr), 0u);
+  EXPECT_EQ(store_.CountDest(file_x_, 200, 100, nullptr), 0u);
+}
+
+// Property test: ScanDest agrees with a brute-force filter over random
+// event soups, across partition boundaries.
+class ScanDestPropertyTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ScanDestPropertyTest, AgreesWithBruteForce) {
+  EventStoreOptions options;
+  options.partition_micros = 1000;  // small partitions to stress boundaries
+  EventStore store(options);
+  Rng rng(GetParam());
+
+  const HostId h = store.catalog().InternHost("h");
+  std::vector<ObjectId> procs;
+  std::vector<ObjectId> objects;
+  for (int i = 0; i < 6; ++i) {
+    procs.push_back(store.catalog().AddProcess(h, {.exename = "p"}));
+  }
+  for (int i = 0; i < 10; ++i) {
+    objects.push_back(store.catalog().AddFile(h, {.path = "/f"}));
+  }
+  std::vector<Event> all;
+  for (int i = 0; i < 500; ++i) {
+    const ActionType action = rng.Bernoulli(0.5) ? ActionType::kWrite
+                                                 : ActionType::kRead;
+    Event e = MakeEvent(procs[rng.Uniform(procs.size())],
+                        objects[rng.Uniform(objects.size())],
+                        static_cast<TimeMicros>(rng.Uniform(10000)), action,
+                        h);
+    e.id = store.Append(e);
+    all.push_back(e);
+  }
+  store.Seal();
+
+  for (int trial = 0; trial < 50; ++trial) {
+    const ObjectId dest = rng.Bernoulli(0.5)
+                              ? procs[rng.Uniform(procs.size())]
+                              : objects[rng.Uniform(objects.size())];
+    TimeMicros lo = static_cast<TimeMicros>(rng.Uniform(11000));
+    TimeMicros hi = static_cast<TimeMicros>(rng.Uniform(11000));
+    if (lo > hi) std::swap(lo, hi);
+
+    std::vector<EventId> got;
+    store.ScanDest(dest, lo, hi, nullptr,
+                   [&](const Event& e) { got.push_back(e.id); });
+
+    std::vector<EventId> want;
+    for (const Event& e : all) {
+      if (e.FlowDest() == dest && e.timestamp >= lo && e.timestamp < hi) {
+        want.push_back(e.id);
+      }
+    }
+    std::sort(want.begin(), want.end(), [&](EventId a, EventId b) {
+      if (all[a].timestamp != all[b].timestamp)
+        return all[a].timestamp < all[b].timestamp;
+      return a < b;
+    });
+    EXPECT_EQ(got, want) << "dest=" << dest << " [" << lo << "," << hi << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ScanDestPropertyTest,
+                         testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/engine.h"
+#include "graph/summarize.h"
+#include "tests/test_trace.h"
+#include "workload/scenario.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+TEST(SummarizeTest, GroupsDllLeaves) {
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  Session session(t.store.get(), &clock);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+
+  std::ostringstream os;
+  SummarizeOptions options;
+  options.alert_event = t.alert_event;
+  options.min_group_size = 3;
+  const SummaryStats stats =
+      WriteDotSummarized(session.graph(), t.store->catalog(), os, options);
+  const std::string dot = os.str();
+
+  // The three dlls (degree-1 file leaves of java) collapse into one
+  // "3 x C://Windows/System32/*.dll" group node.
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.collapsed_nodes, 3u);
+  EXPECT_EQ(stats.summary_nodes, stats.original_nodes - 3 + 1);
+  EXPECT_NE(dot.find("3 x C://Windows/System32/*.dll"), std::string::npos);
+  EXPECT_EQ(dot.find("lib0.dll"), std::string::npos);  // member hidden
+  // The causal chain stays individual, the alert edge stays red.
+  EXPECT_NE(dot.find("java.exe"), std::string::npos);
+  EXPECT_NE(dot.find("outlook.exe"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);
+}
+
+TEST(SummarizeTest, MinGroupSizeRespected) {
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  Session session(t.store.get(), &clock);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+
+  std::ostringstream os;
+  SummarizeOptions options;
+  options.min_group_size = 4;  // the 3 dlls no longer qualify
+  const SummaryStats stats =
+      WriteDotSummarized(session.graph(), t.store->catalog(), os, options);
+  EXPECT_EQ(stats.groups, 0u);
+  EXPECT_EQ(stats.collapsed_nodes, 0u);
+  EXPECT_NE(os.str().find("lib0.dll"), std::string::npos);
+}
+
+TEST(SummarizeTest, AlertEndpointsNeverCollapse) {
+  MiniTrace t = MakeMiniTrace();
+  SimClock clock;
+  Session session(t.store.get(), &clock);
+  ASSERT_TRUE(session
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  ASSERT_TRUE(session.Step({}).ok());
+
+  std::ostringstream os;
+  SummarizeOptions options;
+  options.alert_event = t.alert_event;
+  options.min_group_size = 1;  // collapse as aggressively as possible
+  WriteDotSummarized(session.graph(), t.store->catalog(), os, options);
+  // The alert's external socket is a degree-1 ip leaf, but it is pinned.
+  EXPECT_NE(os.str().find("185.220.101.45"), std::string::npos);
+}
+
+TEST(SummarizeTest, ShrinksRealCaseGraphsDramatically) {
+  auto built = workload::BuildAttackCase("wget_unzip_gcc",
+                                         workload::TraceConfig::Small());
+  ASSERT_TRUE(built.ok());
+  SimClock clock;
+  Session session(built->store.get(), &clock);
+  ASSERT_TRUE(session.Start(built->scenario.bdl_scripts[0]).ok());
+  RunLimits limits;
+  limits.sim_time = 30 * kMicrosPerMinute;
+  ASSERT_TRUE(session.Step(limits).ok());
+  ASSERT_GT(session.graph().NumNodes(), 500u);
+
+  std::ostringstream os;
+  SummarizeOptions options;
+  options.alert_event = built->scenario.alert_event;
+  const SummaryStats stats = WriteDotSummarized(
+      session.graph(), built->store->catalog(), os, options);
+  // The /usr/include/*.h crawl collapses: the summary is a fraction of
+  // the raw graph.
+  EXPECT_LT(stats.summary_nodes, stats.original_nodes / 3);
+  EXPECT_NE(os.str().find("/usr/include/pkg/*.h"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "storage/trace_io.h"
+#include "tests/test_trace.h"
+#include "workload/scenario.h"
+
+namespace aptrace {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+TEST(TraceIoTest, RoundTripPreservesEverything) {
+  MiniTrace t = MakeMiniTrace();
+  std::stringstream buf;
+  ASSERT_TRUE(SaveTrace(*t.store, buf).ok());
+
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const EventStore& a = *t.store;
+  const EventStore& b = **loaded;
+
+  ASSERT_EQ(a.NumEvents(), b.NumEvents());
+  ASSERT_EQ(a.catalog().size(), b.catalog().size());
+  ASSERT_EQ(a.catalog().NumHosts(), b.catalog().NumHosts());
+  EXPECT_EQ(a.MinTime(), b.MinTime());
+  EXPECT_EQ(a.MaxTime(), b.MaxTime());
+
+  for (EventId id = 0; id < a.NumEvents(); ++id) {
+    const Event& ea = a.Get(id);
+    const Event& eb = b.Get(id);
+    EXPECT_EQ(ea.subject, eb.subject);
+    EXPECT_EQ(ea.object, eb.object);
+    EXPECT_EQ(ea.timestamp, eb.timestamp);
+    EXPECT_EQ(ea.amount, eb.amount);
+    EXPECT_EQ(ea.action, eb.action);
+    EXPECT_EQ(ea.direction, eb.direction);
+    EXPECT_EQ(ea.host, eb.host);
+  }
+  for (ObjectId id = 0; id < a.catalog().size(); ++id) {
+    const SystemObject& oa = a.catalog().Get(id);
+    const SystemObject& ob = b.catalog().Get(id);
+    EXPECT_EQ(oa.type(), ob.type());
+    EXPECT_EQ(oa.host(), ob.host());
+    EXPECT_EQ(oa.Label(), ob.Label());
+  }
+
+  // Queries agree too.
+  std::vector<EventId> got_a, got_b;
+  a.ScanDest(t.java, 0, 1000, nullptr,
+             [&](const Event& e) { got_a.push_back(e.id); });
+  b.ScanDest(t.java, 0, 1000, nullptr,
+             [&](const Event& e) { got_b.push_back(e.id); });
+  EXPECT_EQ(got_a, got_b);
+}
+
+TEST(TraceIoTest, RoundTripOfStagedAttackCase) {
+  auto built = workload::BuildAttackCase("excel_macro",
+                                         workload::TraceConfig::Small());
+  ASSERT_TRUE(built.ok());
+  std::stringstream buf;
+  ASSERT_TRUE(SaveTrace(*built->store, buf).ok());
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->NumEvents(), built->store->NumEvents());
+  // The alert event survives with the same id and shape.
+  const Event& alert = (*loaded)->Get(built->scenario.alert_event);
+  EXPECT_EQ(alert.timestamp, built->scenario.alert.timestamp);
+  EXPECT_EQ(alert.subject, built->scenario.alert.subject);
+}
+
+TEST(TraceIoTest, SaveRequiresSealedStore) {
+  EventStore store;
+  std::stringstream buf;
+  EXPECT_FALSE(SaveTrace(store, buf).ok());
+}
+
+TEST(TraceIoTest, SpecialCharactersInPaths) {
+  EventStore store;
+  const HostId h = store.catalog().InternHost("weird host name");
+  const ObjectId p = store.catalog().AddProcess(h, {.exename = "a b.exe"});
+  const ObjectId f = store.catalog().AddFile(
+      h, {.path = "C://spaces and \"quotes\"/file.txt"});
+  Event e;
+  e.subject = p;
+  e.object = f;
+  e.timestamp = 42;
+  e.action = ActionType::kWrite;
+  e.direction = FlowDirection::kSubjectToObject;
+  e.host = h;
+  store.Append(e);
+  store.Seal();
+
+  std::stringstream buf;
+  ASSERT_TRUE(SaveTrace(store, buf).ok());
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->catalog().Get(f).file().path,
+            "C://spaces and \"quotes\"/file.txt");
+  EXPECT_EQ((*loaded)->catalog().HostName(h), "weird host name");
+}
+
+struct BadTrace {
+  const char* text;
+  const char* why;
+};
+
+class TraceIoErrorTest : public testing::TestWithParam<BadTrace> {};
+
+TEST_P(TraceIoErrorTest, Rejected) {
+  std::stringstream buf(GetParam().text);
+  auto loaded = LoadTrace(buf);
+  EXPECT_FALSE(loaded.ok()) << GetParam().why;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, TraceIoErrorTest,
+    testing::Values(
+        BadTrace{"", "empty input"},
+        BadTrace{"not a trace\n", "wrong header"},
+        BadTrace{"aptrace-trace v1\nX\t1\t2\n", "unknown record"},
+        BadTrace{"aptrace-trace v1\nH\t5\thost\n", "non-dense host id"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nP\t7\t0\t1\t2\tp\n",
+                 "non-dense object id"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\txx\t2\tp\n",
+                 "non-numeric pid"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nE\t0\t1\t5\t0\t0\t0\t0\n",
+                 "event references unknown object"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\t1\t2\tp\n"
+                 "F\t1\t0\t0\t0\t0\t/f\nE\t0\t1\t5\t0\t99\t0\t0\n",
+                 "bad action code"}));
+
+}  // namespace
+}  // namespace aptrace

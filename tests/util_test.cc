@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "util/clock.h"
+#include "util/stats.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/wildcard.h"
+
+namespace aptrace {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad foo");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad foo");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad foo");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// ---------------------------------------------------------------- Clock
+
+TEST(SimClockTest, StartsAtGivenTimeAndAdvances) {
+  SimClock clock(100);
+  EXPECT_EQ(clock.NowMicros(), 100);
+  clock.AdvanceMicros(50);
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceMicros(-10);  // negative deltas are ignored
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceTo(120);  // backwards jump is a no-op
+  EXPECT_EQ(clock.NowMicros(), 150);
+  clock.AdvanceTo(300);
+  EXPECT_EQ(clock.NowMicros(), 300);
+}
+
+TEST(RealClockTest, MonotonicallyNonDecreasing) {
+  RealClock clock;
+  const TimeMicros a = clock.NowMicros();
+  const TimeMicros b = clock.NowMicros();
+  EXPECT_LE(a, b);
+  clock.AdvanceMicros(1000000);  // no-op on a real clock
+  EXPECT_LE(b, clock.NowMicros() + 1000000);
+}
+
+// ---------------------------------------------------------------- Stats
+
+TEST(SampleStatsTest, BasicMoments) {
+  SampleStats s;
+  s.AddAll({1, 2, 3, 4, 5});
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.0);
+  EXPECT_NEAR(s.Stddev(), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(s.Min(), 1);
+  EXPECT_DOUBLE_EQ(s.Max(), 5);
+  EXPECT_DOUBLE_EQ(s.Median(), 3);
+}
+
+TEST(SampleStatsTest, PercentilesInterpolate) {
+  SampleStats s;
+  for (int i = 1; i <= 100; ++i) s.Add(i);
+  EXPECT_NEAR(s.Percentile(50), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 1e-9);
+  EXPECT_NEAR(s.Percentile(99), 99.01, 1e-9);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 1);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 100);
+}
+
+TEST(SampleStatsTest, EmptyIsSafe) {
+  SampleStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 0);
+  EXPECT_DOUBLE_EQ(s.Stddev(), 0);
+  EXPECT_DOUBLE_EQ(s.Percentile(50), 0);
+}
+
+TEST(SampleStatsTest, BoxPlotFindsOutliers) {
+  SampleStats s;
+  // Tight cluster plus one extreme outlier.
+  s.AddAll({10, 11, 12, 13, 14, 15, 16, 1000});
+  const auto box = s.Box();
+  EXPECT_DOUBLE_EQ(box.min, 10);
+  EXPECT_DOUBLE_EQ(box.max, 1000);
+  ASSERT_EQ(box.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(box.outliers[0], 1000);
+  EXPECT_LE(box.whisker_hi, 1000);
+  EXPECT_GE(box.q3, box.median);
+  EXPECT_GE(box.median, box.q1);
+}
+
+TEST(HistogramTest, CountsAndThresholds) {
+  Histogram h(0, 100, 10);
+  for (int i = 0; i < 100; ++i) h.Add(i);
+  EXPECT_EQ(h.TotalCount(), 100u);
+  EXPECT_NEAR(h.FractionAtLeast(90), 0.10, 1e-9);
+  EXPECT_NEAR(h.FractionAtLeast(0), 1.0, 1e-9);
+  // Out-of-range values clamp into edge buckets instead of crashing.
+  h.Add(-5);
+  h.Add(500);
+  EXPECT_EQ(h.TotalCount(), 102u);
+}
+
+// ---------------------------------------------------------------- Strings
+
+TEST(StringUtilTest, SplitTrimJoin) {
+  EXPECT_EQ(Split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Join({"x", "y"}, "::"), "x::y");
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foo", "foobar"));
+  EXPECT_EQ(ToLower("AbC_1"), "abc_1");
+}
+
+TEST(BdlTimeTest, ParsesDateOnly) {
+  auto t = ParseBdlTime("04/26/2019");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatBdlTime(*t), "04/26/2019:00:00:00");
+}
+
+TEST(BdlTimeTest, ParsesDateTime) {
+  auto t = ParseBdlTime("04/26/2019:16:31:16");
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(FormatBdlTime(*t), "04/26/2019:16:31:16");
+}
+
+TEST(BdlTimeTest, OrderedAcrossDays) {
+  auto a = ParseBdlTime("04/02/2019");
+  auto b = ParseBdlTime("05/01/2019");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_LT(*a, *b);
+  EXPECT_EQ(*b - *a, 29 * kMicrosPerDay);
+}
+
+TEST(BdlTimeTest, LeapYearHandled) {
+  auto feb29 = ParseBdlTime("02/29/2020");
+  ASSERT_TRUE(feb29.ok());
+  EXPECT_EQ(FormatBdlTime(*feb29), "02/29/2020:00:00:00");
+  EXPECT_FALSE(ParseBdlTime("02/29/2019").ok());
+}
+
+TEST(BdlTimeTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseBdlTime("not a time").ok());
+  EXPECT_FALSE(ParseBdlTime("13/01/2019").ok());
+  EXPECT_FALSE(ParseBdlTime("04/31/2019").ok());
+  EXPECT_FALSE(ParseBdlTime("04/26/2019:25:00:00").ok());
+  EXPECT_FALSE(ParseBdlTime("04/26/2019:10:00").ok());
+}
+
+struct DurationCase {
+  const char* text;
+  DurationMicros expected;
+};
+
+class BdlDurationTest : public testing::TestWithParam<DurationCase> {};
+
+TEST_P(BdlDurationTest, Parses) {
+  auto d = ParseBdlDuration(GetParam().text);
+  ASSERT_TRUE(d.ok()) << GetParam().text;
+  EXPECT_EQ(*d, GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllUnits, BdlDurationTest,
+    testing::Values(DurationCase{"10mins", 10 * kMicrosPerMinute},
+                    DurationCase{"1min", kMicrosPerMinute},
+                    DurationCase{"30s", 30 * kMicrosPerSecond},
+                    DurationCase{"2h", 2 * kMicrosPerHour},
+                    DurationCase{"500ms", 500 * kMicrosPerMilli},
+                    DurationCase{"3days", 3 * kMicrosPerDay},
+                    DurationCase{"0s", 0}));
+
+TEST(BdlDurationTest, RejectsGarbage) {
+  EXPECT_FALSE(ParseBdlDuration("mins").ok());
+  EXPECT_FALSE(ParseBdlDuration("10").ok());
+  EXPECT_FALSE(ParseBdlDuration("10lightyears").ok());
+}
+
+TEST(FormatDurationTest, HumanReadable) {
+  EXPECT_EQ(FormatDuration(500 * kMicrosPerMilli), "500ms");
+  EXPECT_EQ(FormatDuration(90 * kMicrosPerSecond), "1m30s");
+  EXPECT_EQ(FormatDuration(2 * kMicrosPerHour + 5 * kMicrosPerMinute),
+            "2h5m");
+  EXPECT_EQ(FormatDuration(0), "0ms");
+}
+
+// ---------------------------------------------------------------- Wildcard
+
+struct WildcardCase {
+  const char* pattern;
+  const char* text;
+  bool match;
+};
+
+class WildcardTest : public testing::TestWithParam<WildcardCase> {};
+
+TEST_P(WildcardTest, Matches) {
+  const auto& p = GetParam();
+  EXPECT_EQ(WildcardMatch(p.pattern, p.text), p.match)
+      << p.pattern << " vs " << p.text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, WildcardTest,
+    testing::Values(
+        WildcardCase{"*.dll", "C://Windows/System32/kernel32.dll", true},
+        WildcardCase{"*.dll", "C://Windows/kernel32.dll.bak", false},
+        WildcardCase{"*.DLL", "c://windows/user32.dll", true},  // case-insens
+        WildcardCase{"explorer", "explorer", true},
+        WildcardCase{"explorer", "Explorer", true},
+        WildcardCase{"explorer", "explorer.exe", false},
+        WildcardCase{"explorer*", "explorer.exe", true},
+        WildcardCase{"10.*", "10.3.4.5", true},
+        WildcardCase{"10.*", "110.3.4.5", false},
+        WildcardCase{"/var/www/*", "/var/www/html/index.html", true},
+        WildcardCase{"/var/www/*", "/var/log/httpd.log", false},
+        WildcardCase{"a?c", "abc", true},
+        WildcardCase{"a?c", "ac", false},
+        WildcardCase{"C://Sensitive/important.doc",
+                     "C://Sensitive/important.doc", true},
+        WildcardCase{"", "", true},
+        WildcardCase{"*", "", true},
+        WildcardCase{"*", "anything at all", true}));
+
+TEST(WildcardTest, RegexMetacharactersAreLiteral) {
+  EXPECT_TRUE(WildcardMatch("file(1).txt", "file(1).txt"));
+  EXPECT_FALSE(WildcardMatch("file(1).txt", "file1.txt"));
+  EXPECT_TRUE(WildcardMatch("a+b", "a+b"));
+  EXPECT_FALSE(WildcardMatch("a+b", "aab"));
+}
+
+TEST(WildcardMatcherTest, LiteralFastPath) {
+  WildcardMatcher m("Notepad.exe");
+  EXPECT_TRUE(m.is_literal());
+  EXPECT_TRUE(m.Matches("notepad.exe"));
+  EXPECT_FALSE(m.Matches("notepad.exe2"));
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "bdl/analyzer.h"
+#include "core/context.h"
+#include "workload/enterprise.h"
+#include "workload/noise.h"
+#include "workload/scenario.h"
+#include "workload/trace_builder.h"
+
+namespace aptrace::workload {
+namespace {
+
+TEST(TraceBuilderTest, ObjectsAndEvents) {
+  EventStore store;
+  TraceBuilder b(&store);
+  const HostId h = b.Host("h1");
+  const ObjectId proc = b.Proc(h, "app.exe", 100);
+  const ObjectId file = b.File(h, "/data/x", 100);
+  const ObjectId sock = b.Socket(h, "10.0.0.1", "10.0.0.2", 443, 100);
+
+  const EventId read = b.Read(proc, file, 200, 4096);
+  const EventId conn = b.Connect(proc, sock, 300);
+  store.Seal();
+
+  const Event& e1 = store.Get(read);
+  EXPECT_EQ(e1.FlowSource(), file);
+  EXPECT_EQ(e1.FlowDest(), proc);
+  EXPECT_EQ(e1.amount, 4096u);
+  EXPECT_EQ(e1.host, h);
+  const Event& e2 = store.Get(conn);
+  EXPECT_EQ(e2.FlowSource(), proc);
+  EXPECT_EQ(e2.FlowDest(), sock);
+
+  const ObjectId child = b.StartProcess(proc, h, "child.exe", 400);
+  EXPECT_TRUE(store.catalog().Get(child).is_process());
+}
+
+TEST(NoiseGeneratorTest, SetupHostBuildsFixtures) {
+  EventStore store;
+  TraceBuilder b(&store);
+  Rng rng(1);
+  const TraceConfig config = TraceConfig::Small();
+  NoiseGenerator noise(&b, config, &rng);
+  const HostEnv env = noise.SetupHost("desktop1", /*is_windows=*/true);
+
+  EXPECT_EQ(store.catalog().HostName(env.host), "desktop1");
+  EXPECT_NE(env.shell, kInvalidObjectId);
+  EXPECT_EQ(store.catalog().Get(env.shell).process().exename,
+            "explorer.exe");
+  EXPECT_EQ(static_cast<int>(env.dll_pool.size()), config.dll_pool_size);
+  EXPECT_EQ(static_cast<int>(env.doc_pool.size()), config.doc_pool_size);
+  EXPECT_FALSE(env.hot_files.empty());
+  EXPECT_FALSE(env.services.empty());
+}
+
+TEST(NoiseGeneratorTest, BackgroundStaysInWindowAndIsDeterministic) {
+  auto build = [] {
+    auto store = std::make_unique<EventStore>();
+    TraceBuilder b(store.get());
+    Rng rng(7);
+    const TraceConfig config = TraceConfig::Small();
+    NoiseGenerator noise(&b, config, &rng);
+    HostEnv env = noise.SetupHost("h", true);
+    noise.GenerateBackground(env, config.start_time, config.end_time());
+    store->Seal();
+    return store;
+  };
+  auto s1 = build();
+  auto s2 = build();
+  ASSERT_GT(s1->NumEvents(), 100u);
+  ASSERT_EQ(s1->NumEvents(), s2->NumEvents());
+  for (size_t i = 0; i < s1->NumEvents(); i += 17) {
+    EXPECT_EQ(s1->Get(i).timestamp, s2->Get(i).timestamp);
+    EXPECT_EQ(s1->Get(i).subject, s2->Get(i).subject);
+  }
+  const TraceConfig config = TraceConfig::Small();
+  EXPECT_GE(s1->MinTime(), config.start_time);
+  EXPECT_LT(s1->MaxTime(), config.end_time());
+}
+
+TEST(EnterpriseTraceTest, ShapeAndHeavyTail) {
+  TraceConfig config = TraceConfig::Small();
+  config.num_hosts = 4;
+  auto store = BuildEnterpriseTrace(config);
+  ASSERT_TRUE(store->sealed());
+  ASSERT_GT(store->NumEvents(), 1000u);
+  EXPECT_EQ(store->catalog().NumHosts(), 4u);
+
+  // Heavy-tailed fan-in: the hottest object's dependent count dwarfs the
+  // median.
+  std::unordered_map<ObjectId, size_t> in_degree;
+  for (size_t i = 0; i < store->NumEvents(); ++i) {
+    in_degree[store->Get(i).FlowDest()]++;
+  }
+  size_t max_deg = 0;
+  size_t total = 0;
+  for (const auto& [id, deg] : in_degree) {
+    (void)id;
+    max_deg = std::max(max_deg, deg);
+    total += deg;
+  }
+  const double mean_deg = static_cast<double>(total) / in_degree.size();
+  EXPECT_GT(static_cast<double>(max_deg), 20 * mean_deg);
+}
+
+TEST(EnterpriseTraceTest, SampleAnomalyEventsDeterministic) {
+  TraceConfig config = TraceConfig::Small();
+  config.num_hosts = 3;
+  auto store = BuildEnterpriseTrace(config);
+  const auto a = SampleAnomalyEvents(*store, 20, 99);
+  const auto b = SampleAnomalyEvents(*store, 20, 99);
+  ASSERT_EQ(a.size(), 20u);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id, b[i].id);
+  const auto c = SampleAnomalyEvents(*store, 20, 100);
+  bool any_diff = false;
+  for (size_t i = 0; i < c.size(); ++i) any_diff |= (a[i].id != c[i].id);
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(EnterpriseTraceTest, GenericSpecResolvesAgainstSampledAlert) {
+  TraceConfig config = TraceConfig::Small();
+  config.num_hosts = 3;
+  auto store = BuildEnterpriseTrace(config);
+  const auto alerts = SampleAnomalyEvents(*store, 5, 42);
+  for (const Event& alert : alerts) {
+    const bdl::TrackingSpec spec = GenericSpecFor(*store, alert);
+    ASSERT_FALSE(spec.chain.empty());
+    SimClock clock;
+    auto ctx = ResolveContext(*store, spec, &clock, alert);
+    ASSERT_TRUE(ctx.ok()) << ctx.status();
+    EXPECT_EQ(ctx->start_event.id, alert.id);
+    EXPECT_EQ(ctx->start_node, alert.FlowDest());
+  }
+}
+
+TEST(ScenarioTest, RegistryListsFiveCases) {
+  const auto names = AttackCaseNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_FALSE(BuildAttackCase("bogus", TraceConfig::Small()).ok());
+}
+
+class ScenarioBuildTest : public testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioBuildTest, BuildsConsistentCase) {
+  TraceConfig config = TraceConfig::Small();
+  auto built = BuildAttackCase(GetParam(), config);
+  ASSERT_TRUE(built.ok()) << built.status();
+  const AttackScenario& s = built->scenario;
+  EventStore& store = *built->store;
+
+  ASSERT_TRUE(store.sealed());
+  EXPECT_GT(store.NumEvents(), 500u);
+  EXPECT_EQ(s.name, GetParam());
+  ASSERT_NE(s.alert_event, kInvalidEventId);
+  EXPECT_EQ(store.Get(s.alert_event).id, s.alert.id);
+  EXPECT_GE(s.bdl_scripts.size(), 2u);
+  EXPECT_GE(s.num_heuristics, 2u);
+  ASSERT_FALSE(s.ground_truth.empty());
+  EXPECT_NE(s.penetration_point, kInvalidObjectId);
+  for (ObjectId id : s.ground_truth) {
+    ASSERT_LT(id, store.catalog().size());
+  }
+
+  // Every script in the refinement sequence compiles...
+  for (const std::string& script : s.bdl_scripts) {
+    auto spec = bdl::CompileBdl(script);
+    EXPECT_TRUE(spec.ok()) << spec.status() << "\n" << script;
+  }
+  // ...and the first script's starting-point pattern locates exactly the
+  // staged alert without any override.
+  SimClock clock;
+  auto spec = bdl::CompileBdl(s.bdl_scripts[0]);
+  ASSERT_TRUE(spec.ok());
+  auto ctx = ResolveContext(store, std::move(spec.value()), &clock);
+  ASSERT_TRUE(ctx.ok()) << ctx.status();
+  EXPECT_EQ(ctx->start_event.id, s.alert_event);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCases, ScenarioBuildTest,
+                         testing::ValuesIn(AttackCaseNames()));
+
+}  // namespace
+}  // namespace aptrace::workload
