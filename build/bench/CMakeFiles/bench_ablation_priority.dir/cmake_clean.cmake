@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_priority.dir/bench_ablation_priority.cc.o"
+  "CMakeFiles/bench_ablation_priority.dir/bench_ablation_priority.cc.o.d"
+  "bench_ablation_priority"
+  "bench_ablation_priority.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_priority.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_explosion.dir/bench_explosion.cc.o"
+  "CMakeFiles/bench_explosion.dir/bench_explosion.cc.o.d"
+  "bench_explosion"
+  "bench_explosion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_explosion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigate_excel_macro.dir/investigate_excel_macro.cpp.o"
+  "CMakeFiles/investigate_excel_macro.dir/investigate_excel_macro.cpp.o.d"
+  "investigate_excel_macro"
+  "investigate_excel_macro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigate_excel_macro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for investigate_excel_macro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for investigate_excel_macro.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/investigate_phishing.dir/investigate_phishing.cpp.o"
+  "CMakeFiles/investigate_phishing.dir/investigate_phishing.cpp.o.d"
+  "investigate_phishing"
+  "investigate_phishing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/investigate_phishing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

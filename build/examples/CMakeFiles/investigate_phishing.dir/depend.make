@@ -1,0 +1,2 @@
+# Empty dependencies file for investigate_phishing.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/responsive_monitoring.dir/responsive_monitoring.cpp.o"
+  "CMakeFiles/responsive_monitoring.dir/responsive_monitoring.cpp.o.d"
+  "responsive_monitoring"
+  "responsive_monitoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/responsive_monitoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bdl/analyzer.cc" "src/bdl/CMakeFiles/aptrace_bdl.dir/analyzer.cc.o" "gcc" "src/bdl/CMakeFiles/aptrace_bdl.dir/analyzer.cc.o.d"
+  "/root/repo/src/bdl/condition.cc" "src/bdl/CMakeFiles/aptrace_bdl.dir/condition.cc.o" "gcc" "src/bdl/CMakeFiles/aptrace_bdl.dir/condition.cc.o.d"
+  "/root/repo/src/bdl/formatter.cc" "src/bdl/CMakeFiles/aptrace_bdl.dir/formatter.cc.o" "gcc" "src/bdl/CMakeFiles/aptrace_bdl.dir/formatter.cc.o.d"
+  "/root/repo/src/bdl/lexer.cc" "src/bdl/CMakeFiles/aptrace_bdl.dir/lexer.cc.o" "gcc" "src/bdl/CMakeFiles/aptrace_bdl.dir/lexer.cc.o.d"
+  "/root/repo/src/bdl/parser.cc" "src/bdl/CMakeFiles/aptrace_bdl.dir/parser.cc.o" "gcc" "src/bdl/CMakeFiles/aptrace_bdl.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/aptrace_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_bdl.dir/analyzer.cc.o"
+  "CMakeFiles/aptrace_bdl.dir/analyzer.cc.o.d"
+  "CMakeFiles/aptrace_bdl.dir/condition.cc.o"
+  "CMakeFiles/aptrace_bdl.dir/condition.cc.o.d"
+  "CMakeFiles/aptrace_bdl.dir/formatter.cc.o"
+  "CMakeFiles/aptrace_bdl.dir/formatter.cc.o.d"
+  "CMakeFiles/aptrace_bdl.dir/lexer.cc.o"
+  "CMakeFiles/aptrace_bdl.dir/lexer.cc.o.d"
+  "CMakeFiles/aptrace_bdl.dir/parser.cc.o"
+  "CMakeFiles/aptrace_bdl.dir/parser.cc.o.d"
+  "libaptrace_bdl.a"
+  "libaptrace_bdl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_bdl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline_executor.cc" "src/core/CMakeFiles/aptrace_core.dir/baseline_executor.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/baseline_executor.cc.o.d"
+  "/root/repo/src/core/checkpoint.cc" "src/core/CMakeFiles/aptrace_core.dir/checkpoint.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/checkpoint.cc.o.d"
+  "/root/repo/src/core/context.cc" "src/core/CMakeFiles/aptrace_core.dir/context.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/context.cc.o.d"
+  "/root/repo/src/core/derived_attrs.cc" "src/core/CMakeFiles/aptrace_core.dir/derived_attrs.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/derived_attrs.cc.o.d"
+  "/root/repo/src/core/engine.cc" "src/core/CMakeFiles/aptrace_core.dir/engine.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/engine.cc.o.d"
+  "/root/repo/src/core/exec_window.cc" "src/core/CMakeFiles/aptrace_core.dir/exec_window.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/exec_window.cc.o.d"
+  "/root/repo/src/core/executor.cc" "src/core/CMakeFiles/aptrace_core.dir/executor.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/executor.cc.o.d"
+  "/root/repo/src/core/maintainer.cc" "src/core/CMakeFiles/aptrace_core.dir/maintainer.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/maintainer.cc.o.d"
+  "/root/repo/src/core/refiner.cc" "src/core/CMakeFiles/aptrace_core.dir/refiner.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/refiner.cc.o.d"
+  "/root/repo/src/core/resource_model.cc" "src/core/CMakeFiles/aptrace_core.dir/resource_model.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/resource_model.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/aptrace_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/aptrace_core.dir/session.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdl/CMakeFiles/aptrace_bdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aptrace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aptrace_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/aptrace_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

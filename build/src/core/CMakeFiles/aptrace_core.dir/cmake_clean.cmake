@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_core.dir/baseline_executor.cc.o"
+  "CMakeFiles/aptrace_core.dir/baseline_executor.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/checkpoint.cc.o"
+  "CMakeFiles/aptrace_core.dir/checkpoint.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/context.cc.o"
+  "CMakeFiles/aptrace_core.dir/context.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/derived_attrs.cc.o"
+  "CMakeFiles/aptrace_core.dir/derived_attrs.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/engine.cc.o"
+  "CMakeFiles/aptrace_core.dir/engine.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/exec_window.cc.o"
+  "CMakeFiles/aptrace_core.dir/exec_window.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/executor.cc.o"
+  "CMakeFiles/aptrace_core.dir/executor.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/maintainer.cc.o"
+  "CMakeFiles/aptrace_core.dir/maintainer.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/refiner.cc.o"
+  "CMakeFiles/aptrace_core.dir/refiner.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/resource_model.cc.o"
+  "CMakeFiles/aptrace_core.dir/resource_model.cc.o.d"
+  "CMakeFiles/aptrace_core.dir/session.cc.o"
+  "CMakeFiles/aptrace_core.dir/session.cc.o.d"
+  "libaptrace_core.a"
+  "libaptrace_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_detect.dir/detector.cc.o"
+  "CMakeFiles/aptrace_detect.dir/detector.cc.o.d"
+  "libaptrace_detect.a"
+  "libaptrace_detect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_detect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

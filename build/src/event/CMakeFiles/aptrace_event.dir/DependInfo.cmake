@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/event/catalog.cc" "src/event/CMakeFiles/aptrace_event.dir/catalog.cc.o" "gcc" "src/event/CMakeFiles/aptrace_event.dir/catalog.cc.o.d"
+  "/root/repo/src/event/event.cc" "src/event/CMakeFiles/aptrace_event.dir/event.cc.o" "gcc" "src/event/CMakeFiles/aptrace_event.dir/event.cc.o.d"
+  "/root/repo/src/event/object.cc" "src/event/CMakeFiles/aptrace_event.dir/object.cc.o" "gcc" "src/event/CMakeFiles/aptrace_event.dir/object.cc.o.d"
+  "/root/repo/src/event/schema.cc" "src/event/CMakeFiles/aptrace_event.dir/schema.cc.o" "gcc" "src/event/CMakeFiles/aptrace_event.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_event.dir/catalog.cc.o"
+  "CMakeFiles/aptrace_event.dir/catalog.cc.o.d"
+  "CMakeFiles/aptrace_event.dir/event.cc.o"
+  "CMakeFiles/aptrace_event.dir/event.cc.o.d"
+  "CMakeFiles/aptrace_event.dir/object.cc.o"
+  "CMakeFiles/aptrace_event.dir/object.cc.o.d"
+  "CMakeFiles/aptrace_event.dir/schema.cc.o"
+  "CMakeFiles/aptrace_event.dir/schema.cc.o.d"
+  "libaptrace_event.a"
+  "libaptrace_event.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_event.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

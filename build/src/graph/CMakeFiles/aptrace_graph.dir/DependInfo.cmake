@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/dep_graph.cc" "src/graph/CMakeFiles/aptrace_graph.dir/dep_graph.cc.o" "gcc" "src/graph/CMakeFiles/aptrace_graph.dir/dep_graph.cc.o.d"
+  "/root/repo/src/graph/dot_writer.cc" "src/graph/CMakeFiles/aptrace_graph.dir/dot_writer.cc.o" "gcc" "src/graph/CMakeFiles/aptrace_graph.dir/dot_writer.cc.o.d"
+  "/root/repo/src/graph/json_writer.cc" "src/graph/CMakeFiles/aptrace_graph.dir/json_writer.cc.o" "gcc" "src/graph/CMakeFiles/aptrace_graph.dir/json_writer.cc.o.d"
+  "/root/repo/src/graph/path.cc" "src/graph/CMakeFiles/aptrace_graph.dir/path.cc.o" "gcc" "src/graph/CMakeFiles/aptrace_graph.dir/path.cc.o.d"
+  "/root/repo/src/graph/summarize.cc" "src/graph/CMakeFiles/aptrace_graph.dir/summarize.cc.o" "gcc" "src/graph/CMakeFiles/aptrace_graph.dir/summarize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/event/CMakeFiles/aptrace_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_graph.dir/dep_graph.cc.o"
+  "CMakeFiles/aptrace_graph.dir/dep_graph.cc.o.d"
+  "CMakeFiles/aptrace_graph.dir/dot_writer.cc.o"
+  "CMakeFiles/aptrace_graph.dir/dot_writer.cc.o.d"
+  "CMakeFiles/aptrace_graph.dir/json_writer.cc.o"
+  "CMakeFiles/aptrace_graph.dir/json_writer.cc.o.d"
+  "CMakeFiles/aptrace_graph.dir/path.cc.o"
+  "CMakeFiles/aptrace_graph.dir/path.cc.o.d"
+  "CMakeFiles/aptrace_graph.dir/summarize.cc.o"
+  "CMakeFiles/aptrace_graph.dir/summarize.cc.o.d"
+  "libaptrace_graph.a"
+  "libaptrace_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_storage.dir/event_store.cc.o"
+  "CMakeFiles/aptrace_storage.dir/event_store.cc.o.d"
+  "CMakeFiles/aptrace_storage.dir/trace_io.cc.o"
+  "CMakeFiles/aptrace_storage.dir/trace_io.cc.o.d"
+  "libaptrace_storage.a"
+  "libaptrace_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

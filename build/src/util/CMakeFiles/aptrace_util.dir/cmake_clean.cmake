@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_util.dir/clock.cc.o"
+  "CMakeFiles/aptrace_util.dir/clock.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/logging.cc.o"
+  "CMakeFiles/aptrace_util.dir/logging.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/rng.cc.o"
+  "CMakeFiles/aptrace_util.dir/rng.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/stats.cc.o"
+  "CMakeFiles/aptrace_util.dir/stats.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/status.cc.o"
+  "CMakeFiles/aptrace_util.dir/status.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/string_util.cc.o"
+  "CMakeFiles/aptrace_util.dir/string_util.cc.o.d"
+  "CMakeFiles/aptrace_util.dir/wildcard.cc.o"
+  "CMakeFiles/aptrace_util.dir/wildcard.cc.o.d"
+  "libaptrace_util.a"
+  "libaptrace_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/attacks/attack_common.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/attack_common.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/attack_common.cc.o.d"
+  "/root/repo/src/workload/attacks/cheating_student.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/cheating_student.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/cheating_student.cc.o.d"
+  "/root/repo/src/workload/attacks/excel_macro.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/excel_macro.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/excel_macro.cc.o.d"
+  "/root/repo/src/workload/attacks/phishing.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/phishing.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/phishing.cc.o.d"
+  "/root/repo/src/workload/attacks/registry.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/registry.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/registry.cc.o.d"
+  "/root/repo/src/workload/attacks/shellshock.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/shellshock.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/shellshock.cc.o.d"
+  "/root/repo/src/workload/attacks/wget_gcc.cc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/wget_gcc.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/attacks/wget_gcc.cc.o.d"
+  "/root/repo/src/workload/enterprise.cc" "src/workload/CMakeFiles/aptrace_workload.dir/enterprise.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/enterprise.cc.o.d"
+  "/root/repo/src/workload/noise.cc" "src/workload/CMakeFiles/aptrace_workload.dir/noise.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/noise.cc.o.d"
+  "/root/repo/src/workload/trace_builder.cc" "src/workload/CMakeFiles/aptrace_workload.dir/trace_builder.cc.o" "gcc" "src/workload/CMakeFiles/aptrace_workload.dir/trace_builder.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bdl/CMakeFiles/aptrace_bdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aptrace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aptrace_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/aptrace_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

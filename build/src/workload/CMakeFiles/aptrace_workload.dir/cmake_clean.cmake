@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_workload.dir/attacks/attack_common.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/attack_common.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/cheating_student.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/cheating_student.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/excel_macro.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/excel_macro.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/phishing.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/phishing.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/registry.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/registry.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/shellshock.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/shellshock.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/attacks/wget_gcc.cc.o"
+  "CMakeFiles/aptrace_workload.dir/attacks/wget_gcc.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/enterprise.cc.o"
+  "CMakeFiles/aptrace_workload.dir/enterprise.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/noise.cc.o"
+  "CMakeFiles/aptrace_workload.dir/noise.cc.o.d"
+  "CMakeFiles/aptrace_workload.dir/trace_builder.cc.o"
+  "CMakeFiles/aptrace_workload.dir/trace_builder.cc.o.d"
+  "libaptrace_workload.a"
+  "libaptrace_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

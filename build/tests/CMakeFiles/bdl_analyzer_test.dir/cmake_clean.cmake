@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdl_analyzer_test.dir/bdl_analyzer_test.cc.o"
+  "CMakeFiles/bdl_analyzer_test.dir/bdl_analyzer_test.cc.o.d"
+  "bdl_analyzer_test"
+  "bdl_analyzer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdl_analyzer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

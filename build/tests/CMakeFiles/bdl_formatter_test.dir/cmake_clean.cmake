@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdl_formatter_test.dir/bdl_formatter_test.cc.o"
+  "CMakeFiles/bdl_formatter_test.dir/bdl_formatter_test.cc.o.d"
+  "bdl_formatter_test"
+  "bdl_formatter_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdl_formatter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdl_lexer_test.dir/bdl_lexer_test.cc.o"
+  "CMakeFiles/bdl_lexer_test.dir/bdl_lexer_test.cc.o.d"
+  "bdl_lexer_test"
+  "bdl_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdl_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdl_parser_test.dir/bdl_parser_test.cc.o"
+  "CMakeFiles/bdl_parser_test.dir/bdl_parser_test.cc.o.d"
+  "bdl_parser_test"
+  "bdl_parser_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdl_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

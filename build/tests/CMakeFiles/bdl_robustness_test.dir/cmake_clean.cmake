@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bdl_robustness_test.dir/bdl_robustness_test.cc.o"
+  "CMakeFiles/bdl_robustness_test.dir/bdl_robustness_test.cc.o.d"
+  "bdl_robustness_test"
+  "bdl_robustness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bdl_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_attrs_test.dir/derived_attrs_test.cc.o"
+  "CMakeFiles/derived_attrs_test.dir/derived_attrs_test.cc.o.d"
+  "derived_attrs_test"
+  "derived_attrs_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_attrs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/executor_property_test.cc" "tests/CMakeFiles/executor_property_test.dir/executor_property_test.cc.o" "gcc" "tests/CMakeFiles/executor_property_test.dir/executor_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/tools/CMakeFiles/aptrace_shell.dir/DependInfo.cmake"
+  "/root/repo/build/src/detect/CMakeFiles/aptrace_detect.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/aptrace_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aptrace_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/aptrace_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/aptrace_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/bdl/CMakeFiles/aptrace_bdl.dir/DependInfo.cmake"
+  "/root/repo/build/src/event/CMakeFiles/aptrace_event.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/aptrace_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/forward_test.dir/forward_test.cc.o"
+  "CMakeFiles/forward_test.dir/forward_test.cc.o.d"
+  "forward_test"
+  "forward_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/forward_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/general_constraints_test.dir/general_constraints_test.cc.o"
+  "CMakeFiles/general_constraints_test.dir/general_constraints_test.cc.o.d"
+  "general_constraints_test"
+  "general_constraints_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/general_constraints_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintainer_test.dir/maintainer_test.cc.o"
+  "CMakeFiles/maintainer_test.dir/maintainer_test.cc.o.d"
+  "maintainer_test"
+  "maintainer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintainer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/refiner_test.dir/refiner_test.cc.o"
+  "CMakeFiles/refiner_test.dir/refiner_test.cc.o.d"
+  "refiner_test"
+  "refiner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/refiner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

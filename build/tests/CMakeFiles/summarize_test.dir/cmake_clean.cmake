@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summarize_test.dir/summarize_test.cc.o"
+  "CMakeFiles/summarize_test.dir/summarize_test.cc.o.d"
+  "summarize_test"
+  "summarize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summarize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_io_test.dir/trace_io_test.cc.o"
+  "CMakeFiles/trace_io_test.dir/trace_io_test.cc.o.d"
+  "trace_io_test"
+  "trace_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_cli.dir/aptrace_cli.cc.o"
+  "CMakeFiles/aptrace_cli.dir/aptrace_cli.cc.o.d"
+  "aptrace"
+  "aptrace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aptrace_shell.dir/aptrace_shell.cc.o"
+  "CMakeFiles/aptrace_shell.dir/aptrace_shell.cc.o.d"
+  "libaptrace_shell.a"
+  "libaptrace_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aptrace_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
