@@ -43,6 +43,7 @@ Outcome RunOnce(EventStore& store, const Event& alert, int k,
 
 int Main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_ablation_dedup");
   if (args.num_cases == 200) args.num_cases = 30;
   // A calmer fleet so runs complete and the full duplicate cost shows.
   if (args.num_hosts == 12) args.num_hosts = 4;
@@ -92,6 +93,7 @@ int Main(int argc, char** argv) {
       "\nidentical final graphs on all %zu runs completed by both variants"
       " (%zu mismatches)\n",
       both_completed, mismatches);
+  obs_run.Finish(*store);
   return mismatches == 0 ? 0 : 1;
 }
 

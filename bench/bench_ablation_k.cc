@@ -13,6 +13,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_ablation_k");
   if (args.num_cases == 200) args.num_cases = 60;  // per-k runs multiply
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());
   PrintHeader("Ablation: window count k vs. update waiting time (seconds)",
@@ -39,6 +40,7 @@ int Main(int argc, char** argv) {
       "\nshape to check: the tail (p95/p99) shrinks sharply from k=1 to "
       "moderate k and\nflattens (or regresses via per-query overhead) "
       "beyond; k=8 is the paper's choice.\n");
+  obs_run.Finish(*store);
   return 0;
 }
 

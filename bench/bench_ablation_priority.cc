@@ -53,6 +53,7 @@ Outcome Investigate(const EventStore& store,
 
 int Main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_ablation_priority");
   std::printf(
       "==============================================================\n"
       "Ablation: temporal (nearest-first) vs FIFO window ordering\n"
@@ -81,6 +82,7 @@ int Main(int argc, char** argv) {
       "\nshape to check: FIFO wastes the budget on temporally distant "
       "windows, taking longer\n(or failing the 10-minute budget) and "
       "examining more events before the chain appears.\n");
+  obs_run.Finish();
   return 0;
 }
 

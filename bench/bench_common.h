@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "obs/metrics.h"
+#include "obs/run_metadata.h"
+#include "obs/trace.h"
 #include "workload/enterprise.h"
 #include "workload/scenario.h"
 
@@ -26,9 +29,17 @@ struct BenchArgs {
   uint64_t seed = 42;
   int windows_k = 8;       // the paper's empirical k
   int threads = 0;         // 0 = hardware concurrency (results identical)
+  std::string metrics_out;  // "-" = stdout, *.json = JSON export
+  std::string trace_out;    // Chrome trace JSON; enables span recording
+  std::string meta_out;     // run metadata JSON (default: <metrics>.meta.json)
+  std::string invocation;   // argv joined, recorded in the run metadata
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
+    for (int i = 0; i < argc; ++i) {
+      if (i) args.invocation += ' ';
+      args.invocation += argv[i];
+    }
     for (int i = 1; i < argc; ++i) {
       const char* a = argv[i];
       if (std::strncmp(a, "--cases=", 8) == 0) {
@@ -43,10 +54,16 @@ struct BenchArgs {
         args.windows_k = std::atoi(a + 4);
       } else if (std::strncmp(a, "--threads=", 10) == 0) {
         args.threads = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+        args.metrics_out = a + 14;
+      } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+        args.trace_out = a + 12;
+      } else if (std::strncmp(a, "--meta-out=", 11) == 0) {
+        args.meta_out = a + 11;
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
-            "--threads=N\n");
+            "--threads=N --metrics-out=F --trace-out=F --meta-out=F\n");
         std::exit(0);
       }
     }
@@ -129,6 +146,70 @@ inline void ParallelFor(size_t n, int requested_threads,
   }
   for (auto& t : pool) t.join();
 }
+
+/// Observability bracket around one experiment binary: construct right
+/// after BenchArgs::Parse (enables span recording if --trace-out was
+/// given), call Finish once the store exists and the runs are done —
+/// it writes the metrics snapshot, the Chrome trace, and a run-metadata
+/// JSON next to the metrics file.
+class ObsRun {
+ public:
+  ObsRun(const BenchArgs& args, const char* bench_name)
+      : args_(args),
+        bench_name_(bench_name),
+        wall_start_(MonotonicNowMicros()) {
+    if (!args_.trace_out.empty()) obs::Tracer::Global().SetEnabled(true);
+  }
+
+  /// For binaries without one shared store (per-scenario traces).
+  void Finish() { FinishImpl(0, 0); }
+
+  void Finish(const EventStore& store) {
+    FinishImpl(store.NumEvents(), store.catalog().size());
+  }
+
+ private:
+  void FinishImpl(uint64_t store_events, uint64_t store_objects) {
+    if (!args_.metrics_out.empty()) {
+      if (auto s = obs::WriteMetricsFile(obs::Metrics(), args_.metrics_out);
+          !s.ok()) {
+        std::fprintf(stderr, "metrics: %s\n", s.ToString().c_str());
+      }
+    }
+    if (!args_.trace_out.empty()) {
+      if (auto s = obs::Tracer::Global().WriteChromeTrace(args_.trace_out);
+          !s.ok()) {
+        std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+      }
+    }
+    std::string meta_path = args_.meta_out;
+    if (meta_path.empty() && !args_.metrics_out.empty() &&
+        args_.metrics_out != "-") {
+      meta_path = args_.metrics_out + ".meta.json";
+    }
+    if (meta_path.empty()) return;
+    obs::RunMetadata meta;
+    meta.name = bench_name_;
+    meta.invocation = args_.invocation;
+    meta.store_events = store_events;
+    meta.store_objects = store_objects;
+    meta.wall_seconds =
+        MicrosToSeconds(MonotonicNowMicros() - wall_start_);
+    meta.extra.emplace_back("cases", std::to_string(args_.num_cases));
+    meta.extra.emplace_back("hosts", std::to_string(args_.num_hosts));
+    meta.extra.emplace_back("days", std::to_string(args_.days));
+    meta.extra.emplace_back("seed", std::to_string(args_.seed));
+    meta.extra.emplace_back("k", std::to_string(args_.windows_k));
+    if (auto s = obs::WriteRunMetadata(meta, obs::Metrics(), meta_path);
+        !s.ok()) {
+      std::fprintf(stderr, "run metadata: %s\n", s.ToString().c_str());
+    }
+  }
+
+  const BenchArgs& args_;
+  const char* bench_name_;
+  TimeMicros wall_start_;
+};
 
 inline void PrintHeader(const char* title, const BenchArgs& args,
                         size_t store_events) {

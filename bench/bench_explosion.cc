@@ -13,6 +13,7 @@ namespace {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_explosion");
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());
   PrintHeader("Section IV-B1: severity of the dependency explosion", args,
               store->NumEvents());
@@ -60,6 +61,7 @@ int Main(int argc, char** argv) {
               max_size);
   std::printf("median / mean graph size   : %.0f / %.0f events\n",
               sizes.Median(), sizes.Mean());
+  obs_run.Finish(*store);
   return 0;
 }
 

@@ -22,6 +22,7 @@ constexpr int kMaxMinutes = 30;
 
 int Main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_fig4");
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());
   PrintHeader(
       "Figure 4: graph size vs. time limit (baseline, box plot per minute)",
@@ -87,6 +88,7 @@ int Main(int argc, char** argv) {
   std::printf(
       "conclusion: every column spans orders of magnitude -> no usable "
       "global time limit\n");
+  obs_run.Finish(*store);
   return 0;
 }
 

@@ -18,6 +18,7 @@ constexpr int kMinutes = 30;
 
 int Main(int argc, char** argv) {
   BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_fig6");
   // Resource curves stabilize with fewer cases; keep the default modest.
   if (args.num_cases == 200) args.num_cases = 50;
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());
@@ -76,6 +77,7 @@ int Main(int argc, char** argv) {
       "\nshape to check: memory starts high (paper peak ~15%%) and decays "
       "to a low plateau (~3%%);\nCPU ramps from ~3%% toward ~11%% over the "
       "run.\n");
+  obs_run.Finish(*store);
   return 0;
 }
 

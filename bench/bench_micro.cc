@@ -11,6 +11,8 @@
 #include "workload/scenario.h"
 #include "core/exec_window.h"
 #include "graph/dep_graph.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/event_store.h"
 #include "util/rng.h"
 #include "util/wildcard.h"
@@ -196,6 +198,45 @@ void BM_EndToEndBacktrack(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EndToEndBacktrack);
+
+// --- Observability overhead: these bound what the instrumentation adds
+// to the hot paths above.
+
+void BM_ObsCounterAdd(benchmark::State& state) {
+  obs::Counter* c =
+      obs::Metrics().FindOrCreateCounter("bench_micro_counter_total");
+  for (auto _ : state) c->Add();
+}
+BENCHMARK(BM_ObsCounterAdd);
+
+void BM_ObsHistogramObserve(benchmark::State& state) {
+  obs::LatencyHistogram* h =
+      obs::Metrics().FindOrCreateHistogram("bench_micro_histogram");
+  double v = 0.0001;
+  for (auto _ : state) {
+    h->Observe(v);
+    v = v < 100 ? v * 1.0001 : 0.0001;
+  }
+}
+BENCHMARK(BM_ObsHistogramObserve);
+
+void BM_ObsSpanDisabled(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(false);
+  for (auto _ : state) {
+    APTRACE_SPAN("bench/disabled");
+  }
+}
+BENCHMARK(BM_ObsSpanDisabled);
+
+void BM_ObsSpanEnabled(benchmark::State& state) {
+  obs::Tracer::Global().SetEnabled(true);
+  for (auto _ : state) {
+    APTRACE_SPAN("bench/enabled");
+  }
+  obs::Tracer::Global().SetEnabled(false);
+  obs::Tracer::Global().Clear();
+}
+BENCHMARK(BM_ObsSpanEnabled);
 
 }  // namespace
 }  // namespace aptrace

@@ -92,6 +92,7 @@ CaseRow RunAttackCase(const std::string& name, const BenchArgs& args) {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_table1");
   std::printf(
       "==============================================================\n"
       "Table I: the five attack cases (sizes in events; time simulated)\n"
@@ -127,6 +128,7 @@ int Main(int argc, char** argv) {
       "fired.\nShapes to check: Opt is orders of magnitude below No Opt; "
       "2-3 heuristics per case;\nanalysis finishes within the scripts' "
       "10-minute budget with the chain recovered.\n");
+  obs_run.Finish();
   return 0;
 }
 

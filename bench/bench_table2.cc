@@ -44,6 +44,7 @@ void Report(const char* name, const WaitAggregate& agg) {
 
 int Main(int argc, char** argv) {
   const BenchArgs args = BenchArgs::Parse(argc, argv);
+  ObsRun obs_run(args, "bench_table2");
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());
   PrintHeader("Table II: waiting time between updates (unit: second)", args,
               store->NumEvents());
@@ -85,6 +86,7 @@ int Main(int argc, char** argv) {
         bm.Percentile(95) / am.Percentile(95),
         bm.Percentile(99) / am.Percentile(99));
   }
+  obs_run.Finish(*store);
   return 0;
 }
 

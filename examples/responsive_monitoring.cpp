@@ -39,8 +39,7 @@ Timeline Run(const EventStore& store, const Event& alert, bool baseline,
   limits.sim_time = cap;
   limits.on_update = [&](const UpdateBatch& b) {
     t.update_times.push_back(
-        static_cast<double>(b.sim_time - session.stats().run_start) /
-        kMicrosPerSecond);
+        MicrosToSeconds(b.sim_time - session.stats().run_start));
   };
   (void)session.Step(limits);
   t.final_edges = session.graph().NumEdges();
@@ -58,8 +57,7 @@ void PrintTimeline(const char* name, const Timeline& t,
   const int kCols = 60;
   std::string strip(kCols, '.');
   for (double u : t.update_times) {
-    int col = static_cast<int>(u / (static_cast<double>(cap) /
-                                    kMicrosPerSecond) * kCols);
+    int col = static_cast<int>(u / MicrosToSeconds(cap) * kCols);
     if (col >= kCols) col = kCols - 1;
     strip[col] = '#';
   }

@@ -3,6 +3,10 @@
 #include <functional>
 
 #include "bdl/parser.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/clock.h"
 #include "util/string_util.h"
 
 namespace aptrace::bdl {
@@ -381,11 +385,27 @@ Result<TrackingSpec> Analyze(const AstScript& script) {
 }
 
 Result<TrackingSpec> CompileBdl(std::string_view text) {
+  APTRACE_SPAN("bdl/compile");
+  static obs::Counter* const compiles =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlCompiles);
+  static obs::Counter* const errors =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlCompileErrors);
+  static obs::LatencyHistogram* const latency =
+      obs::Metrics().FindOrCreateHistogram(obs::names::kBdlCompileLatency);
+  const TimeMicros start = MonotonicNowMicros();
+  compiles->Add();
   auto ast = Parser::Parse(text);
-  if (!ast.ok()) return ast.status();
+  if (!ast.ok()) {
+    errors->Add();
+    return ast.status();
+  }
   auto spec = Analyze(ast.value());
-  if (!spec.ok()) return spec.status();
+  if (!spec.ok()) {
+    errors->Add();
+    return spec.status();
+  }
   spec.value().source_text = std::string(text);
+  latency->Observe(MicrosToSeconds(MonotonicNowMicros() - start));
   return spec;
 }
 

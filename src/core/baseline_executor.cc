@@ -2,7 +2,28 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
 namespace aptrace {
+
+namespace {
+
+struct BaselineMetrics {
+  obs::Counter* node_queries;
+  obs::LatencyHistogram* update_batch_latency;
+};
+
+const BaselineMetrics& Bm() {
+  static const BaselineMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kBaselineNodeQueries),
+      obs::Metrics().FindOrCreateHistogram(obs::names::kUpdateBatchLatency),
+  };
+  return m;
+}
+
+}  // namespace
 
 BaselineExecutor::BaselineExecutor(TrackingContext ctx, Clock* clock)
     : ctx_(std::move(ctx)), clock_(clock) {}
@@ -92,6 +113,8 @@ StopReason BaselineExecutor::Run(const RunLimits& limits) {
 
     // ONE monolithic query over the object's whole relevant history: this
     // is what execution-window partitioning replaces.
+    APTRACE_SPAN("baseline/process_node");
+    Bm().node_queries->Add();
     size_t batch_edges = 0;
     size_t batch_nodes = 0;
     // Heuristic filters are pushed into the query, same as the responsive
@@ -148,6 +171,10 @@ StopReason BaselineExecutor::Run(const RunLimits& limits) {
       batch.new_nodes = batch_nodes;
       batch.total_edges = graph_.NumEdges();
       batch.total_nodes = graph_.NumNodes();
+      const TimeMicros prev_update =
+          log_.empty() ? log_.run_start() : log_.batches().back().sim_time;
+      Bm().update_batch_latency->Observe(
+          MicrosToSeconds(batch.sim_time - prev_update));
       log_.Add(batch);
       updates_this_step++;
       if (limits.on_update) limits.on_update(batch);

@@ -2,9 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace aptrace {
+
+namespace {
+
+/// Metric handles resolved once; Add() on them is a relaxed fetch-add.
+struct ExecutorMetrics {
+  obs::Counter* windows_processed;
+  obs::Counter* windows_enqueued;
+  obs::Counter* stale_windows;
+  obs::Counter* queue_rebuilds;
+  obs::Counter* dedup_clips;
+  obs::Gauge* queue_depth;
+  obs::LatencyHistogram* update_batch_latency;
+};
+
+const ExecutorMetrics& Em() {
+  static const ExecutorMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorWindowsProcessed),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorWindowsEnqueued),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorStaleWindows),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorQueueRebuilds),
+      obs::Metrics().FindOrCreateCounter(obs::names::kDedupWindowClips),
+      obs::Metrics().FindOrCreateGauge(obs::names::kExecutorQueueDepth),
+      obs::Metrics().FindOrCreateHistogram(obs::names::kUpdateBatchLatency),
+  };
+  return m;
+}
+
+}  // namespace
 
 const char* StopReasonName(StopReason r) {
   switch (r) {
@@ -51,6 +82,12 @@ void Executor::EnqueueWindowsFor(const Event& e, int state) {
       covered_until_.try_emplace(frontier, forward ? ctx_.te : ctx_.ts);
   const TimeMicros covered =
       coverage_dedup_ ? it->second : (forward ? ctx_.te : ctx_.ts);
+  if (coverage_dedup_ && !inserted &&
+      (forward ? covered < ctx_.te : covered > ctx_.ts)) {
+    // The watermark is tighter than the raw context range, so this
+    // object's windows were clipped against history already scheduled.
+    Em().dedup_clips->Add();
+  }
   std::vector<ExecWindow> windows =
       forward ? GenExeWindowsForward(e, ctx_.te, covered, k_)
               : GenExeWindows(e, ctx_.ts, covered, k_);
@@ -69,10 +106,12 @@ void Executor::EnqueueWindowsFor(const Event& e, int state) {
     w.seq = seq_++;
     queue_.push(w);
   }
+  Em().windows_enqueued->Add(windows.size());
 }
 
 void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
                              size_t* batch_nodes) {
+  APTRACE_SPAN("executor/process_window");
   const ObjectCatalog& catalog = ctx_.store->catalog();
   const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
   // The newly discovered endpoint of a scanned event: its flow source
@@ -127,6 +166,7 @@ void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
                          filter);
   }
   stats_.work_units++;
+  Em().windows_processed->Add();
 }
 
 StopReason Executor::Run(const RunLimits& limits) {
@@ -152,16 +192,23 @@ StopReason Executor::Run(const RunLimits& limits) {
     queue_.pop();
     // Stale windows: the frontier may have been excluded or pruned since
     // this window was enqueued.
-    if (excluded_.count(w.frontier)) continue;
+    if (excluded_.count(w.frontier)) {
+      Em().stale_windows->Add();
+      continue;
+    }
     if (ctx_.spec.hop_limit >= 0 && graph_.HasNode(w.frontier) &&
         graph_.GetNode(w.frontier).hop + 1 > ctx_.spec.hop_limit) {
       // "stops exploring the path and switches to other shorter paths".
+      Em().stale_windows->Add();
       continue;
     }
 
     size_t batch_edges = 0;
     size_t batch_nodes = 0;
     ProcessWindow(w, &batch_edges, &batch_nodes);
+    Em().queue_depth->Set(static_cast<int64_t>(queue_.size()));
+    obs::Tracer::Global().RecordCounter(obs::names::kExecutorQueueDepth,
+                                        static_cast<int64_t>(queue_.size()));
     if (batch_edges > 0) {
       UpdateBatch batch;
       batch.sim_time = clock_->NowMicros();
@@ -169,6 +216,10 @@ StopReason Executor::Run(const RunLimits& limits) {
       batch.new_nodes = batch_nodes;
       batch.total_edges = graph_.NumEdges();
       batch.total_nodes = graph_.NumNodes();
+      const TimeMicros prev_update =
+          log_.empty() ? log_.run_start() : log_.batches().back().sim_time;
+      Em().update_batch_latency->Observe(
+          MicrosToSeconds(batch.sim_time - prev_update));
       log_.Add(batch);
       updates_this_step++;
       if (limits.on_update) limits.on_update(batch);
@@ -178,6 +229,8 @@ StopReason Executor::Run(const RunLimits& limits) {
 }
 
 void Executor::RebuildQueue() {
+  APTRACE_SPAN("executor/rebuild_queue");
+  Em().queue_rebuilds->Add();
   std::vector<ExecWindow> keep;
   keep.reserve(queue_.size());
   while (!queue_.empty()) {

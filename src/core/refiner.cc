@@ -2,6 +2,10 @@
 
 #include <sstream>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
 namespace aptrace {
 
 namespace {
@@ -57,8 +61,10 @@ const char* RefineActionName(RefineAction a) {
   return "?";
 }
 
-RefineResult Refiner::Classify(const TrackingContext& current,
-                               const TrackingContext& updated) {
+namespace {
+
+RefineResult ClassifyImpl(const TrackingContext& current,
+                          const TrackingContext& updated) {
   RefineResult result;
 
   // A different starting point — or flipping the tracking direction —
@@ -105,6 +111,21 @@ RefineResult Refiner::Classify(const TrackingContext& current,
   } else {
     result.action = RefineAction::kNoChange;
   }
+  return result;
+}
+
+}  // namespace
+
+RefineResult Refiner::Classify(const TrackingContext& current,
+                               const TrackingContext& updated) {
+  APTRACE_SPAN("refiner/classify");
+  const RefineResult result = ClassifyImpl(current, updated);
+  static obs::Counter* const kActionCounters[] = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kRefinerNoChange),
+      obs::Metrics().FindOrCreateCounter(obs::names::kRefinerReuse),
+      obs::Metrics().FindOrCreateCounter(obs::names::kRefinerRestart),
+  };
+  kActionCounters[static_cast<int>(result.action)]->Add();
   return result;
 }
 

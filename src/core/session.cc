@@ -2,9 +2,32 @@
 
 #include "bdl/analyzer.h"
 #include "graph/dot_writer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace aptrace {
+
+namespace {
+
+/// Observes wall time (not simulated time) spent in an interactive entry
+/// point — what an analyst actually waits on.
+class WallTimer {
+ public:
+  explicit WallTimer(const char* histogram_name)
+      : histogram_(obs::Metrics().FindOrCreateHistogram(histogram_name)),
+        start_(MonotonicNowMicros()) {}
+  ~WallTimer() {
+    histogram_->Observe(MicrosToSeconds(MonotonicNowMicros() - start_));
+  }
+
+ private:
+  obs::LatencyHistogram* histogram_;
+  TimeMicros start_;
+};
+
+}  // namespace
 
 Session::Session(const EventStore* store, Clock* clock,
                  SessionOptions options)
@@ -19,6 +42,7 @@ Status Session::Start(std::string_view bdl_text,
 
 Status Session::StartWithSpec(bdl::TrackingSpec spec,
                               std::optional<Event> start_override) {
+  APTRACE_SPAN("session/resolve_context");
   auto ctx = ResolveContext(*store_, std::move(spec), clock_, start_override);
   if (!ctx.ok()) return ctx.status();
   start_override_ = start_override;
@@ -41,6 +65,8 @@ Result<StopReason> Session::Step(const RunLimits& limits) {
   if (engine_ == nullptr) {
     return Status::FailedPrecondition("session not started");
   }
+  APTRACE_SPAN("session/step");
+  WallTimer timer(obs::names::kSessionStepLatency);
   return engine_->Run(limits);
 }
 
@@ -48,6 +74,8 @@ Status Session::UpdateScript(std::string_view bdl_text) {
   if (engine_ == nullptr) {
     return Status::FailedPrecondition("session not started");
   }
+  APTRACE_SPAN("session/update_script");
+  WallTimer timer(obs::names::kSessionUpdateScriptLatency);
   auto spec = bdl::CompileBdl(bdl_text);
   if (!spec.ok()) return spec.status();
   auto ctx = ResolveContext(*store_, std::move(spec.value()), clock_,

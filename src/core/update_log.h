@@ -40,8 +40,7 @@ class UpdateLog {
     std::vector<double> out;
     TimeMicros prev = run_start_;
     for (const UpdateBatch& b : batches_) {
-      out.push_back(static_cast<double>(b.sim_time - prev) /
-                    static_cast<double>(kMicrosPerSecond));
+      out.push_back(MicrosToSeconds(b.sim_time - prev));
       prev = b.sim_time;
     }
     return out;

@@ -1,0 +1,68 @@
+#ifndef APTRACE_OBS_JSON_DICT_H_
+#define APTRACE_OBS_JSON_DICT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/string_util.h"
+
+namespace aptrace::obs {
+
+/// Minimal ordered JSON object builder for the flat documents the
+/// observability layer emits (metrics snapshots, run metadata). Values
+/// are encoded on insertion; nesting goes through AddRaw with another
+/// dict's Str(). Not a general JSON library — just enough to keep the
+/// exporters free of hand-quoted string soup.
+class JsonDict {
+ public:
+  void Add(std::string_view key, std::string_view value) {
+    items_.emplace_back(std::string(key),
+                        "\"" + JsonEscape(value) + "\"");
+  }
+  void Add(std::string_view key, uint64_t v) {
+    items_.emplace_back(std::string(key), std::to_string(v));
+  }
+  void Add(std::string_view key, int64_t v) {
+    items_.emplace_back(std::string(key), std::to_string(v));
+  }
+  void Add(std::string_view key, double v) {
+    items_.emplace_back(std::string(key), EncodeDouble(v));
+  }
+  void Add(std::string_view key, bool v) {
+    items_.emplace_back(std::string(key), v ? "true" : "false");
+  }
+  /// `raw` must already be valid JSON (nested object/array).
+  void AddRaw(std::string_view key, std::string_view raw) {
+    items_.emplace_back(std::string(key), std::string(raw));
+  }
+
+  /// NaN/inf have no JSON representation; encode as null.
+  static std::string EncodeDouble(double v) {
+    if (!std::isfinite(v)) return "null";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+  }
+
+  std::string Str() const {
+    std::string out = "{";
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (i) out += ",";
+      out += "\"" + JsonEscape(items_[i].first) + "\":" + items_[i].second;
+    }
+    out += "}";
+    return out;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> items_;
+};
+
+}  // namespace aptrace::obs
+
+#endif  // APTRACE_OBS_JSON_DICT_H_

@@ -1,0 +1,156 @@
+#ifndef APTRACE_OBS_METRICS_H_
+#define APTRACE_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/stats.h"
+#include "util/status.h"
+
+namespace aptrace::obs {
+
+/// Monotonically increasing event count. Add() is a relaxed atomic
+/// fetch-add — safe from any thread, a few nanoseconds on the hot path.
+/// Handles returned by a MetricsRegistry stay valid for its lifetime
+/// (forever, for the Global() registry).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Counter(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::string help_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time level (queue depth, live sessions).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { value_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+
+ private:
+  friend class MetricsRegistry;
+  Gauge(std::string name, std::string help)
+      : name_(std::move(name)), help_(std::move(help)) {}
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+  std::string name_;
+  std::string help_;
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket latency histogram. Bucketing follows the Prometheus `le`
+/// convention: a sample lands in the first bucket whose (inclusive) upper
+/// bound is >= the value, values above the last bound in the +Inf
+/// overflow bucket. A capped reservoir of raw samples feeds
+/// SampleStats::Percentile for the percentile columns of the JSON export.
+class LatencyHistogram {
+ public:
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::string& name() const { return name_; }
+  const std::vector<double>& bounds() const { return bounds_; }
+
+  /// Per-bucket (non-cumulative) counts: one entry per bound plus the
+  /// trailing +Inf bucket.
+  std::vector<uint64_t> BucketCounts() const;
+
+  /// Percentile over the retained raw samples; NaN when empty. The
+  /// reservoir keeps the first 64Ki observations, which covers every
+  /// workload in this repo exactly.
+  double Percentile(double p) const;
+
+ private:
+  friend class MetricsRegistry;
+  LatencyHistogram(std::string name, std::string help,
+                   std::vector<double> bounds);
+  void Reset();
+
+  static constexpr size_t kMaxSamples = 1 << 16;
+
+  std::string name_;
+  std::string help_;
+  std::vector<double> bounds_;                   // ascending upper bounds
+  std::vector<std::atomic<uint64_t>> buckets_;   // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};            // double via bit_cast CAS
+  mutable std::mutex mu_;                        // guards samples_
+  SampleStats samples_;
+};
+
+/// Default latency bucket bounds in seconds: 1ms .. 10 simulated minutes
+/// on a roughly 1-2-5 grid.
+const std::vector<double>& DefaultLatencyBounds();
+
+/// Named metric registry. `Global()` is the process-wide instance every
+/// instrumentation site uses; tests construct private instances for
+/// golden-output checks. FindOrCreate* registers on first use and returns
+/// the existing metric afterwards (help/bounds of later calls ignored).
+/// All methods are thread-safe; exports are sorted by metric name.
+class MetricsRegistry {
+ public:
+  /// `preregister_engine` pre-creates the full names.h catalog so exports
+  /// always list the engine surface, even for runs that never touch a
+  /// subsystem (Global() passes true).
+  explicit MetricsRegistry(bool preregister_engine = false);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter* FindOrCreateCounter(std::string_view name,
+                               std::string_view help = "");
+  Gauge* FindOrCreateGauge(std::string_view name, std::string_view help = "");
+  LatencyHistogram* FindOrCreateHistogram(std::string_view name,
+                                          std::string_view help = "",
+                                          std::vector<double> bounds = {});
+
+  /// Prometheus text exposition format.
+  std::string ExportPrometheus() const;
+
+  /// One JSON object: {"counters":{..},"gauges":{..},"histograms":{..}}.
+  /// Histograms carry count/sum/buckets plus p50/p90/p99 (null if empty).
+  std::string ExportJson() const;
+
+  /// Zeroes every value; registrations (and handles) survive. For tests
+  /// and long-lived processes that snapshot per run.
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
+      histograms_;
+};
+
+/// Shorthand used at instrumentation sites.
+inline MetricsRegistry& Metrics() { return MetricsRegistry::Global(); }
+
+/// Writes a registry snapshot to `path`: "-" means stdout, a ".json"
+/// suffix selects the JSON export, anything else Prometheus text.
+Status WriteMetricsFile(const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace aptrace::obs
+
+#endif  // APTRACE_OBS_METRICS_H_

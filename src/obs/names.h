@@ -1,0 +1,62 @@
+#ifndef APTRACE_OBS_NAMES_H_
+#define APTRACE_OBS_NAMES_H_
+
+/// \file
+/// Catalog of the engine's metric names (docs/observability.md documents
+/// each). Every name lives here so instrumentation sites, the
+/// pre-registration in MetricsRegistry::Global(), tests, and dashboards
+/// agree on spelling. Conventions:
+///   - counters end in `_total`
+///   - latency histograms are observed in seconds
+///   - `aptrace_update_batch_latency` uses *simulated* seconds (the
+///     paper's responsiveness metric); the session/bdl histograms use
+///     real wall time.
+
+namespace aptrace::obs::names {
+
+// Responsive executor (core/executor.cc).
+inline constexpr char kExecutorWindowsProcessed[] =
+    "aptrace_executor_windows_processed_total";
+inline constexpr char kExecutorWindowsEnqueued[] =
+    "aptrace_executor_windows_enqueued_total";
+inline constexpr char kExecutorStaleWindows[] =
+    "aptrace_executor_stale_windows_total";
+inline constexpr char kExecutorQueueRebuilds[] =
+    "aptrace_executor_queue_rebuilds_total";
+inline constexpr char kExecutorQueueDepth[] = "aptrace_executor_queue_depth";
+inline constexpr char kDedupWindowClips[] = "aptrace_dedup_window_clips_total";
+
+// Execute-to-complete baseline (core/baseline_executor.cc).
+inline constexpr char kBaselineNodeQueries[] =
+    "aptrace_baseline_node_queries_total";
+
+// Event store (storage/event_store.cc).
+inline constexpr char kStoreQueries[] = "aptrace_store_queries_total";
+inline constexpr char kStoreEventsScanned[] =
+    "aptrace_store_events_scanned_total";
+inline constexpr char kStoreRowsFiltered[] =
+    "aptrace_store_rows_filtered_total";
+
+// Refiner decisions (core/refiner.cc).
+inline constexpr char kRefinerReuse[] = "aptrace_refiner_reuse_total";
+inline constexpr char kRefinerRestart[] = "aptrace_refiner_restart_total";
+inline constexpr char kRefinerNoChange[] = "aptrace_refiner_nochange_total";
+
+// BDL compiler (bdl/analyzer.cc).
+inline constexpr char kBdlCompiles[] = "aptrace_bdl_compiles_total";
+inline constexpr char kBdlCompileErrors[] =
+    "aptrace_bdl_compile_errors_total";
+inline constexpr char kBdlCompileLatency[] = "aptrace_bdl_compile_latency";
+
+// Interactive session (core/session.cc).
+inline constexpr char kSessionStepLatency[] = "aptrace_session_step_latency";
+inline constexpr char kSessionUpdateScriptLatency[] =
+    "aptrace_session_update_script_latency";
+
+// Update batches (both engines): simulated seconds between consecutive
+// graph updates — the paper's Table II responsiveness metric.
+inline constexpr char kUpdateBatchLatency[] = "aptrace_update_batch_latency";
+
+}  // namespace aptrace::obs::names
+
+#endif  // APTRACE_OBS_NAMES_H_

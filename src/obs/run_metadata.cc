@@ -1,0 +1,44 @@
+#include "obs/run_metadata.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "obs/json_dict.h"
+
+namespace aptrace::obs {
+
+std::string RunMetadataJson(const RunMetadata& meta,
+                            const MetricsRegistry& registry) {
+  JsonDict root;
+  root.Add("name", std::string_view(meta.name));
+  root.Add("invocation", std::string_view(meta.invocation));
+  root.Add("store_events", meta.store_events);
+  root.Add("store_objects", meta.store_objects);
+  root.Add("wall_seconds", meta.wall_seconds);
+  if (!meta.extra.empty()) {
+    JsonDict extra;
+    for (const auto& [key, value] : meta.extra) {
+      extra.Add(key, std::string_view(value));
+    }
+    root.AddRaw("extra", extra.Str());
+  }
+  root.AddRaw("metrics", registry.ExportJson());
+  return root.Str();
+}
+
+Status WriteRunMetadata(const RunMetadata& meta,
+                        const MetricsRegistry& registry,
+                        const std::string& path) {
+  const std::string text = RunMetadataJson(meta, registry);
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return Status::Ok();
+  }
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  f << text << "\n";
+  return Status::Ok();
+}
+
+}  // namespace aptrace::obs

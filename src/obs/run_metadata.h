@@ -1,0 +1,38 @@
+#ifndef APTRACE_OBS_RUN_METADATA_H_
+#define APTRACE_OBS_RUN_METADATA_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace aptrace::obs {
+
+/// Descriptive facts about one benchmark / CLI run, written as a small
+/// JSON document next to the result files so a run's numbers stay
+/// reproducible: what ran, against what store, for how long, with a full
+/// metrics snapshot inline.
+struct RunMetadata {
+  std::string name;        // e.g. "bench_fig4"
+  std::string invocation;  // the argv the run was started with
+  uint64_t store_events = 0;
+  uint64_t store_objects = 0;
+  double wall_seconds = 0;
+  /// Free-form extras ("cases", "threads", ...), emitted as strings.
+  std::vector<std::pair<std::string, std::string>> extra;
+};
+
+/// The metadata document, including a `metrics` snapshot of `registry`.
+std::string RunMetadataJson(const RunMetadata& meta,
+                            const MetricsRegistry& registry);
+
+/// Writes RunMetadataJson to `path` ("-" = stdout).
+Status WriteRunMetadata(const RunMetadata& meta,
+                        const MetricsRegistry& registry,
+                        const std::string& path);
+
+}  // namespace aptrace::obs
+
+#endif  // APTRACE_OBS_RUN_METADATA_H_

@@ -1,0 +1,137 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aptrace::obs {
+
+Tracer& Tracer::Global() {
+  static Tracer* const tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::MyBuffer() {
+  static thread_local ThreadBuffer* t_buffer = nullptr;
+  if (t_buffer != nullptr) return t_buffer;
+  auto buf = std::make_unique<ThreadBuffer>();
+  buf->ring.resize(kRingCapacity);
+  buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  ThreadBuffer* raw = buf.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(buf));
+  }
+  t_buffer = raw;
+  return raw;
+}
+
+void Tracer::RecordSpan(const char* name, TimeMicros ts, TimeMicros dur) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = MyBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  TraceRecord& r = buf->ring[buf->next];
+  r.name = name;
+  r.ts = ts;
+  r.dur = dur;
+  r.value = 0;
+  r.is_counter = false;
+  if (++buf->next == kRingCapacity) {
+    buf->next = 0;
+    buf->wrapped = true;
+  }
+}
+
+void Tracer::RecordCounter(const char* name, int64_t value) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = MyBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  TraceRecord& r = buf->ring[buf->next];
+  r.name = name;
+  r.ts = MonotonicNowMicros();
+  r.dur = 0;
+  r.value = value;
+  r.is_counter = true;
+  if (++buf->next == kRingCapacity) {
+    buf->next = 0;
+    buf->wrapped = true;
+  }
+}
+
+std::string Tracer::ToChromeTraceJson() const {
+  struct Row {
+    TraceRecord rec;
+    uint32_t tid;
+  };
+  std::vector<Row> rows;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& buf : buffers_) {
+      std::lock_guard<std::mutex> buf_lock(buf->mu);
+      const size_t n = buf->wrapped ? kRingCapacity : buf->next;
+      for (size_t i = 0; i < n; ++i) {
+        rows.push_back({buf->ring[i], buf->tid});
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.rec.ts < b.rec.ts;
+  });
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    if (i) os << ",";
+    if (row.rec.is_counter) {
+      os << "{\"name\":\"" << JsonEscape(row.rec.name)
+         << "\",\"ph\":\"C\",\"ts\":" << row.rec.ts
+         << ",\"pid\":1,\"tid\":" << row.tid << ",\"args\":{\"value\":"
+         << row.rec.value << "}}";
+    } else {
+      os << "{\"name\":\"" << JsonEscape(row.rec.name)
+         << "\",\"ph\":\"X\",\"ts\":" << row.rec.ts
+         << ",\"dur\":" << row.rec.dur << ",\"pid\":1,\"tid\":" << row.tid
+         << "}";
+    }
+  }
+  os << "],\"displayTimeUnit\":\"ms\"}";
+  return os.str();
+}
+
+Status Tracer::WriteChromeTrace(const std::string& path) const {
+  const std::string text = ToChromeTraceJson();
+  if (path == "-") {
+    std::fputs(text.c_str(), stdout);
+    std::fputc('\n', stdout);
+    return Status::Ok();
+  }
+  std::ofstream f(path);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  f << text << "\n";
+  return Status::Ok();
+}
+
+size_t Tracer::RecordCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    n += buf->wrapped ? kRingCapacity : buf->next;
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->next = 0;
+    buf->wrapped = false;
+  }
+}
+
+}  // namespace aptrace::obs

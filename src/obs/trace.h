@@ -1,0 +1,115 @@
+#ifndef APTRACE_OBS_TRACE_H_
+#define APTRACE_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/clock.h"
+#include "util/status.h"
+
+namespace aptrace::obs {
+
+/// One completed span (or counter sample) in a per-thread ring buffer.
+/// `name` must be a string with static storage duration — the APTRACE_SPAN
+/// macro passes literals, so recording never copies or allocates.
+struct TraceRecord {
+  const char* name = nullptr;
+  TimeMicros ts = 0;      // MonotonicNowMicros at span begin
+  TimeMicros dur = 0;     // span length; unused for counter samples
+  int64_t value = 0;      // counter samples only
+  bool is_counter = false;
+};
+
+/// Process-wide scoped-span tracer. Disabled by default: the only cost an
+/// untraced APTRACE_SPAN pays is one relaxed atomic load and a branch.
+/// When enabled, each thread records begin/end pairs into its own
+/// fixed-capacity ring buffer (oldest records overwritten), and
+/// WriteChromeTrace dumps everything as Chrome `trace_event` JSON that
+/// chrome://tracing and https://ui.perfetto.dev load directly.
+class Tracer {
+ public:
+  /// Ring capacity per thread; ~16k spans ≈ 640 KiB, allocated lazily on
+  /// a thread's first record.
+  static constexpr size_t kRingCapacity = 1 << 14;
+
+  static Tracer& Global();
+
+  void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Records a completed span; no-op when disabled (ScopedSpan already
+  /// checks, so it never calls this disabled).
+  void RecordSpan(const char* name, TimeMicros ts, TimeMicros dur);
+
+  /// Records a counter track sample (Chrome "ph":"C" — e.g. the window
+  /// queue depth over time). No-op when disabled.
+  void RecordCounter(const char* name, int64_t value);
+
+  /// All retained records merged across threads, ordered by timestamp.
+  std::string ToChromeTraceJson() const;
+  Status WriteChromeTrace(const std::string& path) const;
+
+  /// Total records currently retained (capped per thread).
+  size_t RecordCount() const;
+
+  /// Drops all retained records (buffers stay registered).
+  void Clear();
+
+ private:
+  struct ThreadBuffer {
+    std::mutex mu;
+    std::vector<TraceRecord> ring;
+    size_t next = 0;
+    bool wrapped = false;
+    uint32_t tid = 0;
+  };
+
+  Tracer() = default;
+  ThreadBuffer* MyBuffer();
+
+  mutable std::mutex mu_;  // guards buffers_ registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint32_t> next_tid_{1};
+};
+
+/// RAII span: records [construction, destruction) into the tracer when
+/// tracing is enabled. Use through APTRACE_SPAN.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name) {
+    if (!Tracer::Global().enabled()) return;
+    name_ = name;
+    start_ = MonotonicNowMicros();
+  }
+  ~ScopedSpan() {
+    if (name_ == nullptr) return;
+    Tracer::Global().RecordSpan(name_, start_,
+                                MonotonicNowMicros() - start_);
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;  // null = tracing was off at construction
+  TimeMicros start_ = 0;
+};
+
+}  // namespace aptrace::obs
+
+#define APTRACE_SPAN_CONCAT_IMPL(a, b) a##b
+#define APTRACE_SPAN_CONCAT(a, b) APTRACE_SPAN_CONCAT_IMPL(a, b)
+
+/// Scoped span covering the rest of the enclosing block. `name` must be a
+/// string literal, conventionally "subsystem/operation"
+/// (e.g. APTRACE_SPAN("executor/process_window")).
+#define APTRACE_SPAN(name)              \
+  ::aptrace::obs::ScopedSpan APTRACE_SPAN_CONCAT(aptrace_span_, \
+                                                 __LINE__)(name)
+
+#endif  // APTRACE_OBS_TRACE_H_

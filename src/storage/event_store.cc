@@ -3,9 +3,31 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace aptrace {
+
+namespace {
+
+struct StoreMetrics {
+  obs::Counter* queries;
+  obs::Counter* events_scanned;
+  obs::Counter* rows_filtered;
+};
+
+const StoreMetrics& Sm() {
+  static const StoreMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreQueries),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreEventsScanned),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowsFiltered),
+  };
+  return m;
+}
+
+}  // namespace
 
 EventStore::EventStore(EventStoreOptions options)
     : options_(std::move(options)) {
@@ -74,6 +96,7 @@ int64_t EventStore::PartitionIndex(TimeMicros t) const {
 
 void EventStore::Seal() {
   if (sealed_) return;
+  APTRACE_SPAN("store/seal");
   for (const Event& e : events_) {
     Partition& p = partitions_[PartitionIndex(e.timestamp)];
     p.by_dest[e.FlowDest()].push_back(e.id);
@@ -130,6 +153,7 @@ size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                             Clock* clock,
                             const std::function<void(const Event&)>& fn,
                             const RowFilter& filter) const {
+  APTRACE_SPAN("store/scan_dest");
   assert(sealed_);
   size_t rows = 0;
   size_t filtered = 0;
@@ -166,6 +190,9 @@ size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
   stat_partitions_probed_.fetch_add(probed, kRelaxed);
   stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
   stat_simulated_cost_.fetch_add(cost, kRelaxed);
+  Sm().queries->Add();
+  Sm().events_scanned->Add(rows + filtered);
+  Sm().rows_filtered->Add(filtered);
   return rows;
 }
 
@@ -173,6 +200,7 @@ size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
                            Clock* clock,
                            const std::function<void(const Event&)>& fn,
                            const RowFilter& filter) const {
+  APTRACE_SPAN("store/scan_src");
   assert(sealed_);
   size_t rows = 0;
   size_t filtered = 0;
@@ -209,6 +237,9 @@ size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
   stat_partitions_probed_.fetch_add(probed, kRelaxed);
   stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
   stat_simulated_cost_.fetch_add(cost, kRelaxed);
+  Sm().queries->Add();
+  Sm().events_scanned->Add(rows + filtered);
+  Sm().rows_filtered->Add(filtered);
   return rows;
 }
 
@@ -239,11 +270,13 @@ size_t EventStore::CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
   stat_partitions_probed_.fetch_add(probed, kRelaxed);
   stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
   stat_simulated_cost_.fetch_add(cost, kRelaxed);
+  Sm().queries->Add();  // index-only COUNT: no event rows touched
   return rows;
 }
 
 size_t EventStore::ScanRange(TimeMicros begin, TimeMicros end, Clock* clock,
                              const std::function<void(const Event&)>& fn) const {
+  APTRACE_SPAN("store/scan_range");
   assert(sealed_);
   size_t rows = 0;
   uint64_t probed = 0;
@@ -267,6 +300,8 @@ size_t EventStore::ScanRange(TimeMicros begin, TimeMicros end, Clock* clock,
   stat_rows_matched_.fetch_add(rows, kRelaxed);
   stat_partitions_probed_.fetch_add(probed, kRelaxed);
   stat_simulated_cost_.fetch_add(cost, kRelaxed);
+  Sm().queries->Add();
+  Sm().events_scanned->Add(rows);
   return rows;
 }
 

@@ -4,16 +4,16 @@
 
 namespace aptrace {
 
-namespace {
-TimeMicros MonotonicNow() {
+TimeMicros MonotonicNowMicros() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
-}  // namespace
 
-RealClock::RealClock() : origin_(MonotonicNow()) {}
+RealClock::RealClock() : origin_(MonotonicNowMicros()) {}
 
-TimeMicros RealClock::NowMicros() const { return MonotonicNow() - origin_; }
+TimeMicros RealClock::NowMicros() const {
+  return MonotonicNowMicros() - origin_;
+}
 
 }  // namespace aptrace

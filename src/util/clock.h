@@ -15,6 +15,17 @@ constexpr DurationMicros kMicrosPerMinute = 60 * kMicrosPerSecond;
 constexpr DurationMicros kMicrosPerHour = 60 * kMicrosPerMinute;
 constexpr DurationMicros kMicrosPerDay = 24 * kMicrosPerHour;
 
+/// Microseconds -> seconds as a double. The one conversion everyone needs
+/// when reporting durations; use this instead of hand-rolled divisions.
+constexpr double MicrosToSeconds(DurationMicros d) {
+  return static_cast<double>(d) / static_cast<double>(kMicrosPerSecond);
+}
+
+/// Monotonic wall time in microseconds (CLOCK_MONOTONIC), independent of
+/// any Clock instance. The observability layer measures real elapsed time
+/// with this even when the engine itself runs on a simulated clock.
+TimeMicros MonotonicNowMicros();
+
 /// Abstract clock. The analysis engine never reads wall time directly; it
 /// asks a Clock so that experiments can run against a simulated clock that
 /// the storage cost model advances deterministically.

@@ -1,13 +1,26 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <ctime>
+
+#include "util/string_util.h"
 
 namespace aptrace {
 
 namespace {
-std::atomic<int> g_level{static_cast<int>(LogLevel::kWarning)};
+
+int InitialLevel() {
+  const char* env = std::getenv("APTRACE_LOG_LEVEL");
+  if (env == nullptr) return static_cast<int>(LogLevel::kWarning);
+  const auto parsed = ParseLogLevel(env);
+  return static_cast<int>(parsed.value_or(LogLevel::kWarning));
+}
+
+std::atomic<int> g_level{InitialLevel()};
 
 const char* LevelTag(LogLevel level) {
   switch (level) {
@@ -24,10 +37,45 @@ const char* LevelTag(LogLevel level) {
   }
   return "?";
 }
+
+/// Small dense per-thread id; more readable than the opaque pthread value.
+uint32_t ThisThreadId() {
+  static std::atomic<uint32_t> next{1};
+  thread_local const uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+void AppendUtcTimestamp(std::ostream& os) {
+  using std::chrono::duration_cast;
+  using std::chrono::milliseconds;
+  using std::chrono::system_clock;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const int millis = static_cast<int>(
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000);
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, millis);
+  os << buf;
+}
+
 }  // namespace
 
 void SetLogLevel(LogLevel level) { g_level.store(static_cast<int>(level)); }
 LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+
+std::optional<LogLevel> ParseLogLevel(std::string_view s) {
+  const std::string v = ToLower(Trim(s));
+  if (v == "debug" || v == "0") return LogLevel::kDebug;
+  if (v == "info" || v == "1") return LogLevel::kInfo;
+  if (v == "warning" || v == "warn" || v == "2") return LogLevel::kWarning;
+  if (v == "error" || v == "3") return LogLevel::kError;
+  if (v == "off" || v == "none" || v == "4") return LogLevel::kOff;
+  return std::nullopt;
+}
 
 namespace internal_logging {
 
@@ -35,8 +83,10 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : enabled_(static_cast<int>(level) >= g_level.load()), level_(level) {
   if (!enabled_) return;
   const char* base = std::strrchr(file, '/');
-  stream_ << "[" << LevelTag(level) << " " << (base ? base + 1 : file) << ":"
-          << line << "] ";
+  stream_ << "[";
+  AppendUtcTimestamp(stream_);
+  stream_ << " " << LevelTag(level) << " t" << ThisThreadId() << " "
+          << (base ? base + 1 : file) << ":" << line << "] ";
 }
 
 LogMessage::~LogMessage() {

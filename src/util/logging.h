@@ -1,8 +1,10 @@
 #ifndef APTRACE_UTIL_LOGGING_H_
 #define APTRACE_UTIL_LOGGING_H_
 
+#include <optional>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace aptrace {
 
@@ -15,14 +17,24 @@ enum class LogLevel : int {
 };
 
 /// Global minimum level; messages below it are discarded. Defaults to
-/// kWarning so library users are not spammed; tests/benches raise or lower
-/// it as needed.
+/// kWarning so library users are not spammed. The `APTRACE_LOG_LEVEL`
+/// environment variable (read once at startup; see ParseLogLevel for the
+/// accepted spellings) overrides the default, and SetLogLevel overrides
+/// both at runtime.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
+/// Parses a level name ("debug", "info", "warning"/"warn", "error",
+/// "off"/"none", case-insensitive) or its numeric value ("0".."4").
+/// Returns nullopt for anything else.
+std::optional<LogLevel> ParseLogLevel(std::string_view s);
+
 namespace internal_logging {
 
-/// Stream-style log sink; emits to stderr on destruction if enabled.
+/// Stream-style log sink; emits one structured record to stderr on
+/// destruction if enabled:
+///   [2026-08-05T12:34:56.789Z I t3 executor.cc:142] message
+/// (ISO-8601 UTC timestamp, level tag, small per-thread id, file:line).
 class LogMessage {
  public:
   LogMessage(LogLevel level, const char* file, int line);

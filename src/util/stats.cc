@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace aptrace {
@@ -49,7 +50,7 @@ double SampleStats::Max() const {
 
 double SampleStats::Percentile(double p) const {
   EnsureSorted();
-  if (sorted_.empty()) return 0;
+  if (sorted_.empty()) return std::numeric_limits<double>::quiet_NaN();
   if (p <= 0) return sorted_.front();
   if (p >= 100) return sorted_.back();
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
@@ -63,7 +64,12 @@ double SampleStats::Median() const { return Percentile(50); }
 
 SampleStats::BoxPlot SampleStats::Box() const {
   BoxPlot box;
-  if (samples_.empty()) return box;
+  if (samples_.empty()) {
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    box.min = box.whisker_lo = box.q1 = box.median = nan;
+    box.q3 = box.whisker_hi = box.max = nan;
+    return box;
+  }
   EnsureSorted();
   box.min = sorted_.front();
   box.max = sorted_.back();

@@ -28,14 +28,17 @@ class SampleStats {
   double Max() const;
 
   /// Percentile in [0, 100] by linear interpolation between closest ranks.
-  /// Precondition: at least one sample.
+  /// Returns quiet NaN when there are no samples (callers that compare the
+  /// result — e.g. `> 0` guards — behave as if the value were absent).
   double Percentile(double p) const;
 
-  /// Median (= Percentile(50)).
+  /// Median (= Percentile(50)); NaN when empty.
   double Median() const;
 
   /// Box-plot summary: quartiles plus whiskers at 1.5 IQR (Tukey), and the
   /// values outside the whiskers as outliers. Matches Figure 4's rendering.
+  /// All numeric fields are quiet NaN (and `outliers` empty) when there
+  /// are no samples.
   struct BoxPlot {
     double min = 0;       // smallest sample
     double whisker_lo = 0;

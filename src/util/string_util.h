@@ -43,6 +43,10 @@ Result<DurationMicros> ParseBdlDuration(std::string_view s);
 /// Human-readable duration, e.g. "2m30s", "450ms".
 std::string FormatDuration(DurationMicros d);
 
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// added). Shared by the graph JSON writer and the observability exports.
+std::string JsonEscape(std::string_view s);
+
 }  // namespace aptrace
 
 #endif  // APTRACE_UTIL_STRING_UTIL_H_

@@ -5,6 +5,8 @@
 #include "core/baseline_executor.h"
 #include "core/executor.h"
 #include "bdl/analyzer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "tests/test_trace.h"
 
 namespace aptrace {
@@ -65,6 +67,33 @@ TEST_F(ExecutorTest, FullClosureExact) {
   EXPECT_EQ(exec.graph().HopOf(trace_.excel), 2);
   EXPECT_EQ(exec.graph().HopOf(trace_.outlook), 3);
   EXPECT_EQ(exec.graph().HopOf(trace_.mail_sock), 4);
+}
+
+// Integration check of the observability layer: a run must feed the core
+// metrics of the global registry.
+TEST_F(ExecutorTest, RunPopulatesCoreMetrics) {
+  auto& metrics = obs::Metrics();
+  const uint64_t windows_before =
+      metrics.FindOrCreateCounter(obs::names::kExecutorWindowsProcessed)
+          ->value();
+  const uint64_t scanned_before =
+      metrics.FindOrCreateCounter(obs::names::kStoreEventsScanned)->value();
+  const uint64_t batches_before =
+      metrics.FindOrCreateHistogram(obs::names::kUpdateBatchLatency)->count();
+
+  Executor exec(Ctx(trace_, kUnconstrained, &clock_), &clock_, 8);
+  EXPECT_EQ(exec.Run({}), StopReason::kCompleted);
+
+  EXPECT_GT(
+      metrics.FindOrCreateCounter(obs::names::kExecutorWindowsProcessed)
+          ->value(),
+      windows_before);
+  EXPECT_GT(
+      metrics.FindOrCreateCounter(obs::names::kStoreEventsScanned)->value(),
+      scanned_before);
+  EXPECT_GT(
+      metrics.FindOrCreateHistogram(obs::names::kUpdateBatchLatency)->count(),
+      batches_before);
 }
 
 TEST_F(ExecutorTest, BaselineProducesSameClosure) {

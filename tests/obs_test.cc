@@ -1,0 +1,199 @@
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/json_dict.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/run_metadata.h"
+#include "obs/trace.h"
+
+namespace aptrace::obs {
+namespace {
+
+TEST(CounterTest, ConcurrentAddsAreLossless) {
+  MetricsRegistry registry;
+  Counter* c = registry.FindOrCreateCounter("test_total");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> pool;
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c->Add();
+    });
+  }
+  for (auto& t : pool) t.join();
+  EXPECT_EQ(c->value(), kThreads * kPerThread);
+}
+
+TEST(RegistryTest, FindOrCreateReturnsSameHandle) {
+  MetricsRegistry registry;
+  Counter* a = registry.FindOrCreateCounter("x_total", "first help");
+  Counter* b = registry.FindOrCreateCounter("x_total", "ignored help");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.FindOrCreateGauge("g"), registry.FindOrCreateGauge("g"));
+  EXPECT_EQ(registry.FindOrCreateHistogram("h"),
+            registry.FindOrCreateHistogram("h"));
+}
+
+TEST(RegistryTest, GlobalPreregistersTheCatalog) {
+  // Every metric name is listed in an export even before any
+  // instrumentation site runs — runs that skip a subsystem still emit
+  // zero-valued series for it.
+  const std::string text = MetricsRegistry::Global().ExportPrometheus();
+  EXPECT_NE(text.find(names::kExecutorWindowsProcessed), std::string::npos);
+  EXPECT_NE(text.find(names::kDedupWindowClips), std::string::npos);
+  EXPECT_NE(text.find(names::kStoreEventsScanned), std::string::npos);
+  EXPECT_NE(text.find(names::kUpdateBatchLatency), std::string::npos);
+}
+
+TEST(HistogramTest, BucketBoundariesAreInclusiveUpper) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.FindOrCreateHistogram("lat", "", {1, 2, 5});
+  for (double v : {0.5, 1.0, 1.5, 2.0, 5.0, 7.0}) h->Observe(v);
+  // le=1: 0.5, 1.0 | le=2: 1.5, 2.0 | le=5: 5.0 | +Inf: 7.0
+  const auto counts = h->BucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h->count(), 6u);
+  EXPECT_DOUBLE_EQ(h->sum(), 17.0);
+}
+
+TEST(HistogramTest, PercentileUsesTheSampleReservoir) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.FindOrCreateHistogram("lat");
+  for (int i = 1; i <= 100; ++i) h->Observe(i);
+  EXPECT_NEAR(h->Percentile(50), 50.5, 0.6);
+  EXPECT_NEAR(h->Percentile(99), 99, 1.1);
+}
+
+TEST(HistogramTest, EmptyPercentileIsNaN) {
+  MetricsRegistry registry;
+  LatencyHistogram* h = registry.FindOrCreateHistogram("lat");
+  EXPECT_TRUE(std::isnan(h->Percentile(50)));
+}
+
+TEST(ExportTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("events_total", "Total events")->Add(3);
+  registry.FindOrCreateGauge("depth")->Set(-2);
+  LatencyHistogram* h = registry.FindOrCreateHistogram("lat", "", {0.1, 1});
+  h->Observe(0.05);
+  h->Observe(0.5);
+  h->Observe(2.0);
+  EXPECT_EQ(registry.ExportPrometheus(),
+            "# HELP events_total Total events\n"
+            "# TYPE events_total counter\n"
+            "events_total 3\n"
+            "# TYPE depth gauge\n"
+            "depth -2\n"
+            "# TYPE lat histogram\n"
+            "lat_bucket{le=\"0.1\"} 1\n"
+            "lat_bucket{le=\"1\"} 2\n"
+            "lat_bucket{le=\"+Inf\"} 3\n"
+            "lat_sum 2.55\n"
+            "lat_count 3\n");
+}
+
+TEST(ExportTest, JsonGolden) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("events_total")->Add(3);
+  LatencyHistogram* h = registry.FindOrCreateHistogram("lat", "", {1});
+  h->Observe(0.5);
+  EXPECT_EQ(registry.ExportJson(),
+            "{\"counters\":{\"events_total\":3},"
+            "\"gauges\":{},"
+            "\"histograms\":{\"lat\":{\"count\":1,\"sum\":0.5,"
+            "\"buckets\":[{\"le\":1,\"count\":1},"
+            "{\"le\":\"+Inf\",\"count\":0}],"
+            "\"p50\":0.5,\"p90\":0.5,\"p99\":0.5}}}");
+}
+
+TEST(ExportTest, EmptyHistogramPercentilesEncodeAsNull) {
+  MetricsRegistry registry;
+  registry.FindOrCreateHistogram("lat", "", {1});
+  const std::string json = registry.ExportJson();
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos);
+}
+
+TEST(JsonDictTest, EscapesAndEncodes) {
+  JsonDict d;
+  d.Add("a\"b", std::string_view("x\ny"));
+  d.Add("n", static_cast<uint64_t>(7));
+  d.Add("f", 1.5);
+  d.Add("nan", std::nan(""));
+  d.Add("yes", true);
+  EXPECT_EQ(d.Str(),
+            "{\"a\\\"b\":\"x\\ny\",\"n\":7,\"f\":1.5,\"nan\":null,"
+            "\"yes\":true}");
+}
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  tracer.Clear();
+  { APTRACE_SPAN("test/disabled"); }
+  tracer.RecordCounter("test/counter", 1);
+  EXPECT_EQ(tracer.RecordCount(), 0u);
+}
+
+TEST(TracerTest, ChromeTraceContainsSpansAndCounters) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  { APTRACE_SPAN("test/span_a"); }
+  { APTRACE_SPAN("test/span_b"); }
+  tracer.RecordCounter("test/queue", 42);
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.RecordCount(), 3u);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/span_a\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/span_b\",\"ph\":\"X\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"test/queue\",\"ph\":\"C\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, RingBufferCapsRetainedRecords) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  for (size_t i = 0; i < Tracer::kRingCapacity + 100; ++i) {
+    APTRACE_SPAN("test/ring");
+  }
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.RecordCount(), Tracer::kRingCapacity);
+  tracer.Clear();
+  EXPECT_EQ(tracer.RecordCount(), 0u);
+}
+
+TEST(RunMetadataTest, JsonCarriesFactsAndMetrics) {
+  MetricsRegistry registry;
+  registry.FindOrCreateCounter("c_total")->Add(1);
+  RunMetadata meta;
+  meta.name = "bench_x";
+  meta.invocation = "bench_x --cases=1";
+  meta.store_events = 10;
+  meta.store_objects = 4;
+  meta.wall_seconds = 1.25;
+  meta.extra.emplace_back("seed", "42");
+  const std::string json = RunMetadataJson(meta, registry);
+  EXPECT_EQ(json,
+            "{\"name\":\"bench_x\",\"invocation\":\"bench_x --cases=1\","
+            "\"store_events\":10,\"store_objects\":4,\"wall_seconds\":1.25,"
+            "\"extra\":{\"seed\":\"42\"},"
+            "\"metrics\":{\"counters\":{\"c_total\":1},\"gauges\":{},"
+            "\"histograms\":{}}}");
+}
+
+}  // namespace
+}  // namespace aptrace::obs

@@ -1,6 +1,9 @@
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "util/clock.h"
+#include "util/logging.h"
 #include "util/stats.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -88,7 +91,22 @@ TEST(SampleStatsTest, EmptyIsSafe) {
   EXPECT_EQ(s.count(), 0u);
   EXPECT_DOUBLE_EQ(s.Mean(), 0);
   EXPECT_DOUBLE_EQ(s.Stddev(), 0);
-  EXPECT_DOUBLE_EQ(s.Percentile(50), 0);
+  // Empty percentiles are NaN, not 0: a zero would read as "instant"
+  // in latency reports. NaN compares false against any threshold, so
+  // `> 0` guards on the result stay correct.
+  EXPECT_TRUE(std::isnan(s.Percentile(50)));
+  EXPECT_TRUE(std::isnan(s.Percentile(0)));
+}
+
+TEST(SampleStatsTest, EmptyBoxIsAllNaN) {
+  SampleStats s;
+  const auto box = s.Box();
+  EXPECT_TRUE(std::isnan(box.min));
+  EXPECT_TRUE(std::isnan(box.q1));
+  EXPECT_TRUE(std::isnan(box.median));
+  EXPECT_TRUE(std::isnan(box.q3));
+  EXPECT_TRUE(std::isnan(box.max));
+  EXPECT_TRUE(box.outliers.empty());
 }
 
 TEST(SampleStatsTest, BoxPlotFindsOutliers) {
@@ -254,6 +272,40 @@ TEST(WildcardMatcherTest, LiteralFastPath) {
   EXPECT_TRUE(m.is_literal());
   EXPECT_TRUE(m.Matches("notepad.exe"));
   EXPECT_FALSE(m.Matches("notepad.exe2"));
+}
+
+TEST(LoggingTest, ParseLogLevelAcceptsNamesAndNumbers) {
+  EXPECT_EQ(ParseLogLevel("debug"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("INFO"), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevel("warn"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel("warning"), LogLevel::kWarning);
+  EXPECT_EQ(ParseLogLevel(" Error "), LogLevel::kError);
+  EXPECT_EQ(ParseLogLevel("off"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("none"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("0"), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevel("4"), LogLevel::kOff);
+  EXPECT_EQ(ParseLogLevel("5"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel("verbose"), std::nullopt);
+  EXPECT_EQ(ParseLogLevel(""), std::nullopt);
+}
+
+TEST(ClockTest, MicrosToSeconds) {
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(kMicrosPerSecond), 1.0);
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(500000), 0.5);
+  EXPECT_DOUBLE_EQ(MicrosToSeconds(0), 0.0);
+}
+
+TEST(ClockTest, MonotonicNowMicrosAdvances) {
+  const TimeMicros a = MonotonicNowMicros();
+  const TimeMicros b = MonotonicNowMicros();
+  EXPECT_GE(b, a);
+}
+
+TEST(StringUtilTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("x\n\t\r"), "x\\n\\t\\r");
+  EXPECT_EQ(JsonEscape(std::string_view("\x01", 1)), "\\u0001");
 }
 
 }  // namespace

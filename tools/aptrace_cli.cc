@@ -16,6 +16,9 @@
 //         --max-updates=N     stop after N updates
 //         --dot=<file>        write the graph as Graphviz DOT
 //         --json=<file>       write the graph as JSON
+//         --metrics-out=<f>   write a metrics snapshot ("-" = stdout,
+//                             *.json selects the JSON export)
+//         --trace-out=<f>     record spans; write Chrome trace JSON
 //         --quiet             no per-update lines
 //
 //   aptrace investigate --scenario=<name>
@@ -47,6 +50,8 @@
 #include "core/engine.h"
 #include "detect/detector.h"
 #include "graph/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/trace_io.h"
 #include "tools/aptrace_shell.h"
 #include "util/string_util.h"
@@ -64,6 +69,8 @@ struct Flags {
   std::string script_out_path;
   std::string dot_path;
   std::string json_path;
+  std::string metrics_out;
+  std::string trace_out;
   std::string sim_limit;
   size_t max_updates = 0;
   int k = 8;
@@ -102,6 +109,8 @@ Flags ParseFlags(int argc, char** argv) {
         TakeValue(a, "--script-out", &f.script_out_path) ||
         TakeValue(a, "--dot", &f.dot_path) ||
         TakeValue(a, "--json", &f.json_path) ||
+        TakeValue(a, "--metrics-out", &f.metrics_out) ||
+        TakeValue(a, "--trace-out", &f.trace_out) ||
         TakeValue(a, "--sim-limit", &f.sim_limit)) {
       continue;
     }
@@ -167,6 +176,9 @@ int CmdExport(const Flags& flags) {
 int CmdRun(const Flags& flags) {
   if (flags.trace_path.empty() || flags.script_path.empty()) return Usage();
 
+  // Enable span recording before the store loads so Seal and the scans
+  // all land in the dump.
+  if (!flags.trace_out.empty()) obs::Tracer::Global().SetEnabled(true);
   auto store = LoadTraceFile(flags.trace_path);
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
@@ -250,6 +262,23 @@ int CmdRun(const Flags& flags) {
                                     flags.json_path);
         s.ok()) {
       std::printf("JSON written to %s\n", flags.json_path.c_str());
+    }
+  }
+  if (!flags.metrics_out.empty()) {
+    if (auto s = obs::WriteMetricsFile(obs::Metrics(), flags.metrics_out);
+        !s.ok()) {
+      std::fprintf(stderr, "metrics: %s\n", s.ToString().c_str());
+    } else if (flags.metrics_out != "-") {
+      std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+    }
+  }
+  if (!flags.trace_out.empty()) {
+    if (auto s = obs::Tracer::Global().WriteChromeTrace(flags.trace_out);
+        !s.ok()) {
+      std::fprintf(stderr, "trace: %s\n", s.ToString().c_str());
+    } else if (flags.trace_out != "-") {
+      std::printf("trace written to %s (load in ui.perfetto.dev)\n",
+                  flags.trace_out.c_str());
     }
   }
   return 0;

@@ -13,6 +13,8 @@
 #include "graph/json_writer.h"
 #include "graph/path.h"
 #include "graph/summarize.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/string_util.h"
 
 namespace aptrace::tools {
@@ -34,6 +36,8 @@ constexpr char kHelp[] =
     "  dot <file> | json <file> | summary <file>   export the graph\n"
     "  save <file> | load <file>  checkpoint / resume the investigation\n"
     "  fmt                  print the current script, formatted\n"
+    "  stats                print the process metrics (Prometheus text)\n"
+    "  trace-dump <file>    write recorded spans as Chrome trace JSON\n"
     "  help | quit\n";
 
 struct ShellState {
@@ -95,6 +99,9 @@ void Step(ShellState& st, std::ostream& out, const RunLimits& limits) {
 int RunShell(EventStore* store, std::istream& in, std::ostream& out) {
   ShellState st;
   st.store = store;
+  // Interactive sessions record spans so `trace-dump` always has data;
+  // the per-command cost is noise at analyst speed.
+  obs::Tracer::Global().SetEnabled(true);
   out << "aptrace shell — " << store->NumEvents() << " events, "
       << store->catalog().NumHosts() << " hosts. Type `help`.\n";
 
@@ -110,6 +117,24 @@ int RunShell(EventStore* store, std::istream& in, std::ostream& out) {
     if (cmd == "quit" || cmd == "exit") break;
     if (cmd == "help") {
       out << kHelp;
+      continue;
+    }
+    if (cmd == "stats") {
+      out << obs::Metrics().ExportPrometheus();
+      continue;
+    }
+    if (cmd == "trace-dump") {
+      std::string path;
+      args >> path;
+      if (path.empty()) {
+        out << "error: need an output path\n";
+        continue;
+      }
+      const Status s = obs::Tracer::Global().WriteChromeTrace(path);
+      out << (s.ok() ? "trace written to " + path +
+                           " (load in ui.perfetto.dev)"
+                     : "error: " + s.ToString())
+          << "\n";
       continue;
     }
     if (cmd == "load") {
