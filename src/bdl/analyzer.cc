@@ -13,11 +13,6 @@ namespace aptrace::bdl {
 
 namespace {
 
-Status ErrorAt(int line, const std::string& msg) {
-  return Status::InvalidArgument("BDL semantic error at line " +
-                                 std::to_string(line) + ": " + msg);
-}
-
 /// Node/field-path type names. `network` appears in the paper's Program 2.
 std::optional<ObjectType> ParseTypeName(std::string_view name) {
   const std::string n = ToLower(name);
@@ -67,9 +62,11 @@ FieldValueClass ClassOf(FieldId f) {
 }
 
 /// Compiles one leaf: resolves the (possibly dotted) field path and types
-/// the literal value against the field.
-Result<std::unique_ptr<Condition>> CompileLeaf(
-    const AstExpr& ast, std::optional<ObjectType> default_scope) {
+/// the literal value against the field. Problems are reported into `diags`;
+/// returns null when the leaf cannot be compiled.
+std::unique_ptr<Condition> CompileLeaf(const AstExpr& ast,
+                                       std::optional<ObjectType> default_scope,
+                                       DiagnosticEngine* diags) {
   Condition::LeafSpec leaf;
   leaf.op = ast.op;
   leaf.type_scope = default_scope;
@@ -90,8 +87,9 @@ Result<std::unique_ptr<Condition>> CompileLeaf(
     }
   }
   if (path.size() - i != 1) {
-    return ErrorAt(ast.line,
-                   "cannot resolve field path '" + Join(path, ".") + "'");
+    diags->Report(DiagCode::kUnknownAttribute, ast.span,
+                  "cannot resolve field path '" + Join(path, ".") + "'");
+    return nullptr;
   }
   // `src.path` / `dst.ip` style paths look at the flow endpoint whatever
   // its declared type scope; resolve the final component. In endpoint
@@ -100,11 +98,28 @@ Result<std::unique_ptr<Condition>> CompileLeaf(
   if (leaf.endpoint != EndpointSel::kSelf && ToLower(field_name) == "ip") {
     field_name = "dst_ip";
   }
-  auto field = ResolveField(
-      leaf.endpoint == EndpointSel::kSelf ? leaf.type_scope : std::nullopt,
-      field_name);
-  if (!field.ok()) return ErrorAt(ast.line, field.status().message());
+  auto field = ResolveField(std::nullopt, field_name);
+  if (!field.ok()) {
+    const std::optional<ObjectType> suggest_scope =
+        leaf.endpoint == EndpointSel::kSelf ? leaf.type_scope : std::nullopt;
+    Diagnostic& d = diags->Report(DiagCode::kUnknownAttribute, ast.span,
+                                  "unknown attribute '" + field_name + "'");
+    if (const std::string s = SuggestFieldName(suggest_scope, field_name);
+        !s.empty()) {
+      d.notes.push_back({ast.span, "did you mean '" + s + "'?"});
+      d.fixit = s;
+    }
+    return nullptr;
+  }
   leaf.field = field.value();
+  if (leaf.endpoint == EndpointSel::kSelf && leaf.type_scope.has_value() &&
+      !FieldApplicableTo(leaf.field, *leaf.type_scope)) {
+    diags->Report(DiagCode::kAttributeNotApplicable, ast.span,
+                  "attribute '" + field_name +
+                      "' is not applicable to node type '" +
+                      ObjectTypeName(*leaf.type_scope) + "'");
+    return nullptr;
+  }
 
   // When the field pins the applicable type (e.g. `exename` exists only on
   // processes), narrow the scope so evaluation NAs out cleanly elsewhere.
@@ -123,41 +138,58 @@ Result<std::unique_ptr<Condition>> CompileLeaf(
   }
 
   // Type the literal.
+  const SourceSpan value_span =
+      ast.value.span.valid() ? ast.value.span : ast.span;
   switch (ClassOf(leaf.field)) {
     case FieldValueClass::kString:
       if (ast.value.kind != AstValue::Kind::kString &&
           ast.value.kind != AstValue::Kind::kIdent) {
-        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
-                                     "' expects a string value");
+        diags->Report(DiagCode::kValueTypeMismatch, value_span,
+                      "field '" + std::string(FieldIdName(leaf.field)) +
+                          "' expects a string value");
+        return nullptr;
       }
       leaf.str_value = std::make_shared<WildcardMatcher>(ast.value.text);
       break;
     case FieldValueClass::kInt:
       if (ast.value.kind != AstValue::Kind::kNumber) {
-        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
-                                     "' expects a numeric value");
+        diags->Report(DiagCode::kValueTypeMismatch, value_span,
+                      "field '" + std::string(FieldIdName(leaf.field)) +
+                          "' expects a numeric value");
+        return nullptr;
       }
       leaf.int_value = ast.value.number;
       break;
     case FieldValueClass::kTime: {
       if (ast.value.kind != AstValue::Kind::kString) {
-        return ErrorAt(ast.line,
-                       "field '" + std::string(FieldIdName(leaf.field)) +
-                           "' expects a time string \"MM/DD/YYYY[:HH:MM:SS]\"");
+        diags->Report(DiagCode::kValueTypeMismatch, value_span,
+                      "field '" + std::string(FieldIdName(leaf.field)) +
+                          "' expects a time string "
+                          "\"MM/DD/YYYY[:HH:MM:SS]\"");
+        return nullptr;
       }
       auto t = ParseBdlTime(ast.value.text);
-      if (!t.ok()) return ErrorAt(ast.line, t.status().message());
+      if (!t.ok()) {
+        diags->Report(DiagCode::kBadTimeLiteral, value_span,
+                      t.status().message());
+        return nullptr;
+      }
       leaf.int_value = t.value();
       break;
     }
     case FieldValueClass::kBool: {
       const std::string v = ToLower(ast.value.text);
-      if (ast.value.kind != AstValue::Kind::kIdent || (v != "true" && v != "false")) {
-        return ErrorAt(ast.line, "field '" + std::string(FieldIdName(leaf.field)) +
-                                     "' expects true or false");
+      if (ast.value.kind != AstValue::Kind::kIdent ||
+          (v != "true" && v != "false")) {
+        diags->Report(DiagCode::kValueTypeMismatch, value_span,
+                      "field '" + std::string(FieldIdName(leaf.field)) +
+                          "' expects true or false");
+        return nullptr;
       }
       if (ast.op != CompareOp::kEq && ast.op != CompareOp::kNe) {
-        return ErrorAt(ast.line, "boolean fields support only = and !=");
+        diags->Report(DiagCode::kValueTypeMismatch, ast.span,
+                      "boolean fields support only = and !=");
+        return nullptr;
       }
       leaf.bool_value = (v == "true");
       break;
@@ -166,27 +198,26 @@ Result<std::unique_ptr<Condition>> CompileLeaf(
   return Condition::Leaf(std::move(leaf));
 }
 
-Result<std::unique_ptr<Condition>> CompileExpr(
-    const AstExpr& ast, std::optional<ObjectType> default_scope) {
+std::unique_ptr<Condition> CompileExpr(const AstExpr& ast,
+                                       std::optional<ObjectType> default_scope,
+                                       DiagnosticEngine* diags) {
   switch (ast.kind) {
     case AstExpr::Kind::kLeaf:
-      return CompileLeaf(ast, default_scope);
-    case AstExpr::Kind::kAnd: {
-      auto l = CompileExpr(*ast.lhs, default_scope);
-      if (!l.ok()) return l.status();
-      auto r = CompileExpr(*ast.rhs, default_scope);
-      if (!r.ok()) return r.status();
-      return Condition::And(std::move(l.value()), std::move(r.value()));
-    }
+      return CompileLeaf(ast, default_scope, diags);
+    case AstExpr::Kind::kAnd:
     case AstExpr::Kind::kOr: {
-      auto l = CompileExpr(*ast.lhs, default_scope);
-      if (!l.ok()) return l.status();
-      auto r = CompileExpr(*ast.rhs, default_scope);
-      if (!r.ok()) return r.status();
-      return Condition::Or(std::move(l.value()), std::move(r.value()));
+      // Compile both children even when one fails so every problem in the
+      // expression is reported in a single pass.
+      auto l = CompileExpr(*ast.lhs, default_scope, diags);
+      auto r = CompileExpr(*ast.rhs, default_scope, diags);
+      if (l == nullptr) return r;
+      if (r == nullptr) return l;
+      return ast.kind == AstExpr::Kind::kAnd
+                 ? Condition::And(std::move(l), std::move(r))
+                 : Condition::Or(std::move(l), std::move(r));
     }
   }
-  return Status::Internal("unreachable");
+  return nullptr;
 }
 
 bool IsSpecialLeaf(const AstExpr& e, std::string_view name) {
@@ -197,73 +228,89 @@ bool IsSpecialLeaf(const AstExpr& e, std::string_view name) {
 /// Removes `time` / `hop` budget leaves from the where tree, recording
 /// them in the spec. They may only occur in conjunctive positions (the
 /// paper restricts them to `<=`; we also accept `<` as Program 1 does).
-/// Returns the pruned tree (possibly null).
-Result<std::unique_ptr<AstExpr>> ExtractBudgets(std::unique_ptr<AstExpr> e,
-                                                TrackingSpec* spec,
-                                                bool under_or) {
-  if (e == nullptr) return std::unique_ptr<AstExpr>(nullptr);
+/// Problems are reported into `diags`; bad budget leaves are still removed
+/// so analysis continues. Returns the pruned tree (possibly null).
+std::unique_ptr<AstExpr> ExtractBudgets(std::unique_ptr<AstExpr> e,
+                                        TrackingSpec* spec, bool under_or,
+                                        DiagnosticEngine* diags) {
+  if (e == nullptr) return nullptr;
   if (IsSpecialLeaf(*e, "time") || IsSpecialLeaf(*e, "hop")) {
     if (under_or) {
-      return ErrorAt(e->line,
-                     "'time'/'hop' budgets cannot appear under 'or'");
+      diags->Report(DiagCode::kBadBudget, e->span,
+                    "'time'/'hop' budgets cannot appear under 'or'");
+      return nullptr;
     }
     if (e->op != CompareOp::kLt && e->op != CompareOp::kLe) {
-      return ErrorAt(e->line, "'time'/'hop' budgets support only < and <=");
+      diags->Report(DiagCode::kBadBudget, e->span,
+                    "'time'/'hop' budgets support only < and <=");
+      return nullptr;
     }
     if (IsSpecialLeaf(*e, "time")) {
       DurationMicros d = 0;
       if (e->value.kind == AstValue::Kind::kDuration) {
         auto parsed = ParseBdlDuration(e->value.text);
-        if (!parsed.ok()) return ErrorAt(e->line, parsed.status().message());
+        if (!parsed.ok()) {
+          diags->Report(DiagCode::kBadTimeLiteral, e->value.span,
+                        parsed.status().message());
+          return nullptr;
+        }
         d = parsed.value();
       } else if (e->value.kind == AstValue::Kind::kNumber) {
         // A bare number is interpreted as minutes.
         d = e->value.number * kMicrosPerMinute;
       } else {
-        return ErrorAt(e->line, "'time' budget expects a duration (10mins)");
+        diags->Report(DiagCode::kBadBudget, e->span,
+                      "'time' budget expects a duration (10mins)");
+        return nullptr;
       }
       spec->time_budget = d;
+      spec->time_budget_span = e->span;
     } else {
       if (e->value.kind != AstValue::Kind::kNumber) {
-        return ErrorAt(e->line, "'hop' budget expects a number");
+        diags->Report(DiagCode::kBadBudget, e->span,
+                      "'hop' budget expects a number");
+        return nullptr;
       }
       spec->hop_limit = static_cast<int>(e->value.number);
+      spec->hop_limit_span = e->span;
     }
-    return std::unique_ptr<AstExpr>(nullptr);  // remove the leaf
+    return nullptr;  // remove the leaf
   }
   if (e->kind == AstExpr::Kind::kLeaf) return e;
 
   const bool next_under_or = under_or || e->kind == AstExpr::Kind::kOr;
-  auto l = ExtractBudgets(std::move(e->lhs), spec, next_under_or);
-  if (!l.ok()) return l.status();
-  auto r = ExtractBudgets(std::move(e->rhs), spec, next_under_or);
-  if (!r.ok()) return r.status();
-  e->lhs = std::move(l.value());
-  e->rhs = std::move(r.value());
+  e->lhs = ExtractBudgets(std::move(e->lhs), spec, next_under_or, diags);
+  e->rhs = ExtractBudgets(std::move(e->rhs), spec, next_under_or, diags);
   if (e->lhs == nullptr) return std::move(e->rhs);
   if (e->rhs == nullptr) return std::move(e->lhs);
   return e;
 }
 
 /// Compiles one prioritize pattern bracket into an EventPattern. Only
-/// conjunctions are allowed inside a pattern.
-Status CompilePrioritizePattern(const AstExpr& ast,
-                                QuantityRule::EventPattern* out) {
+/// conjunctions are allowed inside a pattern. Returns false when the
+/// pattern had errors (all reported).
+bool CompilePrioritizePattern(const AstExpr& ast,
+                              QuantityRule::EventPattern* out,
+                              DiagnosticEngine* diags) {
   // Flatten the conjunction.
+  bool ok = true;
   std::vector<const AstExpr*> leaves;
-  std::function<Status(const AstExpr&)> flatten =
-      [&](const AstExpr& e) -> Status {
+  std::function<void(const AstExpr&)> flatten = [&](const AstExpr& e) {
     if (e.kind == AstExpr::Kind::kOr) {
-      return ErrorAt(e.line, "'or' is not supported in prioritize patterns");
+      diags->Report(DiagCode::kOrInPrioritize, e.span,
+                    "'or' is not supported in prioritize patterns");
+      ok = false;
+      return;
     }
     if (e.kind == AstExpr::Kind::kAnd) {
-      if (auto s = flatten(*e.lhs); !s.ok()) return s;
-      return flatten(*e.rhs);
+      flatten(*e.lhs);
+      flatten(*e.rhs);
+      return;
     }
     leaves.push_back(&e);
-    return Status::Ok();
   };
-  if (auto s = flatten(ast); !s.ok()) return s;
+  flatten(ast);
+  if (!ok) return false;
 
   std::unique_ptr<Condition> cond;
   for (const AstExpr* leaf : leaves) {
@@ -285,14 +332,17 @@ Status CompilePrioritizePattern(const AstExpr& ast,
       out->amount_op = leaf->op;
       continue;
     }
-    auto compiled = CompileLeaf(*leaf, std::nullopt);
-    if (!compiled.ok()) return compiled.status();
+    auto compiled = CompileLeaf(*leaf, std::nullopt, diags);
+    if (compiled == nullptr) {
+      ok = false;
+      continue;
+    }
     cond = cond == nullptr
-               ? std::move(compiled.value())
-               : Condition::And(std::move(cond), std::move(compiled.value()));
+               ? std::move(compiled)
+               : Condition::And(std::move(cond), std::move(compiled));
   }
   out->cond = std::move(cond);
-  return Status::Ok();
+  return ok;
 }
 
 }  // namespace
@@ -301,25 +351,39 @@ const char* TrackDirectionName(TrackDirection d) {
   return d == TrackDirection::kBackward ? "backward" : "forward";
 }
 
-Result<TrackingSpec> Analyze(const AstScript& script) {
+std::optional<TrackingSpec> AnalyzeRecover(const AstScript& script,
+                                           DiagnosticEngine* diags) {
+  const size_t errors_before = diags->num_errors();
   TrackingSpec spec;
   spec.direction =
       script.forward ? TrackDirection::kForward : TrackDirection::kBackward;
 
+  spec.window_from_span = script.from_span;
+  spec.window_to_span = script.to_span;
   if (script.from_time.has_value()) {
     auto t = ParseBdlTime(*script.from_time);
-    if (!t.ok()) return t.status();
-    spec.time_from = t.value();
+    if (!t.ok()) {
+      diags->Report(DiagCode::kBadTimeLiteral, script.from_span,
+                    t.status().message());
+    } else {
+      spec.time_from = t.value();
+    }
   }
   if (script.to_time.has_value()) {
     auto t = ParseBdlTime(*script.to_time);
-    if (!t.ok()) return t.status();
-    spec.time_to = t.value();
+    if (!t.ok()) {
+      diags->Report(DiagCode::kBadTimeLiteral, script.to_span,
+                    t.status().message());
+    } else {
+      spec.time_to = t.value();
+    }
   }
   if (spec.time_from.has_value() && spec.time_to.has_value() &&
       *spec.time_from >= *spec.time_to) {
-    return Status::InvalidArgument(
-        "BDL semantic error: 'from' time must precede 'to' time");
+    Diagnostic& d = diags->Report(
+        DiagCode::kInvertedTimeRange, script.from_span,
+        "'from' time must precede 'to' time; this window matches no event");
+    d.notes.push_back({script.to_span, "'to' time is here"});
   }
   for (const std::string& h : script.hosts) {
     spec.hosts.push_back(ToLower(h));
@@ -332,15 +396,19 @@ Result<TrackingSpec> Analyze(const AstScript& script) {
     if (!node.wildcard) {
       auto type = ParseTypeName(node.type_name);
       if (!type.has_value()) {
-        return ErrorAt(node.line, "unknown node type '" + node.type_name +
-                                      "' (want proc|file|ip)");
+        diags->Report(DiagCode::kUnknownNodeType, node.span,
+                      "unknown node type '" + node.type_name +
+                          "' (want proc|file|ip)");
+        spec.chain.push_back(std::move(pattern));
+        continue;
       }
       pattern.type = type;
       if (node.cond != nullptr) {
-        auto cond = CompileExpr(*node.cond, pattern.type);
-        if (!cond.ok()) return cond.status();
-        pattern.cond = std::shared_ptr<const Condition>(
-            std::move(cond.value()));
+        auto cond = CompileExpr(*node.cond, pattern.type, diags);
+        if (cond != nullptr) {
+          pattern.cond =
+              std::shared_ptr<const Condition>(std::move(cond));
+        }
       }
     }
     spec.chain.push_back(std::move(pattern));
@@ -349,39 +417,40 @@ Result<TrackingSpec> Analyze(const AstScript& script) {
   if (script.where != nullptr) {
     // Deep-copy the where AST so budget extraction can restructure it
     // without mutating the caller's AST.
-    std::function<std::unique_ptr<AstExpr>(const AstExpr&)> clone =
-        [&](const AstExpr& e) -> std::unique_ptr<AstExpr> {
-      auto c = std::make_unique<AstExpr>();
-      c->kind = e.kind;
-      c->field_path = e.field_path;
-      c->op = e.op;
-      c->value = e.value;
-      c->line = e.line;
-      if (e.lhs) c->lhs = clone(*e.lhs);
-      if (e.rhs) c->rhs = clone(*e.rhs);
-      return c;
-    };
-    auto pruned = ExtractBudgets(clone(*script.where), &spec, false);
-    if (!pruned.ok()) return pruned.status();
-    if (pruned.value() != nullptr) {
-      auto cond = CompileExpr(*pruned.value(), std::nullopt);
-      if (!cond.ok()) return cond.status();
-      spec.where = std::shared_ptr<const Condition>(std::move(cond.value()));
+    auto pruned =
+        ExtractBudgets(CloneExpr(*script.where), &spec, false, diags);
+    if (pruned != nullptr) {
+      auto cond = CompileExpr(*pruned, std::nullopt, diags);
+      if (cond != nullptr) {
+        spec.where = std::shared_ptr<const Condition>(std::move(cond));
+      }
     }
   }
 
   for (const AstPrioritize& pri : script.prioritize) {
     QuantityRule rule;
+    bool ok = true;
     for (const auto& pattern : pri.patterns) {
       QuantityRule::EventPattern ep;
-      if (auto s = CompilePrioritizePattern(*pattern, &ep); !s.ok()) return s;
+      ok &= CompilePrioritizePattern(*pattern, &ep, diags);
       rule.chain.push_back(std::move(ep));
     }
-    spec.prioritize.push_back(std::move(rule));
+    if (ok) spec.prioritize.push_back(std::move(rule));
   }
 
   if (script.output_path.has_value()) spec.output_path = *script.output_path;
+  if (diags->num_errors() != errors_before) return std::nullopt;
   return spec;
+}
+
+Result<TrackingSpec> Analyze(const AstScript& script) {
+  DiagnosticEngine diags;
+  auto spec = AnalyzeRecover(script, &diags);
+  if (!spec.has_value()) {
+    diags.SortBySource();
+    return diags.FirstErrorStatus("BDL semantic error");
+  }
+  return std::move(*spec);
 }
 
 Result<TrackingSpec> CompileBdl(std::string_view text) {
@@ -394,19 +463,27 @@ Result<TrackingSpec> CompileBdl(std::string_view text) {
       obs::Metrics().FindOrCreateHistogram(obs::names::kBdlCompileLatency);
   const TimeMicros start = MonotonicNowMicros();
   compiles->Add();
-  auto ast = Parser::Parse(text);
-  if (!ast.ok()) {
+  DiagnosticEngine diags;
+  const AstScript ast = Parser::ParseRecover(text, &diags);
+  std::optional<TrackingSpec> spec;
+  if (!diags.HasErrors()) spec = AnalyzeRecover(ast, &diags);
+  if (diags.HasErrors() || !spec.has_value()) {
     errors->Add();
-    return ast.status();
+    diags.SortBySource();
+    // Keep the historical prefixes per failing phase.
+    const DiagCode first = diags.diagnostics().empty()
+                               ? DiagCode::kSyntaxError
+                               : diags.diagnostics().front().code;
+    const char* prefix = first == DiagCode::kLexError ? "BDL lex error"
+                         : (first == DiagCode::kSyntaxError ||
+                            first == DiagCode::kBadChain)
+                             ? "BDL parse error"
+                             : "BDL semantic error";
+    return diags.FirstErrorStatus(prefix);
   }
-  auto spec = Analyze(ast.value());
-  if (!spec.ok()) {
-    errors->Add();
-    return spec.status();
-  }
-  spec.value().source_text = std::string(text);
+  spec->source_text = std::string(text);
   latency->Observe(MicrosToSeconds(MonotonicNowMicros() - start));
-  return spec;
+  return std::move(*spec);
 }
 
 bool NodePattern::Matches(const EvalContext& ctx) const {

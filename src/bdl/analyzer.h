@@ -1,9 +1,11 @@
 #ifndef APTRACE_BDL_ANALYZER_H_
 #define APTRACE_BDL_ANALYZER_H_
 
+#include <optional>
 #include <string_view>
 
 #include "bdl/ast.h"
+#include "bdl/diagnostics.h"
 #include "bdl/spec.h"
 #include "util/status.h"
 
@@ -14,9 +16,19 @@ namespace aptrace::bdl {
 /// patterns, extracts `time` / `hop` termination budgets from the where
 /// statement, and compiles `prioritize` rules. This is the compile step
 /// the paper's Refiner performs to produce executable metadata.
+///
+/// Fail-fast variant: stops at the first problem, reported with its
+/// source line and column.
 Result<TrackingSpec> Analyze(const AstScript& script);
 
-/// Parse + Analyze in one step.
+/// Diagnostic-collecting variant: every semantic problem is reported into
+/// `diags` with a source span, and analysis continues past errors so one
+/// pass surfaces all of them. Returns the compiled spec only when this
+/// call added no errors (the AST may come from a recovered parse).
+std::optional<TrackingSpec> AnalyzeRecover(const AstScript& script,
+                                           DiagnosticEngine* diags);
+
+/// Parse + Analyze in one step, fail-fast.
 Result<TrackingSpec> CompileBdl(std::string_view text);
 
 }  // namespace aptrace::bdl

@@ -1,0 +1,29 @@
+#include "bdl/ast.h"
+
+namespace aptrace::bdl {
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt: return "<";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kEq: return "=";
+    case CompareOp::kNe: return "!=";
+  }
+  return "?";
+}
+
+std::unique_ptr<AstExpr> CloneExpr(const AstExpr& e) {
+  auto c = std::make_unique<AstExpr>();
+  c->kind = e.kind;
+  c->field_path = e.field_path;
+  c->op = e.op;
+  c->value = e.value;
+  c->span = e.span;
+  if (e.lhs) c->lhs = CloneExpr(*e.lhs);
+  if (e.rhs) c->rhs = CloneExpr(*e.rhs);
+  return c;
+}
+
+}  // namespace aptrace::bdl

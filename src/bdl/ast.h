@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "bdl/diagnostics.h"
+
 namespace aptrace::bdl {
 
 /// Comparison operators allowed in BDL conditions (paper Section III-A1).
@@ -23,6 +25,7 @@ struct AstValue {
   Kind kind = Kind::kString;
   std::string text;
   int64_t number = 0;
+  SourceSpan span;  // the literal's own source region
 };
 
 /// Condition expression tree. Leaves compare a (possibly dotted) field
@@ -41,7 +44,9 @@ struct AstExpr {
   std::unique_ptr<AstExpr> lhs;
   std::unique_ptr<AstExpr> rhs;
 
-  int line = 0;  // source position of the leaf / operator, for diagnostics
+  /// Leaves cover `path op value`; inner nodes cover the operator keyword.
+  SourceSpan span;
+  int line() const { return span.line; }
 };
 
 /// One node of the tracking statement: `type var[condition_list]` or the
@@ -51,14 +56,14 @@ struct AstNode {
   std::string type_name;  // "proc" | "file" | "ip" (empty for wildcard)
   std::string var;        // user variable name (may be empty)
   std::unique_ptr<AstExpr> cond;  // may be null (no conditions)
-  int line = 0;
+  SourceSpan span;                // the node's type token (or `*`)
 };
 
 /// A `prioritize` statement (paper Program 2): a chain of event patterns
 /// connected by `<-`, read "the right event feeds the left one".
 struct AstPrioritize {
   std::vector<std::unique_ptr<AstExpr>> patterns;
-  int line = 0;
+  SourceSpan span;  // the `prioritize` keyword
 };
 
 /// A whole BDL script.
@@ -67,6 +72,8 @@ struct AstScript {
 
   std::optional<std::string> from_time;  // general constraint
   std::optional<std::string> to_time;
+  SourceSpan from_span;  // the `from` time literal, when present
+  SourceSpan to_span;    // the `to` time literal, when present
   std::vector<std::string> hosts;        // `in "h1", "h2"`
 
   std::vector<AstNode> chain;            // `backward n1 -> n2 -> ...`
@@ -77,6 +84,10 @@ struct AstScript {
 
   std::optional<std::string> output_path;  // `output = "path"`
 };
+
+/// Deep copy of a condition tree (used by the analyzer's budget extraction
+/// and by lint passes that restructure expressions).
+std::unique_ptr<AstExpr> CloneExpr(const AstExpr& e);
 
 }  // namespace aptrace::bdl
 

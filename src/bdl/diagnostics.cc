@@ -1,0 +1,333 @@
+#include "bdl/diagnostics.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+
+SourceSpan SourceSpan::At(int line, int column, int length) {
+  SourceSpan s;
+  s.line = line;
+  s.column = column;
+  s.end_line = line;
+  s.end_column = column + (length > 0 ? length : 1);
+  return s;
+}
+
+SourceSpan SourceSpan::Cover(const SourceSpan& a, const SourceSpan& b) {
+  if (!a.valid()) return b;
+  if (!b.valid()) return a;
+  SourceSpan s = a;
+  if (b.line < s.line || (b.line == s.line && b.column < s.column)) {
+    s.line = b.line;
+    s.column = b.column;
+  }
+  if (b.end_line > s.end_line ||
+      (b.end_line == s.end_line && b.end_column > s.end_column)) {
+    s.end_line = b.end_line;
+    s.end_column = b.end_column;
+  }
+  return s;
+}
+
+bool operator==(const SourceSpan& a, const SourceSpan& b) {
+  return a.line == b.line && a.column == b.column &&
+         a.end_line == b.end_line && a.end_column == b.end_column;
+}
+
+const char* SeverityName(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "?";
+}
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError: return "BDL-E001";
+    case DiagCode::kSyntaxError: return "BDL-E002";
+    case DiagCode::kUnknownNodeType: return "BDL-E003";
+    case DiagCode::kUnknownAttribute: return "BDL-E004";
+    case DiagCode::kAttributeNotApplicable: return "BDL-E005";
+    case DiagCode::kValueTypeMismatch: return "BDL-E006";
+    case DiagCode::kBadTimeLiteral: return "BDL-E007";
+    case DiagCode::kBadBudget: return "BDL-E008";
+    case DiagCode::kBadChain: return "BDL-E009";
+    case DiagCode::kInvertedTimeRange: return "BDL-E010";
+    case DiagCode::kOrInPrioritize: return "BDL-E011";
+    case DiagCode::kAlwaysFalse: return "BDL-W001";
+    case DiagCode::kAlwaysTrue: return "BDL-W002";
+    case DiagCode::kExclusionSwallowsAll: return "BDL-W003";
+    case DiagCode::kSubsumedPredicate: return "BDL-W004";
+    case DiagCode::kPatternMatchesNothing: return "BDL-W005";
+    case DiagCode::kDeadPrioritizeRule: return "BDL-W006";
+    case DiagCode::kBudgetSanity: return "BDL-W007";
+    case DiagCode::kOrderedWildcard: return "BDL-W008";
+    case DiagCode::kWindowOutsideTrace: return "BDL-W009";
+  }
+  return "BDL-????";
+}
+
+Severity DiagCodeSeverity(DiagCode code) {
+  switch (code) {
+    case DiagCode::kLexError:
+    case DiagCode::kSyntaxError:
+    case DiagCode::kUnknownNodeType:
+    case DiagCode::kUnknownAttribute:
+    case DiagCode::kAttributeNotApplicable:
+    case DiagCode::kValueTypeMismatch:
+    case DiagCode::kBadTimeLiteral:
+    case DiagCode::kBadBudget:
+    case DiagCode::kBadChain:
+    case DiagCode::kInvertedTimeRange:
+    case DiagCode::kOrInPrioritize:
+      return Severity::kError;
+    case DiagCode::kAlwaysFalse:
+    case DiagCode::kAlwaysTrue:
+    case DiagCode::kExclusionSwallowsAll:
+    case DiagCode::kSubsumedPredicate:
+    case DiagCode::kPatternMatchesNothing:
+    case DiagCode::kDeadPrioritizeRule:
+    case DiagCode::kBudgetSanity:
+    case DiagCode::kOrderedWildcard:
+    case DiagCode::kWindowOutsideTrace:
+      return Severity::kWarning;
+  }
+  return Severity::kError;
+}
+
+// ------------------------------------------------------------------ engine
+
+Diagnostic& DiagnosticEngine::Report(DiagCode code, SourceSpan span,
+                                     std::string message) {
+  return Report(code, DiagCodeSeverity(code), span, std::move(message));
+}
+
+Diagnostic& DiagnosticEngine::Report(DiagCode code, Severity severity,
+                                     SourceSpan span, std::string message) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = severity;
+  d.span = span;
+  d.message = std::move(message);
+  if (severity == Severity::kError) num_errors_++;
+  if (severity == Severity::kWarning) num_warnings_++;
+  diagnostics_.push_back(std::move(d));
+  return diagnostics_.back();
+}
+
+void DiagnosticEngine::SortBySource() {
+  std::stable_sort(diagnostics_.begin(), diagnostics_.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     // Unknown positions (line 0) sort last.
+                     const int al = a.span.valid() ? a.span.line : 1 << 30;
+                     const int bl = b.span.valid() ? b.span.line : 1 << 30;
+                     if (al != bl) return al < bl;
+                     return a.span.column < b.span.column;
+                   });
+}
+
+size_t DiagnosticEngine::PromoteWarnings() {
+  size_t promoted = 0;
+  for (Diagnostic& d : diagnostics_) {
+    if (d.severity == Severity::kWarning) {
+      d.severity = Severity::kError;
+      promoted++;
+    }
+  }
+  num_errors_ += promoted;
+  num_warnings_ -= promoted;
+  return promoted;
+}
+
+Status DiagnosticEngine::FirstErrorStatus(std::string_view prefix) const {
+  for (const Diagnostic& d : diagnostics_) {
+    if (d.severity != Severity::kError) continue;
+    std::string msg(prefix);
+    if (d.span.valid()) {
+      msg += " at line " + std::to_string(d.span.line) + ", column " +
+             std::to_string(d.span.column);
+    }
+    msg += ": " + d.message + " [" + d.code_name() + "]";
+    return Status::InvalidArgument(std::move(msg));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------- human render
+
+namespace {
+
+/// The source split into lines, 1-based access.
+class SourceLines {
+ public:
+  explicit SourceLines(std::string_view source)
+      : lines_(Split(source, '\n')) {}
+
+  std::string_view Line(int n) const {
+    if (n < 1 || static_cast<size_t>(n) > lines_.size()) return {};
+    std::string_view l = lines_[n - 1];
+    if (!l.empty() && l.back() == '\r') l.remove_suffix(1);
+    return l;
+  }
+
+ private:
+  std::vector<std::string> lines_;
+};
+
+void AppendCaretSnippet(const SourceLines& lines, const SourceSpan& span,
+                        std::string* out) {
+  const std::string_view text = lines.Line(span.line);
+  if (text.empty() && span.column > 1) return;  // span beyond known source
+  out->append("    ");
+  out->append(text);
+  out->append("\n    ");
+  const int start = span.column;
+  // Clamp the underline to the primary line; multi-line spans underline to
+  // the end of their first line.
+  int end = span.end_line == span.line ? span.end_column
+                                       : static_cast<int>(text.size()) + 1;
+  if (end <= start) end = start + 1;
+  for (int i = 1; i < start; ++i) {
+    out->push_back(i - 1 < static_cast<int>(text.size()) && text[i - 1] == '\t'
+                       ? '\t'
+                       : ' ');
+  }
+  out->push_back('^');
+  for (int i = start + 1; i < end; ++i) out->push_back('~');
+  out->push_back('\n');
+}
+
+}  // namespace
+
+std::string RenderHuman(std::string_view source, std::string_view filename,
+                        const std::vector<Diagnostic>& diagnostics) {
+  const SourceLines lines(source);
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out.append(filename);
+    if (d.span.valid()) {
+      out += ":" + std::to_string(d.span.line) + ":" +
+             std::to_string(d.span.column);
+    }
+    out += ": ";
+    out += SeverityName(d.severity);
+    out += ": " + d.message + " [" + d.code_name() + "]\n";
+    if (d.span.valid()) AppendCaretSnippet(lines, d.span, &out);
+    for (const DiagNote& note : d.notes) {
+      out += "    note: " + note.message;
+      if (note.span.valid()) {
+        out += " (line " + std::to_string(note.span.line) + ", column " +
+               std::to_string(note.span.column) + ")";
+      }
+      out += "\n";
+      if (note.span.valid()) AppendCaretSnippet(lines, note.span, &out);
+    }
+    if (!d.fixit.empty()) out += "    fix-it: " + d.fixit + "\n";
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- SARIF render
+
+namespace {
+
+const char* SarifLevel(Severity s) {
+  switch (s) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "none";
+}
+
+void AppendSarifRegion(const SourceSpan& span, std::string* out) {
+  *out += "\"region\":{\"startLine\":" + std::to_string(span.line) +
+          ",\"startColumn\":" + std::to_string(span.column) +
+          ",\"endLine\":" + std::to_string(span.end_line) +
+          ",\"endColumn\":" + std::to_string(span.end_column) + "}";
+}
+
+void AppendSarifLocation(const std::string& uri, const SourceSpan& span,
+                         std::string* out) {
+  *out += "{\"physicalLocation\":{\"artifactLocation\":{\"uri\":\"" +
+          JsonEscape(uri) + "\"}";
+  if (span.valid()) {
+    *out += ",";
+    AppendSarifRegion(span, out);
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string RenderSarif(const std::vector<FileDiagnostics>& files) {
+  // Collect the distinct rules actually fired, for the driver metadata.
+  std::vector<DiagCode> rules;
+  for (const FileDiagnostics& f : files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (std::find(rules.begin(), rules.end(), d.code) == rules.end()) {
+        rules.push_back(d.code);
+      }
+    }
+  }
+  std::sort(rules.begin(), rules.end(), [](DiagCode a, DiagCode b) {
+    return std::string_view(DiagCodeName(a)) < DiagCodeName(b);
+  });
+
+  std::string out;
+  out +=
+      "{\"$schema\":"
+      "\"https://json.schemastore.org/sarif-2.1.0.json\","
+      "\"version\":\"2.1.0\",\"runs\":[{";
+  out +=
+      "\"tool\":{\"driver\":{\"name\":\"aptrace_lint\","
+      "\"informationUri\":\"docs/bdl_lint.md\",\"rules\":[";
+  for (size_t i = 0; i < rules.size(); ++i) {
+    if (i > 0) out += ",";
+    out += "{\"id\":\"";
+    out += DiagCodeName(rules[i]);
+    out += "\",\"defaultConfiguration\":{\"level\":\"";
+    out += SarifLevel(DiagCodeSeverity(rules[i]));
+    out += "\"}}";
+  }
+  out += "]}},\"results\":[";
+  bool first = true;
+  for (const FileDiagnostics& f : files) {
+    for (const Diagnostic& d : f.diagnostics) {
+      if (!first) out += ",";
+      first = false;
+      out += "{\"ruleId\":\"";
+      out += d.code_name();
+      out += "\",\"level\":\"";
+      out += SarifLevel(d.severity);
+      out += "\",\"message\":{\"text\":\"" + JsonEscape(d.message) + "\"}";
+      out += ",\"locations\":[";
+      AppendSarifLocation(f.path, d.span, &out);
+      out += "]";
+      if (!d.notes.empty()) {
+        out += ",\"relatedLocations\":[";
+        for (size_t i = 0; i < d.notes.size(); ++i) {
+          if (i > 0) out += ",";
+          std::string loc;
+          AppendSarifLocation(f.path, d.notes[i].span, &loc);
+          // Splice the message object into the physicalLocation wrapper.
+          loc.insert(loc.size() - 1, ",\"message\":{\"text\":\"" +
+                                         JsonEscape(d.notes[i].message) +
+                                         "\"}");
+          out += loc;
+        }
+        out += "]";
+      }
+      out += "}";
+    }
+  }
+  out += "]}]}\n";
+  return out;
+}
+
+}  // namespace aptrace::bdl

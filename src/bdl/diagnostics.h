@@ -1,0 +1,157 @@
+#ifndef APTRACE_BDL_DIAGNOSTICS_H_
+#define APTRACE_BDL_DIAGNOSTICS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aptrace::bdl {
+
+/// A half-open region of BDL source text: [line:column, end_line:end_column).
+/// Lines and columns are 1-based; line == 0 means "no location" (whole-script
+/// diagnostics such as a missing tracking statement at end of input still
+/// carry the end-of-input position, so this is rare).
+struct SourceSpan {
+  int line = 0;
+  int column = 0;
+  int end_line = 0;    // inclusive line of the last character
+  int end_column = 0;  // exclusive column just past the last character
+
+  bool valid() const { return line > 0; }
+
+  /// Point span of `length` characters starting at line:column.
+  static SourceSpan At(int line, int column, int length = 1);
+
+  /// Smallest span covering both `a` and `b`. Invalid inputs are ignored.
+  static SourceSpan Cover(const SourceSpan& a, const SourceSpan& b);
+};
+
+bool operator==(const SourceSpan& a, const SourceSpan& b);
+
+/// Diagnostic severities, ordered by increasing weight. Notes only appear
+/// attached to a primary diagnostic; the engine itself records warnings and
+/// errors.
+enum class Severity : uint8_t { kNote, kWarning, kError };
+
+const char* SeverityName(Severity s);
+
+/// Stable diagnostic codes. Every diagnostic the BDL front end can emit has
+/// one; docs/bdl_lint.md documents each with a triggering example and fix.
+/// The string forms ("BDL-E001") are the public contract used by tests, CI
+/// gates, and SARIF consumers — never renumber, only append.
+enum class DiagCode : uint8_t {
+  // Errors (lexical, syntactic, semantic).
+  kLexError,            // BDL-E001
+  kSyntaxError,         // BDL-E002
+  kUnknownNodeType,     // BDL-E003
+  kUnknownAttribute,    // BDL-E004
+  kAttributeNotApplicable,  // BDL-E005
+  kValueTypeMismatch,   // BDL-E006
+  kBadTimeLiteral,      // BDL-E007
+  kBadBudget,           // BDL-E008
+  kBadChain,            // BDL-E009
+  kInvertedTimeRange,   // BDL-E010
+  kOrInPrioritize,      // BDL-E011
+  // Warnings (lint).
+  kAlwaysFalse,         // BDL-W001
+  kAlwaysTrue,          // BDL-W002
+  kExclusionSwallowsAll,  // BDL-W003
+  kSubsumedPredicate,   // BDL-W004
+  kPatternMatchesNothing,  // BDL-W005
+  kDeadPrioritizeRule,  // BDL-W006
+  kBudgetSanity,        // BDL-W007
+  kOrderedWildcard,     // BDL-W008
+  kWindowOutsideTrace,  // BDL-W009
+};
+
+/// "BDL-E001" etc.
+const char* DiagCodeName(DiagCode code);
+
+/// The severity a code carries by default (errors vs. warnings).
+Severity DiagCodeSeverity(DiagCode code);
+
+/// A secondary location attached to a diagnostic ("previous rule is here").
+struct DiagNote {
+  SourceSpan span;
+  std::string message;
+};
+
+/// One reported problem: code, severity, primary span, message, optional
+/// secondary notes and an optional fix-it replacement suggestion.
+struct Diagnostic {
+  DiagCode code = DiagCode::kSyntaxError;
+  Severity severity = Severity::kError;
+  SourceSpan span;
+  std::string message;
+  std::vector<DiagNote> notes;
+  std::string fixit;  // suggested replacement text; empty = none
+
+  const char* code_name() const { return DiagCodeName(code); }
+};
+
+/// Accumulates diagnostics across the lexer, parser, analyzer, and lint
+/// passes so a single compile surfaces every problem. Not thread-safe; one
+/// engine per compile.
+class DiagnosticEngine {
+ public:
+  /// Reports with the code's default severity.
+  Diagnostic& Report(DiagCode code, SourceSpan span, std::string message);
+  /// Reports with an explicit severity (e.g. warnings promoted by -Werror).
+  Diagnostic& Report(DiagCode code, Severity severity, SourceSpan span,
+                     std::string message);
+
+  bool HasErrors() const { return num_errors_ > 0; }
+  size_t num_errors() const { return num_errors_; }
+  size_t num_warnings() const { return num_warnings_; }
+  bool empty() const { return diagnostics_.empty(); }
+
+  const std::vector<Diagnostic>& diagnostics() const { return diagnostics_; }
+  std::vector<Diagnostic> Take() { return std::move(diagnostics_); }
+
+  /// Stable-sorts diagnostics by source position (unknown positions last)
+  /// so one render reads top to bottom regardless of pass order.
+  void SortBySource();
+
+  /// Promotes every warning to an error (the --werror contract). Returns
+  /// the number of promoted diagnostics.
+  size_t PromoteWarnings();
+
+  /// Status for fail-fast callers: the first error rendered as
+  /// "<prefix> at line L, column C: message", or OK when error-free.
+  Status FirstErrorStatus(std::string_view prefix) const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  size_t num_errors_ = 0;
+  size_t num_warnings_ = 0;
+};
+
+/// Renders diagnostics as human-readable caret output:
+///
+///   script.bdl:4:12: warning: hop budget of 0 stops at the start point [BDL-W007]
+///       where hop <= 0
+///             ^~~~~~~~
+///       note: ...
+///       fix-it: hop <= 25
+///
+/// `source` is the script text the spans refer to; `filename` is used only
+/// for the location prefix.
+std::string RenderHuman(std::string_view source, std::string_view filename,
+                        const std::vector<Diagnostic>& diagnostics);
+
+/// One lint run's worth of diagnostics for a file, for SARIF aggregation.
+struct FileDiagnostics {
+  std::string path;
+  std::vector<Diagnostic> diagnostics;
+};
+
+/// Renders diagnostics for one or more files as a SARIF 2.1.0 log (the
+/// machine-readable format GitHub code scanning and most CI systems ingest).
+std::string RenderSarif(const std::vector<FileDiagnostics>& files);
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_DIAGNOSTICS_H_

@@ -47,13 +47,14 @@ char Lexer::Advance() {
   return c;
 }
 
-Status Lexer::Error(const std::string& msg) const {
-  return Status::InvalidArgument("BDL lex error at line " +
-                                 std::to_string(line_) + ", column " +
-                                 std::to_string(column_) + ": " + msg);
+Result<std::vector<Token>> Lexer::Tokenize() {
+  DiagnosticEngine diags;
+  std::vector<Token> tokens = Tokenize(&diags);
+  if (diags.HasErrors()) return diags.FirstErrorStatus("BDL lex error");
+  return tokens;
 }
 
-Result<std::vector<Token>> Lexer::Tokenize() {
+std::vector<Token> Lexer::Tokenize(DiagnosticEngine* diags) {
   std::vector<Token> out;
   while (!AtEnd()) {
     const char c = Peek();
@@ -71,6 +72,7 @@ Result<std::vector<Token>> Lexer::Tokenize() {
     Token tok;
     tok.line = line_;
     tok.column = column_;
+    const size_t start_pos = pos_;
 
     // String literal.
     if (c == '"') {
@@ -89,9 +91,14 @@ Result<std::vector<Token>> Lexer::Tokenize() {
           text += d;
         }
       }
-      if (!closed) return Error("unterminated string literal");
+      if (!closed) {
+        diags->Report(DiagCode::kLexError,
+                      SourceSpan::At(tok.line, tok.column, 1),
+                      "unterminated string literal");
+      }
       tok.kind = TokenKind::kString;
       tok.text = std::move(text);
+      tok.length = static_cast<int>(pos_ - start_pos);
       out.push_back(std::move(tok));
       continue;
     }
@@ -116,6 +123,7 @@ Result<std::vector<Token>> Lexer::Tokenize() {
         for (char d : text) tok.number = tok.number * 10 + (d - '0');
         tok.text = std::move(text);
       }
+      tok.length = static_cast<int>(pos_ - start_pos);
       out.push_back(std::move(tok));
       continue;
     }
@@ -129,11 +137,13 @@ Result<std::vector<Token>> Lexer::Tokenize() {
       }
       tok.kind = TokenKind::kIdent;
       tok.text = std::move(text);
+      tok.length = static_cast<int>(pos_ - start_pos);
       out.push_back(std::move(tok));
       continue;
     }
 
     // Operators and punctuation.
+    bool bad = false;
     switch (c) {
       case '<':
         Advance();
@@ -164,13 +174,25 @@ Result<std::vector<Token>> Lexer::Tokenize() {
         break;
       case '!':
         Advance();
-        if (Peek() != '=') return Error("expected '=' after '!'");
+        if (Peek() != '=') {
+          diags->Report(DiagCode::kLexError,
+                        SourceSpan::At(tok.line, tok.column, 1),
+                        "expected '=' after '!'");
+          bad = true;
+          break;
+        }
         Advance();
         tok.kind = TokenKind::kNe;
         break;
       case '-':
         Advance();
-        if (Peek() != '>') return Error("expected '>' after '-'");
+        if (Peek() != '>') {
+          diags->Report(DiagCode::kLexError,
+                        SourceSpan::At(tok.line, tok.column, 1),
+                        "expected '>' after '-'");
+          bad = true;
+          break;
+        }
         Advance();
         tok.kind = TokenKind::kArrow;
         break;
@@ -202,9 +224,24 @@ Result<std::vector<Token>> Lexer::Tokenize() {
         Advance();
         tok.kind = TokenKind::kRParen;
         break;
-      default:
-        return Error(std::string("unexpected character '") + c + "'");
+      default: {
+        Advance();
+        std::string msg = "unexpected character ";
+        if (std::isprint(static_cast<unsigned char>(c))) {
+          msg += std::string("'") + c + "'";
+        } else {
+          msg += "(byte " + std::to_string(static_cast<unsigned char>(c)) +
+                 ")";
+        }
+        diags->Report(DiagCode::kLexError,
+                      SourceSpan::At(tok.line, tok.column, 1),
+                      std::move(msg));
+        bad = true;
+        break;
+      }
     }
+    if (bad) continue;  // skip the offending character and carry on
+    tok.length = static_cast<int>(pos_ - start_pos);
     out.push_back(std::move(tok));
   }
 
@@ -212,6 +249,7 @@ Result<std::vector<Token>> Lexer::Tokenize() {
   end.kind = TokenKind::kEnd;
   end.line = line_;
   end.column = column_;
+  end.length = 0;
   out.push_back(std::move(end));
   return out;
 }

@@ -5,6 +5,7 @@
 #include <string_view>
 #include <vector>
 
+#include "bdl/diagnostics.h"
 #include "bdl/token.h"
 #include "util/status.h"
 
@@ -23,11 +24,16 @@ class Lexer {
  public:
   explicit Lexer(std::string_view input);
 
-  /// Tokenizes the whole input. On success the final token is kEnd.
+  /// Tokenizes the whole input, failing on the first lexical error. On
+  /// success the final token is kEnd.
   Result<std::vector<Token>> Tokenize();
 
+  /// Error-recovering tokenization: lexical problems are reported into
+  /// `diags` (code BDL-E001) and skipped, so one pass surfaces every bad
+  /// character. The returned stream always ends with kEnd.
+  std::vector<Token> Tokenize(DiagnosticEngine* diags);
+
  private:
-  Status Error(const std::string& msg) const;
   char Peek(size_t ahead = 0) const;
   char Advance();
   bool AtEnd() const { return pos_ >= input_.size(); }

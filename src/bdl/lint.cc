@@ -1,0 +1,561 @@
+#include "bdl/lint.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bdl/analyzer.h"
+#include "bdl/parser.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/string_util.h"
+#include "util/wildcard.h"
+
+namespace aptrace::bdl {
+
+namespace {
+
+constexpr int64_t kInt64Min = std::numeric_limits<int64_t>::min();
+constexpr int64_t kInt64Max = std::numeric_limits<int64_t>::max();
+
+std::optional<ObjectType> LintTypeName(std::string_view name) {
+  const std::string n = ToLower(name);
+  if (n == "proc" || n == "process") return ObjectType::kProcess;
+  if (n == "file") return ObjectType::kFile;
+  if (n == "ip" || n == "network" || n == "socket") return ObjectType::kIp;
+  return std::nullopt;
+}
+
+bool IsLeafNamed(const AstExpr& e, std::string_view name) {
+  return e.kind == AstExpr::Kind::kLeaf && e.field_path.size() == 1 &&
+         ToLower(e.field_path[0]) == name;
+}
+
+bool HasWildcardChars(std::string_view s) {
+  return s.find_first_of("*?") != std::string_view::npos;
+}
+
+std::string FieldKey(const AstExpr& leaf) {
+  return ToLower(Join(leaf.field_path, "."));
+}
+
+/// The leaf's value as a comparable integer: numbers directly, time
+/// strings as micros-since-epoch. Nullopt for anything else.
+std::optional<int64_t> NumericValue(const AstValue& v) {
+  if (v.kind == AstValue::Kind::kNumber) return v.number;
+  if (v.kind == AstValue::Kind::kString) {
+    if (auto t = ParseBdlTime(v.text); t.ok()) return t.value();
+  }
+  return std::nullopt;
+}
+
+std::string ValueToString(const AstValue& v) {
+  switch (v.kind) {
+    case AstValue::Kind::kNumber:
+      return std::to_string(v.number);
+    case AstValue::Kind::kString:
+      return "\"" + v.text + "\"";
+    default:
+      return v.text;
+  }
+}
+
+/// Splits an expression tree into maximal and-groups: each leaf lands in
+/// exactly one group, and leaves in the same group must all hold at once.
+/// The two branches of an `or` start fresh groups of their own.
+void FlattenAnd(const AstExpr& e, std::vector<const AstExpr*>* leaves,
+                std::vector<const AstExpr*>* or_nodes) {
+  switch (e.kind) {
+    case AstExpr::Kind::kAnd:
+      if (e.lhs != nullptr) FlattenAnd(*e.lhs, leaves, or_nodes);
+      if (e.rhs != nullptr) FlattenAnd(*e.rhs, leaves, or_nodes);
+      break;
+    case AstExpr::Kind::kOr:
+      or_nodes->push_back(&e);
+      break;
+    case AstExpr::Kind::kLeaf:
+      leaves->push_back(&e);
+      break;
+  }
+}
+
+void CollectAndGroups(const AstExpr& e,
+                      std::vector<std::vector<const AstExpr*>>* groups) {
+  std::vector<const AstExpr*> leaves;
+  std::vector<const AstExpr*> ors;
+  FlattenAnd(e, &leaves, &ors);
+  if (!leaves.empty()) groups->push_back(std::move(leaves));
+  for (const AstExpr* o : ors) {
+    if (o->lhs != nullptr) CollectAndGroups(*o->lhs, groups);
+    if (o->rhs != nullptr) CollectAndGroups(*o->rhs, groups);
+  }
+}
+
+/// Where a group of conjuncts came from, for skipping special leaves.
+enum class GroupContext { kNodePattern, kWhere, kPrioritize };
+
+bool SkipLeaf(const AstExpr& leaf, GroupContext ctx) {
+  if (ctx == GroupContext::kWhere) {
+    // Budget leaves are extracted before compilation; their sanity is
+    // checked against the compiled spec (BDL-W007), not here.
+    return IsLeafNamed(leaf, "time") || IsLeafNamed(leaf, "hop");
+  }
+  if (ctx == GroupContext::kPrioritize) {
+    // `type = file` names the event's object type and `amount >= size`
+    // is the quantity clause; neither reads an event attribute.
+    if (IsLeafNamed(leaf, "type")) return true;
+    if (IsLeafNamed(leaf, "amount") &&
+        leaf.value.kind == AstValue::Kind::kIdent &&
+        ToLower(leaf.value.text) == "size") {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool IsOrderedOp(CompareOp op) {
+  return op == CompareOp::kLt || op == CompareOp::kLe ||
+         op == CompareOp::kGt || op == CompareOp::kGe;
+}
+
+/// Accumulated constraints on one field within one and-group.
+struct FieldFacts {
+  // Closed integer interval from ordered comparisons and numeric `=`.
+  int64_t lo = kInt64Min;
+  int64_t hi = kInt64Max;
+  const AstExpr* lo_leaf = nullptr;
+  const AstExpr* hi_leaf = nullptr;
+  // Numeric equalities / inequalities.
+  std::optional<int64_t> eq_num;
+  const AstExpr* eq_num_leaf = nullptr;
+  std::vector<const AstExpr*> ne_num;
+  // String pattern (in)equalities.
+  std::vector<const AstExpr*> str_eq;
+  std::vector<const AstExpr*> str_ne;
+  // Boolean equality, normalized (`!= true` records false).
+  std::optional<bool> bool_eq;
+  const AstExpr* bool_leaf = nullptr;
+};
+
+void NoteOther(Diagnostic& d, const AstExpr& other) {
+  d.notes.push_back({other.span, "conflicting constraint is here"});
+}
+
+/// Contradiction and subsumption checks over one and-group. Every leaf in
+/// the group must hold simultaneously, so conflicting constraints on the
+/// same field make the whole conjunction unsatisfiable (BDL-W001).
+void LintGroup(const std::vector<const AstExpr*>& group, GroupContext ctx,
+               DiagnosticEngine* diags) {
+  std::map<std::string, FieldFacts> facts;
+  for (const AstExpr* leaf : group) {
+    if (SkipLeaf(*leaf, ctx)) continue;
+    const std::string key = FieldKey(*leaf);
+    FieldFacts& f = facts[key];
+
+    const bool is_string = leaf->value.kind == AstValue::Kind::kString ||
+                           leaf->value.kind == AstValue::Kind::kIdent;
+    const std::string lower_text = ToLower(leaf->value.text);
+
+    // Per-leaf checks first: tautologies and misuse of wildcards.
+    if (is_string && IsOrderedOp(leaf->op) &&
+        HasWildcardChars(leaf->value.text)) {
+      diags->Report(DiagCode::kOrderedWildcard, leaf->span,
+                    "ordered comparison " +
+                        std::string(CompareOpName(leaf->op)) +
+                        " treats \"" + leaf->value.text +
+                        "\" literally; wildcards only match with = and !=");
+    }
+    if (is_string && leaf->value.text == "*") {
+      if (leaf->op == CompareOp::kEq) {
+        diags->Report(DiagCode::kAlwaysTrue, leaf->span,
+                      "'" + key + " = \"*\"' matches every value; the "
+                      "condition has no effect");
+      } else if (leaf->op == CompareOp::kNe) {
+        diags->Report(DiagCode::kExclusionSwallowsAll, leaf->span,
+                      "'" + key + " != \"*\"' excludes every value; "
+                      "nothing can match");
+      }
+    }
+
+    // Boolean constraints.
+    if (leaf->value.kind == AstValue::Kind::kIdent &&
+        (lower_text == "true" || lower_text == "false") &&
+        (leaf->op == CompareOp::kEq || leaf->op == CompareOp::kNe)) {
+      const bool effective =
+          (lower_text == "true") == (leaf->op == CompareOp::kEq);
+      if (f.bool_eq.has_value() && *f.bool_eq != effective) {
+        Diagnostic& d = diags->Report(
+            DiagCode::kAlwaysFalse, leaf->span,
+            "'" + key + "' is required to be both true and false; this "
+            "condition can never hold");
+        NoteOther(d, *f.bool_leaf);
+      } else {
+        f.bool_eq = effective;
+        f.bool_leaf = leaf;
+      }
+      continue;
+    }
+
+    // Numeric / time constraints feed the interval.
+    if (auto num = NumericValue(leaf->value); num.has_value()) {
+      int64_t lo = kInt64Min;
+      int64_t hi = kInt64Max;
+      switch (leaf->op) {
+        case CompareOp::kLt:
+          hi = *num == kInt64Min ? kInt64Min : *num - 1;
+          break;
+        case CompareOp::kLe:
+          hi = *num;
+          break;
+        case CompareOp::kGt:
+          lo = *num == kInt64Max ? kInt64Max : *num + 1;
+          break;
+        case CompareOp::kGe:
+          lo = *num;
+          break;
+        case CompareOp::kEq:
+          if (f.eq_num.has_value() && *f.eq_num != *num) {
+            Diagnostic& d = diags->Report(
+                DiagCode::kAlwaysFalse, leaf->span,
+                "'" + key + "' cannot equal both " +
+                    std::to_string(*f.eq_num) + " and " +
+                    std::to_string(*num));
+            NoteOther(d, *f.eq_num_leaf);
+          } else {
+            f.eq_num = *num;
+            f.eq_num_leaf = leaf;
+          }
+          continue;
+        case CompareOp::kNe:
+          f.ne_num.push_back(leaf);
+          continue;
+      }
+      if (lo > f.lo) {
+        f.lo = lo;
+        f.lo_leaf = leaf;
+      }
+      if (hi < f.hi) {
+        f.hi = hi;
+        f.hi_leaf = leaf;
+      }
+      continue;
+    }
+
+    // String patterns.
+    if (is_string && leaf->op == CompareOp::kEq) f.str_eq.push_back(leaf);
+    if (is_string && leaf->op == CompareOp::kNe) f.str_ne.push_back(leaf);
+  }
+
+  for (const auto& [key, f] : facts) {
+    // Empty interval: e.g. `amount > 100 and amount < 50`.
+    if (f.lo > f.hi && f.lo_leaf != nullptr && f.hi_leaf != nullptr) {
+      const AstExpr* later =
+          f.lo_leaf->span.column + f.lo_leaf->span.line * 100000 >
+                  f.hi_leaf->span.column + f.hi_leaf->span.line * 100000
+              ? f.lo_leaf
+              : f.hi_leaf;
+      const AstExpr* earlier = later == f.lo_leaf ? f.hi_leaf : f.lo_leaf;
+      Diagnostic& d = diags->Report(
+          DiagCode::kAlwaysFalse, later->span,
+          "'" + key + "' has an empty range: the bounds exclude every "
+          "value, so this condition can never hold");
+      NoteOther(d, *earlier);
+    }
+    // Equality outside the interval, or excluded by a != on the same value.
+    if (f.eq_num.has_value()) {
+      if (*f.eq_num < f.lo || *f.eq_num > f.hi) {
+        const AstExpr* bound = *f.eq_num < f.lo ? f.lo_leaf : f.hi_leaf;
+        Diagnostic& d = diags->Report(
+            DiagCode::kAlwaysFalse, f.eq_num_leaf->span,
+            "'" + key + " = " + std::to_string(*f.eq_num) +
+                "' lies outside the range required by the other bounds");
+        if (bound != nullptr) NoteOther(d, *bound);
+      }
+      for (const AstExpr* ne : f.ne_num) {
+        if (NumericValue(ne->value) == f.eq_num) {
+          Diagnostic& d = diags->Report(
+              DiagCode::kAlwaysFalse, ne->span,
+              "'" + key + "' is required to equal and not equal " +
+                  std::to_string(*f.eq_num));
+          NoteOther(d, *f.eq_num_leaf);
+        }
+      }
+    }
+    // Two different literal equalities on one string field.
+    for (size_t i = 0; i < f.str_eq.size(); ++i) {
+      for (size_t j = i + 1; j < f.str_eq.size(); ++j) {
+        const AstExpr& a = *f.str_eq[i];
+        const AstExpr& b = *f.str_eq[j];
+        if (ToLower(a.value.text) == ToLower(b.value.text)) {
+          Diagnostic& d = diags->Report(
+              DiagCode::kSubsumedPredicate, b.span,
+              "duplicate condition on '" + key + "'; " +
+                  ValueToString(b.value) + " is already required");
+          d.notes.push_back({a.span, "first occurrence is here"});
+        } else if (!HasWildcardChars(a.value.text) &&
+                   !HasWildcardChars(b.value.text)) {
+          Diagnostic& d = diags->Report(
+              DiagCode::kAlwaysFalse, b.span,
+              "'" + key + "' cannot equal both " + ValueToString(a.value) +
+                  " and " + ValueToString(b.value));
+          NoteOther(d, a);
+        }
+      }
+    }
+    // An equality killed by an exclusion: the same pattern on both sides,
+    // or an exclusion pattern that matches the required literal.
+    for (const AstExpr* eq : f.str_eq) {
+      for (const AstExpr* ne : f.str_ne) {
+        const bool same_pattern =
+            ToLower(eq->value.text) == ToLower(ne->value.text);
+        if (!same_pattern && HasWildcardChars(eq->value.text)) continue;
+        if (same_pattern ||
+            WildcardMatch(ne->value.text, eq->value.text)) {
+          Diagnostic& d = diags->Report(
+              DiagCode::kAlwaysFalse, eq->span,
+              "'" + key + " = " + ValueToString(eq->value) +
+                  "' is excluded by '" + key + " != " +
+                  ValueToString(ne->value) + "'");
+          NoteOther(d, *ne);
+        }
+      }
+    }
+    // Exclusions subsumed by a broader exclusion, and duplicates.
+    for (size_t i = 0; i < f.str_ne.size(); ++i) {
+      for (size_t j = 0; j < f.str_ne.size(); ++j) {
+        if (i == j) continue;
+        const AstExpr& broad = *f.str_ne[i];
+        const AstExpr& narrow = *f.str_ne[j];
+        if (broad.value.text == "*") continue;  // reported as BDL-W003
+        const bool duplicate =
+            ToLower(broad.value.text) == ToLower(narrow.value.text);
+        if (duplicate && i > j) continue;  // report duplicates once
+        if (!duplicate && (HasWildcardChars(narrow.value.text) ||
+                           !WildcardMatch(broad.value.text,
+                                          narrow.value.text))) {
+          continue;
+        }
+        Diagnostic& d = diags->Report(
+            DiagCode::kSubsumedPredicate, narrow.span,
+            "exclusion '" + key + " != " + ValueToString(narrow.value) +
+                "' is already covered by '" + key + " != " +
+                ValueToString(broad.value) + "'");
+        d.notes.push_back({broad.span, "broader exclusion is here"});
+      }
+    }
+  }
+}
+
+void LintExprTree(const AstExpr& e, GroupContext ctx,
+                  DiagnosticEngine* diags) {
+  std::vector<std::vector<const AstExpr*>> groups;
+  CollectAndGroups(e, &groups);
+  for (const auto& group : groups) LintGroup(group, ctx, diags);
+}
+
+/// Canonical text for a prioritize pattern, used to detect rules that can
+/// never fire because an identical earlier rule always matches first.
+std::string CanonExpr(const AstExpr& e) {
+  if (e.kind == AstExpr::Kind::kLeaf) {
+    return FieldKey(e) + " " + CompareOpName(e.op) + " " +
+           ToLower(ValueToString(e.value));
+  }
+  std::vector<const AstExpr*> leaves;
+  std::vector<const AstExpr*> ors;
+  FlattenAnd(e, &leaves, &ors);
+  std::vector<std::string> parts;
+  for (const AstExpr* l : leaves) parts.push_back(CanonExpr(*l));
+  for (const AstExpr* o : ors) {
+    parts.push_back("(" + CanonExpr(*o->lhs) + " or " + CanonExpr(*o->rhs) +
+                    ")");
+  }
+  std::sort(parts.begin(), parts.end());
+  return Join(parts, " and ");
+}
+
+void LintPrioritizeRules(const AstScript& script, DiagnosticEngine* diags) {
+  std::vector<std::string> canon;
+  std::vector<const AstPrioritize*> rules;
+  for (const AstPrioritize& pri : script.prioritize) {
+    std::vector<std::string> patterns;
+    for (const auto& p : pri.patterns) {
+      patterns.push_back(p == nullptr ? "" : CanonExpr(*p));
+      if (p != nullptr) {
+        LintExprTree(*p, GroupContext::kPrioritize, diags);
+      }
+    }
+    const std::string c = Join(patterns, " <- ");
+    for (size_t i = 0; i < canon.size(); ++i) {
+      if (canon[i] == c) {
+        Diagnostic& d = diags->Report(
+            DiagCode::kDeadPrioritizeRule, pri.span,
+            "this prioritize rule duplicates an earlier rule and can "
+            "never change the ranking");
+        d.notes.push_back({rules[i]->span, "earlier rule is here"});
+        break;
+      }
+    }
+    canon.push_back(c);
+    rules.push_back(&pri);
+  }
+}
+
+/// The value of a type-intrinsic attribute, for catalog reachability
+/// checks. Returns nullopt for attributes that are event-level or not
+/// stored on the object.
+std::optional<std::string> IntrinsicValue(const SystemObject& o,
+                                          const ObjectCatalog& catalog,
+                                          const std::string& field) {
+  if (field == "host") return catalog.HostName(o.host());
+  if (o.is_process()) {
+    if (field == "exename") return o.process().exename;
+  } else if (o.is_file()) {
+    if (field == "path") return o.file().path;
+    if (field == "filename") return o.file().Filename();
+  } else if (o.is_ip()) {
+    if (field == "src_ip" || field == "srcip") return o.ip().src_ip;
+    if (field == "dst_ip" || field == "dstip") return o.ip().dst_ip;
+  }
+  return std::nullopt;
+}
+
+/// BDL-W005: a node pattern whose `=` constraint on an intrinsic
+/// attribute matches nothing in the trace's object catalog can never
+/// produce a start/intermediate/end point. Only pure conjunctions are
+/// checked (a disjunction may be satisfied through its other branch).
+void LintUnmatchablePatterns(const AstScript& script,
+                             const EventStore& store,
+                             DiagnosticEngine* diags) {
+  const ObjectCatalog& catalog = store.catalog();
+  for (const AstNode& node : script.chain) {
+    if (node.wildcard || node.cond == nullptr) continue;
+    auto type = LintTypeName(node.type_name);
+    if (!type.has_value()) continue;
+
+    std::vector<const AstExpr*> leaves;
+    std::vector<const AstExpr*> ors;
+    FlattenAnd(*node.cond, &leaves, &ors);
+    if (!ors.empty()) continue;
+
+    for (const AstExpr* leaf : leaves) {
+      if (leaf->op != CompareOp::kEq || leaf->field_path.size() != 1) {
+        continue;
+      }
+      if (leaf->value.kind != AstValue::Kind::kString &&
+          leaf->value.kind != AstValue::Kind::kIdent) {
+        continue;
+      }
+      const std::string field = ToLower(leaf->field_path[0]);
+      if (field == "host") continue;  // host filters rarely narrow to zero
+      const WildcardMatcher matcher(leaf->value.text);
+      bool field_exists = false;
+      bool matched = false;
+      for (size_t i = 0; i < catalog.size() && !matched; ++i) {
+        const SystemObject& o = catalog.Get(i);
+        if (o.type() != *type) continue;
+        auto v = IntrinsicValue(o, catalog, field);
+        if (!v.has_value()) continue;
+        field_exists = true;
+        matched = matcher.Matches(*v);
+      }
+      if (field_exists && !matched) {
+        diags->Report(DiagCode::kPatternMatchesNothing, leaf->span,
+                      "no " + std::string(ObjectTypeName(*type)) +
+                          " in the loaded trace has " + field + " matching " +
+                          ValueToString(leaf->value));
+      }
+    }
+  }
+}
+
+void LintSpecChecks(const TrackingSpec& spec, const EventStore* store,
+                    DiagnosticEngine* diags) {
+  if (spec.hop_limit == 0) {
+    diags->Report(DiagCode::kBudgetSanity, spec.hop_limit_span,
+                  "a hop budget of 0 stops the analysis at the start "
+                  "point; no dependency is ever explored");
+  }
+  if (spec.time_budget == 0) {
+    diags->Report(DiagCode::kBudgetSanity, spec.time_budget_span,
+                  "a time budget of 0 expires immediately; no dependency "
+                  "is ever explored");
+  }
+  if (store == nullptr || store->NumEvents() == 0) return;
+
+  const TimeMicros trace_min = store->MinTime();
+  const TimeMicros trace_max = store->MaxTime();
+  if (spec.time_budget > 0 && spec.time_budget > trace_max - trace_min) {
+    diags->Report(DiagCode::kBudgetSanity, spec.time_budget_span,
+                  "time budget " + FormatDuration(spec.time_budget) +
+                      " exceeds the loaded trace's whole span (" +
+                      FormatDuration(trace_max - trace_min) +
+                      "); it never limits anything");
+  }
+  const bool before = spec.time_to.has_value() && *spec.time_to < trace_min;
+  const bool after = spec.time_from.has_value() && *spec.time_from > trace_max;
+  if (before || after) {
+    diags->Report(DiagCode::kWindowOutsideTrace,
+                  before ? spec.window_to_span : spec.window_from_span,
+                  "the analysis window [" +
+                      (spec.time_from.has_value()
+                           ? FormatBdlTime(*spec.time_from)
+                           : std::string("start")) +
+                      ", " +
+                      (spec.time_to.has_value() ? FormatBdlTime(*spec.time_to)
+                                                : std::string("end")) +
+                      ") does not overlap the loaded trace [" +
+                      FormatBdlTime(trace_min) + ", " +
+                      FormatBdlTime(trace_max) + "]");
+  }
+}
+
+}  // namespace
+
+LintReport LintBdl(std::string_view text, const LintOptions& opts) {
+  static obs::Counter* const runs =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlLintRuns);
+  static obs::Counter* const errors =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlLintErrors);
+  static obs::Counter* const warnings =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlLintWarnings);
+  runs->Add();
+
+  DiagnosticEngine diags;
+  const AstScript ast = Parser::ParseRecover(text, &diags);
+  const bool parsed = !diags.HasErrors();
+
+  std::optional<TrackingSpec> spec;
+  if (parsed) spec = AnalyzeRecover(ast, &diags);
+
+  if (parsed) {
+    for (const AstNode& node : ast.chain) {
+      if (node.cond != nullptr) {
+        LintExprTree(*node.cond, GroupContext::kNodePattern, &diags);
+      }
+    }
+    if (ast.where != nullptr) {
+      LintExprTree(*ast.where, GroupContext::kWhere, &diags);
+    }
+    LintPrioritizeRules(ast, &diags);
+    if (opts.store != nullptr) {
+      LintUnmatchablePatterns(ast, *opts.store, &diags);
+    }
+    if (spec.has_value()) {
+      LintSpecChecks(*spec, opts.store, &diags);
+    }
+  }
+
+  diags.SortBySource();
+  LintReport report;
+  report.num_errors = diags.num_errors();
+  report.num_warnings = diags.num_warnings();
+  report.diagnostics = diags.Take();
+  report.spec = std::move(spec);
+  errors->Add(report.num_errors);
+  warnings->Add(report.num_warnings);
+  return report;
+}
+
+}  // namespace aptrace::bdl

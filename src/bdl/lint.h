@@ -1,0 +1,47 @@
+#ifndef APTRACE_BDL_LINT_H_
+#define APTRACE_BDL_LINT_H_
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "bdl/diagnostics.h"
+#include "bdl/spec.h"
+#include "storage/event_store.h"
+
+namespace aptrace::bdl {
+
+/// Lint configuration.
+struct LintOptions {
+  /// When set, trace-aware checks also run: node patterns that match no
+  /// catalog object (BDL-W005), budgets beyond the trace horizon
+  /// (BDL-W007), and time windows outside the trace (BDL-W009).
+  const EventStore* store = nullptr;
+};
+
+/// Result of one lint run over one script.
+struct LintReport {
+  /// Every problem found, sorted by source position. Errors come from the
+  /// recovering lexer/parser/analyzer; warnings from the lint checks.
+  std::vector<Diagnostic> diagnostics;
+
+  /// The compiled spec, engaged when the script had no errors (warnings
+  /// do not block compilation).
+  std::optional<TrackingSpec> spec;
+
+  size_t num_errors = 0;
+  size_t num_warnings = 0;
+
+  bool ok() const { return num_errors == 0; }
+};
+
+/// Parses, analyzes, and lints `text` in one pass, reporting every
+/// problem found rather than stopping at the first. Semantic lint checks
+/// (always-true/false conditions, contradictory or subsumed exclusions,
+/// dead prioritize rules, budget sanity) run whenever the script parses;
+/// trace-aware checks additionally need `opts.store`.
+LintReport LintBdl(std::string_view text, const LintOptions& opts = {});
+
+}  // namespace aptrace::bdl
+
+#endif  // APTRACE_BDL_LINT_H_

@@ -5,23 +5,33 @@
 
 namespace aptrace::bdl {
 
-const char* CompareOpName(CompareOp op) {
-  switch (op) {
-    case CompareOp::kLt: return "<";
-    case CompareOp::kLe: return "<=";
-    case CompareOp::kGt: return ">";
-    case CompareOp::kGe: return ">=";
-    case CompareOp::kEq: return "=";
-    case CompareOp::kNe: return "!=";
-  }
-  return "?";
+namespace {
+
+SourceSpan SpanOf(const Token& t) {
+  return SourceSpan::At(t.line, t.column, t.length);
 }
 
+}  // namespace
+
 Result<AstScript> Parser::Parse(std::string_view text) {
+  DiagnosticEngine diags;
+  AstScript script = ParseRecover(text, &diags);
+  if (diags.HasErrors()) {
+    diags.SortBySource();
+    // Preserve the historical prefixes: lexical problems say "lex error".
+    const bool lexical =
+        !diags.diagnostics().empty() &&
+        diags.diagnostics().front().code == DiagCode::kLexError;
+    return diags.FirstErrorStatus(lexical ? "BDL lex error"
+                                          : "BDL parse error");
+  }
+  return script;
+}
+
+AstScript Parser::ParseRecover(std::string_view text,
+                               DiagnosticEngine* diags) {
   Lexer lexer(text);
-  auto tokens = lexer.Tokenize();
-  if (!tokens.ok()) return tokens.status();
-  Parser parser(std::move(tokens.value()));
+  Parser parser(lexer.Tokenize(diags), diags);
   return parser.ParseScript();
 }
 
@@ -47,229 +57,343 @@ bool Parser::MatchKeyword(std::string_view keyword) {
   return true;
 }
 
-Status Parser::Expect(TokenKind kind, const char* what) {
+bool Parser::AtClauseKeyword() const {
+  if (Peek().kind != TokenKind::kIdent) return false;
+  const std::string kw = ToLower(Peek().text);
+  return kw == "where" || kw == "prioritize" || kw == "output" ||
+         kw == "from" || kw == "in" || kw == "backward" || kw == "forward";
+}
+
+bool Parser::Expect(TokenKind kind, const char* what) {
   if (Check(kind)) {
     Advance();
-    return Status::Ok();
+    return true;
   }
-  return ErrorHere(std::string("expected ") + TokenKindName(kind) + " (" +
-                   what + "), found " + TokenKindName(Peek().kind) +
-                   (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  ErrorHere(std::string("expected ") + TokenKindName(kind) + " (" + what +
+            "), found " + TokenKindName(Peek().kind) +
+            (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+  return false;
 }
 
-Status Parser::ErrorHere(const std::string& msg) const {
-  return Status::InvalidArgument("BDL parse error at line " +
-                                 std::to_string(Peek().line) + ", column " +
-                                 std::to_string(Peek().column) + ": " + msg);
+void Parser::ErrorHere(const std::string& msg) {
+  diags_->Report(DiagCode::kSyntaxError, SpanHere(), msg);
 }
 
-Result<AstScript> Parser::ParseScript() {
+SourceSpan Parser::SpanHere() const { return SpanOf(Peek()); }
+
+void Parser::SyncToClause() {
+  while (!Check(TokenKind::kEnd) && !AtClauseKeyword()) Advance();
+}
+
+void Parser::SyncPast(TokenKind kind) {
+  while (!Check(TokenKind::kEnd)) {
+    if (Check(kind)) {
+      Advance();
+      return;
+    }
+    if (AtClauseKeyword() || Check(TokenKind::kArrow)) return;
+    // Never skip past the enclosing condition list while hunting for a
+    // smaller delimiter.
+    if (kind != TokenKind::kRBracket && Check(TokenKind::kRBracket)) return;
+    Advance();
+  }
+}
+
+AstScript Parser::ParseScript() {
   AstScript script;
 
   // General constraints: `from .. to ..` and/or `in ..`, in any order.
-  for (;;) {
-    if (CheckKeyword("from")) {
-      Advance();
-      if (!Check(TokenKind::kString))
-        return ErrorHere("expected time string after 'from'");
-      script.from_time = Advance().text;
-      if (!MatchKeyword("to")) return ErrorHere("expected 'to' after 'from'");
-      if (!Check(TokenKind::kString))
-        return ErrorHere("expected time string after 'to'");
-      script.to_time = Advance().text;
-      continue;
-    }
-    if (CheckKeyword("in")) {
-      Advance();
-      for (;;) {
-        if (!Check(TokenKind::kString))
-          return ErrorHere("expected host string after 'in'");
-        script.hosts.push_back(Advance().text);
-        if (!Check(TokenKind::kComma)) break;
-        Advance();
-      }
-      continue;
-    }
-    break;
-  }
+  while (CheckKeyword("from") || CheckKeyword("in")) ParseGeneral(&script);
 
   // Tracking statement (required).
-  if (auto s = ParseTracking(&script); !s.ok()) return s;
+  if (CheckKeyword("backward") || CheckKeyword("forward")) {
+    ParseTracking(&script);
+  } else {
+    ErrorHere("expected a 'backward' or 'forward' tracking statement");
+    while (!Check(TokenKind::kEnd) && !AtClauseKeyword()) Advance();
+    if (CheckKeyword("backward") || CheckKeyword("forward")) {
+      ParseTracking(&script);
+    }
+  }
 
-  // Optional clauses, in any order.
+  // Optional clauses, in any order. Junk between clauses is reported once
+  // per run and skipped so the rest of the script still gets checked.
   for (;;) {
     if (CheckKeyword("where")) {
-      Advance();
-      auto expr = ParseOrExpr();
-      if (!expr.ok()) return expr.status();
-      if (script.where != nullptr) {
-        // Multiple where clauses and-compose.
-        auto combined = std::make_unique<AstExpr>();
-        combined->kind = AstExpr::Kind::kAnd;
-        combined->lhs = std::move(script.where);
-        combined->rhs = std::move(expr.value());
-        script.where = std::move(combined);
-      } else {
-        script.where = std::move(expr.value());
-      }
+      ParseWhere(&script);
       continue;
     }
     if (CheckKeyword("prioritize")) {
-      const int line = Peek().line;
-      Advance();
-      AstPrioritize pri;
-      pri.line = line;
-      for (;;) {
-        if (auto s = Expect(TokenKind::kLBracket, "prioritize pattern");
-            !s.ok())
-          return s;
-        auto expr = ParseOrExpr();
-        if (!expr.ok()) return expr.status();
-        if (auto s = Expect(TokenKind::kRBracket, "prioritize pattern");
-            !s.ok())
-          return s;
-        pri.patterns.push_back(std::move(expr.value()));
-        if (!Check(TokenKind::kBackArrow)) break;
-        Advance();
-      }
-      script.prioritize.push_back(std::move(pri));
+      ParsePrioritize(&script);
       continue;
     }
     if (CheckKeyword("output")) {
-      Advance();
-      if (auto s = Expect(TokenKind::kEq, "output assignment"); !s.ok())
-        return s;
-      if (!Check(TokenKind::kString))
-        return ErrorHere("expected path string after 'output ='");
-      script.output_path = Advance().text;
+      ParseOutput(&script);
       continue;
     }
-    break;
-  }
-
-  if (!Check(TokenKind::kEnd)) {
-    return ErrorHere("unexpected trailing input");
+    if (CheckKeyword("from") || CheckKeyword("in")) {
+      ErrorHere("general constraints ('from'/'in') must precede the "
+                "tracking statement");
+      ParseGeneral(&script);
+      continue;
+    }
+    if (Check(TokenKind::kEnd)) break;
+    ErrorHere("unexpected trailing input: found " +
+              std::string(TokenKindName(Peek().kind)) +
+              (Peek().text.empty() ? "" : " '" + Peek().text + "'"));
+    Advance();  // guarantee progress even when the junk is a keyword
+    SyncToClause();
   }
   return script;
 }
 
-Status Parser::ParseTracking(AstScript* script) {
+void Parser::ParseGeneral(AstScript* script) {
+  if (MatchKeyword("from")) {
+    if (!Check(TokenKind::kString)) {
+      ErrorHere("expected time string after 'from'");
+      SyncToClause();
+      return;
+    }
+    script->from_span = SpanHere();
+    script->from_time = Advance().text;
+    if (!MatchKeyword("to")) {
+      ErrorHere("expected 'to' after 'from'");
+      SyncToClause();
+      return;
+    }
+    if (!Check(TokenKind::kString)) {
+      ErrorHere("expected time string after 'to'");
+      SyncToClause();
+      return;
+    }
+    script->to_span = SpanHere();
+    script->to_time = Advance().text;
+    return;
+  }
+  if (MatchKeyword("in")) {
+    for (;;) {
+      if (!Check(TokenKind::kString)) {
+        ErrorHere("expected host string after 'in'");
+        SyncToClause();
+        return;
+      }
+      script->hosts.push_back(Advance().text);
+      if (!Check(TokenKind::kComma)) break;
+      Advance();
+    }
+  }
+}
+
+void Parser::ParseTracking(AstScript* script) {
   if (MatchKeyword("forward")) {
     script->forward = true;
-  } else if (!MatchKeyword("backward")) {
-    return ErrorHere("expected a 'backward' or 'forward' tracking statement");
+  } else {
+    MatchKeyword("backward");  // caller verified one of the two is present
   }
   for (;;) {
     auto node = ParseNode();
-    if (!node.ok()) return node.status();
-    script->chain.push_back(std::move(node.value()));
+    if (node.has_value()) {
+      script->chain.push_back(std::move(*node));
+    } else {
+      // Resynchronize inside the chain: the next `->` continues it.
+      while (!Check(TokenKind::kEnd) && !Check(TokenKind::kArrow) &&
+             !AtClauseKeyword()) {
+        Advance();
+      }
+    }
     if (!Check(TokenKind::kArrow)) break;
     Advance();
   }
   if (script->chain.empty()) {
-    return ErrorHere("tracking statement needs at least a starting point");
+    diags_->Report(DiagCode::kBadChain, SpanHere(),
+                   "tracking statement needs at least a starting point");
+    return;
   }
   if (script->chain.front().wildcard) {
-    return ErrorHere("the starting point cannot be '*'");
+    diags_->Report(DiagCode::kBadChain, script->chain.front().span,
+                   "the starting point cannot be '*'");
   }
   for (size_t i = 0; i + 1 < script->chain.size(); ++i) {
-    if (script->chain[i].wildcard) {
-      return ErrorHere("'*' may only appear as the end point");
+    if (i > 0 && script->chain[i].wildcard) {
+      diags_->Report(DiagCode::kBadChain, script->chain[i].span,
+                     "'*' may only appear as the end point");
     }
   }
-  return Status::Ok();
 }
 
-Result<AstNode> Parser::ParseNode() {
+std::optional<AstNode> Parser::ParseNode() {
   AstNode node;
-  node.line = Peek().line;
+  node.span = SpanHere();
   if (Check(TokenKind::kStar)) {
     Advance();
     node.wildcard = true;
     return node;
   }
   if (!Check(TokenKind::kIdent)) {
-    return ErrorHere("expected node type (proc|file|ip) or '*'");
+    ErrorHere("expected node type (proc|file|ip) or '*'");
+    return std::nullopt;
   }
   node.type_name = ToLower(Advance().text);
   // Optional variable name before '['.
   if (Check(TokenKind::kIdent)) {
     node.var = Advance().text;
   }
-  if (auto s = Expect(TokenKind::kLBracket, "node condition list"); !s.ok())
-    return s;
-  if (!Check(TokenKind::kRBracket)) {
-    auto expr = ParseOrExpr();
-    if (!expr.ok()) return expr.status();
-    node.cond = std::move(expr.value());
+  if (!Expect(TokenKind::kLBracket, "node condition list")) {
+    return std::nullopt;
   }
-  if (auto s = Expect(TokenKind::kRBracket, "node condition list"); !s.ok())
-    return s;
+  if (!Check(TokenKind::kRBracket)) {
+    node.cond = ParseOrExpr();
+    if (node.cond == nullptr) {
+      SyncPast(TokenKind::kRBracket);
+      return node;  // keep the typed node; the bad condition was reported
+    }
+  }
+  if (!Expect(TokenKind::kRBracket, "node condition list")) {
+    SyncPast(TokenKind::kRBracket);
+  }
   return node;
 }
 
-Result<std::unique_ptr<AstExpr>> Parser::ParseOrExpr() {
-  auto lhs = ParseAndExpr();
-  if (!lhs.ok()) return lhs.status();
-  auto node = std::move(lhs.value());
+void Parser::ParseWhere(AstScript* script) {
+  Advance();  // 'where'
+  auto expr = ParseOrExpr();
+  if (expr == nullptr) {
+    SyncToClause();
+    return;
+  }
+  if (script->where != nullptr) {
+    // Multiple where clauses and-compose.
+    auto combined = std::make_unique<AstExpr>();
+    combined->kind = AstExpr::Kind::kAnd;
+    combined->span = SourceSpan::Cover(script->where->span, expr->span);
+    combined->lhs = std::move(script->where);
+    combined->rhs = std::move(expr);
+    script->where = std::move(combined);
+  } else {
+    script->where = std::move(expr);
+  }
+}
+
+void Parser::ParsePrioritize(AstScript* script) {
+  AstPrioritize pri;
+  pri.span = SpanHere();
+  Advance();  // 'prioritize'
+  for (;;) {
+    if (!Expect(TokenKind::kLBracket, "prioritize pattern")) {
+      SyncToClause();
+      break;
+    }
+    auto expr = ParseOrExpr();
+    if (expr == nullptr) {
+      SyncPast(TokenKind::kRBracket);
+    } else {
+      if (!Expect(TokenKind::kRBracket, "prioritize pattern")) {
+        SyncPast(TokenKind::kRBracket);
+      }
+      pri.patterns.push_back(std::move(expr));
+    }
+    if (!Check(TokenKind::kBackArrow)) break;
+    Advance();
+  }
+  if (!pri.patterns.empty()) script->prioritize.push_back(std::move(pri));
+}
+
+void Parser::ParseOutput(AstScript* script) {
+  Advance();  // 'output'
+  if (!Expect(TokenKind::kEq, "output assignment")) {
+    SyncToClause();
+    return;
+  }
+  if (!Check(TokenKind::kString)) {
+    ErrorHere("expected path string after 'output ='");
+    SyncToClause();
+    return;
+  }
+  script->output_path = Advance().text;
+}
+
+std::unique_ptr<AstExpr> Parser::ParseOrExpr() {
+  auto node = ParseAndExpr();
   while (CheckKeyword("or")) {
-    const int line = Peek().line;
+    const SourceSpan op_span = SpanHere();
     Advance();
     auto rhs = ParseAndExpr();
-    if (!rhs.ok()) return rhs.status();
+    if (node == nullptr || rhs == nullptr) {
+      // One side failed (already reported); keep the good side so later
+      // passes still see as much of the condition as parsed.
+      if (node == nullptr) node = std::move(rhs);
+      continue;
+    }
     auto parent = std::make_unique<AstExpr>();
     parent->kind = AstExpr::Kind::kOr;
-    parent->line = line;
+    parent->span = op_span;
     parent->lhs = std::move(node);
-    parent->rhs = std::move(rhs.value());
+    parent->rhs = std::move(rhs);
     node = std::move(parent);
   }
   return node;
 }
 
-Result<std::unique_ptr<AstExpr>> Parser::ParseAndExpr() {
-  auto lhs = ParsePrimary();
-  if (!lhs.ok()) return lhs.status();
-  auto node = std::move(lhs.value());
+std::unique_ptr<AstExpr> Parser::ParseAndExpr() {
+  auto node = ParsePrimary();
   // `,` inside condition lists acts as a conjunction: Program 4 writes
   // `[dst_ip = "..", subject_name = ".." and ..]`.
+  if (node == nullptr && !CheckKeyword("and") &&
+      !Check(TokenKind::kComma)) {
+    return nullptr;
+  }
   while (CheckKeyword("and") || Check(TokenKind::kComma)) {
-    const int line = Peek().line;
+    const SourceSpan op_span = SpanHere();
     Advance();
     auto rhs = ParsePrimary();
-    if (!rhs.ok()) return rhs.status();
+    if (rhs == nullptr) {
+      // Keep scanning the conjunct list so every bad conjunct is reported
+      // in one pass.
+      if (CheckKeyword("and") || Check(TokenKind::kComma)) continue;
+      break;
+    }
+    if (node == nullptr) {
+      node = std::move(rhs);
+      continue;
+    }
     auto parent = std::make_unique<AstExpr>();
     parent->kind = AstExpr::Kind::kAnd;
-    parent->line = line;
+    parent->span = op_span;
     parent->lhs = std::move(node);
-    parent->rhs = std::move(rhs.value());
+    parent->rhs = std::move(rhs);
     node = std::move(parent);
   }
   return node;
 }
 
-Result<std::unique_ptr<AstExpr>> Parser::ParsePrimary() {
+std::unique_ptr<AstExpr> Parser::ParsePrimary() {
   if (Check(TokenKind::kLParen)) {
     Advance();
     auto inner = ParseOrExpr();
-    if (!inner.ok()) return inner.status();
-    if (auto s = Expect(TokenKind::kRParen, "parenthesized condition");
-        !s.ok())
-      return s;
+    if (inner == nullptr) {
+      SyncPast(TokenKind::kRParen);
+      return nullptr;
+    }
+    if (!Expect(TokenKind::kRParen, "parenthesized condition")) {
+      SyncPast(TokenKind::kRParen);
+    }
     return inner;
   }
   if (!Check(TokenKind::kIdent)) {
-    return ErrorHere("expected a field name");
+    ErrorHere("expected a field name");
+    return nullptr;
   }
   auto leaf = std::make_unique<AstExpr>();
   leaf->kind = AstExpr::Kind::kLeaf;
-  leaf->line = Peek().line;
+  leaf->span = SpanHere();
   leaf->field_path.push_back(Advance().text);
   while (Check(TokenKind::kDot)) {
     Advance();
     if (!Check(TokenKind::kIdent)) {
-      return ErrorHere("expected a field name after '.'");
+      ErrorHere("expected a field name after '.'");
+      return nullptr;
     }
+    leaf->span = SourceSpan::Cover(leaf->span, SpanHere());
     leaf->field_path.push_back(Advance().text);
   }
 
@@ -281,18 +405,21 @@ Result<std::unique_ptr<AstExpr>> Parser::ParsePrimary() {
     case TokenKind::kEq: leaf->op = CompareOp::kEq; break;
     case TokenKind::kNe: leaf->op = CompareOp::kNe; break;
     default:
-      return ErrorHere("expected a comparison operator");
+      ErrorHere("expected a comparison operator");
+      return nullptr;
   }
   Advance();
 
   auto value = ParseValue();
-  if (!value.ok()) return value.status();
-  leaf->value = std::move(value.value());
+  if (!value.has_value()) return nullptr;
+  leaf->value = std::move(*value);
+  leaf->span = SourceSpan::Cover(leaf->span, leaf->value.span);
   return leaf;
 }
 
-Result<AstValue> Parser::ParseValue() {
+std::optional<AstValue> Parser::ParseValue() {
   AstValue v;
+  v.span = SpanHere();
   switch (Peek().kind) {
     case TokenKind::kString:
       v.kind = AstValue::Kind::kString;
@@ -318,7 +445,8 @@ Result<AstValue> Parser::ParseValue() {
       Advance();
       return v;
     default:
-      return ErrorHere("expected a value (string, number, duration)");
+      ErrorHere("expected a value (string, number, duration)");
+      return std::nullopt;
   }
 }
 

@@ -1,10 +1,13 @@
 #ifndef APTRACE_BDL_PARSER_H_
 #define APTRACE_BDL_PARSER_H_
 
+#include <memory>
+#include <optional>
 #include <string_view>
 #include <vector>
 
 #include "bdl/ast.h"
+#include "bdl/diagnostics.h"
 #include "bdl/token.h"
 #include "util/status.h"
 
@@ -30,20 +33,33 @@ namespace aptrace::bdl {
 /// an alias of ip inside prioritize patterns, matching Program 2).
 class Parser {
  public:
-  /// Parses `text` into an AST.
+  /// Parses `text` into an AST, failing on the first problem (the classic
+  /// compile entry point).
   static Result<AstScript> Parse(std::string_view text);
 
- private:
-  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+  /// Error-recovering parse: every lexical and syntactic problem is
+  /// reported into `diags` (codes BDL-E001/E002/E009) and the parser
+  /// resynchronizes at statement boundaries, so one pass surfaces all
+  /// problems. Always returns an AST; it is partial when errors were
+  /// reported (clauses that failed to parse are dropped).
+  static AstScript ParseRecover(std::string_view text,
+                                DiagnosticEngine* diags);
 
-  Result<AstScript> ParseScript();
-  Status ParseGeneral(AstScript* script);
-  Status ParseTracking(AstScript* script);
-  Result<AstNode> ParseNode();
-  Result<std::unique_ptr<AstExpr>> ParseOrExpr();
-  Result<std::unique_ptr<AstExpr>> ParseAndExpr();
-  Result<std::unique_ptr<AstExpr>> ParsePrimary();
-  Result<AstValue> ParseValue();
+ private:
+  Parser(std::vector<Token> tokens, DiagnosticEngine* diags)
+      : tokens_(std::move(tokens)), diags_(diags) {}
+
+  AstScript ParseScript();
+  void ParseGeneral(AstScript* script);
+  void ParseTracking(AstScript* script);
+  std::optional<AstNode> ParseNode();
+  void ParseWhere(AstScript* script);
+  void ParsePrioritize(AstScript* script);
+  void ParseOutput(AstScript* script);
+  std::unique_ptr<AstExpr> ParseOrExpr();
+  std::unique_ptr<AstExpr> ParseAndExpr();
+  std::unique_ptr<AstExpr> ParsePrimary();
+  std::optional<AstValue> ParseValue();
 
   const Token& Peek(size_t ahead = 0) const;
   const Token& Advance();
@@ -52,10 +68,23 @@ class Parser {
   /// `keyword` case-insensitively.
   bool MatchKeyword(std::string_view keyword);
   bool CheckKeyword(std::string_view keyword) const;
-  Status Expect(TokenKind kind, const char* what);
-  Status ErrorHere(const std::string& msg) const;
+  /// True if the current token starts a top-level clause (where /
+  /// prioritize / output / from / in / backward / forward).
+  bool AtClauseKeyword() const;
+  /// Consumes the expected token, or reports BDL-E002 and returns false.
+  bool Expect(TokenKind kind, const char* what);
+  /// Reports BDL-E002 at the current token.
+  void ErrorHere(const std::string& msg);
+  /// Span of the current token.
+  SourceSpan SpanHere() const;
+  /// Skips tokens until a clause keyword or end of input.
+  void SyncToClause();
+  /// Skips tokens until one of `kind`, a clause keyword, `->`, or end of
+  /// input; consumes `kind` if that is what stopped the scan.
+  void SyncPast(TokenKind kind);
 
   std::vector<Token> tokens_;
+  DiagnosticEngine* diags_ = nullptr;
   size_t pos_ = 0;
 };
 

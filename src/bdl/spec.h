@@ -54,9 +54,12 @@ struct TrackingSpec {
   TrackDirection direction = TrackDirection::kBackward;
 
   /// General constraints; unset means "default range" (the engine
-  /// substitutes the store's full time span).
+  /// substitutes the store's full time span). The spans locate the time
+  /// literals in the source for lint anchoring.
   std::optional<TimeMicros> time_from;
   std::optional<TimeMicros> time_to;
+  SourceSpan window_from_span;
+  SourceSpan window_to_span;
   /// Host name patterns (lowercased); empty = all hosts.
   std::vector<std::string> hosts;
 
@@ -69,9 +72,12 @@ struct TrackingSpec {
   std::shared_ptr<const Condition> where;
 
   /// Termination budgets from `where time <= ...` / `where hop <= ...`;
-  /// negative = unlimited.
+  /// negative = unlimited. The spans point at the budget leaves in the
+  /// source so the linter can anchor sanity warnings there.
   DurationMicros time_budget = -1;
   int hop_limit = -1;
+  SourceSpan time_budget_span;
+  SourceSpan hop_limit_span;
 
   std::vector<QuantityRule> prioritize;
 

@@ -38,6 +38,7 @@ struct Token {
   int64_t number = 0;  // for kNumber
   int line = 1;        // 1-based source position, for error messages
   int column = 1;
+  int length = 1;      // source characters consumed, for diagnostic spans
 };
 
 }  // namespace aptrace::bdl

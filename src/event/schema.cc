@@ -1,5 +1,6 @@
 #include "event/schema.h"
 
+#include <algorithm>
 #include <unordered_map>
 
 #include "util/string_util.h"
@@ -68,6 +69,60 @@ const std::unordered_map<std::string, FieldId>& FieldTable() {
 }
 
 }  // namespace
+
+const std::vector<std::string>& KnownFieldNames() {
+  static const auto* kNames = [] {
+    auto* names = new std::vector<std::string>();
+    for (const auto& [name, field] : FieldTable()) names->push_back(name);
+    std::sort(names->begin(), names->end());
+    return names;
+  }();
+  return *kNames;
+}
+
+namespace {
+
+/// Classic dynamic-programming Levenshtein distance, early-exited via the
+/// caller's cutoff (candidate lists are tiny, so O(n*m) is fine).
+size_t EditDistance(std::string_view a, std::string_view b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t up = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1,
+                         diag + (a[i - 1] == b[j - 1] ? 0 : 1)});
+      diag = up;
+    }
+  }
+  return row[b.size()];
+}
+
+}  // namespace
+
+std::string SuggestFieldName(std::optional<ObjectType> type,
+                             std::string_view name) {
+  const std::string lower = ToLower(name);
+  // Allow more slack for longer names: 1 edit for short names, up to 3 for
+  // long ones like "last_modifcation_time".
+  const size_t cutoff = lower.size() <= 4 ? 1 : lower.size() <= 8 ? 2 : 3;
+  std::string best;
+  size_t best_distance = cutoff + 1;
+  for (const std::string& candidate : KnownFieldNames()) {
+    if (type.has_value() &&
+        !FieldApplicableTo(FieldTable().at(candidate), *type)) {
+      continue;
+    }
+    const size_t d = EditDistance(lower, candidate);
+    if (d < best_distance) {
+      best_distance = d;
+      best = candidate;
+    }
+  }
+  return best;
+}
 
 Result<FieldId> ResolveField(std::optional<ObjectType> type,
                              std::string_view name) {

@@ -6,6 +6,7 @@
 #include <string>
 #include <string_view>
 #include <variant>
+#include <vector>
 
 #include "event/catalog.h"
 #include "event/event.h"
@@ -61,6 +62,17 @@ using FieldValue = std::variant<std::string, int64_t, bool>;
 /// std::nullopt for `type` when any type is acceptable (the analyzer then
 /// checks applicability later). Errors name both the field and the type.
 Result<FieldId> ResolveField(std::optional<ObjectType> type,
+                             std::string_view name);
+
+/// Every attribute name the schema accepts (lowercase, aliases included),
+/// in a stable order. Drives the linter's did-you-mean suggestions.
+const std::vector<std::string>& KnownFieldNames();
+
+/// The closest known attribute name within a small edit distance of
+/// `name` (case-insensitive), or "" when nothing is plausibly close.
+/// When `type` is set, only fields applicable to that node type are
+/// suggested.
+std::string SuggestFieldName(std::optional<ObjectType> type,
                              std::string_view name);
 
 /// True if `field` can be evaluated on an object of `type` (event-level

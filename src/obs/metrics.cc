@@ -121,6 +121,11 @@ MetricsRegistry::MetricsRegistry(bool preregister_engine) {
                       "BDL compilations rejected with an error");
   FindOrCreateHistogram(names::kBdlCompileLatency,
                         "BDL compile wall time (seconds)");
+  FindOrCreateCounter(names::kBdlLintRuns, "BDL lint runs");
+  FindOrCreateCounter(names::kBdlLintErrors,
+                      "Diagnostics with error severity reported by lint");
+  FindOrCreateCounter(names::kBdlLintWarnings,
+                      "Diagnostics with warning severity reported by lint");
   FindOrCreateHistogram(names::kSessionStepLatency,
                         "Session::Step wall time (seconds)");
   FindOrCreateHistogram(names::kSessionUpdateScriptLatency,

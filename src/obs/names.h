@@ -48,6 +48,12 @@ inline constexpr char kBdlCompileErrors[] =
     "aptrace_bdl_compile_errors_total";
 inline constexpr char kBdlCompileLatency[] = "aptrace_bdl_compile_latency";
 
+// BDL linter (bdl/lint.cc).
+inline constexpr char kBdlLintRuns[] = "aptrace_bdl_lint_runs_total";
+inline constexpr char kBdlLintErrors[] = "aptrace_bdl_lint_errors_total";
+inline constexpr char kBdlLintWarnings[] =
+    "aptrace_bdl_lint_warnings_total";
+
 // Interactive session (core/session.cc).
 inline constexpr char kSessionStepLatency[] = "aptrace_session_step_latency";
 inline constexpr char kSessionUpdateScriptLatency[] =

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "bdl/analyzer.h"
+#include "bdl/parser.h"
 #include "util/string_util.h"
 
 namespace aptrace::bdl {
@@ -110,6 +111,58 @@ TEST(AnalyzerTest, FieldTypeMismatchesRejected) {
   EXPECT_FALSE(CompileBdl(
                    "backward file f[] -> * where file.isReadonly < true")
                    .ok());
+}
+
+// Every analyzer error must carry the source position of the offending
+// token, in the "line L, column C" form FirstErrorStatus renders.
+void ExpectErrorAt(std::string_view script, int line, int column,
+                   std::string_view code) {
+  auto spec = CompileBdl(script);
+  ASSERT_FALSE(spec.ok()) << script;
+  const std::string msg = spec.status().message();
+  const std::string want = "line " + std::to_string(line) + ", column " +
+                           std::to_string(column);
+  EXPECT_NE(msg.find(want), std::string::npos)
+      << "missing '" << want << "' in: " << msg;
+  EXPECT_NE(msg.find(code), std::string::npos)
+      << "missing code " << code << " in: " << msg;
+}
+
+TEST(AnalyzerTest, ErrorsCarryLineAndColumn) {
+  ExpectErrorAt("backward gizmo g[] -> *", 1, 10, "BDL-E003");
+  ExpectErrorAt("backward proc p[bogus = \"x\"] -> *", 1, 17, "BDL-E004");
+  ExpectErrorAt("backward file f[exename = \"x\"] -> *", 1, 17, "BDL-E005");
+  ExpectErrorAt("backward proc p[pid = \"abc\"] -> *", 1, 23, "BDL-E006");
+  ExpectErrorAt("backward proc p[] -> *\nwhere starttime = \"junk\"", 2, 19,
+                "BDL-E007");
+  ExpectErrorAt("backward proc p[] -> *\nwhere hop >= 3", 2, 7, "BDL-E008");
+  ExpectErrorAt("from \"05/01/2019\" to \"04/02/2019\"\nbackward proc p[] "
+                "-> *",
+                1, 6, "BDL-E010");
+  ExpectErrorAt("backward proc p[] -> *\nprioritize [type = file or type = "
+                "proc]",
+                2, 25, "BDL-E011");
+}
+
+TEST(AnalyzerTest, RecoverySurfacesEverySemanticError) {
+  // One pass over a script with three independent defects reports all
+  // three, in source order, each with its own span.
+  DiagnosticEngine diags;
+  const AstScript script = Parser::ParseRecover(
+      "backward proc p[bogus = \"x\" and pid = \"abc\"] -> *\n"
+      "where starttime = \"junk\"",
+      &diags);
+  ASSERT_FALSE(diags.HasErrors());  // syntactically fine
+  (void)AnalyzeRecover(script, &diags);
+  diags.SortBySource();
+  ASSERT_EQ(diags.num_errors(), 3u);
+  EXPECT_EQ(diags.diagnostics()[0].code, DiagCode::kUnknownAttribute);
+  EXPECT_EQ(diags.diagnostics()[1].code, DiagCode::kValueTypeMismatch);
+  EXPECT_EQ(diags.diagnostics()[2].code, DiagCode::kBadTimeLiteral);
+  for (const Diagnostic& d : diags.diagnostics()) {
+    EXPECT_TRUE(d.span.valid()) << d.message;
+  }
+  EXPECT_EQ(diags.diagnostics()[2].span.line, 2);
 }
 
 TEST(AnalyzerTest, TimeFieldValuesParsed) {

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "bdl/diagnostics.h"
+
+namespace aptrace::bdl {
+namespace {
+
+TEST(SourceSpanTest, AtBuildsPointSpan) {
+  const SourceSpan s = SourceSpan::At(3, 7, 4);
+  EXPECT_EQ(s.line, 3);
+  EXPECT_EQ(s.column, 7);
+  EXPECT_EQ(s.end_line, 3);
+  EXPECT_EQ(s.end_column, 11);
+  EXPECT_TRUE(s.valid());
+  EXPECT_FALSE(SourceSpan{}.valid());
+}
+
+TEST(SourceSpanTest, CoverSpansBothEndpoints) {
+  const SourceSpan a = SourceSpan::At(2, 5, 3);
+  const SourceSpan b = SourceSpan::At(2, 20, 6);
+  const SourceSpan c = SourceSpan::Cover(a, b);
+  EXPECT_EQ(c.line, 2);
+  EXPECT_EQ(c.column, 5);
+  EXPECT_EQ(c.end_column, 26);
+  // Order-independent, and invalid inputs are ignored.
+  EXPECT_TRUE(SourceSpan::Cover(b, a) == c);
+  EXPECT_TRUE(SourceSpan::Cover(a, SourceSpan{}) == a);
+  EXPECT_TRUE(SourceSpan::Cover(SourceSpan{}, b) == b);
+}
+
+TEST(DiagCodeTest, NamesAreStableAndSeveritiesSplit) {
+  EXPECT_STREQ(DiagCodeName(DiagCode::kLexError), "BDL-E001");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kOrInPrioritize), "BDL-E011");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kAlwaysFalse), "BDL-W001");
+  EXPECT_STREQ(DiagCodeName(DiagCode::kWindowOutsideTrace), "BDL-W009");
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kSyntaxError), Severity::kError);
+  EXPECT_EQ(DiagCodeSeverity(DiagCode::kBudgetSanity), Severity::kWarning);
+}
+
+TEST(DiagnosticEngineTest, CountsBySeverity) {
+  DiagnosticEngine engine;
+  engine.Report(DiagCode::kSyntaxError, SourceSpan::At(1, 1), "bad");
+  engine.Report(DiagCode::kAlwaysFalse, SourceSpan::At(2, 1), "dead");
+  engine.Report(DiagCode::kBudgetSanity, SourceSpan::At(3, 1), "zero");
+  EXPECT_TRUE(engine.HasErrors());
+  EXPECT_EQ(engine.num_errors(), 1u);
+  EXPECT_EQ(engine.num_warnings(), 2u);
+}
+
+TEST(DiagnosticEngineTest, SortBySourceOrdersByPosition) {
+  DiagnosticEngine engine;
+  engine.Report(DiagCode::kAlwaysFalse, SourceSpan::At(5, 1), "later");
+  engine.Report(DiagCode::kSyntaxError, SourceSpan::At(1, 9), "first");
+  engine.Report(DiagCode::kAlwaysTrue, SourceSpan{}, "nowhere");
+  engine.Report(DiagCode::kBadBudget, SourceSpan::At(1, 2), "early");
+  engine.SortBySource();
+  const auto& d = engine.diagnostics();
+  EXPECT_EQ(d[0].message, "early");
+  EXPECT_EQ(d[1].message, "first");
+  EXPECT_EQ(d[2].message, "later");
+  EXPECT_EQ(d[3].message, "nowhere");  // unknown positions sort last
+}
+
+TEST(DiagnosticEngineTest, PromoteWarningsMakesThemErrors) {
+  DiagnosticEngine engine;
+  engine.Report(DiagCode::kAlwaysFalse, SourceSpan::At(1, 1), "w1");
+  engine.Report(DiagCode::kBudgetSanity, SourceSpan::At(2, 1), "w2");
+  EXPECT_FALSE(engine.HasErrors());
+  EXPECT_EQ(engine.PromoteWarnings(), 2u);
+  EXPECT_EQ(engine.num_errors(), 2u);
+  EXPECT_EQ(engine.num_warnings(), 0u);
+  EXPECT_EQ(engine.diagnostics()[0].severity, Severity::kError);
+}
+
+TEST(DiagnosticEngineTest, FirstErrorStatusCarriesLineColumnAndCode) {
+  DiagnosticEngine engine;
+  engine.Report(DiagCode::kAlwaysFalse, SourceSpan::At(1, 1), "warn only");
+  EXPECT_TRUE(engine.FirstErrorStatus("BDL parse error").ok());
+  engine.Report(DiagCode::kUnknownAttribute, SourceSpan::At(2, 17),
+                "unknown attribute 'exena'");
+  const Status s = engine.FirstErrorStatus("BDL semantic error");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("line 2"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("column 17"), std::string::npos) << s.message();
+  EXPECT_NE(s.message().find("BDL semantic error"), std::string::npos);
+}
+
+TEST(RenderHumanTest, CaretPointsAtTheSpan) {
+  const std::string source = "backward proc p[bogus = \"x\"] -> *\n";
+  DiagnosticEngine engine;
+  Diagnostic& d = engine.Report(DiagCode::kUnknownAttribute,
+                                SourceSpan::At(1, 17, 11), "unknown");
+  d.notes.push_back({SourceSpan::At(1, 10, 4), "node is here"});
+  d.fixit = "path";
+  const std::string out =
+      RenderHuman(source, "t.bdl", engine.diagnostics());
+  EXPECT_NE(out.find("t.bdl:1:17: error: unknown [BDL-E004]"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("^~~~~~~~~~"), std::string::npos) << out;
+  EXPECT_NE(out.find("note: node is here"), std::string::npos) << out;
+  EXPECT_NE(out.find("fix-it: path"), std::string::npos) << out;
+}
+
+TEST(RenderSarifTest, EmitsRulesAndResults) {
+  DiagnosticEngine engine;
+  Diagnostic& d = engine.Report(DiagCode::kAlwaysFalse,
+                                SourceSpan::At(2, 5, 3), "never \"holds\"");
+  d.notes.push_back({SourceSpan::At(1, 1, 2), "other half"});
+  const std::string sarif =
+      RenderSarif({{"scripts/case.bdl", engine.Take()}});
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"id\":\"BDL-W001\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"level\":\"warning\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"startLine\":2"), std::string::npos);
+  EXPECT_NE(sarif.find("\"startColumn\":5"), std::string::npos);
+  // The quoted word must be JSON-escaped, and notes become
+  // relatedLocations.
+  EXPECT_NE(sarif.find("never \\\"holds\\\""), std::string::npos);
+  EXPECT_NE(sarif.find("relatedLocations"), std::string::npos);
+  EXPECT_NE(sarif.find("other half"), std::string::npos);
+}
+
+TEST(RenderSarifTest, AggregatesMultipleFiles) {
+  DiagnosticEngine a;
+  a.Report(DiagCode::kLexError, SourceSpan::At(1, 1), "bad char");
+  DiagnosticEngine b;
+  b.Report(DiagCode::kBudgetSanity, SourceSpan::At(3, 7), "zero hop");
+  const std::string sarif =
+      RenderSarif({{"a.bdl", a.Take()}, {"b.bdl", b.Take()}});
+  EXPECT_NE(sarif.find("a.bdl"), std::string::npos);
+  EXPECT_NE(sarif.find("b.bdl"), std::string::npos);
+  EXPECT_NE(sarif.find("BDL-E001"), std::string::npos);
+  EXPECT_NE(sarif.find("BDL-W007"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aptrace::bdl

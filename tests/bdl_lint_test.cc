@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdl/lint.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "storage/event_store.h"
+#include "util/string_util.h"
+
+namespace aptrace::bdl {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Golden cases: every tests/bdl_lint_cases/*.bdl script declares the exact
+// diagnostics it must produce via trailing `// expect: CODE LINE:COL`
+// comments. The driver runs the full lint pipeline and compares the
+// (code, line, column) multiset — so recovery regressions (a missing
+// second error) and span regressions both fail loudly.
+// ---------------------------------------------------------------------------
+
+struct Expected {
+  std::string code;
+  int line = 0;
+  int column = 0;
+
+  bool operator==(const Expected& o) const {
+    return code == o.code && line == o.line && column == o.column;
+  }
+  bool operator<(const Expected& o) const {
+    if (line != o.line) return line < o.line;
+    if (column != o.column) return column < o.column;
+    return code < o.code;
+  }
+};
+
+std::string Render(const std::vector<Expected>& v) {
+  std::string out;
+  for (const Expected& e : v) {
+    out += "  " + e.code + " " + std::to_string(e.line) + ":" +
+           std::to_string(e.column) + "\n";
+  }
+  return out.empty() ? "  (none)\n" : out;
+}
+
+std::vector<std::string> CaseFiles() {
+  std::vector<std::string> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(BDL_LINT_CASES_DIR)) {
+    if (entry.path().extension() == ".bdl") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+class LintGoldenTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LintGoldenTest, ReportsExactlyTheExpectedDiagnostics) {
+  std::ifstream f(GetParam());
+  ASSERT_TRUE(f) << "cannot open " << GetParam();
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+
+  std::vector<Expected> expected;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::string_view marker = "// expect: ";
+    const size_t at = line.find(marker);
+    if (at == std::string::npos) continue;
+    std::istringstream rest(line.substr(at + marker.size()));
+    Expected e;
+    char colon = 0;
+    rest >> e.code >> e.line >> colon;  // "BDL-W001 2:17"
+    ASSERT_TRUE(rest) << "bad expect line: " << line;
+    // The line:column pair arrives as "2:17" — reparse.
+    std::istringstream pos(line.substr(line.rfind(' ') + 1));
+    pos >> e.line >> colon >> e.column;
+    ASSERT_TRUE(pos && colon == ':') << "bad expect line: " << line;
+    expected.push_back(e);
+  }
+  ASSERT_FALSE(expected.empty())
+      << GetParam() << " declares no `// expect:` lines";
+
+  const LintReport report = LintBdl(text);
+  std::vector<Expected> actual;
+  for (const Diagnostic& d : report.diagnostics) {
+    actual.push_back({d.code_name(), d.span.line, d.span.column});
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+  EXPECT_EQ(actual, expected) << "expected:\n"
+                              << Render(expected) << "actual:\n"
+                              << Render(actual);
+
+  // The spec compiles exactly when no expected diagnostic is an error.
+  const bool any_error =
+      std::any_of(expected.begin(), expected.end(),
+                  [](const Expected& e) { return e.code[4] == 'E'; });
+  EXPECT_EQ(report.spec.has_value(), !any_error);
+}
+
+std::string CaseName(const ::testing::TestParamInfo<std::string>& info) {
+  return std::filesystem::path(info.param).stem().string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, LintGoldenTest,
+                         ::testing::ValuesIn(CaseFiles()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Trace-aware checks need a store; build a tiny one in-process.
+// ---------------------------------------------------------------------------
+
+class LintStoreTest : public ::testing::Test {
+ protected:
+  LintStoreTest() {
+    ObjectCatalog& catalog = store_.catalog();
+    const HostId host = catalog.InternHost("desktop1");
+    const ObjectId proc =
+        catalog.AddProcess(host, {.exename = "java.exe", .pid = 7});
+    const ObjectId file =
+        catalog.AddFile(host, {.path = "C:/Users/a/report.doc"});
+    Event e;
+    e.subject = proc;
+    e.object = file;
+    e.host = host;
+    e.action = ActionType::kWrite;
+    e.direction = FlowDirection::kSubjectToObject;
+    e.timestamp = ParseBdlTime("04/01/2019").value();
+    store_.Append(e);
+    e.timestamp = ParseBdlTime("04/02/2019").value();
+    store_.Append(e);
+    store_.Seal();
+    options_.store = &store_;
+  }
+
+  std::vector<std::string> Codes(const LintReport& report) {
+    std::vector<std::string> codes;
+    for (const Diagnostic& d : report.diagnostics) {
+      codes.push_back(d.code_name());
+    }
+    return codes;
+  }
+
+  EventStore store_;
+  LintOptions options_;
+};
+
+TEST_F(LintStoreTest, PatternMatchingNoCatalogObjectWarns) {
+  const LintReport report =
+      LintBdl("backward proc p[exename = \"ghost.exe\"] -> *", options_);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"BDL-W005"});
+  EXPECT_TRUE(report.ok());
+}
+
+TEST_F(LintStoreTest, PatternMatchingSomeObjectIsClean) {
+  const LintReport report =
+      LintBdl("backward proc p[exename = \"java*\"] -> *", options_);
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST_F(LintStoreTest, DisjunctionIsNeverFlaggedUnmatchable) {
+  const LintReport report = LintBdl(
+      "backward proc p[exename = \"ghost.exe\" or pid = 7] -> *", options_);
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST_F(LintStoreTest, WindowOutsideTraceWarns) {
+  const LintReport report = LintBdl(
+      "from \"01/01/2031\" to \"02/01/2031\"\nbackward proc p[] -> *",
+      options_);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"BDL-W009"});
+}
+
+TEST_F(LintStoreTest, WindowInsideTraceIsClean) {
+  const LintReport report = LintBdl(
+      "from \"04/01/2019\" to \"04/03/2019\"\nbackward proc p[] -> *",
+      options_);
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST_F(LintStoreTest, TimeBudgetBeyondTraceHorizonWarns) {
+  const LintReport report =
+      LintBdl("backward proc p[] -> * where time <= 900d", options_);
+  EXPECT_EQ(Codes(report), std::vector<std::string>{"BDL-W007"});
+}
+
+// ---------------------------------------------------------------------------
+// Pure-AST lint details not covered by the golden corpus.
+// ---------------------------------------------------------------------------
+
+TEST(LintTest, BooleanContradictionWarns) {
+  const LintReport report = LintBdl(
+      "backward file f[isReadonly = true and isReadonly = false] -> *");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, DiagCode::kAlwaysFalse);
+}
+
+TEST(LintTest, NumericEqualityConflictWarns) {
+  const LintReport report =
+      LintBdl("backward proc p[pid = 4 and pid = 5] -> *");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, DiagCode::kAlwaysFalse);
+}
+
+TEST(LintTest, EqualityOutsideRangeWarns) {
+  const LintReport report =
+      LintBdl("backward proc p[pid = 4 and pid > 10] -> *");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, DiagCode::kAlwaysFalse);
+}
+
+TEST(LintTest, SamePatternOnBothSidesOfEqAndNeWarns) {
+  const LintReport report = LintBdl(
+      "backward file f[path = \"*.doc\" and path != \"*.doc\"] -> *");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, DiagCode::kAlwaysFalse);
+}
+
+TEST(LintTest, OrBranchesDoNotConflictAcrossGroups) {
+  // pid = 4 and pid = 5 conflict only if they must hold together; across
+  // an `or` they are separate groups and both satisfiable.
+  const LintReport report =
+      LintBdl("backward proc p[pid = 4 or pid = 5] -> *");
+  EXPECT_TRUE(report.diagnostics.empty());
+}
+
+TEST(LintTest, TimeRangeContradictionInWhereWarns) {
+  const LintReport report = LintBdl(
+      "backward proc p[] -> * where event_time > \"04/20/2019\" and "
+      "event_time < \"04/10/2019\"");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].code, DiagCode::kAlwaysFalse);
+}
+
+TEST(LintTest, CleanScriptHasNoDiagnosticsAndASpec) {
+  const LintReport report = LintBdl(
+      "from \"03/26/2019\" to \"04/27/2019\"\n"
+      "backward proc p[exename = \"java.exe\"] -> file f[] -> *\n"
+      "where hop <= 25 and time <= 10mins\n"
+      "prioritize [type = file] <- [amount >= size]\n"
+      "output = \"out.dot\"");
+  EXPECT_TRUE(report.diagnostics.empty());
+  ASSERT_TRUE(report.spec.has_value());
+  EXPECT_EQ(report.spec->hop_limit, 25);
+}
+
+TEST(LintTest, RecoveryReportsEveryDefectInOnePass) {
+  // Three independent defects; one invocation must surface all three.
+  const LintReport report = LintBdl(
+      "from \"13/45/2019\" to \"04/01/2019\"\n"
+      "backward proc p[exena = \"x\"] -> *\n"
+      "where hop <= 0");
+  std::vector<std::string> codes;
+  for (const Diagnostic& d : report.diagnostics) {
+    codes.push_back(d.code_name());
+  }
+  EXPECT_EQ(codes, (std::vector<std::string>{"BDL-E007", "BDL-E004"}));
+  // The hop warning needs a compiled spec, which errors suppress; the two
+  // errors still arrive together with their own spans.
+  ASSERT_EQ(report.diagnostics.size(), 2u);
+  EXPECT_EQ(report.diagnostics[0].span.line, 1);
+  EXPECT_EQ(report.diagnostics[1].span.line, 2);
+}
+
+TEST(LintTest, FixitSuggestsClosestFieldName) {
+  const LintReport report =
+      LintBdl("backward proc p[exena = \"x\"] -> *");
+  ASSERT_EQ(report.diagnostics.size(), 1u);
+  EXPECT_EQ(report.diagnostics[0].fixit, "exename");
+  ASSERT_EQ(report.diagnostics[0].notes.size(), 1u);
+  EXPECT_NE(report.diagnostics[0].notes[0].message.find("exename"),
+            std::string::npos);
+}
+
+TEST(LintTest, LintRunsCounterIncrements) {
+  obs::Counter* runs =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlLintRuns);
+  obs::Counter* warnings =
+      obs::Metrics().FindOrCreateCounter(obs::names::kBdlLintWarnings);
+  const uint64_t runs_before = runs->value();
+  const uint64_t warnings_before = warnings->value();
+  (void)LintBdl("backward proc p[] -> * where hop <= 0");
+  EXPECT_EQ(runs->value(), runs_before + 1);
+  EXPECT_EQ(warnings->value(), warnings_before + 1);
+}
+
+}  // namespace
+}  // namespace aptrace::bdl

@@ -34,3 +34,48 @@ execute_process(
 if(NOT rc EQUAL 0 OR NOT out MATCHES "alerts" OR NOT out MATCHES "no analysis running")
   message(FATAL_ERROR "shell failed: rc=${rc} out=${out}")
 endif()
+
+# Lint: a script with three seeded defects must surface all of them in one
+# invocation, with documented codes, in both human and SARIF output.
+file(WRITE ${WORKDIR}/bad.bdl
+  "backward proc p[exena = \"winword.exe\" and pid = \"abc\"] -> *\n"
+  "where starttime = \"not a time\"\n")
+execute_process(
+  COMMAND ${LINT} --sarif=${WORKDIR}/bad.sarif ${WORKDIR}/bad.bdl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "lint should exit 1 on errors: rc=${rc} ${out}${err}")
+endif()
+foreach(code BDL-E004 BDL-E006 BDL-E007)
+  if(NOT out MATCHES "${code}")
+    message(FATAL_ERROR "lint output missing ${code}: ${out}")
+  endif()
+endforeach()
+if(NOT out MATCHES "bad.bdl:1:17")
+  message(FATAL_ERROR "lint output missing line:column: ${out}")
+endif()
+file(READ ${WORKDIR}/bad.sarif sarif)
+if(NOT sarif MATCHES "\"version\":\"2.1.0\"" OR NOT sarif MATCHES "BDL-E004"
+   OR NOT sarif MATCHES "\"startLine\":1" OR NOT sarif MATCHES "\"startColumn\":17")
+  message(FATAL_ERROR "SARIF output malformed: ${sarif}")
+endif()
+
+# A clean script passes, and --werror flips warnings to a non-zero exit.
+file(WRITE ${WORKDIR}/warn.bdl "backward proc p[] -> *\nwhere hop <= 0\n")
+execute_process(COMMAND ${LINT} ${WORKDIR}/warn.bdl RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "warning-only lint should exit 0: rc=${rc}")
+endif()
+execute_process(COMMAND ${LINT} --werror ${WORKDIR}/warn.bdl RESULT_VARIABLE rc)
+if(NOT rc EQUAL 1)
+  message(FATAL_ERROR "lint --werror should exit 1 on warnings: rc=${rc}")
+endif()
+
+# The analysis CLI refuses to run a script that fails --lint --werror.
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/warn.bdl
+          --lint --werror --sim-limit=2mins --quiet
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(NOT rc EQUAL 1 OR NOT err MATCHES "not running")
+  message(FATAL_ERROR "run --lint --werror should refuse: rc=${rc} ${err}")
+endif()

@@ -20,6 +20,10 @@
 //                             *.json selects the JSON export)
 //         --trace-out=<f>     record spans; write Chrome trace JSON
 //         --quiet             no per-update lines
+//         --lint              lint the script against the loaded trace
+//                             before running; errors abort the run
+//         --werror            with --lint (implied): treat lint warnings
+//                             as errors and refuse to run
 //
 //   aptrace investigate --scenario=<name>
 //       Replay the scripted blue-team refinement loop for a case and
@@ -47,6 +51,7 @@
 #include <string>
 
 #include "bdl/formatter.h"
+#include "bdl/lint.h"
 #include "core/engine.h"
 #include "detect/detector.h"
 #include "graph/json_writer.h"
@@ -77,6 +82,8 @@ struct Flags {
   int train_days = -1;
   bool baseline = false;
   bool quiet = false;
+  bool lint = false;
+  bool werror = false;
 };
 
 bool TakeValue(const char* arg, const char* name, std::string* out) {
@@ -124,6 +131,11 @@ Flags ParseFlags(int argc, char** argv) {
       f.baseline = true;
     } else if (std::strcmp(a, "--quiet") == 0) {
       f.quiet = true;
+    } else if (std::strcmp(a, "--lint") == 0) {
+      f.lint = true;
+    } else if (std::strcmp(a, "--werror") == 0) {
+      f.lint = true;
+      f.werror = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       f.command.clear();
@@ -192,6 +204,26 @@ int CmdRun(const Flags& flags) {
   }
   std::stringstream script;
   script << sf.rdbuf();
+
+  if (flags.lint) {
+    bdl::LintOptions lint_options;
+    lint_options.store = store.value().get();
+    const bdl::LintReport report = bdl::LintBdl(script.str(), lint_options);
+    if (!report.diagnostics.empty()) {
+      std::fputs(bdl::RenderHuman(script.str(), flags.script_path,
+                                  report.diagnostics)
+                     .c_str(),
+                 stderr);
+    }
+    if (!report.ok() || (flags.werror && report.num_warnings > 0)) {
+      std::fprintf(stderr,
+                   "lint: %zu error(s), %zu warning(s)%s — not running\n",
+                   report.num_errors, report.num_warnings,
+                   flags.werror && report.ok() ? " (warnings are errors)"
+                                               : "");
+      return 1;
+    }
+  }
 
   SimClock clock;
   SessionOptions options;

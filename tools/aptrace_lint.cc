@@ -1,0 +1,137 @@
+// aptrace_lint — static analysis for BDL scripts.
+//
+//   aptrace_lint [flags] <script.bdl>...
+//     --trace=<trace.tsv>  load a trace so trace-aware checks run
+//                          (unmatchable patterns, windows/budgets outside
+//                          the trace horizon)
+//     --sarif=<file|->     also write a SARIF 2.1.0 log for all scripts
+//     --werror             treat warnings as errors
+//
+// Every problem in every script is reported in one invocation: the lexer,
+// parser, and analyzer all recover and continue, and the lint pass adds
+// semantic warnings (see docs/bdl_lint.md for the code catalog). Human
+// diagnostics go to stdout in caret style; exit status is 0 when clean,
+// 1 when any error (or, under --werror, warning) was reported, 2 on usage
+// or I/O problems.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bdl/diagnostics.h"
+#include "bdl/lint.h"
+#include "storage/trace_io.h"
+
+namespace aptrace {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aptrace_lint [--trace=<trace.tsv>] [--sarif=<file|->]"
+               " [--werror] <script.bdl>...\n");
+  return 2;
+}
+
+bool TakeValue(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int Main(int argc, char** argv) {
+  std::string trace_path;
+  std::string sarif_path;
+  bool werror = false;
+  std::vector<std::string> scripts;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (TakeValue(a, "--trace", &trace_path) ||
+        TakeValue(a, "--sarif", &sarif_path)) {
+      continue;
+    }
+    if (std::strcmp(a, "--werror") == 0) {
+      werror = true;
+    } else if (a[0] == '-' && a[1] != '\0') {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      return Usage();
+    } else {
+      scripts.push_back(a);
+    }
+  }
+  if (scripts.empty()) return Usage();
+
+  std::unique_ptr<EventStore> store;
+  if (!trace_path.empty()) {
+    auto loaded = LoadTraceFile(trace_path);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 2;
+    }
+    store = std::move(loaded.value());
+  }
+
+  bdl::LintOptions options;
+  options.store = store.get();
+
+  size_t total_errors = 0;
+  size_t total_warnings = 0;
+  std::vector<bdl::FileDiagnostics> sarif_files;
+  for (const std::string& path : scripts) {
+    std::ifstream f(path);
+    if (!f) {
+      std::fprintf(stderr, "cannot open script: %s\n", path.c_str());
+      return 2;
+    }
+    std::stringstream text;
+    text << f.rdbuf();
+
+    bdl::LintReport report = bdl::LintBdl(text.str(), options);
+    if (werror) {
+      for (bdl::Diagnostic& d : report.diagnostics) {
+        if (d.severity == bdl::Severity::kWarning) {
+          d.severity = bdl::Severity::kError;
+          report.num_warnings--;
+          report.num_errors++;
+        }
+      }
+    }
+    total_errors += report.num_errors;
+    total_warnings += report.num_warnings;
+    std::fputs(
+        bdl::RenderHuman(text.str(), path, report.diagnostics).c_str(),
+        stdout);
+    sarif_files.push_back({path, std::move(report.diagnostics)});
+  }
+
+  if (!sarif_path.empty()) {
+    const std::string sarif = bdl::RenderSarif(sarif_files);
+    if (sarif_path == "-") {
+      std::fputs(sarif.c_str(), stdout);
+    } else {
+      std::ofstream out(sarif_path);
+      if (!out) {
+        std::fprintf(stderr, "cannot write SARIF to %s\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      out << sarif;
+    }
+  }
+
+  std::printf("%zu script%s checked: %zu error%s, %zu warning%s\n",
+              scripts.size(), scripts.size() == 1 ? "" : "s", total_errors,
+              total_errors == 1 ? "" : "s", total_warnings,
+              total_warnings == 1 ? "" : "s");
+  return total_errors > 0 ? 1 : 0;
+}
+
+}  // namespace
+}  // namespace aptrace
+
+int main(int argc, char** argv) { return aptrace::Main(argc, argv); }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bdl/formatter.h"
+#include "bdl/lint.h"
 #include "core/engine.h"
 #include "detect/detector.h"
 #include "graph/json_writer.h"
@@ -35,6 +36,8 @@ constexpr char kHelp[] =
     "  path <object-id>     causal chain from the start to the object\n"
     "  dot <file> | json <file> | summary <file>   export the graph\n"
     "  save <file> | load <file>  checkpoint / resume the investigation\n"
+    "  lint <file.bdl>      check a script against this trace without "
+    "running it\n"
     "  fmt                  print the current script, formatted\n"
     "  stats                print the process metrics (Prometheus text)\n"
     "  trace-dump <file>    write recorded spans as Chrome trace JSON\n"
@@ -148,6 +151,20 @@ int RunShell(EventStore* store, std::istream& in, std::ostream& out) {
       } else {
         out << "error: " << s << "\n";
       }
+      continue;
+    }
+    if (cmd == "lint") {
+      std::string path;
+      args >> path;
+      const std::string text = ReadFileOr(path, out);
+      if (text.empty()) continue;
+      bdl::LintOptions options;
+      options.store = st.store;
+      const bdl::LintReport report = bdl::LintBdl(text, options);
+      out << bdl::RenderHuman(text, path, report.diagnostics);
+      out << report.num_errors << " error(s), " << report.num_warnings
+          << " warning(s)"
+          << (report.ok() ? "; the script compiles" : "") << "\n";
       continue;
     }
     if (cmd == "start" || cmd == "refine") {
