@@ -29,6 +29,7 @@ struct BenchArgs {
   uint64_t seed = 42;
   int windows_k = 8;       // the paper's empirical k
   int threads = 0;         // 0 = hardware concurrency (results identical)
+  int scan_threads = 1;    // executor scan workers per case (1 = sequential)
   std::string metrics_out;  // "-" = stdout, *.json = JSON export
   std::string trace_out;    // Chrome trace JSON; enables span recording
   std::string meta_out;     // run metadata JSON (default: <metrics>.meta.json)
@@ -54,6 +55,8 @@ struct BenchArgs {
         args.windows_k = std::atoi(a + 4);
       } else if (std::strncmp(a, "--threads=", 10) == 0) {
         args.threads = std::atoi(a + 10);
+      } else if (std::strncmp(a, "--scan-threads=", 15) == 0) {
+        args.scan_threads = std::atoi(a + 15);
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
         args.metrics_out = a + 14;
       } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
@@ -63,7 +66,8 @@ struct BenchArgs {
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
-            "--threads=N --metrics-out=F --trace-out=F --meta-out=F\n");
+            "--threads=N --scan-threads=N --metrics-out=F --trace-out=F "
+            "--meta-out=F\n");
         std::exit(0);
       }
     }
@@ -86,19 +90,28 @@ struct CaseRun {
   size_t graph_edges = 0;
   size_t graph_nodes = 0;
   DurationMicros elapsed = 0;  // simulated
+  /// Deterministic scan totals from the responsive engine (0 on the
+  /// baseline): summed simulated scan cost, and the modeled makespan of
+  /// those scans on scan_threads parallel servers (ScanOverlapModel).
+  DurationMicros scan_cost_total = 0;
+  DurationMicros modeled_scan_makespan = 0;
 };
 
 /// Backtracks from `alert` with either engine, capped at `sim_cap`
-/// simulated time (negative = uncapped). `on_update` is optional.
+/// simulated time (negative = uncapped). `on_update` is optional;
+/// `scan_threads` selects the executor's parallel scan pipeline (results
+/// are identical for any value).
 inline CaseRun RunCase(const EventStore& store, const Event& alert,
                        bool use_baseline, int windows_k,
                        DurationMicros sim_cap,
                        const std::function<void(const UpdateBatch&,
-                                                Clock&)>& on_update = {}) {
+                                                Clock&)>& on_update = {},
+                       int scan_threads = 1) {
   SimClock clock;
   SessionOptions options;
   options.use_baseline = use_baseline;
   options.num_windows_k = windows_k;
+  options.scan_threads = scan_threads;
   Session session(&store, &clock, options);
 
   const bdl::TrackingSpec spec = workload::GenericSpecFor(store, alert);
@@ -116,6 +129,10 @@ inline CaseRun RunCase(const EventStore& store, const Event& alert,
   run.graph_edges = session.graph().NumEdges();
   run.graph_nodes = session.graph().NumNodes();
   run.elapsed = clock.NowMicros() - session.stats().run_start;
+  if (const auto* executor = dynamic_cast<Executor*>(session.engine())) {
+    run.scan_cost_total = executor->scan_cost_total();
+    run.modeled_scan_makespan = executor->modeled_scan_makespan();
+  }
   return run;
 }
 

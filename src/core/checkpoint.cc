@@ -44,16 +44,13 @@ Status Executor::SaveCheckpoint(std::ostream& os) const {
   for (const auto& [object, watermark] : covered_until_) {
     os << "C\t" << object << "\t" << watermark << "\n";
   }
-  // Drain a copy of the priority queue (std::priority_queue is not
-  // iterable in place).
-  auto queue_copy = queue_;
-  while (!queue_copy.empty()) {
-    const ExecWindow& w = queue_copy.top();
+  // Pending windows in pop (priority) order, so a restored queue heapifies
+  // back to the identical schedule.
+  for (const ExecWindow& w : queue_.SortedSnapshot()) {
     os << "W\t" << w.begin << "\t" << w.finish << "\t" << w.dep_event
        << "\t" << w.frontier << "\t" << w.hop << "\t" << w.state << "\t"
        << (w.boosted ? 1 : 0) << "\t" << w.seq << "\t" << w.priority_key
        << "\n";
-    queue_copy.pop();
   }
   os << "L\t" << log_.run_start() << "\n";
   for (const UpdateBatch& b : log_.batches()) {
@@ -221,6 +218,7 @@ Status Session::LoadCheckpoint(const std::string& path) {
   const Event alert = store_->Get(alert_id);
   auto ctx = ResolveContext(*store_, std::move(spec.value()), clock_, alert);
   if (!ctx.ok()) return ctx.status();
+  ctx.value().scan_threads = options_.scan_threads;
 
   auto executor = std::make_unique<Executor>(std::move(ctx.value()), clock_,
                                              k, options_.temporal_priority);

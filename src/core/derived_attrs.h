@@ -1,6 +1,7 @@
 #ifndef APTRACE_CORE_DERIVED_ATTRS_H_
 #define APTRACE_CORE_DERIVED_ATTRS_H_
 
+#include <mutex>
 #include <unordered_map>
 
 #include "event/schema.h"
@@ -15,6 +16,11 @@ namespace aptrace {
 ///
 /// Answers are memoized per object: during one analysis the underlying
 /// data is immutable, and the same object is typically tested many times.
+///
+/// Thread-safe: the memo caches are mutex-guarded so the Executor's scan
+/// workers can evaluate where-filters concurrently with the coordinator.
+/// The answers themselves are pure functions of the immutable store, so
+/// races on *who* fills a cache slot cannot change any result.
 class StoreDerivedAttrs : public DerivedAttrs {
  public:
   StoreDerivedAttrs(const EventStore* store, TimeMicros range_begin,
@@ -34,6 +40,7 @@ class StoreDerivedAttrs : public DerivedAttrs {
   const EventStore* store_;
   TimeMicros begin_;
   TimeMicros end_;
+  mutable std::mutex mu_;
   mutable std::unordered_map<ObjectId, bool> read_only_cache_;
   mutable std::unordered_map<ObjectId, bool> write_through_cache_;
 };

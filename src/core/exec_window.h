@@ -1,7 +1,9 @@
 #ifndef APTRACE_CORE_EXEC_WINDOW_H_
 #define APTRACE_CORE_EXEC_WINDOW_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "event/event.h"
@@ -52,6 +54,48 @@ struct ExecWindowLess {
     }
     return a.seq > b.seq;  // smaller seq = earlier = higher priority
   }
+};
+
+/// The Executor's window priority queue: a binary max-heap over
+/// ExecWindowLess with the two extras std::priority_queue cannot offer —
+/// in-place iteration (entries(), for checkpointing and for the parallel
+/// pipeline's prefetch submission) and a sorted snapshot.
+///
+/// Pop order is identical to std::priority_queue with the same comparator:
+/// ExecWindowLess is a strict *total* order (the seq tie-break), so every
+/// valid heap yields the same pop sequence — the parallel executor's
+/// determinism contract leans on this.
+class WindowQueue {
+ public:
+  explicit WindowQueue(ExecWindowLess less = {}) : less_(less) {}
+
+  void push(ExecWindow w) {
+    heap_.push_back(std::move(w));
+    std::push_heap(heap_.begin(), heap_.end(), less_);
+  }
+  const ExecWindow& top() const { return heap_.front(); }
+  void pop() {
+    std::pop_heap(heap_.begin(), heap_.end(), less_);
+    heap_.pop_back();
+  }
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+  void clear() { heap_.clear(); }
+
+  /// The pending windows in heap order (NOT priority order).
+  const std::vector<ExecWindow>& entries() const { return heap_; }
+
+  /// A copy of the pending windows in pop (priority) order.
+  std::vector<ExecWindow> SortedSnapshot() const {
+    std::vector<ExecWindow> out = heap_;
+    std::sort_heap(out.begin(), out.end(), less_);
+    std::reverse(out.begin(), out.end());  // sort_heap leaves ascending
+    return out;
+  }
+
+ private:
+  ExecWindowLess less_;
+  std::vector<ExecWindow> heap_;
 };
 
 /// Cuts the monolithic window [global_start, e.timestamp) into at most `k`

@@ -1,11 +1,15 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/worker_pool.h"
 
 namespace aptrace {
 
@@ -20,6 +24,14 @@ struct ExecutorMetrics {
   obs::Counter* dedup_clips;
   obs::Gauge* queue_depth;
   obs::LatencyHistogram* update_batch_latency;
+  obs::Gauge* scan_threads;
+  obs::Counter* prefetch_hits;
+  obs::Counter* prefetch_waits;
+  obs::Counter* prefetch_misses;
+  obs::Gauge* pool_queue_depth;
+  obs::LatencyHistogram* worker_scan_latency;
+  obs::Counter* scan_cost;
+  obs::Gauge* modeled_makespan;
 };
 
 const ExecutorMetrics& Em() {
@@ -31,9 +43,24 @@ const ExecutorMetrics& Em() {
       obs::Metrics().FindOrCreateCounter(obs::names::kDedupWindowClips),
       obs::Metrics().FindOrCreateGauge(obs::names::kExecutorQueueDepth),
       obs::Metrics().FindOrCreateHistogram(obs::names::kUpdateBatchLatency),
+      obs::Metrics().FindOrCreateGauge(obs::names::kExecutorScanThreads),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorPrefetchHits),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorPrefetchWaits),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorPrefetchMisses),
+      obs::Metrics().FindOrCreateGauge(obs::names::kExecutorPoolQueueDepth),
+      obs::Metrics().FindOrCreateHistogram(
+          obs::names::kExecutorWorkerScanLatency),
+      obs::Metrics().FindOrCreateCounter(obs::names::kExecutorScanCostMicros),
+      obs::Metrics().FindOrCreateGauge(
+          obs::names::kExecutorModeledScanMakespan),
   };
   return m;
 }
+
+/// Pure per-row verdict bits a worker precomputes so the coordinator's
+/// replay filter never re-evaluates host or where predicates.
+constexpr uint8_t kVerdictHostOk = 1;
+constexpr uint8_t kVerdictWhereKeeps = 2;
 
 }  // namespace
 
@@ -48,6 +75,48 @@ const char* StopReasonName(StopReason r) {
   return "?";
 }
 
+// ------------------------------------------------- ScanOverlapModel
+
+void ScanOverlapModel::Reset(int servers) {
+  server_free_.assign(static_cast<size_t>(std::max(1, servers)), 0);
+  ready_.clear();
+  makespan_ = 0;
+  total_ = 0;
+}
+
+void ScanOverlapModel::OnWindowScanned(uint64_t seq, DurationMicros cost,
+                                       uint64_t child_seq_lo,
+                                       uint64_t child_seq_hi) {
+  TimeMicros ready = 0;
+  if (const auto it = ready_.find(seq); it != ready_.end()) {
+    ready = it->second;
+    ready_.erase(it);
+  }
+  const auto server =
+      std::min_element(server_free_.begin(), server_free_.end());
+  const TimeMicros start = std::max(*server, ready);
+  const TimeMicros finish = start + cost;
+  *server = finish;
+  makespan_ = std::max(makespan_, finish);
+  total_ += cost;
+  for (uint64_t c = child_seq_lo; c < child_seq_hi; ++c) {
+    ready_[c] = finish;
+  }
+}
+
+// ---------------------------------------------------------- Executor
+
+/// Filled once by the worker task that owns it, then read by the
+/// coordinator. `ready` flips under `mu`; the coordinator waits on `cv`
+/// when it pops a window whose prefetch is still in flight.
+struct Executor::Prefetch {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool ready = false;
+  RangeScanBatch batch;
+  std::vector<uint8_t> verdicts;  // kVerdict* bits, one per batch row
+};
+
 Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
                    bool temporal_priority, bool coverage_dedup)
     : ctx_(std::move(ctx)),
@@ -55,7 +124,77 @@ Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
       k_(std::max(1, num_windows_k)),
       coverage_dedup_(coverage_dedup),
       maintainer_(&ctx_, &graph_),
-      queue_(ExecWindowLess{temporal_priority}) {}
+      queue_(ExecWindowLess{temporal_priority}) {
+  const int requested = ctx_.scan_threads;
+  scan_threads_ =
+      requested == 0
+          ? std::max(1, static_cast<int>(std::thread::hardware_concurrency()))
+          : std::clamp(requested, 1, WorkerPool::kMaxThreads);
+  model_.Reset(scan_threads_);
+}
+
+Executor::~Executor() {
+  if (pool_ != nullptr) pool_->Shutdown(/*run_pending=*/false);
+}
+
+void Executor::StartPoolIfNeeded() {
+  if (scan_threads_ <= 1 || pool_ != nullptr) return;
+  pool_ = std::make_unique<WorkerPool>(scan_threads_);
+}
+
+void Executor::SubmitPrefetch(const ExecWindow& w) {
+  if (pool_ == nullptr || prefetch_.count(w.seq) != 0) return;
+  auto entry = std::make_shared<Prefetch>();
+  // The task reads only immutable state (sealed store, context spec,
+  // mutex-guarded derived-attr caches); every exclusion or graph decision
+  // stays on the coordinator. ctx_ is stable while workers run: the pool
+  // is drained before ApplyRefinedContext swaps it.
+  const TrackingContext* ctx = &ctx_;
+  const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
+  const ObjectId frontier = w.frontier;
+  const TimeMicros begin = w.begin;
+  const TimeMicros finish = w.finish;
+  const bool submitted =
+      pool_->Submit([entry, ctx, forward, frontier, begin, finish] {
+        APTRACE_SPAN("executor/worker_scan");
+        const TimeMicros t0 = MonotonicNowMicros();
+        const EventStore& store = *ctx->store;
+        RangeScanBatch batch = forward
+                                   ? store.CollectSrc(frontier, begin, finish)
+                                   : store.CollectDest(frontier, begin, finish);
+        std::vector<uint8_t> verdicts;
+        verdicts.reserve(batch.rows.size());
+        const ObjectCatalog& catalog = store.catalog();
+        for (const EventId id : batch.rows) {
+          const Event& e = store.Get(id);
+          uint8_t v = 0;
+          if (ctx->HostAllowed(e.host)) v |= kVerdictHostOk;
+          const ObjectId fresh = forward ? e.FlowDest() : e.FlowSource();
+          if (ctx->IsAnchor(fresh) ||
+              ctx->WhereKeeps(catalog.Get(fresh), &e)) {
+            v |= kVerdictWhereKeeps;
+          }
+          verdicts.push_back(v);
+        }
+        Em().worker_scan_latency->Observe(
+            MicrosToSeconds(MonotonicNowMicros() - t0));
+        {
+          std::lock_guard<std::mutex> lock(entry->mu);
+          entry->batch = std::move(batch);
+          entry->verdicts = std::move(verdicts);
+          entry->ready = true;
+        }
+        entry->cv.notify_all();
+      });
+  if (submitted) prefetch_.emplace(w.seq, std::move(entry));
+}
+
+void Executor::SubmitMissingPrefetches() {
+  if (pool_ == nullptr) return;
+  for (const ExecWindow& w : queue_.entries()) SubmitPrefetch(w);
+}
+
+void Executor::InvalidatePrefetches() { prefetch_.clear(); }
 
 void Executor::Bootstrap() {
   stats_.run_start = clock_->NowMicros();
@@ -104,13 +243,17 @@ void Executor::EnqueueWindowsFor(const Event& e, int state) {
     w.state = state;
     w.boosted = boosted;
     w.seq = seq_++;
+    // Speculative prefetch: the worker pool starts collecting this
+    // window's rows while earlier windows are still being applied.
+    SubmitPrefetch(w);
     queue_.push(w);
   }
   Em().windows_enqueued->Add(windows.size());
 }
 
-void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
-                             size_t* batch_nodes) {
+void Executor::ProcessWindow(const ExecWindow& w, const Prefetch* pre,
+                             size_t* batch_edges, size_t* batch_nodes,
+                             DurationMicros* scan_cost) {
   APTRACE_SPAN("executor/process_window");
   const ObjectCatalog& catalog = ctx_.store->catalog();
   const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
@@ -122,8 +265,18 @@ void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
   // The host range and where-filter are pushed into the query itself (the
   // Refiner compiles them into the executable metadata): rows they reject
   // are discarded server-side at a fraction of the fetch cost.
+  //
+  // With a prefetch, the pure host/where verdicts were precomputed on a
+  // worker; only the order-sensitive exclusion bookkeeping runs here, in
+  // exactly the sequential decision order (the verdict table is indexed
+  // by replay position, which matches the fused scan's row order).
+  size_t row = 0;
   const auto filter = [&](const Event& e) {
-    if (!ctx_.HostAllowed(e.host)) {
+    uint8_t v = 0;
+    if (pre != nullptr) v = pre->verdicts[row++];
+    const bool host_ok =
+        pre != nullptr ? (v & kVerdictHostOk) != 0 : ctx_.HostAllowed(e.host);
+    if (!host_ok) {
       stats_.events_filtered++;
       return false;
     }
@@ -132,7 +285,11 @@ void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
       stats_.events_filtered++;
       return false;
     }
-    if (!ctx_.IsAnchor(fresh) && !ctx_.WhereKeeps(catalog.Get(fresh), &e)) {
+    const bool keeps =
+        pre != nullptr
+            ? (v & kVerdictWhereKeeps) != 0
+            : (ctx_.IsAnchor(fresh) || ctx_.WhereKeeps(catalog.Get(fresh), &e));
+    if (!keeps) {
       // "deleted from the tracking analysis without further exploration"
       // (paper Section III-A1).
       excluded_.insert(fresh);
@@ -159,18 +316,40 @@ void Executor::ProcessWindow(const ExecWindow& w, size_t* batch_edges,
     const int state = maintainer_.OnEdgeAdded(e);
     EnqueueWindowsFor(e, state);
   };
-  if (forward) {
-    ctx_.store->ScanSrc(w.frontier, w.begin, w.finish, clock_, visit, filter);
+  if (pre != nullptr) {
+    ctx_.store->ReplayScan(pre->batch, clock_, visit, filter, scan_cost);
+  } else if (forward) {
+    ctx_.store->ScanSrc(w.frontier, w.begin, w.finish, clock_, visit, filter,
+                        scan_cost);
   } else {
     ctx_.store->ScanDest(w.frontier, w.begin, w.finish, clock_, visit,
-                         filter);
+                         filter, scan_cost);
   }
   stats_.work_units++;
   Em().windows_processed->Add();
 }
 
 StopReason Executor::Run(const RunLimits& limits) {
+  StartPoolIfNeeded();
+  Em().scan_threads->Set(scan_threads_);
   if (!bootstrapped_) Bootstrap();
+  // Top-up pass: windows restored from a checkpoint or kept across a
+  // refine have no prefetch yet.
+  SubmitMissingPrefetches();
+  const StopReason reason = RunLoop(limits);
+  if (pool_ != nullptr) {
+    // Barrier: callers may mutate ctx_ (refine), serialize state
+    // (checkpoint), or destroy the executor after Run returns; none of
+    // that may race an in-flight scan. Finished prefetches stay cached
+    // for the next Run.
+    pool_->WaitIdle();
+    Em().pool_queue_depth->Set(0);
+  }
+  Em().modeled_makespan->Set(model_.makespan());
+  return reason;
+}
+
+StopReason Executor::RunLoop(const RunLimits& limits) {
   const TimeMicros step_start = clock_->NowMicros();
   size_t updates_this_step = 0;
 
@@ -191,24 +370,52 @@ StopReason Executor::Run(const RunLimits& limits) {
     const ExecWindow w = queue_.top();
     queue_.pop();
     // Stale windows: the frontier may have been excluded or pruned since
-    // this window was enqueued.
-    if (excluded_.count(w.frontier)) {
-      Em().stale_windows->Add();
-      continue;
-    }
-    if (ctx_.spec.hop_limit >= 0 && graph_.HasNode(w.frontier) &&
-        graph_.GetNode(w.frontier).hop + 1 > ctx_.spec.hop_limit) {
+    // this window was enqueued. Checked before touching the prefetch so a
+    // stale window never blocks on its in-flight scan.
+    const bool stale =
+        excluded_.count(w.frontier) != 0 ||
+        (ctx_.spec.hop_limit >= 0 && graph_.HasNode(w.frontier) &&
+         graph_.GetNode(w.frontier).hop + 1 > ctx_.spec.hop_limit);
+    if (stale) {
       // "stops exploring the path and switches to other shorter paths".
       Em().stale_windows->Add();
+      prefetch_.erase(w.seq);
+      model_.OnWindowDropped(w.seq);
       continue;
+    }
+
+    std::shared_ptr<Prefetch> pre;
+    if (pool_ != nullptr) {
+      if (const auto it = prefetch_.find(w.seq); it != prefetch_.end()) {
+        pre = std::move(it->second);
+        prefetch_.erase(it);
+        std::unique_lock<std::mutex> lock(pre->mu);
+        if (pre->ready) {
+          Em().prefetch_hits->Add();
+        } else {
+          Em().prefetch_waits->Add();
+          pre->cv.wait(lock, [&pre] { return pre->ready; });
+        }
+      } else {
+        // Submission failed or never happened; fall back to the fused
+        // sequential scan (identical results, just no overlap).
+        Em().prefetch_misses->Add();
+      }
     }
 
     size_t batch_edges = 0;
     size_t batch_nodes = 0;
-    ProcessWindow(w, &batch_edges, &batch_nodes);
+    DurationMicros scan_cost = 0;
+    const uint64_t child_seq_lo = seq_;
+    ProcessWindow(w, pre.get(), &batch_edges, &batch_nodes, &scan_cost);
+    model_.OnWindowScanned(w.seq, scan_cost, child_seq_lo, seq_);
+    Em().scan_cost->Add(static_cast<uint64_t>(scan_cost));
     Em().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     obs::Tracer::Global().RecordCounter(obs::names::kExecutorQueueDepth,
                                         static_cast<int64_t>(queue_.size()));
+    if (pool_ != nullptr) {
+      Em().pool_queue_depth->Set(static_cast<int64_t>(pool_->pending()));
+    }
     if (batch_edges > 0) {
       UpdateBatch batch;
       batch.sim_time = clock_->NowMicros();
@@ -251,6 +458,10 @@ void Executor::RebuildQueue() {
 
 void Executor::ApplyRefinedContext(TrackingContext new_ctx,
                                    const RefineDelta& delta) {
+  if (pool_ != nullptr) pool_->WaitIdle();  // workers read the old ctx_
+  // Cached prefetches carry the old context's verdicts and ranges; the
+  // Run-start top-up pass resubmits under the new context.
+  InvalidatePrefetches();
   ctx_ = std::move(new_ctx);
   maintainer_.UpdateContext(&ctx_);
 

@@ -3,7 +3,6 @@
 
 #include <iosfwd>
 #include <memory>
-#include <queue>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -13,6 +12,8 @@
 #include "core/maintainer.h"
 
 namespace aptrace {
+
+class WorkerPool;  // util/worker_pool.h
 
 /// What the Refiner decided changed between two compatible specs (same
 /// starting point, same time/host range). See core/refiner.h.
@@ -27,6 +28,44 @@ struct RefineDelta {
   bool range_narrowed = false;
 };
 
+/// Deterministic discrete-event model of how a run's window scans would
+/// schedule onto N parallel scan servers.
+///
+/// The cost model treats every scan as an I/O-bound database query with a
+/// simulated duration (storage/cost_model.h); those queries genuinely
+/// overlap on a real backend, which is the whole point of the parallel
+/// pipeline. This model replays the coordinator's deterministic scan
+/// sequence onto N virtual servers: a window's scan may start once (a) a
+/// server is free and (b) the scan that *discovered* the window has
+/// finished (its rows are what enqueued it). `makespan()` is then the
+/// modeled parallel completion time, and `total_cost() / makespan()` the
+/// modeled scan speedup — a timing-independent figure that is identical
+/// on every machine, unlike wall clock on a loaded CI box.
+class ScanOverlapModel {
+ public:
+  /// Starts a fresh schedule on `servers` virtual scan servers.
+  void Reset(int servers);
+
+  /// Records the scan of window `seq` costing `cost` simulated micros.
+  /// Windows with seq in [child_seq_lo, child_seq_hi) were enqueued by
+  /// this scan's rows and become ready when it finishes. Windows never
+  /// announced as children (the bootstrap set) are ready at time 0.
+  void OnWindowScanned(uint64_t seq, DurationMicros cost,
+                       uint64_t child_seq_lo, uint64_t child_seq_hi);
+
+  /// Forgets a window popped as stale (its scan never runs).
+  void OnWindowDropped(uint64_t seq) { ready_.erase(seq); }
+
+  DurationMicros total_cost() const { return total_; }
+  DurationMicros makespan() const { return makespan_; }
+
+ private:
+  std::vector<TimeMicros> server_free_;
+  std::unordered_map<uint64_t, TimeMicros> ready_;
+  TimeMicros makespan_ = 0;
+  DurationMicros total_ = 0;
+};
+
 /// The responsive Executor (paper Section III-B1, Algorithm 1).
 ///
 /// A prioritized graph search over *execution windows* rather than whole
@@ -37,6 +76,19 @@ struct RefineDelta {
 /// Per-object scan coverage is tracked so overlapping windows from
 /// different dependent events never rescan the same history
 /// ("no new nodes that could be explored" termination).
+///
+/// Parallel scan pipeline (ctx.scan_threads > 1): the windows sitting in
+/// the priority queue are *speculatively prefetched* by a WorkerPool —
+/// each worker runs the pure, read-only row collection (EventStore::
+/// CollectDest/CollectSrc) plus the pure per-row host/where verdicts for
+/// one window. The coordinator thread then pops windows in the exact
+/// sequential priority order and *replays* each prefetched batch through
+/// the unmodified Algorithm 1 bookkeeping: graph and maintainer mutation,
+/// exclusion decisions, coverage watermarks, update-log batches, and all
+/// simulated-cost charging happen only on the coordinator, in the same
+/// order as the sequential path. The produced graph, update log, stats,
+/// and stop reason are therefore bit-identical to scan_threads == 1 for
+/// any input (tests/executor_differential_test.cc enforces this).
 class Executor : public BacktrackEngine {
  public:
   /// `num_windows_k` is the user-configurable window count k (the paper's
@@ -46,8 +98,15 @@ class Executor : public BacktrackEngine {
   /// clips re-enqueued windows against the per-object scan watermark;
   /// false re-scans overlapping history (the ablation in
   /// bench_ablation_dedup) — results are identical, work is not.
+  ///
+  /// The scan thread count comes from ctx.scan_threads (0 = hardware
+  /// concurrency, clamped to WorkerPool::kMaxThreads).
   Executor(TrackingContext ctx, Clock* clock, int num_windows_k = 8,
            bool temporal_priority = true, bool coverage_dedup = true);
+
+  /// Joins the scan worker pool (in-flight prefetches finish, pending
+  /// ones are discarded) before any member a worker reads is destroyed.
+  ~Executor() override;
 
   StopReason Run(const RunLimits& limits) override;
   bool Exhausted() const override { return bootstrapped_ && queue_.empty(); }
@@ -61,6 +120,14 @@ class Executor : public BacktrackEngine {
   GraphMaintainer& maintainer() { return maintainer_; }
   int num_windows_k() const { return k_; }
   size_t queue_size() const { return queue_.size(); }
+
+  /// Effective scan worker thread count (1 = sequential path).
+  int scan_threads() const { return scan_threads_; }
+  /// Total simulated cost of the scans this executor charged, and the
+  /// modeled makespan of those scans on scan_threads() parallel servers
+  /// (see ScanOverlapModel). Both are deterministic per input.
+  DurationMicros scan_cost_total() const { return model_.total_cost(); }
+  DurationMicros modeled_scan_makespan() const { return model_.makespan(); }
 
   /// Persists the paused engine state — graph (with hops/states),
   /// pending windows, scan coverage, exclusions, update log, counters —
@@ -83,15 +150,34 @@ class Executor : public BacktrackEngine {
   void ApplyRefinedContext(TrackingContext new_ctx, const RefineDelta& delta);
 
  private:
+  /// One window's speculative scan result, filled by a worker thread:
+  /// the raw row batch plus pure per-row verdicts. Defined in executor.cc.
+  struct Prefetch;
+
   void Bootstrap();
-  void ProcessWindow(const ExecWindow& w, size_t* batch_edges,
-                     size_t* batch_nodes);
+  /// Applies one window's scan to the graph. `pre` non-null replays a
+  /// prefetched batch (verdict-driven filter); null runs the fused
+  /// sequential scan. Both paths make identical decisions in identical
+  /// order. `scan_cost` receives the simulated cost charged.
+  void ProcessWindow(const ExecWindow& w, const Prefetch* pre,
+                     size_t* batch_edges, size_t* batch_nodes,
+                     DurationMicros* scan_cost);
   /// Enqueues the uncovered execution windows of `e` (Algorithm 1's
   /// genExeWindow), priced with the current state/boost of its source.
   void EnqueueWindowsFor(const Event& e, int state);
   /// Drains and re-pushes the queue, dropping stale windows and refreshing
   /// state/boost priorities from the current graph.
   void RebuildQueue();
+
+  // Parallel pipeline plumbing (all no-ops when scan_threads_ == 1).
+  void StartPoolIfNeeded();
+  void SubmitPrefetch(const ExecWindow& w);
+  /// Submits prefetches for queued windows that lack one — the top-up
+  /// pass at Run start that covers checkpoint restores and rebuilt queues.
+  void SubmitMissingPrefetches();
+  /// Drops every cached/in-flight prefetch (context or ranges changed).
+  void InvalidatePrefetches();
+  StopReason RunLoop(const RunLimits& limits);
 
   TrackingContext ctx_;
   Clock* clock_;
@@ -101,14 +187,20 @@ class Executor : public BacktrackEngine {
   GraphMaintainer maintainer_;
   UpdateLog log_;
   RunStats stats_;
-  std::priority_queue<ExecWindow, std::vector<ExecWindow>, ExecWindowLess>
-      queue_;
+  WindowQueue queue_;
   /// Per-object high-water mark of scheduled scan coverage [ctx.ts, t).
   std::unordered_map<ObjectId, TimeMicros> covered_until_;
   /// Objects deleted from the analysis by the where statement.
   std::unordered_set<ObjectId> excluded_;
   uint64_t seq_ = 0;
   bool bootstrapped_ = false;
+
+  int scan_threads_ = 1;
+  ScanOverlapModel model_;
+  /// Window seq -> its speculative scan (coordinator-only map; workers
+  /// only touch the entry their task captured).
+  std::unordered_map<uint64_t, std::shared_ptr<Prefetch>> prefetch_;
+  std::unique_ptr<WorkerPool> pool_;
 };
 
 }  // namespace aptrace

@@ -45,6 +45,7 @@ Status Session::StartWithSpec(bdl::TrackingSpec spec,
   APTRACE_SPAN("session/resolve_context");
   auto ctx = ResolveContext(*store_, std::move(spec), clock_, start_override);
   if (!ctx.ok()) return ctx.status();
+  ctx.value().scan_threads = options_.scan_threads;
   start_override_ = start_override;
   if (options_.use_baseline) {
     engine_ = std::make_unique<BaselineExecutor>(std::move(ctx.value()),
@@ -81,6 +82,7 @@ Status Session::UpdateScript(std::string_view bdl_text) {
   auto ctx = ResolveContext(*store_, std::move(spec.value()), clock_,
                             start_override_);
   if (!ctx.ok()) return ctx.status();
+  ctx.value().scan_threads = options_.scan_threads;
 
   const RefineResult refine = Refiner::Classify(engine_->context(),
                                                 ctx.value());

@@ -24,6 +24,12 @@ struct SessionOptions {
 
   /// Nearest-first window ordering (Algorithm 1); false = FIFO ablation.
   bool temporal_priority = true;
+
+  /// Scan worker threads for the responsive Executor: 1 = sequential
+  /// legacy path, 0 = hardware concurrency, N > 1 = parallel prefetch
+  /// pipeline. Results are bit-identical regardless of the value (see
+  /// docs/parallel_execution.md). Ignored by the baseline engine.
+  int scan_threads = 1;
 };
 
 /// An interactive analysis session — the workflow of the paper's Figure 3:

@@ -26,6 +26,24 @@ inline constexpr char kExecutorQueueRebuilds[] =
 inline constexpr char kExecutorQueueDepth[] = "aptrace_executor_queue_depth";
 inline constexpr char kDedupWindowClips[] = "aptrace_dedup_window_clips_total";
 
+// Parallel scan pipeline (core/executor.cc + util/worker_pool.cc).
+inline constexpr char kExecutorScanThreads[] =
+    "aptrace_executor_scan_threads";
+inline constexpr char kExecutorPrefetchHits[] =
+    "aptrace_executor_prefetch_hits_total";
+inline constexpr char kExecutorPrefetchWaits[] =
+    "aptrace_executor_prefetch_waits_total";
+inline constexpr char kExecutorPrefetchMisses[] =
+    "aptrace_executor_prefetch_misses_total";
+inline constexpr char kExecutorPoolQueueDepth[] =
+    "aptrace_executor_pool_queue_depth";
+inline constexpr char kExecutorWorkerScanLatency[] =
+    "aptrace_executor_worker_scan_latency";
+inline constexpr char kExecutorScanCostMicros[] =
+    "aptrace_executor_scan_cost_micros_total";
+inline constexpr char kExecutorModeledScanMakespan[] =
+    "aptrace_executor_modeled_scan_makespan_micros";
+
 // Execute-to-complete baseline (core/baseline_executor.cc).
 inline constexpr char kBaselineNodeQueries[] =
     "aptrace_baseline_node_queries_total";

@@ -149,46 +149,64 @@ std::pair<size_t, size_t> TimeBounds(const std::vector<EventId>& ids,
 
 }  // namespace
 
-size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
-                            Clock* clock,
-                            const std::function<void(const Event&)>& fn,
-                            const RowFilter& filter) const {
-  APTRACE_SPAN("store/scan_dest");
+RangeScanBatch EventStore::CollectImpl(bool by_src, ObjectId key,
+                                       TimeMicros begin,
+                                       TimeMicros end) const {
+  assert(sealed_);
+  RangeScanBatch batch;
+  if (begin >= end) return batch;
+  const int64_t p_lo = PartitionIndex(begin);
+  const int64_t p_hi = PartitionIndex(end - 1);
+  for (auto it = partitions_.lower_bound(p_lo);
+       it != partitions_.end() && it->first <= p_hi; ++it) {
+    batch.partitions_probed++;
+    const auto& index = by_src ? it->second.by_src : it->second.by_dest;
+    const auto found = index.find(key);
+    if (found == index.end()) continue;
+    const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
+    if (lo == hi) continue;
+    batch.partitions_seeked++;
+    batch.rows.insert(batch.rows.end(), found->second.begin() + lo,
+                      found->second.begin() + hi);
+  }
+  return batch;
+}
+
+RangeScanBatch EventStore::CollectDest(ObjectId dest, TimeMicros begin,
+                                       TimeMicros end) const {
+  return CollectImpl(/*by_src=*/false, dest, begin, end);
+}
+
+RangeScanBatch EventStore::CollectSrc(ObjectId src, TimeMicros begin,
+                                      TimeMicros end) const {
+  return CollectImpl(/*by_src=*/true, src, begin, end);
+}
+
+size_t EventStore::ReplayScan(const RangeScanBatch& batch, Clock* clock,
+                              const std::function<void(const Event&)>& fn,
+                              const RowFilter& filter,
+                              DurationMicros* cost_out) const {
   assert(sealed_);
   size_t rows = 0;
   size_t filtered = 0;
-  uint64_t probed = 0;
-  uint64_t seeked = 0;
-  if (begin < end) {
-    const int64_t p_lo = PartitionIndex(begin);
-    const int64_t p_hi = PartitionIndex(end - 1);
-    for (auto it = partitions_.lower_bound(p_lo);
-         it != partitions_.end() && it->first <= p_hi; ++it) {
-      probed++;
-      const auto found = it->second.by_dest.find(dest);
-      if (found == it->second.by_dest.end()) continue;
-      const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-      if (lo == hi) continue;
-      seeked++;
-      for (size_t i = lo; i < hi; ++i) {
-        const Event& e = events_[found->second[i]];
-        if (filter && !filter(e)) {
-          filtered++;
-          continue;
-        }
-        rows++;
-        if (fn) fn(e);
-      }
+  for (const EventId id : batch.rows) {
+    const Event& e = events_[id];
+    if (filter && !filter(e)) {
+      filtered++;
+      continue;
     }
+    rows++;
+    if (fn) fn(e);
   }
-  const DurationMicros cost =
-      options_.cost_model.QueryCost(rows, filtered, probed, seeked);
+  const DurationMicros cost = options_.cost_model.QueryCost(
+      rows, filtered, batch.partitions_probed, batch.partitions_seeked);
   if (clock != nullptr) clock->AdvanceMicros(cost);
+  if (cost_out != nullptr) *cost_out = cost;
   stat_queries_.fetch_add(1, kRelaxed);
   stat_rows_matched_.fetch_add(rows, kRelaxed);
   stat_rows_filtered_.fetch_add(filtered, kRelaxed);
-  stat_partitions_probed_.fetch_add(probed, kRelaxed);
-  stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
+  stat_partitions_probed_.fetch_add(batch.partitions_probed, kRelaxed);
+  stat_partitions_seeked_.fetch_add(batch.partitions_seeked, kRelaxed);
   stat_simulated_cost_.fetch_add(cost, kRelaxed);
   Sm().queries->Add();
   Sm().events_scanned->Add(rows + filtered);
@@ -196,51 +214,23 @@ size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
   return rows;
 }
 
+size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
+                            Clock* clock,
+                            const std::function<void(const Event&)>& fn,
+                            const RowFilter& filter,
+                            DurationMicros* cost_out) const {
+  APTRACE_SPAN("store/scan_dest");
+  return ReplayScan(CollectDest(dest, begin, end), clock, fn, filter,
+                    cost_out);
+}
+
 size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
                            Clock* clock,
                            const std::function<void(const Event&)>& fn,
-                           const RowFilter& filter) const {
+                           const RowFilter& filter,
+                           DurationMicros* cost_out) const {
   APTRACE_SPAN("store/scan_src");
-  assert(sealed_);
-  size_t rows = 0;
-  size_t filtered = 0;
-  uint64_t probed = 0;
-  uint64_t seeked = 0;
-  if (begin < end) {
-    const int64_t p_lo = PartitionIndex(begin);
-    const int64_t p_hi = PartitionIndex(end - 1);
-    for (auto it = partitions_.lower_bound(p_lo);
-         it != partitions_.end() && it->first <= p_hi; ++it) {
-      probed++;
-      const auto found = it->second.by_src.find(src);
-      if (found == it->second.by_src.end()) continue;
-      const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-      if (lo == hi) continue;
-      seeked++;
-      for (size_t i = lo; i < hi; ++i) {
-        const Event& e = events_[found->second[i]];
-        if (filter && !filter(e)) {
-          filtered++;
-          continue;
-        }
-        rows++;
-        if (fn) fn(e);
-      }
-    }
-  }
-  const DurationMicros cost =
-      options_.cost_model.QueryCost(rows, filtered, probed, seeked);
-  if (clock != nullptr) clock->AdvanceMicros(cost);
-  stat_queries_.fetch_add(1, kRelaxed);
-  stat_rows_matched_.fetch_add(rows, kRelaxed);
-  stat_rows_filtered_.fetch_add(filtered, kRelaxed);
-  stat_partitions_probed_.fetch_add(probed, kRelaxed);
-  stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
-  stat_simulated_cost_.fetch_add(cost, kRelaxed);
-  Sm().queries->Add();
-  Sm().events_scanned->Add(rows + filtered);
-  Sm().rows_filtered->Add(filtered);
-  return rows;
+  return ReplayScan(CollectSrc(src, begin, end), clock, fn, filter, cost_out);
 }
 
 size_t EventStore::CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,

@@ -42,6 +42,19 @@ struct StoreStats {
 /// heuristics into the query). Return false to discard the row cheaply.
 using RowFilter = std::function<bool(const Event&)>;
 
+/// Raw output of a pure index scan: the rows a Scan* call would visit (in
+/// the same ascending (timestamp, id) order) plus the partition counters
+/// the cost model charges. Produced by CollectDest/CollectSrc — which are
+/// side-effect-free and safe to run from any thread — and consumed by
+/// ReplayScan, which applies the filter and charges exactly what the
+/// fused scan would have. ScanDest/ScanSrc are implemented as
+/// Collect + Replay, so the split is equivalent by construction.
+struct RangeScanBatch {
+  std::vector<EventId> rows;
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+};
+
 /// Time-partitioned event store simulating the audit-log database.
 ///
 /// Lifecycle: create, obtain the mutable catalog, Append() events in any
@@ -52,6 +65,8 @@ using RowFilter = std::function<bool(const Event&)>;
 /// Thread-safety: after Seal(), any number of threads may query
 /// concurrently (the counters are atomic). Appends — including streaming
 /// post-seal appends — require external synchronization with queries.
+/// CollectDest/CollectSrc touch no counters at all, so the Executor's
+/// scan workers can prefetch row batches with zero cross-thread traffic.
 ///
 /// The core query is ScanDest: all events whose data-flow *destination* is
 /// a given object within [begin, end). This is exactly the query backward
@@ -90,13 +105,35 @@ class EventStore {
   /// in ascending time order, invoking `fn` for each row that passes
   /// `filter` (null = no filter). Filtered rows are charged the cheap
   /// server-side-rejection cost; delivered rows the full fetch cost.
-  /// Charges the cost model to `clock` (pass nullptr to skip charging).
+  /// Charges the cost model to `clock` (pass nullptr to skip charging);
+  /// `cost_out`, when non-null, also receives the simulated cost.
   /// Returns the number of rows delivered.
   ///
   /// Precondition: sealed.
   size_t ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                   Clock* clock, const std::function<void(const Event&)>& fn,
-                  const RowFilter& filter = nullptr) const;
+                  const RowFilter& filter = nullptr,
+                  DurationMicros* cost_out = nullptr) const;
+
+  /// Pure row collection for ScanDest: the rows and partition counters the
+  /// scan would visit, with no clock charge, no stats, no metrics. Safe to
+  /// call concurrently from any number of threads on a sealed store.
+  RangeScanBatch CollectDest(ObjectId dest, TimeMicros begin,
+                             TimeMicros end) const;
+
+  /// Pure row collection for ScanSrc (same contract as CollectDest).
+  RangeScanBatch CollectSrc(ObjectId src, TimeMicros begin,
+                            TimeMicros end) const;
+
+  /// Second half of a split scan: iterates a collected batch through
+  /// `filter`/`fn` and charges clock/stats/metrics exactly as the fused
+  /// ScanDest/ScanSrc would. Calling Collect* then ReplayScan is
+  /// observably identical to one fused scan (same callback order, same
+  /// simulated cost, same counters). Returns the rows delivered.
+  size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
+                    const std::function<void(const Event&)>& fn,
+                    const RowFilter& filter = nullptr,
+                    DurationMicros* cost_out = nullptr) const;
 
   /// Number of rows ScanDest would match, without fetching them (charges
   /// only probe/overhead cost — models a COUNT(*) over the index).
@@ -107,7 +144,8 @@ class EventStore {
   /// *source* is `src` within [begin, end), ascending by time.
   size_t ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end, Clock* clock,
                  const std::function<void(const Event&)>& fn,
-                 const RowFilter& filter = nullptr) const;
+                 const RowFilter& filter = nullptr,
+                 DurationMicros* cost_out = nullptr) const;
 
   /// Full-range scan of all events in [begin, end), ascending; used for
   /// start-point resolution and derived-attribute computation. Charges
@@ -144,6 +182,10 @@ class EventStore {
   };
 
   int64_t PartitionIndex(TimeMicros t) const;
+
+  /// Shared pure-collection walk behind CollectDest/CollectSrc.
+  RangeScanBatch CollectImpl(bool by_src, ObjectId key, TimeMicros begin,
+                             TimeMicros end) const;
 
   /// Inserts one event into the partition indexes at its sorted position
   /// (incremental path for post-seal appends).

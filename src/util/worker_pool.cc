@@ -1,0 +1,97 @@
+#include "util/worker_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace aptrace {
+
+WorkerPool::WorkerPool(int num_threads) {
+  const int n = std::clamp(num_threads, 1, kMaxThreads);
+  threads_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() { Shutdown(/*run_pending=*/false); }
+
+bool WorkerPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
+void WorkerPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void WorkerPool::Shutdown(bool run_pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    accepting_ = false;
+    run_pending_ = run_pending;
+    if (!run_pending) queue_.clear();
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  idle_cv_.notify_all();
+}
+
+size_t WorkerPool::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t WorkerPool::tasks_completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+uint64_t WorkerPool::exceptions_caught() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return exceptions_;
+}
+
+void WorkerPool::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (stop_) return;
+      continue;
+    }
+    std::function<void()> task = std::move(queue_.front());
+    queue_.pop_front();
+    active_++;
+    lock.unlock();
+    try {
+      task();
+    } catch (const std::exception& e) {
+      lock.lock();
+      exceptions_++;
+      lock.unlock();
+      APTRACE_LOG(Error) << "WorkerPool task threw: " << e.what();
+    } catch (...) {
+      lock.lock();
+      exceptions_++;
+      lock.unlock();
+      APTRACE_LOG(Error) << "WorkerPool task threw a non-std exception";
+    }
+    lock.lock();
+    active_--;
+    completed_++;
+    if (queue_.empty() && active_ == 0) idle_cv_.notify_all();
+  }
+}
+
+}  // namespace aptrace

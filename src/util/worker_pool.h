@@ -1,0 +1,78 @@
+#ifndef APTRACE_UTIL_WORKER_POOL_H_
+#define APTRACE_UTIL_WORKER_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aptrace {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// Built for the Executor's parallel scan pipeline (read-only EventStore
+/// range scans fan out to workers; the coordinator thread applies their
+/// results in deterministic order), but generic: tasks are arbitrary
+/// `std::function<void()>`.
+///
+/// Semantics:
+///   - Submit() enqueues a task; returns false once Shutdown() started
+///     (the task is not queued).
+///   - WaitIdle() blocks until the queue is empty and no task is running —
+///     the coordinator's barrier before it mutates state workers read.
+///   - Shutdown(run_pending) stops accepting work; run_pending=true drains
+///     the queue first, false discards queued-but-unstarted tasks. Joins
+///     all threads. Idempotent; the destructor calls Shutdown(false).
+///   - A task that throws is swallowed and counted (exceptions_caught());
+///     the worker thread survives. Tasks have no result channel, so an
+///     escaped exception would otherwise terminate the process.
+///
+/// Thread-safety: every method may be called from any thread, including
+/// Submit() from inside a task. WaitIdle() must not be called from inside
+/// a task (it would wait for itself).
+class WorkerPool {
+ public:
+  /// Spawns `num_threads` workers, clamped to [1, kMaxThreads].
+  explicit WorkerPool(int num_threads);
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  ~WorkerPool();
+
+  /// Hard cap on pool width; requests beyond it are clamped.
+  static constexpr int kMaxThreads = 64;
+
+  bool Submit(std::function<void()> task);
+  void WaitIdle();
+  void Shutdown(bool run_pending = false);
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Tasks queued but not yet started.
+  size_t pending() const;
+  uint64_t tasks_completed() const;
+  uint64_t exceptions_caught() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks/shutdown
+  std::condition_variable idle_cv_;   // WaitIdle/Shutdown wait for drain
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  int active_ = 0;            // tasks currently executing
+  bool accepting_ = true;     // flips false at Shutdown
+  bool run_pending_ = false;  // Shutdown drains instead of discarding
+  bool stop_ = false;
+  uint64_t completed_ = 0;
+  uint64_t exceptions_ = 0;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_WORKER_POOL_H_

@@ -59,6 +59,51 @@ TEST(ConcurrencyTest, ParallelSessionsMatchSerial) {
   }
 }
 
+// The parallel scan pipeline inside one executor: scan_threads > 1 must
+// reproduce the sequential edge set, including when several parallel
+// executors run concurrently over the same store (worker pools of
+// different sessions share nothing but the sealed store).
+TEST(ConcurrencyTest, ParallelExecutorMatchesSequential) {
+  workload::TraceConfig config = workload::TraceConfig::Small();
+  config.num_hosts = 4;
+  auto store = workload::BuildEnterpriseTrace(config);
+  const auto alerts = workload::SampleAnomalyEvents(*store, 8, 13);
+
+  const auto run_one = [&](const Event& alert, int scan_threads) {
+    SimClock clock;
+    SessionOptions options;
+    options.scan_threads = scan_threads;
+    Session session(store.get(), &clock, options);
+    const auto spec = workload::GenericSpecFor(*store, alert);
+    EXPECT_TRUE(session.StartWithSpec(spec, alert).ok());
+    RunLimits limits;
+    limits.sim_time = 10 * kMicrosPerMinute;
+    EXPECT_TRUE(session.Step(limits).ok());
+    return EdgeSet(session.graph());
+  };
+
+  std::vector<std::set<EventId>> serial;
+  serial.reserve(alerts.size());
+  for (const Event& alert : alerts) serial.push_back(run_one(alert, 1));
+
+  // Sessions whose executors each own a 4-worker pool, themselves spread
+  // across 2 outer threads: pool workers from different executors hit the
+  // store concurrently.
+  std::vector<std::set<EventId>> parallel(alerts.size());
+  std::vector<std::thread> outer;
+  for (int t = 0; t < 2; ++t) {
+    outer.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < alerts.size(); i += 2) {
+        parallel[i] = run_one(alerts[i], 4);
+      }
+    });
+  }
+  for (auto& t : outer) t.join();
+  for (size_t i = 0; i < alerts.size(); ++i) {
+    EXPECT_EQ(parallel[i], serial[i]) << "case " << i;
+  }
+}
+
 TEST(ConcurrencyTest, StatsAggregateAcrossThreads) {
   workload::TraceConfig config = workload::TraceConfig::Small();
   config.num_hosts = 3;

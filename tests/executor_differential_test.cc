@@ -1,0 +1,238 @@
+// Differential oracle for the parallel scan pipeline: for randomized
+// traces and BDL spec variants, the Executor at scan_threads in {2, 4, 8}
+// must produce output *bit-identical* to scan_threads = 1 — the same
+// graph JSON, the same update-log batch sequence, the same RunStats and
+// stop reason, and the same simulated store charges — and both must match
+// the BaselineExecutor's reachability. This is the contract that makes
+// the parallel pipeline safe to enable by default.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/baseline_executor.h"
+#include "core/executor.h"
+#include "graph/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "tests/random_trace_util.h"
+
+namespace aptrace {
+namespace {
+
+std::string GraphJson(const Executor& exec, const RandomTrace& t) {
+  std::ostringstream os;
+  WriteGraphJson(exec.graph(), t.store->catalog(), os);
+  return os.str();
+}
+
+/// Everything a run produces that the determinism contract covers.
+/// Real-time measurements (worker latencies, prefetch hit/wait/miss
+/// splits) are timing-dependent by nature and deliberately absent.
+struct RunFingerprint {
+  std::string graph_json;
+  std::vector<UpdateBatch> batches;
+  StopReason reason = StopReason::kCompleted;
+  size_t work_units = 0;
+  size_t events_added = 0;
+  size_t events_filtered = 0;
+  size_t objects_excluded = 0;
+  TimeMicros sim_elapsed = 0;
+  DurationMicros scan_cost = 0;
+};
+
+bool operator==(const UpdateBatch& a, const UpdateBatch& b) {
+  return a.sim_time == b.sim_time && a.new_edges == b.new_edges &&
+         a.new_nodes == b.new_nodes && a.total_edges == b.total_edges &&
+         a.total_nodes == b.total_nodes;
+}
+
+RunFingerprint RunOnce(const RandomTrace& t, const std::string& script,
+                       int scan_threads) {
+  SimClock clock;
+  Executor exec(Ctx(t, script, scan_threads), &clock, 8);
+  RunFingerprint fp;
+  fp.reason = exec.Run({});
+  fp.graph_json = GraphJson(exec, t);
+  fp.batches = exec.update_log().batches();
+  fp.work_units = exec.stats().work_units;
+  fp.events_added = exec.stats().events_added;
+  fp.events_filtered = exec.stats().events_filtered;
+  fp.objects_excluded = exec.stats().objects_excluded;
+  fp.sim_elapsed = clock.NowMicros() - exec.stats().run_start;
+  fp.scan_cost = exec.scan_cost_total();
+  return fp;
+}
+
+void ExpectIdentical(const RunFingerprint& seq, const RunFingerprint& par,
+                     uint64_t seed, int threads, const char* variant) {
+  const auto label = [&] {
+    return std::string(variant) + " seed=" + std::to_string(seed) +
+           " threads=" + std::to_string(threads);
+  };
+  EXPECT_EQ(par.graph_json, seq.graph_json) << label();
+  ASSERT_EQ(par.batches.size(), seq.batches.size()) << label();
+  for (size_t i = 0; i < seq.batches.size(); ++i) {
+    EXPECT_TRUE(par.batches[i] == seq.batches[i])
+        << label() << " batch " << i;
+  }
+  EXPECT_EQ(par.reason, seq.reason) << label();
+  EXPECT_EQ(par.work_units, seq.work_units) << label();
+  EXPECT_EQ(par.events_added, seq.events_added) << label();
+  EXPECT_EQ(par.events_filtered, seq.events_filtered) << label();
+  EXPECT_EQ(par.objects_excluded, seq.objects_excluded) << label();
+  EXPECT_EQ(par.sim_elapsed, seq.sim_elapsed) << label();
+  EXPECT_EQ(par.scan_cost, seq.scan_cost) << label();
+}
+
+class DifferentialOracle : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(DifferentialOracle, ParallelBitIdenticalToSequential) {
+  const uint64_t seed = GetParam();
+  const RandomTrace t = MakeRandomTrace(seed, 400);
+  const std::string unconstrained = UnconstrainedScript(t);
+  // Spec variants hit the order-sensitive paths: the where filter
+  // mutates excluded_ mid-scan, the hop limit drops windows as stale,
+  // and forward tracking uses the mirrored scan.
+  const struct {
+    const char* name;
+    std::string script;
+  } variants[] = {
+      {"unconstrained", unconstrained},
+      {"where", unconstrained +
+                    " where file.path != \"*.dll\" and "
+                    "proc.exename != \"svc.exe\""},
+      {"hops", unconstrained + " where hop <= 3"},
+  };
+
+  for (const auto& variant : variants) {
+    const RunFingerprint seq = RunOnce(t, variant.script, 1);
+    // The sequential run must itself match the independent reference
+    // model (only meaningful for the unconstrained closure).
+    if (variant.script == unconstrained) {
+      SimClock bc;
+      BaselineExecutor baseline(Ctx(t, variant.script), &bc);
+      ASSERT_EQ(baseline.Run({}), StopReason::kCompleted);
+      const auto reference =
+          ReferenceClosure(t, [](ObjectId) { return true; });
+      EXPECT_EQ(EdgeSet(baseline.graph()), reference);
+    }
+    for (const int threads : {2, 4, 8}) {
+      const RunFingerprint par = RunOnce(t, variant.script, threads);
+      ExpectIdentical(seq, par, seed, threads, variant.name);
+    }
+  }
+}
+
+TEST_P(DifferentialOracle, ParallelMatchesBaselineReachability) {
+  const uint64_t seed = GetParam() ^ 0xd1ff;
+  const RandomTrace t = MakeRandomTrace(seed, 350);
+  const std::string script = UnconstrainedScript(t);
+
+  SimClock bc;
+  BaselineExecutor baseline(Ctx(t, script), &bc);
+  ASSERT_EQ(baseline.Run({}), StopReason::kCompleted);
+  const std::set<EventId> expected = EdgeSet(baseline.graph());
+
+  for (const int threads : {2, 4, 8}) {
+    SimClock clock;
+    Executor exec(Ctx(t, script, threads), &clock, 8);
+    ASSERT_EQ(exec.Run({}), StopReason::kCompleted);
+    EXPECT_EQ(EdgeSet(exec.graph()), expected)
+        << "seed=" << seed << " threads=" << threads;
+  }
+}
+
+// Stepped schedules interleave Run/pause cycles with the pool's
+// speculative prefetches (cached prefetches must survive a pause).
+TEST_P(DifferentialOracle, SteppedParallelMatchesOneShotSequential) {
+  const uint64_t seed = GetParam() ^ 0x57e9;
+  const RandomTrace t = MakeRandomTrace(seed, 300);
+  const std::string script = UnconstrainedScript(t);
+  const RunFingerprint seq = RunOnce(t, script, 1);
+
+  SimClock clock;
+  Executor stepped(Ctx(t, script, 4), &clock, 8);
+  int guard = 0;
+  for (;;) {
+    RunLimits limits;
+    limits.max_updates = 2;
+    const StopReason r = stepped.Run(limits);
+    if (r == StopReason::kCompleted) break;
+    ASSERT_EQ(r, StopReason::kUpdateCap);
+    ASSERT_LT(guard++, 10000);
+  }
+  EXPECT_EQ(GraphJson(stepped, t), seq.graph_json) << "seed=" << seed;
+  EXPECT_EQ(stepped.stats().work_units, seq.work_units);
+  EXPECT_EQ(stepped.scan_cost_total(), seq.scan_cost);
+}
+
+// Determinism regression: the same trace + spec + seed run twice at
+// threads=8 must yield byte-identical graph JSON and identical
+// deterministic counters, no matter how the OS schedules the workers.
+TEST_P(DifferentialOracle, RepeatedParallelRunsAreByteIdentical) {
+  const uint64_t seed = GetParam() ^ 0xbeef;
+  const RandomTrace t = MakeRandomTrace(seed, 350);
+  const std::string script =
+      UnconstrainedScript(t) + " where file.path != \"*.dll\"";
+
+  const RunFingerprint first = RunOnce(t, script, 8);
+  const RunFingerprint second = RunOnce(t, script, 8);
+  EXPECT_EQ(first.graph_json, second.graph_json) << "seed=" << seed;
+  ExpectIdentical(first, second, seed, 8, "repeat");
+}
+
+// The deterministic executor metrics advance by identical deltas for a
+// parallel and a sequential run (prefetch hit/wait/miss and the latency
+// histograms are timing-dependent and excluded by design).
+TEST_P(DifferentialOracle, DeterministicCountersMatch) {
+  const uint64_t seed = GetParam() ^ 0xc0de;
+  const RandomTrace t = MakeRandomTrace(seed, 300);
+  const std::string script = UnconstrainedScript(t);
+
+  const char* const counters[] = {
+      obs::names::kExecutorWindowsProcessed,
+      obs::names::kExecutorWindowsEnqueued,
+      obs::names::kExecutorStaleWindows,
+      obs::names::kDedupWindowClips,
+      obs::names::kExecutorScanCostMicros,
+      obs::names::kStoreQueries,
+      obs::names::kStoreEventsScanned,
+  };
+  const auto snapshot = [&] {
+    std::vector<uint64_t> out;
+    for (const char* name : counters) {
+      out.push_back(obs::Metrics().FindOrCreateCounter(name)->value());
+    }
+    return out;
+  };
+  const auto delta = [](const std::vector<uint64_t>& before,
+                        const std::vector<uint64_t>& after) {
+    std::vector<uint64_t> out(before.size());
+    for (size_t i = 0; i < before.size(); ++i) out[i] = after[i] - before[i];
+    return out;
+  };
+
+  auto before = snapshot();
+  (void)RunOnce(t, script, 1);
+  const auto seq_delta = delta(before, snapshot());
+
+  before = snapshot();
+  (void)RunOnce(t, script, 8);
+  const auto par_delta = delta(before, snapshot());
+
+  for (size_t i = 0; i < seq_delta.size(); ++i) {
+    EXPECT_EQ(par_delta[i], seq_delta[i])
+        << counters[i] << " seed=" << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialOracle,
+                         testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
+                                         144, 233, 377));
+
+}  // namespace
+}  // namespace aptrace

@@ -12,6 +12,9 @@
 //       and write the requested outputs.
 //         --baseline          use the execute-to-complete engine
 //         --k=N               execution-window count (default 8)
+//         --threads=N         scan worker threads (default: hardware
+//                             concurrency; 1 = sequential path; results
+//                             are identical for any N)
 //         --sim-limit=<dur>   stop after this much simulated time (2h...)
 //         --max-updates=N     stop after N updates
 //         --dot=<file>        write the graph as Graphviz DOT
@@ -42,7 +45,9 @@
 //       days train the baselines; default 60% of the span) and print the
 //       alerts — each is a valid starting point for `aptrace run`.
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <fstream>
@@ -60,6 +65,7 @@
 #include "storage/trace_io.h"
 #include "tools/aptrace_shell.h"
 #include "util/string_util.h"
+#include "util/worker_pool.h"
 #include "workload/scenario.h"
 
 namespace aptrace {
@@ -79,6 +85,7 @@ struct Flags {
   std::string sim_limit;
   size_t max_updates = 0;
   int k = 8;
+  int threads = 0;  // scan workers; 0 = hardware concurrency
   int train_days = -1;
   bool baseline = false;
   bool quiet = false;
@@ -93,6 +100,35 @@ bool TakeValue(const char* arg, const char* name, std::string* out) {
     return true;
   }
   return false;
+}
+
+/// Validates a `--threads` value: a positive integer, clamped to the
+/// worker pool's ceiling with a warning when larger. Scan workers
+/// prefetch simulated I/O, so exceeding the machine's core count is
+/// allowed (output is bit-identical at any thread count); only the pool
+/// ceiling is enforced. Diagnostics follow the BDL renderer's
+/// `severity[CODE]` convention so scripted callers can grep for the code.
+bool ParseThreads(const std::string& value, int* out) {
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || n < 1) {
+    std::fprintf(stderr,
+                 "--threads: error[CLI-E001]: expected a positive integer "
+                 "thread count, got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  constexpr long kCeiling = WorkerPool::kMaxThreads;
+  if (n > kCeiling) {
+    std::fprintf(stderr,
+                 "--threads: warning[CLI-W001]: %ld exceeds the scan pool "
+                 "ceiling of %ld thread(s); clamping to %ld\n",
+                 n, kCeiling, kCeiling);
+    *out = static_cast<int>(kCeiling);
+  } else {
+    *out = static_cast<int>(n);
+  }
+  return true;
 }
 
 int Usage() {
@@ -127,6 +163,8 @@ Flags ParseFlags(int argc, char** argv) {
       f.train_days = std::atoi(v.c_str());
     } else if (TakeValue(a, "--k", &v)) {
       f.k = std::atoi(v.c_str());
+    } else if (TakeValue(a, "--threads", &v)) {
+      if (!ParseThreads(v, &f.threads)) f.command.clear();
     } else if (std::strcmp(a, "--baseline") == 0) {
       f.baseline = true;
     } else if (std::strcmp(a, "--quiet") == 0) {
@@ -229,6 +267,7 @@ int CmdRun(const Flags& flags) {
   SessionOptions options;
   options.use_baseline = flags.baseline;
   options.num_windows_k = flags.k;
+  options.scan_threads = flags.threads;
   Session session(store.value().get(), &clock, options);
   if (auto s = session.Start(script.str()); !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
@@ -331,6 +370,7 @@ int CmdInvestigate(const Flags& flags) {
   SimClock clock;
   SessionOptions options;
   options.num_windows_k = flags.k;
+  options.scan_threads = flags.threads;
   Session session(built->store.get(), &clock, options);
   const auto found = [&] {
     return workload::ChainRecovered(session.graph(), scenario);
@@ -428,7 +468,10 @@ int CmdShell(const Flags& flags) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
   }
-  return tools::RunShell(store.value().get(), std::cin, std::cout);
+  tools::ShellOptions shell_options;
+  shell_options.scan_threads = flags.threads;
+  return tools::RunShell(store.value().get(), std::cin, std::cout,
+                         shell_options);
 }
 
 int Main(int argc, char** argv) {

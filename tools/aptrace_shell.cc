@@ -45,12 +45,15 @@ constexpr char kHelp[] =
 
 struct ShellState {
   EventStore* store = nullptr;
+  ShellOptions options;
   SimClock clock;
   std::unique_ptr<Session> session;
   bool session_started = false;
 
   Session* NewSession() {
-    session = std::make_unique<Session>(store, &clock);
+    SessionOptions session_options;
+    session_options.scan_threads = options.scan_threads;
+    session = std::make_unique<Session>(store, &clock, session_options);
     session_started = false;
     return session.get();
   }
@@ -85,6 +88,11 @@ void PrintStatus(ShellState& st, std::ostream& out) {
       << ", start node "
       << st.store->catalog().Get(st.session->context().start_node).Label()
       << "\n";
+  if (const auto* executor =
+          dynamic_cast<const Executor*>(st.session->engine());
+      executor != nullptr && executor->scan_threads() > 1) {
+    out << "scan threads: " << executor->scan_threads() << "\n";
+  }
 }
 
 void Step(ShellState& st, std::ostream& out, const RunLimits& limits) {
@@ -99,9 +107,11 @@ void Step(ShellState& st, std::ostream& out, const RunLimits& limits) {
 
 }  // namespace
 
-int RunShell(EventStore* store, std::istream& in, std::ostream& out) {
+int RunShell(EventStore* store, std::istream& in, std::ostream& out,
+             ShellOptions options) {
   ShellState st;
   st.store = store;
+  st.options = options;
   // Interactive sessions record spans so `trace-dump` always has data;
   // the per-command cost is noise at analyst speed.
   obs::Tracer::Global().SetEnabled(true);
