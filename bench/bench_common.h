@@ -30,6 +30,9 @@ struct BenchArgs {
   int windows_k = 8;       // the paper's empirical k
   int threads = 0;         // 0 = hardware concurrency (results identical)
   int scan_threads = 1;    // executor scan workers per case (1 = sequential)
+  /// Storage backend (default: APTRACE_BACKEND env var, else row).
+  /// Results are identical across backends; only simulated cost differs.
+  StorageBackendKind backend = DefaultStorageBackendKind();
   std::string metrics_out;  // "-" = stdout, *.json = JSON export
   std::string trace_out;    // Chrome trace JSON; enables span recording
   std::string meta_out;     // run metadata JSON (default: <metrics>.meta.json)
@@ -57,6 +60,15 @@ struct BenchArgs {
         args.threads = std::atoi(a + 10);
       } else if (std::strncmp(a, "--scan-threads=", 15) == 0) {
         args.scan_threads = std::atoi(a + 15);
+      } else if (std::strncmp(a, "--backend=", 10) == 0) {
+        const auto parsed = ParseStorageBackendKind(a + 10);
+        if (!parsed.has_value()) {
+          std::fprintf(stderr,
+                       "--backend: expected 'row' or 'columnar', got '%s'\n",
+                       a + 10);
+          std::exit(2);
+        }
+        args.backend = *parsed;
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
         args.metrics_out = a + 14;
       } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
@@ -66,8 +78,8 @@ struct BenchArgs {
       } else if (std::strcmp(a, "--help") == 0) {
         std::printf(
             "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
-            "--threads=N --scan-threads=N --metrics-out=F --trace-out=F "
-            "--meta-out=F\n");
+            "--threads=N --scan-threads=N --backend=row|columnar "
+            "--metrics-out=F --trace-out=F --meta-out=F\n");
         std::exit(0);
       }
     }
@@ -79,6 +91,7 @@ struct BenchArgs {
     config.num_hosts = num_hosts;
     config.days = days;
     config.seed = seed;
+    config.backend = backend;
     return config;
   }
 };

@@ -12,7 +12,11 @@ HostId ObjectCatalog::InternHost(std::string_view name) {
 }
 
 const std::string& ObjectCatalog::HostName(HostId id) const {
-  if (id >= hosts_.size()) return unknown_host_;
+  // Per-class constant rather than a per-instance member: the sentinel is
+  // immutable and identical for every catalog, so all instances (and all
+  // threads) can share one string.
+  static const std::string kUnknownHost = "?";
+  if (id >= hosts_.size()) return kUnknownHost;
   return hosts_[id];
 }
 

@@ -27,7 +27,8 @@ class ObjectCatalog {
   /// Interns a host name, returning its dense id.
   HostId InternHost(std::string_view name);
 
-  /// Host name for an id; "?" if out of range.
+  /// Host name for an id; a shared per-class "?" constant if out of range
+  /// (never a dangling reference, even across catalog instances).
   const std::string& HostName(HostId id) const;
   size_t NumHosts() const { return hosts_.size(); }
 
@@ -51,7 +52,6 @@ class ObjectCatalog {
   std::deque<SystemObject> objects_;
   std::vector<std::string> hosts_;
   std::unordered_map<std::string, HostId> host_ids_;
-  std::string unknown_host_ = "?";
 };
 
 }  // namespace aptrace

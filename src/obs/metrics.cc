@@ -132,6 +132,13 @@ MetricsRegistry::MetricsRegistry(bool preregister_engine) {
                       "server-side filtered)");
   FindOrCreateCounter(names::kStoreRowsFiltered,
                       "Event rows rejected server-side by pushed filters");
+  FindOrCreateCounter(names::kStoreSegmentsPruned,
+                      "Column segments skipped via zone maps without "
+                      "touching a row (columnar backend)");
+  FindOrCreateCounter(names::kStoreRowQueries,
+                      "Queries answered by the row-store backend");
+  FindOrCreateCounter(names::kStoreColumnarQueries,
+                      "Queries answered by the columnar backend");
   FindOrCreateCounter(names::kRefinerReuse,
                       "Script updates that reused the cached graph");
   FindOrCreateCounter(names::kRefinerRestart,

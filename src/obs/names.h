@@ -48,12 +48,21 @@ inline constexpr char kExecutorModeledScanMakespan[] =
 inline constexpr char kBaselineNodeQueries[] =
     "aptrace_baseline_node_queries_total";
 
-// Event store (storage/event_store.cc).
+// Event store (storage/storage_backend.cc). The aggregate counters sum
+// over all backends; the per-backend `aptrace_store_<backend>_*` names
+// carry the backend dimension (the Prometheus exporter emits one # TYPE
+// line per name, so the dimension is a name suffix rather than a label).
 inline constexpr char kStoreQueries[] = "aptrace_store_queries_total";
 inline constexpr char kStoreEventsScanned[] =
     "aptrace_store_events_scanned_total";
 inline constexpr char kStoreRowsFiltered[] =
     "aptrace_store_rows_filtered_total";
+inline constexpr char kStoreSegmentsPruned[] =
+    "aptrace_store_segments_pruned_total";
+inline constexpr char kStoreRowQueries[] =
+    "aptrace_store_row_queries_total";
+inline constexpr char kStoreColumnarQueries[] =
+    "aptrace_store_columnar_queries_total";
 
 // Refiner decisions (core/refiner.cc).
 inline constexpr char kRefinerReuse[] = "aptrace_refiner_reuse_total";

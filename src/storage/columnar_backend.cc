@@ -1,0 +1,443 @@
+#include "storage/columnar_backend.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "obs/trace.h"
+
+namespace aptrace {
+
+namespace {
+
+constexpr size_t kDefaultSegmentRows = 4096;
+
+/// (timestamp, id) pairs are the scan-order currency: segment output is
+/// already globally sorted, tail output is sorted, and the two merge by
+/// this ordering.
+struct TsId {
+  TimeMicros ts;
+  EventId id;
+};
+
+bool TsIdLess(const TsId& a, const TsId& b) {
+  if (a.ts != b.ts) return a.ts < b.ts;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+ColumnarSegmentBackend::ColumnarSegmentBackend(CostModel cost_model,
+                                               size_t segment_rows)
+    : StorageBackend(StorageBackendKind::kColumnar, cost_model),
+      segment_rows_(segment_rows == 0 ? kDefaultSegmentRows : segment_rows) {}
+
+const BackendCapabilities& ColumnarSegmentBackend::capabilities() const {
+  static const BackendCapabilities kCaps = {
+      .streaming_append = true,
+      .zone_map_pruning = true,
+      .probe_unit = "column segment",
+  };
+  return kCaps;
+}
+
+bool ColumnarSegmentBackend::FingerprintMayContain(const Fingerprint& bits,
+                                                   ObjectId id) {
+  const size_t bit = id % (kFingerprintWords * 64);
+  return (bits[bit / 64] >> (bit % 64)) & 1u;
+}
+
+void ColumnarSegmentBackend::FingerprintAdd(Fingerprint& bits, ObjectId id) {
+  const size_t bit = id % (kFingerprintWords * 64);
+  bits[bit / 64] |= uint64_t{1} << (bit % 64);
+}
+
+size_t ColumnarSegmentBackend::NumEvents() const {
+  if (!sealed()) return staging_.size();
+  return sealed_rows_ + tail_.size();
+}
+
+EventId ColumnarSegmentBackend::Append(Event event) {
+  if (!sealed()) {
+    const EventId id = staging_.size();
+    event.id = id;
+    NoteAppend(event);
+    staging_.push_back(event);
+    return id;
+  }
+  // Streaming path: the tail is append-ordered (id order); the sorted view
+  // keeps (timestamp, id) scan order available without resealing.
+  const EventId id = sealed_rows_ + tail_.size();
+  event.id = id;
+  NoteAppend(event);
+  const uint32_t pos = static_cast<uint32_t>(tail_.size());
+  tail_.push_back(event);
+  const auto by_time = [this](uint32_t a, uint32_t b) {
+    const Event& ea = tail_[a];
+    const Event& eb = tail_[b];
+    if (ea.timestamp != eb.timestamp) return ea.timestamp < eb.timestamp;
+    return ea.id < eb.id;
+  };
+  tail_sorted_.insert(
+      std::upper_bound(tail_sorted_.begin(), tail_sorted_.end(), pos, by_time),
+      pos);
+  return id;
+}
+
+void ColumnarSegmentBackend::Seal() {
+  if (sealed()) return;
+  APTRACE_SPAN("store/seal");
+  std::vector<EventId> order(staging_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [this](EventId a, EventId b) {
+    const Event& ea = staging_[a];
+    const Event& eb = staging_[b];
+    if (ea.timestamp != eb.timestamp) return ea.timestamp < eb.timestamp;
+    return a < b;
+  });
+
+  sealed_rows_ = staging_.size();
+  row_refs_.resize(sealed_rows_);
+  segments_.reserve((sealed_rows_ + segment_rows_ - 1) / segment_rows_);
+  for (size_t base = 0; base < sealed_rows_; base += segment_rows_) {
+    const size_t n = std::min(segment_rows_, sealed_rows_ - base);
+    Segment s;
+    s.ids.reserve(n);
+    s.ts.reserve(n);
+    s.subject.reserve(n);
+    s.object.reserve(n);
+    s.amount.reserve(n);
+    s.action.reserve(n);
+    s.direction.reserve(n);
+    s.host.reserve(n);
+    ZoneMap z;
+    z.ts_min = std::numeric_limits<TimeMicros>::max();
+    z.ts_max = std::numeric_limits<TimeMicros>::min();
+    z.src_min = ~static_cast<ObjectId>(0);
+    z.src_max = 0;
+    z.dest_min = ~static_cast<ObjectId>(0);
+    z.dest_max = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const Event& e = staging_[order[base + i]];
+      row_refs_[e.id] = {static_cast<uint32_t>(segments_.size()),
+                         static_cast<uint32_t>(i)};
+      s.ids.push_back(e.id);
+      s.ts.push_back(e.timestamp);
+      s.subject.push_back(e.subject);
+      s.object.push_back(e.object);
+      s.amount.push_back(e.amount);
+      s.action.push_back(static_cast<uint8_t>(e.action));
+      s.direction.push_back(static_cast<uint8_t>(e.direction));
+      s.host.push_back(e.host);
+      const ObjectId src = e.FlowSource();
+      const ObjectId dest = e.FlowDest();
+      z.ts_min = std::min(z.ts_min, e.timestamp);
+      z.ts_max = std::max(z.ts_max, e.timestamp);
+      z.src_min = std::min(z.src_min, src);
+      z.src_max = std::max(z.src_max, src);
+      z.dest_min = std::min(z.dest_min, dest);
+      z.dest_max = std::max(z.dest_max, dest);
+      z.host_bits |= uint64_t{1} << (e.host % 64);
+      z.action_bits |= static_cast<uint8_t>(1u << static_cast<int>(e.action));
+      FingerprintAdd(z.src_bits, src);
+      FingerprintAdd(z.dest_bits, dest);
+    }
+    s.zone = z;
+    segments_.push_back(std::move(s));
+  }
+  staging_.clear();
+  staging_.shrink_to_fit();
+  MarkSealed(sealed_rows_ == 0);
+}
+
+ObjectId ColumnarSegmentBackend::FlowKeyAt(const Segment& s, size_t row,
+                                           bool by_src) const {
+  const bool subject_to_object =
+      s.direction[row] ==
+      static_cast<uint8_t>(FlowDirection::kSubjectToObject);
+  // FlowSource is subject when the flow goes subject->object; FlowDest is
+  // the other endpoint.
+  if (by_src) return subject_to_object ? s.subject[row] : s.object[row];
+  return subject_to_object ? s.object[row] : s.subject[row];
+}
+
+Event ColumnarSegmentBackend::MaterializeRow(const Segment& s,
+                                             size_t row) const {
+  Event e;
+  e.id = s.ids[row];
+  e.subject = s.subject[row];
+  e.object = s.object[row];
+  e.timestamp = s.ts[row];
+  e.amount = s.amount[row];
+  e.action = static_cast<ActionType>(s.action[row]);
+  e.direction = static_cast<FlowDirection>(s.direction[row]);
+  e.host = s.host[row];
+  return e;
+}
+
+Event ColumnarSegmentBackend::Get(EventId id) const {
+  if (!sealed()) return staging_[id];
+  if (id < sealed_rows_) {
+    const RowRef ref = row_refs_[id];
+    return MaterializeRow(segments_[ref.segment], ref.offset);
+  }
+  return tail_[id - sealed_rows_];
+}
+
+bool ColumnarSegmentBackend::ZoneMayMatch(const ZoneMap& z, ObjectId key,
+                                          bool by_src) const {
+  if (by_src) {
+    if (key < z.src_min || key > z.src_max) return false;
+    return FingerprintMayContain(z.src_bits, key);
+  }
+  if (key < z.dest_min || key > z.dest_max) return false;
+  return FingerprintMayContain(z.dest_bits, key);
+}
+
+size_t ColumnarSegmentBackend::FirstSegmentFor(TimeMicros begin) const {
+  // Segments are cut from globally time-sorted rows, so ts_max is
+  // non-decreasing across segments: binary search the first candidate.
+  size_t lo = 0;
+  size_t hi = segments_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments_[mid].zone.ts_max < begin) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+std::pair<size_t, size_t> ColumnarSegmentBackend::TailBounds(
+    TimeMicros begin, TimeMicros end) const {
+  const auto ts_of = [this](uint32_t pos) { return tail_[pos].timestamp; };
+  const auto lo = std::lower_bound(
+      tail_sorted_.begin(), tail_sorted_.end(), begin,
+      [&](uint32_t pos, TimeMicros t) { return ts_of(pos) < t; });
+  const auto hi = std::lower_bound(
+      lo, tail_sorted_.end(), end,
+      [&](uint32_t pos, TimeMicros t) { return ts_of(pos) < t; });
+  return {static_cast<size_t>(lo - tail_sorted_.begin()),
+          static_cast<size_t>(hi - tail_sorted_.begin())};
+}
+
+RangeScanBatch ColumnarSegmentBackend::CollectImpl(bool by_src, ObjectId key,
+                                                   TimeMicros begin,
+                                                   TimeMicros end) const {
+  assert(sealed());
+  RangeScanBatch batch;
+  if (begin >= end) return batch;
+
+  for (size_t i = FirstSegmentFor(begin);
+       i < segments_.size() && segments_[i].zone.ts_min < end; ++i) {
+    const Segment& s = segments_[i];
+    if (!ZoneMayMatch(s.zone, key, by_src)) {
+      batch.segments_pruned++;
+      continue;
+    }
+    batch.partitions_probed++;
+    const auto r0 =
+        std::lower_bound(s.ts.begin(), s.ts.end(), begin) - s.ts.begin();
+    const auto r1 = std::lower_bound(s.ts.begin() + r0, s.ts.end(), end) -
+                    s.ts.begin();
+    bool hit = false;
+    for (auto r = static_cast<size_t>(r0); r < static_cast<size_t>(r1); ++r) {
+      if (FlowKeyAt(s, r, by_src) != key) continue;
+      batch.rows.push_back(s.ids[r]);
+      hit = true;
+    }
+    if (hit) batch.partitions_seeked++;
+  }
+
+  if (!tail_.empty()) {
+    const auto [t0, t1] = TailBounds(begin, end);
+    if (t0 < t1) {
+      batch.partitions_probed++;
+      std::vector<TsId> tail_hits;
+      for (size_t i = t0; i < t1; ++i) {
+        const Event& e = tail_[tail_sorted_[i]];
+        const ObjectId k = by_src ? e.FlowSource() : e.FlowDest();
+        if (k != key) continue;
+        tail_hits.push_back({e.timestamp, e.id});
+      }
+      if (!tail_hits.empty()) {
+        batch.partitions_seeked++;
+        // Merge the sorted tail hits into the sorted segment output.
+        std::vector<TsId> merged;
+        merged.reserve(batch.rows.size() + tail_hits.size());
+        std::vector<TsId> seg_hits;
+        seg_hits.reserve(batch.rows.size());
+        for (const EventId id : batch.rows) {
+          const RowRef ref = row_refs_[id];
+          seg_hits.push_back({segments_[ref.segment].ts[ref.offset], id});
+        }
+        std::merge(seg_hits.begin(), seg_hits.end(), tail_hits.begin(),
+                   tail_hits.end(), std::back_inserter(merged), TsIdLess);
+        batch.rows.clear();
+        batch.rows.reserve(merged.size());
+        for (const TsId& m : merged) batch.rows.push_back(m.id);
+      }
+    }
+  }
+  return batch;
+}
+
+RangeScanBatch ColumnarSegmentBackend::CollectDest(ObjectId dest,
+                                                   TimeMicros begin,
+                                                   TimeMicros end) const {
+  return CollectImpl(/*by_src=*/false, dest, begin, end);
+}
+
+RangeScanBatch ColumnarSegmentBackend::CollectSrc(ObjectId src,
+                                                  TimeMicros begin,
+                                                  TimeMicros end) const {
+  return CollectImpl(/*by_src=*/true, src, begin, end);
+}
+
+RangeScanBatch ColumnarSegmentBackend::CollectRange(TimeMicros begin,
+                                                    TimeMicros end) const {
+  assert(sealed());
+  RangeScanBatch batch;
+  if (begin >= end) return batch;
+
+  for (size_t i = FirstSegmentFor(begin);
+       i < segments_.size() && segments_[i].zone.ts_min < end; ++i) {
+    const Segment& s = segments_[i];
+    // No key to prune on: every overlapping segment is read in full.
+    batch.partitions_probed++;
+    batch.partitions_seeked++;
+    const auto r0 =
+        std::lower_bound(s.ts.begin(), s.ts.end(), begin) - s.ts.begin();
+    const auto r1 = std::lower_bound(s.ts.begin() + r0, s.ts.end(), end) -
+                    s.ts.begin();
+    batch.rows.insert(batch.rows.end(), s.ids.begin() + r0, s.ids.begin() + r1);
+  }
+
+  if (!tail_.empty()) {
+    const auto [t0, t1] = TailBounds(begin, end);
+    if (t0 < t1) {
+      batch.partitions_probed++;
+      batch.partitions_seeked++;
+      std::vector<TsId> tail_hits;
+      tail_hits.reserve(t1 - t0);
+      for (size_t i = t0; i < t1; ++i) {
+        const Event& e = tail_[tail_sorted_[i]];
+        tail_hits.push_back({e.timestamp, e.id});
+      }
+      std::vector<TsId> seg_hits;
+      seg_hits.reserve(batch.rows.size());
+      for (const EventId id : batch.rows) {
+        const RowRef ref = row_refs_[id];
+        seg_hits.push_back({segments_[ref.segment].ts[ref.offset], id});
+      }
+      std::vector<TsId> merged;
+      merged.reserve(seg_hits.size() + tail_hits.size());
+      std::merge(seg_hits.begin(), seg_hits.end(), tail_hits.begin(),
+                 tail_hits.end(), std::back_inserter(merged), TsIdLess);
+      batch.rows.clear();
+      batch.rows.reserve(merged.size());
+      for (const TsId& m : merged) batch.rows.push_back(m.id);
+    }
+  }
+  return batch;
+}
+
+size_t ColumnarSegmentBackend::CountDestRows(ObjectId dest, TimeMicros begin,
+                                             TimeMicros end, uint64_t* probed,
+                                             uint64_t* seeked,
+                                             uint64_t* pruned) const {
+  assert(sealed());
+  size_t rows = 0;
+  for (size_t i = FirstSegmentFor(begin);
+       i < segments_.size() && segments_[i].zone.ts_min < end; ++i) {
+    const Segment& s = segments_[i];
+    if (!ZoneMayMatch(s.zone, dest, /*by_src=*/false)) {
+      (*pruned)++;
+      continue;
+    }
+    (*probed)++;
+    const auto r0 =
+        std::lower_bound(s.ts.begin(), s.ts.end(), begin) - s.ts.begin();
+    const auto r1 = std::lower_bound(s.ts.begin() + r0, s.ts.end(), end) -
+                    s.ts.begin();
+    size_t here = 0;
+    for (auto r = static_cast<size_t>(r0); r < static_cast<size_t>(r1); ++r) {
+      if (FlowKeyAt(s, r, /*by_src=*/false) == dest) here++;
+    }
+    if (here > 0) (*seeked)++;
+    rows += here;
+  }
+  if (!tail_.empty()) {
+    const auto [t0, t1] = TailBounds(begin, end);
+    if (t0 < t1) {
+      (*probed)++;
+      size_t here = 0;
+      for (size_t i = t0; i < t1; ++i) {
+        if (tail_[tail_sorted_[i]].FlowDest() == dest) here++;
+      }
+      if (here > 0) (*seeked)++;
+      rows += here;
+    }
+  }
+  return rows;
+}
+
+bool ColumnarSegmentBackend::HasIncomingWrite(ObjectId object,
+                                              TimeMicros begin,
+                                              TimeMicros end) const {
+  assert(sealed());
+  if (begin >= end) return false;
+  for (size_t i = FirstSegmentFor(begin);
+       i < segments_.size() && segments_[i].zone.ts_min < end; ++i) {
+    const Segment& s = segments_[i];
+    if (!ZoneMayMatch(s.zone, object, /*by_src=*/false)) continue;
+    const auto r0 =
+        std::lower_bound(s.ts.begin(), s.ts.end(), begin) - s.ts.begin();
+    const auto r1 = std::lower_bound(s.ts.begin() + r0, s.ts.end(), end) -
+                    s.ts.begin();
+    for (auto r = static_cast<size_t>(r0); r < static_cast<size_t>(r1); ++r) {
+      if (FlowKeyAt(s, r, /*by_src=*/false) == object) return true;
+    }
+  }
+  if (!tail_.empty()) {
+    const auto [t0, t1] = TailBounds(begin, end);
+    for (size_t i = t0; i < t1; ++i) {
+      if (tail_[tail_sorted_[i]].FlowDest() == object) return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ObjectId> ColumnarSegmentBackend::FlowDestsOf(
+    ObjectId src, TimeMicros begin, TimeMicros end) const {
+  assert(sealed());
+  std::vector<ObjectId> out;
+  if (begin >= end) return out;
+  for (size_t i = FirstSegmentFor(begin);
+       i < segments_.size() && segments_[i].zone.ts_min < end; ++i) {
+    const Segment& s = segments_[i];
+    if (!ZoneMayMatch(s.zone, src, /*by_src=*/true)) continue;
+    const auto r0 =
+        std::lower_bound(s.ts.begin(), s.ts.end(), begin) - s.ts.begin();
+    const auto r1 = std::lower_bound(s.ts.begin() + r0, s.ts.end(), end) -
+                    s.ts.begin();
+    for (auto r = static_cast<size_t>(r0); r < static_cast<size_t>(r1); ++r) {
+      if (FlowKeyAt(s, r, /*by_src=*/true) != src) continue;
+      out.push_back(FlowKeyAt(s, r, /*by_src=*/false));
+    }
+  }
+  if (!tail_.empty()) {
+    const auto [t0, t1] = TailBounds(begin, end);
+    for (size_t i = t0; i < t1; ++i) {
+      const Event& e = tail_[tail_sorted_[i]];
+      if (e.FlowSource() == src) out.push_back(e.FlowDest());
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace aptrace

@@ -1,217 +1,46 @@
 #include "storage/event_store.h"
 
-#include <algorithm>
-#include <cassert>
+#include <utility>
 
-#include "obs/metrics.h"
-#include "obs/names.h"
 #include "obs/trace.h"
+#include "storage/columnar_backend.h"
+#include "storage/row_store_backend.h"
 #include "util/logging.h"
 
 namespace aptrace {
 
 namespace {
 
-struct StoreMetrics {
-  obs::Counter* queries;
-  obs::Counter* events_scanned;
-  obs::Counter* rows_filtered;
-};
-
-const StoreMetrics& Sm() {
-  static const StoreMetrics m = {
-      obs::Metrics().FindOrCreateCounter(obs::names::kStoreQueries),
-      obs::Metrics().FindOrCreateCounter(obs::names::kStoreEventsScanned),
-      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowsFiltered),
-  };
-  return m;
+std::unique_ptr<StorageBackend> MakeBackend(const EventStoreOptions& options) {
+  switch (options.backend) {
+    case StorageBackendKind::kColumnar:
+      return std::make_unique<ColumnarSegmentBackend>(options.cost_model,
+                                                      options.segment_rows);
+    case StorageBackendKind::kRow:
+      break;
+  }
+  return std::make_unique<RowStoreBackend>(options.cost_model,
+                                           options.partition_micros);
 }
 
 }  // namespace
 
 EventStore::EventStore(EventStoreOptions options)
     : options_(std::move(options)) {
-  if (options_.partition_micros <= 0) options_.partition_micros = kMicrosPerHour;
+  if (options_.partition_micros <= 0) {
+    options_.partition_micros = kMicrosPerHour;
+  }
+  backend_ = MakeBackend(options_);
 }
 
-StoreStats EventStore::stats() const {
-  StoreStats s;
-  s.queries = stat_queries_.load(std::memory_order_relaxed);
-  s.rows_matched = stat_rows_matched_.load(std::memory_order_relaxed);
-  s.rows_filtered = stat_rows_filtered_.load(std::memory_order_relaxed);
-  s.partitions_probed =
-      stat_partitions_probed_.load(std::memory_order_relaxed);
-  s.partitions_seeked =
-      stat_partitions_seeked_.load(std::memory_order_relaxed);
-  s.simulated_cost = stat_simulated_cost_.load(std::memory_order_relaxed);
-  return s;
-}
-
-void EventStore::ResetStats() {
-  stat_queries_.store(0, std::memory_order_relaxed);
-  stat_rows_matched_.store(0, std::memory_order_relaxed);
-  stat_rows_filtered_.store(0, std::memory_order_relaxed);
-  stat_partitions_probed_.store(0, std::memory_order_relaxed);
-  stat_partitions_seeked_.store(0, std::memory_order_relaxed);
-  stat_simulated_cost_.store(0, std::memory_order_relaxed);
-}
-
-namespace {
-constexpr auto kRelaxed = std::memory_order_relaxed;
-}  // namespace
-
-EventId EventStore::Append(Event event) {
-  const EventId id = events_.size();
-  event.id = id;
-  min_time_ = std::min(min_time_, event.timestamp);
-  max_time_ = std::max(max_time_, event.timestamp);
-  events_.push_back(event);
-  if (sealed_) IndexEvent(events_.back());
-  return id;
-}
-
-void EventStore::IndexEvent(const Event& e) {
-  Partition& p = partitions_[PartitionIndex(e.timestamp)];
-  const auto by_time = [this](EventId a, EventId b) {
-    const Event& ea = events_[a];
-    const Event& eb = events_[b];
-    if (ea.timestamp != eb.timestamp) return ea.timestamp < eb.timestamp;
-    return a < b;
-  };
-  const auto insert_sorted = [&](std::vector<EventId>& ids) {
-    ids.insert(std::upper_bound(ids.begin(), ids.end(), e.id, by_time),
-               e.id);
-  };
-  insert_sorted(p.by_dest[e.FlowDest()]);
-  insert_sorted(p.by_src[e.FlowSource()]);
-  insert_sorted(p.all);
-}
-
-int64_t EventStore::PartitionIndex(TimeMicros t) const {
-  // Floor division (timestamps may in principle be negative).
-  int64_t q = t / options_.partition_micros;
-  if (t % options_.partition_micros < 0) q -= 1;
-  return q;
-}
+EventStore::~EventStore() = default;
 
 void EventStore::Seal() {
-  if (sealed_) return;
-  APTRACE_SPAN("store/seal");
-  for (const Event& e : events_) {
-    Partition& p = partitions_[PartitionIndex(e.timestamp)];
-    p.by_dest[e.FlowDest()].push_back(e.id);
-    p.by_src[e.FlowSource()].push_back(e.id);
-    p.all.push_back(e.id);
-  }
-  const auto by_time = [this](EventId a, EventId b) {
-    const Event& ea = events_[a];
-    const Event& eb = events_[b];
-    if (ea.timestamp != eb.timestamp) return ea.timestamp < eb.timestamp;
-    return a < b;
-  };
-  for (auto& [idx, p] : partitions_) {
-    (void)idx;
-    for (auto& [obj, ids] : p.by_dest) {
-      (void)obj;
-      std::sort(ids.begin(), ids.end(), by_time);
-    }
-    for (auto& [obj, ids] : p.by_src) {
-      (void)obj;
-      std::sort(ids.begin(), ids.end(), by_time);
-    }
-    std::sort(p.all.begin(), p.all.end(), by_time);
-  }
-  if (events_.empty()) {
-    min_time_ = 0;
-    max_time_ = 0;
-  }
-  sealed_ = true;
-  APTRACE_LOG(Info) << "EventStore sealed: " << events_.size() << " events, "
-                    << partitions_.size() << " partitions, "
+  if (backend_->sealed()) return;
+  backend_->Seal();
+  APTRACE_LOG(Info) << "EventStore sealed (" << backend_->name()
+                    << " backend): " << backend_->NumEvents() << " events, "
                     << catalog_.size() << " objects";
-}
-
-namespace {
-
-// Returns [first, last) subrange of `ids` with timestamps in [begin, end).
-std::pair<size_t, size_t> TimeBounds(const std::vector<EventId>& ids,
-                                     const std::vector<Event>& events,
-                                     TimeMicros begin, TimeMicros end) {
-  const auto lo = std::lower_bound(
-      ids.begin(), ids.end(), begin,
-      [&](EventId id, TimeMicros t) { return events[id].timestamp < t; });
-  const auto hi = std::lower_bound(
-      lo, ids.end(), end,
-      [&](EventId id, TimeMicros t) { return events[id].timestamp < t; });
-  return {static_cast<size_t>(lo - ids.begin()),
-          static_cast<size_t>(hi - ids.begin())};
-}
-
-}  // namespace
-
-RangeScanBatch EventStore::CollectImpl(bool by_src, ObjectId key,
-                                       TimeMicros begin,
-                                       TimeMicros end) const {
-  assert(sealed_);
-  RangeScanBatch batch;
-  if (begin >= end) return batch;
-  const int64_t p_lo = PartitionIndex(begin);
-  const int64_t p_hi = PartitionIndex(end - 1);
-  for (auto it = partitions_.lower_bound(p_lo);
-       it != partitions_.end() && it->first <= p_hi; ++it) {
-    batch.partitions_probed++;
-    const auto& index = by_src ? it->second.by_src : it->second.by_dest;
-    const auto found = index.find(key);
-    if (found == index.end()) continue;
-    const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-    if (lo == hi) continue;
-    batch.partitions_seeked++;
-    batch.rows.insert(batch.rows.end(), found->second.begin() + lo,
-                      found->second.begin() + hi);
-  }
-  return batch;
-}
-
-RangeScanBatch EventStore::CollectDest(ObjectId dest, TimeMicros begin,
-                                       TimeMicros end) const {
-  return CollectImpl(/*by_src=*/false, dest, begin, end);
-}
-
-RangeScanBatch EventStore::CollectSrc(ObjectId src, TimeMicros begin,
-                                      TimeMicros end) const {
-  return CollectImpl(/*by_src=*/true, src, begin, end);
-}
-
-size_t EventStore::ReplayScan(const RangeScanBatch& batch, Clock* clock,
-                              const std::function<void(const Event&)>& fn,
-                              const RowFilter& filter,
-                              DurationMicros* cost_out) const {
-  assert(sealed_);
-  size_t rows = 0;
-  size_t filtered = 0;
-  for (const EventId id : batch.rows) {
-    const Event& e = events_[id];
-    if (filter && !filter(e)) {
-      filtered++;
-      continue;
-    }
-    rows++;
-    if (fn) fn(e);
-  }
-  const DurationMicros cost = options_.cost_model.QueryCost(
-      rows, filtered, batch.partitions_probed, batch.partitions_seeked);
-  if (clock != nullptr) clock->AdvanceMicros(cost);
-  if (cost_out != nullptr) *cost_out = cost;
-  stat_queries_.fetch_add(1, kRelaxed);
-  stat_rows_matched_.fetch_add(rows, kRelaxed);
-  stat_rows_filtered_.fetch_add(filtered, kRelaxed);
-  stat_partitions_probed_.fetch_add(batch.partitions_probed, kRelaxed);
-  stat_partitions_seeked_.fetch_add(batch.partitions_seeked, kRelaxed);
-  stat_simulated_cost_.fetch_add(cost, kRelaxed);
-  Sm().queries->Add();
-  Sm().events_scanned->Add(rows + filtered);
-  Sm().rows_filtered->Add(filtered);
-  return rows;
 }
 
 size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
@@ -220,8 +49,8 @@ size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                             const RowFilter& filter,
                             DurationMicros* cost_out) const {
   APTRACE_SPAN("store/scan_dest");
-  return ReplayScan(CollectDest(dest, begin, end), clock, fn, filter,
-                    cost_out);
+  return backend_->ReplayScan(backend_->CollectDest(dest, begin, end), clock,
+                              fn, filter, cost_out);
 }
 
 size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
@@ -230,106 +59,15 @@ size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
                            const RowFilter& filter,
                            DurationMicros* cost_out) const {
   APTRACE_SPAN("store/scan_src");
-  return ReplayScan(CollectSrc(src, begin, end), clock, fn, filter, cost_out);
-}
-
-size_t EventStore::CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
-                             Clock* clock) const {
-  assert(sealed_);
-  size_t rows = 0;
-  uint64_t probed = 0;
-  uint64_t seeked = 0;
-  if (begin < end) {
-    const int64_t p_lo = PartitionIndex(begin);
-    const int64_t p_hi = PartitionIndex(end - 1);
-    for (auto it = partitions_.lower_bound(p_lo);
-         it != partitions_.end() && it->first <= p_hi; ++it) {
-      probed++;
-      const auto found = it->second.by_dest.find(dest);
-      if (found == it->second.by_dest.end()) continue;
-      const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-      if (lo == hi) continue;
-      seeked++;
-      rows += hi - lo;
-    }
-  }
-  // COUNT over the index: no per-row fetch cost.
-  const DurationMicros cost = options_.cost_model.QueryCost(0, 0, probed, seeked);
-  if (clock != nullptr) clock->AdvanceMicros(cost);
-  stat_queries_.fetch_add(1, kRelaxed);
-  stat_partitions_probed_.fetch_add(probed, kRelaxed);
-  stat_partitions_seeked_.fetch_add(seeked, kRelaxed);
-  stat_simulated_cost_.fetch_add(cost, kRelaxed);
-  Sm().queries->Add();  // index-only COUNT: no event rows touched
-  return rows;
+  return backend_->ReplayScan(backend_->CollectSrc(src, begin, end), clock, fn,
+                              filter, cost_out);
 }
 
 size_t EventStore::ScanRange(TimeMicros begin, TimeMicros end, Clock* clock,
-                             const std::function<void(const Event&)>& fn) const {
+                             const std::function<void(const Event&)>& fn)
+    const {
   APTRACE_SPAN("store/scan_range");
-  assert(sealed_);
-  size_t rows = 0;
-  uint64_t probed = 0;
-  if (begin < end) {
-    const int64_t p_lo = PartitionIndex(begin);
-    const int64_t p_hi = PartitionIndex(end - 1);
-    for (auto it = partitions_.lower_bound(p_lo);
-         it != partitions_.end() && it->first <= p_hi; ++it) {
-      probed++;
-      const auto [lo, hi] = TimeBounds(it->second.all, events_, begin, end);
-      for (size_t i = lo; i < hi; ++i) {
-        rows++;
-        if (fn) fn(events_[it->second.all[i]]);
-      }
-    }
-  }
-  const DurationMicros cost =
-      options_.cost_model.QueryCost(rows, 0, probed, probed);
-  if (clock != nullptr) clock->AdvanceMicros(cost);
-  stat_queries_.fetch_add(1, kRelaxed);
-  stat_rows_matched_.fetch_add(rows, kRelaxed);
-  stat_partitions_probed_.fetch_add(probed, kRelaxed);
-  stat_simulated_cost_.fetch_add(cost, kRelaxed);
-  Sm().queries->Add();
-  Sm().events_scanned->Add(rows);
-  return rows;
-}
-
-bool EventStore::HasIncomingWrite(ObjectId object, TimeMicros begin,
-                                  TimeMicros end) const {
-  assert(sealed_);
-  if (begin >= end) return false;
-  const int64_t p_lo = PartitionIndex(begin);
-  const int64_t p_hi = PartitionIndex(end - 1);
-  for (auto it = partitions_.lower_bound(p_lo);
-       it != partitions_.end() && it->first <= p_hi; ++it) {
-    const auto found = it->second.by_dest.find(object);
-    if (found == it->second.by_dest.end()) continue;
-    const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-    if (lo != hi) return true;
-  }
-  return false;
-}
-
-std::vector<ObjectId> EventStore::FlowDestsOf(ObjectId src, TimeMicros begin,
-                                              TimeMicros end) const {
-  assert(sealed_);
-  std::vector<ObjectId> out;
-  if (begin >= end) return out;
-  const int64_t p_lo = PartitionIndex(begin);
-  const int64_t p_hi = PartitionIndex(end - 1);
-  for (auto it = partitions_.lower_bound(p_lo);
-       it != partitions_.end() && it->first <= p_hi; ++it) {
-    const auto found = it->second.by_src.find(src);
-    if (found == it->second.by_src.end()) continue;
-    const auto [lo, hi] = TimeBounds(found->second, events_, begin, end);
-    for (size_t i = lo; i < hi; ++i) {
-      out.push_back(events_[found->second[i]].FlowDest());
-    }
-  }
-  std::sort(out.begin(), out.end());
-  out.erase(std::unique(out.begin(), out.end()), out.end());
-  return out;
+  return backend_->ReplayScan(backend_->CollectRange(begin, end), clock, fn);
 }
 
 }  // namespace aptrace

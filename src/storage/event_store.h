@@ -1,17 +1,15 @@
 #ifndef APTRACE_STORAGE_EVENT_STORE_H_
 #define APTRACE_STORAGE_EVENT_STORE_H_
 
-#include <atomic>
 #include <cstdint>
 #include <functional>
-#include <limits>
-#include <map>
-#include <unordered_map>
+#include <memory>
 #include <vector>
 
 #include "event/catalog.h"
 #include "event/event.h"
 #include "storage/cost_model.h"
+#include "storage/storage_backend.h"
 #include "util/clock.h"
 #include "util/status.h"
 
@@ -19,43 +17,28 @@ namespace aptrace {
 
 /// Store construction options.
 struct EventStoreOptions {
-  /// Width of a time partition. The paper's backend partitions audit logs
-  /// by day; we default to one simulated hour so partition pruning is
-  /// meaningful at laptop scale.
+  /// Width of a time partition (row backend). The paper's backend
+  /// partitions audit logs by day; we default to one simulated hour so
+  /// partition pruning is meaningful at laptop scale.
   DurationMicros partition_micros = kMicrosPerHour;
 
   CostModel cost_model;
+
+  /// Physical layout. Defaults to the APTRACE_BACKEND environment
+  /// variable ("row" or "columnar") when set, else the row store — so the
+  /// whole test suite and every tool can be switched per run without code
+  /// changes.
+  StorageBackendKind backend = DefaultStorageBackendKind();
+
+  /// Rows per column segment (columnar backend). 0 = backend default.
+  size_t segment_rows = 0;
 };
 
-/// Cumulative I/O counters, used by the resource model and the benches.
-/// Snapshot of the store's atomic counters (see EventStore::stats()).
-struct StoreStats {
-  uint64_t queries = 0;
-  uint64_t rows_matched = 0;   // fetched and delivered to the caller
-  uint64_t rows_filtered = 0;  // rejected server-side by a pushed filter
-  uint64_t partitions_probed = 0;
-  uint64_t partitions_seeked = 0;
-  DurationMicros simulated_cost = 0;
-};
-
-/// Server-side row predicate pushed into a scan (the Refiner compiles BDL
-/// heuristics into the query). Return false to discard the row cheaply.
-using RowFilter = std::function<bool(const Event&)>;
-
-/// Raw output of a pure index scan: the rows a Scan* call would visit (in
-/// the same ascending (timestamp, id) order) plus the partition counters
-/// the cost model charges. Produced by CollectDest/CollectSrc — which are
-/// side-effect-free and safe to run from any thread — and consumed by
-/// ReplayScan, which applies the filter and charges exactly what the
-/// fused scan would have. ScanDest/ScanSrc are implemented as
-/// Collect + Replay, so the split is equivalent by construction.
-struct RangeScanBatch {
-  std::vector<EventId> rows;
-  uint64_t partitions_probed = 0;
-  uint64_t partitions_seeked = 0;
-};
-
-/// Time-partitioned event store simulating the audit-log database.
+/// Simulated audit-log database: a thin façade that owns the ObjectCatalog
+/// and delegates every row operation to a pluggable StorageBackend
+/// (row-oriented time partitions or columnar segments with zone maps; see
+/// storage/storage_backend.h for the interface contract and
+/// docs/storage_backends.md for the layouts).
 ///
 /// Lifecycle: create, obtain the mutable catalog, Append() events in any
 /// order, Seal(), then query. Queries charge simulated time to the Clock
@@ -63,18 +46,21 @@ struct RangeScanBatch {
 /// can share one store).
 ///
 /// Thread-safety: after Seal(), any number of threads may query
-/// concurrently (the counters are atomic). Appends — including streaming
-/// post-seal appends — require external synchronization with queries.
+/// concurrently; see the read-after-build contract on StorageBackend.
 /// CollectDest/CollectSrc touch no counters at all, so the Executor's
 /// scan workers can prefetch row batches with zero cross-thread traffic.
 ///
 /// The core query is ScanDest: all events whose data-flow *destination* is
 /// a given object within [begin, end). This is exactly the query backward
 /// tracking issues per explored node (paper Section II: an event B depends
-/// on A when A's flow destination equals B's flow source).
+/// on A when A's flow destination equals B's flow source). Both backends
+/// return the same rows in the same ascending (timestamp, id) order, so
+/// analysis output is bit-identical across backends; only the simulated
+/// probe cost differs.
 class EventStore {
  public:
   explicit EventStore(EventStoreOptions options = {});
+  ~EventStore();
 
   EventStore(const EventStore&) = delete;
   EventStore& operator=(const EventStore&) = delete;
@@ -83,23 +69,30 @@ class EventStore {
   ObjectCatalog& catalog() { return catalog_; }
   const ObjectCatalog& catalog() const { return catalog_; }
 
+  /// The physical layout behind this store.
+  const StorageBackend& backend() const { return *backend_; }
+  StorageBackendKind backend_kind() const { return backend_->kind(); }
+
   /// Appends an event; the store assigns and returns its EventId.
   /// Before Seal() this is the bulk-load path; after Seal() the event is
   /// indexed incrementally (streaming ingestion), so live collectors can
   /// keep feeding a store that analyses are already running against.
   /// Precondition: subject/object ids exist in the catalog.
-  EventId Append(Event event);
+  EventId Append(Event event) { return backend_->Append(std::move(event)); }
 
-  /// Freezes the bulk-load phase and builds the per-partition indexes.
+  /// Freezes the bulk-load phase and builds the physical layout.
   void Seal();
-  bool sealed() const { return sealed_; }
+  bool sealed() const { return backend_->sealed(); }
 
-  size_t NumEvents() const { return events_.size(); }
-  const Event& Get(EventId id) const { return events_[id]; }
+  size_t NumEvents() const { return backend_->NumEvents(); }
+
+  /// Materializes one event row. By value: the columnar backend
+  /// reassembles rows from column arrays, so no stable reference exists.
+  Event Get(EventId id) const { return backend_->Get(id); }
 
   /// Earliest/latest event timestamps; [0, 0) when empty.
-  TimeMicros MinTime() const { return min_time_; }
-  TimeMicros MaxTime() const { return max_time_; }
+  TimeMicros MinTime() const { return backend_->MinTime(); }
+  TimeMicros MaxTime() const { return backend_->MaxTime(); }
 
   /// Scans events with FlowDest() == dest and begin <= timestamp < end,
   /// in ascending time order, invoking `fn` for each row that passes
@@ -115,15 +108,24 @@ class EventStore {
                   const RowFilter& filter = nullptr,
                   DurationMicros* cost_out = nullptr) const;
 
-  /// Pure row collection for ScanDest: the rows and partition counters the
+  /// Pure row collection for ScanDest: the rows and probe counters the
   /// scan would visit, with no clock charge, no stats, no metrics. Safe to
   /// call concurrently from any number of threads on a sealed store.
   RangeScanBatch CollectDest(ObjectId dest, TimeMicros begin,
-                             TimeMicros end) const;
+                             TimeMicros end) const {
+    return backend_->CollectDest(dest, begin, end);
+  }
 
   /// Pure row collection for ScanSrc (same contract as CollectDest).
   RangeScanBatch CollectSrc(ObjectId src, TimeMicros begin,
-                            TimeMicros end) const;
+                            TimeMicros end) const {
+    return backend_->CollectSrc(src, begin, end);
+  }
+
+  /// Pure row collection for ScanRange (same contract as CollectDest).
+  RangeScanBatch CollectRange(TimeMicros begin, TimeMicros end) const {
+    return backend_->CollectRange(begin, end);
+  }
 
   /// Second half of a split scan: iterates a collected batch through
   /// `filter`/`fn` and charges clock/stats/metrics exactly as the fused
@@ -133,12 +135,16 @@ class EventStore {
   size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
                     const std::function<void(const Event&)>& fn,
                     const RowFilter& filter = nullptr,
-                    DurationMicros* cost_out = nullptr) const;
+                    DurationMicros* cost_out = nullptr) const {
+    return backend_->ReplayScan(batch, clock, fn, filter, cost_out);
+  }
 
   /// Number of rows ScanDest would match, without fetching them (charges
   /// only probe/overhead cost — models a COUNT(*) over the index).
   size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
-                   Clock* clock) const;
+                   Clock* clock) const {
+    return backend_->CountDest(dest, begin, end, clock);
+  }
 
   /// Mirror of ScanDest for forward tracking: events whose data-flow
   /// *source* is `src` within [begin, end), ascending by time.
@@ -157,55 +163,27 @@ class EventStore {
   /// a write-like action) within [begin, end). Used by derived attribute
   /// isReadOnly. Does not charge cost (metadata lookup).
   bool HasIncomingWrite(ObjectId object, TimeMicros begin,
-                        TimeMicros end) const;
+                        TimeMicros end) const {
+    return backend_->HasIncomingWrite(object, begin, end);
+  }
 
   /// Distinct flow destinations of events whose source is `src` within
   /// [begin, end). Used by derived attribute isWriteThrough. No cost.
   std::vector<ObjectId> FlowDestsOf(ObjectId src, TimeMicros begin,
-                                    TimeMicros end) const;
+                                    TimeMicros end) const {
+    return backend_->FlowDestsOf(src, begin, end);
+  }
 
-  /// Snapshot of the cumulative I/O counters.
-  StoreStats stats() const;
-  void ResetStats();
+  /// One consistent snapshot of the cumulative I/O counters.
+  StoreStats stats() const { return backend_->stats(); }
+  void ResetStats() { backend_->ResetStats(); }
 
   const EventStoreOptions& options() const { return options_; }
 
  private:
-  struct Partition {
-    // Event ids with FlowDest == key, sorted by timestamp (ties by id).
-    std::unordered_map<ObjectId, std::vector<EventId>> by_dest;
-    // Event ids with FlowSource == key, sorted by timestamp. Powers the
-    // derived-attribute queries.
-    std::unordered_map<ObjectId, std::vector<EventId>> by_src;
-    // All event ids in the partition, sorted by timestamp.
-    std::vector<EventId> all;
-  };
-
-  int64_t PartitionIndex(TimeMicros t) const;
-
-  /// Shared pure-collection walk behind CollectDest/CollectSrc.
-  RangeScanBatch CollectImpl(bool by_src, ObjectId key, TimeMicros begin,
-                             TimeMicros end) const;
-
-  /// Inserts one event into the partition indexes at its sorted position
-  /// (incremental path for post-seal appends).
-  void IndexEvent(const Event& e);
-
   EventStoreOptions options_;
   ObjectCatalog catalog_;
-  std::vector<Event> events_;  // indexed by EventId
-  std::map<int64_t, Partition> partitions_;
-  TimeMicros min_time_ = std::numeric_limits<TimeMicros>::max();
-  TimeMicros max_time_ = std::numeric_limits<TimeMicros>::min();
-  bool sealed_ = false;
-
-  // Atomic so concurrent read-only sessions can share the store.
-  mutable std::atomic<uint64_t> stat_queries_{0};
-  mutable std::atomic<uint64_t> stat_rows_matched_{0};
-  mutable std::atomic<uint64_t> stat_rows_filtered_{0};
-  mutable std::atomic<uint64_t> stat_partitions_probed_{0};
-  mutable std::atomic<uint64_t> stat_partitions_seeked_{0};
-  mutable std::atomic<int64_t> stat_simulated_cost_{0};
+  std::unique_ptr<StorageBackend> backend_;
 };
 
 }  // namespace aptrace

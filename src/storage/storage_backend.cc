@@ -1,0 +1,161 @@
+#include "storage/storage_backend.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace aptrace {
+
+const char* StorageBackendName(StorageBackendKind kind) {
+  switch (kind) {
+    case StorageBackendKind::kRow:
+      return "row";
+    case StorageBackendKind::kColumnar:
+      return "columnar";
+  }
+  return "unknown";
+}
+
+std::optional<StorageBackendKind> ParseStorageBackendKind(
+    std::string_view name) {
+  if (name == "row") return StorageBackendKind::kRow;
+  if (name == "columnar") return StorageBackendKind::kColumnar;
+  return std::nullopt;
+}
+
+StorageBackendKind DefaultStorageBackendKind() {
+  const char* env = std::getenv("APTRACE_BACKEND");
+  if (env != nullptr) {
+    const auto parsed = ParseStorageBackendKind(env);
+    if (parsed.has_value()) return *parsed;
+  }
+  return StorageBackendKind::kRow;
+}
+
+/// Aggregate counters (all backends) plus the per-backend query counter:
+/// the Prometheus exporter emits one `# TYPE` line per metric name, so the
+/// backend dimension is encoded as a name suffix rather than a label.
+struct StorageBackend::BackendMetrics {
+  obs::Counter* queries;
+  obs::Counter* events_scanned;
+  obs::Counter* rows_filtered;
+  obs::Counter* segments_pruned;
+  obs::Counter* backend_queries;
+};
+
+const StorageBackend::BackendMetrics& StorageBackend::Bm() const {
+  static const BackendMetrics kRowMetrics = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreQueries),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreEventsScanned),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowsFiltered),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreSegmentsPruned),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowQueries),
+  };
+  static const BackendMetrics kColumnarMetrics = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreQueries),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreEventsScanned),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowsFiltered),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreSegmentsPruned),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreColumnarQueries),
+  };
+  return kind_ == StorageBackendKind::kColumnar ? kColumnarMetrics
+                                                : kRowMetrics;
+}
+
+StorageBackend::StorageBackend(StorageBackendKind kind, CostModel cost_model)
+    : kind_(kind), cost_model_(cost_model) {}
+
+void StorageBackend::NoteAppend(const Event& event) {
+  min_time_ = std::min(min_time_, event.timestamp);
+  max_time_ = std::max(max_time_, event.timestamp);
+}
+
+void StorageBackend::MarkSealed(bool empty) {
+  if (empty) {
+    min_time_ = 0;
+    max_time_ = 0;
+  }
+  sealed_ = true;
+}
+
+StoreStats StorageBackend::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  return stats_;
+}
+
+void StorageBackend::ResetStats() {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_ = StoreStats{};
+}
+
+size_t StorageBackend::ReplayScan(const RangeScanBatch& batch, Clock* clock,
+                                  const std::function<void(const Event&)>& fn,
+                                  const RowFilter& filter,
+                                  DurationMicros* cost_out) const {
+  assert(sealed_);
+  size_t rows = 0;
+  size_t filtered = 0;
+  for (const EventId id : batch.rows) {
+    const Event e = Get(id);
+    if (filter && !filter(e)) {
+      filtered++;
+      continue;
+    }
+    rows++;
+    if (fn) fn(e);
+  }
+  const DurationMicros cost = cost_model_.QueryCost(
+      rows, filtered, batch.partitions_probed, batch.partitions_seeked);
+  if (clock != nullptr) clock->AdvanceMicros(cost);
+  if (cost_out != nullptr) *cost_out = cost;
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries++;
+    stats_.rows_matched += rows;
+    stats_.rows_filtered += filtered;
+    stats_.partitions_probed += batch.partitions_probed;
+    stats_.partitions_seeked += batch.partitions_seeked;
+    stats_.segments_pruned += batch.segments_pruned;
+    stats_.simulated_cost += cost;
+  }
+  const BackendMetrics& m = Bm();
+  m.queries->Add();
+  m.backend_queries->Add();
+  m.events_scanned->Add(rows + filtered);
+  m.rows_filtered->Add(filtered);
+  m.segments_pruned->Add(batch.segments_pruned);
+  return rows;
+}
+
+size_t StorageBackend::CountDest(ObjectId dest, TimeMicros begin,
+                                 TimeMicros end, Clock* clock) const {
+  assert(sealed_);
+  uint64_t probed = 0;
+  uint64_t seeked = 0;
+  uint64_t pruned = 0;
+  size_t rows = 0;
+  if (begin < end) {
+    rows = CountDestRows(dest, begin, end, &probed, &seeked, &pruned);
+  }
+  // COUNT over the index: no per-row fetch cost.
+  const DurationMicros cost = cost_model_.QueryCost(0, 0, probed, seeked);
+  if (clock != nullptr) clock->AdvanceMicros(cost);
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    stats_.queries++;
+    stats_.partitions_probed += probed;
+    stats_.partitions_seeked += seeked;
+    stats_.segments_pruned += pruned;
+    stats_.simulated_cost += cost;
+  }
+  const BackendMetrics& m = Bm();
+  m.queries->Add();  // index-only COUNT: no event rows touched
+  m.backend_queries->Add();
+  m.segments_pruned->Add(pruned);
+  return rows;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,235 @@
+#ifndef APTRACE_STORAGE_STORAGE_BACKEND_H_
+#define APTRACE_STORAGE_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "event/event.h"
+#include "storage/cost_model.h"
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// Physical layouts the store can run on. The row store is the seed
+/// implementation (time partitions + per-partition hash indexes); the
+/// columnar backend stores sealed events as fixed-size column segments
+/// with zone maps that let scans skip whole segments.
+enum class StorageBackendKind : uint8_t {
+  kRow = 0,
+  kColumnar = 1,
+};
+
+/// Stable lowercase name ("row", "columnar") used by --backend flags,
+/// metric names, and log lines.
+const char* StorageBackendName(StorageBackendKind kind);
+
+/// Parses a --backend flag value; nullopt if unrecognized.
+std::optional<StorageBackendKind> ParseStorageBackendKind(
+    std::string_view name);
+
+/// Backend selected when EventStoreOptions does not pin one: the
+/// APTRACE_BACKEND environment variable ("row" or "columnar") when set and
+/// valid, else the row store. Read per call so test fixtures can flip the
+/// variable in-process.
+StorageBackendKind DefaultStorageBackendKind();
+
+/// What a backend can do / how it charges the cost model. Callers that
+/// care (benches, docs, the shell's status output) read these instead of
+/// switching on the kind.
+struct BackendCapabilities {
+  /// Post-seal Append() keeps the store queryable (streaming ingestion).
+  bool streaming_append = false;
+  /// CollectSrc/CollectDest can reject whole storage units from zone
+  /// metadata without touching a row; rejected units are reported in
+  /// RangeScanBatch::segments_pruned and never counted as probed.
+  bool zone_map_pruning = false;
+  /// The storage unit the `partitions_probed`/`partitions_seeked`
+  /// counters count ("time partition" or "column segment").
+  const char* probe_unit = "time partition";
+};
+
+/// Cumulative I/O counters, used by the resource model and the benches.
+/// One consistent snapshot is taken under the stats mutex (see
+/// StorageBackend::stats()), so cross-field invariants hold in every
+/// snapshot: partitions_seeked <= partitions_probed, and rows_matched
+/// never decreases between snapshots.
+struct StoreStats {
+  uint64_t queries = 0;
+  uint64_t rows_matched = 0;   // fetched and delivered to the caller
+  uint64_t rows_filtered = 0;  // rejected server-side by a pushed filter
+  /// Partitions (row store) or segments (columnar) whose index was
+  /// consulted. Zone-map-rejected segments are *not* probed.
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  /// Segments skipped via zone maps alone (columnar only; 0 on row).
+  uint64_t segments_pruned = 0;
+  DurationMicros simulated_cost = 0;
+};
+
+/// Server-side row predicate pushed into a scan (the Refiner compiles BDL
+/// heuristics into the query). Return false to discard the row cheaply.
+using RowFilter = std::function<bool(const Event&)>;
+
+/// Raw output of a pure index scan: the rows a Scan* call would visit (in
+/// the same ascending (timestamp, id) order) plus the probe counters the
+/// cost model charges. Produced by CollectDest/CollectSrc — which are
+/// side-effect-free and safe to run from any thread — and consumed by
+/// ReplayScan, which applies the filter and charges exactly what the
+/// fused scan would have. ScanDest/ScanSrc are implemented as
+/// Collect + Replay, so the split is equivalent by construction.
+struct RangeScanBatch {
+  std::vector<EventId> rows;
+  /// Storage units consulted (partitions or segments; see
+  /// BackendCapabilities::probe_unit).
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  /// Storage units rejected purely from zone metadata (columnar only).
+  uint64_t segments_pruned = 0;
+};
+
+/// Physical storage layout behind an EventStore.
+///
+/// A backend owns the event rows and their indexes; the EventStore façade
+/// owns the ObjectCatalog and delegates every row operation here. The
+/// query surface is split in two layers:
+///
+///   - virtual Collect* calls: pure row collection. No clock charge, no
+///     stats, no metrics — each returns the matching EventIds in
+///     ascending (timestamp, id) order plus the probe counters the cost
+///     model will charge. Both backends MUST deliver identical row sets
+///     in identical order for the same stored events, which is what makes
+///     analysis output bit-identical across backends (only the simulated
+///     cost may differ, via the probe counters).
+///   - non-virtual replay/charge calls implemented once in this base
+///     class: ReplayScan/CountDest apply filters, advance the clock by
+///     CostModel::QueryCost, and record stats/metrics.
+///
+/// Thread-safety (the read-after-build contract): construction —
+/// Append()s followed by Seal() — must happen on one thread (or be
+/// externally synchronized). After Seal(), any number of threads may call
+/// every const member concurrently: Collect*/Get/HasIncomingWrite/
+/// FlowDestsOf touch no mutable state at all (the Executor's scan workers
+/// rely on this for zero cross-thread traffic), and ReplayScan/CountDest
+/// serialize only their counter updates behind a single stats mutex so
+/// stats() snapshots are consistent across fields. Post-seal streaming
+/// Append()s require external synchronization with all queries, exactly
+/// as before the refactor.
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  StorageBackend(const StorageBackend&) = delete;
+  StorageBackend& operator=(const StorageBackend&) = delete;
+
+  StorageBackendKind kind() const { return kind_; }
+  const char* name() const { return StorageBackendName(kind_); }
+  virtual const BackendCapabilities& capabilities() const = 0;
+
+  /// Appends an event; the backend assigns and returns its EventId (dense,
+  /// in append order). Before Seal() this is the bulk-load path; after
+  /// Seal() the event is indexed incrementally (streaming ingestion).
+  virtual EventId Append(Event event) = 0;
+
+  /// Freezes the bulk-load phase and builds the physical layout.
+  virtual void Seal() = 0;
+  bool sealed() const { return sealed_; }
+
+  virtual size_t NumEvents() const = 0;
+
+  /// Materializes one event row by id. By value: a columnar backend
+  /// reassembles the row from its column arrays, so there is no stable
+  /// Event in memory to reference.
+  virtual Event Get(EventId id) const = 0;
+
+  /// Earliest/latest event timestamps; [0, 0) when empty (after Seal).
+  TimeMicros MinTime() const { return min_time_; }
+  TimeMicros MaxTime() const { return max_time_; }
+
+  /// Pure row collection for ScanDest: events with FlowDest() == dest and
+  /// begin <= timestamp < end, ascending (timestamp, id). No clock charge,
+  /// no stats, no metrics. Safe to call concurrently on a sealed store.
+  virtual RangeScanBatch CollectDest(ObjectId dest, TimeMicros begin,
+                                     TimeMicros end) const = 0;
+
+  /// Pure row collection for ScanSrc (same contract as CollectDest).
+  virtual RangeScanBatch CollectSrc(ObjectId src, TimeMicros begin,
+                                    TimeMicros end) const = 0;
+
+  /// Pure row collection for ScanRange: every event in [begin, end),
+  /// ascending (timestamp, id). Full scans cannot be zone-pruned, so every
+  /// overlapping storage unit is counted both probed and seeked.
+  virtual RangeScanBatch CollectRange(TimeMicros begin,
+                                      TimeMicros end) const = 0;
+
+  /// True if any event's flow destination is `object` within [begin, end).
+  /// Used by derived attribute isReadOnly. Does not charge cost.
+  virtual bool HasIncomingWrite(ObjectId object, TimeMicros begin,
+                                TimeMicros end) const = 0;
+
+  /// Distinct flow destinations of events whose source is `src` within
+  /// [begin, end), sorted. Used by derived attribute isWriteThrough.
+  /// No cost.
+  virtual std::vector<ObjectId> FlowDestsOf(ObjectId src, TimeMicros begin,
+                                            TimeMicros end) const = 0;
+
+  /// Second half of a split scan: iterates a collected batch through
+  /// `filter`/`fn` and charges clock/stats/metrics exactly as the fused
+  /// ScanDest/ScanSrc would. Calling Collect* then ReplayScan is
+  /// observably identical to one fused scan (same callback order, same
+  /// simulated cost, same counters). Returns the rows delivered.
+  size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
+                    const std::function<void(const Event&)>& fn,
+                    const RowFilter& filter = nullptr,
+                    DurationMicros* cost_out = nullptr) const;
+
+  /// Number of rows CollectDest would match, without fetching them
+  /// (charges only probe/overhead cost — models a COUNT(*) on the index).
+  size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
+                   Clock* clock) const;
+
+  /// One consistent snapshot of the cumulative I/O counters (single mutex;
+  /// no torn reads across fields).
+  StoreStats stats() const;
+  void ResetStats();
+
+ protected:
+  StorageBackend(StorageBackendKind kind, CostModel cost_model);
+
+  const CostModel& cost_model() const { return cost_model_; }
+
+  /// Count-only variant of CollectDest, with the same probe accounting.
+  virtual size_t CountDestRows(ObjectId dest, TimeMicros begin,
+                               TimeMicros end, uint64_t* probed,
+                               uint64_t* seeked,
+                               uint64_t* pruned) const = 0;
+
+  /// Derived Append() implementations call this to maintain MinTime /
+  /// MaxTime; derived Seal() calls MarkSealed once the layout is built.
+  void NoteAppend(const Event& event);
+  void MarkSealed(bool empty);
+
+ private:
+  struct BackendMetrics;
+  const BackendMetrics& Bm() const;
+
+  StorageBackendKind kind_;
+  CostModel cost_model_;
+  TimeMicros min_time_ = std::numeric_limits<TimeMicros>::max();
+  TimeMicros max_time_ = std::numeric_limits<TimeMicros>::min();
+  bool sealed_ = false;
+
+  /// Single lock around the whole StoreStats so stats() returns one
+  /// consistent snapshot (the seed kept six independent atomics, which
+  /// could tear across fields mid-query).
+  mutable std::mutex stats_mu_;
+  mutable StoreStats stats_;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_STORAGE_BACKEND_H_

@@ -1,5 +1,6 @@
 #include "storage/trace_io.h"
 
+#include <cstring>
 #include <fstream>
 #include <ostream>
 #include <sstream>
@@ -10,11 +11,18 @@ namespace aptrace {
 
 namespace {
 
-constexpr char kMagic[] = "aptrace-trace v1";
+constexpr char kMagicV1[] = "aptrace-trace v1";
+constexpr char kMagicV2[] = "aptrace-trace v2";
 
-Status ParseError(size_t line_no, const std::string& why) {
+/// Guard against absurd length prefixes in corrupt v2 files (a name or
+/// path longer than this is certainly garbage, not data).
+constexpr uint64_t kMaxStringLen = 1 << 20;
+
+Status ParseError(size_t line_no, std::string_view tag,
+                  const std::string& why) {
   return Status::InvalidArgument("trace parse error at line " +
-                                 std::to_string(line_no) + ": " + why);
+                                 std::to_string(line_no) + " [" +
+                                 std::string(tag) + "]: " + why);
 }
 
 bool ParseInt(const std::string& s, int64_t* out) {
@@ -42,14 +50,113 @@ bool ParseUint(const std::string& s, uint64_t* out) {
   return true;
 }
 
-}  // namespace
+// --- v2 binary primitives (little-endian, fixed width) ---
 
-Status SaveTrace(const EventStore& store, std::ostream& os) {
-  if (!store.sealed()) {
-    return Status::FailedPrecondition("store must be sealed before saving");
+void PutU8(std::ostream& os, uint8_t v) {
+  os.put(static_cast<char>(v));
+}
+
+void PutU16(std::ostream& os, uint16_t v) {
+  char b[2] = {static_cast<char>(v & 0xff), static_cast<char>(v >> 8)};
+  os.write(b, 2);
+}
+
+void PutU32(std::ostream& os, uint32_t v) {
+  char b[4];
+  for (int i = 0; i < 4; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 4);
+}
+
+void PutU64(std::ostream& os, uint64_t v) {
+  char b[8];
+  for (int i = 0; i < 8; ++i) b[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  os.write(b, 8);
+}
+
+void PutI64(std::ostream& os, int64_t v) {
+  PutU64(os, static_cast<uint64_t>(v));
+}
+
+void PutString(std::ostream& os, const std::string& s) {
+  PutU32(os, static_cast<uint32_t>(s.size()));
+  os.write(s.data(), static_cast<std::streamsize>(s.size()));
+}
+
+/// Tracks the byte offset so truncation/corruption errors can say where.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is, uint64_t start_offset)
+      : is_(is), offset_(start_offset) {}
+
+  uint64_t offset() const { return offset_; }
+
+  bool ReadBytes(void* out, size_t n) {
+    is_.read(static_cast<char*>(out), static_cast<std::streamsize>(n));
+    if (is_.gcount() != static_cast<std::streamsize>(n)) return false;
+    offset_ += n;
+    return true;
   }
+
+  bool ReadU8(uint8_t* out) { return ReadBytes(out, 1); }
+
+  bool ReadU16(uint16_t* out) {
+    uint8_t b[2];
+    if (!ReadBytes(b, 2)) return false;
+    *out = static_cast<uint16_t>(b[0] | (b[1] << 8));
+    return true;
+  }
+
+  bool ReadU32(uint32_t* out) {
+    uint8_t b[4];
+    if (!ReadBytes(b, 4)) return false;
+    *out = 0;
+    for (int i = 3; i >= 0; --i) *out = (*out << 8) | b[i];
+    return true;
+  }
+
+  bool ReadU64(uint64_t* out) {
+    uint8_t b[8];
+    if (!ReadBytes(b, 8)) return false;
+    *out = 0;
+    for (int i = 7; i >= 0; --i) *out = (*out << 8) | b[i];
+    return true;
+  }
+
+  bool ReadI64(int64_t* out) {
+    uint64_t v = 0;
+    if (!ReadU64(&v)) return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+
+  bool ReadString(std::string* out) {
+    uint32_t len = 0;
+    if (!ReadU32(&len)) return false;
+    if (len > kMaxStringLen) return false;
+    out->resize(len);
+    return len == 0 || ReadBytes(out->data(), len);
+  }
+
+  /// True when the stream has no bytes left (EOF cleanly reached).
+  bool AtEnd() {
+    return is_.peek() == std::char_traits<char>::eof();
+  }
+
+ private:
+  std::istream& is_;
+  uint64_t offset_;
+};
+
+Status BinaryError(const BinaryReader& r, std::string_view section,
+                   const std::string& why) {
+  return Status::InvalidArgument(
+      "trace parse error at byte " + std::to_string(r.offset()) + " [" +
+      std::string(section) + "]: " + why);
+}
+
+Status SaveTraceV1(const EventStore& store, std::ostream& os) {
   const ObjectCatalog& catalog = store.catalog();
-  os << kMagic << "\n";
+  os << kMagicV1 << "\n";
   for (size_t h = 0; h < catalog.NumHosts(); ++h) {
     os << "H\t" << h << "\t" << catalog.HostName(static_cast<HostId>(h))
        << "\n";
@@ -76,7 +183,7 @@ Status SaveTrace(const EventStore& store, std::ostream& os) {
     }
   }
   for (EventId id = 0; id < store.NumEvents(); ++id) {
-    const Event& e = store.Get(id);
+    const Event e = store.Get(id);
     os << "E\t" << e.subject << "\t" << e.object << "\t" << e.timestamp
        << "\t" << e.amount << "\t" << static_cast<int>(e.action) << "\t"
        << static_cast<int>(e.direction) << "\t" << e.host << "\n";
@@ -85,25 +192,68 @@ Status SaveTrace(const EventStore& store, std::ostream& os) {
   return Status::Ok();
 }
 
-Status SaveTraceFile(const EventStore& store, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
-  return SaveTrace(store, f);
+Status SaveTraceV2(const EventStore& store, std::ostream& os) {
+  const ObjectCatalog& catalog = store.catalog();
+  os << kMagicV2 << "\n";
+
+  PutU32(os, static_cast<uint32_t>(catalog.NumHosts()));
+  for (size_t h = 0; h < catalog.NumHosts(); ++h) {
+    PutString(os, catalog.HostName(static_cast<HostId>(h)));
+  }
+
+  PutU64(os, catalog.size());
+  for (ObjectId id = 0; id < catalog.size(); ++id) {
+    const SystemObject& obj = catalog.Get(id);
+    PutU8(os, static_cast<uint8_t>(obj.type()));
+    PutU16(os, obj.host());
+    switch (obj.type()) {
+      case ObjectType::kProcess:
+        PutI64(os, obj.process().pid);
+        PutI64(os, obj.process().start_time);
+        PutString(os, obj.process().exename);
+        break;
+      case ObjectType::kFile:
+        PutI64(os, obj.file().creation_time);
+        PutI64(os, obj.file().last_modification_time);
+        PutI64(os, obj.file().last_access_time);
+        PutString(os, obj.file().path);
+        break;
+      case ObjectType::kIp:
+        PutI64(os, obj.ip().dst_port);
+        PutI64(os, obj.ip().start_time);
+        PutString(os, obj.ip().src_ip);
+        PutString(os, obj.ip().dst_ip);
+        break;
+    }
+  }
+
+  // Event block: columnar, one contiguous array per field (the order
+  // matches the columnar backend's segment columns).
+  const size_t n = store.NumEvents();
+  PutU64(os, n);
+  for (EventId id = 0; id < n; ++id) PutI64(os, store.Get(id).timestamp);
+  for (EventId id = 0; id < n; ++id) PutU64(os, store.Get(id).subject);
+  for (EventId id = 0; id < n; ++id) PutU64(os, store.Get(id).object);
+  for (EventId id = 0; id < n; ++id) PutU64(os, store.Get(id).amount);
+  for (EventId id = 0; id < n; ++id) {
+    PutU8(os, static_cast<uint8_t>(store.Get(id).action));
+  }
+  for (EventId id = 0; id < n; ++id) {
+    PutU8(os, static_cast<uint8_t>(store.Get(id).direction));
+  }
+  for (EventId id = 0; id < n; ++id) PutU16(os, store.Get(id).host);
+
+  if (!os.good()) return Status::Internal("trace write failed");
+  return Status::Ok();
 }
 
-Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
-                                              EventStoreOptions options) {
+Result<std::unique_ptr<EventStore>> LoadTraceV1(std::istream& is,
+                                                EventStoreOptions options) {
   auto store = std::make_unique<EventStore>(std::move(options));
   ObjectCatalog& catalog = store->catalog();
 
   std::string line;
-  size_t line_no = 0;
-  if (!std::getline(is, line) || Trim(line) != kMagic) {
-    return ParseError(1, "missing or wrong header (want '" +
-                             std::string(kMagic) + "')");
-  }
-  line_no = 1;
-
+  size_t line_no = 1;
   while (std::getline(is, line)) {
     line_no++;
     if (line.empty()) continue;
@@ -111,35 +261,44 @@ Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
     const std::string& kind = f[0];
 
     if (kind == "H") {
-      if (f.size() != 3) return ParseError(line_no, "host needs 3 fields");
+      if (f.size() != 3) {
+        return ParseError(line_no, "H", "host needs 3 fields");
+      }
       uint64_t id = 0;
-      if (!ParseUint(f[1], &id)) return ParseError(line_no, "bad host id");
+      if (!ParseUint(f[1], &id)) {
+        return ParseError(line_no, "H", "bad host id");
+      }
       const HostId got = catalog.InternHost(f[2]);
       if (got != id) {
-        return ParseError(line_no, "host ids must be dense and in order");
+        return ParseError(line_no, "H", "host ids must be dense and in order");
       }
     } else if (kind == "P") {
-      if (f.size() != 6) return ParseError(line_no, "proc needs 6 fields");
+      if (f.size() != 6) {
+        return ParseError(line_no, "P", "proc needs 6 fields");
+      }
       uint64_t id = 0, host = 0;
       int64_t pid = 0, start = 0;
       if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
           !ParseInt(f[3], &pid) || !ParseInt(f[4], &start)) {
-        return ParseError(line_no, "bad proc fields");
+        return ParseError(line_no, "P", "bad proc fields");
       }
       const ObjectId got = catalog.AddProcess(
           static_cast<HostId>(host),
           {.exename = f[5], .pid = pid, .start_time = start});
       if (got != id) {
-        return ParseError(line_no, "object ids must be dense and in order");
+        return ParseError(line_no, "P",
+                          "object ids must be dense and in order");
       }
     } else if (kind == "F") {
-      if (f.size() != 7) return ParseError(line_no, "file needs 7 fields");
+      if (f.size() != 7) {
+        return ParseError(line_no, "F", "file needs 7 fields");
+      }
       uint64_t id = 0, host = 0;
       int64_t created = 0, modified = 0, accessed = 0;
       if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
           !ParseInt(f[3], &created) || !ParseInt(f[4], &modified) ||
           !ParseInt(f[5], &accessed)) {
-        return ParseError(line_no, "bad file fields");
+        return ParseError(line_no, "F", "bad file fields");
       }
       const ObjectId got = catalog.AddFile(
           static_cast<HostId>(host), {.path = f[6],
@@ -147,15 +306,18 @@ Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
                                       .last_modification_time = modified,
                                       .last_access_time = accessed});
       if (got != id) {
-        return ParseError(line_no, "object ids must be dense and in order");
+        return ParseError(line_no, "F",
+                          "object ids must be dense and in order");
       }
     } else if (kind == "I") {
-      if (f.size() != 7) return ParseError(line_no, "ip needs 7 fields");
+      if (f.size() != 7) {
+        return ParseError(line_no, "I", "ip needs 7 fields");
+      }
       uint64_t id = 0, host = 0;
       int64_t port = 0, start = 0;
       if (!ParseUint(f[1], &id) || !ParseUint(f[2], &host) ||
           !ParseInt(f[3], &port) || !ParseInt(f[4], &start)) {
-        return ParseError(line_no, "bad ip fields");
+        return ParseError(line_no, "I", "bad ip fields");
       }
       const ObjectId got = catalog.AddIp(
           static_cast<HostId>(host),
@@ -164,26 +326,29 @@ Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
            .dst_port = static_cast<int32_t>(port),
            .start_time = start});
       if (got != id) {
-        return ParseError(line_no, "object ids must be dense and in order");
+        return ParseError(line_no, "I",
+                          "object ids must be dense and in order");
       }
     } else if (kind == "E") {
-      if (f.size() != 8) return ParseError(line_no, "event needs 8 fields");
+      if (f.size() != 8) {
+        return ParseError(line_no, "E", "event needs 8 fields");
+      }
       uint64_t subject = 0, object = 0, amount = 0, host = 0;
       int64_t ts = 0, action = 0, direction = 0;
       if (!ParseUint(f[1], &subject) || !ParseUint(f[2], &object) ||
           !ParseInt(f[3], &ts) || !ParseUint(f[4], &amount) ||
           !ParseInt(f[5], &action) || !ParseInt(f[6], &direction) ||
           !ParseUint(f[7], &host)) {
-        return ParseError(line_no, "bad event fields");
+        return ParseError(line_no, "E", "bad event fields");
       }
       if (subject >= catalog.size() || object >= catalog.size()) {
-        return ParseError(line_no, "event references unknown object");
+        return ParseError(line_no, "E", "event references unknown object");
       }
       if (action < 0 || action > static_cast<int>(ActionType::kDelete)) {
-        return ParseError(line_no, "bad action code");
+        return ParseError(line_no, "E", "bad action code");
       }
       if (direction < 0 || direction > 1) {
-        return ParseError(line_no, "bad direction code");
+        return ParseError(line_no, "E", "bad direction code");
       }
       Event e;
       e.subject = subject;
@@ -195,16 +360,195 @@ Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
       e.host = static_cast<HostId>(host);
       store->Append(e);
     } else {
-      return ParseError(line_no, "unknown record kind '" + kind + "'");
+      return ParseError(line_no, kind, "unknown record kind '" + kind + "'");
     }
   }
   store->Seal();
   return store;
 }
 
+Result<std::unique_ptr<EventStore>> LoadTraceV2(std::istream& is,
+                                                EventStoreOptions options,
+                                                uint64_t header_bytes) {
+  auto store = std::make_unique<EventStore>(std::move(options));
+  ObjectCatalog& catalog = store->catalog();
+  BinaryReader r(is, header_bytes);
+
+  uint32_t host_count = 0;
+  if (!r.ReadU32(&host_count)) {
+    return BinaryError(r, "hosts", "truncated host count");
+  }
+  for (uint32_t h = 0; h < host_count; ++h) {
+    std::string name;
+    if (!r.ReadString(&name)) {
+      return BinaryError(r, "hosts", "truncated or oversized host name");
+    }
+    const HostId got = catalog.InternHost(name);
+    if (got != h) {
+      return BinaryError(r, "hosts", "duplicate host name '" + name + "'");
+    }
+  }
+
+  uint64_t object_count = 0;
+  if (!r.ReadU64(&object_count)) {
+    return BinaryError(r, "objects", "truncated object count");
+  }
+  for (uint64_t i = 0; i < object_count; ++i) {
+    uint8_t type = 0;
+    uint16_t host = 0;
+    if (!r.ReadU8(&type) || !r.ReadU16(&host)) {
+      return BinaryError(r, "objects", "truncated object header");
+    }
+    if (type > static_cast<uint8_t>(ObjectType::kIp)) {
+      return BinaryError(r, "objects",
+                         "bad object type " + std::to_string(type));
+    }
+    switch (static_cast<ObjectType>(type)) {
+      case ObjectType::kProcess: {
+        int64_t pid = 0, start = 0;
+        std::string exename;
+        if (!r.ReadI64(&pid) || !r.ReadI64(&start) ||
+            !r.ReadString(&exename)) {
+          return BinaryError(r, "objects", "truncated process record");
+        }
+        catalog.AddProcess(host,
+                           {.exename = exename, .pid = pid,
+                            .start_time = start});
+        break;
+      }
+      case ObjectType::kFile: {
+        int64_t created = 0, modified = 0, accessed = 0;
+        std::string path;
+        if (!r.ReadI64(&created) || !r.ReadI64(&modified) ||
+            !r.ReadI64(&accessed) || !r.ReadString(&path)) {
+          return BinaryError(r, "objects", "truncated file record");
+        }
+        catalog.AddFile(host, {.path = path,
+                               .creation_time = created,
+                               .last_modification_time = modified,
+                               .last_access_time = accessed});
+        break;
+      }
+      case ObjectType::kIp: {
+        int64_t port = 0, start = 0;
+        std::string src_ip, dst_ip;
+        if (!r.ReadI64(&port) || !r.ReadI64(&start) ||
+            !r.ReadString(&src_ip) || !r.ReadString(&dst_ip)) {
+          return BinaryError(r, "objects", "truncated ip record");
+        }
+        catalog.AddIp(host, {.src_ip = src_ip,
+                             .dst_ip = dst_ip,
+                             .dst_port = static_cast<int32_t>(port),
+                             .start_time = start});
+        break;
+      }
+    }
+  }
+
+  uint64_t event_count = 0;
+  if (!r.ReadU64(&event_count)) {
+    return BinaryError(r, "events", "truncated event count");
+  }
+  std::vector<Event> events(event_count);
+  for (uint64_t i = 0; i < event_count; ++i) {
+    if (!r.ReadI64(&events[i].timestamp)) {
+      return BinaryError(r, "events", "truncated timestamp column");
+    }
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    if (!r.ReadU64(&events[i].subject)) {
+      return BinaryError(r, "events", "truncated subject column");
+    }
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    if (!r.ReadU64(&events[i].object)) {
+      return BinaryError(r, "events", "truncated object column");
+    }
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    if (!r.ReadU64(&events[i].amount)) {
+      return BinaryError(r, "events", "truncated amount column");
+    }
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    uint8_t action = 0;
+    if (!r.ReadU8(&action)) {
+      return BinaryError(r, "events", "truncated action column");
+    }
+    if (action > static_cast<uint8_t>(ActionType::kDelete)) {
+      return BinaryError(r, "events",
+                         "bad action code " + std::to_string(action));
+    }
+    events[i].action = static_cast<ActionType>(action);
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    uint8_t direction = 0;
+    if (!r.ReadU8(&direction)) {
+      return BinaryError(r, "events", "truncated direction column");
+    }
+    if (direction > 1) {
+      return BinaryError(r, "events",
+                         "bad direction code " + std::to_string(direction));
+    }
+    events[i].direction = static_cast<FlowDirection>(direction);
+  }
+  for (uint64_t i = 0; i < event_count; ++i) {
+    uint16_t host = 0;
+    if (!r.ReadU16(&host)) {
+      return BinaryError(r, "events", "truncated host column");
+    }
+    events[i].host = host;
+  }
+  if (!r.AtEnd()) {
+    return BinaryError(r, "events", "trailing bytes after event columns");
+  }
+
+  for (Event& e : events) {
+    if (e.subject >= catalog.size() || e.object >= catalog.size()) {
+      return BinaryError(r, "events", "event references unknown object");
+    }
+    store->Append(e);
+  }
+  store->Seal();
+  return store;
+}
+
+}  // namespace
+
+Status SaveTrace(const EventStore& store, std::ostream& os,
+                 TraceFormat format) {
+  if (!store.sealed()) {
+    return Status::FailedPrecondition("store must be sealed before saving");
+  }
+  return format == TraceFormat::kBinaryV2 ? SaveTraceV2(store, os)
+                                          : SaveTraceV1(store, os);
+}
+
+Status SaveTraceFile(const EventStore& store, const std::string& path,
+                     TraceFormat format) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::InvalidArgument("cannot open for write: " + path);
+  return SaveTrace(store, f, format);
+}
+
+Result<std::unique_ptr<EventStore>> LoadTrace(std::istream& is,
+                                              EventStoreOptions options) {
+  std::string line;
+  if (!std::getline(is, line)) {
+    return ParseError(1, "header", "empty stream");
+  }
+  if (Trim(line) == kMagicV1) return LoadTraceV1(is, std::move(options));
+  if (line == kMagicV2) {
+    return LoadTraceV2(is, std::move(options), line.size() + 1);
+  }
+  return ParseError(1, "header",
+                    "missing or wrong header (want '" + std::string(kMagicV1) +
+                        "' or '" + std::string(kMagicV2) + "')");
+}
+
 Result<std::unique_ptr<EventStore>> LoadTraceFile(const std::string& path,
                                                   EventStoreOptions options) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) return Status::InvalidArgument("cannot open for read: " + path);
   return LoadTrace(f, std::move(options));
 }

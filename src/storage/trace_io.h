@@ -10,11 +10,10 @@
 
 namespace aptrace {
 
-/// Plain-text serialization of an event store (catalog + events), so
-/// traces — including the staged attack cases — can be exported once and
-/// re-analyzed from the CLI or other tools.
+/// On-disk trace containers. Two formats share one loader (LoadTrace
+/// auto-detects by magic line):
 ///
-/// Format: line-oriented, tab-separated, one record per line.
+/// v1 — plain text, line-oriented, tab-separated, one record per line:
 ///
 ///   aptrace-trace v1
 ///   H <host_id> <name>
@@ -23,14 +22,41 @@ namespace aptrace {
 ///   I <object_id> <host_id> <port> <start_time> <src_ip> <dst_ip>
 ///   E <subject> <object> <timestamp> <amount> <action> <direction> <host>
 ///
-/// Ids are dense and appear in creation order, so loading reproduces the
-/// exact same ObjectIds/EventIds. Names/paths are the last field on the
-/// line and may contain any character except '\n' and '\t'.
+///   Ids are dense and appear in creation order, so loading reproduces
+///   the exact same ObjectIds/EventIds. Names/paths are the last field on
+///   the line and may contain any character except '\n' and '\t'.
+///   Malformed lines are rejected with the 1-based line number and the
+///   record tag, e.g. "trace parse error at line 7 [E]: bad event fields".
+///
+/// v2 — binary, little-endian, fixed-width; the event block is columnar
+/// (one contiguous array per field), mirroring the columnar backend's
+/// segment layout so either backend round-trips through it:
+///
+///   "aptrace-trace v2\n"
+///   u32 host_count,   host_count × (u32 len + bytes)      [hosts]
+///   u64 object_count, object_count × (u8 type, u16 host,  [objects]
+///       type-specific fixed fields, length-prefixed strings)
+///   u64 event_count,                                      [events]
+///       i64 timestamp[n]  u64 subject[n]  u64 object[n]  u64 amount[n]
+///       u8 action[n]      u8 direction[n] u16 host[n]
+///
+///   Object and event ids are implicit (dense, in file order). Writing is
+///   deterministic, so save → load → save is byte-stable. Parse errors
+///   report the byte offset and section, e.g.
+///   "trace parse error at byte 133 [events]: truncated timestamp column".
 ///
 /// Write with SaveTrace on a sealed store; LoadTrace returns a sealed
-/// store.
-Status SaveTrace(const EventStore& store, std::ostream& os);
-Status SaveTraceFile(const EventStore& store, const std::string& path);
+/// store (on the backend selected by `options`, regardless of which
+/// backend wrote the file).
+enum class TraceFormat {
+  kTextV1 = 1,
+  kBinaryV2 = 2,
+};
+
+Status SaveTrace(const EventStore& store, std::ostream& os,
+                 TraceFormat format = TraceFormat::kTextV1);
+Status SaveTraceFile(const EventStore& store, const std::string& path,
+                     TraceFormat format = TraceFormat::kTextV1);
 
 Result<std::unique_ptr<EventStore>> LoadTrace(
     std::istream& is, EventStoreOptions options = {});

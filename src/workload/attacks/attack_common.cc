@@ -26,7 +26,9 @@ CaseEnv InitCase(TraceConfig config,
 
   CaseEnv env;
   env.config = config;
-  env.store = std::make_unique<EventStore>();
+  EventStoreOptions store_options;
+  store_options.backend = config.backend;
+  env.store = std::make_unique<EventStore>(store_options);
   env.builder = std::make_unique<TraceBuilder>(env.store.get());
   env.rng = std::make_unique<Rng>(config.seed);
   env.noise = std::make_unique<NoiseGenerator>(env.builder.get(), config,

@@ -10,7 +10,9 @@
 namespace aptrace::workload {
 
 std::unique_ptr<EventStore> BuildEnterpriseTrace(const TraceConfig& config) {
-  auto store = std::make_unique<EventStore>();
+  EventStoreOptions store_options;
+  store_options.backend = config.backend;
+  auto store = std::make_unique<EventStore>(store_options);
   TraceBuilder builder(store.get());
   Rng rng(config.seed);
   NoiseGenerator noise(&builder, config, &rng);

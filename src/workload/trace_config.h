@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "storage/storage_backend.h"
 #include "util/clock.h"
 
 namespace aptrace::workload {
@@ -18,6 +19,10 @@ namespace aptrace::workload {
 ///    makes dependency explosion and the baseline's blocking scans real.
 struct TraceConfig {
   uint64_t seed = 42;
+
+  /// Storage backend of the generated store (default: APTRACE_BACKEND
+  /// env var, else row). The generated events are identical either way.
+  StorageBackendKind backend = DefaultStorageBackendKind();
 
   /// Fleet shape.
   int num_hosts = 12;

@@ -124,6 +124,75 @@ if(NOT rc EQUAL 0 OR NOT err MATCHES "CLI-W001")
   message(FATAL_ERROR "--threads=4096 should clamp with CLI-W001: rc=${rc} ${err}")
 endif()
 
+# Storage backends: the same analysis on --backend=row and
+# --backend=columnar must produce byte-identical graph JSON (the physical
+# layout may only change the simulated cost, never the answer). These
+# runs are uncapped: a simulated-time limit would cut the two backends
+# at different points, since the columnar scans are cheaper.
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --quiet --backend=row --json=${WORKDIR}/row.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/row.json)
+  message(FATAL_ERROR "run --backend=row failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --quiet --backend=columnar
+          --json=${WORKDIR}/columnar.json --metrics-out=${WORKDIR}/col.metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/columnar.json)
+  message(FATAL_ERROR "run --backend=columnar failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORKDIR}/row.json ${WORKDIR}/columnar.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--backend=columnar graph JSON differs from --backend=row")
+endif()
+file(READ ${WORKDIR}/col.metrics colmetrics)
+if(NOT colmetrics MATCHES "aptrace_store_columnar_queries_total")
+  message(FATAL_ERROR "columnar metrics missing backend counter: ${colmetrics}")
+endif()
+
+# An invalid backend is a usage error with a documented diagnostic code.
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --sim-limit=2mins --quiet --backend=bogus
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "CLI-E002")
+  message(FATAL_ERROR "--backend=bogus should fail with CLI-E002: rc=${rc} ${err}")
+endif()
+
+# Binary v2 container: export, analyze, and match the v1 text answer.
+execute_process(
+  COMMAND ${CLI} export --scenario=excel_macro --trace-format=v2
+          --out=${WORKDIR}/a2v2.bin
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/a2v2.bin)
+  message(FATAL_ERROR "export --trace-format=v2 failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2v2.bin --script=${WORKDIR}/a2.tsv.bdl
+          --quiet --backend=row --json=${WORKDIR}/v2.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/v2.json)
+  message(FATAL_ERROR "run on v2 trace failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORKDIR}/row.json ${WORKDIR}/v2.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "v2-trace graph JSON differs from v1-trace answer")
+endif()
+execute_process(
+  COMMAND ${CLI} export --scenario=excel_macro --trace-format=bogus
+          --out=${WORKDIR}/never.bin
+  RESULT_VARIABLE rc ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "CLI-E003")
+  message(FATAL_ERROR "--trace-format=bogus should fail with CLI-E003: rc=${rc} ${err}")
+endif()
+
 # The analysis CLI refuses to run a script that fails --lint --werror.
 execute_process(
   COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/warn.bdl

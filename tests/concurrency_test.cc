@@ -1,11 +1,14 @@
 // Concurrent analysis: after Seal(), any number of sessions may run
-// against one store from different threads (atomic I/O counters,
-// otherwise read-only state). Results must match the serial runs exactly.
+// against one store from different threads (I/O counters behind one
+// stats mutex, otherwise read-only state). Results must match the
+// serial runs exactly.
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "core/engine.h"
 #include "workload/enterprise.h"
@@ -132,6 +135,66 @@ TEST(ConcurrencyTest, StatsAggregateAcrossThreads) {
   // Cost is consistent with the accumulated counters (all queries were
   // charged through the same model).
   EXPECT_GT(stats.simulated_cost, 0);
+}
+
+// stats() must return one *consistent* snapshot: every field is read
+// under the same lock that writers hold for the whole-query update, so
+// cross-field invariants hold in every snapshot and every field is
+// monotonic between snapshots. (The seed implementation used six
+// independent atomics, which could tear across fields mid-query.)
+TEST(ConcurrencyTest, StatsSnapshotsAreConsistentAndMonotonic) {
+  workload::TraceConfig config = workload::TraceConfig::Small();
+  config.num_hosts = 3;
+  auto store = workload::BuildEnterpriseTrace(config);
+  store->ResetStats();
+  const auto alerts = workload::SampleAnomalyEvents(*store, 8, 17);
+
+  std::atomic<bool> done{false};
+  std::vector<StoreStats> snapshots;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      snapshots.push_back(store->stats());
+    }
+    snapshots.push_back(store->stats());
+  });
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < alerts.size(); i += 4) {
+        SimClock clock;
+        Session session(store.get(), &clock);
+        const auto spec = workload::GenericSpecFor(*store, alerts[i]);
+        if (!session.StartWithSpec(spec, alerts[i]).ok()) continue;
+        RunLimits limits;
+        limits.sim_time = 2 * kMicrosPerMinute;
+        (void)session.Step(limits);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  ASSERT_FALSE(snapshots.empty());
+  const StoreStats* prev = nullptr;
+  for (const StoreStats& s : snapshots) {
+    // Cross-field invariant inside one snapshot: a seek always follows
+    // a probe of the same unit within the same locked update.
+    EXPECT_LE(s.partitions_seeked, s.partitions_probed);
+    if (prev != nullptr) {
+      // Monotonic nondecreasing deltas between consecutive snapshots.
+      EXPECT_GE(s.queries, prev->queries);
+      EXPECT_GE(s.rows_matched, prev->rows_matched);
+      EXPECT_GE(s.rows_filtered, prev->rows_filtered);
+      EXPECT_GE(s.partitions_probed, prev->partitions_probed);
+      EXPECT_GE(s.partitions_seeked, prev->partitions_seeked);
+      EXPECT_GE(s.segments_pruned, prev->segments_pruned);
+      EXPECT_GE(s.simulated_cost, prev->simulated_cost);
+    }
+    prev = &s;
+  }
+  EXPECT_GT(snapshots.back().queries, 0u);
 }
 
 }  // namespace

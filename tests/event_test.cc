@@ -43,6 +43,22 @@ TEST_F(EventModelTest, CatalogInternsHosts) {
   EXPECT_EQ(catalog_.HostName(999), "?");
 }
 
+// The out-of-range sentinel is a per-class constant, not a per-instance
+// member: the reference stays valid after the catalog that returned it
+// is gone, and every catalog returns the same object.
+TEST(CatalogBoundsTest, OutOfRangeHostNameIsSharedConstant) {
+  const std::string* sentinel = nullptr;
+  {
+    ObjectCatalog temp;
+    sentinel = &temp.HostName(12345);
+    EXPECT_EQ(*sentinel, "?");
+  }
+  EXPECT_EQ(*sentinel, "?");  // not dangling: outlives the catalog
+  ObjectCatalog other;
+  EXPECT_EQ(&other.HostName(999), sentinel);
+  EXPECT_EQ(other.HostName(0), "?");  // empty catalog: every id is out of range
+}
+
 TEST_F(EventModelTest, ObjectAccessors) {
   const SystemObject& p = catalog_.Get(proc_);
   EXPECT_TRUE(p.is_process());

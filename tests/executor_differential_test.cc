@@ -230,6 +230,64 @@ TEST_P(DifferentialOracle, DeterministicCountersMatch) {
   }
 }
 
+// Backend axis: the same trace stored on the row backend and on the
+// columnar segment backend must yield bit-identical analysis output —
+// same graph JSON, same update-batch sequence (excluding sim_time: the
+// backends charge different simulated costs by design), same
+// deterministic RunStats, and the same StoreStats row counts. Zone-map
+// pruning may only reduce the number of storage units probed, never the
+// rows delivered.
+TEST_P(DifferentialOracle, ColumnarBackendBitIdenticalToRow) {
+  const uint64_t seed = GetParam() ^ 0x5e67;
+  const RandomTrace row_t =
+      MakeRandomTrace(seed, 350, StorageBackendKind::kRow);
+  const RandomTrace columnar_t =
+      MakeRandomTrace(seed, 350, StorageBackendKind::kColumnar);
+  const std::string script = UnconstrainedScript(row_t);
+  ASSERT_EQ(UnconstrainedScript(columnar_t), script);
+
+  for (const int threads : {1, 4}) {
+    const auto label = [&] {
+      return std::string("seed=") + std::to_string(seed) +
+             " threads=" + std::to_string(threads);
+    };
+    row_t.store->ResetStats();
+    columnar_t.store->ResetStats();
+    const RunFingerprint row_fp = RunOnce(row_t, script, threads);
+    const RunFingerprint columnar_fp = RunOnce(columnar_t, script, threads);
+
+    EXPECT_EQ(columnar_fp.graph_json, row_fp.graph_json) << label();
+    ASSERT_EQ(columnar_fp.batches.size(), row_fp.batches.size()) << label();
+    for (size_t i = 0; i < row_fp.batches.size(); ++i) {
+      const UpdateBatch& r = row_fp.batches[i];
+      const UpdateBatch& c = columnar_fp.batches[i];
+      EXPECT_EQ(c.new_edges, r.new_edges) << label() << " batch " << i;
+      EXPECT_EQ(c.new_nodes, r.new_nodes) << label() << " batch " << i;
+      EXPECT_EQ(c.total_edges, r.total_edges) << label() << " batch " << i;
+      EXPECT_EQ(c.total_nodes, r.total_nodes) << label() << " batch " << i;
+    }
+    EXPECT_EQ(columnar_fp.reason, row_fp.reason) << label();
+    EXPECT_EQ(columnar_fp.work_units, row_fp.work_units) << label();
+    EXPECT_EQ(columnar_fp.events_added, row_fp.events_added) << label();
+    EXPECT_EQ(columnar_fp.events_filtered, row_fp.events_filtered)
+        << label();
+    EXPECT_EQ(columnar_fp.objects_excluded, row_fp.objects_excluded)
+        << label();
+
+    const StoreStats row_stats = row_t.store->stats();
+    const StoreStats columnar_stats = columnar_t.store->stats();
+    EXPECT_EQ(columnar_stats.queries, row_stats.queries) << label();
+    EXPECT_EQ(columnar_stats.rows_matched, row_stats.rows_matched)
+        << label();
+    EXPECT_EQ(columnar_stats.rows_filtered, row_stats.rows_filtered)
+        << label();
+    // Pruning reduces only the probe counters, never the row counts.
+    EXPECT_EQ(row_stats.segments_pruned, 0u) << label();
+    EXPECT_LE(columnar_stats.partitions_probed, row_stats.partitions_probed)
+        << label();
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialOracle,
                          testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89,
                                          144, 233, 377));

@@ -30,12 +30,18 @@ struct RandomTrace {
 
 /// A soup of random events over a handful of processes, files, and
 /// sockets; the alert is a random event with a process flow source (so
-/// there is something to explore).
-inline RandomTrace MakeRandomTrace(uint64_t seed, size_t num_events) {
+/// there is something to explore). The optional backend override pins
+/// the physical layout (default: APTRACE_BACKEND env var, else row);
+/// the generated events are identical either way.
+inline RandomTrace MakeRandomTrace(
+    uint64_t seed, size_t num_events,
+    StorageBackendKind backend = DefaultStorageBackendKind()) {
   RandomTrace t;
   EventStoreOptions options;
   options.partition_micros = 500;  // many partitions
+  options.segment_rows = 64;       // many columnar segments, likewise
   options.cost_model = CostModel::Free();
+  options.backend = backend;
   t.store = std::make_unique<EventStore>(options);
   auto& c = t.store->catalog();
   Rng rng(seed);

@@ -1,9 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "storage/event_store.h"
+#include "storage/storage_backend.h"
 #include "util/rng.h"
 
 namespace aptrace {
@@ -222,6 +225,235 @@ TEST_P(ScanDestPropertyTest, AgreesWithBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ScanDestPropertyTest,
                          testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------
+// Backend equivalence: the columnar segment store must return the same
+// rows in the same order as the row store for every query shape, while
+// probing no more storage units (zone maps only ever skip work).
+
+/// Builds two stores over identical catalogs and events, one per
+/// backend; `segment_rows` is kept small so the columnar store has many
+/// segments to prune.
+struct BackendPair {
+  EventStore row;
+  EventStore columnar;
+
+  static EventStoreOptions Options(StorageBackendKind kind) {
+    EventStoreOptions options;
+    options.partition_micros = 1000;
+    options.backend = kind;
+    options.segment_rows = 32;
+    return options;
+  }
+
+  BackendPair()
+      : row(Options(StorageBackendKind::kRow)),
+        columnar(Options(StorageBackendKind::kColumnar)) {}
+
+  void Append(const Event& e) {
+    row.Append(e);
+    columnar.Append(e);
+  }
+  void Seal() {
+    row.Seal();
+    columnar.Seal();
+  }
+};
+
+class BackendEquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(BackendEquivalenceTest, ColumnarMatchesRowStore) {
+  Rng rng(GetParam());
+  BackendPair pair;
+  std::vector<ObjectId> keys;
+  for (auto* store : {&pair.row, &pair.columnar}) {
+    ObjectCatalog& c = store->catalog();
+    const HostId h1 = c.InternHost("h1");
+    const HostId h2 = c.InternHost("h2");
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 6; ++i) {
+      ids.push_back(c.AddProcess(i % 2 ? h1 : h2, {.exename = "p"}));
+    }
+    for (int i = 0; i < 10; ++i) {
+      ids.push_back(c.AddFile(i % 2 ? h1 : h2, {.path = "/f"}));
+    }
+    keys = ids;  // identical in both catalogs
+  }
+  for (int i = 0; i < 600; ++i) {
+    Event e = MakeEvent(keys[rng.Uniform(6)], keys[6 + rng.Uniform(10)],
+                        static_cast<TimeMicros>(rng.Uniform(50000)),
+                        rng.Bernoulli(0.5) ? ActionType::kWrite
+                                           : ActionType::kRead,
+                        static_cast<HostId>(rng.Uniform(2)));
+    pair.Append(e);
+  }
+  pair.Seal();
+
+  for (int trial = 0; trial < 60; ++trial) {
+    const ObjectId key = keys[rng.Uniform(keys.size())];
+    TimeMicros lo = static_cast<TimeMicros>(rng.Uniform(52000));
+    TimeMicros hi =
+        lo + static_cast<TimeMicros>(rng.Uniform(8000));  // narrow window
+    const auto label = [&] {
+      return std::string("key=") + std::to_string(key) + " [" +
+             std::to_string(lo) + "," + std::to_string(hi) + ")";
+    };
+
+    const RangeScanBatch rd = pair.row.CollectDest(key, lo, hi);
+    const RangeScanBatch cd = pair.columnar.CollectDest(key, lo, hi);
+    EXPECT_EQ(cd.rows, rd.rows) << "CollectDest " << label();
+    EXPECT_EQ(rd.segments_pruned, 0u);
+
+    const RangeScanBatch rs = pair.row.CollectSrc(key, lo, hi);
+    const RangeScanBatch cs = pair.columnar.CollectSrc(key, lo, hi);
+    EXPECT_EQ(cs.rows, rs.rows) << "CollectSrc " << label();
+
+    EXPECT_EQ(pair.columnar.CollectRange(lo, hi).rows,
+              pair.row.CollectRange(lo, hi).rows)
+        << "CollectRange " << label();
+
+    EXPECT_EQ(pair.columnar.HasIncomingWrite(key, lo, hi),
+              pair.row.HasIncomingWrite(key, lo, hi))
+        << label();
+    EXPECT_EQ(pair.columnar.FlowDestsOf(key, lo, hi),
+              pair.row.FlowDestsOf(key, lo, hi))
+        << label();
+
+    SimClock rc, cc;
+    EXPECT_EQ(pair.columnar.CountDest(key, lo, hi, &cc),
+              pair.row.CountDest(key, lo, hi, &rc))
+        << label();
+  }
+
+  // Aggregate probe accounting: pruning may only reduce work. Over 60
+  // narrow windows with 32-row segments the zone maps must have skipped
+  // at least one segment.
+  const StoreStats row_stats = pair.row.stats();
+  const StoreStats columnar_stats = pair.columnar.stats();
+  EXPECT_LE(columnar_stats.partitions_probed, row_stats.partitions_probed);
+  EXPECT_GT(columnar_stats.segments_pruned, 0u);
+  EXPECT_EQ(row_stats.segments_pruned, 0u);
+}
+
+// Streaming ingestion: post-seal appends must be visible to queries on
+// both backends identically (the columnar store routes them through its
+// unsorted tail and merges by (timestamp, id) at query time).
+TEST_P(BackendEquivalenceTest, StreamingAppendsAgree) {
+  Rng rng(GetParam() ^ 0x7a11);
+  BackendPair pair;
+  ObjectId proc = 0, file = 0;
+  for (auto* store : {&pair.row, &pair.columnar}) {
+    ObjectCatalog& c = store->catalog();
+    const HostId h = c.InternHost("h");
+    proc = c.AddProcess(h, {.exename = "p"});
+    file = c.AddFile(h, {.path = "/f"});
+  }
+  for (int i = 0; i < 100; ++i) {
+    pair.Append(MakeEvent(proc, file,
+                          static_cast<TimeMicros>(rng.Uniform(5000)),
+                          ActionType::kWrite));
+  }
+  pair.Seal();
+  // Late events land out of order, interleaved with the sealed range.
+  for (int i = 0; i < 40; ++i) {
+    pair.Append(MakeEvent(proc, file,
+                          static_cast<TimeMicros>(rng.Uniform(10000)),
+                          ActionType::kWrite));
+  }
+
+  EXPECT_EQ(pair.columnar.NumEvents(), pair.row.NumEvents());
+  for (EventId id = 0; id < pair.row.NumEvents(); ++id) {
+    EXPECT_EQ(pair.columnar.Get(id).timestamp, pair.row.Get(id).timestamp)
+        << "id=" << id;
+  }
+  EXPECT_EQ(pair.columnar.CollectDest(file, 0, 10000).rows,
+            pair.row.CollectDest(file, 0, 10000).rows);
+  EXPECT_EQ(pair.columnar.CollectRange(2000, 8000).rows,
+            pair.row.CollectRange(2000, 8000).rows);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendEquivalenceTest,
+                         testing::Values(11, 22, 33, 44, 55));
+
+// Zone maps prune segments that cannot contain the key or the window:
+// activity concentrated in distinct eras means a narrow scan skips the
+// other eras' segments entirely.
+TEST(ColumnarPruningTest, DisjointErasAreSkipped) {
+  EventStoreOptions options;
+  options.backend = StorageBackendKind::kColumnar;
+  options.segment_rows = 16;
+  EventStore store(options);
+  ObjectCatalog& c = store.catalog();
+  const HostId h = c.InternHost("h");
+  const ObjectId p = c.AddProcess(h, {.exename = "p"});
+  const ObjectId early = c.AddFile(h, {.path = "/early"});
+  const ObjectId late = c.AddFile(h, {.path = "/late"});
+  for (int i = 0; i < 64; ++i) {
+    store.Append(MakeEvent(p, early, 1000 + i, ActionType::kWrite, h));
+  }
+  for (int i = 0; i < 64; ++i) {
+    store.Append(MakeEvent(p, late, 900000 + i, ActionType::kWrite, h));
+  }
+  store.Seal();
+
+  // A narrow scan never reaches the late era's segments at all: the
+  // global (timestamp, id) sort bounds the candidate range, so they are
+  // neither probed nor counted as pruned.
+  const RangeScanBatch b = store.CollectDest(early, 0, 2000);
+  EXPECT_EQ(b.rows.size(), 64u);
+  EXPECT_EQ(b.segments_pruned, 0u);
+  EXPECT_LE(b.partitions_probed, 4u);  // 64 rows / 16-row segments
+  // A whole-range scan for one key still prunes on the key zone: the
+  // late segments' dest fingerprints cannot contain `early`.
+  const RangeScanBatch all = store.CollectDest(early, 0, 1000000);
+  EXPECT_EQ(all.rows.size(), 64u);
+  EXPECT_GT(all.segments_pruned, 0u);
+}
+
+// The APTRACE_BACKEND environment variable picks the default backend
+// for every store built without an explicit override (this is how the
+// CI columnar leg flips the whole test suite).
+TEST(StorageBackendEnvTest, EnvVarSelectsDefaultBackend) {
+  const char* old = std::getenv("APTRACE_BACKEND");
+  const std::string saved = old ? old : "";
+
+  ASSERT_EQ(setenv("APTRACE_BACKEND", "columnar", 1), 0);
+  EXPECT_EQ(DefaultStorageBackendKind(), StorageBackendKind::kColumnar);
+  {
+    EventStore store;
+    EXPECT_EQ(store.backend_kind(), StorageBackendKind::kColumnar);
+  }
+  ASSERT_EQ(setenv("APTRACE_BACKEND", "row", 1), 0);
+  EXPECT_EQ(DefaultStorageBackendKind(), StorageBackendKind::kRow);
+  // Unknown values fall back to the row store rather than failing.
+  ASSERT_EQ(setenv("APTRACE_BACKEND", "bogus", 1), 0);
+  EXPECT_EQ(DefaultStorageBackendKind(), StorageBackendKind::kRow);
+  // An explicit option always beats the environment.
+  ASSERT_EQ(setenv("APTRACE_BACKEND", "columnar", 1), 0);
+  {
+    EventStoreOptions options;
+    options.backend = StorageBackendKind::kRow;
+    EventStore store(options);
+    EXPECT_EQ(store.backend_kind(), StorageBackendKind::kRow);
+  }
+
+  if (old) {
+    setenv("APTRACE_BACKEND", saved.c_str(), 1);
+  } else {
+    unsetenv("APTRACE_BACKEND");
+  }
+}
+
+TEST(StorageBackendEnvTest, ParseAndNameRoundTrip) {
+  EXPECT_EQ(ParseStorageBackendKind("row"), StorageBackendKind::kRow);
+  EXPECT_EQ(ParseStorageBackendKind("columnar"),
+            StorageBackendKind::kColumnar);
+  EXPECT_FALSE(ParseStorageBackendKind("column").has_value());
+  EXPECT_FALSE(ParseStorageBackendKind("").has_value());
+  EXPECT_STREQ(StorageBackendName(StorageBackendKind::kRow), "row");
+  EXPECT_STREQ(StorageBackendName(StorageBackendKind::kColumnar),
+               "columnar");
+}
 
 }  // namespace
 }  // namespace aptrace

@@ -105,32 +105,184 @@ TEST(TraceIoTest, SpecialCharactersInPaths) {
 struct BadTrace {
   const char* text;
   const char* why;
+  /// Required substring of the error: the 1-based line number plus the
+  /// record tag of the offending line, "at line N [TAG]".
+  const char* want;
 };
 
 class TraceIoErrorTest : public testing::TestWithParam<BadTrace> {};
 
-TEST_P(TraceIoErrorTest, Rejected) {
+TEST_P(TraceIoErrorTest, RejectedWithLineAndTag) {
   std::stringstream buf(GetParam().text);
   auto loaded = LoadTrace(buf);
-  EXPECT_FALSE(loaded.ok()) << GetParam().why;
+  ASSERT_FALSE(loaded.ok()) << GetParam().why;
+  const std::string message = loaded.status().ToString();
+  EXPECT_NE(message.find(GetParam().want), std::string::npos)
+      << GetParam().why << ": got '" << message << "', want substring '"
+      << GetParam().want << "'";
 }
 
+// One malformed input per record type (H, P, F, I, E), plus header and
+// unknown-kind failures: every diagnostic must name the offending line
+// (1-based, header = line 1) and the record tag.
 INSTANTIATE_TEST_SUITE_P(
     Corpus, TraceIoErrorTest,
     testing::Values(
-        BadTrace{"", "empty input"},
-        BadTrace{"not a trace\n", "wrong header"},
-        BadTrace{"aptrace-trace v1\nX\t1\t2\n", "unknown record"},
-        BadTrace{"aptrace-trace v1\nH\t5\thost\n", "non-dense host id"},
+        BadTrace{"", "empty input", "at line 1 [header]"},
+        BadTrace{"not a trace\n", "wrong header", "at line 1 [header]"},
+        BadTrace{"aptrace-trace v1\nX\t1\t2\n", "unknown record",
+                 "at line 2 [X]"},
+        BadTrace{"aptrace-trace v1\nH\t5\thost\n", "non-dense host id",
+                 "at line 2 [H]"},
+        BadTrace{"aptrace-trace v1\nH\t0\n", "truncated host record",
+                 "at line 2 [H]"},
         BadTrace{"aptrace-trace v1\nH\t0\th\nP\t7\t0\t1\t2\tp\n",
-                 "non-dense object id"},
+                 "non-dense object id", "at line 3 [P]"},
         BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\txx\t2\tp\n",
-                 "non-numeric pid"},
+                 "non-numeric pid", "at line 3 [P]"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nF\t0\t0\t0\t0\t0\n",
+                 "truncated file record", "at line 3 [F]"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\t1\t2\tp\n"
+                 "F\t1\t0\tzz\t0\t0\t/f\n",
+                 "non-numeric file field", "at line 4 [F]"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nI\t0\t0\n",
+                 "truncated ip record", "at line 3 [I]"},
+        BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\t1\t2\tp\n"
+                 "I\t1\t0\t0\tzz\ta\tb\n",
+                 "non-numeric ip field", "at line 4 [I]"},
         BadTrace{"aptrace-trace v1\nH\t0\th\nE\t0\t1\t5\t0\t0\t0\t0\n",
-                 "event references unknown object"},
+                 "event references unknown object", "at line 3 [E]"},
         BadTrace{"aptrace-trace v1\nH\t0\th\nP\t0\t0\t1\t2\tp\n"
                  "F\t1\t0\t0\t0\t0\t/f\nE\t0\t1\t5\t0\t99\t0\t0\n",
-                 "bad action code"}));
+                 "bad action code", "at line 5 [E]"}));
+
+// ---------------------------------------------------------------------
+// Binary v2 container.
+
+std::string SaveV2(const EventStore& store) {
+  std::stringstream buf;
+  EXPECT_TRUE(SaveTrace(store, buf, TraceFormat::kBinaryV2).ok());
+  return buf.str();
+}
+
+TEST(TraceIoV2Test, RoundTripPreservesEverything) {
+  MiniTrace t = MakeMiniTrace();
+  std::stringstream buf(SaveV2(*t.store));
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  const EventStore& a = *t.store;
+  const EventStore& b = **loaded;
+
+  ASSERT_EQ(a.NumEvents(), b.NumEvents());
+  ASSERT_EQ(a.catalog().size(), b.catalog().size());
+  ASSERT_EQ(a.catalog().NumHosts(), b.catalog().NumHosts());
+  EXPECT_EQ(a.MinTime(), b.MinTime());
+  EXPECT_EQ(a.MaxTime(), b.MaxTime());
+  for (EventId id = 0; id < a.NumEvents(); ++id) {
+    const Event ea = a.Get(id);
+    const Event eb = b.Get(id);
+    EXPECT_EQ(ea.subject, eb.subject);
+    EXPECT_EQ(ea.object, eb.object);
+    EXPECT_EQ(ea.timestamp, eb.timestamp);
+    EXPECT_EQ(ea.amount, eb.amount);
+    EXPECT_EQ(ea.action, eb.action);
+    EXPECT_EQ(ea.direction, eb.direction);
+    EXPECT_EQ(ea.host, eb.host);
+  }
+  for (ObjectId id = 0; id < a.catalog().size(); ++id) {
+    const SystemObject& oa = a.catalog().Get(id);
+    const SystemObject& ob = b.catalog().Get(id);
+    EXPECT_EQ(oa.type(), ob.type());
+    EXPECT_EQ(oa.host(), ob.host());
+    EXPECT_EQ(oa.Label(), ob.Label());
+  }
+}
+
+// Acceptance criterion: save -> load -> save must be byte-stable (the
+// writer is deterministic and ids are implicit in file order).
+TEST(TraceIoV2Test, RoundTripIsByteStable) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string first = SaveV2(*t.store);
+  std::stringstream buf(first);
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(SaveV2(**loaded), first);
+}
+
+// The container is backend-neutral: a v2 file written from a columnar
+// store loads into a row store (and vice versa) with identical bytes on
+// re-save and identical rows.
+TEST(TraceIoV2Test, CrossBackendRoundTrip) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string bytes = SaveV2(*t.store);
+  for (const auto kind :
+       {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+    std::stringstream buf(bytes);
+    EventStoreOptions options;
+    options.backend = kind;
+    auto loaded = LoadTrace(buf, options);
+    ASSERT_TRUE(loaded.ok())
+        << StorageBackendName(kind) << ": " << loaded.status();
+    EXPECT_EQ((*loaded)->backend_kind(), kind);
+    EXPECT_EQ((*loaded)->NumEvents(), t.store->NumEvents());
+    EXPECT_EQ(SaveV2(**loaded), bytes) << StorageBackendName(kind);
+  }
+}
+
+TEST(TraceIoV2Test, SpecialCharactersSurvive) {
+  EventStore store;
+  const HostId h = store.catalog().InternHost("weird host name");
+  const ObjectId p = store.catalog().AddProcess(h, {.exename = "a b.exe"});
+  const ObjectId f = store.catalog().AddFile(
+      h, {.path = "C://spaces and \"quotes\"\tand tabs/file.txt"});
+  Event e;
+  e.subject = p;
+  e.object = f;
+  e.timestamp = 42;
+  e.action = ActionType::kWrite;
+  e.direction = FlowDirection::kSubjectToObject;
+  e.host = h;
+  store.Append(e);
+  store.Seal();
+
+  std::stringstream buf(SaveV2(store));
+  auto loaded = LoadTrace(buf);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->catalog().Get(f).file().path,
+            "C://spaces and \"quotes\"\tand tabs/file.txt");
+}
+
+// Corrupt v2 inputs are rejected with the byte offset and the section
+// tag of the failure.
+TEST(TraceIoV2Test, TruncationReportsByteOffsetAndSection) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string bytes = SaveV2(*t.store);
+
+  {  // Nothing after the magic line: the hosts section is truncated.
+    std::stringstream buf(std::string("aptrace-trace v2\n"));
+    auto loaded = LoadTrace(buf);
+    ASSERT_FALSE(loaded.ok());
+    const std::string message = loaded.status().ToString();
+    EXPECT_NE(message.find("at byte"), std::string::npos) << message;
+    EXPECT_NE(message.find("[hosts]"), std::string::npos) << message;
+  }
+  {  // Mid-file truncation lands in the events section.
+    std::stringstream buf(bytes.substr(0, bytes.size() - 3));
+    auto loaded = LoadTrace(buf);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().ToString().find("[events]"),
+              std::string::npos)
+        << loaded.status();
+  }
+  {  // Trailing garbage after the event columns.
+    std::stringstream buf(bytes + "x");
+    auto loaded = LoadTrace(buf);
+    ASSERT_FALSE(loaded.ok());
+    EXPECT_NE(loaded.status().ToString().find("trailing bytes"),
+              std::string::npos)
+        << loaded.status();
+  }
+}
 
 }  // namespace
 }  // namespace aptrace

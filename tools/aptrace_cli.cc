@@ -6,6 +6,9 @@
 //   aptrace export --scenario=<name> --out=<trace.tsv> [--script-out=<f>]
 //       Stage an attack case and save its audit trace (and the unguided
 //       v1 BDL script) to disk.
+//         --trace-format=v1|v2  container: v1 text (default) or the v2
+//                             binary columnar container; `run`/`shell`/
+//                             `detect` auto-detect either on load
 //
 //   aptrace run --trace=<trace.tsv> --script=<file.bdl> [options]
 //       Load a trace, run a BDL script over it, stream graph updates,
@@ -15,6 +18,11 @@
 //         --threads=N         scan worker threads (default: hardware
 //                             concurrency; 1 = sequential path; results
 //                             are identical for any N)
+//         --backend=row|columnar
+//                             storage backend (default: APTRACE_BACKEND
+//                             env var, else row); graph output is
+//                             bit-identical across backends — only the
+//                             simulated scan cost differs
 //         --sim-limit=<dur>   stop after this much simulated time (2h...)
 //         --max-updates=N     stop after N updates
 //         --dot=<file>        write the graph as Graphviz DOT
@@ -87,6 +95,8 @@ struct Flags {
   int k = 8;
   int threads = 0;  // scan workers; 0 = hardware concurrency
   int train_days = -1;
+  StorageBackendKind backend = DefaultStorageBackendKind();
+  TraceFormat trace_format = TraceFormat::kTextV1;
   bool baseline = false;
   bool quiet = false;
   bool lint = false;
@@ -131,6 +141,44 @@ bool ParseThreads(const std::string& value, int* out) {
   return true;
 }
 
+/// Validates a `--backend` value against the storage layer's registry.
+bool ParseBackend(const std::string& value, StorageBackendKind* out) {
+  const auto parsed = ParseStorageBackendKind(value);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "--backend: error[CLI-E002]: expected 'row' or 'columnar', "
+                 "got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  *out = *parsed;
+  return true;
+}
+
+/// Validates a `--trace-format` value for `export`.
+bool ParseTraceFormat(const std::string& value, TraceFormat* out) {
+  if (value == "v1") {
+    *out = TraceFormat::kTextV1;
+    return true;
+  }
+  if (value == "v2") {
+    *out = TraceFormat::kBinaryV2;
+    return true;
+  }
+  std::fprintf(stderr,
+               "--trace-format: error[CLI-E003]: expected 'v1' or 'v2', "
+               "got '%s'\n",
+               value.c_str());
+  return false;
+}
+
+/// Store options shared by every command that loads a trace.
+EventStoreOptions StoreOptions(const Flags& flags) {
+  EventStoreOptions options;
+  options.backend = flags.backend;
+  return options;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -165,6 +213,10 @@ Flags ParseFlags(int argc, char** argv) {
       f.k = std::atoi(v.c_str());
     } else if (TakeValue(a, "--threads", &v)) {
       if (!ParseThreads(v, &f.threads)) f.command.clear();
+    } else if (TakeValue(a, "--backend", &v)) {
+      if (!ParseBackend(v, &f.backend)) f.command.clear();
+    } else if (TakeValue(a, "--trace-format", &v)) {
+      if (!ParseTraceFormat(v, &f.trace_format)) f.command.clear();
     } else if (std::strcmp(a, "--baseline") == 0) {
       f.baseline = true;
     } else if (std::strcmp(a, "--quiet") == 0) {
@@ -195,13 +247,16 @@ int CmdScenarios() {
 
 int CmdExport(const Flags& flags) {
   if (flags.scenario.empty() || flags.out_path.empty()) return Usage();
-  auto built = workload::BuildAttackCase(flags.scenario,
-                                         workload::TraceConfig{});
+  workload::TraceConfig config;
+  config.backend = flags.backend;
+  auto built = workload::BuildAttackCase(flags.scenario, config);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
   }
-  if (auto s = SaveTraceFile(*built->store, flags.out_path); !s.ok()) {
+  if (auto s =
+          SaveTraceFile(*built->store, flags.out_path, flags.trace_format);
+      !s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 1;
   }
@@ -229,7 +284,7 @@ int CmdRun(const Flags& flags) {
   // Enable span recording before the store loads so Seal and the scans
   // all land in the dump.
   if (!flags.trace_out.empty()) obs::Tracer::Global().SetEnabled(true);
-  auto store = LoadTraceFile(flags.trace_path);
+  auto store = LoadTraceFile(flags.trace_path, StoreOptions(flags));
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
@@ -357,8 +412,9 @@ int CmdRun(const Flags& flags) {
 
 int CmdInvestigate(const Flags& flags) {
   if (flags.scenario.empty()) return Usage();
-  auto built = workload::BuildAttackCase(flags.scenario,
-                                         workload::TraceConfig{});
+  workload::TraceConfig investigate_config;
+  investigate_config.backend = flags.backend;
+  auto built = workload::BuildAttackCase(flags.scenario, investigate_config);
   if (!built.ok()) {
     std::fprintf(stderr, "%s\n", built.status().ToString().c_str());
     return 1;
@@ -435,7 +491,7 @@ int CmdFmt(const Flags& flags) {
 
 int CmdDetect(const Flags& flags) {
   if (flags.trace_path.empty()) return Usage();
-  auto store = LoadTraceFile(flags.trace_path);
+  auto store = LoadTraceFile(flags.trace_path, StoreOptions(flags));
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
@@ -463,7 +519,7 @@ int CmdDetect(const Flags& flags) {
 
 int CmdShell(const Flags& flags) {
   if (flags.trace_path.empty()) return Usage();
-  auto store = LoadTraceFile(flags.trace_path);
+  auto store = LoadTraceFile(flags.trace_path, StoreOptions(flags));
   if (!store.ok()) {
     std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
     return 1;
