@@ -220,13 +220,13 @@ Status Session::LoadCheckpoint(const std::string& path) {
   if (!ctx.ok()) return ctx.status();
   ctx.value().scan_threads = options_.scan_threads;
 
-  auto executor = std::make_unique<Executor>(std::move(ctx.value()), clock_,
-                                             k, options_.temporal_priority);
+  auto executor = MakeExecutor(std::move(ctx.value()), k);
   if (auto s = executor->RestoreCheckpoint(is); !s.ok()) return s;
   executor_ = executor.get();
   engine_ = std::move(executor);
   start_override_ = alert;
   last_action_ = RefineAction::kNoChange;
+  RefreshSnapshot();
   return Status::Ok();
 }
 

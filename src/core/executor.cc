@@ -1,6 +1,7 @@
 #include "core/executor.h"
 
 #include <algorithm>
+#include <cassert>
 #include <condition_variable>
 #include <mutex>
 #include <thread>
@@ -134,16 +135,32 @@ Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
 }
 
 Executor::~Executor() {
+  // Only the owned pool is shut down; a shared pool belongs to the
+  // SessionManager and keeps serving other sessions. Run()'s trailing
+  // WaitIdle barrier guarantees no in-flight task still references this
+  // executor either way.
   if (pool_ != nullptr) pool_->Shutdown(/*run_pending=*/false);
 }
 
+WorkerPool* Executor::ScanPool() const {
+  return shared_pool_ != nullptr ? shared_pool_ : pool_.get();
+}
+
+void Executor::UseSharedWorkerPool(WorkerPool* pool, size_t backlog_cap) {
+  assert(pool_ == nullptr);  // must precede the first Run()
+  shared_pool_ = pool;
+  shared_backlog_cap_ = backlog_cap == 0 ? 1 : backlog_cap;
+}
+
 void Executor::StartPoolIfNeeded() {
+  if (shared_pool_ != nullptr) return;
   if (scan_threads_ <= 1 || pool_ != nullptr) return;
   pool_ = std::make_unique<WorkerPool>(scan_threads_);
 }
 
 void Executor::SubmitPrefetch(const ExecWindow& w) {
-  if (pool_ == nullptr || prefetch_.count(w.seq) != 0) return;
+  WorkerPool* pool = ScanPool();
+  if (pool == nullptr || prefetch_.count(w.seq) != 0) return;
   auto entry = std::make_shared<Prefetch>();
   // The task reads only immutable state (sealed store, context spec,
   // mutex-guarded derived-attr caches); every exclusion or graph decision
@@ -154,43 +171,47 @@ void Executor::SubmitPrefetch(const ExecWindow& w) {
   const ObjectId frontier = w.frontier;
   const TimeMicros begin = w.begin;
   const TimeMicros finish = w.finish;
-  const bool submitted =
-      pool_->Submit([entry, ctx, forward, frontier, begin, finish] {
-        APTRACE_SPAN("executor/worker_scan");
-        const TimeMicros t0 = MonotonicNowMicros();
-        const EventStore& store = *ctx->store;
-        RangeScanBatch batch = forward
-                                   ? store.CollectSrc(frontier, begin, finish)
-                                   : store.CollectDest(frontier, begin, finish);
-        std::vector<uint8_t> verdicts;
-        verdicts.reserve(batch.rows.size());
-        const ObjectCatalog& catalog = store.catalog();
-        for (const EventId id : batch.rows) {
-          const Event& e = store.Get(id);
-          uint8_t v = 0;
-          if (ctx->HostAllowed(e.host)) v |= kVerdictHostOk;
-          const ObjectId fresh = forward ? e.FlowDest() : e.FlowSource();
-          if (ctx->IsAnchor(fresh) ||
-              ctx->WhereKeeps(catalog.Get(fresh), &e)) {
-            v |= kVerdictWhereKeeps;
-          }
-          verdicts.push_back(v);
-        }
-        Em().worker_scan_latency->Observe(
-            MicrosToSeconds(MonotonicNowMicros() - t0));
-        {
-          std::lock_guard<std::mutex> lock(entry->mu);
-          entry->batch = std::move(batch);
-          entry->verdicts = std::move(verdicts);
-          entry->ready = true;
-        }
-        entry->cv.notify_all();
-      });
+  auto task = [entry, ctx, forward, frontier, begin, finish] {
+    APTRACE_SPAN("executor/worker_scan");
+    const TimeMicros t0 = MonotonicNowMicros();
+    const EventStore& store = *ctx->store;
+    RangeScanBatch batch = forward
+                               ? store.CollectSrc(frontier, begin, finish)
+                               : store.CollectDest(frontier, begin, finish);
+    std::vector<uint8_t> verdicts;
+    verdicts.reserve(batch.rows.size());
+    const ObjectCatalog& catalog = store.catalog();
+    for (const EventId id : batch.rows) {
+      const Event& e = store.Get(id);
+      uint8_t v = 0;
+      if (ctx->HostAllowed(e.host)) v |= kVerdictHostOk;
+      const ObjectId fresh = forward ? e.FlowDest() : e.FlowSource();
+      if (ctx->IsAnchor(fresh) || ctx->WhereKeeps(catalog.Get(fresh), &e)) {
+        v |= kVerdictWhereKeeps;
+      }
+      verdicts.push_back(v);
+    }
+    Em().worker_scan_latency->Observe(
+        MicrosToSeconds(MonotonicNowMicros() - t0));
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      entry->batch = std::move(batch);
+      entry->verdicts = std::move(verdicts);
+      entry->ready = true;
+    }
+    entry->cv.notify_all();
+  };
+  // Shared pool: bounded offer — a full backlog or a draining pool
+  // rejects the prefetch and this window takes the fused sequential scan.
+  const bool submitted = shared_pool_ != nullptr
+                             ? pool->TrySubmit(std::move(task),
+                                               shared_backlog_cap_)
+                             : pool->Submit(std::move(task));
   if (submitted) prefetch_.emplace(w.seq, std::move(entry));
 }
 
 void Executor::SubmitMissingPrefetches() {
-  if (pool_ == nullptr) return;
+  if (ScanPool() == nullptr) return;
   for (const ExecWindow& w : queue_.entries()) SubmitPrefetch(w);
 }
 
@@ -337,12 +358,14 @@ StopReason Executor::Run(const RunLimits& limits) {
   // refine have no prefetch yet.
   SubmitMissingPrefetches();
   const StopReason reason = RunLoop(limits);
-  if (pool_ != nullptr) {
+  if (WorkerPool* pool = ScanPool(); pool != nullptr) {
     // Barrier: callers may mutate ctx_ (refine), serialize state
     // (checkpoint), or destroy the executor after Run returns; none of
     // that may race an in-flight scan. Finished prefetches stay cached
-    // for the next Run.
-    pool_->WaitIdle();
+    // for the next Run. (On a shared pool the single scheduler thread
+    // runs one quantum at a time, so this never waits on another
+    // session's work.)
+    pool->WaitIdle();
     Em().pool_queue_depth->Set(0);
   }
   Em().modeled_makespan->Set(model_.makespan());
@@ -385,7 +408,7 @@ StopReason Executor::RunLoop(const RunLimits& limits) {
     }
 
     std::shared_ptr<Prefetch> pre;
-    if (pool_ != nullptr) {
+    if (ScanPool() != nullptr) {
       if (const auto it = prefetch_.find(w.seq); it != prefetch_.end()) {
         pre = std::move(it->second);
         prefetch_.erase(it);
@@ -413,8 +436,8 @@ StopReason Executor::RunLoop(const RunLimits& limits) {
     Em().queue_depth->Set(static_cast<int64_t>(queue_.size()));
     obs::Tracer::Global().RecordCounter(obs::names::kExecutorQueueDepth,
                                         static_cast<int64_t>(queue_.size()));
-    if (pool_ != nullptr) {
-      Em().pool_queue_depth->Set(static_cast<int64_t>(pool_->pending()));
+    if (WorkerPool* pool = ScanPool(); pool != nullptr) {
+      Em().pool_queue_depth->Set(static_cast<int64_t>(pool->pending()));
     }
     if (batch_edges > 0) {
       UpdateBatch batch;
@@ -458,7 +481,9 @@ void Executor::RebuildQueue() {
 
 void Executor::ApplyRefinedContext(TrackingContext new_ctx,
                                    const RefineDelta& delta) {
-  if (pool_ != nullptr) pool_->WaitIdle();  // workers read the old ctx_
+  if (WorkerPool* pool = ScanPool(); pool != nullptr) {
+    pool->WaitIdle();  // workers read the old ctx_
+  }
   // Cached prefetches carry the old context's verdicts and ranges; the
   // Run-start top-up pass resubmits under the new context.
   InvalidatePrefetches();

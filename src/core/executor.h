@@ -137,6 +137,16 @@ class Executor : public BacktrackEngine {
   Status SaveCheckpoint(std::ostream& os) const;
   Status RestoreCheckpoint(std::istream& is);
 
+  /// Runs the prefetch pipeline on an externally owned pool instead of
+  /// spawning one. The daemon's SessionManager shares one pool across all
+  /// live sessions; each prefetch is then offered with
+  /// WorkerPool::TrySubmit bounded by `backlog_cap`, and a rejected
+  /// submission simply falls back to the fused sequential scan for that
+  /// window (identical results — backpressure costs overlap, never
+  /// correctness). The pool must outlive this executor and is never shut
+  /// down by it. Call before the first Run().
+  void UseSharedWorkerPool(WorkerPool* pool, size_t backlog_cap);
+
   /// Refiner entry point for compatible spec changes (paper Section
   /// III-B3): swaps in the new context and reuses the cached graph —
   /// re-propagating states when the chain changed, pruning nodes and
@@ -169,7 +179,10 @@ class Executor : public BacktrackEngine {
   /// state/boost priorities from the current graph.
   void RebuildQueue();
 
-  // Parallel pipeline plumbing (all no-ops when scan_threads_ == 1).
+  // Parallel pipeline plumbing (all no-ops when no pool is active).
+  /// The pool prefetches run on: the shared one when installed, else the
+  /// owned one (nullptr on the sequential path).
+  WorkerPool* ScanPool() const;
   void StartPoolIfNeeded();
   void SubmitPrefetch(const ExecWindow& w);
   /// Submits prefetches for queued windows that lack one — the top-up
@@ -201,6 +214,8 @@ class Executor : public BacktrackEngine {
   /// only touch the entry their task captured).
   std::unordered_map<uint64_t, std::shared_ptr<Prefetch>> prefetch_;
   std::unique_ptr<WorkerPool> pool_;
+  WorkerPool* shared_pool_ = nullptr;  // not owned; see UseSharedWorkerPool
+  size_t shared_backlog_cap_ = 0;
 };
 
 }  // namespace aptrace

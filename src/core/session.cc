@@ -6,6 +6,7 @@
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "util/logging.h"
+#include "util/worker_pool.h"
 
 namespace aptrace {
 
@@ -33,6 +34,55 @@ Session::Session(const EventStore* store, Clock* clock,
                  SessionOptions options)
     : store_(store), clock_(clock), options_(options) {}
 
+std::unique_ptr<Executor> Session::MakeExecutor(TrackingContext ctx,
+                                                int num_windows_k) {
+  auto executor = std::make_unique<Executor>(std::move(ctx), clock_,
+                                             num_windows_k,
+                                             options_.temporal_priority);
+  if (options_.shared_scan_pool != nullptr) {
+    const size_t cap = options_.shared_scan_backlog != 0
+                           ? options_.shared_scan_backlog
+                           : static_cast<size_t>(
+                                 options_.shared_scan_pool->num_threads()) *
+                                 2;
+    executor->UseSharedWorkerPool(options_.shared_scan_pool, cap);
+  }
+  return executor;
+}
+
+void Session::RefreshSnapshot() {
+  SessionSnapshot snap;
+  snap.started = engine_ != nullptr;
+  if (snap.started) {
+    const DepGraph& g = engine_->graph();
+    const RunStats& rs = engine_->stats();
+    snap.exhausted = engine_->Exhausted();
+    snap.graph_nodes = g.NumNodes();
+    snap.graph_edges = g.NumEdges();
+    snap.max_hop = g.MaxHop();
+    snap.update_batches = engine_->update_log().size();
+    snap.work_units = rs.work_units;
+    snap.events_added = rs.events_added;
+    snap.events_filtered = rs.events_filtered;
+    snap.objects_excluded = rs.objects_excluded;
+    snap.run_start = rs.run_start;
+    snap.sim_now = clock_->NowMicros();
+    snap.direction = engine_->context().spec.direction;
+    snap.start_node = engine_->context().start_node;
+    if (executor_ != nullptr) {
+      snap.scan_threads = executor_->scan_threads();
+      snap.queue_size = executor_->queue_size();
+    }
+  }
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  snapshot_ = snap;
+}
+
+SessionSnapshot Session::Snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  return snapshot_;
+}
+
 Status Session::Start(std::string_view bdl_text,
                       std::optional<Event> start_override) {
   auto spec = bdl::CompileBdl(bdl_text);
@@ -52,13 +102,13 @@ Status Session::StartWithSpec(bdl::TrackingSpec spec,
                                                  clock_);
     executor_ = nullptr;
   } else {
-    auto executor = std::make_unique<Executor>(std::move(ctx.value()), clock_,
-                                               options_.num_windows_k,
-                                               options_.temporal_priority);
+    auto executor = MakeExecutor(std::move(ctx.value()),
+                                 options_.num_windows_k);
     executor_ = executor.get();
     engine_ = std::move(executor);
   }
   last_action_ = RefineAction::kNoChange;
+  RefreshSnapshot();
   return Status::Ok();
 }
 
@@ -68,7 +118,17 @@ Result<StopReason> Session::Step(const RunLimits& limits) {
   }
   APTRACE_SPAN("session/step");
   WallTimer timer(obs::names::kSessionStepLatency);
-  return engine_->Run(limits);
+  // Keep the published snapshot moving while the engine runs: refresh at
+  // every update-batch boundary, then once more after Run returns so the
+  // terminal state (exhausted, final totals) is visible immediately.
+  RunLimits wrapped = limits;
+  wrapped.on_update = [this, &limits](const UpdateBatch& batch) {
+    RefreshSnapshot();
+    if (limits.on_update) limits.on_update(batch);
+  };
+  const auto reason = engine_->Run(wrapped);
+  RefreshSnapshot();
+  return reason;
 }
 
 Status Session::UpdateScript(std::string_view bdl_text) {
@@ -95,6 +155,7 @@ Status Session::UpdateScript(std::string_view bdl_text) {
     case RefineAction::kReuse:
       if (executor_ != nullptr) {
         executor_->ApplyRefinedContext(std::move(ctx.value()), refine.delta);
+        RefreshSnapshot();
         return Status::Ok();
       }
       // The baseline engine cannot reuse partial work; fall through to a
@@ -108,12 +169,12 @@ Status Session::UpdateScript(std::string_view bdl_text) {
                                                      clock_);
         executor_ = nullptr;
       } else {
-        auto executor = std::make_unique<Executor>(
-            std::move(ctx.value()), clock_, options_.num_windows_k,
-            options_.temporal_priority);
+        auto executor = MakeExecutor(std::move(ctx.value()),
+                                     options_.num_windows_k);
         executor_ = executor.get();
         engine_ = std::move(executor);
       }
+      RefreshSnapshot();
       return Status::Ok();
     }
   }
@@ -130,6 +191,7 @@ Status Session::Finish(bool prune_to_matched_paths) {
       APTRACE_LOG(Info) << "Finish: pruned " << removed
                         << " nodes not on matched paths";
     }
+    RefreshSnapshot();
   }
   const auto& spec = engine_->context().spec;
   if (!spec.output_path.empty()) {

@@ -2,6 +2,7 @@
 #define APTRACE_CORE_SESSION_H_
 
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string_view>
 
@@ -30,6 +31,45 @@ struct SessionOptions {
   /// pipeline. Results are bit-identical regardless of the value (see
   /// docs/parallel_execution.md). Ignored by the baseline engine.
   int scan_threads = 1;
+
+  /// When non-null, the responsive Executor prefetches on this externally
+  /// owned pool instead of spawning its own (Executor::
+  /// UseSharedWorkerPool) — how the daemon multiplexes all live sessions
+  /// onto one set of scan workers. Must outlive the session. Ignored by
+  /// the baseline engine.
+  WorkerPool* shared_scan_pool = nullptr;
+  /// Backlog cap handed to WorkerPool::TrySubmit in shared-pool mode;
+  /// 0 picks a default proportional to the pool width.
+  size_t shared_scan_backlog = 0;
+};
+
+/// One coherent view of a session's progress, captured atomically with
+/// respect to other Snapshot() readers — the session-level analog of the
+/// single-mutex StoreStats pattern (storage/storage_backend.h). Engine
+/// counters, graph totals, and the update count come from the same
+/// refresh instant, so a reader never sees e.g. a batch count ahead of
+/// the edge total it reported. Refreshed at Step entry/exit and at every
+/// update-batch boundary inside a Step, so concurrent readers (the shell
+/// `status` command, the daemon's `stats`/`poll` ops) observe steadily
+/// advancing, never torn, figures.
+struct SessionSnapshot {
+  bool started = false;
+  bool exhausted = false;
+  size_t graph_nodes = 0;
+  size_t graph_edges = 0;
+  int max_hop = 0;
+  size_t update_batches = 0;
+  uint64_t work_units = 0;
+  uint64_t events_added = 0;
+  uint64_t events_filtered = 0;
+  uint64_t objects_excluded = 0;
+  TimeMicros run_start = 0;
+  /// Session clock at the refresh instant (simulated micros).
+  TimeMicros sim_now = 0;
+  int scan_threads = 1;
+  size_t queue_size = 0;
+  bdl::TrackDirection direction = bdl::TrackDirection::kBackward;
+  ObjectId start_node = kInvalidObjectId;
 };
 
 /// An interactive analysis session — the workflow of the paper's Figure 3:
@@ -72,6 +112,11 @@ class Session {
   bool started() const { return engine_ != nullptr; }
   bool Exhausted() const { return engine_ != nullptr && engine_->Exhausted(); }
 
+  /// Tear-free progress view; safe to call from a thread other than the
+  /// one driving Step() (see SessionSnapshot). All other accessors below
+  /// must only be used when no Step() is in flight.
+  SessionSnapshot Snapshot() const;
+
   const DepGraph& graph() const { return engine_->graph(); }
   const UpdateLog& update_log() const { return engine_->update_log(); }
   const RunStats& stats() const { return engine_->stats(); }
@@ -91,6 +136,14 @@ class Session {
   Status Finish(bool prune_to_matched_paths = true);
 
  private:
+  /// Constructs a responsive Executor wired per options_ (shared pool,
+  /// priority mode); shared by Start, restart, and checkpoint load.
+  std::unique_ptr<Executor> MakeExecutor(TrackingContext ctx,
+                                         int num_windows_k);
+  /// Recomputes the cached snapshot from the engine. Caller must be the
+  /// thread driving the engine (no concurrent Step).
+  void RefreshSnapshot();
+
   const EventStore* store_;
   Clock* clock_;
   SessionOptions options_;
@@ -98,6 +151,9 @@ class Session {
   Executor* executor_ = nullptr;  // engine_ downcast when !use_baseline
   std::optional<Event> start_override_;
   RefineAction last_action_ = RefineAction::kNoChange;
+
+  mutable std::mutex snapshot_mu_;
+  SessionSnapshot snapshot_;
 };
 
 }  // namespace aptrace

@@ -24,6 +24,11 @@ class JsonDict {
     items_.emplace_back(std::string(key),
                         "\"" + JsonEscape(value) + "\"");
   }
+  /// String-literal values would otherwise prefer the bool overload
+  /// (pointer-to-bool is a standard conversion, string_view is not).
+  void Add(std::string_view key, const char* value) {
+    Add(key, std::string_view(value));
+  }
   void Add(std::string_view key, uint64_t v) {
     items_.emplace_back(std::string(key), std::to_string(v));
   }

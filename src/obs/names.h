@@ -90,6 +90,29 @@ inline constexpr char kSessionUpdateScriptLatency[] =
 // graph updates — the paper's Table II responsiveness metric.
 inline constexpr char kUpdateBatchLatency[] = "aptrace_update_batch_latency";
 
+// Multi-session query service (service/session_manager.cc + server.cc).
+inline constexpr char kServiceSessionsOpened[] =
+    "aptrace_service_sessions_opened_total";
+inline constexpr char kServiceSessionsLive[] =
+    "aptrace_service_sessions_live";
+inline constexpr char kServiceAdmissionRejected[] =
+    "aptrace_service_admission_rejected_total";
+inline constexpr char kServiceQuanta[] = "aptrace_service_quanta_total";
+inline constexpr char kServiceBackpressureStalls[] =
+    "aptrace_service_backpressure_stalls_total";
+inline constexpr char kServiceIngestEvents[] =
+    "aptrace_service_ingest_events_total";
+inline constexpr char kServiceIngestRejected[] =
+    "aptrace_service_ingest_rejected_total";
+/// Wall seconds from `open` to a session's first streamed update batch —
+/// the service-level responsiveness figure.
+inline constexpr char kServiceFirstUpdateLatency[] =
+    "aptrace_service_first_update_latency";
+inline constexpr char kServiceRequests[] =
+    "aptrace_service_requests_total";
+inline constexpr char kServiceRequestErrors[] =
+    "aptrace_service_request_errors_total";
+
 }  // namespace aptrace::obs::names
 
 #endif  // APTRACE_OBS_NAMES_H_

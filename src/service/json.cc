@@ -1,0 +1,325 @@
+#include "service/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdlib>
+
+namespace aptrace::service {
+
+namespace {
+
+/// Hand-rolled recursive-descent parser. Protocol lines are small (the
+/// largest is an ingest batch), so simplicity beats speed here; the depth
+/// cap keeps a hostile deeply-nested line from smashing the stack.
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : s_(text) {}
+
+  Result<JsonValue> Parse() {
+    JsonValue v;
+    if (auto st = ParseValue(&v, 0); !st.ok()) return st;
+    SkipWs();
+    if (pos_ != s_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Error(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r')) {
+      pos_++;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      pos_++;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (s_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Status ParseValue(JsonValue* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWs();
+    if (pos_ >= s_.size()) return Error("unexpected end of input");
+    switch (s_[pos_]) {
+      case '{':
+        return ParseObject(out, depth);
+      case '[':
+        return ParseArray(out, depth);
+      case '"':
+        out->kind = JsonValue::Kind::kString;
+        return ParseString(&out->str_v);
+      case 't':
+        if (!ConsumeWord("true")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_v = true;
+        return Status::Ok();
+      case 'f':
+        if (!ConsumeWord("false")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kBool;
+        out->bool_v = false;
+        return Status::Ok();
+      case 'n':
+        if (!ConsumeWord("null")) return Error("bad literal");
+        out->kind = JsonValue::Kind::kNull;
+        return Status::Ok();
+      default:
+        return ParseNumber(out);
+    }
+  }
+
+  Status ParseObject(JsonValue* out, int depth) {
+    pos_++;  // '{'
+    out->kind = JsonValue::Kind::kObject;
+    SkipWs();
+    if (Consume('}')) return Status::Ok();
+    for (;;) {
+      SkipWs();
+      if (pos_ >= s_.size() || s_[pos_] != '"') {
+        return Error("expected object key");
+      }
+      std::string key;
+      if (auto st = ParseString(&key); !st.ok()) return st;
+      SkipWs();
+      if (!Consume(':')) return Error("expected ':'");
+      JsonValue member;
+      if (auto st = ParseValue(&member, depth + 1); !st.ok()) return st;
+      out->members.emplace_back(std::move(key), std::move(member));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Status::Ok();
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  Status ParseArray(JsonValue* out, int depth) {
+    pos_++;  // '['
+    out->kind = JsonValue::Kind::kArray;
+    SkipWs();
+    if (Consume(']')) return Status::Ok();
+    for (;;) {
+      JsonValue item;
+      if (auto st = ParseValue(&item, depth + 1); !st.ok()) return st;
+      out->items.push_back(std::move(item));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Status::Ok();
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  Status ParseString(std::string* out) {
+    pos_++;  // '"'
+    out->clear();
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') {
+        pos_++;
+        return Status::Ok();
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        out->push_back(c);
+        pos_++;
+        continue;
+      }
+      pos_++;
+      if (pos_ >= s_.size()) return Error("truncated escape");
+      const char e = s_[pos_++];
+      switch (e) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(e);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          unsigned code = 0;
+          if (auto st = ParseHex4(&code); !st.ok()) return st;
+          // Surrogate pairs: combine when a high surrogate is followed
+          // by an escaped low one; lone surrogates encode as U+FFFD.
+          if (code >= 0xD800 && code <= 0xDBFF &&
+              s_.substr(pos_, 2) == "\\u") {
+            const size_t save = pos_;
+            pos_ += 2;
+            unsigned low = 0;
+            if (auto st = ParseHex4(&low); !st.ok()) return st;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos_ = save;
+              code = 0xFFFD;
+            }
+          } else if (code >= 0xD800 && code <= 0xDFFF) {
+            code = 0xFFFD;
+          }
+          AppendUtf8(out, code);
+          break;
+        }
+        default:
+          return Error("bad escape character");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  Status ParseHex4(unsigned* out) {
+    if (pos_ + 4 > s_.size()) return Error("truncated \\u escape");
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = s_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v |= static_cast<unsigned>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      } else {
+        return Error("bad hex digit in \\u escape");
+      }
+    }
+    *out = v;
+    return Status::Ok();
+  }
+
+  static void AppendUtf8(std::string* out, unsigned code) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Status ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    Consume('-');
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      pos_++;
+    }
+    bool integral = pos_ > start && s_[pos_ - 1] != '-';
+    if (!integral) return Error("bad number");
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        pos_++;
+      }
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      integral = false;
+      pos_++;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) pos_++;
+      while (pos_ < s_.size() &&
+             std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        pos_++;
+      }
+    }
+    const std::string text(s_.substr(start, pos_ - start));
+    out->kind = JsonValue::Kind::kNumber;
+    out->num_v = std::strtod(text.c_str(), nullptr);
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(text.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        out->is_int = true;
+        out->int_v = v;
+      }
+    }
+    return Status::Ok();
+  }
+
+  std::string_view s_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const JsonValue* JsonValue::Find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : members) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string JsonValue::GetString(std::string_view key, std::string def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->IsString()) return def;
+  return v->str_v;
+}
+
+int64_t JsonValue::GetInt(std::string_view key, int64_t def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->IsNumber()) return def;
+  if (v->is_int) return v->int_v;
+  return static_cast<int64_t>(v->num_v);
+}
+
+uint64_t JsonValue::GetUint(std::string_view key, uint64_t def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || !v->IsNumber()) return def;
+  if (v->is_int && v->int_v >= 0) return static_cast<uint64_t>(v->int_v);
+  if (!v->is_int && v->num_v >= 0) return static_cast<uint64_t>(v->num_v);
+  return def;
+}
+
+bool JsonValue::GetBool(std::string_view key, bool def) const {
+  const JsonValue* v = Find(key);
+  if (v == nullptr || v->kind != Kind::kBool) return def;
+  return v->bool_v;
+}
+
+Result<JsonValue> ParseJson(std::string_view text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace aptrace::service

@@ -1,0 +1,56 @@
+#ifndef APTRACE_SERVICE_JSON_H_
+#define APTRACE_SERVICE_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aptrace::service {
+
+/// Parsed JSON value — the read-side counterpart of obs::JsonDict, sized
+/// for the daemon's line-delimited request protocol. Supports the full
+/// JSON grammar (null/bool/number/string/array/object, string escapes
+/// including \uXXXX) with a recursion-depth cap; numbers are kept as
+/// double plus an exact-integer flag so event ids survive round trips.
+/// Not a general JSON library: no comments, no trailing commas, objects
+/// keep insertion order and duplicate keys resolve to the first.
+struct JsonValue {
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_v = false;
+  double num_v = 0.0;
+  /// Set when the number was written without '.', 'e', or a lost digit —
+  /// int_v then holds the exact value.
+  bool is_int = false;
+  int64_t int_v = 0;
+  std::string str_v;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  bool IsObject() const { return kind == Kind::kObject; }
+  bool IsArray() const { return kind == Kind::kArray; }
+  bool IsString() const { return kind == Kind::kString; }
+  bool IsNumber() const { return kind == Kind::kNumber; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(std::string_view key) const;
+
+  /// Typed member getters with defaults; a present-but-wrong-typed member
+  /// returns the default (callers that must distinguish use Find()).
+  std::string GetString(std::string_view key, std::string def = "") const;
+  int64_t GetInt(std::string_view key, int64_t def = 0) const;
+  uint64_t GetUint(std::string_view key, uint64_t def = 0) const;
+  bool GetBool(std::string_view key, bool def = false) const;
+};
+
+/// Parses one complete JSON document; trailing non-whitespace is an error.
+Result<JsonValue> ParseJson(std::string_view text);
+
+}  // namespace aptrace::service
+
+#endif  // APTRACE_SERVICE_JSON_H_

@@ -1,0 +1,295 @@
+#include "service/protocol.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/json_dict.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "service/json.h"
+#include "util/string_util.h"
+
+namespace aptrace::service {
+
+namespace {
+
+/// Splits the "SRV-E0xx: message" convention every SessionManager error
+/// follows; anything else maps to the generic bad-request code.
+std::pair<std::string, std::string> SplitCode(const std::string& message) {
+  if (message.rfind("SRV-E", 0) == 0) {
+    const size_t colon = message.find(':');
+    if (colon != std::string::npos) {
+      std::string rest = message.substr(colon + 1);
+      if (!rest.empty() && rest.front() == ' ') rest.erase(0, 1);
+      return {message.substr(0, colon), rest};
+    }
+  }
+  return {"SRV-E001", message};
+}
+
+std::string ErrorResponse(const std::string& message) {
+  const auto [code, text] = SplitCode(message);
+  obs::JsonDict d;
+  d.Add("ok", false);
+  d.Add("code", code);
+  d.Add("error", text);
+  obs::Metrics()
+      .FindOrCreateCounter(obs::names::kServiceRequestErrors)
+      ->Add();
+  return d.Str();
+}
+
+std::string ErrorResponse(const Status& st) {
+  return ErrorResponse(st.message());
+}
+
+std::string OkResponse(obs::JsonDict d) {
+  obs::JsonDict out;
+  out.Add("ok", true);
+  std::string body = d.Str();
+  // Splice the payload members after "ok":true rather than nesting them,
+  // keeping responses flat: {"ok":true,"session":1}.
+  std::string head = out.Str();
+  if (body == "{}") return head;
+  head.pop_back();  // '}'
+  head += ",";
+  head += body.substr(1);
+  return head;
+}
+
+obs::JsonDict SnapshotDict(const SessionSnapshot& snap) {
+  obs::JsonDict d;
+  d.Add("started", snap.started);
+  d.Add("exhausted", snap.exhausted);
+  d.Add("graph_nodes", static_cast<uint64_t>(snap.graph_nodes));
+  d.Add("graph_edges", static_cast<uint64_t>(snap.graph_edges));
+  d.Add("max_hop", static_cast<int64_t>(snap.max_hop));
+  d.Add("update_batches", static_cast<uint64_t>(snap.update_batches));
+  d.Add("work_units", snap.work_units);
+  d.Add("events_added", snap.events_added);
+  d.Add("events_filtered", snap.events_filtered);
+  d.Add("objects_excluded", snap.objects_excluded);
+  d.Add("run_start", static_cast<int64_t>(snap.run_start));
+  d.Add("sim_now", static_cast<int64_t>(snap.sim_now));
+  d.Add("scan_threads", static_cast<int64_t>(snap.scan_threads));
+  d.Add("queue_size", static_cast<uint64_t>(snap.queue_size));
+  d.Add("direction", bdl::TrackDirectionName(snap.direction));
+  return d;
+}
+
+OpenOptions ParseOpenOptions(const JsonValue& req) {
+  OpenOptions opts;
+  opts.weight = req.GetUint("weight", 1);
+  opts.scan_threads = static_cast<int>(req.GetInt("scan_threads", 0));
+  if (const JsonValue* v = req.Find("window_budget");
+      v != nullptr && v->IsNumber()) {
+    opts.window_budget = req.GetUint("window_budget");
+  }
+  if (const JsonValue* v = req.Find("sim_budget");
+      v != nullptr && v->IsNumber()) {
+    opts.sim_budget = req.GetInt("sim_budget");
+  }
+  if (const JsonValue* v = req.Find("start_event");
+      v != nullptr && v->IsNumber()) {
+    opts.start_event = req.GetUint("start_event");
+  }
+  return opts;
+}
+
+/// Accepts an action as its canonical name ("read", "write", ...) or its
+/// numeric value; nullopt on anything else.
+std::optional<ActionType> ParseAction(const JsonValue& ev) {
+  const JsonValue* v = ev.Find("action");
+  if (v == nullptr) return std::nullopt;
+  if (v->IsNumber() && v->is_int && v->int_v >= 0 && v->int_v <= 7) {
+    return static_cast<ActionType>(v->int_v);
+  }
+  if (v->IsString()) {
+    for (int a = 0; a <= 7; ++a) {
+      if (v->str_v == ActionTypeName(static_cast<ActionType>(a))) {
+        return static_cast<ActionType>(a);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+Result<Event> ParseEvent(const JsonValue& ev) {
+  if (!ev.IsObject()) {
+    return Status::InvalidArgument("SRV-E007: event must be an object");
+  }
+  Event e;
+  const JsonValue* subject = ev.Find("subject");
+  const JsonValue* object = ev.Find("object");
+  const JsonValue* timestamp = ev.Find("timestamp");
+  if (subject == nullptr || !subject->IsNumber() || object == nullptr ||
+      !object->IsNumber() || timestamp == nullptr ||
+      !timestamp->IsNumber()) {
+    return Status::InvalidArgument(
+        "SRV-E007: event needs numeric subject, object, timestamp");
+  }
+  e.subject = ev.GetUint("subject");
+  e.object = ev.GetUint("object");
+  e.timestamp = ev.GetInt("timestamp");
+  e.amount = ev.GetUint("amount", 0);
+  const auto action = ParseAction(ev);
+  if (!action.has_value()) {
+    return Status::InvalidArgument("SRV-E007: event has a bad action");
+  }
+  e.action = *action;
+  if (const JsonValue* dir = ev.Find("direction"); dir != nullptr) {
+    if (dir->IsString() && dir->str_v == "s2o") {
+      e.direction = FlowDirection::kSubjectToObject;
+    } else if (dir->IsString() && dir->str_v == "o2s") {
+      e.direction = FlowDirection::kObjectToSubject;
+    } else if (dir->IsNumber() && dir->is_int &&
+               (dir->int_v == 0 || dir->int_v == 1)) {
+      e.direction = static_cast<FlowDirection>(dir->int_v);
+    } else {
+      return Status::InvalidArgument("SRV-E007: event has a bad direction");
+    }
+  } else {
+    e.direction = ActionDefaultDirection(e.action);
+  }
+  e.host = static_cast<HostId>(ev.GetUint("host", kInvalidHostId));
+  return e;
+}
+
+}  // namespace
+
+std::string ProtocolHandler::HandleLine(const std::string& line,
+                                        bool* shutdown_requested) {
+  obs::Metrics().FindOrCreateCounter(obs::names::kServiceRequests)->Add();
+  if (shutdown_requested != nullptr) *shutdown_requested = false;
+
+  auto parsed = ParseJson(line);
+  if (!parsed.ok()) {
+    return ErrorResponse("SRV-E001: " + parsed.status().message());
+  }
+  const JsonValue& req = parsed.value();
+  if (!req.IsObject()) {
+    return ErrorResponse("SRV-E001: request must be a JSON object");
+  }
+  const std::string op = req.GetString("op");
+
+  if (op == "open" || op == "resume") {
+    Result<uint64_t> id =
+        op == "open"
+            ? manager_->Open(req.GetString("bdl"), ParseOpenOptions(req))
+            : manager_->Resume(req.GetString("path"), ParseOpenOptions(req));
+    if (!id.ok()) return ErrorResponse(id.status());
+    obs::JsonDict d;
+    d.Add("session", id.value());
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "poll") {
+    auto r = manager_->Poll(req.GetUint("session"), req.GetUint("cursor", 0),
+                            static_cast<size_t>(req.GetUint("max", 0)));
+    if (!r.ok()) return ErrorResponse(r.status());
+    const PollResult& p = r.value();
+    obs::JsonDict d;
+    d.Add("state", SessionStateName(p.state));
+    d.Add("detail", p.detail);
+    d.Add("terminal", p.terminal);
+    d.Add("next_cursor", p.next_cursor);
+    std::string batches = "[";
+    for (size_t i = 0; i < p.batches.size(); ++i) {
+      const ServiceBatch& b = p.batches[i];
+      obs::JsonDict bd;
+      bd.Add("seq", b.seq);
+      bd.Add("sim_time", static_cast<int64_t>(b.batch.sim_time));
+      bd.Add("new_edges", static_cast<uint64_t>(b.batch.new_edges));
+      bd.Add("new_nodes", static_cast<uint64_t>(b.batch.new_nodes));
+      bd.Add("total_edges", static_cast<uint64_t>(b.batch.total_edges));
+      bd.Add("total_nodes", static_cast<uint64_t>(b.batch.total_nodes));
+      if (i != 0) batches += ",";
+      batches += bd.Str();
+    }
+    batches += "]";
+    d.AddRaw("batches", batches);
+    d.AddRaw("snapshot", SnapshotDict(p.snapshot).Str());
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "cancel") {
+    if (auto st = manager_->Cancel(req.GetUint("session")); !st.ok()) {
+      return ErrorResponse(st);
+    }
+    return OkResponse({});
+  }
+
+  if (op == "graph") {
+    auto g = manager_->GraphJson(req.GetUint("session"));
+    if (!g.ok()) return ErrorResponse(g.status());
+    obs::JsonDict d;
+    d.Add("graph", g.value());  // escaped: the value is the exact bytes
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "checkpoint") {
+    if (auto st = manager_->Checkpoint(req.GetUint("session"),
+                                       req.GetString("path"));
+        !st.ok()) {
+      return ErrorResponse(st);
+    }
+    return OkResponse({});
+  }
+
+  if (op == "stats") {
+    if (req.Find("session") != nullptr) {
+      auto snap = manager_->Snapshot(req.GetUint("session"));
+      if (!snap.ok()) return ErrorResponse(snap.status());
+      obs::JsonDict d;
+      d.AddRaw("snapshot", SnapshotDict(snap.value()).Str());
+      return OkResponse(std::move(d));
+    }
+    const ServiceStats s = manager_->stats();
+    obs::JsonDict d;
+    d.Add("opened_total", s.opened_total);
+    d.Add("live", s.live);
+    d.Add("done", s.done);
+    d.Add("cancelled", s.cancelled);
+    d.Add("budget_exhausted", s.budget_exhausted);
+    d.Add("failed", s.failed);
+    d.Add("admission_rejected_total", s.admission_rejected_total);
+    d.Add("quanta_total", s.quanta_total);
+    d.Add("backpressure_stalls_total", s.backpressure_stalls_total);
+    d.Add("ingested_total", s.ingested_total);
+    d.Add("ingest_rejected_total", s.ingest_rejected_total);
+    d.Add("ingest_queue_depth", s.ingest_queue_depth);
+    d.Add("draining", manager_->draining());
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "ingest") {
+    const JsonValue* events = req.Find("events");
+    if (events == nullptr || !events->IsArray()) {
+      return ErrorResponse("SRV-E007: ingest needs an events array");
+    }
+    std::vector<Event> batch;
+    batch.reserve(events->items.size());
+    for (const JsonValue& ev : events->items) {
+      auto e = ParseEvent(ev);
+      if (!e.ok()) return ErrorResponse(e.status());
+      batch.push_back(std::move(e.value()));
+    }
+    auto accepted = manager_->Ingest(std::move(batch));
+    if (!accepted.ok()) return ErrorResponse(accepted.status());
+    obs::JsonDict d;
+    d.Add("accepted", static_cast<uint64_t>(accepted.value()));
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "shutdown") {
+    if (shutdown_requested != nullptr) *shutdown_requested = true;
+    obs::JsonDict d;
+    d.Add("draining", true);
+    return OkResponse(std::move(d));
+  }
+
+  return ErrorResponse("SRV-E001: unknown op '" + op + "'");
+}
+
+}  // namespace aptrace::service

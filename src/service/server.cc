@@ -1,0 +1,213 @@
+#include "service/server.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace aptrace::service {
+
+namespace {
+
+/// Writes all of `data`, riding out partial writes; MSG_NOSIGNAL so a
+/// vanished client surfaces as EPIPE instead of killing the process.
+bool SendAll(int fd, const std::string& data) {
+  size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(SessionManager* manager, ServerOptions options)
+    : manager_(manager), options_(std::move(options)), handler_(manager) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  if (!options_.unix_socket_path.empty()) {
+    const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      close(fd);
+      return Status::InvalidArgument("unix socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        listen(fd, 64) < 0) {
+      const std::string err = strerror(errno);
+      close(fd);
+      return Status::Internal("bind/listen " + options_.unix_socket_path +
+                              ": " + err);
+    }
+    listen_fds_.push_back(fd);
+    APTRACE_LOG(Info) << "serverd: listening on unix socket "
+                      << options_.unix_socket_path;
+  }
+
+  if (options_.tcp_port >= 0) {
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::Internal(std::string("socket: ") + strerror(errno));
+    }
+    const int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+        listen(fd, 64) < 0) {
+      const std::string err = strerror(errno);
+      close(fd);
+      return Status::Internal("bind/listen tcp port " +
+                              std::to_string(options_.tcp_port) + ": " + err);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len) == 0) {
+      tcp_port_ = ntohs(bound.sin_port);
+    }
+    listen_fds_.push_back(fd);
+    APTRACE_LOG(Info) << "serverd: listening on 127.0.0.1:" << tcp_port_;
+  }
+
+  if (listen_fds_.empty()) {
+    return Status::InvalidArgument(
+        "no listener configured (need a unix socket path or a TCP port)");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : listen_fds_) {
+      threads_.emplace_back([this, fd] { AcceptLoop(fd); });
+    }
+    started_ = true;
+  }
+  return Status::Ok();
+}
+
+void Server::AcceptLoop(int listen_fd) {
+  while (!stop_.load()) {
+    pollfd p{listen_fd, POLLIN, 0};
+    // Short poll timeout: the stop flag is the wakeup mechanism for a
+    // drain initiated from another thread (signal watcher, shutdown op).
+    const int r = poll(&p, 1, 200);
+    if (r < 0 && errno != EINTR) break;
+    if (r <= 0 || (p.revents & POLLIN) == 0) continue;
+    const int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) continue;
+    if (stop_.load()) {
+      close(fd);
+      break;
+    }
+    TrackConnection(fd);
+  }
+}
+
+void Server::TrackConnection(int fd) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_.load()) {
+    close(fd);
+    return;
+  }
+  conn_fds_.push_back(fd);
+  threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+}
+
+void Server::ConnectionLoop(int fd) {
+  std::string pending;
+  char buf[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // EOF or error — includes our drain half-close
+    pending.append(buf, static_cast<size_t>(n));
+    size_t nl = 0;
+    while ((nl = pending.find('\n')) != std::string::npos) {
+      std::string line = pending.substr(0, nl);
+      pending.erase(0, nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.empty()) continue;
+      bool shutdown_requested = false;
+      const std::string response =
+          handler_.HandleLine(line, &shutdown_requested);
+      if (!SendAll(fd, response + "\n")) {
+        open = false;
+        break;
+      }
+      if (shutdown_requested) {
+        // Response is on the wire; now drain the whole daemon.
+        RequestShutdown();
+        open = false;
+        break;
+      }
+    }
+  }
+  // The fd stays in conn_fds_ (closed once by Shutdown); threads are
+  // joined there too, so no self-cleanup races.
+}
+
+void Server::RequestShutdown() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) return;
+  manager_->Stop();  // quantum-boundary stop of the scheduler
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Half-close read sides: blocked recv()s return 0, each connection
+    // finishes its in-flight response and exits.
+    for (const int fd : conn_fds_) shutdown(fd, SHUT_RD);
+  }
+  stop_cv_.notify_all();
+}
+
+void Server::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  stop_cv_.wait(lock, [this] { return stop_.load(); });
+}
+
+void Server::Shutdown() {
+  RequestShutdown();
+  std::vector<std::thread> threads;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (joined_) return;
+    joined_ = true;
+    threads.swap(threads_);
+  }
+  for (std::thread& t : threads) {
+    if (t.joinable()) t.join();
+  }
+  for (const int fd : conn_fds_) close(fd);
+  conn_fds_.clear();
+  for (const int fd : listen_fds_) close(fd);
+  listen_fds_.clear();
+  if (!options_.unix_socket_path.empty()) {
+    unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+}  // namespace aptrace::service

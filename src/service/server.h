@@ -1,0 +1,89 @@
+#ifndef APTRACE_SERVICE_SERVER_H_
+#define APTRACE_SERVICE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/protocol.h"
+#include "service/session_manager.h"
+#include "util/status.h"
+
+namespace aptrace::service {
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty disables it. A stale socket file
+  /// from a dead daemon is unlinked on bind.
+  std::string unix_socket_path;
+
+  /// Loopback TCP listener: -1 disables, 0 binds an ephemeral port
+  /// (read back via port()), >0 binds that port.
+  int tcp_port = -1;
+};
+
+/// The daemon's transport: line-delimited JSON over unix-domain and/or
+/// loopback TCP sockets, one thread per connection, every line handled
+/// by ProtocolHandler against the shared SessionManager.
+///
+/// Shutdown is a graceful drain: RequestShutdown() (or a client's
+/// `shutdown` op, whose response is sent first) stops the accept loops,
+/// half-closes every connection's read side — each connection finishes
+/// writing its in-flight response, then sees EOF and exits — stops the
+/// SessionManager's scheduler at its quantum boundary, and joins every
+/// thread. No request is abandoned mid-response and no session state is
+/// torn; paused sessions remain checkpointable until the process exits.
+class Server {
+ public:
+  Server(SessionManager* manager, ServerOptions options);
+
+  /// Shutdown() if still running.
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the configured listeners and starts the accept threads.
+  Status Start();
+
+  /// Blocks until a shutdown is requested (by op or RequestShutdown).
+  void Wait();
+
+  /// Initiates the graceful drain described above. Thread-safe and
+  /// idempotent; callable from any thread (e.g. a signal-watcher).
+  void RequestShutdown();
+
+  /// Completes the drain: joins accept and connection threads and closes
+  /// all sockets. Called by the destructor; safe to call directly.
+  void Shutdown();
+
+  /// Actual TCP port after Start() (ephemeral binds resolve here);
+  /// -1 when the TCP listener is disabled.
+  int port() const { return tcp_port_; }
+
+ private:
+  void AcceptLoop(int listen_fd);
+  void ConnectionLoop(int fd);
+  void TrackConnection(int fd);
+
+  SessionManager* manager_;
+  ServerOptions options_;
+  ProtocolHandler handler_;
+
+  std::atomic<bool> stop_{false};
+  std::mutex mu_;
+  std::condition_variable stop_cv_;
+  std::vector<int> listen_fds_;
+  std::vector<int> conn_fds_;
+  std::vector<std::thread> threads_;
+  int tcp_port_ = -1;
+  bool started_ = false;
+  bool joined_ = false;
+};
+
+}  // namespace aptrace::service
+
+#endif  // APTRACE_SERVICE_SERVER_H_

@@ -1,0 +1,594 @@
+#include "service/session_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "graph/json_writer.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace aptrace::service {
+
+namespace {
+
+struct ServiceMetrics {
+  obs::Counter* sessions_opened;
+  obs::Gauge* sessions_live;
+  obs::Counter* admission_rejected;
+  obs::Counter* quanta;
+  obs::Counter* backpressure_stalls;
+  obs::Counter* ingest_events;
+  obs::Counter* ingest_rejected;
+  obs::LatencyHistogram* first_update_latency;
+};
+
+const ServiceMetrics& Sm() {
+  static const ServiceMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceSessionsOpened),
+      obs::Metrics().FindOrCreateGauge(obs::names::kServiceSessionsLive),
+      obs::Metrics().FindOrCreateCounter(
+          obs::names::kServiceAdmissionRejected),
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceQuanta),
+      obs::Metrics().FindOrCreateCounter(
+          obs::names::kServiceBackpressureStalls),
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceIngestEvents),
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceIngestRejected),
+      obs::Metrics().FindOrCreateHistogram(
+          obs::names::kServiceFirstUpdateLatency),
+  };
+  return m;
+}
+
+}  // namespace
+
+const char* SessionStateName(SessionState s) {
+  switch (s) {
+    case SessionState::kRunning:
+      return "running";
+    case SessionState::kDone:
+      return "done";
+    case SessionState::kCancelled:
+      return "cancelled";
+    case SessionState::kBudget:
+      return "budget";
+    case SessionState::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+/// One hosted session: the engine plus the scheduler's bookkeeping.
+///
+/// Locking: `exec_mu` serializes every touch of `clock`/`session` (the
+/// scheduler's quantum vs connection-thread graph/checkpoint reads); all
+/// remaining fields are guarded by SessionManager::mu_. exec_mu is always
+/// taken before mu_ (RunQuantum's callbacks take mu_ while holding
+/// exec_mu), never the other way around.
+struct SessionManager::Managed {
+  uint64_t id = 0;
+  std::unique_ptr<SimClock> clock;
+  std::unique_ptr<Session> session;
+  std::mutex exec_mu;
+
+  SessionState state = SessionState::kRunning;
+  std::string detail = "running";
+  uint64_t weight = 1;
+  uint64_t arrival = 0;
+  uint64_t vtime = 0;  // consumed simulated micros / weight
+  uint64_t window_budget = 0;
+  DurationMicros sim_budget = 0;
+  bool cancel_requested = false;
+  bool quantum_active = false;
+  bool stalled_on_buffer = false;  // set by should_stop, read post-quantum
+  bool first_update_seen = false;
+  TimeMicros opened_wall = 0;
+  std::deque<ServiceBatch> buffer;
+  uint64_t batch_seq = 0;
+};
+
+SessionManager::SessionManager(EventStore* store, ServiceLimits limits)
+    : store_(store), limits_(limits) {
+  const int threads =
+      limits_.scan_threads == 0
+          ? std::max(1,
+                     static_cast<int>(std::thread::hardware_concurrency()))
+          : std::clamp(limits_.scan_threads, 1, WorkerPool::kMaxThreads);
+  pool_ = std::make_unique<WorkerPool>(threads);
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+SessionManager::~SessionManager() {
+  Stop();
+  if (scheduler_.joinable()) scheduler_.join();
+}
+
+void SessionManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+    stop_ = true;
+  }
+  sched_cv_.notify_all();
+}
+
+bool SessionManager::draining() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return draining_;
+}
+
+SessionManager::Managed* SessionManager::FindLocked(uint64_t id) {
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second.get();
+}
+
+Result<uint64_t> SessionManager::Admit(std::unique_ptr<Managed> s) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (draining_) {
+    return Status::FailedPrecondition("SRV-E008: server is draining");
+  }
+  if (stats_.live >= static_cast<uint64_t>(limits_.max_live_sessions)) {
+    stats_.admission_rejected_total++;
+    Sm().admission_rejected->Add();
+    return Status::FailedPrecondition(
+        "SRV-E002: session limit reached (" +
+        std::to_string(limits_.max_live_sessions) + " live)");
+  }
+  s->id = next_id_++;
+  s->arrival = arrival_seq_++;
+  // A newcomer inherits the smallest virtual time among running sessions
+  // instead of zero: it gets service promptly (ties break by arrival, so
+  // it runs after the current leaders' next quanta) without being owed
+  // the entire backlog of service the incumbents already consumed.
+  uint64_t min_vtime = 0;
+  bool any = false;
+  for (const auto& [id, other] : sessions_) {
+    (void)id;
+    if (other->state != SessionState::kRunning) continue;
+    min_vtime = any ? std::min(min_vtime, other->vtime) : other->vtime;
+    any = true;
+  }
+  s->vtime = any ? min_vtime : 0;
+  const uint64_t id = s->id;
+  sessions_.emplace(id, std::move(s));
+  stats_.opened_total++;
+  stats_.live++;
+  Sm().sessions_opened->Add();
+  Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
+  sched_cv_.notify_all();
+  return id;
+}
+
+Result<uint64_t> SessionManager::Open(const std::string& bdl_text,
+                                      const OpenOptions& opts) {
+  APTRACE_SPAN("service/open");
+  auto s = std::make_unique<Managed>();
+  s->clock = std::make_unique<SimClock>();
+  s->weight = std::max<uint64_t>(1, opts.weight);
+  s->window_budget = opts.window_budget.value_or(limits_.window_budget);
+  s->sim_budget = opts.sim_budget.value_or(limits_.sim_budget);
+  s->opened_wall = MonotonicNowMicros();
+
+  SessionOptions options;
+  options.scan_threads = opts.scan_threads != 0
+                             ? opts.scan_threads
+                             : limits_.session_scan_threads;
+  options.shared_scan_pool = pool_.get();
+  s->session =
+      std::make_unique<Session>(store_, s->clock.get(), options);
+
+  std::optional<Event> start_override;
+  if (opts.start_event.has_value()) {
+    if (*opts.start_event >= store_->NumEvents()) {
+      return Status::InvalidArgument("SRV-E004: start_event " +
+                                     std::to_string(*opts.start_event) +
+                                     " out of range");
+    }
+    start_override = store_->Get(*opts.start_event);
+  }
+  {
+    // Start-point resolution scans the store; serialize against the
+    // scheduler's between-quanta ingest appends.
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    if (auto st = s->session->Start(bdl_text, start_override); !st.ok()) {
+      return Status::InvalidArgument("SRV-E004: " + st.message());
+    }
+  }
+  return Admit(std::move(s));
+}
+
+Result<uint64_t> SessionManager::Resume(const std::string& path,
+                                        const OpenOptions& opts) {
+  APTRACE_SPAN("service/resume");
+  auto s = std::make_unique<Managed>();
+  s->clock = std::make_unique<SimClock>();
+  s->weight = std::max<uint64_t>(1, opts.weight);
+  s->window_budget = opts.window_budget.value_or(limits_.window_budget);
+  s->sim_budget = opts.sim_budget.value_or(limits_.sim_budget);
+  s->opened_wall = MonotonicNowMicros();
+
+  SessionOptions options;
+  options.scan_threads = opts.scan_threads != 0
+                             ? opts.scan_threads
+                             : limits_.session_scan_threads;
+  options.shared_scan_pool = pool_.get();
+  s->session =
+      std::make_unique<Session>(store_, s->clock.get(), options);
+  {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    if (auto st = s->session->LoadCheckpoint(path); !st.ok()) {
+      return Status::InvalidArgument("SRV-E009: " + st.message());
+    }
+  }
+  return Admit(std::move(s));
+}
+
+Result<PollResult> SessionManager::Poll(uint64_t id, uint64_t cursor,
+                                        size_t max_batches) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Managed* s = FindLocked(id);
+  if (s == nullptr) {
+    return Status::NotFound("SRV-E003: unknown session " +
+                            std::to_string(id));
+  }
+  // Batches below the cursor are acknowledged: drop them, which is what
+  // unstalls a session the scheduler parked on a full buffer.
+  const bool was_full = s->buffer.size() >= limits_.update_buffer_cap;
+  while (!s->buffer.empty() && s->buffer.front().seq < cursor) {
+    s->buffer.pop_front();
+  }
+  if (was_full && s->buffer.size() < limits_.update_buffer_cap) {
+    sched_cv_.notify_all();
+  }
+  PollResult r;
+  r.state = s->state;
+  r.detail = s->detail;
+  r.terminal = s->state != SessionState::kRunning;
+  const size_t want = max_batches == 0 ? s->buffer.size() : max_batches;
+  for (const ServiceBatch& b : s->buffer) {
+    if (r.batches.size() >= want) break;
+    r.batches.push_back(b);
+  }
+  r.next_cursor =
+      r.batches.empty() ? cursor : r.batches.back().seq + 1;
+  r.snapshot = s->session->Snapshot();
+  return r;
+}
+
+Status SessionManager::Cancel(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Managed* s = FindLocked(id);
+  if (s == nullptr) {
+    return Status::NotFound("SRV-E003: unknown session " +
+                            std::to_string(id));
+  }
+  if (s->state != SessionState::kRunning) return Status::Ok();  // no-op
+  s->cancel_requested = true;
+  if (!s->quantum_active) {
+    // Not on the CPU: finalize here; otherwise the scheduler finalizes
+    // when should_stop ends the in-flight quantum.
+    s->state = SessionState::kCancelled;
+    s->detail = "cancelled";
+    stats_.cancelled++;
+    stats_.live--;
+    Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
+    idle_cv_.notify_all();
+  }
+  sched_cv_.notify_all();
+  return Status::Ok();
+}
+
+Result<std::string> SessionManager::GraphJson(uint64_t id) {
+  Managed* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = FindLocked(id);
+    if (s == nullptr) {
+      return Status::NotFound("SRV-E003: unknown session " +
+                              std::to_string(id));
+    }
+  }
+  // exec_mu waits out an in-flight quantum, so the graph is at a window
+  // boundary; the catalog is immutable (ingest never adds objects).
+  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  std::ostringstream os;
+  WriteGraphJson(s->session->engine()->graph(), store_->catalog(), os);
+  return os.str();
+}
+
+Result<SessionSnapshot> SessionManager::Snapshot(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Managed* s = FindLocked(id);
+  if (s == nullptr) {
+    return Status::NotFound("SRV-E003: unknown session " +
+                            std::to_string(id));
+  }
+  return s->session->Snapshot();
+}
+
+Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
+  Managed* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = FindLocked(id);
+    if (s == nullptr) {
+      return Status::NotFound("SRV-E003: unknown session " +
+                              std::to_string(id));
+    }
+    if (s->state != SessionState::kRunning) {
+      return Status::FailedPrecondition(
+          std::string("SRV-E005: cannot checkpoint a ") +
+          SessionStateName(s->state) + " session");
+    }
+  }
+  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  if (auto st = s->session->SaveCheckpoint(path); !st.ok()) {
+    return Status::Internal("SRV-E009: " + st.message());
+  }
+  return Status::Ok();
+}
+
+Status SessionManager::ValidateEvent(const Event& e) const {
+  const ObjectCatalog& catalog = store_->catalog();
+  if (e.subject >= catalog.size() || e.object >= catalog.size()) {
+    return Status::InvalidArgument(
+        "SRV-E007: event references an unknown object");
+  }
+  if (e.host != kInvalidHostId && e.host >= catalog.NumHosts()) {
+    return Status::InvalidArgument(
+        "SRV-E007: event references an unknown host");
+  }
+  if (static_cast<uint8_t>(e.action) > static_cast<uint8_t>(
+                                           ActionType::kDelete) ||
+      static_cast<uint8_t>(e.direction) > 1) {
+    return Status::InvalidArgument(
+        "SRV-E007: event has an invalid action or direction");
+  }
+  return Status::Ok();
+}
+
+Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
+  APTRACE_SPAN("service/ingest");
+  // Validation reads only the immutable catalog — no lock needed. The
+  // whole batch is rejected on the first invalid row so a partial batch
+  // never lands.
+  for (const Event& e : events) {
+    if (auto st = ValidateEvent(e); !st.ok()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      stats_.ingest_rejected_total += events.size();
+      Sm().ingest_rejected->Add(events.size());
+      return st;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      return Status::FailedPrecondition("SRV-E008: server is draining");
+    }
+    if (ingest_queue_.size() + events.size() > limits_.ingest_queue_cap) {
+      stats_.ingest_rejected_total += events.size();
+      Sm().ingest_rejected->Add(events.size());
+      return Status::FailedPrecondition(
+          "SRV-E007: ingest queue full (" +
+          std::to_string(limits_.ingest_queue_cap) + " events)");
+    }
+    for (Event& e : events) ingest_queue_.push_back(std::move(e));
+    stats_.ingest_queue_depth = ingest_queue_.size();
+  }
+  sched_cv_.notify_all();
+  return events.size();
+}
+
+ServiceStats SessionManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+bool SessionManager::WaitAllTerminal(uint64_t timeout_micros) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return idle_cv_.wait_for(lock, std::chrono::microseconds(timeout_micros),
+                           [this] { return stats_.live == 0; });
+}
+
+SessionManager::Managed* SessionManager::PickNextLocked() {
+  Managed* best = nullptr;
+  for (const auto& [id, s] : sessions_) {
+    (void)id;
+    if (s->state != SessionState::kRunning) continue;
+    if (s->buffer.size() >= limits_.update_buffer_cap &&
+        !s->cancel_requested) {
+      continue;  // backpressured: wait for a poll to drain the buffer
+    }
+    if (best == nullptr || s->vtime < best->vtime ||
+        (s->vtime == best->vtime && s->arrival < best->arrival)) {
+      best = s.get();
+    }
+  }
+  return best;
+}
+
+void SessionManager::SchedulerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!ingest_queue_.empty()) {
+      // Between quanta the shared pool is idle (Run ends on a WaitIdle
+      // barrier), so this is the externally synchronized moment the
+      // post-seal Append contract requires.
+      lock.unlock();
+      ApplyIngest();
+      lock.lock();
+      continue;
+    }
+    if (stop_) break;
+    Managed* next = PickNextLocked();
+    if (next == nullptr) {
+      idle_cv_.notify_all();
+      sched_cv_.wait(lock, [this] {
+        return stop_ || !ingest_queue_.empty() ||
+               PickNextLocked() != nullptr;
+      });
+      continue;
+    }
+    next->quantum_active = true;
+    lock.unlock();
+    RunQuantum(next);
+    lock.lock();
+    next->quantum_active = false;
+    idle_cv_.notify_all();
+  }
+  idle_cv_.notify_all();
+}
+
+void SessionManager::RunQuantum(Managed* s) {
+  APTRACE_SPAN("service/quantum");
+  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (s->state != SessionState::kRunning) return;
+    if (s->cancel_requested) {
+      s->state = SessionState::kCancelled;
+      s->detail = "cancelled";
+      stats_.cancelled++;
+      stats_.live--;
+      Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
+      return;
+    }
+    s->stalled_on_buffer = false;
+  }
+
+  const uint64_t start_work = s->session->stats().work_units;
+  const TimeMicros start_sim = s->clock->NowMicros();
+
+  RunLimits limits;
+  limits.should_stop = [this, s, start_work] {
+    // Engine-side checks first (same thread as the engine, no locks):
+    // the quantum bound and the service budgets.
+    const RunStats& rs = s->session->stats();
+    if (rs.work_units - start_work >= limits_.quantum_windows) return true;
+    if (s->window_budget != 0 && rs.work_units >= s->window_budget) {
+      return true;
+    }
+    if (s->sim_budget != 0 && s->clock->NowMicros() >= s->sim_budget) {
+      return true;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_ || s->cancel_requested) return true;
+    if (s->buffer.size() >= limits_.update_buffer_cap) {
+      s->stalled_on_buffer = true;
+      return true;
+    }
+    return false;
+  };
+  limits.on_update = [this, s](const UpdateBatch& b) {
+    std::lock_guard<std::mutex> lock(mu_);
+    s->buffer.push_back(ServiceBatch{s->batch_seq++, b});
+    if (!s->first_update_seen) {
+      s->first_update_seen = true;
+      Sm().first_update_latency->Observe(
+          MicrosToSeconds(MonotonicNowMicros() - s->opened_wall));
+    }
+  };
+
+  const auto reason = s->session->Step(limits);
+  Sm().quanta->Add();
+
+  const uint64_t end_work = s->session->stats().work_units;
+  const TimeMicros end_sim = s->clock->NowMicros();
+  const bool window_budget_hit =
+      s->window_budget != 0 && end_work >= s->window_budget;
+  const bool sim_budget_hit =
+      s->sim_budget != 0 && end_sim >= s->sim_budget;
+
+  SessionState new_state = SessionState::kRunning;
+  std::string detail = "running";
+  bool cancelled = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancelled = s->cancel_requested;
+  }
+  if (!reason.ok()) {
+    new_state = SessionState::kFailed;
+    detail = reason.status().message();
+  } else if (cancelled) {
+    new_state = SessionState::kCancelled;
+    detail = "cancelled";
+  } else if (reason.value() == StopReason::kCompleted ||
+             reason.value() == StopReason::kTimeBudget) {
+    // Terminal exactly as `aptrace run` would be: finalize (prune to
+    // matched paths) so the served graph is byte-identical to the CLI's.
+    if (auto st = s->session->Finish(/*prune_to_matched_paths=*/true);
+        !st.ok()) {
+      new_state = SessionState::kFailed;
+      detail = st.message();
+    } else {
+      new_state = SessionState::kDone;
+      detail = StopReasonName(reason.value());
+    }
+  } else if (window_budget_hit) {
+    new_state = SessionState::kBudget;
+    detail = "window_budget_exhausted";
+  } else if (sim_budget_hit) {
+    new_state = SessionState::kBudget;
+    detail = "sim_budget_exhausted";
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  // Charge consumed virtual time (at least one tick so zero-cost quanta
+  // cannot pin the schedule).
+  const uint64_t consumed =
+      static_cast<uint64_t>(std::max<DurationMicros>(1, end_sim - start_sim));
+  s->vtime += std::max<uint64_t>(1, consumed / s->weight);
+  stats_.quanta_total++;
+  if (s->stalled_on_buffer && new_state == SessionState::kRunning) {
+    stats_.backpressure_stalls_total++;
+    Sm().backpressure_stalls->Add();
+  }
+  if (new_state != SessionState::kRunning) {
+    s->state = new_state;
+    s->detail = detail;
+    stats_.live--;
+    Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
+    switch (new_state) {
+      case SessionState::kDone:
+        stats_.done++;
+        break;
+      case SessionState::kCancelled:
+        stats_.cancelled++;
+        break;
+      case SessionState::kBudget:
+        stats_.budget_exhausted++;
+        break;
+      case SessionState::kFailed:
+        stats_.failed++;
+        break;
+      case SessionState::kRunning:
+        break;
+    }
+  }
+}
+
+void SessionManager::ApplyIngest() {
+  APTRACE_SPAN("service/apply_ingest");
+  std::deque<Event> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch.swap(ingest_queue_);
+    stats_.ingest_queue_depth = 0;
+  }
+  if (batch.empty()) return;
+  {
+    std::lock_guard<std::mutex> store_lock(store_mu_);
+    for (Event& e : batch) store_->Append(std::move(e));
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.ingested_total += batch.size();
+  }
+  Sm().ingest_events->Add(batch.size());
+  APTRACE_LOG(Debug) << "service: ingested " << batch.size() << " events";
+}
+
+}  // namespace aptrace::service

@@ -1,0 +1,250 @@
+#ifndef APTRACE_SERVICE_SESSION_MANAGER_H_
+#define APTRACE_SERVICE_SESSION_MANAGER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "storage/event_store.h"
+#include "util/clock.h"
+#include "util/status.h"
+#include "util/worker_pool.h"
+
+namespace aptrace::service {
+
+/// Admission-control and scheduling knobs of the daemon. Every rejection
+/// they cause carries an SRV-E0xx code (docs/service.md lists them all).
+struct ServiceLimits {
+  /// Live (still running) sessions admitted at once; further `open`
+  /// requests are rejected with SRV-E002.
+  int max_live_sessions = 8;
+
+  /// Windows one session may process per scheduling quantum before the
+  /// scheduler re-picks the globally neediest session.
+  uint64_t quantum_windows = 8;
+
+  /// Default per-session budgets, overridable (downward only is NOT
+  /// enforced — the daemon trusts its operator, not its clients) per
+  /// `open` request. 0 = unlimited. A session that exhausts a budget
+  /// terminates in state "budget" with detail naming the budget.
+  uint64_t window_budget = 0;
+  DurationMicros sim_budget = 0;
+
+  /// Undelivered update batches buffered per session before the scheduler
+  /// stops scheduling it (backpressure; it resumes as polls drain the
+  /// buffer). Never rejects — it only stalls.
+  size_t update_buffer_cap = 256;
+
+  /// Pending live-ingest events buffered before `ingest` requests are
+  /// rejected with SRV-E007.
+  size_t ingest_queue_cap = 4096;
+
+  /// Shared scan-worker pool width (0 = hardware concurrency). All
+  /// sessions' prefetch pipelines multiplex onto this one pool.
+  int scan_threads = 0;
+
+  /// Default ctx.scan_threads for hosted sessions (overridable per open).
+  /// Affects only the modeled-makespan accounting — results are
+  /// bit-identical at any value.
+  int session_scan_threads = 1;
+};
+
+/// Terminal and live states of a hosted session.
+enum class SessionState : uint8_t {
+  kRunning,    // schedulable (or stalled on backpressure)
+  kDone,       // engine finished; graph finalized (pruned) and frozen
+  kCancelled,  // client cancel; partial graph frozen
+  kBudget,     // service budget exhausted; partial graph frozen
+  kFailed,     // engine error; detail carries the message
+};
+
+const char* SessionStateName(SessionState s);
+
+/// One update batch as streamed to clients, tagged with a per-session
+/// monotonically increasing sequence number (the poll cursor).
+struct ServiceBatch {
+  uint64_t seq = 0;
+  UpdateBatch batch;
+};
+
+/// What `poll` returns: the batches after the client's cursor plus a
+/// consistent progress snapshot.
+struct PollResult {
+  SessionState state = SessionState::kRunning;
+  std::string detail;
+  bool terminal = false;
+  uint64_t next_cursor = 0;
+  std::vector<ServiceBatch> batches;
+  SessionSnapshot snapshot;
+};
+
+/// Per-open overrides of the service defaults.
+struct OpenOptions {
+  uint64_t weight = 1;  // fair-share weight; higher = larger share
+  int scan_threads = 0;  // 0 = ServiceLimits::session_scan_threads
+  std::optional<uint64_t> window_budget;
+  std::optional<DurationMicros> sim_budget;
+  std::optional<EventId> start_event;  // explicit alert event
+};
+
+/// Aggregate service counters, snapshotted under one mutex (the
+/// StoreStats pattern), so `stats` responses are never torn.
+struct ServiceStats {
+  uint64_t opened_total = 0;
+  uint64_t live = 0;
+  uint64_t done = 0;
+  uint64_t cancelled = 0;
+  uint64_t budget_exhausted = 0;
+  uint64_t failed = 0;
+  uint64_t admission_rejected_total = 0;
+  uint64_t quanta_total = 0;
+  uint64_t backpressure_stalls_total = 0;
+  uint64_t ingested_total = 0;
+  uint64_t ingest_rejected_total = 0;
+  uint64_t ingest_queue_depth = 0;
+};
+
+/// Owns every concurrently tracked session of the daemon and the one
+/// scheduler thread that advances them (the tentpole of the service
+/// layer; docs/service.md describes the model in full).
+///
+/// Fair-share scheduling: conceptually the scheduler pops the globally
+/// highest-priority execution window across all live sessions. Windows
+/// within a session are already totally ordered by its WindowQueue, so
+/// the cross-session choice reduces to picking which session's
+/// front-of-queue to run next; the scheduler picks the session with the
+/// smallest consumed-simulated-cost / weight (stride scheduling over
+/// virtual time, arrival order breaking ties) and runs it for one bounded
+/// quantum of `quantum_windows` windows on the shared WorkerPool. A
+/// session whose client stops polling stalls on its full update buffer
+/// and cedes the whole machine to the others.
+///
+/// Determinism: each session owns a private SimClock and its engine state
+/// never observes the interleaving (a quantum is just a should_stop-
+/// bounded Session::Step), so a daemon-hosted session produces a graph
+/// bit-identical to the same script run via `aptrace run` — at any
+/// thread count, on either storage backend
+/// (tests/service_differential_test.cc enforces this).
+///
+/// Live ingestion: Ingest() validates and buffers events; the scheduler
+/// appends them to the sealed store between quanta, when the shared pool
+/// is idle and no scan can race the append (the external synchronization
+/// the post-seal Append contract requires). Running sessions' resolved
+/// time ranges are fixed at open, so their results are unaffected;
+/// sessions opened after an append see the new events.
+///
+/// Thread-safety: every public method may be called from any connection
+/// thread. Lock order: a session's exec_mu (engine access) before the
+/// manager mutex; the store mutex (ingest vs open resolution) is leaf.
+class SessionManager {
+ public:
+  /// The store must be sealed and outlive the manager.
+  SessionManager(EventStore* store, ServiceLimits limits);
+
+  /// Stop() + joins the scheduler.
+  ~SessionManager();
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Compiles and admits a new tracking session; returns its id.
+  /// Failures: SRV-E002 (admission), SRV-E004 (compile/start), SRV-E008
+  /// (draining).
+  Result<uint64_t> Open(const std::string& bdl_text, const OpenOptions& opts);
+
+  /// Re-admits a checkpointed session from `path` (same admission rules
+  /// as Open; SRV-E009 on checkpoint I/O or parse failure).
+  Result<uint64_t> Resume(const std::string& path, const OpenOptions& opts);
+
+  /// Batches newer than `cursor` plus current state. SRV-E003 on an
+  /// unknown id. Delivered batches are dropped from the buffer, which
+  /// unstalls a backpressured session.
+  Result<PollResult> Poll(uint64_t id, uint64_t cursor, size_t max_batches);
+
+  /// Stops a running session at the next window boundary (SRV-E003
+  /// unknown id; cancelling a terminal session is a no-op).
+  Status Cancel(uint64_t id);
+
+  /// Serializes the session's current dependency graph as canonical
+  /// graph JSON (graph/json_writer.h) — the bytes `aptrace run` would
+  /// write. Waits for an in-flight quantum to end. SRV-E003 unknown id.
+  Result<std::string> GraphJson(uint64_t id);
+
+  /// Consistent progress snapshot (never torn; see SessionSnapshot).
+  Result<SessionSnapshot> Snapshot(uint64_t id);
+
+  /// Persists a paused session to `path` (core checkpoint format).
+  /// SRV-E003 unknown id; SRV-E005 terminal session; SRV-E009 I/O error.
+  Status Checkpoint(uint64_t id, const std::string& path);
+
+  /// Validates and buffers live events for the scheduler to append
+  /// between quanta. SRV-E007 on a full queue or invalid rows (the whole
+  /// batch is rejected — no partial ingest), SRV-E008 when draining.
+  /// Returns the number of buffered events.
+  Result<size_t> Ingest(std::vector<Event> events);
+
+  ServiceStats stats() const;
+
+  /// Graceful drain: stop admitting (SRV-E008), finish the in-flight
+  /// quantum, apply already-accepted ingest, stop the scheduler. Running
+  /// sessions stay paused and resumable via Checkpoint. Idempotent.
+  void Stop();
+
+  bool draining() const;
+
+  /// Blocks until every admitted session reaches a terminal state or
+  /// `timeout_micros` of wall time passes (0 = poll once). Test helper
+  /// and drain aid; returns true when all sessions are terminal.
+  bool WaitAllTerminal(uint64_t timeout_micros);
+
+ private:
+  struct Managed;
+
+  void SchedulerLoop();
+  /// Runs one quantum of `s`. Called with no locks held; takes exec_mu.
+  void RunQuantum(Managed* s);
+  /// Picks the runnable session with minimal (vtime, arrival); nullptr
+  /// when none. Caller holds mu_.
+  Managed* PickNextLocked();
+  /// Appends all buffered ingest events. Called from the scheduler with
+  /// no locks held, between quanta.
+  void ApplyIngest();
+  Result<uint64_t> Admit(std::unique_ptr<Managed> s);
+  /// Looks up a session id. Sessions are never erased, so the returned
+  /// pointer stays valid for the manager's lifetime.
+  Managed* FindLocked(uint64_t id);
+  Status ValidateEvent(const Event& e) const;
+
+  EventStore* store_;
+  const ServiceLimits limits_;
+  std::unique_ptr<WorkerPool> pool_;
+
+  mutable std::mutex mu_;
+  std::condition_variable sched_cv_;   // wakes the scheduler
+  std::condition_variable idle_cv_;    // WaitAllTerminal / Stop waiters
+  std::map<uint64_t, std::unique_ptr<Managed>> sessions_;
+  std::deque<Event> ingest_queue_;
+  uint64_t next_id_ = 1;
+  uint64_t arrival_seq_ = 0;
+  bool stop_ = false;
+  bool draining_ = false;
+  ServiceStats stats_;
+
+  /// Serializes store mutation (ingest apply) against store reads outside
+  /// quanta (open-time context resolution). Leaf lock.
+  std::mutex store_mu_;
+
+  std::thread scheduler_;
+};
+
+}  // namespace aptrace::service
+
+#endif  // APTRACE_SERVICE_SESSION_MANAGER_H_

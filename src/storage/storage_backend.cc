@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "util/env.h"
 
 namespace aptrace {
 
@@ -27,11 +28,13 @@ std::optional<StorageBackendKind> ParseStorageBackendKind(
 }
 
 StorageBackendKind DefaultStorageBackendKind() {
-  const char* env = std::getenv("APTRACE_BACKEND");
-  if (env != nullptr) {
-    const auto parsed = ParseStorageBackendKind(env);
-    if (parsed.has_value()) return *parsed;
-  }
+  const auto value = GetValidatedEnv(
+      kEnvBackend,
+      [](const std::string& v) {
+        return ParseStorageBackendKind(v).has_value();
+      },
+      "'row' or 'columnar'");
+  if (value.has_value()) return *ParseStorageBackendKind(*value);
   return StorageBackendKind::kRow;
 }
 

@@ -1,0 +1,61 @@
+#include "util/env.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <set>
+
+namespace aptrace {
+
+namespace {
+
+struct WarnOnceState {
+  std::mutex mu;
+  std::set<std::string> warned;  // variable names already diagnosed
+  uint64_t count = 0;
+};
+
+WarnOnceState& Warnings() {
+  static WarnOnceState* state = new WarnOnceState;
+  return *state;
+}
+
+}  // namespace
+
+std::optional<std::string> GetEnv(const char* name) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+std::optional<std::string> GetValidatedEnv(
+    const char* name, const std::function<bool(const std::string&)>& valid,
+    const char* expected) {
+  auto value = GetEnv(name);
+  if (!value.has_value()) return std::nullopt;
+  if (valid(*value)) return value;
+  WarnOnceState& state = Warnings();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (state.warned.insert(name).second) {
+    state.count++;
+    std::fprintf(stderr,
+                 "warning: %s: invalid value '%s' (expected %s); using the "
+                 "built-in default\n",
+                 name, value->c_str(), expected);
+  }
+  return std::nullopt;
+}
+
+uint64_t EnvWarningCountForTest() {
+  WarnOnceState& state = Warnings();
+  std::lock_guard<std::mutex> lock(state.mu);
+  return state.count;
+}
+
+void ResetEnvWarningsForTest() {
+  WarnOnceState& state = Warnings();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.warned.clear();
+}
+
+}  // namespace aptrace

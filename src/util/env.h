@@ -1,0 +1,46 @@
+#ifndef APTRACE_UTIL_ENV_H_
+#define APTRACE_UTIL_ENV_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+namespace aptrace {
+
+/// The environment knobs the library and tools honor, in one place so the
+/// docs, the tools' --help text, and the call sites agree on spelling:
+///   APTRACE_BACKEND        default storage backend ("row" | "columnar")
+///   APTRACE_LOG_LEVEL      log threshold ("debug" ... "off", or 0-4)
+///   APTRACE_SERVER_SOCKET  default unix-socket path for aptrace_serverd
+///                          and aptrace_client
+inline constexpr char kEnvBackend[] = "APTRACE_BACKEND";
+inline constexpr char kEnvLogLevel[] = "APTRACE_LOG_LEVEL";
+inline constexpr char kEnvServerSocket[] = "APTRACE_SERVER_SOCKET";
+
+/// Raw environment read; nullopt when unset. Empty values count as set.
+std::optional<std::string> GetEnv(const char* name);
+
+/// Validated environment read: returns the value when `valid(value)`
+/// holds. When the variable is set but invalid, emits one warning per
+/// process per variable on stderr — naming the variable, the rejected
+/// value, and `expected` — and returns nullopt so the caller falls back
+/// to its default *visibly* instead of silently. Unset returns nullopt
+/// with no warning.
+///
+/// Deliberately writes with std::fprintf rather than APTRACE_LOG: the
+/// logging layer itself initializes from APTRACE_LOG_LEVEL through this
+/// helper, and a warning must not depend on the (possibly misconfigured)
+/// log threshold it is diagnosing.
+std::optional<std::string> GetValidatedEnv(
+    const char* name, const std::function<bool(const std::string&)>& valid,
+    const char* expected);
+
+/// Number of invalid-value warnings emitted so far, and a reset of the
+/// warn-once memory — for tests asserting the warn-once contract.
+uint64_t EnvWarningCountForTest();
+void ResetEnvWarningsForTest();
+
+}  // namespace aptrace
+
+#endif  // APTRACE_UTIL_ENV_H_

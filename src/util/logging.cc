@@ -7,6 +7,7 @@
 #include <cstring>
 #include <ctime>
 
+#include "util/env.h"
 #include "util/string_util.h"
 
 namespace aptrace {
@@ -14,10 +15,12 @@ namespace aptrace {
 namespace {
 
 int InitialLevel() {
-  const char* env = std::getenv("APTRACE_LOG_LEVEL");
-  if (env == nullptr) return static_cast<int>(LogLevel::kWarning);
-  const auto parsed = ParseLogLevel(env);
-  return static_cast<int>(parsed.value_or(LogLevel::kWarning));
+  const auto value = GetValidatedEnv(
+      kEnvLogLevel,
+      [](const std::string& v) { return ParseLogLevel(v).has_value(); },
+      "debug|info|warning|error|off or 0-4");
+  if (!value.has_value()) return static_cast<int>(LogLevel::kWarning);
+  return static_cast<int>(*ParseLogLevel(*value));
 }
 
 std::atomic<int> g_level{InitialLevel()};

@@ -27,6 +27,17 @@ bool WorkerPool::Submit(std::function<void()> task) {
   return true;
 }
 
+bool WorkerPool::TrySubmit(std::function<void()> task, size_t max_pending) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!accepting_) return false;
+    if (queue_.size() >= max_pending) return false;
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+  return true;
+}
+
 void WorkerPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });

@@ -201,3 +201,109 @@ execute_process(
 if(NOT rc EQUAL 1 OR NOT err MATCHES "not running")
   message(FATAL_ERROR "run --lint --werror should refuse: rc=${rc} ${err}")
 endif()
+
+# ---------------------------------------------------------------- serverd
+# Daemon smoke: start aptrace_serverd on a unix socket over the exported
+# trace, drive it with aptrace_client, and check the tentpole invariant —
+# a daemon-served `run` writes graph JSON byte-identical to `aptrace run`.
+set(SOCKET ${WORKDIR}/serverd.sock)
+set(SRVLOG ${WORKDIR}/serverd.log)
+file(REMOVE ${SOCKET} ${SRVLOG})
+execute_process(
+  COMMAND sh -c "'${SERVERD}' --trace='${WORKDIR}/a2.tsv' --socket='${SOCKET}' \
+                 > '${SRVLOG}' 2>&1 & echo $! > '${WORKDIR}/serverd.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch serverd: rc=${rc}")
+endif()
+file(READ ${WORKDIR}/serverd.pid SERVERD_PID)
+string(STRIP "${SERVERD_PID}" SERVERD_PID)
+
+# Wait (up to ~10s) for the daemon to announce readiness.
+set(ready FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${SRVLOG})
+    file(READ ${SRVLOG} srvlog)
+    if(srvlog MATCHES "serverd: ready")
+      set(ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT ready)
+  file(READ ${SRVLOG} srvlog)
+  message(FATAL_ERROR "serverd never became ready: ${srvlog}")
+endif()
+
+# The tentpole invariant: served graph bytes == CLI graph bytes.
+execute_process(
+  COMMAND ${CLIENT} run --socket=${SOCKET} --script=${WORKDIR}/a2.tsv.bdl
+          --json=${WORKDIR}/served.json --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/served.json)
+  message(FATAL_ERROR "client run failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORKDIR}/row.json ${WORKDIR}/served.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "daemon-served graph JSON differs from `aptrace run`")
+endif()
+
+# Session lifecycle over the wire: open, poll, cancel.
+execute_process(
+  COMMAND ${CLIENT} open --socket=${SOCKET} --script=${WORKDIR}/a2.tsv.bdl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"session\":([0-9]+)")
+  message(FATAL_ERROR "client open failed: rc=${rc} ${out}")
+endif()
+set(SESSION ${CMAKE_MATCH_1})
+execute_process(
+  COMMAND ${CLIENT} poll --socket=${SOCKET} --session=${SESSION}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"ok\":true")
+  message(FATAL_ERROR "client poll failed: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} cancel --socket=${SOCKET} --session=${SESSION}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "client cancel failed: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} stats --socket=${SOCKET}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"cancelled\":1")
+  message(FATAL_ERROR "client stats missing cancelled count: rc=${rc} ${out}")
+endif()
+
+# Unknown sessions surface the documented error code and a nonzero exit.
+execute_process(
+  COMMAND ${CLIENT} poll --socket=${SOCKET} --session=9999
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(rc EQUAL 0 OR NOT out MATCHES "SRV-E003")
+  message(FATAL_ERROR "poll of unknown session should fail with SRV-E003: rc=${rc} ${out}")
+endif()
+
+# Graceful shutdown: the client op drains the daemon and the process exits.
+execute_process(
+  COMMAND ${CLIENT} shutdown --socket=${SOCKET}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"draining\":true")
+  message(FATAL_ERROR "client shutdown failed: rc=${rc} ${out}")
+endif()
+set(drained FALSE)
+foreach(attempt RANGE 100)
+  file(READ ${SRVLOG} srvlog)
+  if(srvlog MATCHES "serverd: drained")
+    set(drained TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT drained)
+  execute_process(COMMAND sh -c "kill ${SERVERD_PID} 2>/dev/null")
+  file(READ ${SRVLOG} srvlog)
+  message(FATAL_ERROR "serverd did not drain after shutdown op: ${srvlog}")
+endif()

@@ -11,6 +11,8 @@
 #include <vector>
 
 #include "core/engine.h"
+#include "service/session_manager.h"
+#include "util/worker_pool.h"
 #include "workload/enterprise.h"
 
 namespace aptrace {
@@ -195,6 +197,121 @@ TEST(ConcurrencyTest, StatsSnapshotsAreConsistentAndMonotonic) {
     prev = &s;
   }
   EXPECT_GT(snapshots.back().queries, 0u);
+}
+
+// TrySubmit racing Shutdown: the valve must cleanly return false once
+// the pool stops, never crash or leak a queued-but-dropped task count.
+TEST(ConcurrencyTest, TrySubmitRacesShutdownSafely) {
+  for (int round = 0; round < 8; ++round) {
+    WorkerPool pool(2);
+    std::atomic<int> accepted{0};
+    std::atomic<int> ran{0};
+    std::vector<std::thread> submitters;
+    for (int s = 0; s < 4; ++s) {
+      submitters.emplace_back([&] {
+        for (int i = 0; i < 200; ++i) {
+          if (pool.TrySubmit([&ran] { ran.fetch_add(1); }, 64)) {
+            accepted.fetch_add(1);
+          }
+        }
+      });
+    }
+    pool.Shutdown(/*run_pending=*/true);
+    for (auto& s : submitters) s.join();
+    // Everything accepted before the shutdown drain ran to completion;
+    // nothing accepted afterwards (Shutdown(run_pending) drains fully).
+    EXPECT_EQ(ran.load(), accepted.load()) << "round " << round;
+  }
+}
+
+// Session::Snapshot is documented tear-free and callable from a thread
+// other than the one driving Step(); TSan checks the synchronization,
+// we check the monotonic-progress invariant across reads.
+TEST(ConcurrencyTest, SnapshotReadableWhileStepping) {
+  workload::TraceConfig config = workload::TraceConfig::Small();
+  config.num_hosts = 3;
+  auto store = workload::BuildEnterpriseTrace(config);
+  const auto alerts = workload::SampleAnomalyEvents(*store, 1, 23);
+  ASSERT_FALSE(alerts.empty());
+
+  SimClock clock;
+  Session session(store.get(), &clock);
+  const auto spec = workload::GenericSpecFor(*store, alerts[0]);
+  ASSERT_TRUE(session.StartWithSpec(spec, alerts[0]).ok());
+
+  std::atomic<bool> done{false};
+  std::thread reader([&] {
+    size_t last_edges = 0;
+    uint64_t last_work = 0;
+    while (!done.load(std::memory_order_relaxed)) {
+      const SessionSnapshot snap = session.Snapshot();
+      EXPECT_TRUE(snap.started);
+      EXPECT_GE(snap.graph_edges, last_edges);
+      EXPECT_GE(snap.work_units, last_work);
+      last_edges = snap.graph_edges;
+      last_work = snap.work_units;
+    }
+  });
+
+  RunLimits limits;
+  limits.sim_time = 10 * kMicrosPerMinute;
+  EXPECT_TRUE(session.Step(limits).ok());
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+  EXPECT_GT(session.Snapshot().work_units, 0u);
+}
+
+// Client-facing SessionManager entry points hammered from several
+// threads while the scheduler interleaves the sessions' quanta. Poll,
+// stats, and cancel must all stay well-formed mid-flight.
+TEST(ConcurrencyTest, ServiceOpsRaceTheScheduler) {
+  workload::TraceConfig config = workload::TraceConfig::Small();
+  config.num_hosts = 3;
+  auto store = workload::BuildEnterpriseTrace(config);
+  const auto alerts = workload::SampleAnomalyEvents(*store, 4, 31);
+  ASSERT_GE(alerts.size(), 4u);
+
+  service::ServiceLimits limits;
+  limits.quantum_windows = 2;  // many scheduler passes
+  service::SessionManager manager(store.get(), limits);
+  std::vector<uint64_t> ids;
+  for (const Event& alert : alerts) {
+    service::OpenOptions opts;
+    opts.start_event = alert.id;
+    auto id = manager.Open("backward proc x[] -> *", opts);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ids.push_back(id.value());
+  }
+
+  std::atomic<bool> done{false};
+  std::vector<std::thread> clients;
+  for (size_t c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      uint64_t cursor = 0;
+      while (!done.load(std::memory_order_relaxed)) {
+        const uint64_t id = ids[c % ids.size()];
+        auto p = manager.Poll(id, cursor, 4);
+        if (p.ok()) {
+          cursor = p->next_cursor;
+          EXPECT_TRUE(p->snapshot.started);
+        }
+        const service::ServiceStats stats = manager.stats();
+        EXPECT_LE(stats.done + stats.cancelled + stats.budget_exhausted,
+                  stats.opened_total);
+      }
+    });
+  }
+  // One client cancels a session mid-run; idempotent on repeat.
+  EXPECT_TRUE(manager.Cancel(ids.back()).ok());
+  EXPECT_TRUE(manager.Cancel(ids.back()).ok());
+
+  EXPECT_TRUE(manager.WaitAllTerminal(60'000'000));
+  done.store(true, std::memory_order_relaxed);
+  for (auto& c : clients) c.join();
+
+  const service::ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.live, 0u);
+  EXPECT_EQ(stats.opened_total, ids.size());
 }
 
 }  // namespace

@@ -1,0 +1,109 @@
+// Differential oracle, service axis: N >= 4 tracking sessions served
+// concurrently by the daemon's SessionManager must each produce a final
+// graph byte-identical to a sequential CLI-style run of the same spec —
+// across session scan-thread counts {1, 4} and both storage backends.
+// The cross-session fair-share scheduler interleaves the sessions'
+// quanta arbitrarily; none of that interleaving may leak into results.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/json_writer.h"
+#include "service/session_manager.h"
+#include "tests/random_trace_util.h"
+
+namespace aptrace::service {
+namespace {
+
+/// Sequential reference: plain Session start/step/finish, the exact code
+/// path `aptrace run` drives.
+std::string DirectRunGraph(const RandomTrace& t, const std::string& script,
+                           int scan_threads) {
+  SimClock clock;
+  SessionOptions options;
+  options.scan_threads = scan_threads;
+  Session session(t.store.get(), &clock, options);
+  EXPECT_TRUE(session.Start(script, t.alert).ok());
+  auto reason = session.Step();
+  EXPECT_TRUE(reason.ok()) << reason.status();
+  EXPECT_EQ(reason.value(), StopReason::kCompleted);
+  EXPECT_TRUE(session.Finish(/*prune_to_matched_paths=*/true).ok());
+  std::ostringstream os;
+  WriteGraphJson(session.graph(), t.store->catalog(), os);
+  return os.str();
+}
+
+/// Spec variants exercising the order-sensitive paths (mirrors the
+/// executor differential test's variant list).
+std::vector<std::string> SpecVariants(const RandomTrace& t) {
+  const std::string base = UnconstrainedScript(t);
+  return {
+      base,
+      base + " where file.path != \"*.dll\"",
+      base + " where hop <= 3",
+      base + " where proc.exename != \"svc.exe\" and hop <= 5",
+  };
+}
+
+class ServiceDifferential
+    : public testing::TestWithParam<StorageBackendKind> {};
+
+TEST_P(ServiceDifferential, ConcurrentSessionsBitIdenticalToSequential) {
+  const StorageBackendKind backend = GetParam();
+  for (const int scan_threads : {1, 4}) {
+    const RandomTrace t = MakeRandomTrace(97, 600, backend);
+    const std::vector<std::string> variants = SpecVariants(t);
+
+    // Sequential references first (one at a time, nothing shared).
+    std::vector<std::string> expected;
+    expected.reserve(variants.size());
+    for (const std::string& script : variants) {
+      expected.push_back(DirectRunGraph(t, script, scan_threads));
+    }
+
+    // Then all variants live in the daemon at once, interleaved by the
+    // fair-share scheduler onto one shared worker pool.
+    ServiceLimits limits;
+    limits.quantum_windows = 2;  // force many interleavings
+    limits.scan_threads = 4;
+    SessionManager manager(t.store.get(), limits);
+    std::vector<uint64_t> ids;
+    for (const std::string& script : variants) {
+      OpenOptions opts;
+      opts.start_event = t.alert.id;
+      opts.scan_threads = scan_threads;
+      auto id = manager.Open(script, opts);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(manager.WaitAllTerminal(60'000'000));
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto poll = manager.Poll(ids[i], 0, 0);
+      ASSERT_TRUE(poll.ok());
+      EXPECT_EQ(poll->state, SessionState::kDone)
+          << "variant " << i << ": " << poll->detail;
+      auto graph = manager.GraphJson(ids[i]);
+      ASSERT_TRUE(graph.ok());
+      EXPECT_EQ(graph.value(), expected[i])
+          << "variant " << i << " threads=" << scan_threads << " backend="
+          << StorageBackendName(backend);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, ServiceDifferential,
+                         testing::Values(StorageBackendKind::kRow,
+                                         StorageBackendKind::kColumnar),
+                         [](const auto& info) {
+                           return std::string(
+                               StorageBackendName(info.param));
+                         });
+
+}  // namespace
+}  // namespace aptrace::service

@@ -1,0 +1,238 @@
+// Unit tests for the daemon's wire layer: the JSON request parser
+// (src/service/json.h) and the ProtocolHandler's request routing and
+// SRV-E0xx error mapping (docs/service.md lists the codes).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "service/json.h"
+#include "service/protocol.h"
+#include "service/session_manager.h"
+#include "tests/test_trace.h"
+
+namespace aptrace::service {
+namespace {
+
+// ------------------------------------------------------------ ParseJson
+
+TEST(JsonParserTest, Scalars) {
+  EXPECT_EQ(ParseJson("null").value().kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(ParseJson("true").value().bool_v);
+  EXPECT_FALSE(ParseJson("false").value().bool_v);
+
+  const JsonValue n = ParseJson("42").value();
+  ASSERT_TRUE(n.IsNumber());
+  EXPECT_TRUE(n.is_int);
+  EXPECT_EQ(n.int_v, 42);
+
+  const JsonValue neg = ParseJson("-7").value();
+  EXPECT_EQ(neg.int_v, -7);
+
+  const JsonValue d = ParseJson("2.5e3").value();
+  ASSERT_TRUE(d.IsNumber());
+  EXPECT_FALSE(d.is_int);
+  EXPECT_DOUBLE_EQ(d.num_v, 2500.0);
+
+  const JsonValue s = ParseJson("\"hi\"").value();
+  ASSERT_TRUE(s.IsString());
+  EXPECT_EQ(s.str_v, "hi");
+}
+
+TEST(JsonParserTest, LargeIdsSurviveExactly) {
+  // Event ids are uint64-ish; the exact-integer path must not round.
+  const JsonValue v = ParseJson("{\"id\":9007199254740993}").value();
+  EXPECT_EQ(v.GetInt("id"), 9007199254740993LL);
+  EXPECT_EQ(v.GetUint("id"), 9007199254740993ULL);
+}
+
+TEST(JsonParserTest, StringEscapes) {
+  const JsonValue v =
+      ParseJson("\"a\\\"b\\\\c\\n\\t\\u0041\\u00e9\"").value();
+  EXPECT_EQ(v.str_v, "a\"b\\c\n\tA\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(ParseJson("\"\\ud83d\\ude00\"").value().str_v,
+            "\xf0\x9f\x98\x80");
+  // A lone surrogate degrades to U+FFFD instead of emitting invalid
+  // UTF-8 (the daemon must never echo malformed bytes back on the wire).
+  EXPECT_EQ(ParseJson("\"\\ud83d\"").value().str_v, "\xef\xbf\xbd");
+}
+
+TEST(JsonParserTest, ArraysAndObjects) {
+  const JsonValue v =
+      ParseJson("{\"a\":[1,2,3],\"b\":{\"c\":true},\"a\":\"dup\"}").value();
+  const JsonValue* a = v.Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->IsArray());  // duplicate keys resolve to the first
+  EXPECT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(v.Find("b")->Find("c")->bool_v);
+  EXPECT_EQ(v.Find("missing"), nullptr);
+  EXPECT_EQ(v.GetInt("missing", -1), -1);
+  EXPECT_EQ(v.GetString("missing", "d"), "d");
+}
+
+TEST(JsonParserTest, Errors) {
+  EXPECT_FALSE(ParseJson("").ok());
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("nul").ok());
+  EXPECT_FALSE(ParseJson("1 2").ok());  // trailing non-whitespace
+  EXPECT_TRUE(ParseJson(" 1 ").ok());
+
+  // Depth cap: 100 nested arrays exceeds kMaxDepth.
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(ParseJson(deep).ok());
+}
+
+// ------------------------------------------------------ ProtocolHandler
+
+class ProtocolTest : public testing::Test {
+ protected:
+  ProtocolTest() : trace_(testing_support::MakeMiniTrace()) {
+    ServiceLimits limits;
+    manager_ = std::make_unique<SessionManager>(trace_.store.get(), limits);
+    handler_ = std::make_unique<ProtocolHandler>(manager_.get());
+  }
+
+  /// One request/response exchange, parsed.
+  JsonValue Call(const std::string& line, bool* shutdown = nullptr) {
+    bool unused = false;
+    const std::string response =
+        handler_->HandleLine(line, shutdown ? shutdown : &unused);
+    auto parsed = ParseJson(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? std::move(parsed.value()) : JsonValue{};
+  }
+
+  testing_support::MiniTrace trace_;
+  std::unique_ptr<SessionManager> manager_;
+  std::unique_ptr<ProtocolHandler> handler_;
+};
+
+TEST_F(ProtocolTest, MalformedRequestsReportE001) {
+  EXPECT_EQ(Call("not json").GetString("code"), "SRV-E001");
+  EXPECT_EQ(Call("[1,2]").GetString("code"), "SRV-E001");
+  EXPECT_EQ(Call("{\"op\":\"frobnicate\"}").GetString("code"), "SRV-E001");
+  EXPECT_EQ(Call("{}").GetString("code"), "SRV-E001");
+}
+
+TEST_F(ProtocolTest, OpenBadScriptReportsE004) {
+  const JsonValue r = Call("{\"op\":\"open\",\"bdl\":\"not a script\"}");
+  EXPECT_FALSE(r.GetBool("ok"));
+  EXPECT_EQ(r.GetString("code"), "SRV-E004");
+}
+
+TEST_F(ProtocolTest, UnknownSessionReportsE003) {
+  EXPECT_EQ(Call("{\"op\":\"poll\",\"session\":99}").GetString("code"),
+            "SRV-E003");
+  EXPECT_EQ(Call("{\"op\":\"cancel\",\"session\":99}").GetString("code"),
+            "SRV-E003");
+  EXPECT_EQ(Call("{\"op\":\"graph\",\"session\":99}").GetString("code"),
+            "SRV-E003");
+  EXPECT_EQ(
+      Call("{\"op\":\"checkpoint\",\"session\":99,\"path\":\"/tmp/x\"}")
+          .GetString("code"),
+      "SRV-E003");
+}
+
+TEST_F(ProtocolTest, OpenPollGraphRoundTrip) {
+  const JsonValue opened =
+      Call("{\"op\":\"open\",\"bdl\":\"backward ip x[dst_ip = \\\"185.220.101.45\\\"] -> *\"}");
+  ASSERT_TRUE(opened.GetBool("ok"));
+  const uint64_t id = opened.GetUint("session");
+  ASSERT_GE(id, 1u);
+
+  ASSERT_TRUE(manager_->WaitAllTerminal(10'000'000));
+  const JsonValue polled = Call(
+      "{\"op\":\"poll\",\"session\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(polled.GetBool("ok"));
+  EXPECT_EQ(polled.GetString("state"), "done");
+  EXPECT_TRUE(polled.GetBool("terminal"));
+  const JsonValue* batches = polled.Find("batches");
+  ASSERT_NE(batches, nullptr);
+  ASSERT_TRUE(batches->IsArray());
+  EXPECT_FALSE(batches->items.empty());
+  const JsonValue* snapshot = polled.Find("snapshot");
+  ASSERT_NE(snapshot, nullptr);
+  EXPECT_GT(snapshot->GetUint("graph_edges"), 0u);
+
+  const JsonValue graph = Call(
+      "{\"op\":\"graph\",\"session\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(graph.GetBool("ok"));
+  const std::string bytes = graph.GetString("graph");
+  EXPECT_EQ(bytes.rfind("{", 0), 0u);  // canonical graph JSON object
+  EXPECT_NE(bytes.find("\"edges\""), std::string::npos);
+}
+
+TEST_F(ProtocolTest, StatsWithAndWithoutSession) {
+  const JsonValue service = Call("{\"op\":\"stats\"}");
+  ASSERT_TRUE(service.GetBool("ok"));
+  EXPECT_FALSE(service.GetBool("draining"));
+  EXPECT_EQ(service.GetUint("opened_total"), 0u);
+
+  const JsonValue opened =
+      Call("{\"op\":\"open\",\"bdl\":\"backward ip x[dst_ip = \\\"185.220.101.45\\\"] -> *\"}");
+  const uint64_t id = opened.GetUint("session");
+  const JsonValue per = Call(
+      "{\"op\":\"stats\",\"session\":" + std::to_string(id) + "}");
+  ASSERT_TRUE(per.GetBool("ok"));
+  ASSERT_NE(per.Find("snapshot"), nullptr);
+  EXPECT_TRUE(per.Find("snapshot")->GetBool("started"));
+}
+
+TEST_F(ProtocolTest, IngestParsesActionsAndDirections) {
+  // Action by name, direction defaulted from the action.
+  JsonValue r = Call(
+      "{\"op\":\"ingest\",\"events\":[{\"subject\":0,\"object\":1,"
+      "\"timestamp\":100,\"action\":\"read\"}]}");
+  ASSERT_TRUE(r.GetBool("ok")) << r.GetString("error");
+  EXPECT_EQ(r.GetUint("accepted"), 1u);
+
+  // Action by number, explicit direction by name.
+  r = Call(
+      "{\"op\":\"ingest\",\"events\":[{\"subject\":0,\"object\":1,"
+      "\"timestamp\":101,\"action\":1,\"direction\":\"o2s\"}]}");
+  ASSERT_TRUE(r.GetBool("ok")) << r.GetString("error");
+
+  // Missing required field.
+  r = Call(
+      "{\"op\":\"ingest\",\"events\":[{\"subject\":0,"
+      "\"timestamp\":100,\"action\":\"read\"}]}");
+  EXPECT_EQ(r.GetString("code"), "SRV-E007");
+
+  // Bad action name.
+  r = Call(
+      "{\"op\":\"ingest\",\"events\":[{\"subject\":0,\"object\":1,"
+      "\"timestamp\":100,\"action\":\"frob\"}]}");
+  EXPECT_EQ(r.GetString("code"), "SRV-E007");
+
+  // Unknown object id: rejected by validation, not appended.
+  r = Call(
+      "{\"op\":\"ingest\",\"events\":[{\"subject\":999999,\"object\":1,"
+      "\"timestamp\":100,\"action\":\"read\"}]}");
+  EXPECT_EQ(r.GetString("code"), "SRV-E007");
+
+  // Not an array.
+  r = Call("{\"op\":\"ingest\",\"events\":{}}");
+  EXPECT_EQ(r.GetString("code"), "SRV-E007");
+}
+
+TEST_F(ProtocolTest, ShutdownSetsFlagAndAnswersFirst) {
+  bool shutdown = false;
+  const JsonValue r = Call("{\"op\":\"shutdown\"}", &shutdown);
+  EXPECT_TRUE(shutdown);
+  ASSERT_TRUE(r.GetBool("ok"));
+  EXPECT_TRUE(r.GetBool("draining"));
+
+  // Once the manager drains, opens are refused with the drain code.
+  manager_->Stop();
+  const JsonValue refused =
+      Call("{\"op\":\"open\",\"bdl\":\"backward ip x[dst_ip = \\\"185.220.101.45\\\"] -> *\"}");
+  EXPECT_EQ(refused.GetString("code"), "SRV-E008");
+}
+
+}  // namespace
+}  // namespace aptrace::service

@@ -1,0 +1,599 @@
+// Tests for the multi-session service layer (src/service/): session
+// lifecycle, admission control, budgets, backpressure, cancellation,
+// live ingestion on both storage backends, fair-share scheduling, and
+// checkpoint/resume of daemon-hosted sessions — including a full
+// protocol-level daemon "restart" over a unix socket.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "graph/json_writer.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "service/session_manager.h"
+#include "tests/random_trace_util.h"
+#include "tests/test_trace.h"
+#include "util/clock.h"
+
+namespace aptrace::service {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+/// The reference a hosted session must match byte-for-byte: the same
+/// script run to completion through a plain Session (what `aptrace run`
+/// does), finalized with the same prune.
+std::string DirectRunGraph(const EventStore& store, const std::string& script,
+                           int scan_threads,
+                           std::optional<Event> start_override) {
+  SimClock clock;
+  SessionOptions options;
+  options.scan_threads = scan_threads;
+  Session session(&store, &clock, options);
+  EXPECT_TRUE(session.Start(script, start_override).ok());
+  auto reason = session.Step();
+  EXPECT_TRUE(reason.ok());
+  EXPECT_TRUE(session.Finish(/*prune_to_matched_paths=*/true).ok());
+  std::ostringstream os;
+  WriteGraphJson(session.graph(), store.catalog(), os);
+  return os.str();
+}
+
+/// Spins until `pred` holds or `timeout_micros` of wall time passes.
+bool WaitFor(const std::function<bool()>& pred, uint64_t timeout_micros) {
+  const TimeMicros deadline = MonotonicNowMicros() + timeout_micros;
+  while (!pred()) {
+    if (MonotonicNowMicros() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+constexpr uint64_t kWaitMicros = 30'000'000;  // generous CI timeout
+
+TEST(ServiceTest, HostedSessionMatchesDirectRun) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string script = "backward ip x[dst_ip = \"185.220.101.45\"] -> *";
+  const std::string expected =
+      DirectRunGraph(*t.store, script, 1, std::nullopt);
+
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  auto id = manager.Open(script, {});
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+
+  auto poll = manager.Poll(id.value(), 0, 0);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kDone);
+  EXPECT_TRUE(poll->terminal);
+  EXPECT_EQ(poll->detail, "completed");
+  EXPECT_FALSE(poll->batches.empty());
+  EXPECT_TRUE(poll->snapshot.exhausted);
+
+  auto graph = manager.GraphJson(id.value());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value(), expected);
+
+  const ServiceStats stats = manager.stats();
+  EXPECT_EQ(stats.opened_total, 1u);
+  EXPECT_EQ(stats.done, 1u);
+  EXPECT_EQ(stats.live, 0u);
+  EXPECT_GT(stats.quanta_total, 0u);
+}
+
+TEST(ServiceTest, PollCursorAcksAndRedelivers) {
+  MiniTrace t = MakeMiniTrace();
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  auto id = manager.Open("backward ip x[dst_ip = \"185.220.101.45\"] -> *", {});
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+
+  auto first = manager.Poll(id.value(), 0, 2);
+  ASSERT_TRUE(first.ok());
+  ASSERT_EQ(first->batches.size(), 2u);
+  EXPECT_EQ(first->batches[0].seq, 0u);
+  EXPECT_EQ(first->next_cursor, 2u);
+
+  // Unacked batches are redelivered; acked ones are dropped for good.
+  auto again = manager.Poll(id.value(), 0, 2);
+  ASSERT_TRUE(again.ok());
+  ASSERT_EQ(again->batches.size(), 2u);
+  EXPECT_EQ(again->batches[0].seq, 0u);
+
+  auto after_ack = manager.Poll(id.value(), 2, 0);
+  ASSERT_TRUE(after_ack.ok());
+  if (!after_ack->batches.empty()) {
+    EXPECT_GE(after_ack->batches[0].seq, 2u);
+  }
+  EXPECT_FALSE(manager.Poll(999, 0, 0).ok());  // SRV-E003
+}
+
+TEST(ServiceTest, AdmissionCapRejectsWithE002) {
+  RandomTrace t = MakeRandomTrace(11, 400);
+  ServiceLimits limits;
+  limits.max_live_sessions = 1;
+  limits.update_buffer_cap = 1;  // the first session stalls, staying live
+  SessionManager manager(t.store.get(), limits);
+
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  auto first = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(first.ok()) << first.status();
+
+  // Wait until the session actually occupies its slot mid-run.
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto p = manager.Poll(first.value(), 0, 0);
+        return p.ok() && !p->batches.empty();
+      },
+      kWaitMicros));
+
+  auto second = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_FALSE(second.ok());
+  EXPECT_NE(second.status().message().find("SRV-E002"), std::string::npos);
+  EXPECT_EQ(manager.stats().admission_rejected_total, 1u);
+
+  // Draining the buffer lets the first session finish, freeing the slot.
+  uint64_t cursor = 0;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto p = manager.Poll(first.value(), cursor, 0);
+        if (!p.ok()) return false;
+        cursor = p->next_cursor;
+        return p->terminal;
+      },
+      kWaitMicros));
+  auto third = manager.Open(UnconstrainedScript(t), opts);
+  EXPECT_TRUE(third.ok()) << third.status();
+}
+
+TEST(ServiceTest, WindowBudgetTerminatesSession) {
+  RandomTrace t = MakeRandomTrace(12, 400);
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  opts.window_budget = 3;
+  auto id = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+
+  auto poll = manager.Poll(id.value(), 0, 0);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kBudget);
+  EXPECT_EQ(poll->detail, "window_budget_exhausted");
+  EXPECT_EQ(manager.stats().budget_exhausted, 1u);
+  // The partial graph is frozen and still serveable.
+  EXPECT_TRUE(manager.GraphJson(id.value()).ok());
+}
+
+TEST(ServiceTest, SimBudgetTerminatesSession) {
+  // The mini trace with the paper's cost model: every window consumes
+  // simulated time, so a tiny budget trips on the first quantum.
+  MiniTrace t = MakeMiniTrace(CostModel{});
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  OpenOptions opts;
+  opts.sim_budget = 1;
+  auto id = manager.Open("backward ip x[dst_ip = \"185.220.101.45\"] -> *", opts);
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+
+  auto poll = manager.Poll(id.value(), 0, 0);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kBudget);
+  EXPECT_EQ(poll->detail, "sim_budget_exhausted");
+}
+
+TEST(ServiceTest, BackpressureStallsUntilPolled) {
+  RandomTrace t = MakeRandomTrace(13, 400);
+  ServiceLimits limits;
+  limits.update_buffer_cap = 1;
+  SessionManager manager(t.store.get(), limits);
+  const std::string expected =
+      DirectRunGraph(*t.store, UnconstrainedScript(t), 1, t.alert);
+
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  auto id = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(id.ok()) << id.status();
+
+  // With nobody polling, the scheduler parks the session on its full
+  // buffer instead of burning the machine.
+  ASSERT_TRUE(WaitFor(
+      [&] { return manager.stats().backpressure_stalls_total > 0; },
+      kWaitMicros));
+  EXPECT_EQ(manager.stats().live, 1u);
+
+  // A polling client drains the buffer batch by batch; the run then
+  // completes and the result is unchanged by all the stalling.
+  uint64_t cursor = 0;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        auto p = manager.Poll(id.value(), cursor, 0);
+        if (!p.ok()) return false;
+        cursor = p->next_cursor;
+        return p->terminal;
+      },
+      kWaitMicros));
+  auto graph = manager.GraphJson(id.value());
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph.value(), expected);
+}
+
+TEST(ServiceTest, CancelFinalizesStalledAndRunningSessions) {
+  RandomTrace t = MakeRandomTrace(14, 400);
+  ServiceLimits limits;
+  limits.update_buffer_cap = 1;
+  SessionManager manager(t.store.get(), limits);
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  auto id = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(id.ok());
+
+  // Park it on backpressure first so Cancel exercises the off-CPU path.
+  ASSERT_TRUE(WaitFor(
+      [&] { return manager.stats().backpressure_stalls_total > 0; },
+      kWaitMicros));
+  ASSERT_TRUE(manager.Cancel(id.value()).ok());
+  auto poll = manager.Poll(id.value(), 0, 0);
+  ASSERT_TRUE(poll.ok());
+  EXPECT_EQ(poll->state, SessionState::kCancelled);
+  EXPECT_TRUE(poll->terminal);
+  EXPECT_EQ(manager.stats().cancelled, 1u);
+  EXPECT_EQ(manager.stats().live, 0u);
+
+  // Cancelling again (or a terminal session) is a no-op, not an error.
+  EXPECT_TRUE(manager.Cancel(id.value()).ok());
+  // The partial graph survives for post-mortem fetches.
+  EXPECT_TRUE(manager.GraphJson(id.value()).ok());
+  EXPECT_FALSE(manager.Cancel(999).ok());  // SRV-E003
+}
+
+TEST(ServiceTest, IngestAppendsOnBothBackends) {
+  for (const StorageBackendKind backend :
+       {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+    SCOPED_TRACE(StorageBackendName(backend));
+    RandomTrace t = MakeRandomTrace(15, 200, backend);
+    const size_t before = t.store->NumEvents();
+    SessionManager manager(t.store.get(), ServiceLimits{});
+
+    // Valid live events (they reference existing catalog objects).
+    std::vector<Event> batch;
+    for (int i = 0; i < 5; ++i) {
+      Event e = t.events[static_cast<size_t>(i)];
+      e.timestamp += 50000;  // arrives after the sealed history
+      batch.push_back(e);
+    }
+    auto accepted = manager.Ingest(batch);
+    ASSERT_TRUE(accepted.ok()) << accepted.status();
+    EXPECT_EQ(accepted.value(), 5u);
+    ASSERT_TRUE(WaitFor(
+        [&] { return manager.stats().ingested_total == 5; }, kWaitMicros));
+    EXPECT_EQ(t.store->NumEvents(), before + 5);
+    EXPECT_EQ(manager.stats().ingest_queue_depth, 0u);
+
+    // One invalid row poisons the whole batch — nothing lands.
+    std::vector<Event> bad = batch;
+    bad[2].subject = 1u << 30;
+    auto rejected = manager.Ingest(bad);
+    ASSERT_FALSE(rejected.ok());
+    EXPECT_NE(rejected.status().message().find("SRV-E007"),
+              std::string::npos);
+    EXPECT_EQ(t.store->NumEvents(), before + 5);
+    EXPECT_EQ(manager.stats().ingest_rejected_total, 5u);
+
+    // A session opened after the append can reach the new events.
+    OpenOptions opts;
+    opts.start_event = t.alert.id;
+    auto id = manager.Open(UnconstrainedScript(t), opts);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+    EXPECT_TRUE(manager.GraphJson(id.value()).ok());
+  }
+}
+
+TEST(ServiceTest, IngestQueueCapRejectsOversizedBatch) {
+  RandomTrace t = MakeRandomTrace(16, 100);
+  ServiceLimits limits;
+  limits.ingest_queue_cap = 3;
+  SessionManager manager(t.store.get(), limits);
+  std::vector<Event> batch(4, t.events[0]);
+  auto r = manager.Ingest(batch);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("SRV-E007"), std::string::npos);
+}
+
+TEST(ServiceTest, DrainRejectsNewWorkAndStaysCheckpointable) {
+  RandomTrace t = MakeRandomTrace(17, 400);
+  ServiceLimits limits;
+  limits.update_buffer_cap = 1;  // keep the session live across the drain
+  SessionManager manager(t.store.get(), limits);
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  auto id = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(id.ok());
+  ASSERT_TRUE(WaitFor(
+      [&] { return manager.stats().backpressure_stalls_total > 0; },
+      kWaitMicros));
+
+  manager.Stop();
+  EXPECT_TRUE(manager.draining());
+  auto refused = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_NE(refused.status().message().find("SRV-E008"), std::string::npos);
+  auto no_ingest = manager.Ingest({t.events[0]});
+  ASSERT_FALSE(no_ingest.ok());
+  EXPECT_NE(no_ingest.status().message().find("SRV-E008"),
+            std::string::npos);
+
+  // The paused session is still intact: its graph is serveable and it
+  // can be persisted for a later daemon to resume.
+  EXPECT_TRUE(manager.GraphJson(id.value()).ok());
+  const std::string path =
+      testing::TempDir() + "aptrace_service_drain.ckpt";
+  EXPECT_TRUE(manager.Checkpoint(id.value(), path).ok());
+  unlink(path.c_str());
+}
+
+TEST(ServiceTest, CheckpointResumeMatchesUninterruptedRun) {
+  RandomTrace t = MakeRandomTrace(18, 400);
+  const std::string script = UnconstrainedScript(t);
+  const std::string expected = DirectRunGraph(*t.store, script, 1, t.alert);
+  const std::string path =
+      testing::TempDir() + "aptrace_service_resume.ckpt";
+
+  // First daemon: run partway (the tiny buffer stalls it), checkpoint.
+  {
+    ServiceLimits limits;
+    limits.update_buffer_cap = 1;
+    SessionManager manager(t.store.get(), limits);
+    OpenOptions opts;
+    opts.start_event = t.alert.id;
+    auto id = manager.Open(script, opts);
+    ASSERT_TRUE(id.ok());
+    ASSERT_TRUE(WaitFor(
+        [&] { return manager.stats().backpressure_stalls_total > 0; },
+        kWaitMicros));
+    ASSERT_TRUE(manager.Checkpoint(id.value(), path).ok());
+    // Checkpointing a terminal session is SRV-E005.
+    ASSERT_TRUE(manager.Cancel(id.value()).ok());
+    auto st = manager.Checkpoint(id.value(), path + ".2");
+    ASSERT_FALSE(st.ok());
+    EXPECT_NE(st.message().find("SRV-E005"), std::string::npos);
+  }
+
+  // Second daemon (same sealed store): resume and run to completion.
+  {
+    SessionManager manager(t.store.get(), ServiceLimits{});
+    auto id = manager.Resume(path, {});
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+    auto poll = manager.Poll(id.value(), 0, 0);
+    ASSERT_TRUE(poll.ok());
+    EXPECT_EQ(poll->state, SessionState::kDone);
+    auto graph = manager.GraphJson(id.value());
+    ASSERT_TRUE(graph.ok());
+    EXPECT_EQ(graph.value(), expected);
+
+    auto bad = manager.Resume(path + ".missing", {});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.status().message().find("SRV-E009"), std::string::npos);
+  }
+  unlink(path.c_str());
+}
+
+TEST(ServiceTest, FairShareServesSmallSessionsUnderALargeOne) {
+  // One 10x-larger session plus three small ones: fair-share must hand
+  // every small session its first update batch long before the large
+  // session finishes (the multi-tenant responsiveness claim).
+  RandomTrace t = MakeRandomTrace(19, 2000);
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+
+  auto large = manager.Open(UnconstrainedScript(t), opts);
+  ASSERT_TRUE(large.ok()) << large.status();
+  std::vector<uint64_t> small_ids;
+  for (int i = 0; i < 3; ++i) {
+    auto id = manager.Open(UnconstrainedScript(t) + " where hop <= 1", opts);
+    ASSERT_TRUE(id.ok()) << id.status();
+    small_ids.push_back(id.value());
+  }
+
+  // A small session counts as served once it has produced an update
+  // batch or finished outright — either way the scheduler gave it CPU
+  // while the large closure was still grinding.
+  std::vector<bool> small_served(small_ids.size(), false);
+  bool large_done = false;
+  ASSERT_TRUE(WaitFor(
+      [&] {
+        for (size_t i = 0; i < small_ids.size(); ++i) {
+          if (small_served[i]) continue;
+          auto p = manager.Poll(small_ids[i], 0, 1);
+          if (p.ok() && (!p->batches.empty() || p->terminal)) {
+            small_served[i] = true;
+          }
+        }
+        auto p = manager.Poll(large.value(), 0, 1);
+        if (p.ok() && p->terminal) large_done = true;
+        return large_done;
+      },
+      kWaitMicros));
+  for (size_t i = 0; i < small_ids.size(); ++i) {
+    EXPECT_TRUE(small_served[i])
+        << "small session " << small_ids[i]
+        << " saw no service before the large session completed";
+  }
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+}
+
+// ------------------------------------------------- protocol-level restart
+
+/// Minimal blocking line client for the in-test daemon.
+class TestClient {
+ public:
+  explicit TestClient(const std::string& socket_path) {
+    fd_ = socket(AF_UNIX, SOCK_STREAM, 0);
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    connected_ =
+        connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) close(fd_);
+  }
+  bool connected() const { return connected_; }
+
+  JsonValue Call(const std::string& request) {
+    const std::string line = request + "\n";
+    EXPECT_EQ(send(fd_, line.data(), line.size(), 0),
+              static_cast<ssize_t>(line.size()));
+    size_t nl;
+    while ((nl = buffer_.find('\n')) == std::string::npos) {
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n <= 0) {
+        ADD_FAILURE() << "daemon closed the connection";
+        return {};
+      }
+      buffer_.append(buf, static_cast<size_t>(n));
+    }
+    const std::string response = buffer_.substr(0, nl);
+    buffer_.erase(0, nl + 1);
+    auto parsed = ParseJson(response);
+    EXPECT_TRUE(parsed.ok()) << response;
+    return parsed.ok() ? std::move(parsed.value()) : JsonValue{};
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+  std::string buffer_;
+};
+
+TEST(ServiceServerTest, CheckpointRestartResumeOverProtocol) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string script = "backward ip x[dst_ip = \"185.220.101.45\"] -> *";
+  // The same script with its quotes escaped for splicing into a JSON
+  // request line.
+  const std::string script_json =
+      "backward ip x[dst_ip = \\\"185.220.101.45\\\"] -> *";
+  const std::string expected =
+      DirectRunGraph(*t.store, script, 1, std::nullopt);
+  const std::string socket_path =
+      testing::TempDir() + "aptrace_svc_test.sock";
+  const std::string ckpt_path =
+      testing::TempDir() + "aptrace_svc_test.ckpt";
+
+  // Daemon #1: open a session, stall it, checkpoint it, shut down.
+  {
+    ServiceLimits limits;
+    limits.update_buffer_cap = 1;
+    SessionManager manager(t.store.get(), limits);
+    ServerOptions options;
+    options.unix_socket_path = socket_path;
+    Server server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    TestClient client(socket_path);
+    ASSERT_TRUE(client.connected());
+    const JsonValue opened =
+        client.Call("{\"op\":\"open\",\"bdl\":\"" + script_json + "\"}");
+    ASSERT_TRUE(opened.GetBool("ok")) << opened.GetString("error");
+    const uint64_t id = opened.GetUint("session");
+    ASSERT_TRUE(WaitFor(
+        [&] { return manager.stats().backpressure_stalls_total > 0; },
+        kWaitMicros));
+
+    const JsonValue ckpt = client.Call(
+        "{\"op\":\"checkpoint\",\"session\":" + std::to_string(id) +
+        ",\"path\":\"" + ckpt_path + "\"}");
+    ASSERT_TRUE(ckpt.GetBool("ok")) << ckpt.GetString("error");
+
+    const JsonValue bye = client.Call("{\"op\":\"shutdown\"}");
+    EXPECT_TRUE(bye.GetBool("draining"));
+    server.Shutdown();
+  }
+
+  // Daemon #2 on the same socket path: resume the checkpoint, poll to
+  // completion, and fetch a graph identical to the uninterrupted run.
+  {
+    SessionManager manager(t.store.get(), ServiceLimits{});
+    ServerOptions options;
+    options.unix_socket_path = socket_path;
+    Server server(&manager, options);
+    ASSERT_TRUE(server.Start().ok());
+
+    TestClient client(socket_path);
+    ASSERT_TRUE(client.connected());
+    const JsonValue resumed = client.Call(
+        "{\"op\":\"resume\",\"path\":\"" + ckpt_path + "\"}");
+    ASSERT_TRUE(resumed.GetBool("ok")) << resumed.GetString("error");
+    const uint64_t id = resumed.GetUint("session");
+
+    uint64_t cursor = 0;
+    ASSERT_TRUE(WaitFor(
+        [&] {
+          const JsonValue p = client.Call(
+              "{\"op\":\"poll\",\"session\":" + std::to_string(id) +
+              ",\"cursor\":" + std::to_string(cursor) + "}");
+          if (!p.GetBool("ok")) return false;
+          cursor = p.GetUint("next_cursor", cursor);
+          return p.GetBool("terminal");
+        },
+        kWaitMicros));
+
+    const JsonValue graph = client.Call(
+        "{\"op\":\"graph\",\"session\":" + std::to_string(id) + "}");
+    ASSERT_TRUE(graph.GetBool("ok"));
+    EXPECT_EQ(graph.GetString("graph"), expected);
+    server.Shutdown();
+  }
+  unlink(ckpt_path.c_str());
+}
+
+TEST(ServiceServerTest, GracefulShutdownUnderLoad) {
+  // Several live (stalled) sessions plus a connected client: the drain
+  // must answer the shutdown op, stop the scheduler, and tear down with
+  // no leaks or races (ASan/TSan legs run this test).
+  RandomTrace t = MakeRandomTrace(20, 600);
+  ServiceLimits limits;
+  limits.update_buffer_cap = 1;
+  SessionManager manager(t.store.get(), limits);
+  const std::string socket_path =
+      testing::TempDir() + "aptrace_svc_load.sock";
+  ServerOptions options;
+  options.unix_socket_path = socket_path;
+  Server server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  TestClient client(socket_path);
+  ASSERT_TRUE(client.connected());
+  std::string open_request = "{\"op\":\"open\",\"bdl\":\"" +
+                             UnconstrainedScript(t) +
+                             "\",\"start_event\":" +
+                             std::to_string(t.alert.id) + "}";
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(client.Call(open_request).GetBool("ok"));
+  }
+  const JsonValue bye = client.Call("{\"op\":\"shutdown\"}");
+  EXPECT_TRUE(bye.GetBool("draining"));
+  server.Shutdown();  // joins everything; sanitizers verify the rest
+}
+
+}  // namespace
+}  // namespace aptrace::service

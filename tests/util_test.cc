@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "util/clock.h"
+#include "util/env.h"
 #include "util/logging.h"
 #include "util/stats.h"
 #include "util/status.h"
@@ -299,6 +302,57 @@ TEST(ClockTest, MonotonicNowMicrosAdvances) {
   const TimeMicros a = MonotonicNowMicros();
   const TimeMicros b = MonotonicNowMicros();
   EXPECT_GE(b, a);
+}
+
+TEST(EnvTest, GetEnvDistinguishesUnsetFromEmpty) {
+  unsetenv("APTRACE_TEST_UNSET");
+  EXPECT_EQ(GetEnv("APTRACE_TEST_UNSET"), std::nullopt);
+  setenv("APTRACE_TEST_EMPTY", "", 1);
+  EXPECT_EQ(GetEnv("APTRACE_TEST_EMPTY"), std::string());
+  unsetenv("APTRACE_TEST_EMPTY");
+}
+
+TEST(EnvTest, GetValidatedEnvWarnsOncePerVariable) {
+  ResetEnvWarningsForTest();
+  const auto nonempty = [](const std::string& v) { return !v.empty(); };
+
+  unsetenv("APTRACE_TEST_KNOB");
+  EXPECT_EQ(GetValidatedEnv("APTRACE_TEST_KNOB", nonempty, "non-empty"),
+            std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), 0u);  // unset: silent
+
+  setenv("APTRACE_TEST_KNOB", "", 1);
+  EXPECT_EQ(GetValidatedEnv("APTRACE_TEST_KNOB", nonempty, "non-empty"),
+            std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), 1u);
+  // Second read of the same bad variable: no second warning.
+  EXPECT_EQ(GetValidatedEnv("APTRACE_TEST_KNOB", nonempty, "non-empty"),
+            std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), 1u);
+
+  // A different misconfigured variable gets its own (single) warning.
+  setenv("APTRACE_TEST_KNOB2", "", 1);
+  EXPECT_EQ(GetValidatedEnv("APTRACE_TEST_KNOB2", nonempty, "non-empty"),
+            std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), 2u);
+
+  // A valid value passes through and never warns.
+  setenv("APTRACE_TEST_KNOB3", "ok", 1);
+  EXPECT_EQ(GetValidatedEnv("APTRACE_TEST_KNOB3", nonempty, "non-empty"),
+            std::string("ok"));
+  EXPECT_EQ(EnvWarningCountForTest(), 2u);
+
+  unsetenv("APTRACE_TEST_KNOB");
+  unsetenv("APTRACE_TEST_KNOB2");
+  unsetenv("APTRACE_TEST_KNOB3");
+  ResetEnvWarningsForTest();
+}
+
+TEST(EnvTest, KnobNamesAreStable) {
+  // The names are part of the documented interface (README, --help).
+  EXPECT_STREQ(kEnvBackend, "APTRACE_BACKEND");
+  EXPECT_STREQ(kEnvLogLevel, "APTRACE_LOG_LEVEL");
+  EXPECT_STREQ(kEnvServerSocket, "APTRACE_SERVER_SOCKET");
 }
 
 TEST(StringUtilTest, JsonEscape) {

@@ -1,0 +1,259 @@
+// aptrace_serverd — the resident multi-session query daemon.
+//
+//   aptrace_serverd --trace=<trace.tsv|.bin> [options]
+//       Load and seal a trace, then serve concurrent tracking sessions
+//       over the line-delimited JSON protocol (docs/service.md).
+//         --socket=<path>     unix-domain listener (default: the
+//                             APTRACE_SERVER_SOCKET env var)
+//         --tcp-port=N        loopback TCP listener; 0 = ephemeral
+//                             (printed on stdout), omit to disable
+//         --backend=row|columnar
+//                             storage backend (default: APTRACE_BACKEND
+//                             env var, else row)
+//         --max-sessions=N    live-session admission cap (default 8)
+//         --quantum=N         windows per scheduling quantum (default 8)
+//         --window-budget=N   default per-session window budget (0 = off)
+//         --sim-budget=<dur>  default per-session simulated-time budget
+//                             (BDL durations: 90m, 2h, ...; 0 = off)
+//         --buffer-cap=N      per-session undelivered-batch cap before
+//                             backpressure stalls it (default 256)
+//         --ingest-cap=N      pending live-ingest events before `ingest`
+//                             is rejected (default 4096)
+//         --threads=N         shared scan-pool width (default: hardware
+//                             concurrency)
+//         --session-threads=N default modeled scan threads per session
+//                             (results identical at any value; default 1)
+//
+//   SIGINT/SIGTERM (and the protocol `shutdown` op) trigger a graceful
+//   drain: in-flight responses finish, the scheduler stops at a quantum
+//   boundary, and the process exits 0. On start the daemon prints one
+//   "serverd: ready" line to stdout so scripts can wait for it.
+
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "service/server.h"
+#include "service/session_manager.h"
+#include "storage/trace_io.h"
+#include "util/env.h"
+#include "util/string_util.h"
+#include "util/worker_pool.h"
+
+namespace aptrace {
+namespace {
+
+struct Flags {
+  std::string trace_path;
+  std::string socket_path;
+  int tcp_port = -1;
+  StorageBackendKind backend = DefaultStorageBackendKind();
+  service::ServiceLimits limits;
+  bool ok = true;
+};
+
+bool TakeValue(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+/// Positive-integer flag in the CLI's `severity[CODE]` diagnostic style.
+bool ParseCount(const char* flag, const std::string& value, long min,
+                long* out) {
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || n < min) {
+    std::fprintf(stderr,
+                 "%s: error[CLI-E001]: expected an integer >= %ld, got "
+                 "'%s'\n",
+                 flag, min, value.c_str());
+    return false;
+  }
+  *out = n;
+  return true;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aptrace_serverd --trace=<file> [--socket=<path>] "
+               "[--tcp-port=N] [flags]\n"
+               "  see the header comment of tools/aptrace_serverd.cc or "
+               "docs/service.md\n");
+  return 2;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  // The env var supplies the default socket; an invalid (empty) value
+  // warns once via the shared helper and falls back to "no unix socket".
+  if (auto s = GetValidatedEnv(
+          kEnvServerSocket,
+          [](const std::string& v) { return !v.empty(); },
+          "a non-empty unix socket path")) {
+    f.socket_path = *s;
+  }
+  std::string v;
+  long n = 0;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (TakeValue(a, "--trace", &f.trace_path) ||
+        TakeValue(a, "--socket", &f.socket_path)) {
+      continue;
+    }
+    if (TakeValue(a, "--tcp-port", &v)) {
+      if (!ParseCount("--tcp-port", v, 0, &n) || n > 65535) {
+        if (n > 65535) {
+          std::fprintf(stderr,
+                       "--tcp-port: error[CLI-E001]: %ld is not a valid "
+                       "TCP port\n",
+                       n);
+        }
+        f.ok = false;
+      } else {
+        f.tcp_port = static_cast<int>(n);
+      }
+    } else if (TakeValue(a, "--backend", &v)) {
+      const auto parsed = ParseStorageBackendKind(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--backend: error[CLI-E002]: expected 'row' or "
+                     "'columnar', got '%s'\n",
+                     v.c_str());
+        f.ok = false;
+      } else {
+        f.backend = *parsed;
+      }
+    } else if (TakeValue(a, "--max-sessions", &v)) {
+      if (ParseCount("--max-sessions", v, 1, &n)) {
+        f.limits.max_live_sessions = static_cast<int>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--quantum", &v)) {
+      if (ParseCount("--quantum", v, 1, &n)) {
+        f.limits.quantum_windows = static_cast<uint64_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--window-budget", &v)) {
+      if (ParseCount("--window-budget", v, 0, &n)) {
+        f.limits.window_budget = static_cast<uint64_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--sim-budget", &v)) {
+      auto d = ParseBdlDuration(v);
+      if (!d.ok()) {
+        std::fprintf(stderr, "--sim-budget: error[CLI-E001]: %s\n",
+                     d.status().message().c_str());
+        f.ok = false;
+      } else {
+        f.limits.sim_budget = d.value();
+      }
+    } else if (TakeValue(a, "--buffer-cap", &v)) {
+      if (ParseCount("--buffer-cap", v, 1, &n)) {
+        f.limits.update_buffer_cap = static_cast<size_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--ingest-cap", &v)) {
+      if (ParseCount("--ingest-cap", v, 1, &n)) {
+        f.limits.ingest_queue_cap = static_cast<size_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--threads", &v)) {
+      if (ParseCount("--threads", v, 1, &n)) {
+        f.limits.scan_threads = static_cast<int>(
+            n > static_cast<long>(WorkerPool::kMaxThreads)
+                ? WorkerPool::kMaxThreads
+                : n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--session-threads", &v)) {
+      if (ParseCount("--session-threads", v, 1, &n)) {
+        f.limits.session_scan_threads = static_cast<int>(n);
+      } else {
+        f.ok = false;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      f.ok = false;
+    }
+  }
+  return f;
+}
+
+// Signal handlers may only touch async-signal-safe state; a watcher
+// thread polls this flag and performs the actual (mutex-taking) drain.
+volatile std::sig_atomic_t g_signalled = 0;
+
+void OnSignal(int) { g_signalled = 1; }
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (!flags.ok || flags.trace_path.empty()) return Usage();
+  if (flags.socket_path.empty() && flags.tcp_port < 0) {
+    std::fprintf(stderr,
+                 "error[CLI-E004]: no listener: pass --socket=<path> (or "
+                 "set %s) or --tcp-port=N\n",
+                 kEnvServerSocket);
+    return 2;
+  }
+
+  EventStoreOptions store_options;
+  store_options.backend = flags.backend;
+  auto store = LoadTraceFile(flags.trace_path, store_options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
+    return 1;
+  }
+
+  service::SessionManager manager(store.value().get(), flags.limits);
+  service::ServerOptions server_options;
+  server_options.unix_socket_path = flags.socket_path;
+  server_options.tcp_port = flags.tcp_port;
+  service::Server server(&manager, server_options);
+  if (auto s = server.Start(); !s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::thread signal_watcher([&server] {
+    while (g_signalled == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+    server.RequestShutdown();
+  });
+
+  std::printf("serverd: serving %zu events", store.value()->NumEvents());
+  if (!flags.socket_path.empty()) {
+    std::printf(" on %s", flags.socket_path.c_str());
+  }
+  if (server.port() >= 0) std::printf(" (tcp 127.0.0.1:%d)", server.port());
+  std::printf("\nserverd: ready\n");
+  std::fflush(stdout);
+
+  server.Wait();
+  g_signalled = 1;  // release the watcher if the drain came from a client
+  signal_watcher.join();
+  server.Shutdown();
+  std::printf("serverd: drained\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace aptrace
+
+int main(int argc, char** argv) { return aptrace::Main(argc, argv); }

@@ -75,23 +75,21 @@ void PrintStatus(ShellState& st, std::ostream& out) {
     out << "no analysis running; use `start`, `from`, or `alerts`\n";
     return;
   }
-  const DepGraph& g = st.session->graph();
-  out << "graph: " << g.NumEdges() << " events / " << g.NumNodes()
-      << " nodes, max hop " << g.MaxHop() << "\n";
-  out << "updates: " << st.session->update_log().size() << ", elapsed "
-      << FormatDuration(st.clock.NowMicros() -
-                        st.session->stats().run_start)
-      << " (simulated), " << (st.session->Exhausted() ? "done" : "paused")
+  // One consistent Snapshot() read instead of piecemeal accessor calls:
+  // every figure below comes from the same instant, so a status printed
+  // while a Step is advancing elsewhere (the daemon reuses this path)
+  // can never pair a fresh edge count with a stale update count.
+  const SessionSnapshot snap = st.session->Snapshot();
+  out << "graph: " << snap.graph_edges << " events / " << snap.graph_nodes
+      << " nodes, max hop " << snap.max_hop << "\n";
+  out << "updates: " << snap.update_batches << ", elapsed "
+      << FormatDuration(snap.sim_now - snap.run_start) << " (simulated), "
+      << (snap.exhausted ? "done" : "paused") << "\n";
+  out << "direction: " << bdl::TrackDirectionName(snap.direction)
+      << ", start node " << st.store->catalog().Get(snap.start_node).Label()
       << "\n";
-  out << "direction: "
-      << bdl::TrackDirectionName(st.session->context().spec.direction)
-      << ", start node "
-      << st.store->catalog().Get(st.session->context().start_node).Label()
-      << "\n";
-  if (const auto* executor =
-          dynamic_cast<const Executor*>(st.session->engine());
-      executor != nullptr && executor->scan_threads() > 1) {
-    out << "scan threads: " << executor->scan_threads() << "\n";
+  if (snap.scan_threads > 1) {
+    out << "scan threads: " << snap.scan_threads << "\n";
   }
 }
 
