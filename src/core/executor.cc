@@ -172,6 +172,7 @@ void Executor::SubmitPrefetch(const ExecWindow& w) {
   const TimeMicros begin = w.begin;
   const TimeMicros finish = w.finish;
   auto task = [entry, ctx, forward, frontier, begin, finish] {
+    obs::Tracer::Global().SetThreadName("scan-worker");
     APTRACE_SPAN("executor/worker_scan");
     const TimeMicros t0 = MonotonicNowMicros();
     const EventStore& store = *ctx->store;
@@ -274,7 +275,8 @@ void Executor::EnqueueWindowsFor(const Event& e, int state) {
 
 void Executor::ProcessWindow(const ExecWindow& w, const Prefetch* pre,
                              size_t* batch_edges, size_t* batch_nodes,
-                             DurationMicros* scan_cost) {
+                             DurationMicros* scan_cost,
+                             ScanProbeStats* probe) {
   APTRACE_SPAN("executor/process_window");
   const ObjectCatalog& catalog = ctx_.store->catalog();
   const bool forward = ctx_.spec.direction == bdl::TrackDirection::kForward;
@@ -338,19 +340,21 @@ void Executor::ProcessWindow(const ExecWindow& w, const Prefetch* pre,
     EnqueueWindowsFor(e, state);
   };
   if (pre != nullptr) {
-    ctx_.store->ReplayScan(pre->batch, clock_, visit, filter, scan_cost);
+    ctx_.store->ReplayScan(pre->batch, clock_, visit, filter, scan_cost,
+                           probe);
   } else if (forward) {
     ctx_.store->ScanSrc(w.frontier, w.begin, w.finish, clock_, visit, filter,
-                        scan_cost);
+                        scan_cost, probe);
   } else {
     ctx_.store->ScanDest(w.frontier, w.begin, w.finish, clock_, visit,
-                         filter, scan_cost);
+                         filter, scan_cost, probe);
   }
   stats_.work_units++;
   Em().windows_processed->Add();
 }
 
 StopReason Executor::Run(const RunLimits& limits) {
+  obs::Tracer::Global().SetThreadName("coordinator");
   StartPoolIfNeeded();
   Em().scan_threads->Set(scan_threads_);
   if (!bootstrapped_) Bootstrap();
@@ -429,8 +433,17 @@ StopReason Executor::RunLoop(const RunLimits& limits) {
     size_t batch_edges = 0;
     size_t batch_nodes = 0;
     DurationMicros scan_cost = 0;
+    ScanProbeStats probe;
     const uint64_t child_seq_lo = seq_;
-    ProcessWindow(w, pre.get(), &batch_edges, &batch_nodes, &scan_cost);
+    const TimeMicros wall0 = MonotonicNowMicros();
+    ProcessWindow(w, pre.get(), &batch_edges, &batch_nodes, &scan_cost,
+                  &probe);
+    // Attribution happens on the coordinator with exactly the cost the
+    // window charged, so the profile's axes reconcile with the engine's
+    // own totals (wall micros are the sole nondeterministic field).
+    profile_.OnWindowScanned(
+        w.hop, w.state, w.boosted, probe, scan_cost, batch_edges,
+        static_cast<uint64_t>(MonotonicNowMicros() - wall0));
     model_.OnWindowScanned(w.seq, scan_cost, child_seq_lo, seq_);
     Em().scan_cost->Add(static_cast<uint64_t>(scan_cost));
     Em().queue_depth->Set(static_cast<int64_t>(queue_.size()));

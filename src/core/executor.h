@@ -10,6 +10,7 @@
 #include "core/backtrack_engine.h"
 #include "core/exec_window.h"
 #include "core/maintainer.h"
+#include "core/query_profile.h"
 
 namespace aptrace {
 
@@ -129,6 +130,14 @@ class Executor : public BacktrackEngine {
   DurationMicros scan_cost_total() const { return model_.total_cost(); }
   DurationMicros modeled_scan_makespan() const { return model_.makespan(); }
 
+  /// Per-hop / per-rule attribution of everything this executor scanned
+  /// (the "EXPLAIN ANALYZE" view; see core/query_profile.h). Purely
+  /// observational: reading it — or ignoring it — never changes the run.
+  /// Profiles cover this process's work only (not serialized with
+  /// checkpoints). Coordinator-thread data: read only when no Run() is in
+  /// flight.
+  const QueryProfile& profile() const { return profile_; }
+
   /// Persists the paused engine state — graph (with hops/states),
   /// pending windows, scan coverage, exclusions, update log, counters —
   /// as line-oriented text, so an investigation can resume in another
@@ -168,10 +177,11 @@ class Executor : public BacktrackEngine {
   /// Applies one window's scan to the graph. `pre` non-null replays a
   /// prefetched batch (verdict-driven filter); null runs the fused
   /// sequential scan. Both paths make identical decisions in identical
-  /// order. `scan_cost` receives the simulated cost charged.
+  /// order. `scan_cost` receives the simulated cost charged; `probe` the
+  /// scan's attribution record for the query profile.
   void ProcessWindow(const ExecWindow& w, const Prefetch* pre,
                      size_t* batch_edges, size_t* batch_nodes,
-                     DurationMicros* scan_cost);
+                     DurationMicros* scan_cost, ScanProbeStats* probe);
   /// Enqueues the uncovered execution windows of `e` (Algorithm 1's
   /// genExeWindow), priced with the current state/boost of its source.
   void EnqueueWindowsFor(const Event& e, int state);
@@ -210,6 +220,7 @@ class Executor : public BacktrackEngine {
 
   int scan_threads_ = 1;
   ScanOverlapModel model_;
+  QueryProfile profile_;
   /// Window seq -> its speculative scan (coordinator-only map; workers
   /// only touch the entry their task captured).
   std::unordered_map<uint64_t, std::shared_ptr<Prefetch>> prefetch_;

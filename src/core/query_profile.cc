@@ -1,0 +1,97 @@
+#include "core/query_profile.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "obs/json_dict.h"
+
+namespace aptrace {
+
+namespace {
+
+/// One bucket as a JSON object, with the axis key (`"hop"`/`"state"`)
+/// first when present.
+std::string BucketJson(const char* key_name, int key,
+                       const ProfileBucket& b) {
+  obs::JsonDict d;
+  if (key_name != nullptr) d.Add(key_name, static_cast<int64_t>(key));
+  d.Add("windows", static_cast<uint64_t>(b.windows));
+  d.Add("rows", static_cast<uint64_t>(b.rows));
+  d.Add("rows_filtered", static_cast<uint64_t>(b.rows_filtered));
+  d.Add("partitions_probed", static_cast<uint64_t>(b.partitions_probed));
+  d.Add("segments_pruned", static_cast<uint64_t>(b.segments_pruned));
+  d.Add("edges", static_cast<uint64_t>(b.edges));
+  d.Add("sim_cost_micros", static_cast<uint64_t>(b.sim_cost));
+  d.Add("wall_micros", static_cast<uint64_t>(b.wall_micros));
+  return d.Str();
+}
+
+std::string AxisJson(const char* key_name,
+                     const std::map<int, ProfileBucket>& axis) {
+  std::string out = "[";
+  bool first = true;
+  for (const auto& [key, bucket] : axis) {
+    if (!first) out += ",";
+    first = false;
+    out += BucketJson(key_name, key, bucket);
+  }
+  out += "]";
+  return out;
+}
+
+void AppendRow(std::string* out, const char* label,
+               const ProfileBucket& b) {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "%-7s %8" PRIu64 " %10" PRIu64 " %10" PRIu64 " %8" PRIu64
+                " %8" PRIu64 " %8" PRIu64 " %12" PRIu64 " %12" PRIu64 "\n",
+                label, b.windows, b.rows, b.rows_filtered,
+                b.partitions_probed, b.segments_pruned, b.edges,
+                static_cast<uint64_t>(b.sim_cost), b.wall_micros);
+  *out += buf;
+}
+
+void AppendAxis(std::string* out, const char* title, const char* key_fmt,
+                const std::map<int, ProfileBucket>& axis) {
+  *out += title;
+  *out += "\n";
+  for (const auto& [key, bucket] : axis) {
+    char label[32];
+    std::snprintf(label, sizeof(label), key_fmt, key);
+    AppendRow(out, label, bucket);
+  }
+}
+
+}  // namespace
+
+std::string QueryProfileToJson(const QueryProfile& profile) {
+  obs::JsonDict d;
+  d.AddRaw("total", BucketJson(nullptr, 0, profile.total));
+  d.Add("boosted_windows", static_cast<uint64_t>(profile.boosted_windows));
+  d.AddRaw("by_hop", AxisJson("hop", profile.by_hop));
+  d.AddRaw("by_state", AxisJson("state", profile.by_state));
+  return d.Str();
+}
+
+std::string RenderQueryProfileTable(const QueryProfile& profile,
+                                    const char* probe_unit) {
+  std::string out = "query profile (probe unit: ";
+  out += probe_unit;
+  out += ")\n";
+  out +=
+      "bucket   windows       rows   filtered   probed   pruned"
+      "    edges   sim_micros  wall_micros\n";
+  AppendAxis(&out, "-- by hop (distance from the starting point)",
+             "hop %d", profile.by_hop);
+  AppendAxis(&out, "-- by rule state (dependency-chain position; 0 = none)",
+             "st  %d", profile.by_state);
+  out += "-- total\n";
+  AppendRow(&out, "all", profile.total);
+  char tail[64];
+  std::snprintf(tail, sizeof(tail), "boosted windows: %" PRIu64 "\n",
+                profile.boosted_windows);
+  out += tail;
+  return out;
+}
+
+}  // namespace aptrace

@@ -1,0 +1,83 @@
+#ifndef APTRACE_CORE_QUERY_PROFILE_H_
+#define APTRACE_CORE_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/storage_backend.h"
+#include "util/clock.h"
+
+namespace aptrace {
+
+/// One attribution bucket of a query profile: everything the windows
+/// charged to it consumed. All fields except `wall_micros` are
+/// deterministic (derived from the simulated cost model and the scanned
+/// rows); `wall_micros` is real coordinator time and is the only field
+/// that varies between runs of the same query.
+struct ProfileBucket {
+  uint64_t windows = 0;        // execution windows scanned
+  uint64_t rows = 0;           // rows delivered to the tracking logic
+  uint64_t rows_filtered = 0;  // rows rejected server-side
+  uint64_t partitions_probed = 0;
+  uint64_t segments_pruned = 0;
+  uint64_t edges = 0;  // graph edges the windows contributed
+  DurationMicros sim_cost = 0;  // simulated micros charged
+  uint64_t wall_micros = 0;     // coordinator wall time (observational)
+
+  void Charge(const ScanProbeStats& probe, DurationMicros cost,
+              uint64_t new_edges, uint64_t wall) {
+    windows++;
+    rows += probe.rows_delivered;
+    rows_filtered += probe.rows_filtered;
+    partitions_probed += probe.partitions_probed;
+    segments_pruned += probe.segments_pruned;
+    edges += new_edges;
+    sim_cost += cost;
+    wall_micros += wall;
+  }
+};
+
+/// "EXPLAIN ANALYZE" for one tracking session: where the query spent its
+/// simulated budget, attributed two ways over the same charges —
+///   by_hop:   the window's hop distance from the starting point (how
+///             deep in the backward closure the cost went), and
+///   by_state: the maintainer state of the window's frontier, i.e. which
+///             position of the BDL dependency-chain rule the window was
+///             exploring for (state 0 = no rule progress).
+/// Every window is charged to exactly one bucket on each axis, so each
+/// axis sums to `total` exactly — the reconciliation tests rely on it.
+///
+/// The profile *observes* the run and never steers it: graphs are
+/// bit-identical with or without anyone reading it.
+struct QueryProfile {
+  ProfileBucket total;
+  std::map<int, ProfileBucket> by_hop;
+  std::map<int, ProfileBucket> by_state;
+  /// Windows that carried a prioritize-rule boost (a rollup flag, not a
+  /// third axis — boosted windows are also in their hop/state buckets).
+  uint64_t boosted_windows = 0;
+
+  void OnWindowScanned(int hop, int state, bool boosted,
+                       const ScanProbeStats& probe, DurationMicros cost,
+                       uint64_t new_edges, uint64_t wall_micros) {
+    total.Charge(probe, cost, new_edges, wall_micros);
+    by_hop[hop].Charge(probe, cost, new_edges, wall_micros);
+    by_state[state].Charge(probe, cost, new_edges, wall_micros);
+    if (boosted) boosted_windows++;
+  }
+};
+
+/// Compact JSON document (one line) for the `profile` protocol op and
+/// `--profile ... --json`: {"windows":...,"by_hop":[...],"by_state":[...]}.
+std::string QueryProfileToJson(const QueryProfile& profile);
+
+/// Human-readable per-hop / per-rule breakdown table (what `--profile`
+/// prints). `probe_unit` names the storage unit of partitions_probed
+/// ("time partition" or "column segment").
+std::string RenderQueryProfileTable(const QueryProfile& profile,
+                                    const char* probe_unit);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_CORE_QUERY_PROFILE_H_

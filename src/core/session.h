@@ -117,6 +117,17 @@ class Session {
   /// must only be used when no Step() is in flight.
   SessionSnapshot Snapshot() const;
 
+  /// Per-hop / per-rule query profile of the responsive engine ("EXPLAIN
+  /// ANALYZE"; see core/query_profile.h); nullptr on the baseline engine.
+  /// Same thread rules as the other engine accessors: no Step() in flight.
+  const QueryProfile* profile() const {
+    return executor_ != nullptr ? &executor_->profile() : nullptr;
+  }
+
+  /// The responsive engine behind this session, for profile-adjacent
+  /// accessors (scan_cost_total etc.); nullptr on the baseline engine.
+  const Executor* executor() const { return executor_; }
+
   const DepGraph& graph() const { return engine_->graph(); }
   const UpdateLog& update_log() const { return engine_->update_log(); }
   const RunStats& stats() const { return engine_->stats(); }

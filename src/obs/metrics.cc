@@ -241,6 +241,14 @@ std::string MetricsRegistry::ExportPrometheus() const {
     os << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
     os << name << "_sum " << FormatDouble(h->sum()) << "\n";
     os << name << "_count " << h->count() << "\n";
+    // Exact quantiles from the sample reservoir, as plain sibling series
+    // (`{quantile=}` labels are reserved for TYPE summary, and NaN is not
+    // valid exposition text, so empty histograms emit no quantile lines).
+    if (h->count() > 0) {
+      os << name << "_p50 " << FormatDouble(h->Percentile(50)) << "\n";
+      os << name << "_p95 " << FormatDouble(h->Percentile(95)) << "\n";
+      os << name << "_p99 " << FormatDouble(h->Percentile(99)) << "\n";
+    }
   }
   return os.str();
 }

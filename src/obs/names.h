@@ -112,6 +112,12 @@ inline constexpr char kServiceRequests[] =
     "aptrace_service_requests_total";
 inline constexpr char kServiceRequestErrors[] =
     "aptrace_service_request_errors_total";
+inline constexpr char kServiceHttpRequests[] =
+    "aptrace_service_http_requests_total";
+inline constexpr char kServiceSlowQueries[] =
+    "aptrace_service_slow_queries_total";
+inline constexpr char kServiceFlightDumps[] =
+    "aptrace_service_flight_dumps_total";
 
 }  // namespace aptrace::obs::names
 

@@ -18,7 +18,7 @@ Tracer::ThreadBuffer* Tracer::MyBuffer() {
   static thread_local ThreadBuffer* t_buffer = nullptr;
   if (t_buffer != nullptr) return t_buffer;
   auto buf = std::make_unique<ThreadBuffer>();
-  buf->ring.resize(kRingCapacity);
+  buf->ring.resize(ring_capacity());
   buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   ThreadBuffer* raw = buf.get();
   {
@@ -39,10 +39,17 @@ void Tracer::RecordSpan(const char* name, TimeMicros ts, TimeMicros dur) {
   r.dur = dur;
   r.value = 0;
   r.is_counter = false;
-  if (++buf->next == kRingCapacity) {
+  if (++buf->next == buf->ring.size()) {
     buf->next = 0;
     buf->wrapped = true;
   }
+}
+
+void Tracer::SetThreadName(const char* name) {
+  if (!enabled()) return;
+  ThreadBuffer* buf = MyBuffer();
+  std::lock_guard<std::mutex> lock(buf->mu);
+  if (buf->name.empty()) buf->name = name;
 }
 
 void Tracer::RecordCounter(const char* name, int64_t value) {
@@ -55,7 +62,7 @@ void Tracer::RecordCounter(const char* name, int64_t value) {
   r.dur = 0;
   r.value = value;
   r.is_counter = true;
-  if (++buf->next == kRingCapacity) {
+  if (++buf->next == buf->ring.size()) {
     buf->next = 0;
     buf->wrapped = true;
   }
@@ -67,25 +74,36 @@ std::string Tracer::ToChromeTraceJson() const {
     uint32_t tid;
   };
   std::vector<Row> rows;
+  std::vector<std::pair<uint32_t, std::string>> thread_names;
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (const auto& buf : buffers_) {
       std::lock_guard<std::mutex> buf_lock(buf->mu);
-      const size_t n = buf->wrapped ? kRingCapacity : buf->next;
+      const size_t n = buf->wrapped ? buf->ring.size() : buf->next;
       for (size_t i = 0; i < n; ++i) {
         rows.push_back({buf->ring[i], buf->tid});
       }
+      if (!buf->name.empty()) thread_names.emplace_back(buf->tid, buf->name);
     }
   }
   std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
     return a.rec.ts < b.rec.ts;
   });
+  std::sort(thread_names.begin(), thread_names.end());
 
   std::ostringstream os;
   os << "{\"traceEvents\":[";
+  // Metadata records first: name the process and every labeled thread so
+  // Perfetto shows "coordinator"/"scan-worker" tracks, not bare tids.
+  os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+        "\"args\":{\"name\":\"aptrace\"}}";
+  for (const auto& [tid, name] : thread_names) {
+    os << ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" << tid
+       << ",\"args\":{\"name\":\"" << JsonEscape(name) << "\"}}";
+  }
   for (size_t i = 0; i < rows.size(); ++i) {
     const Row& row = rows[i];
-    if (i) os << ",";
+    os << ",";
     if (row.rec.is_counter) {
       os << "{\"name\":\"" << JsonEscape(row.rec.name)
          << "\",\"ph\":\"C\",\"ts\":" << row.rec.ts
@@ -120,7 +138,7 @@ size_t Tracer::RecordCount() const {
   size_t n = 0;
   for (const auto& buf : buffers_) {
     std::lock_guard<std::mutex> buf_lock(buf->mu);
-    n += buf->wrapped ? kRingCapacity : buf->next;
+    n += buf->wrapped ? buf->ring.size() : buf->next;
   }
   return n;
 }

@@ -32,14 +32,31 @@ struct TraceRecord {
 /// chrome://tracing and https://ui.perfetto.dev load directly.
 class Tracer {
  public:
-  /// Ring capacity per thread; ~16k spans ≈ 640 KiB, allocated lazily on
-  /// a thread's first record.
+  /// Default ring capacity per thread; ~16k spans ≈ 640 KiB, allocated
+  /// lazily on a thread's first record.
   static constexpr size_t kRingCapacity = 1 << 14;
 
   static Tracer& Global();
 
   void SetEnabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
   bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Overrides the per-thread ring capacity (the APTRACE_FLIGHT_BUFFER
+  /// knob). Applies to buffers allocated *after* the call — set it before
+  /// enabling; already-registered threads keep their rings.
+  void SetRingCapacity(size_t capacity) {
+    ring_capacity_.store(capacity == 0 ? 1 : capacity,
+                         std::memory_order_relaxed);
+  }
+  size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Names the calling thread's track in Chrome trace dumps (a "ph":"M"
+  /// thread_name metadata record). First name wins — a worker that runs
+  /// many roles keeps its original label. No-op while disabled, so
+  /// untraced runs never allocate a ring just to carry a name.
+  void SetThreadName(const char* name);
 
   /// Records a completed span; no-op when disabled (ScopedSpan already
   /// checks, so it never calls this disabled).
@@ -66,6 +83,7 @@ class Tracer {
     size_t next = 0;
     bool wrapped = false;
     uint32_t tid = 0;
+    std::string name;  // thread_name metadata; empty = bare tid
   };
 
   Tracer() = default;
@@ -75,6 +93,7 @@ class Tracer {
   std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
   std::atomic<bool> enabled_{false};
   std::atomic<uint32_t> next_tid_{1};
+  std::atomic<size_t> ring_capacity_{kRingCapacity};
 };
 
 /// RAII span: records [construction, destruction) into the tracer when

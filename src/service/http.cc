@@ -1,0 +1,118 @@
+#include "service/http.h"
+
+#include "obs/json_dict.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace aptrace::service {
+
+namespace {
+
+HttpResponse TextResponse(int status, const char* body) {
+  HttpResponse r;
+  r.status = status;
+  r.body = body;
+  return r;
+}
+
+std::string SessionsJson(SessionManager* manager) {
+  std::string rows = "[";
+  bool first = true;
+  for (const SessionRow& row : manager->SessionRows()) {
+    if (!first) rows += ",";
+    first = false;
+    obs::JsonDict d;
+    d.Add("id", row.id);
+    d.Add("state", row.state);
+    d.Add("detail", row.detail);
+    d.Add("weight", row.weight);
+    d.Add("vtime", row.vtime);
+    d.Add("sim_micros", static_cast<int64_t>(row.sim_micros));
+    d.Add("wall_micros", row.wall_micros);
+    d.Add("work_units", row.work_units);
+    d.Add("graph_nodes", row.graph_nodes);
+    d.Add("graph_edges", row.graph_edges);
+    d.Add("buffered_updates", row.buffered_updates);
+    d.Add("stalled", row.stalled);
+    rows += d.Str();
+  }
+  rows += "]";
+  obs::JsonDict top;
+  top.Add("draining", manager->draining());
+  top.AddRaw("sessions", rows);
+  return top.Str();
+}
+
+}  // namespace
+
+bool ParseHttpRequestLine(const std::string& line, HttpRequest* out) {
+  const size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos || sp1 == 0) return false;
+  const size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos || sp2 == sp1 + 1) return false;
+  const std::string version = line.substr(sp2 + 1);
+  if (version.rfind("HTTP/", 0) != 0) return false;
+  out->method = line.substr(0, sp1);
+  out->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  // Origin-form only: a proxy-style absolute target is not served here.
+  return !out->target.empty() && out->target.front() == '/';
+}
+
+HttpResponse HandleHttpRequest(const HttpRequest& request,
+                               SessionManager* manager) {
+  obs::Metrics()
+      .FindOrCreateCounter(obs::names::kServiceHttpRequests)
+      ->Add();
+  if (request.method != "GET") {
+    return TextResponse(405, "method not allowed\n");
+  }
+  // Strip a query string: scrapers append ?format= style noise freely.
+  std::string path = request.target;
+  if (const size_t q = path.find('?'); q != std::string::npos) {
+    path.resize(q);
+  }
+  if (path == "/metrics") {
+    // Deliberately served during a drain: the last scrape of a stopping
+    // daemon is often the most interesting one.
+    HttpResponse r;
+    r.body = obs::Metrics().ExportPrometheus();
+    return r;
+  }
+  if (path == "/healthz") {
+    return TextResponse(200, "ok\n");
+  }
+  if (path == "/readyz") {
+    return manager->draining() ? TextResponse(503, "draining\n")
+                               : TextResponse(200, "ready\n");
+  }
+  if (path == "/sessions") {
+    HttpResponse r;
+    r.content_type = "application/json";
+    r.body = SessionsJson(manager);
+    return r;
+  }
+  return TextResponse(404, "not found\n");
+}
+
+const char* HttpStatusText(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 503: return "Service Unavailable";
+  }
+  return "Unknown";
+}
+
+std::string RenderHttpResponse(const HttpResponse& response) {
+  std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                    HttpStatusText(response.status) + "\r\n";
+  out += "Content-Type: " + response.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += response.body;
+  return out;
+}
+
+}  // namespace aptrace::service

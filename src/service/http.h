@@ -1,0 +1,56 @@
+#ifndef APTRACE_SERVICE_HTTP_H_
+#define APTRACE_SERVICE_HTTP_H_
+
+#include <string>
+
+#include "service/session_manager.h"
+
+namespace aptrace::service {
+
+/// The daemon's scrape surface: a minimal HTTP/1.1 responder layered on
+/// the same sockets as the JSON protocol. The Server sniffs the first
+/// bytes of each connection — a "GET " prefix selects this dialect — and
+/// answers exactly one request before closing (Connection: close), which
+/// is all a Prometheus scraper or `curl` needs. Endpoints:
+///
+///   /metrics   Prometheus text exposition of the global registry.
+///              Served through a drain — scraping must outlive sessions.
+///   /healthz   Liveness: 200 "ok" whenever the process can answer.
+///   /readyz    Readiness: 200 "ready", flipping to 503 "draining" the
+///              moment the SessionManager starts draining.
+///   /sessions  JSON array of per-session rows (state, vtime, consumed
+///              sim micros, buffered updates; see SessionRow) — the feed
+///              behind `aptrace_client top`.
+///
+/// Unknown paths get 404, non-GET methods 405, malformed request lines
+/// 400. Every request bumps aptrace_service_http_requests_total.
+struct HttpRequest {
+  std::string method;
+  std::string target;  // origin-form, e.g. "/metrics"
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// Parses an HTTP/1.1 request line ("GET /metrics HTTP/1.1"); false on
+/// anything malformed (wrong token count, bad version, relative target).
+bool ParseHttpRequestLine(const std::string& line, HttpRequest* out);
+
+/// Routes one scrape request. `manager` may be consulted for readiness
+/// and session rows; the response is complete and self-contained.
+HttpResponse HandleHttpRequest(const HttpRequest& request,
+                               SessionManager* manager);
+
+/// The canonical reason phrase for the statuses this responder emits.
+const char* HttpStatusText(int status);
+
+/// Serializes status line, headers (Content-Type, Content-Length,
+/// Connection: close), and body into wire bytes.
+std::string RenderHttpResponse(const HttpResponse& response);
+
+}  // namespace aptrace::service
+
+#endif  // APTRACE_SERVICE_HTTP_H_

@@ -7,6 +7,7 @@
 #include "obs/json_dict.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace.h"
 #include "service/json.h"
 #include "util/string_util.h"
 
@@ -259,7 +260,41 @@ std::string ProtocolHandler::HandleLine(const std::string& line,
     d.Add("ingested_total", s.ingested_total);
     d.Add("ingest_rejected_total", s.ingest_rejected_total);
     d.Add("ingest_queue_depth", s.ingest_queue_depth);
+    d.Add("slow_queries_total", s.slow_queries_total);
+    d.Add("flight_dumps_total", s.flight_dumps_total);
     d.Add("draining", manager_->draining());
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "profile") {
+    auto p = manager_->Profile(req.GetUint("session"));
+    if (!p.ok()) return ErrorResponse(p.status());
+    const SessionProfile& sp = p.value();
+    obs::JsonDict d;
+    d.AddRaw("profile", sp.profile_json);
+    d.Add("scan_cost_micros", sp.scan_cost_micros);
+    d.Add("sim_now", static_cast<int64_t>(sp.sim_now));
+    d.Add("work_units", sp.work_units);
+    d.Add("probe_unit", sp.probe_unit);
+    return OkResponse(std::move(d));
+  }
+
+  if (op == "flight-dump") {
+    obs::Tracer& tracer = obs::Tracer::Global();
+    obs::Metrics()
+        .FindOrCreateCounter(obs::names::kServiceFlightDumps)
+        ->Add();
+    obs::JsonDict d;
+    if (const JsonValue* path = req.Find("path");
+        path != nullptr && path->IsString()) {
+      if (auto st = tracer.WriteChromeTrace(path->str_v); !st.ok()) {
+        return ErrorResponse("SRV-E009: " + st.message());
+      }
+      d.Add("written", path->str_v);
+    } else {
+      d.Add("trace", tracer.ToChromeTraceJson());  // escaped string value
+    }
+    d.Add("records", static_cast<uint64_t>(tracer.RecordCount()));
     return OkResponse(std::move(d));
   }
 

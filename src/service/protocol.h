@@ -27,13 +27,24 @@ namespace aptrace::service {
 ///   stats       {session?}  -> per-session snapshot, or service totals
 ///   ingest      {events: [{subject, object, timestamp, amount?,
 ///                action, direction?, host?}]}        -> {accepted}
+///   profile     {session}  -> {profile, scan_cost_micros, sim_now,
+///                work_units, probe_unit}  (per-hop / per-rule query
+///                profile; see core/query_profile.h)
+///   flight-dump {path?}    -> {written, records} when `path` is given
+///                (the flight recorder as a Chrome trace file), else
+///                {trace, records} with the JSON inline
 ///   shutdown    {}                                   -> {draining:true}
 ///
 /// Error codes: SRV-E001 malformed request/unknown op, SRV-E002
 /// admission, SRV-E003 unknown session, SRV-E004 compile/start failure,
 /// SRV-E005 wrong-state operation, SRV-E007 ingest rejected, SRV-E008
-/// draining, SRV-E009 checkpoint I/O. Codes are grep-able in responses
-/// and logs the same way the CLI's `error[CLI-E00x]` diagnostics are.
+/// draining, SRV-E009 checkpoint/flight-dump I/O. Codes are grep-able in
+/// responses and logs the same way the CLI's `error[CLI-E00x]`
+/// diagnostics are.
+///
+/// The same listener also answers plain HTTP GETs (/metrics, /healthz,
+/// /readyz, /sessions) — see service/http.h; the Server sniffs the
+/// dialect per connection.
 class ProtocolHandler {
  public:
   explicit ProtocolHandler(SessionManager* manager) : manager_(manager) {}

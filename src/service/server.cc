@@ -10,6 +10,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "service/http.h"
 #include "util/logging.h"
 
 namespace aptrace::service {
@@ -140,11 +143,25 @@ void Server::ConnectionLoop(int fd) {
   std::string pending;
   char buf[4096];
   bool open = true;
+  bool sniffed = false;
   while (open) {
     const ssize_t n = recv(fd, buf, sizeof(buf), 0);
     if (n < 0 && errno == EINTR) continue;
     if (n <= 0) break;  // EOF or error — includes our drain half-close
     pending.append(buf, static_cast<size_t>(n));
+    // Dialect sniff on the first bytes: an HTTP scrape opens with
+    // "GET " — serve one minimal HTTP/1.1 response and close. Everything
+    // else stays on the line-delimited JSON protocol.
+    if (!sniffed && pending.size() >= 4) {
+      sniffed = true;
+      if (pending.rfind("GET ", 0) == 0) {
+        ServeHttp(fd, &pending);
+        // Honor the advertised `Connection: close`: signal EOF to the
+        // client now; the fd itself is still closed once, by Shutdown().
+        shutdown(fd, SHUT_RDWR);
+        break;
+      }
+    }
     size_t nl = 0;
     while ((nl = pending.find('\n')) != std::string::npos) {
       std::string line = pending.substr(0, nl);
@@ -168,6 +185,39 @@ void Server::ConnectionLoop(int fd) {
   }
   // The fd stays in conn_fds_ (closed once by Shutdown); threads are
   // joined there too, so no self-cleanup races.
+}
+
+void Server::ServeHttp(int fd, std::string* pending) {
+  // One request per connection: finish reading the header block (the
+  // headers themselves are ignored — the request line is the whole
+  // contract), answer, and let the caller close. A client that never
+  // terminates its headers is answered from whatever arrived before EOF.
+  constexpr size_t kMaxHttpRequestBytes = 64 * 1024;
+  char buf[4096];
+  while (pending->find("\r\n\r\n") == std::string::npos &&
+         pending->find("\n\n") == std::string::npos &&
+         pending->size() <= kMaxHttpRequestBytes) {
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending->append(buf, static_cast<size_t>(n));
+  }
+  const size_t nl = pending->find('\n');
+  std::string line =
+      nl == std::string::npos ? *pending : pending->substr(0, nl);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  HttpRequest request;
+  HttpResponse response;
+  if (ParseHttpRequestLine(line, &request)) {
+    response = HandleHttpRequest(request, manager_);
+  } else {
+    obs::Metrics()
+        .FindOrCreateCounter(obs::names::kServiceHttpRequests)
+        ->Add();
+    response.status = 400;
+    response.body = "bad request\n";
+  }
+  SendAll(fd, RenderHttpResponse(response));
 }
 
 void Server::RequestShutdown() {

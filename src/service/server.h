@@ -67,6 +67,10 @@ class Server {
  private:
   void AcceptLoop(int listen_fd);
   void ConnectionLoop(int fd);
+  /// Answers one HTTP scrape request (see service/http.h) on a
+  /// connection whose first bytes sniffed as "GET ", then returns;
+  /// the caller closes. `pending` holds the bytes already received.
+  void ServeHttp(int fd, std::string* pending);
   void TrackConnection(int fd);
 
   SessionManager* manager_;

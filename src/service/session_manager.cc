@@ -5,6 +5,7 @@
 #include <sstream>
 #include <utility>
 
+#include "core/query_profile.h"
 #include "graph/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -24,6 +25,8 @@ struct ServiceMetrics {
   obs::Counter* ingest_events;
   obs::Counter* ingest_rejected;
   obs::LatencyHistogram* first_update_latency;
+  obs::Counter* slow_queries;
+  obs::Counter* flight_dumps;
 };
 
 const ServiceMetrics& Sm() {
@@ -39,6 +42,8 @@ const ServiceMetrics& Sm() {
       obs::Metrics().FindOrCreateCounter(obs::names::kServiceIngestRejected),
       obs::Metrics().FindOrCreateHistogram(
           obs::names::kServiceFirstUpdateLatency),
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceSlowQueries),
+      obs::Metrics().FindOrCreateCounter(obs::names::kServiceFlightDumps),
   };
   return m;
 }
@@ -88,6 +93,14 @@ struct SessionManager::Managed {
   TimeMicros opened_wall = 0;
   std::deque<ServiceBatch> buffer;
   uint64_t batch_seq = 0;
+
+  /// Cumulative wall time of this session's quanta (observational).
+  uint64_t wall_micros = 0;
+  /// Once-per-session anomaly latches (slow query, first backpressure
+  /// parking, failure) — each fires one log/dump, then stays set.
+  bool slow_logged = false;
+  bool stall_dumped = false;
+  bool failure_dumped = false;
 };
 
 SessionManager::SessionManager(EventStore* store, ServiceLimits limits)
@@ -309,6 +322,61 @@ Result<SessionSnapshot> SessionManager::Snapshot(uint64_t id) {
   return s->session->Snapshot();
 }
 
+Result<SessionProfile> SessionManager::Profile(uint64_t id) {
+  Managed* s = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    s = FindLocked(id);
+    if (s == nullptr) {
+      return Status::NotFound("SRV-E003: unknown session " +
+                              std::to_string(id));
+    }
+  }
+  // Like GraphJson: exec_mu waits out an in-flight quantum, so the
+  // profile describes complete windows only.
+  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  const QueryProfile* profile = s->session->profile();
+  if (profile == nullptr) {
+    return Status::FailedPrecondition(
+        "SRV-E005: engine keeps no query profile");
+  }
+  SessionProfile out;
+  out.profile_json = QueryProfileToJson(*profile);
+  out.scan_cost_micros =
+      static_cast<uint64_t>(s->session->executor()->scan_cost_total());
+  out.sim_now = s->clock->NowMicros();
+  out.work_units = s->session->stats().work_units;
+  out.probe_unit = store_->backend().capabilities().probe_unit;
+  return out;
+}
+
+std::vector<SessionRow> SessionManager::SessionRows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SessionRow> rows;
+  rows.reserve(sessions_.size());
+  for (const auto& [id, s] : sessions_) {
+    SessionRow row;
+    row.id = id;
+    row.state = SessionStateName(s->state);
+    row.detail = s->detail;
+    row.weight = s->weight;
+    row.vtime = s->vtime;
+    row.wall_micros = s->wall_micros;
+    row.buffered_updates = s->buffer.size();
+    row.stalled = s->state == SessionState::kRunning &&
+                  s->buffer.size() >= limits_.update_buffer_cap;
+    // Snapshot() takes only the session's snapshot mutex — never the
+    // engine — so this view cannot block on a running quantum.
+    const SessionSnapshot snap = s->session->Snapshot();
+    row.sim_micros = snap.sim_now;
+    row.work_units = snap.work_units;
+    row.graph_nodes = snap.graph_nodes;
+    row.graph_edges = snap.graph_edges;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
 Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
   Managed* s = nullptr;
   {
@@ -411,6 +479,7 @@ SessionManager::Managed* SessionManager::PickNextLocked() {
 }
 
 void SessionManager::SchedulerLoop() {
+  obs::Tracer::Global().SetThreadName("scheduler");
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     if (!ingest_queue_.empty()) {
@@ -461,6 +530,7 @@ void SessionManager::RunQuantum(Managed* s) {
 
   const uint64_t start_work = s->session->stats().work_units;
   const TimeMicros start_sim = s->clock->NowMicros();
+  const TimeMicros start_wall = MonotonicNowMicros();
 
   RunLimits limits;
   limits.should_stop = [this, s, start_work] {
@@ -497,6 +567,8 @@ void SessionManager::RunQuantum(Managed* s) {
 
   const uint64_t end_work = s->session->stats().work_units;
   const TimeMicros end_sim = s->clock->NowMicros();
+  const uint64_t wall_delta =
+      static_cast<uint64_t>(MonotonicNowMicros() - start_wall);
   const bool window_budget_hit =
       s->window_budget != 0 && end_work >= s->window_budget;
   const bool sim_budget_hit =
@@ -535,39 +607,95 @@ void SessionManager::RunQuantum(Managed* s) {
     detail = "sim_budget_exhausted";
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
-  // Charge consumed virtual time (at least one tick so zero-cost quanta
-  // cannot pin the schedule).
-  const uint64_t consumed =
-      static_cast<uint64_t>(std::max<DurationMicros>(1, end_sim - start_sim));
-  s->vtime += std::max<uint64_t>(1, consumed / s->weight);
-  stats_.quanta_total++;
-  if (s->stalled_on_buffer && new_state == SessionState::kRunning) {
-    stats_.backpressure_stalls_total++;
-    Sm().backpressure_stalls->Add();
-  }
-  if (new_state != SessionState::kRunning) {
-    s->state = new_state;
-    s->detail = detail;
-    stats_.live--;
-    Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
-    switch (new_state) {
-      case SessionState::kDone:
-        stats_.done++;
-        break;
-      case SessionState::kCancelled:
-        stats_.cancelled++;
-        break;
-      case SessionState::kBudget:
-        stats_.budget_exhausted++;
-        break;
-      case SessionState::kFailed:
-        stats_.failed++;
-        break;
-      case SessionState::kRunning:
-        break;
+  bool slow = false;
+  bool dump_stall = false;
+  bool dump_failure = false;
+  uint64_t slow_wall = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Charge consumed virtual time (at least one tick so zero-cost quanta
+    // cannot pin the schedule).
+    const uint64_t consumed = static_cast<uint64_t>(
+        std::max<DurationMicros>(1, end_sim - start_sim));
+    s->vtime += std::max<uint64_t>(1, consumed / s->weight);
+    stats_.quanta_total++;
+    s->wall_micros += wall_delta;
+    if (limits_.slow_query_micros != 0 && !s->slow_logged &&
+        s->wall_micros >= limits_.slow_query_micros) {
+      // Latched: one warning line, one counter tick, one dump — however
+      // many more quanta this session runs.
+      s->slow_logged = true;
+      slow = true;
+      slow_wall = s->wall_micros;
+      stats_.slow_queries_total++;
+    }
+    if (s->stalled_on_buffer && new_state == SessionState::kRunning) {
+      stats_.backpressure_stalls_total++;
+      Sm().backpressure_stalls->Add();
+      if (!s->stall_dumped) {
+        s->stall_dumped = true;
+        dump_stall = true;
+      }
+    }
+    if (new_state != SessionState::kRunning) {
+      s->state = new_state;
+      s->detail = detail;
+      stats_.live--;
+      Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
+      switch (new_state) {
+        case SessionState::kDone:
+          stats_.done++;
+          break;
+        case SessionState::kCancelled:
+          stats_.cancelled++;
+          break;
+        case SessionState::kBudget:
+          stats_.budget_exhausted++;
+          break;
+        case SessionState::kFailed:
+          stats_.failed++;
+          if (!s->failure_dumped) {
+            s->failure_dumped = true;
+            dump_failure = true;
+          }
+          break;
+        case SessionState::kRunning:
+          break;
+      }
     }
   }
+  // Anomaly reporting happens outside mu_ (log/dump I/O must not block
+  // connection threads); exec_mu still pins the session.
+  if (slow) {
+    Sm().slow_queries->Add();
+    APTRACE_LOG(Warning) << "slow_query session=" << s->id
+                         << " wall_micros=" << slow_wall
+                         << " sim_micros=" << end_sim
+                         << " work_units=" << end_work
+                         << " threshold_micros="
+                         << limits_.slow_query_micros;
+    DumpFlight(s->id, "slow-query");
+  }
+  if (dump_stall) DumpFlight(s->id, "backpressure");
+  if (dump_failure) DumpFlight(s->id, "failure");
+}
+
+void SessionManager::DumpFlight(uint64_t id, const char* reason) {
+  if (limits_.flight_dump_dir.empty()) return;
+  const std::string path = limits_.flight_dump_dir + "/flight-" +
+                           std::to_string(id) + "-" + reason + ".json";
+  if (auto st = obs::Tracer::Global().WriteChromeTrace(path); !st.ok()) {
+    APTRACE_LOG(Warning) << "service: flight dump to " << path
+                         << " failed: " << st.message();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_.flight_dumps_total++;
+  }
+  Sm().flight_dumps->Add();
+  APTRACE_LOG(Info) << "service: flight recorder dumped to " << path
+                    << " (session=" << id << " reason=" << reason << ")";
 }
 
 void SessionManager::ApplyIngest() {

@@ -55,6 +55,18 @@ struct ServiceLimits {
   /// Affects only the modeled-makespan accounting — results are
   /// bit-identical at any value.
   int session_scan_threads = 1;
+
+  /// Cumulative wall micros a session may consume across its quanta
+  /// before it is flagged slow: one structured `slow_query` warning line,
+  /// one counter tick, one flight-recorder dump — exactly once per
+  /// session. 0 disables. The APTRACE_SLOW_QUERY_MICROS default.
+  uint64_t slow_query_micros = 0;
+
+  /// Directory anomaly-triggered flight-recorder dumps are written into
+  /// (`flight-<id>-<reason>.json`); empty disables auto-dumps. Anomalies:
+  /// session failure, first backpressure parking, slow query — each dumps
+  /// at most once per session.
+  std::string flight_dump_dir;
 };
 
 /// Terminal and live states of a hosted session.
@@ -110,6 +122,37 @@ struct ServiceStats {
   uint64_t ingested_total = 0;
   uint64_t ingest_rejected_total = 0;
   uint64_t ingest_queue_depth = 0;
+  uint64_t slow_queries_total = 0;
+  uint64_t flight_dumps_total = 0;
+};
+
+/// One live-view row of the `/sessions` endpoint (and `aptrace_client
+/// top`): scheduler bookkeeping under the manager mutex plus the
+/// session's own tear-free snapshot, taken in the same pass.
+struct SessionRow {
+  uint64_t id = 0;
+  std::string state;
+  std::string detail;
+  uint64_t weight = 1;
+  uint64_t vtime = 0;            // consumed sim micros / weight
+  TimeMicros sim_micros = 0;     // session clock (consumed sim micros)
+  uint64_t wall_micros = 0;      // cumulative quantum wall time
+  uint64_t work_units = 0;
+  uint64_t graph_nodes = 0;
+  uint64_t graph_edges = 0;
+  uint64_t buffered_updates = 0; // undelivered update batches
+  bool stalled = false;          // parked on a full update buffer
+};
+
+/// What the `profile` op returns: the session's query profile document
+/// plus independently accumulated figures tests reconcile it against
+/// (core/query_profile.h explains the exact identities).
+struct SessionProfile {
+  std::string profile_json;      // QueryProfileToJson output
+  uint64_t scan_cost_micros = 0; // ScanOverlapModel's independent total
+  TimeMicros sim_now = 0;        // session clock (>= scan_cost_micros)
+  uint64_t work_units = 0;
+  std::string probe_unit;        // storage unit of partitions_probed
 };
 
 /// Owns every concurrently tracked session of the daemon and the one
@@ -181,6 +224,16 @@ class SessionManager {
   /// Consistent progress snapshot (never torn; see SessionSnapshot).
   Result<SessionSnapshot> Snapshot(uint64_t id);
 
+  /// The session's per-hop / per-rule query profile ("EXPLAIN ANALYZE").
+  /// Waits for an in-flight quantum to end, like GraphJson, so the
+  /// profile is at a window boundary and internally consistent.
+  /// SRV-E003 unknown id; SRV-E005 when the engine keeps no profile.
+  Result<SessionProfile> Profile(uint64_t id);
+
+  /// One row per session (live and terminal) for the /sessions endpoint;
+  /// ordered by id. Safe from any thread, never blocks on a quantum.
+  std::vector<SessionRow> SessionRows() const;
+
   /// Persists a paused session to `path` (core checkpoint format).
   /// SRV-E003 unknown id; SRV-E005 terminal session; SRV-E009 I/O error.
   Status Checkpoint(uint64_t id, const std::string& path);
@@ -218,6 +271,9 @@ class SessionManager {
   /// no locks held, between quanta.
   void ApplyIngest();
   Result<uint64_t> Admit(std::unique_ptr<Managed> s);
+  /// Writes the flight recorder to flight_dump_dir (no-op when empty).
+  /// Called with no locks held (takes mu_ for the counters).
+  void DumpFlight(uint64_t id, const char* reason);
   /// Looks up a session id. Sessions are never erased, so the returned
   /// pointer stays valid for the manager's lifetime.
   Managed* FindLocked(uint64_t id);

@@ -47,20 +47,22 @@ size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                             Clock* clock,
                             const std::function<void(const Event&)>& fn,
                             const RowFilter& filter,
-                            DurationMicros* cost_out) const {
+                            DurationMicros* cost_out,
+                            ScanProbeStats* probe_out) const {
   APTRACE_SPAN("store/scan_dest");
   return backend_->ReplayScan(backend_->CollectDest(dest, begin, end), clock,
-                              fn, filter, cost_out);
+                              fn, filter, cost_out, probe_out);
 }
 
 size_t EventStore::ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end,
                            Clock* clock,
                            const std::function<void(const Event&)>& fn,
                            const RowFilter& filter,
-                           DurationMicros* cost_out) const {
+                           DurationMicros* cost_out,
+                           ScanProbeStats* probe_out) const {
   APTRACE_SPAN("store/scan_src");
   return backend_->ReplayScan(backend_->CollectSrc(src, begin, end), clock, fn,
-                              filter, cost_out);
+                              filter, cost_out, probe_out);
 }
 
 size_t EventStore::ScanRange(TimeMicros begin, TimeMicros end, Clock* clock,

@@ -99,14 +99,16 @@ class EventStore {
   /// `filter` (null = no filter). Filtered rows are charged the cheap
   /// server-side-rejection cost; delivered rows the full fetch cost.
   /// Charges the cost model to `clock` (pass nullptr to skip charging);
-  /// `cost_out`, when non-null, also receives the simulated cost.
+  /// `cost_out`, when non-null, also receives the simulated cost, and
+  /// `probe_out` this scan's own attribution record (see ScanProbeStats).
   /// Returns the number of rows delivered.
   ///
   /// Precondition: sealed.
   size_t ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                   Clock* clock, const std::function<void(const Event&)>& fn,
                   const RowFilter& filter = nullptr,
-                  DurationMicros* cost_out = nullptr) const;
+                  DurationMicros* cost_out = nullptr,
+                  ScanProbeStats* probe_out = nullptr) const;
 
   /// Pure row collection for ScanDest: the rows and probe counters the
   /// scan would visit, with no clock charge, no stats, no metrics. Safe to
@@ -135,8 +137,10 @@ class EventStore {
   size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
                     const std::function<void(const Event&)>& fn,
                     const RowFilter& filter = nullptr,
-                    DurationMicros* cost_out = nullptr) const {
-    return backend_->ReplayScan(batch, clock, fn, filter, cost_out);
+                    DurationMicros* cost_out = nullptr,
+                    ScanProbeStats* probe_out = nullptr) const {
+    return backend_->ReplayScan(batch, clock, fn, filter, cost_out,
+                                probe_out);
   }
 
   /// Number of rows ScanDest would match, without fetching them (charges
@@ -151,7 +155,8 @@ class EventStore {
   size_t ScanSrc(ObjectId src, TimeMicros begin, TimeMicros end, Clock* clock,
                  const std::function<void(const Event&)>& fn,
                  const RowFilter& filter = nullptr,
-                 DurationMicros* cost_out = nullptr) const;
+                 DurationMicros* cost_out = nullptr,
+                 ScanProbeStats* probe_out = nullptr) const;
 
   /// Full-range scan of all events in [begin, end), ascending; used for
   /// start-point resolution and derived-attribute computation. Charges

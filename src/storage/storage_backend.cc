@@ -97,7 +97,8 @@ void StorageBackend::ResetStats() {
 size_t StorageBackend::ReplayScan(const RangeScanBatch& batch, Clock* clock,
                                   const std::function<void(const Event&)>& fn,
                                   const RowFilter& filter,
-                                  DurationMicros* cost_out) const {
+                                  DurationMicros* cost_out,
+                                  ScanProbeStats* probe_out) const {
   assert(sealed_);
   size_t rows = 0;
   size_t filtered = 0;
@@ -114,6 +115,13 @@ size_t StorageBackend::ReplayScan(const RangeScanBatch& batch, Clock* clock,
       rows, filtered, batch.partitions_probed, batch.partitions_seeked);
   if (clock != nullptr) clock->AdvanceMicros(cost);
   if (cost_out != nullptr) *cost_out = cost;
+  if (probe_out != nullptr) {
+    probe_out->rows_delivered = rows;
+    probe_out->rows_filtered = filtered;
+    probe_out->partitions_probed = batch.partitions_probed;
+    probe_out->partitions_seeked = batch.partitions_seeked;
+    probe_out->segments_pruned = batch.segments_pruned;
+  }
   {
     std::lock_guard<std::mutex> lock(stats_mu_);
     stats_.queries++;

@@ -75,6 +75,18 @@ struct StoreStats {
 /// heuristics into the query). Return false to discard the row cheaply.
 using RowFilter = std::function<bool(const Event&)>;
 
+/// Per-scan attribution record: what one ReplayScan touched, for callers
+/// (the query profiler) that need per-query rather than cumulative
+/// accounting. Deterministic — every field derives from the batch and the
+/// filter outcome, never from wall time.
+struct ScanProbeStats {
+  uint64_t rows_delivered = 0;  // passed the filter, handed to `fn`
+  uint64_t rows_filtered = 0;   // rejected server-side
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  uint64_t segments_pruned = 0;
+};
+
 /// Raw output of a pure index scan: the rows a Scan* call would visit (in
 /// the same ascending (timestamp, id) order) plus the probe counters the
 /// cost model charges. Produced by CollectDest/CollectSrc — which are
@@ -182,10 +194,13 @@ class StorageBackend {
   /// ScanDest/ScanSrc would. Calling Collect* then ReplayScan is
   /// observably identical to one fused scan (same callback order, same
   /// simulated cost, same counters). Returns the rows delivered.
+  /// `probe_out`, when non-null, receives this scan's own attribution
+  /// record (the per-query slice of the cumulative StoreStats).
   size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
                     const std::function<void(const Event&)>& fn,
                     const RowFilter& filter = nullptr,
-                    DurationMicros* cost_out = nullptr) const;
+                    DurationMicros* cost_out = nullptr,
+                    ScanProbeStats* probe_out = nullptr) const;
 
   /// Number of rows CollectDest would match, without fetching them
   /// (charges only probe/overhead cost — models a COUNT(*) on the index).

@@ -46,6 +46,21 @@ std::optional<std::string> GetValidatedEnv(
   return std::nullopt;
 }
 
+std::optional<uint64_t> GetValidatedEnvCount(const char* name) {
+  const auto value = GetValidatedEnv(
+      name,
+      [](const std::string& v) {
+        if (v.empty() || v.size() > 19) return false;
+        for (const char c : v) {
+          if (c < '0' || c > '9') return false;
+        }
+        return true;
+      },
+      "an unsigned integer");
+  if (!value.has_value()) return std::nullopt;
+  return std::strtoull(value->c_str(), nullptr, 10);
+}
+
 uint64_t EnvWarningCountForTest() {
   WarnOnceState& state = Warnings();
   std::lock_guard<std::mutex> lock(state.mu);

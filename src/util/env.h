@@ -14,9 +14,16 @@ namespace aptrace {
 ///   APTRACE_LOG_LEVEL      log threshold ("debug" ... "off", or 0-4)
 ///   APTRACE_SERVER_SOCKET  default unix-socket path for aptrace_serverd
 ///                          and aptrace_client
+///   APTRACE_SLOW_QUERY_MICROS
+///                          daemon slow-query threshold in wall micros
+///                          (positive integer; 0/unset disables)
+///   APTRACE_FLIGHT_BUFFER  per-thread flight-recorder ring capacity in
+///                          spans (positive integer)
 inline constexpr char kEnvBackend[] = "APTRACE_BACKEND";
 inline constexpr char kEnvLogLevel[] = "APTRACE_LOG_LEVEL";
 inline constexpr char kEnvServerSocket[] = "APTRACE_SERVER_SOCKET";
+inline constexpr char kEnvSlowQueryMicros[] = "APTRACE_SLOW_QUERY_MICROS";
+inline constexpr char kEnvFlightBuffer[] = "APTRACE_FLIGHT_BUFFER";
 
 /// Raw environment read; nullopt when unset. Empty values count as set.
 std::optional<std::string> GetEnv(const char* name);
@@ -35,6 +42,11 @@ std::optional<std::string> GetEnv(const char* name);
 std::optional<std::string> GetValidatedEnv(
     const char* name, const std::function<bool(const std::string&)>& valid,
     const char* expected);
+
+/// Validated read of a decimal unsigned-integer knob (digits only, no
+/// sign, fits in uint64). Invalid values warn once (as above) and return
+/// nullopt; so does unset.
+std::optional<uint64_t> GetValidatedEnvCount(const char* name);
 
 /// Number of invalid-value warnings emitted so far, and a reset of the
 /// warn-once memory — for tests asserting the warn-once contract.

@@ -251,6 +251,64 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "daemon-served graph JSON differs from `aptrace run`")
 endif()
 
+# Observability plane: scrape the daemon's HTTP endpoints through the
+# client (no curl dependency in the test environment).
+execute_process(
+  COMMAND ${CLIENT} http --socket=${SOCKET} --path=/healthz
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok")
+  message(FATAL_ERROR "client http /healthz failed: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} http --socket=${SOCKET} --path=/metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "aptrace_service_sessions_opened_total"
+   OR NOT out MATCHES "aptrace_service_http_requests_total")
+  message(FATAL_ERROR "client http /metrics failed: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} http --socket=${SOCKET} --path=/nope
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0 OR NOT err MATCHES "404")
+  message(FATAL_ERROR "http /nope should exit nonzero with 404: rc=${rc} ${err}")
+endif()
+
+# A profiled daemon run: the rendered breakdown table appears, the graph
+# bytes are untouched (profiling observes, never steers), and the profile
+# totals reconcile exactly — total sim cost == the session's charged scan
+# cost, total windows == its work units.
+execute_process(
+  COMMAND ${CLIENT} run --socket=${SOCKET} --script=${WORKDIR}/a2.tsv.bdl
+          --profile --quiet --json=${WORKDIR}/profiled.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "query profile \\(probe unit:")
+  message(FATAL_ERROR "client run --profile failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORKDIR}/row.json ${WORKDIR}/profiled.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--profile changed the served graph JSON")
+endif()
+string(REGEX MATCH "\"total\":{\"windows\":([0-9]+)" _ "${out}")
+set(PROFILE_WINDOWS ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"sim_cost_micros\":([0-9]+)" _ "${out}")
+set(PROFILE_SIM ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"scan_cost_micros\":([0-9]+)" _ "${out}")
+set(SCAN_COST ${CMAKE_MATCH_1})
+string(REGEX MATCH "\"work_units\":([0-9]+)" _ "${out}")
+set(WORK_UNITS ${CMAKE_MATCH_1})
+if(PROFILE_WINDOWS STREQUAL "" OR WORK_UNITS STREQUAL ""
+   OR NOT PROFILE_WINDOWS STREQUAL WORK_UNITS)
+  message(FATAL_ERROR
+    "profile windows (${PROFILE_WINDOWS}) != work units (${WORK_UNITS}): ${out}")
+endif()
+if(PROFILE_SIM STREQUAL "" OR SCAN_COST STREQUAL ""
+   OR NOT PROFILE_SIM STREQUAL SCAN_COST)
+  message(FATAL_ERROR
+    "profile sim cost (${PROFILE_SIM}) != charged scan cost (${SCAN_COST}): ${out}")
+endif()
+
 # Session lifecycle over the wire: open, poll, cancel.
 execute_process(
   COMMAND ${CLIENT} open --socket=${SOCKET} --script=${WORKDIR}/a2.tsv.bdl

@@ -97,7 +97,24 @@ TEST(ExportTest, PrometheusGolden) {
             "lat_bucket{le=\"1\"} 2\n"
             "lat_bucket{le=\"+Inf\"} 3\n"
             "lat_sum 2.55\n"
-            "lat_count 3\n");
+            "lat_count 3\n"
+            // Quantiles ride along as plain sibling series, linearly
+            // interpolated from the sample reservoir {0.05, 0.5, 2.0}.
+            "lat_p50 0.5\n"
+            "lat_p95 1.85\n"
+            "lat_p99 1.97\n");
+}
+
+TEST(ExportTest, EmptyHistogramEmitsNoQuantileLines) {
+  // NaN is not valid Prometheus exposition text, so a histogram that
+  // never observed anything exports buckets and count only.
+  MetricsRegistry registry;
+  registry.FindOrCreateHistogram("lat", "", {1});
+  const std::string text = registry.ExportPrometheus();
+  EXPECT_NE(text.find("lat_count 0\n"), std::string::npos);
+  EXPECT_EQ(text.find("lat_p50"), std::string::npos);
+  EXPECT_EQ(text.find("lat_p95"), std::string::npos);
+  EXPECT_EQ(text.find("lat_p99"), std::string::npos);
 }
 
 TEST(ExportTest, JsonGolden) {
@@ -160,6 +177,71 @@ TEST(TracerTest, ChromeTraceContainsSpansAndCounters) {
   EXPECT_NE(json.find("\"name\":\"test/queue\",\"ph\":\"C\""),
             std::string::npos);
   EXPECT_NE(json.find("\"args\":{\"value\":42}"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, ChromeTraceLeadsWithProcessMetadata) {
+  // Perfetto labels the process from a ph:"M" process_name record; it is
+  // always the first traceEvent, even when nothing was recorded.
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_EQ(json.rfind("{\"traceEvents\":["
+                       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+                       "\"args\":{\"name\":\"aptrace\"}}",
+                       0),
+            0u)
+      << json;
+}
+
+TEST(TracerTest, ThreadNameMetadataIsFirstWins) {
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.SetEnabled(true);
+  std::thread worker([&tracer] {
+    tracer.SetThreadName("original-role");
+    tracer.SetThreadName("later-role");
+    APTRACE_SPAN("test/named");
+  });
+  worker.join();
+  tracer.SetEnabled(false);
+  const std::string json = tracer.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"name\":\"thread_name\",\"ph\":\"M\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"name\":\"original-role\"}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("later-role"), std::string::npos);
+  tracer.Clear();
+}
+
+TEST(TracerTest, SetThreadNameWhileDisabledIsNoOp) {
+  // An untraced run must not allocate a ring buffer just to carry a
+  // label, so naming a thread while disabled does nothing.
+  Tracer& tracer = Tracer::Global();
+  tracer.SetEnabled(false);
+  std::thread worker([&tracer] { tracer.SetThreadName("ghost-role"); });
+  worker.join();
+  EXPECT_EQ(tracer.ToChromeTraceJson().find("ghost-role"),
+            std::string::npos);
+}
+
+TEST(TracerTest, SetRingCapacityAppliesToNewThreads) {
+  // The APTRACE_FLIGHT_BUFFER knob: threads whose buffers are allocated
+  // after the call get the new capacity; this thread's existing ring is
+  // untouched.
+  Tracer& tracer = Tracer::Global();
+  tracer.Clear();
+  tracer.SetRingCapacity(8);
+  tracer.SetEnabled(true);
+  std::thread worker([] {
+    for (int i = 0; i < 100; ++i) {
+      APTRACE_SPAN("test/capped");
+    }
+  });
+  worker.join();
+  tracer.SetEnabled(false);
+  EXPECT_EQ(tracer.RecordCount(), 8u);
+  tracer.SetRingCapacity(Tracer::kRingCapacity);
   tracer.Clear();
 }
 

@@ -1,0 +1,287 @@
+// Tests for the daemon's HTTP scrape surface (src/service/http.*):
+// request-line parsing, response rendering, routing, and the live
+// endpoints of a running Server — /metrics stays a valid Prometheus
+// exposition while concurrent sessions run, /readyz flips to 503 the
+// moment the manager drains while /metrics keeps serving, malformed
+// request lines get 400, unknown paths 404.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "service/http.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "service/session_manager.h"
+#include "tests/random_trace_util.h"
+#include "tests/test_trace.h"
+
+namespace aptrace::service {
+namespace {
+
+using testing_support::MakeMiniTrace;
+using testing_support::MiniTrace;
+
+// ------------------------------------------------------------ unit layer
+
+TEST(HttpParseTest, AcceptsOriginFormRequestLines) {
+  HttpRequest r;
+  ASSERT_TRUE(ParseHttpRequestLine("GET /metrics HTTP/1.1", &r));
+  EXPECT_EQ(r.method, "GET");
+  EXPECT_EQ(r.target, "/metrics");
+
+  ASSERT_TRUE(ParseHttpRequestLine("GET / HTTP/1.0", &r));
+  EXPECT_EQ(r.target, "/");
+
+  ASSERT_TRUE(ParseHttpRequestLine("POST /sessions HTTP/1.1", &r));
+  EXPECT_EQ(r.method, "POST");  // routed to 405, but it parses
+}
+
+TEST(HttpParseTest, RejectsMalformedRequestLines) {
+  HttpRequest r;
+  EXPECT_FALSE(ParseHttpRequestLine("", &r));
+  EXPECT_FALSE(ParseHttpRequestLine("GET", &r));
+  EXPECT_FALSE(ParseHttpRequestLine("GET /metrics", &r));      // no version
+  EXPECT_FALSE(ParseHttpRequestLine("GET  HTTP/1.1", &r));     // empty target
+  EXPECT_FALSE(ParseHttpRequestLine("GET metrics HTTP/1.1", &r));  // relative
+  EXPECT_FALSE(ParseHttpRequestLine("GET /x FTP/1.1", &r));    // bad version
+  EXPECT_FALSE(
+      ParseHttpRequestLine("GET http://h/metrics HTTP/1.1", &r));  // absolute
+}
+
+TEST(HttpRenderTest, ResponseCarriesStatusHeadersAndBody) {
+  HttpResponse response;
+  response.body = "ok\n";
+  const std::string wire = RenderHttpResponse(response);
+  EXPECT_EQ(wire.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+  EXPECT_NE(wire.find("Content-Type: text/plain; charset=utf-8\r\n"),
+            std::string::npos);
+  EXPECT_NE(wire.find("Content-Length: 3\r\n"), std::string::npos);
+  const std::string tail = "Connection: close\r\n\r\nok\n";
+  ASSERT_GE(wire.size(), tail.size());
+  EXPECT_EQ(wire.substr(wire.size() - tail.size()), tail);
+
+  response.status = 503;
+  response.body = "draining\n";
+  EXPECT_EQ(RenderHttpResponse(response).rfind(
+                "HTTP/1.1 503 Service Unavailable\r\n", 0),
+            0u);
+}
+
+TEST(HttpRenderTest, StatusTextCoversEveryEmittedStatus) {
+  EXPECT_STREQ(HttpStatusText(200), "OK");
+  EXPECT_STREQ(HttpStatusText(400), "Bad Request");
+  EXPECT_STREQ(HttpStatusText(404), "Not Found");
+  EXPECT_STREQ(HttpStatusText(405), "Method Not Allowed");
+  EXPECT_STREQ(HttpStatusText(503), "Service Unavailable");
+  EXPECT_STREQ(HttpStatusText(418), "Unknown");
+}
+
+TEST(HttpRouteTest, RoutesWithoutAServer) {
+  MiniTrace t = MakeMiniTrace();
+  SessionManager manager(t.store.get(), ServiceLimits{});
+
+  const auto route = [&](const char* method, const char* target) {
+    HttpRequest request;
+    request.method = method;
+    request.target = target;
+    return HandleHttpRequest(request, &manager);
+  };
+
+  EXPECT_EQ(route("POST", "/metrics").status, 405);
+  EXPECT_EQ(route("GET", "/nope").status, 404);
+  EXPECT_EQ(route("GET", "/healthz").status, 200);
+  EXPECT_EQ(route("GET", "/healthz").body, "ok\n");
+  // Scrapers may append query noise; it is stripped before routing.
+  EXPECT_EQ(route("GET", "/readyz?verbose=1").status, 200);
+  EXPECT_EQ(route("GET", "/readyz").body, "ready\n");
+
+  const HttpResponse sessions = route("GET", "/sessions");
+  EXPECT_EQ(sessions.status, 200);
+  EXPECT_EQ(sessions.content_type, "application/json");
+  auto parsed = ParseJson(sessions.body);
+  ASSERT_TRUE(parsed.ok()) << sessions.body;
+  EXPECT_FALSE(parsed->GetBool("draining", true));
+}
+
+// ------------------------------------------------------------ live layer
+
+/// One whole scrape: fresh connection, raw request bytes, read to EOF
+/// (the server half-closes after its single response).
+struct ScrapeResult {
+  int status = -1;
+  std::string body;
+};
+
+ScrapeResult RawScrape(const std::string& socket_path,
+                       const std::string& request) {
+  ScrapeResult result;
+  const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return result;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    close(fd);
+    return result;
+  }
+  EXPECT_EQ(send(fd, request.data(), request.size(), 0),
+            static_cast<ssize_t>(request.size()));
+  std::string raw;
+  for (;;) {
+    char buf[4096];
+    const ssize_t n = recv(fd, buf, sizeof(buf), 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t header_end = raw.find("\r\n\r\n");
+  if (header_end == std::string::npos) return result;
+  std::sscanf(raw.c_str(), "HTTP/%*s %d", &result.status);
+  result.body = raw.substr(header_end + 4);
+  return result;
+}
+
+ScrapeResult HttpGet(const std::string& socket_path, const std::string& path) {
+  return RawScrape(socket_path, "GET " + path +
+                                    " HTTP/1.1\r\nHost: aptrace\r\n"
+                                    "Connection: close\r\n\r\n");
+}
+
+/// Every non-empty line of a Prometheus text exposition is a comment or
+/// a `name value` sample with a parseable value.
+void ExpectValidPrometheus(const std::string& body) {
+  ASSERT_FALSE(body.empty());
+  size_t start = 0;
+  while (start < body.size()) {
+    size_t end = body.find('\n', start);
+    if (end == std::string::npos) end = body.size();
+    const std::string line = body.substr(start, end - start);
+    start = end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    const size_t sp = line.find(' ');
+    ASSERT_NE(sp, std::string::npos) << line;
+    EXPECT_EQ(line.find(' ', sp + 1), std::string::npos) << line;
+    char* endp = nullptr;
+    std::strtod(line.c_str() + sp + 1, &endp);
+    EXPECT_EQ(*endp, '\0') << line;
+  }
+}
+
+TEST(ServiceHttpTest, EndpointsServeWhileConcurrentSessionsRun) {
+  // Four stalled (hence live, mid-run) sessions under the server while
+  // every endpoint is scraped.
+  RandomTrace t = MakeRandomTrace(29, 600);
+  ServiceLimits limits;
+  limits.update_buffer_cap = 1;  // sessions park on backpressure: stay live
+  SessionManager manager(t.store.get(), limits);
+  const std::string socket_path =
+      testing::TempDir() + "aptrace_http_test.sock";
+  ServerOptions options;
+  options.unix_socket_path = socket_path;
+  Server server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  OpenOptions opts;
+  opts.start_event = t.alert.id;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(manager.Open(UnconstrainedScript(t), opts).ok());
+  }
+
+  const ScrapeResult health = HttpGet(socket_path, "/healthz");
+  EXPECT_EQ(health.status, 200);
+  EXPECT_EQ(health.body, "ok\n");
+
+  const ScrapeResult ready = HttpGet(socket_path, "/readyz");
+  EXPECT_EQ(ready.status, 200);
+  EXPECT_EQ(ready.body, "ready\n");
+
+  const ScrapeResult metrics = HttpGet(socket_path, "/metrics");
+  EXPECT_EQ(metrics.status, 200);
+  ExpectValidPrometheus(metrics.body);
+  EXPECT_NE(metrics.body.find("aptrace_service_http_requests_total"),
+            std::string::npos);
+  EXPECT_NE(metrics.body.find("aptrace_service_sessions_live 4"),
+            std::string::npos)
+      << metrics.body;
+
+  const ScrapeResult sessions = HttpGet(socket_path, "/sessions");
+  EXPECT_EQ(sessions.status, 200);
+  auto parsed = ParseJson(sessions.body);
+  ASSERT_TRUE(parsed.ok()) << sessions.body;
+  EXPECT_FALSE(parsed->GetBool("draining", true));
+  const JsonValue* rows = parsed->Find("sessions");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->IsArray());
+  EXPECT_EQ(rows->items.size(), 4u);
+  for (const JsonValue& row : rows->items) {
+    EXPECT_GT(row.GetUint("id"), 0u);
+    EXPECT_FALSE(row.GetString("state").empty());
+  }
+
+  // Error paths: a request line missing its version parses as HTTP (it
+  // starts with "GET ") but fails validation; unknown paths are 404.
+  const ScrapeResult bad = RawScrape(socket_path, "GET /metrics\r\n\r\n");
+  EXPECT_EQ(bad.status, 400);
+  const ScrapeResult missing = HttpGet(socket_path, "/nope");
+  EXPECT_EQ(missing.status, 404);
+  EXPECT_EQ(missing.body, "not found\n");
+
+  // Drain-awareness: readiness flips the moment the manager drains, but
+  // /metrics and /healthz keep answering — the last scrape of a stopping
+  // daemon is the one worth having.
+  manager.Stop();
+  const ScrapeResult draining = HttpGet(socket_path, "/readyz");
+  EXPECT_EQ(draining.status, 503);
+  EXPECT_EQ(draining.body, "draining\n");
+  EXPECT_EQ(HttpGet(socket_path, "/healthz").status, 200);
+  const ScrapeResult last = HttpGet(socket_path, "/metrics");
+  EXPECT_EQ(last.status, 200);
+  ExpectValidPrometheus(last.body);
+
+  auto drained = ParseJson(HttpGet(socket_path, "/sessions").body);
+  ASSERT_TRUE(drained.ok());
+  EXPECT_TRUE(drained->GetBool("draining"));
+
+  server.Shutdown();
+}
+
+TEST(ServiceHttpTest, HttpRequestCounterTracksScrapes) {
+  MiniTrace t = MakeMiniTrace();
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  const std::string socket_path =
+      testing::TempDir() + "aptrace_http_count.sock";
+  ServerOptions options;
+  options.unix_socket_path = socket_path;
+  Server server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const auto scrape_count = [&] {
+    const std::string body = HttpGet(socket_path, "/metrics").body;
+    // Newline-anchored: the bare needle would match the # HELP line.
+    const std::string needle = "\naptrace_service_http_requests_total ";
+    const size_t pos = body.find(needle);
+    EXPECT_NE(pos, std::string::npos);
+    return std::strtoull(body.c_str() + pos + needle.size(), nullptr, 10);
+  };
+
+  const uint64_t base = scrape_count();
+  EXPECT_EQ(HttpGet(socket_path, "/healthz").status, 200);
+  EXPECT_EQ(RawScrape(socket_path, "GET broken\r\n\r\n").status, 400);
+  // The two requests above plus this scrape itself.
+  EXPECT_EQ(scrape_count(), base + 3);
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace aptrace::service

@@ -5,6 +5,7 @@
 // protocol-level daemon "restart" over a unix socket.
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -12,6 +13,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -437,6 +439,101 @@ TEST(ServiceTest, FairShareServesSmallSessionsUnderALargeOne) {
         << " saw no service before the large session completed";
   }
   ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+}
+
+TEST(ServiceTest, ProfileReconcilesWithEngineTotals) {
+  MiniTrace t = MakeMiniTrace(CostModel{});
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  auto id = manager.Open("backward ip x[dst_ip = \"185.220.101.45\"] -> *", {});
+  ASSERT_TRUE(id.ok()) << id.status();
+  ASSERT_TRUE(manager.WaitAllTerminal(kWaitMicros));
+
+  auto prof = manager.Profile(id.value());
+  ASSERT_TRUE(prof.ok()) << prof.status();
+  auto parsed = ParseJson(prof->profile_json);
+  ASSERT_TRUE(parsed.ok()) << prof->profile_json;
+  const JsonValue& p = parsed.value();
+  const JsonValue* total = p.Find("total");
+  ASSERT_NE(total, nullptr);
+
+  // Every window is charged to exactly one bucket on each axis, so each
+  // axis must sum to the total on every deterministic column.
+  for (const char* axis : {"by_hop", "by_state"}) {
+    const JsonValue* buckets = p.Find(axis);
+    ASSERT_NE(buckets, nullptr);
+    ASSERT_TRUE(buckets->IsArray());
+    for (const char* col :
+         {"windows", "rows", "rows_filtered", "partitions_probed",
+          "segments_pruned", "edges", "sim_cost_micros", "wall_micros"}) {
+      uint64_t sum = 0;
+      for (const JsonValue& b : buckets->items) sum += b.GetUint(col);
+      EXPECT_EQ(sum, total->GetUint(col)) << axis << "." << col;
+    }
+  }
+  // The profile reconciles with the engine's own independent accounting:
+  // simulated cost against the scan-overlap model's accumulator, window
+  // count against the scheduler's work units.
+  EXPECT_GT(total->GetUint("windows"), 0u);
+  EXPECT_EQ(total->GetUint("sim_cost_micros"), prof->scan_cost_micros);
+  EXPECT_EQ(total->GetUint("windows"), prof->work_units);
+  EXPECT_FALSE(prof->probe_unit.empty());
+
+  auto missing = manager.Profile(999);
+  ASSERT_FALSE(missing.ok());  // SRV-E003
+  EXPECT_NE(missing.status().message().find("SRV-E003"), std::string::npos);
+}
+
+TEST(ServiceTest, SlowQueryLogsDumpsAndCountsExactlyOnce) {
+  MiniTrace t = MakeMiniTrace();
+  const std::string flight_dir =
+      testing::TempDir() + "aptrace_flight_test";
+  mkdir(flight_dir.c_str(), 0755);
+  ServiceLimits limits;
+  limits.slow_query_micros = 1;  // any real quantum crosses this
+  limits.flight_dump_dir = flight_dir;
+
+  testing::internal::CaptureStderr();
+  uint64_t session_id = 0;
+  uint64_t slow_total = 0;
+  uint64_t dump_total = 0;
+  {
+    SessionManager manager(t.store.get(), limits);
+    auto id =
+        manager.Open("backward ip x[dst_ip = \"185.220.101.45\"] -> *", {});
+    if (id.ok()) session_id = id.value();
+    const bool terminal = id.ok() && manager.WaitAllTerminal(kWaitMicros);
+    // The dump happens after the terminal state publishes; wait it out.
+    const bool dumped = terminal &&
+        WaitFor([&] { return manager.stats().flight_dumps_total >= 1; },
+                kWaitMicros);
+    slow_total = manager.stats().slow_queries_total;
+    dump_total = manager.stats().flight_dumps_total;
+    EXPECT_TRUE(dumped);
+  }
+  const std::string err = testing::internal::GetCapturedStderr();
+
+  // The latch fires once per session no matter how many quanta follow:
+  // one counter tick, one dump, one structured warning line.
+  EXPECT_EQ(slow_total, 1u);
+  EXPECT_EQ(dump_total, 1u);
+  size_t log_lines = 0;
+  for (size_t pos = 0;
+       (pos = err.find("slow_query session=", pos)) != std::string::npos;
+       ++pos) {
+    ++log_lines;
+  }
+  EXPECT_EQ(log_lines, 1u) << err;
+  EXPECT_NE(err.find("threshold_micros=1"), std::string::npos) << err;
+
+  const std::string dump_path = flight_dir + "/flight-" +
+                                std::to_string(session_id) +
+                                "-slow-query.json";
+  std::ifstream dump(dump_path);
+  ASSERT_TRUE(dump.good()) << dump_path;
+  std::stringstream body;
+  body << dump.rdbuf();
+  EXPECT_NE(body.str().find("\"traceEvents\":["), std::string::npos);
+  unlink(dump_path.c_str());
 }
 
 // ------------------------------------------------- protocol-level restart

@@ -348,11 +348,50 @@ TEST(EnvTest, GetValidatedEnvWarnsOncePerVariable) {
   ResetEnvWarningsForTest();
 }
 
+TEST(EnvTest, GetValidatedEnvCountAcceptsOnlyUnsignedIntegers) {
+  // The process-wide warning counter accumulates across tests, so every
+  // expectation below is a delta from a captured baseline.
+  ResetEnvWarningsForTest();
+  const uint64_t base = EnvWarningCountForTest();
+  unsetenv("APTRACE_TEST_COUNT");
+  EXPECT_EQ(GetValidatedEnvCount("APTRACE_TEST_COUNT"), std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), base);  // unset: silent
+
+  setenv("APTRACE_TEST_COUNT", "16384", 1);
+  EXPECT_EQ(GetValidatedEnvCount("APTRACE_TEST_COUNT"), 16384u);
+  setenv("APTRACE_TEST_COUNT", "0", 1);
+  EXPECT_EQ(GetValidatedEnvCount("APTRACE_TEST_COUNT"), 0u);
+  EXPECT_EQ(EnvWarningCountForTest(), base);
+
+  // Invalid shapes warn once per variable and read as unset: a negative
+  // number, trailing junk, an empty string, and a value too long to be
+  // parsed exactly.
+  for (const char* bad : {"-5", "12x", "", "1e4",
+                          "99999999999999999999999999"}) {
+    ResetEnvWarningsForTest();  // clears the warned set; count accumulates
+    const uint64_t before = EnvWarningCountForTest();
+    setenv("APTRACE_TEST_COUNT", bad, 1);
+    EXPECT_EQ(GetValidatedEnvCount("APTRACE_TEST_COUNT"), std::nullopt)
+        << "value '" << bad << "'";
+    EXPECT_EQ(EnvWarningCountForTest(), before + 1) << "value '" << bad
+                                                    << "'";
+    // Re-reading the same misconfigured variable stays quiet.
+    EXPECT_EQ(GetValidatedEnvCount("APTRACE_TEST_COUNT"), std::nullopt);
+    EXPECT_EQ(EnvWarningCountForTest(), before + 1) << "value '" << bad
+                                                    << "'";
+  }
+
+  unsetenv("APTRACE_TEST_COUNT");
+  ResetEnvWarningsForTest();
+}
+
 TEST(EnvTest, KnobNamesAreStable) {
   // The names are part of the documented interface (README, --help).
   EXPECT_STREQ(kEnvBackend, "APTRACE_BACKEND");
   EXPECT_STREQ(kEnvLogLevel, "APTRACE_LOG_LEVEL");
   EXPECT_STREQ(kEnvServerSocket, "APTRACE_SERVER_SOCKET");
+  EXPECT_STREQ(kEnvSlowQueryMicros, "APTRACE_SLOW_QUERY_MICROS");
+  EXPECT_STREQ(kEnvFlightBuffer, "APTRACE_FLIGHT_BUFFER");
 }
 
 TEST(StringUtilTest, JsonEscape) {

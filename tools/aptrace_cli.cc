@@ -30,6 +30,11 @@
 //         --metrics-out=<f>   write a metrics snapshot ("-" = stdout,
 //                             *.json selects the JSON export)
 //         --trace-out=<f>     record spans; write Chrome trace JSON
+//         --profile           after the run, print the per-hop /
+//                             per-rule query profile table plus one
+//                             `profile:` JSON line (the profile observes
+//                             the run — graphs are bit-identical with or
+//                             without it)
 //         --quiet             no per-update lines
 //         --lint              lint the script against the loaded trace
 //                             before running; errors abort the run
@@ -66,6 +71,7 @@
 #include "bdl/formatter.h"
 #include "bdl/lint.h"
 #include "core/engine.h"
+#include "core/query_profile.h"
 #include "detect/detector.h"
 #include "graph/json_writer.h"
 #include "obs/metrics.h"
@@ -101,6 +107,7 @@ struct Flags {
   bool quiet = false;
   bool lint = false;
   bool werror = false;
+  bool profile = false;
 };
 
 bool TakeValue(const char* arg, const char* name, std::string* out) {
@@ -226,6 +233,8 @@ Flags ParseFlags(int argc, char** argv) {
     } else if (std::strcmp(a, "--werror") == 0) {
       f.lint = true;
       f.werror = true;
+    } else if (std::strcmp(a, "--profile") == 0) {
+      f.profile = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       f.command.clear();
@@ -372,6 +381,23 @@ int CmdRun(const Flags& flags) {
       FormatDuration(clock.NowMicros() - session.stats().run_start).c_str(),
       session.graph().NumEdges(), session.graph().NumNodes(),
       session.update_log().size(), session.graph().MaxHop());
+
+  if (flags.profile) {
+    if (const QueryProfile* profile = session.profile();
+        profile != nullptr) {
+      std::fputs(
+          RenderQueryProfileTable(
+              *profile,
+              store.value()->backend().capabilities().probe_unit)
+              .c_str(),
+          stdout);
+      std::printf("profile: %s\n", QueryProfileToJson(*profile).c_str());
+    } else {
+      std::fprintf(stderr,
+                   "--profile: warning[CLI-W002]: the baseline engine "
+                   "keeps no query profile\n");
+    }
+  }
 
   if (!flags.dot_path.empty()) {
     DotOptions dot_options;

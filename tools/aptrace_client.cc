@@ -10,16 +10,31 @@
 //          [--window-budget=N] [--sim-budget-us=N] [--start-event=N]
 //         Open a session; prints its id.
 //     run --script=<file.bdl> [open flags] [--json=<file>] [--quiet]
+//         [--profile]
 //         Open a session, poll it to completion streaming update lines,
 //         then fetch the final graph. --json writes the exact graph
 //         bytes the daemon serves (byte-identical to `aptrace run
-//         --json` on the same trace and script).
+//         --json` on the same trace and script). --profile additionally
+//         fetches the query profile and prints the per-hop / per-rule
+//         breakdown table plus one machine-readable `profile:` line.
 //     poll --session=N [--cursor=N] [--max=N]
 //         One poll; prints the raw JSON response.
 //     cancel --session=N
 //     checkpoint --session=N --out=<file>
 //     resume --from=<file> [open flags]
 //     stats [--session=N]
+//     profile --session=N
+//         Query profile of a session: the rendered breakdown table plus
+//         the raw response line (see docs/observability.md).
+//     http --path=</metrics|/healthz|/readyz|/sessions>
+//         One HTTP GET over the daemon socket — a curl-free scrape.
+//         Prints the response body; exits nonzero unless the status is
+//         200.
+//     top [--interval-ms=N] [--iterations=N]
+//         Refreshing per-session view over /sessions: scheduler state,
+//         fair-share vtime, consumed sim time, and windows/s +
+//         sim-micros/s rates from scrape deltas. --iterations=0 (the
+//         default) refreshes until interrupted.
 //     ingest --events=<file>       file holds a JSON array of events
 //     shutdown                     ask the daemon to drain and exit
 //     connect
@@ -42,9 +57,11 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 
+#include "core/query_profile.h"
 #include "obs/json_dict.h"
 #include "service/json.h"
 #include "util/env.h"
@@ -72,6 +89,10 @@ struct Flags {
   long sim_budget_us = -1;
   long start_event = -1;
   bool quiet = false;
+  bool profile = false;
+  std::string http_path;
+  uint64_t interval_ms = 1000;
+  uint64_t iterations = 0;
   bool ok = true;
 };
 
@@ -102,8 +123,8 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage: aptrace_client "
-      "<open|run|poll|cancel|checkpoint|resume|stats|ingest|shutdown|"
-      "connect> [flags]\n"
+      "<open|run|poll|cancel|checkpoint|resume|stats|profile|http|top|"
+      "ingest|shutdown|connect> [flags]\n"
       "  see the header comment of tools/aptrace_client.cc or "
       "docs/service.md\n");
   return 2;
@@ -127,7 +148,8 @@ Flags ParseFlags(int argc, char** argv) {
         TakeValue(a, "--json", &f.json_path) ||
         TakeValue(a, "--out", &f.out_path) ||
         TakeValue(a, "--from", &f.from_path) ||
-        TakeValue(a, "--events", &f.events_path)) {
+        TakeValue(a, "--events", &f.events_path) ||
+        TakeValue(a, "--path", &f.http_path)) {
       continue;
     }
     if (TakeValue(a, "--tcp-port", &v)) {
@@ -172,8 +194,21 @@ Flags ParseFlags(int argc, char** argv) {
       } else {
         f.ok = false;
       }
+    } else if (TakeValue(a, "--interval-ms", &v)) {
+      if (!ParseU64("--interval-ms", v, &f.interval_ms)) {
+        f.ok = false;
+      } else if (f.interval_ms == 0) {
+        std::fprintf(stderr,
+                     "--interval-ms: error[CLI-E001]: expected a positive "
+                     "integer\n");
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--iterations", &v)) {
+      if (!ParseU64("--iterations", v, &f.iterations)) f.ok = false;
     } else if (std::strcmp(a, "--quiet") == 0) {
       f.quiet = true;
+    } else if (std::strcmp(a, "--profile") == 0) {
+      f.profile = true;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       f.ok = false;
@@ -230,16 +265,7 @@ class Connection {
 
   /// Round trip: one request line out, one response line back.
   bool Call(const std::string& request, std::string* response) {
-    std::string out = request + "\n";
-    size_t off = 0;
-    while (off < out.size()) {
-      const ssize_t n = send(fd_, out.data() + off, out.size() - off, 0);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Fail("send");
-      }
-      off += static_cast<size_t>(n);
-    }
+    if (!SendAll(request + "\n")) return false;
     size_t nl = 0;
     while ((nl = pending_.find('\n')) == std::string::npos) {
       char buf[4096];
@@ -253,7 +279,47 @@ class Connection {
     return true;
   }
 
+  /// One HTTP GET over the same socket (the daemon sniffs the dialect):
+  /// sends the request, reads to EOF — the server closes after one
+  /// response — and splits status from body. Consumes the connection.
+  bool HttpGet(const std::string& path, int* status, std::string* body) {
+    if (!SendAll("GET " + path +
+                 " HTTP/1.1\r\nHost: aptrace\r\nConnection: close\r\n\r\n")) {
+      return false;
+    }
+    std::string raw;
+    for (;;) {
+      char buf[4096];
+      const ssize_t n = recv(fd_, buf, sizeof(buf), 0);
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0) return Fail("recv");
+      if (n == 0) break;
+      raw.append(buf, static_cast<size_t>(n));
+    }
+    const size_t header_end = raw.find("\r\n\r\n");
+    if (header_end == std::string::npos ||
+        std::sscanf(raw.c_str(), "HTTP/%*s %d", status) != 1) {
+      std::fprintf(stderr, "malformed HTTP response from daemon\n");
+      return false;
+    }
+    *body = raw.substr(header_end + 4);
+    return true;
+  }
+
  private:
+  bool SendAll(const std::string& out) {
+    size_t off = 0;
+    while (off < out.size()) {
+      const ssize_t n = send(fd_, out.data() + off, out.size() - off, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Fail("send");
+      }
+      off += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
   static bool Fail(const char* what) {
     std::fprintf(stderr, "%s: %s\n", what, std::strerror(errno));
     return false;
@@ -401,6 +467,66 @@ bool FetchGraph(Connection* conn, uint64_t session, std::string* graph) {
   return true;
 }
 
+ProfileBucket BucketFromJson(const service::JsonValue& v) {
+  ProfileBucket b;
+  b.windows = v.GetUint("windows");
+  b.rows = v.GetUint("rows");
+  b.rows_filtered = v.GetUint("rows_filtered");
+  b.partitions_probed = v.GetUint("partitions_probed");
+  b.segments_pruned = v.GetUint("segments_pruned");
+  b.edges = v.GetUint("edges");
+  b.sim_cost = static_cast<DurationMicros>(v.GetUint("sim_cost_micros"));
+  b.wall_micros = v.GetUint("wall_micros");
+  return b;
+}
+
+/// Rebuilds a QueryProfile from the daemon's profile JSON so the client
+/// renders exactly the table `aptrace run --profile` prints locally.
+QueryProfile ProfileFromJson(const service::JsonValue& p) {
+  QueryProfile q;
+  if (const service::JsonValue* total = p.Find("total")) {
+    q.total = BucketFromJson(*total);
+  }
+  q.boosted_windows = p.GetUint("boosted_windows");
+  if (const service::JsonValue* hops = p.Find("by_hop");
+      hops != nullptr && hops->IsArray()) {
+    for (const service::JsonValue& b : hops->items) {
+      q.by_hop[static_cast<int>(b.GetInt("hop"))] = BucketFromJson(b);
+    }
+  }
+  if (const service::JsonValue* states = p.Find("by_state");
+      states != nullptr && states->IsArray()) {
+    for (const service::JsonValue& b : states->items) {
+      q.by_state[static_cast<int>(b.GetInt("state"))] = BucketFromJson(b);
+    }
+  }
+  return q;
+}
+
+/// `profile` round trip: prints the rendered breakdown table, then the
+/// raw response as one `profile:` line (it carries scan_cost_micros and
+/// work_units, so scripts can reconcile totals without re-asking).
+int CmdProfile(Connection* conn, uint64_t session) {
+  obs::JsonDict d;
+  d.Add("op", "profile");
+  d.Add("session", session);
+  std::string response;
+  if (!conn->Call(d.Str(), &response)) return 1;
+  const auto resp = MustParse(response);
+  if (IsError(resp)) return PrintError(resp);
+  const service::JsonValue* p = resp.Find("profile");
+  if (p == nullptr || !p->IsObject()) {
+    std::fprintf(stderr, "profile response carried no profile object\n");
+    return 1;
+  }
+  const std::string unit = resp.GetString("probe_unit", "probe");
+  std::fputs(
+      RenderQueryProfileTable(ProfileFromJson(*p), unit.c_str()).c_str(),
+      stdout);
+  std::printf("profile: %s\n", response.c_str());
+  return 0;
+}
+
 int CmdRun(Connection* conn, const Flags& flags) {
   if (flags.script_path.empty() && flags.from_path.empty()) return Usage();
   const long session = OpenSession(conn, flags);
@@ -425,7 +551,108 @@ int CmdRun(Connection* conn, const Flags& flags) {
       std::printf("graph written to %s\n", flags.json_path.c_str());
     }
   }
+  if (flags.profile &&
+      CmdProfile(conn, static_cast<uint64_t>(session)) != 0) {
+    return 1;
+  }
   return state == "done" ? 0 : 1;
+}
+
+int CmdHttp(Connection* conn, const Flags& flags) {
+  if (flags.http_path.empty() || flags.http_path.front() != '/') {
+    std::fprintf(stderr,
+                 "http: pass --path=</metrics|/healthz|/readyz|/sessions>\n");
+    return 2;
+  }
+  int status = 0;
+  std::string body;
+  if (!conn->HttpGet(flags.http_path, &status, &body)) return 1;
+  std::fputs(body.c_str(), stdout);
+  if (status != 200) {
+    std::fprintf(stderr, "http: %s -> %d\n", flags.http_path.c_str(),
+                 status);
+    return 1;
+  }
+  return 0;
+}
+
+/// What `top` remembers between refreshes to turn per-session counters
+/// into rates.
+struct TopPrev {
+  uint64_t work_units = 0;
+  int64_t sim_micros = 0;
+};
+
+/// Refreshing per-session monitor over /sessions. Each scrape is its own
+/// connection (the daemon serves one HTTP response per connection);
+/// windows/s and sim-micros/s come from deltas between scrapes, so the
+/// fair-share behavior of concurrent sessions is visible live.
+int CmdTop(const Flags& flags) {
+  std::map<uint64_t, TopPrev> prev;
+  const bool tty = isatty(fileno(stdout)) != 0;
+  for (uint64_t i = 0; flags.iterations == 0 || i < flags.iterations; ++i) {
+    if (i > 0) usleep(static_cast<useconds_t>(flags.interval_ms) * 1000);
+    Connection conn;
+    if (!conn.Open(flags)) return 1;
+    int status = 0;
+    std::string body;
+    if (!conn.HttpGet("/sessions", &status, &body)) return 1;
+    if (status != 200) {
+      std::fprintf(stderr, "top: /sessions -> %d\n", status);
+      return 1;
+    }
+    const auto doc = MustParse(body);
+    const service::JsonValue* sessions = doc.Find("sessions");
+    const bool have_rows = sessions != nullptr && sessions->IsArray();
+    if (tty) std::fputs("\x1b[H\x1b[2J", stdout);
+    std::printf("aptrace top — %zu session%s%s (refresh %llums)\n",
+                have_rows ? sessions->items.size() : 0,
+                have_rows && sessions->items.size() == 1 ? "" : "s",
+                doc.GetBool("draining") ? ", DRAINING" : "",
+                static_cast<unsigned long long>(flags.interval_ms));
+    std::printf("%6s %-10s %4s %12s %12s %9s %9s %5s %9s %11s\n", "id",
+                "state", "wt", "vtime", "sim_ms", "windows", "edges", "buf",
+                "win/s", "sim_us/s");
+    std::map<uint64_t, TopPrev> next;
+    if (have_rows) {
+      for (const service::JsonValue& row : sessions->items) {
+        const uint64_t id = row.GetUint("id");
+        std::string state = row.GetString("state");
+        if (row.GetBool("stalled")) state += "!";
+        const service::JsonValue* vt = row.Find("vtime");
+        const uint64_t work = row.GetUint("work_units");
+        const int64_t sim = row.GetInt("sim_micros");
+        char win_rate[32] = "-";
+        char sim_rate[32] = "-";
+        if (const auto it = prev.find(id); it != prev.end()) {
+          const double secs =
+              static_cast<double>(flags.interval_ms) / 1000.0;
+          std::snprintf(win_rate, sizeof(win_rate), "%.1f",
+                        static_cast<double>(work - it->second.work_units) /
+                            secs);
+          std::snprintf(sim_rate, sizeof(sim_rate), "%.0f",
+                        static_cast<double>(sim - it->second.sim_micros) /
+                            secs);
+        }
+        std::printf("%6llu %-10s %4llu %12.0f %12.1f %9llu %9llu %5llu "
+                    "%9s %11s\n",
+                    static_cast<unsigned long long>(id), state.c_str(),
+                    static_cast<unsigned long long>(row.GetUint("weight")),
+                    vt != nullptr ? vt->num_v : 0.0,
+                    static_cast<double>(sim) / 1000.0,
+                    static_cast<unsigned long long>(work),
+                    static_cast<unsigned long long>(
+                        row.GetUint("graph_edges")),
+                    static_cast<unsigned long long>(
+                        row.GetUint("buffered_updates")),
+                    win_rate, sim_rate);
+        next[id] = TopPrev{work, sim};
+      }
+    }
+    prev = std::move(next);
+    std::fflush(stdout);
+  }
+  return 0;
 }
 
 /// Expands the connect shell's shorthand lines into protocol requests;
@@ -482,11 +709,19 @@ int Main(int argc, char** argv) {
   Flags flags = ParseFlags(argc, argv);
   if (!flags.ok || flags.op.empty()) return Usage();
 
+  // `top` owns its connections: one scrape per connection, per refresh.
+  if (flags.op == "top") return CmdTop(flags);
+
   Connection conn;
   if (!conn.Open(flags)) return 1;
 
   if (flags.op == "run") return CmdRun(&conn, flags);
   if (flags.op == "connect") return CmdConnect(&conn);
+  if (flags.op == "http") return CmdHttp(&conn, flags);
+  if (flags.op == "profile") {
+    if (!flags.has_session) return Usage();
+    return CmdProfile(&conn, flags.session);
+  }
 
   obs::JsonDict d;
   if (flags.op == "open") {

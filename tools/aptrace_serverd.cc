@@ -23,6 +23,22 @@
 //                             concurrency)
 //         --session-threads=N default modeled scan threads per session
 //                             (results identical at any value; default 1)
+//         --slow-query-micros=N
+//                             cumulative per-session wall-micros threshold
+//                             for the slow-query log + flight dump
+//                             (default: APTRACE_SLOW_QUERY_MICROS env var,
+//                             else 0 = off)
+//         --flight-dir=<dir>  directory for anomaly flight-recorder dumps
+//                             (flight-<id>-<reason>.json; omit to disable)
+//
+//   The flight recorder is always on: every thread records its recent
+//   spans into a ring buffer (capacity: the APTRACE_FLIGHT_BUFFER env
+//   var, default 16Ki spans per thread), dumpable retroactively via the
+//   `flight-dump` op or the HTTP scrape endpoints' sibling ops, and
+//   dumped automatically on anomalies when --flight-dir is set.
+//
+//   The same listeners also answer plain HTTP GETs — /metrics, /healthz,
+//   /readyz, /sessions (see docs/observability.md).
 //
 //   SIGINT/SIGTERM (and the protocol `shutdown` op) trigger a graceful
 //   drain: in-flight responses finish, the scheduler stops at a quantum
@@ -37,6 +53,7 @@
 #include <string>
 #include <thread>
 
+#include "obs/trace.h"
 #include "service/server.h"
 #include "service/session_manager.h"
 #include "storage/trace_io.h"
@@ -99,6 +116,9 @@ Flags ParseFlags(int argc, char** argv) {
           [](const std::string& v) { return !v.empty(); },
           "a non-empty unix socket path")) {
     f.socket_path = *s;
+  }
+  if (const auto micros = GetValidatedEnvCount(kEnvSlowQueryMicros)) {
+    f.limits.slow_query_micros = *micros;
   }
   std::string v;
   long n = 0;
@@ -185,6 +205,14 @@ Flags ParseFlags(int argc, char** argv) {
       } else {
         f.ok = false;
       }
+    } else if (TakeValue(a, "--slow-query-micros", &v)) {
+      if (ParseCount("--slow-query-micros", v, 0, &n)) {
+        f.limits.slow_query_micros = static_cast<uint64_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--flight-dir", &v)) {
+      f.limits.flight_dump_dir = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       f.ok = false;
@@ -209,6 +237,13 @@ int Main(int argc, char** argv) {
                  kEnvServerSocket);
     return 2;
   }
+
+  // Always-on flight recorder: ring capacity must be set before the
+  // first thread records (rings are sized at first use).
+  if (const auto cap = GetValidatedEnvCount(kEnvFlightBuffer)) {
+    obs::Tracer::Global().SetRingCapacity(static_cast<size_t>(*cap));
+  }
+  obs::Tracer::Global().SetEnabled(true);
 
   EventStoreOptions store_options;
   store_options.backend = flags.backend;
