@@ -155,7 +155,9 @@ void Executor::UseSharedWorkerPool(WorkerPool* pool, size_t backlog_cap) {
 void Executor::StartPoolIfNeeded() {
   if (shared_pool_ != nullptr) return;
   if (scan_threads_ <= 1 || pool_ != nullptr) return;
-  pool_ = std::make_unique<WorkerPool>(scan_threads_);
+  pool_ = std::make_unique<WorkerPool>(scan_threads_, [] {
+    obs::Tracer::Global().SetThreadName("scan-worker");
+  });
 }
 
 void Executor::SubmitPrefetch(const ExecWindow& w) {
@@ -172,7 +174,6 @@ void Executor::SubmitPrefetch(const ExecWindow& w) {
   const TimeMicros begin = w.begin;
   const TimeMicros finish = w.finish;
   auto task = [entry, ctx, forward, frontier, begin, finish] {
-    obs::Tracer::Global().SetThreadName("scan-worker");
     APTRACE_SPAN("executor/worker_scan");
     const TimeMicros t0 = MonotonicNowMicros();
     const EventStore& store = *ctx->store;

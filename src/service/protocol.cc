@@ -281,9 +281,6 @@ std::string ProtocolHandler::HandleLine(const std::string& line,
 
   if (op == "flight-dump") {
     obs::Tracer& tracer = obs::Tracer::Global();
-    obs::Metrics()
-        .FindOrCreateCounter(obs::names::kServiceFlightDumps)
-        ->Add();
     obs::JsonDict d;
     if (const JsonValue* path = req.Find("path");
         path != nullptr && path->IsString()) {
@@ -294,6 +291,9 @@ std::string ProtocolHandler::HandleLine(const std::string& line,
     } else {
       d.Add("trace", tracer.ToChromeTraceJson());  // escaped string value
     }
+    // Only successful dumps count, and in both ServiceStats and the
+    // Prometheus counter, mirroring SessionManager::DumpFlight.
+    manager_->NoteFlightDump();
     d.Add("records", static_cast<uint64_t>(tracer.RecordCount()));
     return OkResponse(std::move(d));
   }

@@ -7,6 +7,7 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -136,7 +137,12 @@ void Server::TrackConnection(int fd) {
     return;
   }
   conn_fds_.push_back(fd);
-  threads_.emplace_back([this, fd] { ConnectionLoop(fd); });
+  ++live_conns_;
+  // Detached: the connection cleans up after itself when its loop
+  // returns (close fd, drop from conn_fds_, signal Shutdown's wait).
+  // Keeping fds and threads around until Shutdown would leak one of
+  // each per HTTP scrape under the one-request-per-connection model.
+  std::thread([this, fd] { ConnectionLoop(fd); }).detach();
 }
 
 void Server::ConnectionLoop(int fd) {
@@ -156,9 +162,8 @@ void Server::ConnectionLoop(int fd) {
       sniffed = true;
       if (pending.rfind("GET ", 0) == 0) {
         ServeHttp(fd, &pending);
-        // Honor the advertised `Connection: close`: signal EOF to the
-        // client now; the fd itself is still closed once, by Shutdown().
-        shutdown(fd, SHUT_RDWR);
+        // Honor the advertised `Connection: close`: the epilogue below
+        // closes the fd as soon as we break out.
         break;
       }
     }
@@ -168,6 +173,11 @@ void Server::ConnectionLoop(int fd) {
       pending.erase(0, nl + 1);
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.empty()) continue;
+      // Latch the dialect on the first dispatched line: once any JSON
+      // request was handled this is a JSON connection for good, even if
+      // that first line was shorter than the 4-byte sniff window and a
+      // later recv happens to start with "GET ".
+      sniffed = true;
       bool shutdown_requested = false;
       const std::string response =
           handler_.HandleLine(line, &shutdown_requested);
@@ -183,8 +193,19 @@ void Server::ConnectionLoop(int fd) {
       }
     }
   }
-  // The fd stays in conn_fds_ (closed once by Shutdown); threads are
-  // joined there too, so no self-cleanup races.
+  // Self-cleanup: drop the fd from the live set, close it, and wake a
+  // Shutdown() waiting for the last connection. The notify happens under
+  // mu_ so this detached thread never touches the Server after
+  // Shutdown()'s wait returns (it can only return once mu_ is released
+  // here).
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
+                    conn_fds_.end());
+    close(fd);
+    --live_conns_;
+    conns_cv_.notify_all();
+  }
 }
 
 void Server::ServeHttp(int fd, std::string* pending) {
@@ -241,7 +262,6 @@ void Server::Wait() {
 void Server::Shutdown() {
   RequestShutdown();
   std::vector<std::thread> threads;
-  std::vector<int> fds;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (joined_) return;
@@ -251,8 +271,12 @@ void Server::Shutdown() {
   for (std::thread& t : threads) {
     if (t.joinable()) t.join();
   }
-  for (const int fd : conn_fds_) close(fd);
-  conn_fds_.clear();
+  {
+    // Connections saw their half-closed read side and are finishing
+    // their in-flight responses; each closes its own fd on the way out.
+    std::unique_lock<std::mutex> lock(mu_);
+    conns_cv_.wait(lock, [this] { return live_conns_ == 0; });
+  }
   for (const int fd : listen_fds_) close(fd);
   listen_fds_.clear();
   if (!options_.unix_socket_path.empty()) {

@@ -29,13 +29,21 @@ struct ServerOptions {
 /// loopback TCP sockets, one thread per connection, every line handled
 /// by ProtocolHandler against the shared SessionManager.
 ///
+/// Connections clean up after themselves: when ConnectionLoop returns
+/// (client EOF, one-shot HTTP scrape, drain), the detached connection
+/// thread closes its fd and drops it from the live set — the daemon
+/// holds no resources for finished connections, so a scraper opening
+/// one connection per request (Prometheus, `aptrace_client top`) never
+/// accumulates fds or threads.
+///
 /// Shutdown is a graceful drain: RequestShutdown() (or a client's
 /// `shutdown` op, whose response is sent first) stops the accept loops,
 /// half-closes every connection's read side — each connection finishes
 /// writing its in-flight response, then sees EOF and exits — stops the
-/// SessionManager's scheduler at its quantum boundary, and joins every
-/// thread. No request is abandoned mid-response and no session state is
-/// torn; paused sessions remain checkpointable until the process exits.
+/// SessionManager's scheduler at its quantum boundary, joins the accept
+/// threads, and waits for the last connection to finish. No request is
+/// abandoned mid-response and no session state is torn; paused sessions
+/// remain checkpointable until the process exits.
 class Server {
  public:
   Server(SessionManager* manager, ServerOptions options);
@@ -56,8 +64,9 @@ class Server {
   /// idempotent; callable from any thread (e.g. a signal-watcher).
   void RequestShutdown();
 
-  /// Completes the drain: joins accept and connection threads and closes
-  /// all sockets. Called by the destructor; safe to call directly.
+  /// Completes the drain: joins the accept threads, waits for every
+  /// connection to finish its self-cleanup, and closes the listeners.
+  /// Called by the destructor; safe to call directly.
   void Shutdown();
 
   /// Actual TCP port after Start() (ephemeral binds resolve here);
@@ -80,9 +89,11 @@ class Server {
   std::atomic<bool> stop_{false};
   std::mutex mu_;
   std::condition_variable stop_cv_;
+  std::condition_variable conns_cv_;  // Shutdown waits for live_conns_ == 0
   std::vector<int> listen_fds_;
-  std::vector<int> conn_fds_;
-  std::vector<std::thread> threads_;
+  std::vector<int> conn_fds_;         // live connections only
+  std::vector<std::thread> threads_;  // accept threads, joined in Shutdown
+  size_t live_conns_ = 0;
   int tcp_port_ = -1;
   bool started_ = false;
   bool joined_ = false;

@@ -110,7 +110,9 @@ SessionManager::SessionManager(EventStore* store, ServiceLimits limits)
           ? std::max(1,
                      static_cast<int>(std::thread::hardware_concurrency()))
           : std::clamp(limits_.scan_threads, 1, WorkerPool::kMaxThreads);
-  pool_ = std::make_unique<WorkerPool>(threads);
+  pool_ = std::make_unique<WorkerPool>(threads, [] {
+    obs::Tracer::Global().SetThreadName("scan-worker");
+  });
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
@@ -689,13 +691,17 @@ void SessionManager::DumpFlight(uint64_t id, const char* reason) {
                          << " failed: " << st.message();
     return;
   }
+  NoteFlightDump();
+  APTRACE_LOG(Info) << "service: flight recorder dumped to " << path
+                    << " (session=" << id << " reason=" << reason << ")";
+}
+
+void SessionManager::NoteFlightDump() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     stats_.flight_dumps_total++;
   }
   Sm().flight_dumps->Add();
-  APTRACE_LOG(Info) << "service: flight recorder dumped to " << path
-                    << " (session=" << id << " reason=" << reason << ")";
 }
 
 void SessionManager::ApplyIngest() {

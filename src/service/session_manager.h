@@ -246,6 +246,12 @@ class SessionManager {
 
   ServiceStats stats() const;
 
+  /// Records one successful flight-recorder dump in both ServiceStats
+  /// and the Prometheus counter, so the `stats` op and /metrics agree.
+  /// Called by the anomaly auto-dumps and by the protocol's
+  /// client-requested `flight-dump` op after its write succeeds.
+  void NoteFlightDump();
+
   /// Graceful drain: stop admitting (SRV-E008), finish the in-flight
   /// quantum, apply already-accepted ingest, stop the scheduler. Running
   /// sessions stay paused and resumable via Checkpoint. Idempotent.

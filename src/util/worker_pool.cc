@@ -7,11 +7,15 @@
 
 namespace aptrace {
 
-WorkerPool::WorkerPool(int num_threads) {
+WorkerPool::WorkerPool(int num_threads, std::function<void()> thread_init)
+    : thread_init_(std::move(thread_init)) {
   const int n = std::clamp(num_threads, 1, kMaxThreads);
   threads_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this] {
+      if (thread_init_) thread_init_();
+      WorkerLoop();
+    });
   }
 }
 

@@ -41,7 +41,11 @@ namespace aptrace {
 class WorkerPool {
  public:
   /// Spawns `num_threads` workers, clamped to [1, kMaxThreads].
-  explicit WorkerPool(int num_threads);
+  /// `thread_init`, when set, runs once at the start of each worker
+  /// thread — e.g. to name the thread for tracing — instead of paying
+  /// per-task initialization.
+  explicit WorkerPool(int num_threads,
+                      std::function<void()> thread_init = nullptr);
 
   WorkerPool(const WorkerPool&) = delete;
   WorkerPool& operator=(const WorkerPool&) = delete;
@@ -66,6 +70,7 @@ class WorkerPool {
  private:
   void WorkerLoop();
 
+  const std::function<void()> thread_init_;
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks/shutdown
   std::condition_variable idle_cv_;   // WaitIdle/Shutdown wait for drain

@@ -5,6 +5,7 @@
 // moment the manager drains while /metrics keeps serving, malformed
 // request lines get 400, unknown paths 404.
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -280,6 +281,50 @@ TEST(ServiceHttpTest, HttpRequestCounterTracksScrapes) {
   EXPECT_EQ(RawScrape(socket_path, "GET broken\r\n\r\n").status, 400);
   // The two requests above plus this scrape itself.
   EXPECT_EQ(scrape_count(), base + 3);
+  server.Shutdown();
+}
+
+size_t CountOpenFds() {
+  size_t n = 0;
+  DIR* d = opendir("/proc/self/fd");
+  if (d == nullptr) return 0;
+  while (readdir(d) != nullptr) ++n;
+  closedir(d);
+  return n;
+}
+
+// Regression: the one-request-per-connection HTTP model must not retain
+// per-connection resources until Shutdown — a scraper refreshing every
+// second would exhaust the fd ulimit in minutes. Each connection closes
+// its fd (and its detached thread exits) as soon as its loop returns.
+TEST(ServiceHttpTest, FinishedConnectionsReleaseTheirFds) {
+  MiniTrace t = MakeMiniTrace();
+  SessionManager manager(t.store.get(), ServiceLimits{});
+  const std::string socket_path =
+      testing::TempDir() + "aptrace_http_fds.sock";
+  ServerOptions options;
+  options.unix_socket_path = socket_path;
+  Server server(&manager, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One warm-up scrape, then let its cleanup settle before baselining.
+  EXPECT_EQ(HttpGet(socket_path, "/healthz").status, 200);
+  usleep(50 * 1000);
+  const size_t baseline = CountOpenFds();
+
+  for (int i = 0; i < 40; ++i) {
+    EXPECT_EQ(HttpGet(socket_path, "/healthz").status, 200);
+  }
+
+  // Cleanup runs on detached connection threads just after the response
+  // is sent; poll for the fd count to return to the baseline instead of
+  // sampling once.
+  size_t now = CountOpenFds();
+  for (int i = 0; i < 200 && now > baseline; ++i) {
+    usleep(10 * 1000);
+    now = CountOpenFds();
+  }
+  EXPECT_LE(now, baseline);
   server.Shutdown();
 }
 

@@ -52,6 +52,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -585,10 +586,15 @@ struct TopPrev {
 
 /// Refreshing per-session monitor over /sessions. Each scrape is its own
 /// connection (the daemon serves one HTTP response per connection);
-/// windows/s and sim-micros/s come from deltas between scrapes, so the
-/// fair-share behavior of concurrent sessions is visible live.
+/// windows/s and sim-micros/s come from deltas between scrapes divided
+/// by the *measured* wall time between them (connect and scrape latency
+/// would skew rates computed from the configured interval), so the
+/// fair-share behavior of concurrent sessions is visible live. A counter
+/// that went backwards — daemon restart — prints "-" for one refresh
+/// instead of an underflowed rate.
 int CmdTop(const Flags& flags) {
   std::map<uint64_t, TopPrev> prev;
+  std::chrono::steady_clock::time_point prev_scrape{};
   const bool tty = isatty(fileno(stdout)) != 0;
   for (uint64_t i = 0; flags.iterations == 0 || i < flags.iterations; ++i) {
     if (i > 0) usleep(static_cast<useconds_t>(flags.interval_ms) * 1000);
@@ -601,6 +607,9 @@ int CmdTop(const Flags& flags) {
       std::fprintf(stderr, "top: /sessions -> %d\n", status);
       return 1;
     }
+    const auto scrape_time = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(scrape_time - prev_scrape).count();
     const auto doc = MustParse(body);
     const service::JsonValue* sessions = doc.Find("sessions");
     const bool have_rows = sessions != nullptr && sessions->IsArray();
@@ -624,15 +633,18 @@ int CmdTop(const Flags& flags) {
         const int64_t sim = row.GetInt("sim_micros");
         char win_rate[32] = "-";
         char sim_rate[32] = "-";
-        if (const auto it = prev.find(id); it != prev.end()) {
-          const double secs =
-              static_cast<double>(flags.interval_ms) / 1000.0;
-          std::snprintf(win_rate, sizeof(win_rate), "%.1f",
-                        static_cast<double>(work - it->second.work_units) /
-                            secs);
-          std::snprintf(sim_rate, sizeof(sim_rate), "%.0f",
-                        static_cast<double>(sim - it->second.sim_micros) /
-                            secs);
+        if (const auto it = prev.find(id);
+            it != prev.end() && secs > 0.0) {
+          if (work >= it->second.work_units) {
+            std::snprintf(win_rate, sizeof(win_rate), "%.1f",
+                          static_cast<double>(work - it->second.work_units) /
+                              secs);
+          }
+          if (sim >= it->second.sim_micros) {
+            std::snprintf(sim_rate, sizeof(sim_rate), "%.0f",
+                          static_cast<double>(sim - it->second.sim_micros) /
+                              secs);
+          }
         }
         std::printf("%6llu %-10s %4llu %12.0f %12.1f %9llu %9llu %5llu "
                     "%9s %11s\n",
@@ -650,6 +662,7 @@ int CmdTop(const Flags& flags) {
       }
     }
     prev = std::move(next);
+    prev_scrape = scrape_time;
     std::fflush(stdout);
   }
   return 0;
