@@ -66,7 +66,8 @@ struct BenchArgs {
           std::fprintf(stderr,
                        "--backend: expected 'row' or 'columnar', got '%s'\n",
                        a + 10);
-          std::exit(2);
+          // Single-threaded flag parsing at process start.
+          std::exit(2);  // NOLINT(concurrency-mt-unsafe)
         }
         args.backend = *parsed;
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
@@ -80,7 +81,8 @@ struct BenchArgs {
             "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
             "--threads=N --scan-threads=N --backend=row|columnar "
             "--metrics-out=F --trace-out=F --meta-out=F\n");
-        std::exit(0);
+        // Single-threaded flag parsing at process start.
+        std::exit(0);  // NOLINT(concurrency-mt-unsafe)
       }
     }
     return args;

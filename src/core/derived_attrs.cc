@@ -4,21 +4,21 @@ namespace aptrace {
 
 bool StoreDerivedAttrs::IsReadOnly(ObjectId file) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = read_only_cache_.find(file);
     if (it != read_only_cache_.end()) return it->second;
   }
   // Query outside the lock: HasIncomingWrite is thread-safe and pure, and
   // a duplicate computation racing in is cheaper than serializing scans.
   const bool result = !store_->HasIncomingWrite(file, begin_, end_);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   read_only_cache_.emplace(file, result);
   return result;
 }
 
 bool StoreDerivedAttrs::IsWriteThrough(ObjectId proc) const {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = write_through_cache_.find(proc);
     if (it != write_through_cache_.end()) return it->second;
   }
@@ -29,7 +29,7 @@ bool StoreDerivedAttrs::IsWriteThrough(ObjectId proc) const {
   } else {
     result = store_->catalog().Get(dests[0]).is_process();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   write_through_cache_.emplace(proc, result);
   return result;
 }

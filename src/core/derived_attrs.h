@@ -1,12 +1,12 @@
 #ifndef APTRACE_CORE_DERIVED_ATTRS_H_
 #define APTRACE_CORE_DERIVED_ATTRS_H_
 
-#include <mutex>
 #include <unordered_map>
 
 #include "event/schema.h"
 #include "storage/event_store.h"
 #include "util/clock.h"
+#include "util/sync.h"
 
 namespace aptrace {
 
@@ -40,9 +40,11 @@ class StoreDerivedAttrs : public DerivedAttrs {
   const EventStore* store_;
   TimeMicros begin_;
   TimeMicros end_;
-  mutable std::mutex mu_;
-  mutable std::unordered_map<ObjectId, bool> read_only_cache_;
-  mutable std::unordered_map<ObjectId, bool> write_through_cache_;
+  mutable Mutex mu_{"StoreDerivedAttrs::mu_"};
+  mutable std::unordered_map<ObjectId, bool> read_only_cache_
+      APTRACE_GUARDED_BY(mu_);
+  mutable std::unordered_map<ObjectId, bool> write_through_cache_
+      APTRACE_GUARDED_BY(mu_);
 };
 
 }  // namespace aptrace

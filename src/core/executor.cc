@@ -2,8 +2,6 @@
 
 #include <algorithm>
 #include <cassert>
-#include <condition_variable>
-#include <mutex>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -107,15 +105,20 @@ void ScanOverlapModel::OnWindowScanned(uint64_t seq, DurationMicros cost,
 
 // ---------------------------------------------------------- Executor
 
-/// Filled once by the worker task that owns it, then read by the
-/// coordinator. `ready` flips under `mu`; the coordinator waits on `cv`
-/// when it pops a window whose prefetch is still in flight.
-struct Executor::Prefetch {
-  std::mutex mu;
-  std::condition_variable cv;
-  bool ready = false;
+struct Executor::PrefetchResult {
   RangeScanBatch batch;
   std::vector<uint8_t> verdicts;  // kVerdict* bits, one per batch row
+};
+
+/// Filled once by the worker task that owns it, then read by the
+/// coordinator. `ready` flips under `mu`; the coordinator waits on `cv`
+/// when it pops a window whose prefetch is still in flight, then moves
+/// the result out under the lock — nothing reads guarded fields after.
+struct Executor::Prefetch {
+  Mutex mu{"Executor::Prefetch::mu"};
+  CondVar cv;
+  bool ready APTRACE_GUARDED_BY(mu) = false;
+  PrefetchResult result APTRACE_GUARDED_BY(mu);
 };
 
 Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
@@ -195,13 +198,14 @@ void Executor::SubmitPrefetch(const ExecWindow& w) {
     }
     Em().worker_scan_latency->Observe(
         MicrosToSeconds(MonotonicNowMicros() - t0));
+    Prefetch* slot = entry.get();
     {
-      std::lock_guard<std::mutex> lock(entry->mu);
-      entry->batch = std::move(batch);
-      entry->verdicts = std::move(verdicts);
-      entry->ready = true;
+      MutexLock lock(&slot->mu);
+      slot->result.batch = std::move(batch);
+      slot->result.verdicts = std::move(verdicts);
+      slot->ready = true;
     }
-    entry->cv.notify_all();
+    slot->cv.NotifyAll();
   };
   // Shared pool: bounded offer — a full backlog or a draining pool
   // rejects the prefetch and this window takes the fused sequential scan.
@@ -274,7 +278,7 @@ void Executor::EnqueueWindowsFor(const Event& e, int state) {
   Em().windows_enqueued->Add(windows.size());
 }
 
-void Executor::ProcessWindow(const ExecWindow& w, const Prefetch* pre,
+void Executor::ProcessWindow(const ExecWindow& w, const PrefetchResult* pre,
                              size_t* batch_edges, size_t* batch_nodes,
                              DurationMicros* scan_cost,
                              ScanProbeStats* probe) {
@@ -412,18 +416,20 @@ StopReason Executor::RunLoop(const RunLimits& limits) {
       continue;
     }
 
-    std::shared_ptr<Prefetch> pre;
+    std::unique_ptr<PrefetchResult> pre;
     if (ScanPool() != nullptr) {
       if (const auto it = prefetch_.find(w.seq); it != prefetch_.end()) {
-        pre = std::move(it->second);
+        const std::shared_ptr<Prefetch> slot = std::move(it->second);
         prefetch_.erase(it);
-        std::unique_lock<std::mutex> lock(pre->mu);
-        if (pre->ready) {
+        Prefetch* raw = slot.get();
+        MutexLock lock(&raw->mu);
+        if (raw->ready) {
           Em().prefetch_hits->Add();
         } else {
           Em().prefetch_waits->Add();
-          pre->cv.wait(lock, [&pre] { return pre->ready; });
+          while (!raw->ready) raw->cv.Wait(lock);
         }
+        pre = std::make_unique<PrefetchResult>(std::move(raw->result));
       } else {
         // Submission failed or never happened; fall back to the fused
         // sequential scan (identical results, just no overlap).

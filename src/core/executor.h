@@ -169,9 +169,12 @@ class Executor : public BacktrackEngine {
   void ApplyRefinedContext(TrackingContext new_ctx, const RefineDelta& delta);
 
  private:
-  /// One window's speculative scan result, filled by a worker thread:
-  /// the raw row batch plus pure per-row verdicts. Defined in executor.cc.
+  /// One window's speculative scan slot, filled by a worker thread.
+  /// Defined in executor.cc.
   struct Prefetch;
+  /// The payload a completed prefetch hands the coordinator: the raw row
+  /// batch plus pure per-row verdicts. Defined in executor.cc.
+  struct PrefetchResult;
 
   void Bootstrap();
   /// Applies one window's scan to the graph. `pre` non-null replays a
@@ -179,7 +182,7 @@ class Executor : public BacktrackEngine {
   /// sequential scan. Both paths make identical decisions in identical
   /// order. `scan_cost` receives the simulated cost charged; `probe` the
   /// scan's attribution record for the query profile.
-  void ProcessWindow(const ExecWindow& w, const Prefetch* pre,
+  void ProcessWindow(const ExecWindow& w, const PrefetchResult* pre,
                      size_t* batch_edges, size_t* batch_nodes,
                      DurationMicros* scan_cost, ScanProbeStats* probe);
   /// Enqueues the uncovered execution windows of `e` (Algorithm 1's

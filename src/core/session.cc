@@ -74,12 +74,12 @@ void Session::RefreshSnapshot() {
       snap.queue_size = executor_->queue_size();
     }
   }
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   snapshot_ = snap;
 }
 
 SessionSnapshot Session::Snapshot() const {
-  std::lock_guard<std::mutex> lock(snapshot_mu_);
+  MutexLock lock(&snapshot_mu_);
   return snapshot_;
 }
 

@@ -2,7 +2,6 @@
 #define APTRACE_CORE_SESSION_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string_view>
 
@@ -12,6 +11,7 @@
 #include "core/refiner.h"
 #include "storage/event_store.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace aptrace {
 
@@ -163,8 +163,8 @@ class Session {
   std::optional<Event> start_override_;
   RefineAction last_action_ = RefineAction::kNoChange;
 
-  mutable std::mutex snapshot_mu_;
-  SessionSnapshot snapshot_;
+  mutable Mutex snapshot_mu_{"Session::snapshot_mu_"};
+  SessionSnapshot snapshot_ APTRACE_GUARDED_BY(snapshot_mu_);
 };
 
 }  // namespace aptrace

@@ -45,7 +45,7 @@ void LatencyHistogram::Observe(double v) {
     next = std::bit_cast<uint64_t>(std::bit_cast<double>(cur) + v);
   } while (!sum_bits_.compare_exchange_weak(cur, next,
                                             std::memory_order_relaxed));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (samples_.count() < kMaxSamples) samples_.Add(v);
 }
 
@@ -62,7 +62,7 @@ std::vector<uint64_t> LatencyHistogram::BucketCounts() const {
 }
 
 double LatencyHistogram::Percentile(double p) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return samples_.Percentile(p);
 }
 
@@ -70,7 +70,7 @@ void LatencyHistogram::Reset() {
   for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
   count_.store(0, std::memory_order_relaxed);
   sum_bits_.store(0, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   samples_ = SampleStats();
 }
 
@@ -172,7 +172,7 @@ MetricsRegistry& MetricsRegistry::Global() {
 
 Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name,
                                               std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_
@@ -186,7 +186,7 @@ Counter* MetricsRegistry::FindOrCreateCounter(std::string_view name,
 
 Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name,
                                           std::string_view help) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_
@@ -200,7 +200,7 @@ Gauge* MetricsRegistry::FindOrCreateGauge(std::string_view name,
 
 LatencyHistogram* MetricsRegistry::FindOrCreateHistogram(
     std::string_view name, std::string_view help, std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     if (bounds.empty()) bounds = DefaultLatencyBounds();
@@ -215,7 +215,7 @@ LatencyHistogram* MetricsRegistry::FindOrCreateHistogram(
 }
 
 std::string MetricsRegistry::ExportPrometheus() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::ostringstream os;
   for (const auto& [name, c] : counters_) {
     if (!c->help_.empty()) os << "# HELP " << name << " " << c->help_ << "\n";
@@ -254,7 +254,7 @@ std::string MetricsRegistry::ExportPrometheus() const {
 }
 
 std::string MetricsRegistry::ExportJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   JsonDict counters;
   for (const auto& [name, c] : counters_) counters.Add(name, c->value());
   JsonDict gauges;
@@ -292,7 +292,7 @@ std::string MetricsRegistry::ExportJson() const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   for (auto& [name, c] : counters_) c->Reset();
   for (auto& [name, g] : gauges_) g->Reset();
   for (auto& [name, h] : histograms_) h->Reset();

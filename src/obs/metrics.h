@@ -5,12 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/stats.h"
+#include "util/sync.h"
 #include "util/status.h"
 
 namespace aptrace::obs {
@@ -92,8 +92,8 @@ class LatencyHistogram {
   std::vector<std::atomic<uint64_t>> buckets_;   // bounds_.size() + 1
   std::atomic<uint64_t> count_{0};
   std::atomic<uint64_t> sum_bits_{0};            // double via bit_cast CAS
-  mutable std::mutex mu_;                        // guards samples_
-  SampleStats samples_;
+  mutable Mutex mu_{"LatencyHistogram::mu_"};
+  SampleStats samples_ APTRACE_GUARDED_BY(mu_);
 };
 
 /// Default latency bucket bounds in seconds: 1ms .. 10 simulated minutes
@@ -136,11 +136,13 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable Mutex mu_{"MetricsRegistry::mu_"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      APTRACE_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      APTRACE_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<LatencyHistogram>, std::less<>>
-      histograms_;
+      histograms_ APTRACE_GUARDED_BY(mu_);
 };
 
 /// Shorthand used at instrumentation sites.

@@ -18,11 +18,16 @@ Tracer::ThreadBuffer* Tracer::MyBuffer() {
   static thread_local ThreadBuffer* t_buffer = nullptr;
   if (t_buffer != nullptr) return t_buffer;
   auto buf = std::make_unique<ThreadBuffer>();
-  buf->ring.resize(ring_capacity());
-  buf->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
   ThreadBuffer* raw = buf.get();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Uncontended — the buffer is not yet published — but locking keeps
+    // the guarded-field initialization visible to the analysis.
+    MutexLock init(&raw->mu);
+    raw->ring.resize(ring_capacity());
+  }
+  raw->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lock(&mu_);
     buffers_.push_back(std::move(buf));
   }
   t_buffer = raw;
@@ -32,7 +37,7 @@ Tracer::ThreadBuffer* Tracer::MyBuffer() {
 void Tracer::RecordSpan(const char* name, TimeMicros ts, TimeMicros dur) {
   if (!enabled()) return;
   ThreadBuffer* buf = MyBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  MutexLock lock(&buf->mu);
   TraceRecord& r = buf->ring[buf->next];
   r.name = name;
   r.ts = ts;
@@ -48,14 +53,14 @@ void Tracer::RecordSpan(const char* name, TimeMicros ts, TimeMicros dur) {
 void Tracer::SetThreadName(const char* name) {
   if (!enabled()) return;
   ThreadBuffer* buf = MyBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  MutexLock lock(&buf->mu);
   if (buf->name.empty()) buf->name = name;
 }
 
 void Tracer::RecordCounter(const char* name, int64_t value) {
   if (!enabled()) return;
   ThreadBuffer* buf = MyBuffer();
-  std::lock_guard<std::mutex> lock(buf->mu);
+  MutexLock lock(&buf->mu);
   TraceRecord& r = buf->ring[buf->next];
   r.name = name;
   r.ts = MonotonicNowMicros();
@@ -76,9 +81,10 @@ std::string Tracer::ToChromeTraceJson() const {
   std::vector<Row> rows;
   std::vector<std::pair<uint32_t, std::string>> thread_names;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    for (const auto& buf : buffers_) {
-      std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock lock(&mu_);
+    for (const auto& owned : buffers_) {
+      ThreadBuffer* buf = owned.get();
+      MutexLock buf_lock(&buf->mu);
       const size_t n = buf->wrapped ? buf->ring.size() : buf->next;
       for (size_t i = 0; i < n; ++i) {
         rows.push_back({buf->ring[i], buf->tid});
@@ -134,19 +140,21 @@ Status Tracer::WriteChromeTrace(const std::string& path) const {
 }
 
 size_t Tracer::RecordCount() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   size_t n = 0;
-  for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+  for (const auto& owned : buffers_) {
+    ThreadBuffer* buf = owned.get();
+    MutexLock buf_lock(&buf->mu);
     n += buf->wrapped ? buf->ring.size() : buf->next;
   }
   return n;
 }
 
 void Tracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+  MutexLock lock(&mu_);
+  for (const auto& owned : buffers_) {
+    ThreadBuffer* buf = owned.get();
+    MutexLock buf_lock(&buf->mu);
     buf->next = 0;
     buf->wrapped = false;
   }

@@ -4,11 +4,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/clock.h"
+#include "util/sync.h"
 #include "util/status.h"
 
 namespace aptrace::obs {
@@ -78,19 +78,20 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    std::mutex mu;
-    std::vector<TraceRecord> ring;
-    size_t next = 0;
-    bool wrapped = false;
-    uint32_t tid = 0;
-    std::string name;  // thread_name metadata; empty = bare tid
+    Mutex mu{"Tracer::ThreadBuffer::mu"};
+    std::vector<TraceRecord> ring APTRACE_GUARDED_BY(mu);
+    size_t next APTRACE_GUARDED_BY(mu) = 0;
+    bool wrapped APTRACE_GUARDED_BY(mu) = false;
+    uint32_t tid = 0;  // written once before publication, then read-only
+    std::string name APTRACE_GUARDED_BY(mu);  // thread_name metadata;
+                                              // empty = bare tid
   };
 
   Tracer() = default;
   ThreadBuffer* MyBuffer();
 
-  mutable std::mutex mu_;  // guards buffers_ registration/iteration
-  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  mutable Mutex mu_{"Tracer::mu_"};  // registration/iteration
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_ APTRACE_GUARDED_BY(mu_);
   std::atomic<bool> enabled_{false};
   std::atomic<uint32_t> next_tid_{1};
   std::atomic<size_t> ring_capacity_{kRingCapacity};

@@ -14,6 +14,7 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "service/http.h"
+#include "util/env.h"
 #include "util/logging.h"
 
 namespace aptrace::service {
@@ -47,7 +48,7 @@ Status Server::Start() {
   if (!options_.unix_socket_path.empty()) {
     const int fd = socket(AF_UNIX, SOCK_STREAM, 0);
     if (fd < 0) {
-      return Status::Internal(std::string("socket: ") + strerror(errno));
+      return Status::Internal("socket: " + ErrnoMessage(errno));
     }
     sockaddr_un addr{};
     addr.sun_family = AF_UNIX;
@@ -61,7 +62,7 @@ Status Server::Start() {
     unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
     if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
         listen(fd, 64) < 0) {
-      const std::string err = strerror(errno);
+      const std::string err = ErrnoMessage(errno);
       close(fd);
       return Status::Internal("bind/listen " + options_.unix_socket_path +
                               ": " + err);
@@ -74,7 +75,7 @@ Status Server::Start() {
   if (options_.tcp_port >= 0) {
     const int fd = socket(AF_INET, SOCK_STREAM, 0);
     if (fd < 0) {
-      return Status::Internal(std::string("socket: ") + strerror(errno));
+      return Status::Internal("socket: " + ErrnoMessage(errno));
     }
     const int one = 1;
     setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -84,7 +85,7 @@ Status Server::Start() {
     addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
     if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
         listen(fd, 64) < 0) {
-      const std::string err = strerror(errno);
+      const std::string err = ErrnoMessage(errno);
       close(fd);
       return Status::Internal("bind/listen tcp port " +
                               std::to_string(options_.tcp_port) + ": " + err);
@@ -103,7 +104,7 @@ Status Server::Start() {
         "no listener configured (need a unix socket path or a TCP port)");
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     for (const int fd : listen_fds_) {
       threads_.emplace_back([this, fd] { AcceptLoop(fd); });
     }
@@ -131,7 +132,7 @@ void Server::AcceptLoop(int listen_fd) {
 }
 
 void Server::TrackConnection(int fd) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (stop_.load()) {
     close(fd);
     return;
@@ -199,12 +200,12 @@ void Server::ConnectionLoop(int fd) {
   // Shutdown()'s wait returns (it can only return once mu_ is released
   // here).
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     conn_fds_.erase(std::remove(conn_fds_.begin(), conn_fds_.end(), fd),
                     conn_fds_.end());
     close(fd);
     --live_conns_;
-    conns_cv_.notify_all();
+    conns_cv_.NotifyAll();
   }
 }
 
@@ -246,24 +247,24 @@ void Server::RequestShutdown() {
   if (!stop_.compare_exchange_strong(expected, true)) return;
   manager_->Stop();  // quantum-boundary stop of the scheduler
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Half-close read sides: blocked recv()s return 0, each connection
     // finishes its in-flight response and exits.
     for (const int fd : conn_fds_) shutdown(fd, SHUT_RD);
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
 }
 
 void Server::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  stop_cv_.wait(lock, [this] { return stop_.load(); });
+  MutexLock lock(&mu_);
+  while (!stop_.load()) stop_cv_.Wait(lock);
 }
 
 void Server::Shutdown() {
   RequestShutdown();
   std::vector<std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (joined_) return;
     joined_ = true;
     threads.swap(threads_);
@@ -274,8 +275,8 @@ void Server::Shutdown() {
   {
     // Connections saw their half-closed read side and are finishing
     // their in-flight responses; each closes its own fd on the way out.
-    std::unique_lock<std::mutex> lock(mu_);
-    conns_cv_.wait(lock, [this] { return live_conns_ == 0; });
+    MutexLock lock(&mu_);
+    while (live_conns_ != 0) conns_cv_.Wait(lock);
   }
   for (const int fd : listen_fds_) close(fd);
   listen_fds_.clear();

@@ -2,9 +2,7 @@
 #define APTRACE_SERVICE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -12,6 +10,7 @@
 #include "service/protocol.h"
 #include "service/session_manager.h"
 #include "util/status.h"
+#include "util/sync.h"
 
 namespace aptrace::service {
 
@@ -87,16 +86,19 @@ class Server {
   ProtocolHandler handler_;
 
   std::atomic<bool> stop_{false};
-  std::mutex mu_;
-  std::condition_variable stop_cv_;
-  std::condition_variable conns_cv_;  // Shutdown waits for live_conns_ == 0
+  Mutex mu_{"Server::mu_"};
+  CondVar stop_cv_;
+  CondVar conns_cv_;  // Shutdown waits for live_conns_ == 0
+  /// Filled in Start() before the accept threads exist, drained in
+  /// Shutdown() after they joined — never concurrently touched.
   std::vector<int> listen_fds_;
-  std::vector<int> conn_fds_;         // live connections only
-  std::vector<std::thread> threads_;  // accept threads, joined in Shutdown
-  size_t live_conns_ = 0;
+  std::vector<int> conn_fds_ APTRACE_GUARDED_BY(mu_);  // live connections
+  /// Accept threads, joined in Shutdown.
+  std::vector<std::thread> threads_ APTRACE_GUARDED_BY(mu_);
+  size_t live_conns_ APTRACE_GUARDED_BY(mu_) = 0;
   int tcp_port_ = -1;
-  bool started_ = false;
-  bool joined_ = false;
+  bool started_ APTRACE_GUARDED_BY(mu_) = false;
+  bool joined_ APTRACE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace aptrace::service

@@ -77,7 +77,7 @@ struct SessionManager::Managed {
   uint64_t id = 0;
   std::unique_ptr<SimClock> clock;
   std::unique_ptr<Session> session;
-  std::mutex exec_mu;
+  Mutex exec_mu{"SessionManager::Managed::exec_mu"};
 
   SessionState state = SessionState::kRunning;
   std::string detail = "running";
@@ -123,15 +123,15 @@ SessionManager::~SessionManager() {
 
 void SessionManager::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     draining_ = true;
     stop_ = true;
   }
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
 }
 
 bool SessionManager::draining() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return draining_;
 }
 
@@ -141,7 +141,7 @@ SessionManager::Managed* SessionManager::FindLocked(uint64_t id) {
 }
 
 Result<uint64_t> SessionManager::Admit(std::unique_ptr<Managed> s) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (draining_) {
     return Status::FailedPrecondition("SRV-E008: server is draining");
   }
@@ -173,7 +173,7 @@ Result<uint64_t> SessionManager::Admit(std::unique_ptr<Managed> s) {
   stats_.live++;
   Sm().sessions_opened->Add();
   Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
   return id;
 }
 
@@ -207,7 +207,7 @@ Result<uint64_t> SessionManager::Open(const std::string& bdl_text,
   {
     // Start-point resolution scans the store; serialize against the
     // scheduler's between-quanta ingest appends.
-    std::lock_guard<std::mutex> store_lock(store_mu_);
+    MutexLock store_lock(&store_mu_);
     if (auto st = s->session->Start(bdl_text, start_override); !st.ok()) {
       return Status::InvalidArgument("SRV-E004: " + st.message());
     }
@@ -233,7 +233,7 @@ Result<uint64_t> SessionManager::Resume(const std::string& path,
   s->session =
       std::make_unique<Session>(store_, s->clock.get(), options);
   {
-    std::lock_guard<std::mutex> store_lock(store_mu_);
+    MutexLock store_lock(&store_mu_);
     if (auto st = s->session->LoadCheckpoint(path); !st.ok()) {
       return Status::InvalidArgument("SRV-E009: " + st.message());
     }
@@ -243,7 +243,7 @@ Result<uint64_t> SessionManager::Resume(const std::string& path,
 
 Result<PollResult> SessionManager::Poll(uint64_t id, uint64_t cursor,
                                         size_t max_batches) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Managed* s = FindLocked(id);
   if (s == nullptr) {
     return Status::NotFound("SRV-E003: unknown session " +
@@ -256,7 +256,7 @@ Result<PollResult> SessionManager::Poll(uint64_t id, uint64_t cursor,
     s->buffer.pop_front();
   }
   if (was_full && s->buffer.size() < limits_.update_buffer_cap) {
-    sched_cv_.notify_all();
+    sched_cv_.NotifyAll();
   }
   PollResult r;
   r.state = s->state;
@@ -274,7 +274,7 @@ Result<PollResult> SessionManager::Poll(uint64_t id, uint64_t cursor,
 }
 
 Status SessionManager::Cancel(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Managed* s = FindLocked(id);
   if (s == nullptr) {
     return Status::NotFound("SRV-E003: unknown session " +
@@ -290,16 +290,16 @@ Status SessionManager::Cancel(uint64_t id) {
     stats_.cancelled++;
     stats_.live--;
     Sm().sessions_live->Set(static_cast<int64_t>(stats_.live));
-    idle_cv_.notify_all();
+    idle_cv_.NotifyAll();
   }
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
   return Status::Ok();
 }
 
 Result<std::string> SessionManager::GraphJson(uint64_t id) {
   Managed* s = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = FindLocked(id);
     if (s == nullptr) {
       return Status::NotFound("SRV-E003: unknown session " +
@@ -308,14 +308,14 @@ Result<std::string> SessionManager::GraphJson(uint64_t id) {
   }
   // exec_mu waits out an in-flight quantum, so the graph is at a window
   // boundary; the catalog is immutable (ingest never adds objects).
-  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  MutexLock exec_lock(&s->exec_mu);
   std::ostringstream os;
   WriteGraphJson(s->session->engine()->graph(), store_->catalog(), os);
   return os.str();
 }
 
 Result<SessionSnapshot> SessionManager::Snapshot(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   Managed* s = FindLocked(id);
   if (s == nullptr) {
     return Status::NotFound("SRV-E003: unknown session " +
@@ -327,7 +327,7 @@ Result<SessionSnapshot> SessionManager::Snapshot(uint64_t id) {
 Result<SessionProfile> SessionManager::Profile(uint64_t id) {
   Managed* s = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = FindLocked(id);
     if (s == nullptr) {
       return Status::NotFound("SRV-E003: unknown session " +
@@ -336,7 +336,7 @@ Result<SessionProfile> SessionManager::Profile(uint64_t id) {
   }
   // Like GraphJson: exec_mu waits out an in-flight quantum, so the
   // profile describes complete windows only.
-  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  MutexLock exec_lock(&s->exec_mu);
   const QueryProfile* profile = s->session->profile();
   if (profile == nullptr) {
     return Status::FailedPrecondition(
@@ -353,7 +353,7 @@ Result<SessionProfile> SessionManager::Profile(uint64_t id) {
 }
 
 std::vector<SessionRow> SessionManager::SessionRows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   std::vector<SessionRow> rows;
   rows.reserve(sessions_.size());
   for (const auto& [id, s] : sessions_) {
@@ -382,7 +382,7 @@ std::vector<SessionRow> SessionManager::SessionRows() const {
 Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
   Managed* s = nullptr;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s = FindLocked(id);
     if (s == nullptr) {
       return Status::NotFound("SRV-E003: unknown session " +
@@ -394,7 +394,7 @@ Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
           SessionStateName(s->state) + " session");
     }
   }
-  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  MutexLock exec_lock(&s->exec_mu);
   if (auto st = s->session->SaveCheckpoint(path); !st.ok()) {
     return Status::Internal("SRV-E009: " + st.message());
   }
@@ -427,14 +427,14 @@ Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
   // never lands.
   for (const Event& e : events) {
     if (auto st = ValidateEvent(e); !st.ok()) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(&mu_);
       stats_.ingest_rejected_total += events.size();
       Sm().ingest_rejected->Add(events.size());
       return st;
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (draining_) {
       return Status::FailedPrecondition("SRV-E008: server is draining");
     }
@@ -448,19 +448,24 @@ Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
     for (Event& e : events) ingest_queue_.push_back(std::move(e));
     stats_.ingest_queue_depth = ingest_queue_.size();
   }
-  sched_cv_.notify_all();
+  sched_cv_.NotifyAll();
   return events.size();
 }
 
 ServiceStats SessionManager::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return stats_;
 }
 
 bool SessionManager::WaitAllTerminal(uint64_t timeout_micros) {
-  std::unique_lock<std::mutex> lock(mu_);
-  return idle_cv_.wait_for(lock, std::chrono::microseconds(timeout_micros),
-                           [this] { return stats_.live == 0; });
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::microseconds(timeout_micros);
+  MutexLock lock(&mu_);
+  while (stats_.live != 0) {
+    // A deadline already in the past (timeout 0) polls exactly once.
+    if (!idle_cv_.WaitUntil(lock, deadline)) break;
+  }
+  return stats_.live == 0;
 }
 
 SessionManager::Managed* SessionManager::PickNextLocked() {
@@ -482,42 +487,49 @@ SessionManager::Managed* SessionManager::PickNextLocked() {
 
 void SessionManager::SchedulerLoop() {
   obs::Tracer::Global().SetThreadName("scheduler");
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (!ingest_queue_.empty()) {
+    bool apply_ingest = false;
+    Managed* next = nullptr;
+    {
+      MutexLock lock(&mu_);
+      for (;;) {
+        if (!ingest_queue_.empty()) {
+          // Drained even while stopping: accepted ingest must land.
+          apply_ingest = true;
+          break;
+        }
+        if (stop_) {
+          idle_cv_.NotifyAll();
+          return;
+        }
+        next = PickNextLocked();
+        if (next != nullptr) break;
+        idle_cv_.NotifyAll();
+        sched_cv_.Wait(lock);
+      }
+      if (!apply_ingest) next->quantum_active = true;
+    }
+    if (apply_ingest) {
       // Between quanta the shared pool is idle (Run ends on a WaitIdle
       // barrier), so this is the externally synchronized moment the
       // post-seal Append contract requires.
-      lock.unlock();
       ApplyIngest();
-      lock.lock();
       continue;
     }
-    if (stop_) break;
-    Managed* next = PickNextLocked();
-    if (next == nullptr) {
-      idle_cv_.notify_all();
-      sched_cv_.wait(lock, [this] {
-        return stop_ || !ingest_queue_.empty() ||
-               PickNextLocked() != nullptr;
-      });
-      continue;
-    }
-    next->quantum_active = true;
-    lock.unlock();
     RunQuantum(next);
-    lock.lock();
-    next->quantum_active = false;
-    idle_cv_.notify_all();
+    {
+      MutexLock lock(&mu_);
+      next->quantum_active = false;
+    }
+    idle_cv_.NotifyAll();
   }
-  idle_cv_.notify_all();
 }
 
 void SessionManager::RunQuantum(Managed* s) {
   APTRACE_SPAN("service/quantum");
-  std::lock_guard<std::mutex> exec_lock(s->exec_mu);
+  MutexLock exec_lock(&s->exec_mu);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (s->state != SessionState::kRunning) return;
     if (s->cancel_requested) {
       s->state = SessionState::kCancelled;
@@ -546,7 +558,7 @@ void SessionManager::RunQuantum(Managed* s) {
     if (s->sim_budget != 0 && s->clock->NowMicros() >= s->sim_budget) {
       return true;
     }
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (stop_ || s->cancel_requested) return true;
     if (s->buffer.size() >= limits_.update_buffer_cap) {
       s->stalled_on_buffer = true;
@@ -555,7 +567,7 @@ void SessionManager::RunQuantum(Managed* s) {
     return false;
   };
   limits.on_update = [this, s](const UpdateBatch& b) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     s->buffer.push_back(ServiceBatch{s->batch_seq++, b});
     if (!s->first_update_seen) {
       s->first_update_seen = true;
@@ -580,7 +592,7 @@ void SessionManager::RunQuantum(Managed* s) {
   std::string detail = "running";
   bool cancelled = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cancelled = s->cancel_requested;
   }
   if (!reason.ok()) {
@@ -614,7 +626,7 @@ void SessionManager::RunQuantum(Managed* s) {
   bool dump_failure = false;
   uint64_t slow_wall = 0;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     // Charge consumed virtual time (at least one tick so zero-cost quanta
     // cannot pin the schedule).
     const uint64_t consumed = static_cast<uint64_t>(
@@ -698,7 +710,7 @@ void SessionManager::DumpFlight(uint64_t id, const char* reason) {
 
 void SessionManager::NoteFlightDump() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.flight_dumps_total++;
   }
   Sm().flight_dumps->Add();
@@ -708,17 +720,17 @@ void SessionManager::ApplyIngest() {
   APTRACE_SPAN("service/apply_ingest");
   std::deque<Event> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     batch.swap(ingest_queue_);
     stats_.ingest_queue_depth = 0;
   }
   if (batch.empty()) return;
   {
-    std::lock_guard<std::mutex> store_lock(store_mu_);
+    MutexLock store_lock(&store_mu_);
     for (Event& e : batch) store_->Append(std::move(e));
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     stats_.ingested_total += batch.size();
   }
   Sm().ingest_events->Add(batch.size());

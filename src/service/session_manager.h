@@ -1,12 +1,10 @@
 #ifndef APTRACE_SERVICE_SESSION_MANAGER_H_
 #define APTRACE_SERVICE_SESSION_MANAGER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -16,6 +14,7 @@
 #include "storage/event_store.h"
 #include "util/clock.h"
 #include "util/status.h"
+#include "util/sync.h"
 #include "util/worker_pool.h"
 
 namespace aptrace::service {
@@ -272,7 +271,7 @@ class SessionManager {
   void RunQuantum(Managed* s);
   /// Picks the runnable session with minimal (vtime, arrival); nullptr
   /// when none. Caller holds mu_.
-  Managed* PickNextLocked();
+  Managed* PickNextLocked() APTRACE_REQUIRES(mu_);
   /// Appends all buffered ingest events. Called from the scheduler with
   /// no locks held, between quanta.
   void ApplyIngest();
@@ -282,27 +281,28 @@ class SessionManager {
   void DumpFlight(uint64_t id, const char* reason);
   /// Looks up a session id. Sessions are never erased, so the returned
   /// pointer stays valid for the manager's lifetime.
-  Managed* FindLocked(uint64_t id);
+  Managed* FindLocked(uint64_t id) APTRACE_REQUIRES(mu_);
   Status ValidateEvent(const Event& e) const;
 
   EventStore* store_;
   const ServiceLimits limits_;
   std::unique_ptr<WorkerPool> pool_;
 
-  mutable std::mutex mu_;
-  std::condition_variable sched_cv_;   // wakes the scheduler
-  std::condition_variable idle_cv_;    // WaitAllTerminal / Stop waiters
-  std::map<uint64_t, std::unique_ptr<Managed>> sessions_;
-  std::deque<Event> ingest_queue_;
-  uint64_t next_id_ = 1;
-  uint64_t arrival_seq_ = 0;
-  bool stop_ = false;
-  bool draining_ = false;
-  ServiceStats stats_;
+  mutable Mutex mu_{"SessionManager::mu_"};
+  CondVar sched_cv_;  // wakes the scheduler
+  CondVar idle_cv_;   // WaitAllTerminal / Stop waiters
+  std::map<uint64_t, std::unique_ptr<Managed>> sessions_
+      APTRACE_GUARDED_BY(mu_);
+  std::deque<Event> ingest_queue_ APTRACE_GUARDED_BY(mu_);
+  uint64_t next_id_ APTRACE_GUARDED_BY(mu_) = 1;
+  uint64_t arrival_seq_ APTRACE_GUARDED_BY(mu_) = 0;
+  bool stop_ APTRACE_GUARDED_BY(mu_) = false;
+  bool draining_ APTRACE_GUARDED_BY(mu_) = false;
+  ServiceStats stats_ APTRACE_GUARDED_BY(mu_);
 
   /// Serializes store mutation (ingest apply) against store reads outside
   /// quanta (open-time context resolution). Leaf lock.
-  std::mutex store_mu_;
+  Mutex store_mu_{"SessionManager::store_mu_"};
 
   std::thread scheduler_;
 };

@@ -85,12 +85,12 @@ void StorageBackend::MarkSealed(bool empty) {
 }
 
 StoreStats StorageBackend::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   return stats_;
 }
 
 void StorageBackend::ResetStats() {
-  std::lock_guard<std::mutex> lock(stats_mu_);
+  MutexLock lock(&stats_mu_);
   stats_ = StoreStats{};
 }
 
@@ -123,7 +123,7 @@ size_t StorageBackend::ReplayScan(const RangeScanBatch& batch, Clock* clock,
     probe_out->segments_pruned = batch.segments_pruned;
   }
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_.queries++;
     stats_.rows_matched += rows;
     stats_.rows_filtered += filtered;
@@ -155,7 +155,7 @@ size_t StorageBackend::CountDest(ObjectId dest, TimeMicros begin,
   const DurationMicros cost = cost_model_.QueryCost(0, 0, probed, seeked);
   if (clock != nullptr) clock->AdvanceMicros(cost);
   {
-    std::lock_guard<std::mutex> lock(stats_mu_);
+    MutexLock lock(&stats_mu_);
     stats_.queries++;
     stats_.partitions_probed += probed;
     stats_.partitions_seeked += seeked;

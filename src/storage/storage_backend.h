@@ -4,12 +4,12 @@
 #include <cstdint>
 #include <functional>
 #include <limits>
-#include <mutex>
 #include <optional>
 #include <string_view>
 #include <vector>
 
 #include "event/event.h"
+#include "util/sync.h"
 #include "storage/cost_model.h"
 #include "util/clock.h"
 
@@ -241,8 +241,8 @@ class StorageBackend {
   /// Single lock around the whole StoreStats so stats() returns one
   /// consistent snapshot (the seed kept six independent atomics, which
   /// could tear across fields mid-query).
-  mutable std::mutex stats_mu_;
-  mutable StoreStats stats_;
+  mutable Mutex stats_mu_{"StorageBackend::stats_mu_"};
+  mutable StoreStats stats_ APTRACE_GUARDED_BY(stats_mu_);
 };
 
 }  // namespace aptrace

@@ -2,17 +2,19 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+#include <cstring>
 #include <set>
+
+#include "util/sync.h"
 
 namespace aptrace {
 
 namespace {
 
 struct WarnOnceState {
-  std::mutex mu;
-  std::set<std::string> warned;  // variable names already diagnosed
-  uint64_t count = 0;
+  Mutex mu{"env::WarnOnceState::mu"};
+  std::set<std::string> warned APTRACE_GUARDED_BY(mu);  // already diagnosed
+  uint64_t count APTRACE_GUARDED_BY(mu) = 0;
 };
 
 WarnOnceState& Warnings() {
@@ -20,10 +22,25 @@ WarnOnceState& Warnings() {
   return *state;
 }
 
+// strerror_r comes in two flavors: XSI returns int and fills the buffer,
+// GNU returns a char* that may point at the buffer or at a static string.
+// Overload resolution on the actual return type picks the right handling
+// without feature-test-macro guesswork.
+[[maybe_unused]] const char* StrerrorResult(int rc, const char* buf) {
+  return rc == 0 ? buf : "Unknown error";
+}
+[[maybe_unused]] const char* StrerrorResult(const char* msg,
+                                            const char* /*buf*/) {
+  return msg != nullptr ? msg : "Unknown error";
+}
+
 }  // namespace
 
 std::optional<std::string> GetEnv(const char* name) {
-  const char* value = std::getenv(name);
+  // Read-only getenv: the process never calls setenv/putenv after
+  // startup, so the mt-unsafety (races with environment mutation) cannot
+  // bite here.
+  const char* value = std::getenv(name);  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr) return std::nullopt;
   return std::string(value);
 }
@@ -35,7 +52,7 @@ std::optional<std::string> GetValidatedEnv(
   if (!value.has_value()) return std::nullopt;
   if (valid(*value)) return value;
   WarnOnceState& state = Warnings();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   if (state.warned.insert(name).second) {
     state.count++;
     std::fprintf(stderr,
@@ -63,14 +80,20 @@ std::optional<uint64_t> GetValidatedEnvCount(const char* name) {
 
 uint64_t EnvWarningCountForTest() {
   WarnOnceState& state = Warnings();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   return state.count;
 }
 
 void ResetEnvWarningsForTest() {
   WarnOnceState& state = Warnings();
-  std::lock_guard<std::mutex> lock(state.mu);
+  MutexLock lock(&state.mu);
   state.warned.clear();
+}
+
+std::string ErrnoMessage(int errno_value) {
+  char buf[256];
+  buf[0] = '\0';
+  return StrerrorResult(strerror_r(errno_value, buf, sizeof(buf)), buf);
 }
 
 }  // namespace aptrace

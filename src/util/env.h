@@ -53,6 +53,11 @@ std::optional<uint64_t> GetValidatedEnvCount(const char* name);
 uint64_t EnvWarningCountForTest();
 void ResetEnvWarningsForTest();
 
+/// Thread-safe strerror: formats `errno_value` via strerror_r into an
+/// owned string. The libc strerror writes into shared static storage and
+/// is flagged by concurrency-mt-unsafe; call this instead.
+std::string ErrnoMessage(int errno_value);
+
 }  // namespace aptrace
 
 #endif  // APTRACE_UTIL_ENV_H_

@@ -1,0 +1,229 @@
+#include "util/sync.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace aptrace {
+
+namespace sync_internal {
+
+#if APTRACE_LOCK_ORDER_CHECK
+
+namespace {
+
+/// Where one lock was acquired while another was already held — enough to
+/// replay both sides of an inversion in the report.
+struct EdgeSite {
+  const char* file = "?";
+  uint32_t line = 0;
+};
+
+}  // namespace
+
+/// One live Mutex in the acquisition-order graph. `out[n]` means "this
+/// lock was held while `n` was acquired" (held-before edge), tagged with
+/// the site of the first acquisition that created the edge.
+struct OrderNode {
+  const char* name;
+  std::unordered_map<OrderNode*, EdgeSite> out;
+  std::unordered_set<OrderNode*> in;  // reverse edges, for O(deg) removal
+};
+
+namespace {
+
+/// Graph-wide state. Guarded by a raw std::mutex (the checker cannot
+/// recurse into itself) and leaked at exit like the repo's other
+/// singletons, so locks held during static destruction stay safe.
+struct Graph {
+  std::mutex mu;
+  std::unordered_set<OrderNode*> nodes;
+  uint64_t edges = 0;
+  uint64_t acquisitions = 0;
+  uint64_t violations = 0;
+};
+
+Graph& TheGraph() {
+  static Graph* const g = new Graph;
+  return *g;
+}
+
+void DefaultViolationHandler(const char* report) {
+  std::fputs(report, stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::atomic<LockOrderViolationHandler> g_handler{DefaultViolationHandler};
+
+/// One entry of a thread's held-lock stack.
+struct Held {
+  OrderNode* node;
+  EdgeSite site;
+};
+
+std::vector<Held>& HeldStack() {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+/// True when `to` is reachable from `from` along held-before edges.
+/// Caller holds Graph::mu. Fills `path` with from -> ... -> to when found.
+bool FindPath(OrderNode* from, OrderNode* to, std::vector<OrderNode*>* path) {
+  std::unordered_map<OrderNode*, OrderNode*> parent;
+  std::vector<OrderNode*> frontier{from};
+  parent.emplace(from, nullptr);
+  while (!frontier.empty()) {
+    OrderNode* n = frontier.back();
+    frontier.pop_back();
+    if (n == to) {
+      path->clear();
+      for (OrderNode* p = to; p != nullptr; p = parent[p]) path->push_back(p);
+      std::reverse(path->begin(), path->end());
+      return true;
+    }
+    for (const auto& edge : n->out) {
+      if (parent.emplace(edge.first, n).second) frontier.push_back(edge.first);
+    }
+  }
+  return false;
+}
+
+std::string FormatSite(const EdgeSite& site) {
+  return std::string(site.file) + ":" + std::to_string(site.line);
+}
+
+/// Builds the abort report: the inverted pair with both acquisition
+/// sites, plus the previously recorded chain that establishes the
+/// opposite order. Caller holds Graph::mu.
+std::string FormatViolation(const OrderNode* acquiring,
+                            const EdgeSite& acquire_site, const Held& holding,
+                            const std::vector<OrderNode*>& path) {
+  std::string r = "aptrace: lock-order inversion detected\n";
+  r += "  acquiring: " + std::string(acquiring->name) + " (at " +
+       FormatSite(acquire_site) + ")\n";
+  r += "  while holding: " + std::string(holding.node->name) +
+       " (acquired at " + FormatSite(holding.site) + ")\n";
+  r += "  but the opposite order was already established:\n";
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    const auto it = path[i]->out.find(path[i + 1]);
+    r += "    " + std::string(path[i]->name) + " held before " +
+         std::string(path[i + 1]->name);
+    if (it != path[i]->out.end()) r += " (at " + FormatSite(it->second) + ")";
+    r += "\n";
+  }
+  r += "  fix: acquire these locks in one global order"
+       " (hierarchy: docs/concurrency.md)\n";
+  return r;
+}
+
+}  // namespace
+
+OrderNode* RegisterMutex(const char* name) {
+  auto* node = new OrderNode{name, {}, {}};
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  g.nodes.insert(node);
+  return node;
+}
+
+void UnregisterMutex(OrderNode* node) {
+  Graph& g = TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  for (const auto& edge : node->out) edge.first->in.erase(node);
+  for (OrderNode* prev : node->in) {
+    prev->out.erase(node);
+    g.edges--;
+  }
+  g.edges -= node->out.size();
+  g.nodes.erase(node);
+  delete node;
+}
+
+void OnAcquire(OrderNode* node, const std::source_location& loc,
+               bool check_order) {
+  std::vector<Held>& held = HeldStack();
+  const EdgeSite site{loc.file_name(), loc.line()};
+  if (check_order) {
+    Graph& g = TheGraph();
+    std::string report;
+    {
+      std::lock_guard<std::mutex> lock(g.mu);
+      g.acquisitions++;
+      for (const Held& h : held) {
+        if (h.node == node) {
+          // Relocking a non-recursive mutex on the same thread is a
+          // guaranteed self-deadlock; report it before std::mutex UB.
+          g.violations++;
+          report = "aptrace: recursive acquisition of " +
+                   std::string(node->name) + "\n  first at " +
+                   FormatSite(h.site) + "\n  again at " + FormatSite(site) +
+                   "\n";
+          break;
+        }
+        const auto [it, inserted] = h.node->out.try_emplace(node, site);
+        if (!inserted) continue;  // edge already known — already checked
+        node->in.insert(h.node);
+        g.edges++;
+        std::vector<OrderNode*> path;
+        if (FindPath(node, h.node, &path)) {
+          g.violations++;
+          report = FormatViolation(node, site, h, path);
+          break;
+        }
+      }
+    }
+    // Handler runs outside Graph::mu: the default aborts, and a test
+    // handler may itself create/destroy mutexes while reporting.
+    if (!report.empty()) g_handler.load()(report.c_str());
+  }
+  held.push_back(Held{node, site});
+}
+
+void OnRelease(OrderNode* node) {
+  std::vector<Held>& held = HeldStack();
+  // Locks are almost always released in LIFO order; scan from the back
+  // for the (rare) out-of-order release.
+  for (size_t i = held.size(); i-- > 0;) {
+    if (held[i].node == node) {
+      held.erase(held.begin() + static_cast<ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+#endif  // APTRACE_LOCK_ORDER_CHECK
+
+}  // namespace sync_internal
+
+LockOrderStats GetLockOrderStats() {
+  LockOrderStats stats;
+#if APTRACE_LOCK_ORDER_CHECK
+  auto& g = sync_internal::TheGraph();
+  std::lock_guard<std::mutex> lock(g.mu);
+  stats.mutexes_live = g.nodes.size();
+  stats.edges = g.edges;
+  stats.acquisitions = g.acquisitions;
+  stats.violations = g.violations;
+#endif
+  return stats;
+}
+
+LockOrderViolationHandler SetLockOrderViolationHandlerForTest(
+    LockOrderViolationHandler handler) {
+#if APTRACE_LOCK_ORDER_CHECK
+  return sync_internal::g_handler.exchange(
+      handler != nullptr ? handler : sync_internal::DefaultViolationHandler);
+#else
+  (void)handler;
+  return nullptr;
+#endif
+}
+
+}  // namespace aptrace

@@ -1,13 +1,13 @@
 #ifndef APTRACE_UTIL_WORKER_POOL_H_
 #define APTRACE_UTIL_WORKER_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/sync.h"
 
 namespace aptrace {
 
@@ -36,8 +36,9 @@ namespace aptrace {
 ///     escaped exception would otherwise terminate the process.
 ///
 /// Thread-safety: every method may be called from any thread, including
-/// Submit() from inside a task. WaitIdle() must not be called from inside
-/// a task (it would wait for itself).
+/// Submit() from inside a task. WaitIdle() called from inside a task would
+/// wait for itself; the pool detects that and throws std::logic_error
+/// instead of self-deadlocking.
 class WorkerPool {
  public:
   /// Spawns `num_threads` workers, clamped to [1, kMaxThreads].
@@ -55,33 +56,41 @@ class WorkerPool {
   /// Hard cap on pool width; requests beyond it are clamped.
   static constexpr int kMaxThreads = 64;
 
-  bool Submit(std::function<void()> task);
-  bool TrySubmit(std::function<void()> task, size_t max_pending);
-  void WaitIdle();
-  void Shutdown(bool run_pending = false);
+  bool Submit(std::function<void()> task) APTRACE_EXCLUDES(mu_);
+  bool TrySubmit(std::function<void()> task, size_t max_pending)
+      APTRACE_EXCLUDES(mu_);
+
+  /// Blocks until no task is queued or running. Throws std::logic_error
+  /// when called from one of this pool's own worker threads.
+  void WaitIdle() APTRACE_EXCLUDES(mu_);
+
+  void Shutdown(bool run_pending = false) APTRACE_EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
   /// Tasks queued but not yet started.
-  size_t pending() const;
-  uint64_t tasks_completed() const;
-  uint64_t exceptions_caught() const;
+  size_t pending() const APTRACE_EXCLUDES(mu_);
+  uint64_t tasks_completed() const APTRACE_EXCLUDES(mu_);
+  uint64_t exceptions_caught() const APTRACE_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() APTRACE_EXCLUDES(mu_);
 
   const std::function<void()> thread_init_;
-  mutable std::mutex mu_;
-  std::condition_variable work_cv_;   // workers wait for tasks/shutdown
-  std::condition_variable idle_cv_;   // WaitIdle/Shutdown wait for drain
-  std::deque<std::function<void()>> queue_;
+  mutable Mutex mu_{"WorkerPool::mu_"};
+  CondVar work_cv_;  // workers wait for tasks/shutdown
+  CondVar idle_cv_;  // WaitIdle/Shutdown wait for drain
+  std::deque<std::function<void()>> queue_ APTRACE_GUARDED_BY(mu_);
+  // Immutable after the constructor returns: the vectors are filled
+  // before any caller can observe the pool, and Shutdown only joins.
   std::vector<std::thread> threads_;
-  int active_ = 0;            // tasks currently executing
-  bool accepting_ = true;     // flips false at Shutdown
-  bool run_pending_ = false;  // Shutdown drains instead of discarding
-  bool stop_ = false;
-  uint64_t completed_ = 0;
-  uint64_t exceptions_ = 0;
+  std::vector<std::thread::id> thread_ids_;
+  int active_ APTRACE_GUARDED_BY(mu_) = 0;  // tasks currently executing
+  bool accepting_ APTRACE_GUARDED_BY(mu_) = true;  // flips at Shutdown
+  bool run_pending_ APTRACE_GUARDED_BY(mu_) = false;  // Shutdown drains
+  bool stop_ APTRACE_GUARDED_BY(mu_) = false;
+  uint64_t completed_ APTRACE_GUARDED_BY(mu_) = 0;
+  uint64_t exceptions_ APTRACE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace aptrace

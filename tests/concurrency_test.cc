@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <deque>
 #include <set>
 #include <thread>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "core/engine.h"
 #include "service/http.h"
 #include "service/session_manager.h"
+#include "util/sync.h"
 #include "util/worker_pool.h"
 #include "workload/enterprise.h"
 
@@ -377,6 +379,89 @@ TEST(ConcurrencyTest, ConcurrentScrapesRaceTheScheduler) {
   done.store(true, std::memory_order_relaxed);
   for (auto& s : scrapers) s.join();
   EXPECT_EQ(manager.stats().live, 0u);
+}
+
+// ------------------------------------------------------------------
+// Contention section for the util/sync.h wrappers. Runs in every build;
+// under the CI TSan leg it doubles as the data-race certification of the
+// Mutex/MutexLock/CondVar implementation itself (adopt/release tricks,
+// lock-order bookkeeping, thread_local held stacks).
+
+TEST(ConcurrencyTest, SyncWrappersUnderContention) {
+  Mutex mu("test::contention");
+  uint64_t counter = 0;
+  constexpr int kThreads = 8;
+  constexpr int kIters = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kIters; ++i) {
+        if (i % 16 == 0 && mu.TryLock()) {
+          counter++;
+          mu.Unlock();
+          continue;
+        }
+        MutexLock lock(&mu);
+        counter++;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MutexLock lock(&mu);
+  EXPECT_EQ(counter, static_cast<uint64_t>(kThreads) * kIters);
+}
+
+TEST(ConcurrencyTest, CondVarProducersConsumersUnderContention) {
+  Mutex mu("test::pc_queue");
+  CondVar not_empty;
+  std::deque<int> queue;
+  bool closed = false;
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 2000;
+
+  std::atomic<long> consumed_sum{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kConsumers);
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      for (;;) {
+        int item = 0;
+        {
+          MutexLock lock(&mu);
+          while (queue.empty() && !closed) not_empty.Wait(lock);
+          if (queue.empty()) return;  // closed and drained
+          item = queue.front();
+          queue.pop_front();
+        }
+        consumed_sum.fetch_add(item, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&] {
+      for (int i = 1; i <= kPerProducer; ++i) {
+        {
+          MutexLock lock(&mu);
+          queue.push_back(i);
+        }
+        not_empty.NotifyOne();
+      }
+    });
+  }
+  for (size_t i = kConsumers; i < threads.size(); ++i) threads[i].join();
+  {
+    MutexLock lock(&mu);
+    closed = true;
+  }
+  not_empty.NotifyAll();
+  for (int c = 0; c < kConsumers; ++c) threads[static_cast<size_t>(c)].join();
+
+  const long expected = static_cast<long>(kProducers) * kPerProducer *
+                        (kPerProducer + 1) / 2;
+  EXPECT_EQ(consumed_sum.load(), expected);
+  EXPECT_TRUE(queue.empty());
 }
 
 }  // namespace

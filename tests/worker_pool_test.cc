@@ -171,5 +171,36 @@ TEST(WorkerPoolTest, WaitIdleOnEmptyPoolReturnsImmediately) {
   EXPECT_EQ(pool.tasks_completed(), 0u);
 }
 
+TEST(WorkerPoolTest, WaitIdleFromInsideATaskFailsFast) {
+  WorkerPool pool(2);
+  // A task waiting for the pool to drain waits for itself — previously
+  // documented UB (a silent self-deadlock). Now it throws immediately.
+  std::atomic<bool> threw{false};
+  ASSERT_TRUE(pool.Submit([&pool, &threw] {
+    try {
+      pool.WaitIdle();
+    } catch (const std::logic_error&) {
+      threw.store(true);
+    }
+  }));
+  pool.WaitIdle();  // from a non-pool thread: still fine
+  EXPECT_TRUE(threw.load());
+  // The task caught the error itself, so the pool counted no escape.
+  EXPECT_EQ(pool.exceptions_caught(), 0u);
+  EXPECT_EQ(pool.tasks_completed(), 1u);
+}
+
+TEST(WorkerPoolTest, WaitIdleFromTaskUncaughtIsContained) {
+  WorkerPool pool(1);
+  // Even when the task lets the error escape, the worker survives and
+  // the escape is counted like any other task exception.
+  ASSERT_TRUE(pool.Submit([&pool] { pool.WaitIdle(); }));
+  pool.WaitIdle();
+  EXPECT_EQ(pool.exceptions_caught(), 1u);
+  ASSERT_TRUE(pool.Submit([] {}));  // worker still serving
+  pool.WaitIdle();
+  EXPECT_EQ(pool.tasks_completed(), 2u);
+}
+
 }  // namespace
 }  // namespace aptrace

@@ -322,7 +322,8 @@ class Connection {
   }
 
   static bool Fail(const char* what) {
-    std::fprintf(stderr, "%s: %s\n", what, std::strerror(errno));
+    std::fprintf(stderr, "%s: %s\n", what,
+                 aptrace::ErrnoMessage(errno).c_str());
     return false;
   }
 
@@ -365,7 +366,8 @@ service::JsonValue MustParse(const std::string& response) {
   if (!parsed.ok()) {
     std::fprintf(stderr, "bad response from daemon: %s\n",
                  response.c_str());
-    std::exit(1);
+    // Single-threaded CLI; no other thread can race the exit handlers.
+    std::exit(1);  // NOLINT(concurrency-mt-unsafe)
   }
   return std::move(parsed.value());
 }

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""Sync-discipline lint: raw standard-library locking is confined to the
+annotated wrapper layer.
+
+src/util/sync.{h,cc} is the only code allowed to name std::mutex,
+std::lock_guard, std::unique_lock, std::condition_variable and friends
+(or include their headers). Everything else must lock through
+aptrace::Mutex / MutexLock / CondVar, which carry the Clang Thread Safety
+annotations and the Debug lock-order checker — a raw primitive anywhere
+else silently opts out of both. docs/concurrency.md states the policy;
+CI runs this next to clang-tidy.
+
+Usage: check_sync_discipline.py [repo_root]
+Exits 0 when clean, 1 with file:line diagnostics otherwise.
+"""
+
+import os
+import re
+import sys
+
+SCAN_DIRS = ("src", "tools", "bench", "tests")
+EXTENSIONS = (".h", ".cc")
+ALLOWED = {os.path.join("src", "util", "sync.h"),
+           os.path.join("src", "util", "sync.cc")}
+
+BANNED_TOKENS = re.compile(
+    r"std\s*::\s*("
+    r"mutex|timed_mutex|recursive_mutex|recursive_timed_mutex|"
+    r"shared_mutex|shared_timed_mutex|"
+    r"lock_guard|unique_lock|scoped_lock|shared_lock|"
+    r"condition_variable(_any)?"
+    r")\b")
+BANNED_INCLUDES = re.compile(
+    r"#\s*include\s*<(mutex|condition_variable|shared_mutex)>")
+
+# Comments and string/char literals can legitimately mention the banned
+# names (e.g. sync.h's own documentation pattern, error messages); strip
+# them before matching, preserving newlines so line numbers survive.
+STRIP = re.compile(
+    r"//[^\n]*"
+    r"|/\*.*?\*/"
+    r'|"(?:[^"\\\n]|\\.)*"'
+    r"|'(?:[^'\\\n]|\\.)*'",
+    re.DOTALL)
+
+
+def stripped(text):
+    return STRIP.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+
+
+def check_file(root, rel):
+    with open(os.path.join(root, rel), encoding="utf-8") as f:
+        text = stripped(f.read())
+    findings = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        for pattern, why in ((BANNED_INCLUDES, "raw locking header"),
+                             (BANNED_TOKENS, "raw locking primitive")):
+            m = pattern.search(line)
+            if m:
+                findings.append((rel, lineno, m.group(0).strip(), why))
+    return findings
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    findings = []
+    for scan_dir in SCAN_DIRS:
+        base = os.path.join(root, scan_dir)
+        for dirpath, _, names in sorted(os.walk(base)):
+            for name in sorted(names):
+                if not name.endswith(EXTENSIONS):
+                    continue
+                rel = os.path.relpath(os.path.join(dirpath, name), root)
+                if rel in ALLOWED:
+                    continue
+                findings.extend(check_file(root, rel))
+    for rel, lineno, token, why in findings:
+        print(f"{rel}:{lineno}: {why} `{token}` outside src/util/sync.* "
+              "— use aptrace::Mutex / MutexLock / CondVar (util/sync.h)")
+    if findings:
+        print(f"\ncheck_sync_discipline: {len(findings)} violation(s). "
+              "The annotated wrappers in src/util/sync.h are the only "
+              "sanctioned locking API; see docs/concurrency.md.")
+        return 1
+    print("check_sync_discipline: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
