@@ -21,10 +21,16 @@ Status ParseError(const std::string& why) {
 }
 }  // namespace
 
-Status Executor::SaveCheckpoint(std::ostream& os) const {
+Status Executor::SaveCheckpoint(std::ostream& os,
+                                const CheckpointDurableMark* mark) const {
   if (!bootstrapped_) {
     return Status::FailedPrecondition(
         "nothing to checkpoint: the executor has not run yet");
+  }
+  // Durable mark first (daemon checkpoints only), so restore can reject a
+  // lossy data directory before it bothers parsing engine state.
+  if (mark != nullptr) {
+    os << "D\t" << mark->store_events << "\t" << mark->wal_seq << "\n";
   }
   // Store fingerprint guards against restoring over a different trace.
   os << "F\t" << ctx_.store->NumEvents() << "\t" << ctx_.store->MinTime()
@@ -77,7 +83,21 @@ Status Executor::RestoreCheckpoint(std::istream& is) {
     std::istringstream f(line);
     std::string kind;
     f >> kind;
-    if (kind == "F") {
+    if (kind == "D") {
+      uint64_t store_events = 0;
+      uint64_t wal_seq = 0;
+      f >> store_events >> wal_seq;
+      if (!f) return ParseError("bad durable-mark record");
+      if (store_events > ctx_.store->NumEvents()) {
+        return Status::FailedPrecondition(
+            "STO-E009: checkpoint durable mark covers " +
+            std::to_string(store_events) +
+            " events (through WAL batch " + std::to_string(wal_seq) +
+            ") but the recovered store holds only " +
+            std::to_string(ctx_.store->NumEvents()) +
+            " — the data directory lost acknowledged batches");
+      }
+    } else if (kind == "F") {
       size_t events = 0;
       TimeMicros lo = 0, hi = 0;
       f >> events >> lo >> hi;
@@ -160,7 +180,8 @@ Status Executor::RestoreCheckpoint(std::istream& is) {
   return Status::Ok();
 }
 
-Status Session::SaveCheckpoint(const std::string& path) const {
+Status Session::SaveCheckpoint(const std::string& path,
+                               const CheckpointDurableMark* mark) const {
   if (executor_ == nullptr) {
     return Status::FailedPrecondition(
         "checkpointing requires a started session on the responsive "
@@ -173,7 +194,7 @@ Status Session::SaveCheckpoint(const std::string& path) const {
   os << "A\t" << executor_->context().start_event.id << "\n";
   const std::string& script = executor_->context().spec.source_text;
   os << "S\t" << script.size() << "\n" << script << "\n";
-  if (auto s = executor_->SaveCheckpoint(os); !s.ok()) return s;
+  if (auto s = executor_->SaveCheckpoint(os, mark); !s.ok()) return s;
   if (!os.good()) return Status::Internal("checkpoint write failed");
   return Status::Ok();
 }

@@ -67,6 +67,18 @@ class ScanOverlapModel {
   DurationMicros total_ = 0;
 };
 
+/// Durable-ingest mark embedded in daemon checkpoints (record kind "D"):
+/// what the store durably held when the checkpoint was taken. On restore
+/// the store must hold at least `store_events` events, otherwise the data
+/// directory lost acknowledged batches and resuming would serve a graph
+/// over events that no longer exist (STO-E009). `wal_seq` records the
+/// last acknowledged WAL batch so operators can line the checkpoint up
+/// against `wal_applied_through` in the daemon's stats.
+struct CheckpointDurableMark {
+  uint64_t store_events = 0;
+  uint64_t wal_seq = 0;
+};
+
 /// The responsive Executor (paper Section III-B1, Algorithm 1).
 ///
 /// A prioritized graph search over *execution windows* rather than whole
@@ -143,7 +155,16 @@ class Executor : public BacktrackEngine {
   /// as line-oriented text, so an investigation can resume in another
   /// process. Restore with RestoreCheckpoint on a freshly constructed
   /// Executor over the same store and an equivalent context.
-  Status SaveCheckpoint(std::ostream& os) const;
+  ///
+  /// `mark`, when non-null, embeds a durable-ingest mark (record kind
+  /// "D") recording the store size and last acknowledged WAL batch at
+  /// checkpoint time. RestoreCheckpoint then refuses (STO-E009) to
+  /// resume over a store that holds fewer events than the mark — i.e.
+  /// a data directory that lost acknowledged batches — so a recovered
+  /// daemon never serves a graph over events it no longer has, and
+  /// replaying the WAL past `wal_seq` never double-ingests.
+  Status SaveCheckpoint(std::ostream& os,
+                        const CheckpointDurableMark* mark = nullptr) const;
   Status RestoreCheckpoint(std::istream& is);
 
   /// Runs the prefetch pipeline on an externally owned pool instead of

@@ -137,8 +137,11 @@ class Session {
   /// Persists the whole paused session (script, starting point, engine
   /// state) to a file; resume later — in another process — with
   /// LoadCheckpoint on a Session over the same store. Responsive engine
-  /// only.
-  Status SaveCheckpoint(const std::string& path) const;
+  /// only. `mark`, when non-null, embeds the daemon's durable-ingest
+  /// position (see CheckpointDurableMark) so resume refuses a data
+  /// directory that lost acknowledged batches.
+  Status SaveCheckpoint(const std::string& path,
+                        const CheckpointDurableMark* mark = nullptr) const;
   Status LoadCheckpoint(const std::string& path);
 
   /// Finalizes the result (paper Section III-A): optionally removes the

@@ -64,6 +64,41 @@ inline constexpr char kStoreRowQueries[] =
 inline constexpr char kStoreColumnarQueries[] =
     "aptrace_store_columnar_queries_total";
 
+// Durable ingest: write-ahead log (storage/wal.cc) and recovery
+// (storage/recovery.cc). docs/durability.md documents the pipeline.
+inline constexpr char kWalAppendedBatches[] =
+    "aptrace_wal_appended_batches_total";
+inline constexpr char kWalAppendedEvents[] =
+    "aptrace_wal_appended_events_total";
+inline constexpr char kWalAppendedBytes[] =
+    "aptrace_wal_appended_bytes_total";
+inline constexpr char kWalSyncs[] = "aptrace_wal_syncs_total";
+inline constexpr char kWalAppendFailures[] =
+    "aptrace_wal_append_failures_total";
+inline constexpr char kWalRecoveredBatches[] =
+    "aptrace_wal_recovered_batches_total";
+inline constexpr char kWalRecoveredEvents[] =
+    "aptrace_wal_recovered_events_total";
+inline constexpr char kWalDuplicatesSkipped[] =
+    "aptrace_wal_duplicates_skipped_total";
+inline constexpr char kWalTruncatedBytes[] =
+    "aptrace_wal_truncated_bytes_total";
+
+// Tiered-storage lifecycle (storage/columnar_backend.cc): hot tail ->
+// sealed segments -> compacted -> evicted.
+inline constexpr char kStoreTailSeals[] = "aptrace_store_tail_seals_total";
+inline constexpr char kStoreTailSealedRows[] =
+    "aptrace_store_tail_sealed_rows_total";
+inline constexpr char kStoreCompactions[] =
+    "aptrace_store_compactions_total";
+inline constexpr char kStoreSegmentsCompacted[] =
+    "aptrace_store_segments_compacted_total";
+inline constexpr char kStoreRowsEvicted[] =
+    "aptrace_store_rows_evicted_total";
+inline constexpr char kStoreSegmentsEvicted[] =
+    "aptrace_store_segments_evicted_total";
+inline constexpr char kStoreSnapshots[] = "aptrace_store_snapshots_total";
+
 // Refiner decisions (core/refiner.cc).
 inline constexpr char kRefinerReuse[] = "aptrace_refiner_reuse_total";
 inline constexpr char kRefinerRestart[] = "aptrace_refiner_restart_total";

@@ -262,6 +262,8 @@ std::string ProtocolHandler::HandleLine(const std::string& line,
     d.Add("ingest_queue_depth", s.ingest_queue_depth);
     d.Add("slow_queries_total", s.slow_queries_total);
     d.Add("flight_dumps_total", s.flight_dumps_total);
+    d.Add("wal_last_seq", s.wal_last_seq);
+    d.Add("wal_applied_through", s.wal_applied_through);
     d.Add("draining", manager_->draining());
     return OkResponse(std::move(d));
   }
@@ -313,7 +315,12 @@ std::string ProtocolHandler::HandleLine(const std::string& line,
     auto accepted = manager_->Ingest(std::move(batch));
     if (!accepted.ok()) return ErrorResponse(accepted.status());
     obs::JsonDict d;
-    d.Add("accepted", static_cast<uint64_t>(accepted.value()));
+    d.Add("accepted", static_cast<uint64_t>(accepted.value().accepted));
+    // Durable receipt: the batch is fsync'd in the WAL under this
+    // sequence number. Absent when the daemon runs without --data-dir.
+    if (accepted.value().wal_seq != 0) {
+      d.Add("wal_seq", accepted.value().wal_seq);
+    }
     return OkResponse(std::move(d));
   }
 

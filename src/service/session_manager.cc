@@ -116,9 +116,29 @@ SessionManager::SessionManager(EventStore* store, ServiceLimits limits)
   scheduler_ = std::thread([this] { SchedulerLoop(); });
 }
 
-SessionManager::~SessionManager() {
+SessionManager::~SessionManager() { StopAndJoin(); }
+
+void SessionManager::StopAndJoin() {
   Stop();
+  // The scheduler drains accepted ingest before exiting (see
+  // SchedulerLoop), so after the join every acked batch is in the store.
   if (scheduler_.joinable()) scheduler_.join();
+}
+
+void SessionManager::EnableDurability(WalWriter* wal,
+                                      uint64_t applied_through) {
+  MutexLock wal_lock(&wal_mu_);
+  MutexLock lock(&mu_);
+  wal_ = wal;
+  applied_through_ = applied_through;
+  last_enqueued_seq_ = applied_through;
+  stats_.wal_last_seq = applied_through;
+  stats_.wal_applied_through = applied_through;
+}
+
+uint64_t SessionManager::AppliedThrough() const {
+  MutexLock lock(&mu_);
+  return applied_through_;
 }
 
 void SessionManager::Stop() {
@@ -394,8 +414,29 @@ Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
           SessionStateName(s->state) + " session");
     }
   }
+  // Daemon checkpoints carry a durable-ingest mark: the applied WAL
+  // position and the store size it implies. Reading applied_through_
+  // before NumEvents() keeps the pair conservative — ApplyIngest bumps
+  // the store first and the seq after, so store_events here always
+  // covers at least the batches wal_seq claims. Non-durable daemons
+  // (no --data-dir) write the classic mark-free format.
+  CheckpointDurableMark mark;
+  bool durable = false;
+  {
+    MutexLock wal_lock(&wal_mu_);
+    durable = wal_ != nullptr;
+  }
+  if (durable) {
+    {
+      MutexLock lock(&mu_);
+      mark.wal_seq = applied_through_;
+    }
+    MutexLock store_lock(&store_mu_);
+    mark.store_events = store_->NumEvents();
+  }
   MutexLock exec_lock(&s->exec_mu);
-  if (auto st = s->session->SaveCheckpoint(path); !st.ok()) {
+  if (auto st = s->session->SaveCheckpoint(path, durable ? &mark : nullptr);
+      !st.ok()) {
     return Status::Internal("SRV-E009: " + st.message());
   }
   return Status::Ok();
@@ -420,7 +461,7 @@ Status SessionManager::ValidateEvent(const Event& e) const {
   return Status::Ok();
 }
 
-Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
+Result<IngestAck> SessionManager::Ingest(std::vector<Event> events) {
   APTRACE_SPAN("service/ingest");
   // Validation reads only the immutable catalog — no lock needed. The
   // whole batch is rejected on the first invalid row so a partial batch
@@ -433,6 +474,15 @@ Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
       return st;
     }
   }
+  IngestAck ack;
+  ack.accepted = events.size();
+  if (events.empty()) return ack;
+
+  // wal_mu_ serializes producers for the whole admit -> log -> enqueue
+  // sequence, so WAL order equals queue order equals store apply order.
+  // mu_ is taken twice underneath it instead of once across the fsync:
+  // the log write must not stall polls or the scheduler.
+  MutexLock wal_lock(&wal_mu_);
   {
     MutexLock lock(&mu_);
     if (draining_) {
@@ -445,11 +495,35 @@ Result<size_t> SessionManager::Ingest(std::vector<Event> events) {
           "SRV-E007: ingest queue full (" +
           std::to_string(limits_.ingest_queue_cap) + " events)");
     }
+  }
+  if (wal_ != nullptr) {
+    // Durability contract: the batch is on disk (written + fsync'd)
+    // before anything is buffered or acked. On failure the writer has
+    // already rolled the log back to the previous record boundary, so
+    // nothing is enqueued and the store never diverges from the log.
+    auto seq = wal_->AppendBatch(events);
+    if (!seq.ok()) {
+      MutexLock lock(&mu_);
+      stats_.ingest_rejected_total += events.size();
+      Sm().ingest_rejected->Add(events.size());
+      return Status::Internal("SRV-E010: durable ingest failed: " +
+                              seq.status().message());
+    }
+    ack.wal_seq = seq.value();
+  }
+  {
+    MutexLock lock(&mu_);
+    // Only the queue can have changed since the admission check —
+    // shrunk, by ApplyIngest — because every producer holds wal_mu_.
     for (Event& e : events) ingest_queue_.push_back(std::move(e));
     stats_.ingest_queue_depth = ingest_queue_.size();
+    if (ack.wal_seq != 0) {
+      last_enqueued_seq_ = ack.wal_seq;
+      stats_.wal_last_seq = ack.wal_seq;
+    }
   }
   sched_cv_.NotifyAll();
-  return events.size();
+  return ack;
 }
 
 ServiceStats SessionManager::stats() const {
@@ -719,22 +793,50 @@ void SessionManager::NoteFlightDump() {
 void SessionManager::ApplyIngest() {
   APTRACE_SPAN("service/apply_ingest");
   std::deque<Event> batch;
+  uint64_t through = 0;
   {
     MutexLock lock(&mu_);
     batch.swap(ingest_queue_);
     stats_.ingest_queue_depth = 0;
+    // The queue held exactly the batches in (applied_through_,
+    // last_enqueued_seq_] — producers update the seq and enqueue in one
+    // mu_ critical section — so applying the swap advances the durable
+    // apply mark to last_enqueued_seq_.
+    through = last_enqueued_seq_;
   }
   if (batch.empty()) return;
   {
     MutexLock store_lock(&store_mu_);
     for (Event& e : batch) store_->Append(std::move(e));
+    MaintainStoreLocked();
   }
   {
     MutexLock lock(&mu_);
     stats_.ingested_total += batch.size();
+    applied_through_ = through;
+    stats_.wal_applied_through = through;
   }
   Sm().ingest_events->Add(batch.size());
   APTRACE_LOG(Debug) << "service: ingested " << batch.size() << " events";
+}
+
+void SessionManager::MaintainStoreLocked() {
+  if (limits_.seal_tail_rows == 0 ||
+      store_->TailRows() < limits_.seal_tail_rows) {
+    return;
+  }
+  // Seal before evicting so rows already older than the horizon move
+  // into sealed segments first (eviction only ever drops a sealed
+  // prefix); compact last so it sees the post-eviction live region.
+  const size_t sealed = store_->SealTail(pool_.get());
+  size_t evicted = 0;
+  if (limits_.retention_micros != 0) {
+    evicted = store_->EvictBefore(store_->MaxTime() - limits_.retention_micros);
+  }
+  const size_t compacted = store_->CompactSegments(pool_.get());
+  APTRACE_LOG(Debug) << "service: sealed " << sealed << " tail rows"
+                     << " (evicted " << evicted << " rows, compacted "
+                     << compacted << " segments)";
 }
 
 }  // namespace aptrace::service

@@ -12,6 +12,7 @@
 
 #include "core/session.h"
 #include "storage/event_store.h"
+#include "storage/wal.h"
 #include "util/clock.h"
 #include "util/status.h"
 #include "util/sync.h"
@@ -66,6 +67,17 @@ struct ServiceLimits {
   /// session failure, first backpressure parking, slow query — each dumps
   /// at most once per session.
   std::string flight_dump_dir;
+
+  /// Hot-tail rows that trigger a background SealTail between quanta
+  /// (columnar backend; a no-op on the row store). 0 disables sealing.
+  size_t seal_tail_rows = 0;
+
+  /// Retention window: after each seal, sealed rows older than
+  /// MaxTime() - retention_micros are evicted from scans (logical
+  /// archive tier). 0 disables eviction. By design this changes what
+  /// queries over old time ranges return, so differential tests keep it
+  /// off.
+  DurationMicros retention_micros = 0;
 };
 
 /// Terminal and live states of a hosted session.
@@ -123,6 +135,19 @@ struct ServiceStats {
   uint64_t ingest_queue_depth = 0;
   uint64_t slow_queries_total = 0;
   uint64_t flight_dumps_total = 0;
+  /// Durable-ingest positions (0 until EnableDurability): highest WAL
+  /// sequence acknowledged, and the highest one whose events have been
+  /// applied to the store.
+  uint64_t wal_last_seq = 0;
+  uint64_t wal_applied_through = 0;
+};
+
+/// What a successful `ingest` acknowledges: the events buffered and —
+/// when durability is on — the WAL sequence number their batch was
+/// fsync'd under before this ack was produced.
+struct IngestAck {
+  size_t accepted = 0;
+  uint64_t wal_seq = 0;  // 0 when the daemon runs without a WAL
 };
 
 /// One live-view row of the `/sessions` endpoint (and `aptrace_client
@@ -240,8 +265,25 @@ class SessionManager {
   /// Validates and buffers live events for the scheduler to append
   /// between quanta. SRV-E007 on a full queue or invalid rows (the whole
   /// batch is rejected — no partial ingest), SRV-E008 when draining.
-  /// Returns the number of buffered events.
-  Result<size_t> Ingest(std::vector<Event> events);
+  /// With durability enabled the batch is appended to the WAL and
+  /// fsync'd *before* this returns — the ack's wal_seq is the durable
+  /// receipt — and a WAL failure rejects the batch with SRV-E010 without
+  /// buffering anything (the writer rolls the log back to the last
+  /// record boundary, so no torn record is left behind).
+  Result<IngestAck> Ingest(std::vector<Event> events);
+
+  /// Turns on the durable-ingest path: every accepted batch is appended
+  /// to `wal` (non-owning; must outlive the manager) under wal_mu_, so
+  /// WAL order equals apply order. `applied_through` is the recovery
+  /// boundary: the highest WAL sequence already contained in the store
+  /// (see storage/recovery.h). Call before serving — not concurrently
+  /// with Ingest.
+  void EnableDurability(WalWriter* wal, uint64_t applied_through);
+
+  /// Highest WAL sequence whose events the scheduler has applied to the
+  /// store — the `applied_through` a snapshot of the store should be
+  /// stamped with.
+  uint64_t AppliedThrough() const;
 
   ServiceStats stats() const;
 
@@ -255,6 +297,12 @@ class SessionManager {
   /// quantum, apply already-accepted ingest, stop the scheduler. Running
   /// sessions stay paused and resumable via Checkpoint. Idempotent.
   void Stop();
+
+  /// Stop() plus a join of the scheduler thread: when this returns,
+  /// every accepted ingest batch has been applied to the store, so the
+  /// caller can safely snapshot it (SnapshotDataDir) with
+  /// AppliedThrough(). Idempotent; the destructor uses it.
+  void StopAndJoin();
 
   bool draining() const;
 
@@ -272,9 +320,14 @@ class SessionManager {
   /// Picks the runnable session with minimal (vtime, arrival); nullptr
   /// when none. Caller holds mu_.
   Managed* PickNextLocked() APTRACE_REQUIRES(mu_);
-  /// Appends all buffered ingest events. Called from the scheduler with
-  /// no locks held, between quanta.
+  /// Appends all buffered ingest events, then runs the tiered-storage
+  /// maintenance pass. Called from the scheduler with no locks held,
+  /// between quanta.
   void ApplyIngest();
+  /// Background seal -> evict -> compact, per the seal_tail_rows /
+  /// retention_micros limits. The shared pool is idle here (between
+  /// quanta), so segment builds can fan out onto it.
+  void MaintainStoreLocked() APTRACE_REQUIRES(store_mu_);
   Result<uint64_t> Admit(std::unique_ptr<Managed> s);
   /// Writes the flight recorder to flight_dump_dir (no-op when empty).
   /// Called with no locks held (takes mu_ for the counters).
@@ -288,12 +341,25 @@ class SessionManager {
   const ServiceLimits limits_;
   std::unique_ptr<WorkerPool> pool_;
 
+  /// Serializes ingest producers so WAL append order equals queue order
+  /// (and therefore store apply order). Held across the admission check,
+  /// the WAL append+fsync, and the enqueue. Ordered BEFORE mu_ — Ingest
+  /// takes mu_ twice under it, releasing it around the fsync so polls
+  /// and the scheduler never block on disk.
+  Mutex wal_mu_{"SessionManager::wal_mu_"};
+  WalWriter* wal_ APTRACE_GUARDED_BY(wal_mu_) = nullptr;
+
   mutable Mutex mu_{"SessionManager::mu_"};
   CondVar sched_cv_;  // wakes the scheduler
   CondVar idle_cv_;   // WaitAllTerminal / Stop waiters
   std::map<uint64_t, std::unique_ptr<Managed>> sessions_
       APTRACE_GUARDED_BY(mu_);
   std::deque<Event> ingest_queue_ APTRACE_GUARDED_BY(mu_);
+  /// WAL sequence of the newest batch in ingest_queue_ (== the newest
+  /// acked batch). The queue always holds exactly the batches in
+  /// (applied_through_, last_enqueued_seq_].
+  uint64_t last_enqueued_seq_ APTRACE_GUARDED_BY(mu_) = 0;
+  uint64_t applied_through_ APTRACE_GUARDED_BY(mu_) = 0;
   uint64_t next_id_ APTRACE_GUARDED_BY(mu_) = 1;
   uint64_t arrival_seq_ APTRACE_GUARDED_BY(mu_) = 0;
   bool stop_ APTRACE_GUARDED_BY(mu_) = false;

@@ -2,15 +2,44 @@
 
 #include <algorithm>
 #include <cassert>
-#include <numeric>
+#include <limits>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "obs/trace.h"
+#include "util/worker_pool.h"
 
 namespace aptrace {
 
 namespace {
 
 constexpr size_t kDefaultSegmentRows = 4096;
+
+struct LifecycleMetrics {
+  obs::Counter* tail_seals;
+  obs::Counter* tail_sealed_rows;
+  obs::Counter* compactions;
+  obs::Counter* segments_compacted;
+  obs::Counter* rows_evicted;
+  obs::Counter* segments_evicted;
+};
+
+const LifecycleMetrics& Lm() {
+  static const LifecycleMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreTailSeals),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreTailSealedRows),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreCompactions),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreSegmentsCompacted),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreRowsEvicted),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreSegmentsEvicted),
+  };
+  return m;
+}
+
+bool EventTsIdLess(const Event& a, const Event& b) {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  return a.id < b.id;
+}
 
 /// (timestamp, id) pairs are the scan-order currency: segment output is
 /// already globally sorted, tail output is sorted, and the two merge by
@@ -87,67 +116,185 @@ EventId ColumnarSegmentBackend::Append(Event event) {
 void ColumnarSegmentBackend::Seal() {
   if (sealed()) return;
   APTRACE_SPAN("store/seal");
-  std::vector<EventId> order(staging_.size());
-  std::iota(order.begin(), order.end(), 0);
-  std::sort(order.begin(), order.end(), [this](EventId a, EventId b) {
-    const Event& ea = staging_[a];
-    const Event& eb = staging_[b];
-    if (ea.timestamp != eb.timestamp) return ea.timestamp < eb.timestamp;
-    return a < b;
-  });
-
+  // Build-phase ids are dense append indexes, so sorting the rows by
+  // (timestamp, id) is the same global order the seed computed through an
+  // index array.
+  std::sort(staging_.begin(), staging_.end(), EventTsIdLess);
   sealed_rows_ = staging_.size();
   row_refs_.resize(sealed_rows_);
-  segments_.reserve((sealed_rows_ + segment_rows_ - 1) / segment_rows_);
-  for (size_t base = 0; base < sealed_rows_; base += segment_rows_) {
-    const size_t n = std::min(segment_rows_, sealed_rows_ - base);
-    Segment s;
-    s.ids.reserve(n);
-    s.ts.reserve(n);
-    s.subject.reserve(n);
-    s.object.reserve(n);
-    s.amount.reserve(n);
-    s.action.reserve(n);
-    s.direction.reserve(n);
-    s.host.reserve(n);
-    ZoneMap z;
-    z.ts_min = std::numeric_limits<TimeMicros>::max();
-    z.ts_max = std::numeric_limits<TimeMicros>::min();
-    z.src_min = ~static_cast<ObjectId>(0);
-    z.src_max = 0;
-    z.dest_min = ~static_cast<ObjectId>(0);
-    z.dest_max = 0;
-    for (size_t i = 0; i < n; ++i) {
-      const Event& e = staging_[order[base + i]];
-      row_refs_[e.id] = {static_cast<uint32_t>(segments_.size()),
-                         static_cast<uint32_t>(i)};
-      s.ids.push_back(e.id);
-      s.ts.push_back(e.timestamp);
-      s.subject.push_back(e.subject);
-      s.object.push_back(e.object);
-      s.amount.push_back(e.amount);
-      s.action.push_back(static_cast<uint8_t>(e.action));
-      s.direction.push_back(static_cast<uint8_t>(e.direction));
-      s.host.push_back(e.host);
-      const ObjectId src = e.FlowSource();
-      const ObjectId dest = e.FlowDest();
-      z.ts_min = std::min(z.ts_min, e.timestamp);
-      z.ts_max = std::max(z.ts_max, e.timestamp);
-      z.src_min = std::min(z.src_min, src);
-      z.src_max = std::max(z.src_max, src);
-      z.dest_min = std::min(z.dest_min, dest);
-      z.dest_max = std::max(z.dest_max, dest);
-      z.host_bits |= uint64_t{1} << (e.host % 64);
-      z.action_bits |= static_cast<uint8_t>(1u << static_cast<int>(e.action));
-      FingerprintAdd(z.src_bits, src);
-      FingerprintAdd(z.dest_bits, dest);
-    }
-    s.zone = z;
-    segments_.push_back(std::move(s));
-  }
+  RecutInto(std::move(staging_), 0, nullptr);
   staging_.clear();
   staging_.shrink_to_fit();
   MarkSealed(sealed_rows_ == 0);
+}
+
+void ColumnarSegmentBackend::BuildSegment(const std::vector<Event>& rows,
+                                          size_t base, size_t n,
+                                          uint32_t seg_index, Segment* out) {
+  Segment s;
+  s.ids.reserve(n);
+  s.ts.reserve(n);
+  s.subject.reserve(n);
+  s.object.reserve(n);
+  s.amount.reserve(n);
+  s.action.reserve(n);
+  s.direction.reserve(n);
+  s.host.reserve(n);
+  ZoneMap z;
+  z.ts_min = std::numeric_limits<TimeMicros>::max();
+  z.ts_max = std::numeric_limits<TimeMicros>::min();
+  z.src_min = ~static_cast<ObjectId>(0);
+  z.src_max = 0;
+  z.dest_min = ~static_cast<ObjectId>(0);
+  z.dest_max = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const Event& e = rows[base + i];
+    row_refs_[e.id] = {seg_index, static_cast<uint32_t>(i)};
+    s.ids.push_back(e.id);
+    s.ts.push_back(e.timestamp);
+    s.subject.push_back(e.subject);
+    s.object.push_back(e.object);
+    s.amount.push_back(e.amount);
+    s.action.push_back(static_cast<uint8_t>(e.action));
+    s.direction.push_back(static_cast<uint8_t>(e.direction));
+    s.host.push_back(e.host);
+    const ObjectId src = e.FlowSource();
+    const ObjectId dest = e.FlowDest();
+    z.ts_min = std::min(z.ts_min, e.timestamp);
+    z.ts_max = std::max(z.ts_max, e.timestamp);
+    z.src_min = std::min(z.src_min, src);
+    z.src_max = std::max(z.src_max, src);
+    z.dest_min = std::min(z.dest_min, dest);
+    z.dest_max = std::max(z.dest_max, dest);
+    z.host_bits |= uint64_t{1} << (e.host % 64);
+    z.action_bits |= static_cast<uint8_t>(1u << static_cast<int>(e.action));
+    FingerprintAdd(z.src_bits, src);
+    FingerprintAdd(z.dest_bits, dest);
+  }
+  s.zone = z;
+  *out = std::move(s);
+}
+
+void ColumnarSegmentBackend::RecutInto(std::vector<Event> rows,
+                                       size_t keep_segments,
+                                       WorkerPool* pool) {
+  const size_t total = rows.size();
+  const size_t chunks = (total + segment_rows_ - 1) / segment_rows_;
+  std::vector<Segment> fresh(chunks);
+  const auto build = [&](size_t c) {
+    const size_t base = c * segment_rows_;
+    BuildSegment(rows, base, std::min(segment_rows_, total - base),
+                 static_cast<uint32_t>(keep_segments + c), &fresh[c]);
+  };
+  if (pool != nullptr && chunks > 1) {
+    // Each build writes only its own fresh[c] and distinct row_refs_
+    // elements; WaitIdle is the barrier before anything reads them.
+    for (size_t c = 0; c < chunks; ++c) {
+      if (!pool->Submit([&build, c] { build(c); })) build(c);
+    }
+    pool->WaitIdle();
+  } else {
+    for (size_t c = 0; c < chunks; ++c) build(c);
+  }
+  segments_.resize(keep_segments);
+  segments_.reserve(keep_segments + chunks);
+  for (Segment& s : fresh) segments_.push_back(std::move(s));
+}
+
+size_t ColumnarSegmentBackend::SealTail(WorkerPool* pool) {
+  if (!sealed() || tail_.empty()) return 0;
+  APTRACE_SPAN("store/seal_tail");
+  const size_t tail_n = tail_.size();
+  const TimeMicros tail_min = tail_[tail_sorted_.front()].timestamp;
+
+  // Splice point: first live segment whose rows can sort after a tail
+  // row. Tail ids exceed every sealed id, so a segment with
+  // ts_max == tail_min keeps its place — new rows with the same
+  // timestamp sort strictly after it.
+  size_t lo = first_live_;
+  size_t hi = segments_.size();
+  while (lo < hi) {
+    const size_t mid = (lo + hi) / 2;
+    if (segments_[mid].zone.ts_max > tail_min) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  const size_t splice = lo;
+
+  // Materialize the spliced rows (already globally sorted) and merge the
+  // tail's sorted view in.
+  size_t spliced_rows = 0;
+  for (size_t i = splice; i < segments_.size(); ++i) {
+    spliced_rows += segments_[i].rows();
+  }
+  std::vector<Event> spliced;
+  spliced.reserve(spliced_rows);
+  for (size_t i = splice; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    for (size_t r = 0; r < s.rows(); ++r) {
+      spliced.push_back(MaterializeRow(s, r));
+    }
+  }
+  std::vector<Event> tail_rows;
+  tail_rows.reserve(tail_n);
+  for (const uint32_t pos : tail_sorted_) tail_rows.push_back(tail_[pos]);
+
+  std::vector<Event> merged;
+  merged.reserve(spliced.size() + tail_n);
+  std::merge(spliced.begin(), spliced.end(), tail_rows.begin(),
+             tail_rows.end(), std::back_inserter(merged), EventTsIdLess);
+
+  row_refs_.resize(sealed_rows_ + tail_n);
+  RecutInto(std::move(merged), splice, pool);
+  sealed_rows_ += tail_n;
+  tail_.clear();
+  tail_sorted_.clear();
+  Lm().tail_seals->Add();
+  Lm().tail_sealed_rows->Add(tail_n);
+  return tail_n;
+}
+
+size_t ColumnarSegmentBackend::Compact(WorkerPool* pool) {
+  if (!sealed()) return 0;
+  const size_t current = segments_.size() - first_live_;
+  size_t live_rows = 0;
+  for (size_t i = first_live_; i < segments_.size(); ++i) {
+    live_rows += segments_[i].rows();
+  }
+  const size_t optimal = (live_rows + segment_rows_ - 1) / segment_rows_;
+  if (current <= optimal) return 0;
+  APTRACE_SPAN("store/compact");
+  std::vector<Event> rows;
+  rows.reserve(live_rows);
+  for (size_t i = first_live_; i < segments_.size(); ++i) {
+    const Segment& s = segments_[i];
+    for (size_t r = 0; r < s.rows(); ++r) rows.push_back(MaterializeRow(s, r));
+  }
+  RecutInto(std::move(rows), first_live_, pool);
+  const size_t saved = current - (segments_.size() - first_live_);
+  Lm().compactions->Add();
+  Lm().segments_compacted->Add(saved);
+  return saved;
+}
+
+size_t ColumnarSegmentBackend::EvictBefore(TimeMicros horizon) {
+  size_t rows = 0;
+  size_t segs = 0;
+  // ts_max is non-decreasing across segments, so the evictable set is a
+  // prefix of the live region: advancing the watermark is all it takes.
+  while (first_live_ < segments_.size() &&
+         segments_[first_live_].zone.ts_max < horizon) {
+    rows += segments_[first_live_].rows();
+    segs++;
+    first_live_++;
+  }
+  if (rows > 0) {
+    Lm().rows_evicted->Add(rows);
+    Lm().segments_evicted->Add(segs);
+  }
+  return rows;
 }
 
 ObjectId ColumnarSegmentBackend::FlowKeyAt(const Segment& s, size_t row,
@@ -197,7 +344,9 @@ bool ColumnarSegmentBackend::ZoneMayMatch(const ZoneMap& z, ObjectId key,
 size_t ColumnarSegmentBackend::FirstSegmentFor(TimeMicros begin) const {
   // Segments are cut from globally time-sorted rows, so ts_max is
   // non-decreasing across segments: binary search the first candidate.
-  size_t lo = 0;
+  // Archived segments (before first_live_) are outside the search domain,
+  // which is what makes EvictBefore take effect in every scan path.
+  size_t lo = first_live_;
   size_t hi = segments_.size();
   while (lo < hi) {
     const size_t mid = (lo + hi) / 2;

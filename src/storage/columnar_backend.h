@@ -37,6 +37,16 @@ namespace aptrace {
 /// the query range. The thread-safety contract is inherited unchanged
 /// from StorageBackend (reads fully concurrent after Seal; appends need
 /// external synchronization).
+///
+/// Tiered lifecycle (docs/durability.md): SealTail() folds the hot tail
+/// into column segments by *splice-and-recut* — only segments whose time
+/// range overlaps the tail are re-cut, everything earlier is untouched —
+/// which preserves the global (timestamp, id) sort every scan path and
+/// FirstSegmentFor's binary search depend on. Repeated seals leave
+/// partial trailing segments; Compact() re-cuts the live region back to
+/// the optimal segment count. EvictBefore() is logical retention: it
+/// advances the `first_live_` watermark so scans skip archived segments
+/// entirely, while point lookups by id (Get) still resolve.
 class ColumnarSegmentBackend final : public StorageBackend {
  public:
   /// Fingerprint width in 64-bit words (1024 bits total).
@@ -62,8 +72,16 @@ class ColumnarSegmentBackend final : public StorageBackend {
   std::vector<ObjectId> FlowDestsOf(ObjectId src, TimeMicros begin,
                                     TimeMicros end) const override;
 
+  size_t SealTail(WorkerPool* pool) override;
+  size_t Compact(WorkerPool* pool) override;
+  size_t EvictBefore(TimeMicros horizon) override;
+  size_t TailRows() const override { return tail_.size(); }
+
   size_t NumSegments() const { return segments_.size(); }
   size_t segment_rows() const { return segment_rows_; }
+  /// Segments before this index are archived (excluded from scans).
+  size_t FirstLiveSegment() const { return first_live_; }
+  size_t NumLiveSegments() const { return segments_.size() - first_live_; }
 
  protected:
   size_t CountDestRows(ObjectId dest, TimeMicros begin, TimeMicros end,
@@ -117,9 +135,26 @@ class ColumnarSegmentBackend final : public StorageBackend {
   /// contain rows whose flow source (by_src) / destination matches `key`.
   bool ZoneMayMatch(const ZoneMap& z, ObjectId key, bool by_src) const;
 
-  /// Index of the first segment whose ts_max >= begin (segments are in
-  /// global time order, so both ts_min and ts_max are non-decreasing).
+  /// Index of the first *live* segment whose ts_max >= begin (segments
+  /// are in global time order, so both ts_min and ts_max are
+  /// non-decreasing). Never returns an archived segment: the search
+  /// starts at first_live_, which is how eviction drops rows from every
+  /// scan path at once.
   size_t FirstSegmentFor(TimeMicros begin) const;
+
+  /// Columnarizes rows[base, base+n) — already (timestamp, id)-sorted —
+  /// into *out and points row_refs_ at the new locations. Writes only
+  /// *out and distinct row_refs_ elements, so calls over disjoint ranges
+  /// are safe to run concurrently (SealTail/Compact fan builds out to a
+  /// WorkerPool).
+  void BuildSegment(const std::vector<Event>& rows, size_t base, size_t n,
+                    uint32_t seg_index, Segment* out);
+
+  /// Replaces segments_[keep_segments, end) with a fresh fixed-size cut
+  /// of `rows` (sorted), parallelizing segment builds on `pool` when
+  /// non-null.
+  void RecutInto(std::vector<Event> rows, size_t keep_segments,
+                 WorkerPool* pool);
 
   /// [first, last) index range of tail_sorted_ with timestamps in
   /// [begin, end).
@@ -138,6 +173,9 @@ class ColumnarSegmentBackend final : public StorageBackend {
   std::vector<Segment> segments_;
   std::vector<RowRef> row_refs_;  // indexed by EventId, sealed rows only
   size_t sealed_rows_ = 0;
+  /// Retention watermark: segments_[0, first_live_) are archived —
+  /// excluded from scans, still resolvable by Get().
+  size_t first_live_ = 0;
 
   /// Post-seal streaming tail (delta store): append order = id order.
   std::vector<Event> tail_;

@@ -179,6 +179,16 @@ class EventStore {
     return backend_->FlowDestsOf(src, begin, end);
   }
 
+  /// Tiered-storage lifecycle passthroughs (see StorageBackend): no-ops
+  /// on backends without a hot tail. All three mutators need the same
+  /// external synchronization with queries as post-seal Append.
+  size_t SealTail(WorkerPool* pool) { return backend_->SealTail(pool); }
+  size_t CompactSegments(WorkerPool* pool) { return backend_->Compact(pool); }
+  size_t EvictBefore(TimeMicros horizon) {
+    return backend_->EvictBefore(horizon);
+  }
+  size_t TailRows() const { return backend_->TailRows(); }
+
   /// One consistent snapshot of the cumulative I/O counters.
   StoreStats stats() const { return backend_->stats(); }
   void ResetStats() { backend_->ResetStats(); }

@@ -1,0 +1,103 @@
+#include "storage/fault_env.h"
+
+#include <utility>
+
+namespace aptrace {
+
+/// Handle wrapper: consults the env's shared fault state on every write
+/// and sync, then forwards whatever is allowed to the real handle.
+class FaultInjectedFile final : public WritableFile {
+ public:
+  FaultInjectedFile(FaultInjectingFileEnv* env,
+                    std::unique_ptr<WritableFile> base, std::string path)
+      : env_(env), base_(std::move(base)), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    size_t allowed = data.size();
+    bool fail = false;
+    {
+      MutexLock lock(&env_->mu_);
+      if (env_->write_budget_ != FaultInjectingFileEnv::kUnlimited) {
+        if (data.size() > env_->write_budget_) {
+          fail = true;
+          allowed = env_->partial_writes_
+                        ? static_cast<size_t>(env_->write_budget_)
+                        : 0;
+        }
+        env_->write_budget_ -= allowed;
+      }
+      env_->bytes_written_ += allowed;
+      if (fail) env_->write_failures_++;
+    }
+    if (allowed > 0) {
+      if (auto st = base_->Append(data.substr(0, allowed)); !st.ok()) {
+        return st;
+      }
+    }
+    if (fail) {
+      return Status::Internal("injected fault: no space left on device (" +
+                              path_ + ")");
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    {
+      MutexLock lock(&env_->mu_);
+      if (env_->sync_failures_pending_ > 0) {
+        env_->sync_failures_pending_--;
+        env_->sync_failures_++;
+        return Status::Internal("injected fault: fsync failed (" + path_ +
+                                ")");
+      }
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  FaultInjectingFileEnv* env_;
+  std::unique_ptr<WritableFile> base_;
+  std::string path_;
+};
+
+void FaultInjectingFileEnv::SetWriteBudget(uint64_t bytes) {
+  MutexLock lock(&mu_);
+  write_budget_ = bytes;
+}
+
+void FaultInjectingFileEnv::SetPartialWrites(bool on) {
+  MutexLock lock(&mu_);
+  partial_writes_ = on;
+}
+
+void FaultInjectingFileEnv::FailNextSyncs(uint64_t n) {
+  MutexLock lock(&mu_);
+  sync_failures_pending_ = n;
+}
+
+uint64_t FaultInjectingFileEnv::bytes_written() const {
+  MutexLock lock(&mu_);
+  return bytes_written_;
+}
+
+uint64_t FaultInjectingFileEnv::write_failures() const {
+  MutexLock lock(&mu_);
+  return write_failures_;
+}
+
+uint64_t FaultInjectingFileEnv::sync_failures() const {
+  MutexLock lock(&mu_);
+  return sync_failures_;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingFileEnv::OpenForAppend(
+    const std::string& path) {
+  auto base = base_->OpenForAppend(path);
+  if (!base.ok()) return base.status();
+  return std::unique_ptr<WritableFile>(std::make_unique<FaultInjectedFile>(
+      this, std::move(base).value(), path));
+}
+
+}  // namespace aptrace

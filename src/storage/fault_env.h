@@ -1,0 +1,94 @@
+#ifndef APTRACE_STORAGE_FAULT_ENV_H_
+#define APTRACE_STORAGE_FAULT_ENV_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "storage/file_env.h"
+#include "util/sync.h"
+
+namespace aptrace {
+
+/// FileEnv decorator that injects write-path failures deterministically:
+/// a byte budget models a disk filling up (ENOSPC), optional partial
+/// writes model torn appends (power cut mid-write), and scheduled sync
+/// failures model a storage stack refusing the durability barrier. The
+/// WAL fault suites (tests/wal_test.cc) and the CI ENOSPC/short-write
+/// smoke drive every failure mode through this class — no tmpfs or
+/// device tricks needed.
+///
+/// Read-side and metadata calls always forward untouched: recovery code
+/// must be able to inspect exactly the bytes the faulty writes left
+/// behind.
+///
+/// Thread-safety: all knobs and counters are guarded by one internal
+/// mutex; handles from OpenForAppend share that state, so concurrent
+/// writers observe one global budget (like a real disk).
+class FaultInjectingFileEnv final : public FileEnv {
+ public:
+  static constexpr uint64_t kUnlimited =
+      std::numeric_limits<uint64_t>::max();
+
+  /// `base` must outlive this env (typically FileEnv::Posix()).
+  explicit FaultInjectingFileEnv(FileEnv* base) : base_(base) {}
+
+  /// Bytes further Append() calls may land in total across all files;
+  /// an append that would exceed it fails like ENOSPC. kUnlimited (the
+  /// default) disables the budget.
+  void SetWriteBudget(uint64_t bytes);
+
+  /// When on, an append that busts the budget first lands the prefix
+  /// that still fits (a short write); when off the append fails whole.
+  void SetPartialWrites(bool on);
+
+  /// The next `n` Sync() calls fail (after the data may already have
+  /// been handed to the OS — durable state unknown, as with real fsync
+  /// failure).
+  void FailNextSyncs(uint64_t n);
+
+  uint64_t bytes_written() const;
+  uint64_t write_failures() const;
+  uint64_t sync_failures() const;
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    return base_->ReadFileToString(path);
+  }
+  Status Truncate(const std::string& path, uint64_t size) override {
+    return base_->Truncate(path, size);
+  }
+  bool FileExists(const std::string& path) override {
+    return base_->FileExists(path);
+  }
+  Result<uint64_t> FileSize(const std::string& path) override {
+    return base_->FileSize(path);
+  }
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    return base_->RenameFile(from, to);
+  }
+  Status RemoveFile(const std::string& path) override {
+    return base_->RemoveFile(path);
+  }
+  Status CreateDir(const std::string& path) override {
+    return base_->CreateDir(path);
+  }
+
+ private:
+  friend class FaultInjectedFile;
+
+  FileEnv* base_;
+  mutable Mutex mu_{"FaultInjectingFileEnv::mu_"};
+  uint64_t write_budget_ APTRACE_GUARDED_BY(mu_) = kUnlimited;
+  bool partial_writes_ APTRACE_GUARDED_BY(mu_) = false;
+  uint64_t sync_failures_pending_ APTRACE_GUARDED_BY(mu_) = 0;
+  uint64_t bytes_written_ APTRACE_GUARDED_BY(mu_) = 0;
+  uint64_t write_failures_ APTRACE_GUARDED_BY(mu_) = 0;
+  uint64_t sync_failures_ APTRACE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_FAULT_ENV_H_

@@ -1,0 +1,143 @@
+#include "storage/file_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <fstream>
+#include <sstream>
+
+#include "util/env.h"
+
+namespace aptrace {
+
+namespace {
+
+class PosixWritableFile final : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      const ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::Internal("write " + path_ + ": " +
+                                ErrnoMessage(errno));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::Ok();
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) {
+      return Status::Internal("fsync " + path_ + ": " +
+                              ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::Ok();
+    const int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::Internal("close " + path_ + ": " +
+                              ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixFileEnv final : public FileEnv {
+ public:
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    const int fd =
+        ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      return Status::Internal("open " + path + ": " + ErrnoMessage(errno));
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    std::ifstream f(path, std::ios::binary);
+    if (!f) {
+      return Status::NotFound("cannot open for read: " + path);
+    }
+    std::ostringstream os;
+    os << f.rdbuf();
+    if (f.bad()) return Status::Internal("read failed: " + path);
+    return os.str();
+  }
+
+  Status Truncate(const std::string& path, uint64_t size) override {
+    if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+      return Status::Internal("truncate " + path + ": " +
+                              ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st = {};
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Result<uint64_t> FileSize(const std::string& path) override {
+    struct stat st = {};
+    if (::stat(path.c_str(), &st) != 0) {
+      return Status::NotFound("stat " + path + ": " + ErrnoMessage(errno));
+    }
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::Internal("rename " + from + " -> " + to + ": " +
+                              ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      return Status::Internal("unlink " + path + ": " +
+                              ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Status::Internal("mkdir " + path + ": " + ErrnoMessage(errno));
+    }
+    return Status::Ok();
+  }
+};
+
+}  // namespace
+
+FileEnv* FileEnv::Posix() {
+  static PosixFileEnv* env = new PosixFileEnv();
+  return env;
+}
+
+}  // namespace aptrace

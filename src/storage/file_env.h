@@ -1,0 +1,78 @@
+#ifndef APTRACE_STORAGE_FILE_ENV_H_
+#define APTRACE_STORAGE_FILE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Append-only file handle handed out by a FileEnv. The write path of the
+/// WAL is expressed entirely against this interface so a fault-injecting
+/// environment can interpose short writes, ENOSPC, and fsync failures
+/// deterministically (tests/wal_test.cc) without tmpfs tricks.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `data` at the end of the file. Either the whole buffer lands
+  /// or an error is returned; on error the file may hold a *prefix* of
+  /// `data` (a short write) — callers that need atomicity truncate back
+  /// to their last known-good offset (see WalWriter::AppendRecord).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// Durability barrier (fsync). On return every previously appended byte
+  /// is on stable storage. A failed sync leaves the durable state of the
+  /// trailing bytes unknown.
+  virtual Status Sync() = 0;
+
+  virtual Status Close() = 0;
+};
+
+/// Pluggable filesystem used by the durable-ingest pipeline (WAL,
+/// manifest, recovery — src/storage/wal.h, src/storage/recovery.h).
+/// Production code uses Posix(); tests wrap it in FaultInjectingFileEnv
+/// (storage/fault_env.h) to exercise every failure mode.
+///
+/// Thread-safety: the env itself is stateless and safe from any thread;
+/// individual WritableFile handles require external synchronization,
+/// exactly like the FILE* they wrap.
+class FileEnv {
+ public:
+  virtual ~FileEnv() = default;
+
+  /// Opens (creating if absent) `path` for appending.
+  virtual Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) = 0;
+
+  /// Reads the entire file into a string (binary-exact).
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+
+  /// Truncates `path` to exactly `size` bytes (used to cut torn WAL
+  /// tails and to roll back failed appends).
+  virtual Status Truncate(const std::string& path, uint64_t size) = 0;
+
+  virtual bool FileExists(const std::string& path) = 0;
+
+  virtual Result<uint64_t> FileSize(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from` (rename(2) semantics); the
+  /// manifest commit point relies on this atomicity.
+  virtual Status RenameFile(const std::string& from,
+                            const std::string& to) = 0;
+
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Creates one directory level; ok if it already exists.
+  virtual Status CreateDir(const std::string& path) = 0;
+
+  /// The process-wide POSIX environment (never deleted).
+  static FileEnv* Posix();
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_FILE_ENV_H_

@@ -1,0 +1,269 @@
+#include "storage/recovery.h"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/string_util.h"
+
+namespace aptrace {
+
+namespace {
+
+constexpr char kManifestMagic[] = "aptrace-manifest v1";
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kWalName[] = "wal.log";
+
+struct RecoveryMetrics {
+  obs::Counter* recovered_batches;
+  obs::Counter* recovered_events;
+  obs::Counter* duplicates_skipped;
+  obs::Counter* truncated_bytes;
+  obs::Counter* snapshots;
+};
+
+const RecoveryMetrics& Rm() {
+  static const RecoveryMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalRecoveredBatches),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalRecoveredEvents),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalDuplicatesSkipped),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalTruncatedBytes),
+      obs::Metrics().FindOrCreateCounter(obs::names::kStoreSnapshots),
+  };
+  return m;
+}
+
+bool ParseU64(const std::string& s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t v = 0;
+  for (const char c : s) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = v;
+  return true;
+}
+
+/// STO-E010 check: a CRC-valid WAL can still belong to a different
+/// trace; replaying it would corrupt the store silently.
+Status ValidateWalEvent(const ObjectCatalog& catalog, const Event& e,
+                        uint64_t seq) {
+  const auto fail = [seq](const std::string& why) {
+    return Status::InvalidArgument(
+        "STO-E010: WAL batch " + std::to_string(seq) + " " + why +
+        " — this WAL does not belong to the loaded trace");
+  };
+  if (e.subject >= catalog.size() || e.object >= catalog.size()) {
+    return fail("references an unknown object");
+  }
+  if (e.host != kInvalidHostId && e.host >= catalog.NumHosts()) {
+    return fail("references an unknown host");
+  }
+  if (static_cast<uint8_t>(e.action) >
+          static_cast<uint8_t>(ActionType::kDelete) ||
+      static_cast<uint8_t>(e.direction) > 1) {
+    return fail("carries an invalid action or direction");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Result<WalReplayResult> ReplayWal(
+    FileEnv* env, const std::string& path, uint64_t applied_through,
+    const std::function<Status(uint64_t seq, std::vector<Event>&& events)>&
+        apply) {
+  APTRACE_SPAN("wal/recover");
+  WalReplayResult out;
+  if (!env->FileExists(path)) return out;  // fresh log
+  auto bytes = env->ReadFileToString(path);
+  if (!bytes.ok()) {
+    return Status::Internal("STO-E001: " + bytes.status().message());
+  }
+  auto scan = ScanWalBytes(*bytes);
+  if (!scan.ok()) return scan.status();
+
+  out.valid_bytes = scan->valid_bytes;
+  out.truncated_bytes = scan->truncated_bytes;
+  out.duplicates_skipped = scan->duplicates_skipped;
+  out.diagnostic = scan->diagnostic;
+  for (WalBatch& b : scan->batches) {
+    out.last_seq = std::max(out.last_seq, b.seq);
+    if (b.seq <= applied_through) {
+      // Covered by the snapshot: the kill landed between the manifest
+      // commit and the WAL reset. Skipping here is what makes restart
+      // never double-ingest.
+      out.duplicates_skipped++;
+      continue;
+    }
+    const size_t n = b.events.size();
+    if (auto st = apply(b.seq, std::move(b.events)); !st.ok()) return st;
+    out.batches_applied++;
+    out.events_applied += n;
+  }
+  if (out.truncated_bytes > 0) {
+    if (auto st = env->Truncate(path, out.valid_bytes); !st.ok()) {
+      return Status::Internal("STO-E001: " + st.message());
+    }
+  }
+  Rm().recovered_batches->Add(out.batches_applied);
+  Rm().recovered_events->Add(out.events_applied);
+  Rm().duplicates_skipped->Add(out.duplicates_skipped);
+  Rm().truncated_bytes->Add(out.truncated_bytes);
+  return out;
+}
+
+Result<std::optional<Manifest>> ReadManifest(FileEnv* env,
+                                             const std::string& dir) {
+  const std::string path = dir + "/" + kManifestName;
+  if (!env->FileExists(path)) return std::optional<Manifest>();
+  auto bytes = env->ReadFileToString(path);
+  if (!bytes.ok()) {
+    return Status::Internal("STO-E001: " + bytes.status().message());
+  }
+  const auto fail = [&path](const std::string& why) {
+    return Status::InvalidArgument("STO-E008: corrupt manifest " + path +
+                                   ": " + why);
+  };
+  std::istringstream is(*bytes);
+  std::string line;
+  if (!std::getline(is, line) || Trim(line) != kManifestMagic) {
+    return fail("bad magic");
+  }
+  Manifest m;
+  bool have_base = false, have_events = false, have_applied = false;
+  while (std::getline(is, line)) {
+    line = Trim(line);
+    if (line.empty()) continue;
+    const std::vector<std::string> f = Split(line, ' ');
+    if (f.size() != 2) return fail("malformed line '" + line + "'");
+    if (f[0] == "base") {
+      m.base_file = f[1];
+      have_base = true;
+    } else if (f[0] == "base_events") {
+      if (!ParseU64(f[1], &m.base_events)) {
+        return fail("bad base_events '" + f[1] + "'");
+      }
+      have_events = true;
+    } else if (f[0] == "applied_through") {
+      if (!ParseU64(f[1], &m.applied_through)) {
+        return fail("bad applied_through '" + f[1] + "'");
+      }
+      have_applied = true;
+    } else {
+      return fail("unknown key '" + f[0] + "'");
+    }
+  }
+  if (!have_base || !have_events || !have_applied) {
+    return fail("missing keys");
+  }
+  return std::optional<Manifest>(std::move(m));
+}
+
+Status WriteManifest(FileEnv* env, const std::string& dir,
+                     const Manifest& manifest) {
+  const std::string tmp = dir + "/" + kManifestName + ".tmp";
+  const std::string path = dir + "/" + kManifestName;
+  {
+    // A stale tmp from a crashed snapshot may exist; start clean (the
+    // handle is O_APPEND, so writes land at the new end either way).
+    auto file = env->OpenForAppend(tmp);
+    if (!file.ok()) return file.status();
+    if (auto st = env->Truncate(tmp, 0); !st.ok()) return st;
+    std::ostringstream os;
+    os << kManifestMagic << "\n"
+       << "base " << manifest.base_file << "\n"
+       << "base_events " << manifest.base_events << "\n"
+       << "applied_through " << manifest.applied_through << "\n";
+    if (auto st = (*file)->Append(os.str()); !st.ok()) return st;
+    if (auto st = (*file)->Sync(); !st.ok()) return st;
+    if (auto st = (*file)->Close(); !st.ok()) return st;
+  }
+  return env->RenameFile(tmp, path);
+}
+
+Result<RecoveredStore> OpenDataDir(FileEnv* env, const std::string& dir,
+                                   const std::string& fallback_trace,
+                                   EventStoreOptions options) {
+  if (auto st = env->CreateDir(dir); !st.ok()) return st;
+
+  auto manifest = ReadManifest(env, dir);
+  if (!manifest.ok()) return manifest.status();
+
+  RecoveredStore out;
+  if (manifest->has_value()) {
+    const Manifest& m = **manifest;
+    auto store = LoadTraceFile(dir + "/" + m.base_file, std::move(options));
+    if (!store.ok()) {
+      return Status::Internal("STO-E008: manifest names snapshot " +
+                              m.base_file + " but it cannot be loaded: " +
+                              store.status().message());
+    }
+    if ((*store)->NumEvents() != m.base_events) {
+      return Status::Internal(
+          "STO-E008: snapshot " + m.base_file + " holds " +
+          std::to_string((*store)->NumEvents()) + " events, manifest says " +
+          std::to_string(m.base_events));
+    }
+    out.store = std::move(store).value();
+    out.applied_through = m.applied_through;
+    out.from_snapshot = true;
+  } else {
+    if (fallback_trace.empty()) {
+      return Status::InvalidArgument(
+          "data dir " + dir +
+          " has no snapshot and no fallback trace was given");
+    }
+    auto store = LoadTraceFile(fallback_trace, std::move(options));
+    if (!store.ok()) return store.status();
+    out.store = std::move(store).value();
+  }
+
+  EventStore* store = out.store.get();
+  auto replay = ReplayWal(
+      env, dir + "/" + kWalName, out.applied_through,
+      [store](uint64_t seq, std::vector<Event>&& events) {
+        for (Event& e : events) {
+          if (auto st = ValidateWalEvent(store->catalog(), e, seq); !st.ok()) {
+            return st;
+          }
+          store->Append(std::move(e));
+        }
+        return Status::Ok();
+      });
+  if (!replay.ok()) return replay.status();
+  out.wal = std::move(replay).value();
+  out.wal_valid_bytes = out.wal.valid_bytes;
+  out.next_seq = std::max(out.applied_through, out.wal.last_seq) + 1;
+  return out;
+}
+
+Status SnapshotDataDir(FileEnv* env, const std::string& dir,
+                       const EventStore& store, uint64_t applied_through,
+                       WalWriter* wal) {
+  APTRACE_SPAN("store/snapshot");
+  const std::string base = "base-" + std::to_string(applied_through) +
+                           ".trace";
+  const std::string tmp = dir + "/" + base + ".tmp";
+  if (auto st = SaveTraceFile(store, tmp, TraceFormat::kBinaryV2); !st.ok()) {
+    return st;
+  }
+  if (auto st = env->RenameFile(tmp, dir + "/" + base); !st.ok()) return st;
+  Manifest m;
+  m.base_file = base;
+  m.base_events = store.NumEvents();
+  m.applied_through = applied_through;
+  // The rename inside WriteManifest is the commit point: before it the
+  // old snapshot is authoritative, after it the new one is.
+  if (auto st = WriteManifest(env, dir, m); !st.ok()) return st;
+  if (wal != nullptr) {
+    if (auto st = wal->Reset(); !st.ok()) return st;
+  }
+  Rm().snapshots->Add();
+  return Status::Ok();
+}
+
+}  // namespace aptrace

@@ -1,0 +1,116 @@
+#ifndef APTRACE_STORAGE_RECOVERY_H_
+#define APTRACE_STORAGE_RECOVERY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "storage/event_store.h"
+#include "storage/file_env.h"
+#include "storage/trace_io.h"
+#include "storage/wal.h"
+
+namespace aptrace {
+
+/// Crash recovery for the durable ingest pipeline (docs/durability.md).
+///
+/// A data dir owns three artifacts:
+///   wal.log          — the write-ahead log (storage/wal.h)
+///   base-<seq>.trace — a v2 binary snapshot of the store covering every
+///                      batch up to sequence <seq>
+///   MANIFEST         — names the live snapshot; committed by atomic
+///                      rename, so it either names a complete snapshot
+///                      or the previous one
+///
+/// Recovery (OpenDataDir) loads the manifest's snapshot (or the fallback
+/// trace on first boot), replays the WAL's longest valid prefix skipping
+/// batches the snapshot already covers — which is why a kill between
+/// snapshot and WAL reset never double-ingests — and truncates any torn
+/// tail. The recovered store is bit-identical to the pre-crash store for
+/// every acknowledged batch.
+
+/// Outcome of one WAL replay.
+struct WalReplayResult {
+  uint64_t batches_applied = 0;
+  uint64_t events_applied = 0;
+  /// Batches skipped idempotently: duplicated in the log, or already
+  /// covered by the snapshot (`applied_through`).
+  uint64_t duplicates_skipped = 0;
+  /// Highest sequence number observed (applied or skipped); 0 when the
+  /// log held no batches.
+  uint64_t last_seq = 0;
+  /// Valid prefix length; the file was truncated to this when a torn or
+  /// corrupt tail followed it.
+  uint64_t valid_bytes = 0;
+  uint64_t truncated_bytes = 0;
+  /// Typed `STO-E0xx:` note when anything was cut or skipped; empty for
+  /// a pristine log.
+  std::string diagnostic;
+};
+
+/// Replays `path` onto `apply` in sequence order, skipping batches with
+/// seq <= applied_through. In-log corruption ends the replay at the
+/// longest valid prefix and truncates the file there — never an error.
+/// Hard errors only for: unreadable file (STO-E001), wrong magic
+/// (STO-E002), or an `apply` failure (propagated). A missing file is a
+/// clean empty log.
+Result<WalReplayResult> ReplayWal(
+    FileEnv* env, const std::string& path, uint64_t applied_through,
+    const std::function<Status(uint64_t seq, std::vector<Event>&& events)>&
+        apply);
+
+/// The MANIFEST contents.
+struct Manifest {
+  std::string base_file;        // snapshot filename within the data dir
+  uint64_t base_events = 0;     // events the snapshot must contain
+  uint64_t applied_through = 0; // batches covered by the snapshot
+};
+
+/// nullopt when no MANIFEST exists; STO-E008 when one exists but does
+/// not parse.
+Result<std::optional<Manifest>> ReadManifest(FileEnv* env,
+                                             const std::string& dir);
+
+/// Commits a manifest atomically (tmp write + rename).
+Status WriteManifest(FileEnv* env, const std::string& dir,
+                     const Manifest& manifest);
+
+/// What OpenDataDir hands the daemon.
+struct RecoveredStore {
+  std::unique_ptr<EventStore> store;
+  /// Sequence number the WalWriter should assign next.
+  uint64_t next_seq = 1;
+  /// Valid prefix to hand WalWriter::Open (0 = fresh log).
+  uint64_t wal_valid_bytes = 0;
+  /// Batches the snapshot already covered (manifest applied_through).
+  uint64_t applied_through = 0;
+  bool from_snapshot = false;
+  WalReplayResult wal;
+};
+
+/// Opens/recovers a data dir: creates it if missing, loads the
+/// manifest's snapshot (else `fallback_trace`; error when neither
+/// exists), replays the WAL onto the sealed store, and repairs torn
+/// tails. Events replayed from the WAL are validated against the
+/// catalog — a reference to an unknown object/host means the WAL does
+/// not belong to this trace and fails with STO-E010 rather than
+/// diverging silently.
+Result<RecoveredStore> OpenDataDir(FileEnv* env, const std::string& dir,
+                                   const std::string& fallback_trace,
+                                   EventStoreOptions options);
+
+/// Persists the store as the data dir's new snapshot and resets the WAL:
+/// writes base-<applied_through>.trace (v2), commits the MANIFEST by
+/// atomic rename, then truncates the log through `wal` (when non-null).
+/// Crash-safe at every step: until the manifest rename lands the old
+/// snapshot stays authoritative, and after it lands replay skips the
+/// covered batches even if the WAL reset never ran.
+Status SnapshotDataDir(FileEnv* env, const std::string& dir,
+                       const EventStore& store, uint64_t applied_through,
+                       WalWriter* wal);
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_RECOVERY_H_

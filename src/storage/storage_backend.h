@@ -15,6 +15,8 @@
 
 namespace aptrace {
 
+class WorkerPool;
+
 /// Physical layouts the store can run on. The row store is the seed
 /// implementation (time partitions + per-partition hash indexes); the
 /// columnar backend stores sealed events as fixed-size column segments
@@ -206,6 +208,44 @@ class StorageBackend {
   /// (charges only probe/overhead cost — models a COUNT(*) on the index).
   size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
                    Clock* clock) const;
+
+  /// --- Tiered-storage lifecycle (docs/durability.md) ---
+  ///
+  /// The columnar backend implements the hot-tail -> sealed -> compacted
+  /// -> evicted segment lifecycle; backends whose streaming appends are
+  /// indexed in place (the row store) keep these no-op defaults. All
+  /// three mutators require the same external synchronization with
+  /// queries as post-seal Append (the daemon runs them between quanta).
+  /// None of them ever changes what a query returns — except
+  /// EvictBefore, which by design removes old rows from scan results.
+
+  /// Seals the post-seal streaming tail into the backend's durable
+  /// layout, optionally parallelizing segment builds on `pool` (nullptr
+  /// = sequential). Returns rows sealed.
+  virtual size_t SealTail(WorkerPool* pool) {
+    (void)pool;
+    return 0;
+  }
+
+  /// Merges fragmented storage units back to the optimal cut (repeated
+  /// tail seals leave partial segments behind). Scan results are
+  /// unchanged; probe counts shrink. Returns storage units reclaimed.
+  virtual size_t Compact(WorkerPool* pool) {
+    (void)pool;
+    return 0;
+  }
+
+  /// Retention: excludes all sealed rows with timestamps wholly before
+  /// `horizon` from future scans (point lookups by id still resolve, as
+  /// in an archive tier). Returns rows evicted.
+  virtual size_t EvictBefore(TimeMicros horizon) {
+    (void)horizon;
+    return 0;
+  }
+
+  /// Rows currently in the hot streaming tail (0 for backends without
+  /// one).
+  virtual size_t TailRows() const { return 0; }
 
   /// One consistent snapshot of the cumulative I/O counters (single mutex;
   /// no torn reads across fields).

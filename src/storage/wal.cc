@@ -1,0 +1,332 @@
+#include "storage/wal.h"
+
+#include <array>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace aptrace {
+
+namespace {
+
+struct WalMetrics {
+  obs::Counter* appended_batches;
+  obs::Counter* appended_events;
+  obs::Counter* appended_bytes;
+  obs::Counter* syncs;
+  obs::Counter* append_failures;
+};
+
+const WalMetrics& Wm() {
+  static const WalMetrics m = {
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalAppendedBatches),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalAppendedEvents),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalAppendedBytes),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalSyncs),
+      obs::Metrics().FindOrCreateCounter(obs::names::kWalAppendFailures),
+  };
+  return m;
+}
+
+constexpr size_t kRecordHeaderBytes = 8;  // u32 len + u32 crc
+constexpr size_t kPayloadHeaderBytes = 12;  // u64 seq + u32 count
+
+void PutU16(std::string& out, uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>(v >> 8));
+}
+
+void PutU32(std::string& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void PutU64(std::string& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t GetU16(const unsigned char* p) {
+  return static_cast<uint16_t>(p[0] | (p[1] << 8));
+}
+
+uint32_t GetU32(const unsigned char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+uint64_t GetU64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+std::string Diag(const char* code, const std::string& why) {
+  return std::string(code) + ": " + why;
+}
+
+}  // namespace
+
+uint32_t WalCrc32(std::string_view data) {
+  static const std::array<uint32_t, 256> kTable = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const char ch : data) {
+    crc = kTable[(crc ^ static_cast<unsigned char>(ch)) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeWalRecord(uint64_t seq, const std::vector<Event>& events) {
+  std::string payload;
+  payload.reserve(kPayloadHeaderBytes + events.size() * kWalEventBytes);
+  PutU64(payload, seq);
+  PutU32(payload, static_cast<uint32_t>(events.size()));
+  for (const Event& e : events) {
+    PutU64(payload, static_cast<uint64_t>(e.timestamp));
+    PutU64(payload, e.subject);
+    PutU64(payload, e.object);
+    PutU64(payload, e.amount);
+    PutU16(payload, e.host);
+    payload.push_back(static_cast<char>(e.action));
+    payload.push_back(static_cast<char>(e.direction));
+  }
+  std::string record;
+  record.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(record, static_cast<uint32_t>(payload.size()));
+  PutU32(record, WalCrc32(payload));
+  record += payload;
+  return record;
+}
+
+Result<WalScan> ScanWalBytes(std::string_view bytes) {
+  WalScan scan;
+  if (bytes.empty()) {
+    // A missing or empty file is a fresh log, not corruption.
+    return scan;
+  }
+  if (bytes.size() < kWalMagicLen ||
+      bytes.substr(0, kWalMagicLen) != std::string_view(kWalMagic)) {
+    return Status::InvalidArgument(
+        Diag("STO-E002", "bad or missing WAL magic — not an aptrace WAL; "
+                         "refusing to repair"));
+  }
+
+  size_t pos = kWalMagicLen;
+  scan.valid_bytes = pos;
+  uint64_t prev_seq = 0;
+  bool have_prev = false;
+  while (pos < bytes.size()) {
+    const size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordHeaderBytes) {
+      scan.diagnostic = Diag(
+          "STO-E003", "torn WAL tail at byte " + std::to_string(pos) +
+                          ": truncated record header (" +
+                          std::to_string(remaining) + " bytes)");
+      break;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(bytes.data() + pos);
+    const uint32_t payload_len = GetU32(p);
+    const uint32_t crc = GetU32(p + 4);
+    if (payload_len < kPayloadHeaderBytes ||
+        (payload_len - kPayloadHeaderBytes) % kWalEventBytes != 0 ||
+        (payload_len - kPayloadHeaderBytes) / kWalEventBytes >
+            kWalMaxBatchEvents) {
+      scan.diagnostic =
+          Diag("STO-E005", "implausible record length " +
+                               std::to_string(payload_len) + " at byte " +
+                               std::to_string(pos));
+      break;
+    }
+    if (remaining - kRecordHeaderBytes < payload_len) {
+      scan.diagnostic = Diag(
+          "STO-E003", "torn WAL tail at byte " + std::to_string(pos) +
+                          ": record needs " + std::to_string(payload_len) +
+                          " payload bytes, file has " +
+                          std::to_string(remaining - kRecordHeaderBytes));
+      break;
+    }
+    const std::string_view payload =
+        bytes.substr(pos + kRecordHeaderBytes, payload_len);
+    if (WalCrc32(payload) != crc) {
+      scan.diagnostic =
+          Diag("STO-E004", "CRC mismatch at byte " + std::to_string(pos));
+      break;
+    }
+    const auto* pl = reinterpret_cast<const unsigned char*>(payload.data());
+    const uint64_t seq = GetU64(pl);
+    const uint32_t count = GetU32(pl + 8);
+    if (static_cast<uint64_t>(count) * kWalEventBytes +
+            kPayloadHeaderBytes !=
+        payload_len) {
+      scan.diagnostic =
+          Diag("STO-E005", "event count " + std::to_string(count) +
+                               " disagrees with record length at byte " +
+                               std::to_string(pos));
+      break;
+    }
+    if (have_prev && seq > prev_seq + 1) {
+      // A forward jump cannot come from our writer; the bytes are
+      // CRC-valid garbage (or a spliced foreign log). End of trust.
+      scan.diagnostic =
+          Diag("STO-E006", "sequence break at byte " + std::to_string(pos) +
+                               ": batch " + std::to_string(seq) + " after " +
+                               std::to_string(prev_seq));
+      break;
+    }
+    if (have_prev && seq <= prev_seq) {
+      // A duplicated batch (retried append that landed twice) is valid
+      // bytes already applied once: skip idempotently, keep scanning.
+      scan.duplicates_skipped++;
+      if (scan.diagnostic.empty()) {
+        scan.diagnostic =
+            Diag("STO-E006", "duplicate batch seq " + std::to_string(seq) +
+                                 " at byte " + std::to_string(pos) +
+                                 " skipped (idempotent replay)");
+      }
+      pos += kRecordHeaderBytes + payload_len;
+      scan.valid_bytes = pos;
+      continue;
+    }
+    WalBatch batch;
+    batch.seq = seq;
+    batch.events.reserve(count);
+    const unsigned char* ev = pl + kPayloadHeaderBytes;
+    for (uint32_t i = 0; i < count; ++i, ev += kWalEventBytes) {
+      Event e;
+      e.timestamp = static_cast<TimeMicros>(GetU64(ev));
+      e.subject = GetU64(ev + 8);
+      e.object = GetU64(ev + 16);
+      e.amount = GetU64(ev + 24);
+      e.host = GetU16(ev + 32);
+      e.action = static_cast<ActionType>(ev[34]);
+      e.direction = static_cast<FlowDirection>(ev[35]);
+      batch.events.push_back(e);
+    }
+    scan.batches.push_back(std::move(batch));
+    prev_seq = seq;
+    have_prev = true;
+    pos += kRecordHeaderBytes + payload_len;
+    scan.valid_bytes = pos;
+  }
+  scan.truncated_bytes = bytes.size() - scan.valid_bytes;
+  return scan;
+}
+
+WalWriter::WalWriter(FileEnv* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(FileEnv* env,
+                                                   std::string path,
+                                                   uint64_t valid_bytes,
+                                                   uint64_t next_seq) {
+  std::unique_ptr<WalWriter> w(new WalWriter(env, std::move(path)));
+  const bool fresh = valid_bytes < kWalMagicLen;
+  if (env->FileExists(w->path_)) {
+    // Recovery reports the valid prefix; enforce it on disk so appends
+    // never build on top of a torn tail.
+    const uint64_t cut = fresh ? 0 : valid_bytes;
+    auto size = env->FileSize(w->path_);
+    if (!size.ok()) {
+      return Status::Internal("STO-E001: " + size.status().message());
+    }
+    if (*size != cut) {
+      if (auto st = env->Truncate(w->path_, cut); !st.ok()) {
+        return Status::Internal("STO-E001: " + st.message());
+      }
+    }
+  }
+  auto file = env->OpenForAppend(w->path_);
+  if (!file.ok()) {
+    return Status::Internal("STO-E001: " + file.status().message());
+  }
+  w->file_ = std::move(file).value();
+  if (fresh) {
+    if (auto st = w->file_->Append(std::string_view(kWalMagic, kWalMagicLen));
+        !st.ok()) {
+      return Status::Internal("STO-E007: " + st.message());
+    }
+    if (auto st = w->file_->Sync(); !st.ok()) {
+      return Status::Internal("STO-E007: " + st.message());
+    }
+    w->offset_ = kWalMagicLen;
+  } else {
+    w->offset_ = valid_bytes;
+  }
+  w->next_seq_ = next_seq == 0 ? 1 : next_seq;
+  return w;
+}
+
+void WalWriter::Rollback() {
+  // Best effort: drop the handle, cut the file back to the last record
+  // boundary, reopen. If any step fails the next append reports it.
+  file_.reset();
+  (void)env_->Truncate(path_, offset_);
+  auto file = env_->OpenForAppend(path_);
+  if (file.ok()) file_ = std::move(file).value();
+}
+
+Result<uint64_t> WalWriter::AppendBatch(const std::vector<Event>& events) {
+  APTRACE_SPAN("wal/append");
+  if (file_ == nullptr) {
+    // A previous rollback failed to reopen; retry before giving up.
+    auto file = env_->OpenForAppend(path_);
+    if (!file.ok()) {
+      Wm().append_failures->Add();
+      return Status::Internal("STO-E007: WAL reopen failed: " +
+                              file.status().message());
+    }
+    file_ = std::move(file).value();
+  }
+  const std::string record = EncodeWalRecord(next_seq_, events);
+  if (auto st = file_->Append(record); !st.ok()) {
+    Rollback();
+    Wm().append_failures->Add();
+    return Status::Internal("STO-E007: WAL append failed: " + st.message());
+  }
+  if (auto st = file_->Sync(); !st.ok()) {
+    // The durable state of the record is unknown after a failed fsync;
+    // roll it back so the acknowledged log stays exactly the synced
+    // prefix (recovery tolerates the torn bytes either way).
+    Rollback();
+    Wm().append_failures->Add();
+    return Status::Internal("STO-E007: WAL fsync failed: " + st.message());
+  }
+  offset_ += record.size();
+  const uint64_t seq = next_seq_++;
+  Wm().appended_batches->Add();
+  Wm().appended_events->Add(events.size());
+  Wm().appended_bytes->Add(record.size());
+  Wm().syncs->Add();
+  return seq;
+}
+
+Status WalWriter::Reset() {
+  file_.reset();
+  if (auto st = env_->Truncate(path_, kWalMagicLen); !st.ok()) {
+    return Status::Internal("STO-E001: " + st.message());
+  }
+  auto file = env_->OpenForAppend(path_);
+  if (!file.ok()) {
+    return Status::Internal("STO-E001: " + file.status().message());
+  }
+  file_ = std::move(file).value();
+  offset_ = kWalMagicLen;
+  return Status::Ok();
+}
+
+}  // namespace aptrace

@@ -1,0 +1,147 @@
+#ifndef APTRACE_STORAGE_WAL_H_
+#define APTRACE_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "event/event.h"
+#include "storage/file_env.h"
+#include "util/status.h"
+
+namespace aptrace {
+
+/// Write-ahead log for live ingest (docs/durability.md).
+///
+/// File layout: a 15-byte magic line `aptrace-wal v1\n` followed by
+/// length-prefixed, CRC-checksummed records, one per accepted ingest
+/// batch:
+///
+///   u32  payload_len          (little-endian)
+///   u32  crc32(payload)       (IEEE CRC-32 of the payload bytes)
+///   payload:
+///     u64  batch_seq          (1-based, strictly increasing)
+///     u32  event_count
+///     event_count × 36-byte event:
+///       i64 timestamp  u64 subject  u64 object  u64 amount
+///       u16 host       u8 action    u8 direction
+///
+/// EventIds are not logged: the store assigns them densely at apply
+/// time, and because batches are replayed in sequence order the ids come
+/// out identical to the pre-crash assignment — which is what makes
+/// recovered graphs bit-identical, not merely equivalent.
+///
+/// Durability contract: WalWriter::AppendBatch returns only after the
+/// record is written AND fsync'd; the daemon acknowledges an `ingest`
+/// request only after AppendBatch succeeds. Everything acknowledged is
+/// therefore recoverable after SIGKILL at any instruction
+/// (tests/crash_recovery_test.cc proves this at >= 100 kill points).
+///
+/// Failure taxonomy surfaced by the scanner and the recovery path, all
+/// prefixed `STO-E0xx:` (docs/durability.md lists them):
+///   E001 I/O failure reading the log      E002 bad or missing magic
+///   E003 torn tail (truncated record)     E004 CRC mismatch
+///   E005 implausible record structure     E006 sequence break
+///   E007 append/sync failure (write path)
+
+/// First bytes of every WAL file.
+inline constexpr char kWalMagic[] = "aptrace-wal v1\n";
+inline constexpr size_t kWalMagicLen = sizeof(kWalMagic) - 1;
+
+/// Bytes of one encoded event inside a record payload.
+inline constexpr size_t kWalEventBytes = 36;
+
+/// Sanity cap on events per record; a decoded count above this marks the
+/// record — and everything after it — as garbage (STO-E005).
+inline constexpr uint32_t kWalMaxBatchEvents = 1u << 20;
+
+/// IEEE CRC-32 (the zlib polynomial) over `data`.
+uint32_t WalCrc32(std::string_view data);
+
+/// Encodes one batch into the on-disk record format (header + payload).
+std::string EncodeWalRecord(uint64_t seq, const std::vector<Event>& events);
+
+/// One decoded record.
+struct WalBatch {
+  uint64_t seq = 0;
+  std::vector<Event> events;
+};
+
+/// Longest-valid-prefix scan of raw WAL bytes.
+struct WalScan {
+  /// Structurally valid batches in log order. Duplicated sequence
+  /// numbers (a batch replayed into the log twice) are dropped here —
+  /// `duplicates_skipped` counts them — so every surviving batch has a
+  /// strictly increasing seq.
+  std::vector<WalBatch> batches;
+  /// Bytes of the valid prefix (magic included). The file should be
+  /// truncated to this length to repair a torn tail.
+  uint64_t valid_bytes = 0;
+  /// Bytes past the valid prefix (0 when the log is clean).
+  uint64_t truncated_bytes = 0;
+  uint64_t duplicates_skipped = 0;
+  /// Typed `STO-E0xx:` note explaining why the scan stopped early or
+  /// skipped records; empty when the log is pristine.
+  std::string diagnostic;
+};
+
+/// Decodes the longest valid prefix of `bytes`. Never fails on in-log
+/// corruption — a torn tail, CRC mismatch, implausible length, or
+/// sequence break ends the prefix and is reported in `diagnostic`. The
+/// only hard errors are an empty-file-with-content or wrong magic
+/// (STO-E002): such a file is not a WAL at all, and truncating it to
+/// "repair" it would destroy someone's data.
+Result<WalScan> ScanWalBytes(std::string_view bytes);
+
+/// Appender side of the WAL. One writer per data dir; the daemon holds
+/// it for the process lifetime and serializes AppendBatch calls (the
+/// ingest path already owns a WAL mutex — see SessionManager).
+///
+/// A failed append or sync rolls the file back to the last record
+/// boundary (truncate + reopen), so the log never accumulates a torn
+/// record from a *reported* failure — torn tails only arise from crashes
+/// mid-append, exactly the case recovery repairs. After a failure the
+/// writer stays usable: once the fault clears (disk space freed), later
+/// appends succeed.
+class WalWriter {
+ public:
+  /// Opens `path` for appending after recovery validated `valid_bytes`
+  /// of prefix (0 or a missing file starts a fresh log, magic included).
+  /// `next_seq` is the sequence number the next batch will carry.
+  static Result<std::unique_ptr<WalWriter>> Open(FileEnv* env,
+                                                 std::string path,
+                                                 uint64_t valid_bytes,
+                                                 uint64_t next_seq);
+
+  /// Appends one batch and fsyncs. Returns the sequence number assigned,
+  /// or an STO-E007 error (record rolled back, nothing acknowledged).
+  Result<uint64_t> AppendBatch(const std::vector<Event>& events);
+
+  /// Durably forgets everything up to and including `seq` by truncating
+  /// the log back to its magic header. Callers must first persist the
+  /// store snapshot + manifest covering those batches (SnapshotDataDir
+  /// does; see recovery.h).
+  Status Reset();
+
+  uint64_t next_seq() const { return next_seq_; }
+  uint64_t offset() const { return offset_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(FileEnv* env, std::string path);
+
+  /// Truncates back to offset_ and reopens after a failed append/sync.
+  void Rollback();
+
+  FileEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> file_;
+  uint64_t offset_ = 0;
+  uint64_t next_seq_ = 1;
+};
+
+}  // namespace aptrace
+
+#endif  // APTRACE_STORAGE_WAL_H_

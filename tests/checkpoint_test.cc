@@ -6,7 +6,9 @@
 
 #include <cstdio>
 #include <fstream>
+#include <iterator>
 #include <set>
+#include <string>
 
 #include "core/engine.h"
 #include "tests/test_trace.h"
@@ -176,6 +178,71 @@ TEST(CheckpointTest, WrongTraceRejected) {
   Session resumed(other->store.get(), &c2);
   EXPECT_FALSE(resumed.LoadCheckpoint(path).ok());
   std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, DurableMarkRoundTripsAndRejectsALossyStore) {
+  const std::string path = TempPath("mark.ckpt");
+  MiniTrace t = MakeMiniTrace();
+  // A live-ingested tail on top of the sealed history — the events a
+  // durable daemon would have acked into its WAL.
+  for (int i = 0; i < 3; ++i) {
+    Event e = t.store->Get(t.alert_event);
+    e.timestamp += 1000 + i;
+    t.store->Append(e);
+  }
+
+  SimClock c1;
+  Session first(t.store.get(), &c1);
+  ASSERT_TRUE(first
+                  .Start("backward ip x[] -> *",
+                         t.store->Get(t.alert_event))
+                  .ok());
+  RunLimits pause;
+  pause.max_updates = 1;
+  ASSERT_TRUE(first.Step(pause).ok());
+
+  CheckpointDurableMark mark;
+  mark.store_events = t.store->NumEvents();
+  mark.wal_seq = 7;
+  ASSERT_TRUE(first.SaveCheckpoint(path, &mark).ok());
+
+  // The mark is a "D" record in the file.
+  {
+    std::ifstream f(path);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    const std::string want =
+        "\nD\t" + std::to_string(t.store->NumEvents()) + "\t7\n";
+    EXPECT_NE(text.find(want), std::string::npos) << text.substr(0, 200);
+  }
+
+  // Over the intact store the checkpoint resumes normally.
+  SimClock c2;
+  Session resumed(t.store.get(), &c2);
+  ASSERT_TRUE(resumed.LoadCheckpoint(path).ok());
+
+  // Over a store that lost the acked tail (the base trace alone) the
+  // durable mark refuses with the typed STO-E009 — before the generic
+  // fingerprint gets a chance to mislabel it a "different trace".
+  MiniTrace lossy = MakeMiniTrace();
+  SimClock c3;
+  Session refused(lossy.store.get(), &c3);
+  auto st = refused.LoadCheckpoint(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("STO-E009"), std::string::npos) << st;
+
+  // Mark-free saves keep the classic format: no D record, so CLI
+  // checkpoints are byte-compatible with earlier releases.
+  const std::string plain = TempPath("mark_free.ckpt");
+  ASSERT_TRUE(first.SaveCheckpoint(plain).ok());
+  {
+    std::ifstream f(plain);
+    std::string text((std::istreambuf_iterator<char>(f)),
+                     std::istreambuf_iterator<char>());
+    EXPECT_EQ(text.find("\nD\t"), std::string::npos);
+  }
+  std::remove(path.c_str());
+  std::remove(plain.c_str());
 }
 
 TEST(CheckpointTest, GarbageFilesRejected) {

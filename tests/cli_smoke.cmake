@@ -365,3 +365,259 @@ if(NOT drained)
   file(READ ${SRVLOG} srvlog)
   message(FATAL_ERROR "serverd did not drain after shutdown op: ${srvlog}")
 endif()
+
+# ------------------------------------------------------------ durability
+# Durable ingest (docs/durability.md): boot the daemon with --data-dir,
+# ingest a batch (fsync'd to the WAL before the ack), checkpoint a parked
+# session, then SIGKILL the process — no shutdown hook runs, whatever the
+# WAL holds is what survives. A restart over the same data dir must
+# replay the acknowledged batch, report the recovery on /metrics, resume
+# the checkpoint, and serve graphs byte-identical to `aptrace run` over a
+# trace that already contains the ingested events.
+
+# The ingest payload reuses the last event of the exported trace with
+# bumped timestamps, so the combined reference trace stays well-formed
+# no matter how the scenario generator evolves.
+file(READ ${WORKDIR}/a2.tsv base_trace)
+if(NOT base_trace MATCHES
+   "\nE\t([0-9]+)\t([0-9]+)\t([0-9]+)\t([0-9]+)\t([0-9]+)\t([0-9]+)\t([0-9]+)\n$")
+  message(FATAL_ERROR "could not parse the last event line of a2.tsv")
+endif()
+set(ING_SUBJ ${CMAKE_MATCH_1})
+set(ING_OBJ ${CMAKE_MATCH_2})
+set(ING_AMOUNT ${CMAKE_MATCH_4})
+set(ING_ACTION ${CMAKE_MATCH_5})
+set(ING_DIR ${CMAKE_MATCH_6})
+set(ING_HOST ${CMAKE_MATCH_7})
+math(EXPR ING_TS1 "${CMAKE_MATCH_3} + 1000000")
+math(EXPR ING_TS2 "${CMAKE_MATCH_3} + 2000000")
+file(WRITE ${WORKDIR}/combined.tsv "${base_trace}")
+foreach(ts ${ING_TS1} ${ING_TS2})
+  file(APPEND ${WORKDIR}/combined.tsv
+    "E\t${ING_SUBJ}\t${ING_OBJ}\t${ts}\t${ING_AMOUNT}\t${ING_ACTION}\t${ING_DIR}\t${ING_HOST}\n")
+endforeach()
+file(WRITE ${WORKDIR}/ingest.json
+  "[{\"subject\":${ING_SUBJ},\"object\":${ING_OBJ},\"timestamp\":${ING_TS1},"
+  "\"amount\":${ING_AMOUNT},\"action\":${ING_ACTION},\"direction\":${ING_DIR},"
+  "\"host\":${ING_HOST}},"
+  "{\"subject\":${ING_SUBJ},\"object\":${ING_OBJ},\"timestamp\":${ING_TS2},"
+  "\"amount\":${ING_AMOUNT},\"action\":${ING_ACTION},\"direction\":${ING_DIR},"
+  "\"host\":${ING_HOST}}]\n")
+
+# The uninterrupted reference: a plain CLI run over base + ingested
+# events. Recovery assigns replayed events dense ids in append order, so
+# the daemon's recovered store is indistinguishable from this trace.
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/combined.tsv
+          --script=${WORKDIR}/a2.tsv.bdl --quiet --backend=row
+          --json=${WORKDIR}/durable_ref.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/durable_ref.json)
+  message(FATAL_ERROR "combined reference run failed: rc=${rc} ${out}${err}")
+endif()
+
+# Boot 1: empty data dir, so --trace seeds the store. --buffer-cap=1
+# parks the session after one update batch, keeping it checkpointable.
+set(DSOCKET ${WORKDIR}/durable1.sock)
+set(DSRVLOG ${WORKDIR}/durable1.log)
+set(DDIR ${WORKDIR}/ddir)
+file(REMOVE ${DSOCKET} ${DSRVLOG})
+file(REMOVE_RECURSE ${DDIR})
+file(MAKE_DIRECTORY ${DDIR})
+execute_process(
+  COMMAND sh -c "'${SERVERD}' --trace='${WORKDIR}/a2.tsv' --data-dir='${DDIR}' \
+                 --seal-tail=2 --buffer-cap=1 --socket='${DSOCKET}' \
+                 > '${DSRVLOG}' 2>&1 & echo $! > '${WORKDIR}/durable1.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch durable serverd: rc=${rc}")
+endif()
+file(READ ${WORKDIR}/durable1.pid DURABLE_PID)
+string(STRIP "${DURABLE_PID}" DURABLE_PID)
+set(ready FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${DSRVLOG})
+    file(READ ${DSRVLOG} srvlog)
+    if(srvlog MATCHES "serverd: ready")
+      set(ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT ready)
+  file(READ ${DSRVLOG} srvlog)
+  message(FATAL_ERROR "durable serverd never became ready: ${srvlog}")
+endif()
+
+# Ingest: the ack carries the durable WAL sequence — the batch is on
+# disk and fsync'd before this response exists.
+execute_process(
+  COMMAND ${CLIENT} ingest --socket=${DSOCKET} --events=${WORKDIR}/ingest.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"accepted\":2"
+   OR NOT out MATCHES "\"wal_seq\":1")
+  message(FATAL_ERROR "durable ingest failed: rc=${rc} ${out}")
+endif()
+
+# Wait for the scheduler to apply the batch to the store, so the session
+# opened next sees the combined event set from its first window.
+set(applied FALSE)
+foreach(attempt RANGE 100)
+  execute_process(
+    COMMAND ${CLIENT} stats --socket=${DSOCKET}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(rc EQUAL 0 AND out MATCHES "\"wal_applied_through\":1")
+    set(applied TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT applied)
+  message(FATAL_ERROR "ingested batch never applied: ${out}")
+endif()
+
+# Open a session, wait for the tiny buffer to park it, checkpoint it.
+# The checkpoint carries the durable mark (store size + WAL position).
+execute_process(
+  COMMAND ${CLIENT} open --socket=${DSOCKET} --script=${WORKDIR}/a2.tsv.bdl
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "\"session\":([0-9]+)")
+  message(FATAL_ERROR "durable open failed: rc=${rc} ${out}")
+endif()
+set(DSESSION ${CMAKE_MATCH_1})
+set(parked FALSE)
+foreach(attempt RANGE 100)
+  execute_process(
+    COMMAND ${CLIENT} stats --socket=${DSOCKET}
+    RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+  if(rc EQUAL 0 AND out MATCHES "\"backpressure_stalls_total\":[1-9]")
+    set(parked TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT parked)
+  message(FATAL_ERROR "session never parked on backpressure: ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} checkpoint --socket=${DSOCKET} --session=${DSESSION}
+          --out=${WORKDIR}/durable.ckpt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/durable.ckpt)
+  message(FATAL_ERROR "durable checkpoint failed: rc=${rc} ${out}")
+endif()
+
+# SIGKILL: no drain, no snapshot, no WAL reset. Everything acknowledged
+# must still be recoverable from ${DDIR} alone.
+execute_process(COMMAND sh -c "kill -9 ${DURABLE_PID}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to SIGKILL durable serverd: rc=${rc}")
+endif()
+execute_process(COMMAND sh -c "while kill -0 ${DURABLE_PID} 2>/dev/null; do sleep 0.05; done")
+
+# Boot 2 over the same data dir: the manifest is absent (the kill
+# skipped the drain snapshot), so --trace seeds the base store and the
+# WAL replays the acknowledged batch on top.
+set(DSOCKET2 ${WORKDIR}/durable2.sock)
+set(DSRVLOG2 ${WORKDIR}/durable2.log)
+file(REMOVE ${DSOCKET2} ${DSRVLOG2})
+execute_process(
+  COMMAND sh -c "'${SERVERD}' --trace='${WORKDIR}/a2.tsv' --data-dir='${DDIR}' \
+                 --seal-tail=2 --socket='${DSOCKET2}' \
+                 > '${DSRVLOG2}' 2>&1 & echo $! > '${WORKDIR}/durable2.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to relaunch durable serverd: rc=${rc}")
+endif()
+file(READ ${WORKDIR}/durable2.pid DURABLE_PID2)
+string(STRIP "${DURABLE_PID2}" DURABLE_PID2)
+set(ready FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${DSRVLOG2})
+    file(READ ${DSRVLOG2} srvlog)
+    if(srvlog MATCHES "serverd: ready")
+      set(ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT ready)
+  file(READ ${DSRVLOG2} srvlog)
+  message(FATAL_ERROR "recovered serverd never became ready: ${srvlog}")
+endif()
+file(READ ${DSRVLOG2} srvlog)
+if(NOT srvlog MATCHES "serverd: recovered 2 events \\(1 batches")
+  message(FATAL_ERROR "recovery summary missing or wrong: ${srvlog}")
+endif()
+
+# The recovery metrics are on the scrape surface.
+execute_process(
+  COMMAND ${CLIENT} http --socket=${DSOCKET2} --path=/metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "aptrace_wal_recovered_batches_total 1"
+   OR NOT out MATCHES "aptrace_wal_recovered_events_total 2")
+  message(FATAL_ERROR "recovery metrics missing from /metrics: rc=${rc} ${out}")
+endif()
+
+# Resume the pre-crash checkpoint: the durable mark validates against
+# the recovered store (no double-ingest, no lost batch), and the
+# completed session's graph is byte-identical to the uninterrupted run.
+execute_process(
+  COMMAND ${CLIENT} run --socket=${DSOCKET2} --resume=${WORKDIR}/durable.ckpt
+          --json=${WORKDIR}/durable_resumed.json --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/durable_resumed.json)
+  message(FATAL_ERROR "resume after crash failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/durable_ref.json ${WORKDIR}/durable_resumed.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "resumed graph differs from the uninterrupted reference")
+endif()
+
+# A fresh session over the recovered store agrees too.
+execute_process(
+  COMMAND ${CLIENT} run --socket=${DSOCKET2} --script=${WORKDIR}/a2.tsv.bdl
+          --json=${WORKDIR}/durable_served.json --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/durable_served.json)
+  message(FATAL_ERROR "post-recovery run failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/durable_ref.json ${WORKDIR}/durable_served.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "post-recovery graph differs from the reference")
+endif()
+
+# Graceful drain folds the WAL into a snapshot: the manifest appears and
+# the log records the snapshot position.
+execute_process(
+  COMMAND ${CLIENT} shutdown --socket=${DSOCKET2}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "durable shutdown failed: rc=${rc} ${out}")
+endif()
+set(drained FALSE)
+foreach(attempt RANGE 100)
+  file(READ ${DSRVLOG2} srvlog)
+  if(srvlog MATCHES "serverd: drained")
+    set(drained TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT drained)
+  execute_process(COMMAND sh -c "kill ${DURABLE_PID2} 2>/dev/null")
+  file(READ ${DSRVLOG2} srvlog)
+  message(FATAL_ERROR "durable serverd did not drain: ${srvlog}")
+endif()
+if(NOT srvlog MATCHES "serverd: snapshot through batch 1 written to"
+   OR NOT EXISTS ${DDIR}/MANIFEST)
+  message(FATAL_ERROR "drain snapshot missing: ${srvlog}")
+endif()

@@ -6,6 +6,8 @@
 // the BaselineExecutor's reachability. This is the contract that makes
 // the parallel pipeline safe to enable by default.
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
 #include <set>
@@ -18,6 +20,10 @@
 #include "graph/json_writer.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "storage/file_env.h"
+#include "storage/recovery.h"
+#include "storage/trace_io.h"
+#include "storage/wal.h"
 #include "tests/random_trace_util.h"
 
 namespace aptrace {
@@ -285,6 +291,123 @@ TEST_P(DifferentialOracle, ColumnarBackendBitIdenticalToRow) {
     EXPECT_EQ(row_stats.segments_pruned, 0u) << label();
     EXPECT_LE(columnar_stats.partitions_probed, row_stats.partitions_probed)
         << label();
+  }
+}
+
+// Durability axis: an ingest -> seal -> crash -> recover cycle must be
+// invisible to analysis. The executor over a store recovered from a data
+// dir (base snapshot + WAL replay + torn-tail repair) is bit-identical
+// to the executor over the uninterrupted in-memory store that never
+// crashed — across {row, columnar} backends and scan_threads {1, 4},
+// before and after the recovered tail is sealed into segments.
+TEST_P(DifferentialOracle, RecoveredStoreBitIdenticalToUninterrupted) {
+  const uint64_t seed = GetParam() ^ 0xdead;
+  FileEnv* env = FileEnv::Posix();
+
+  for (const StorageBackendKind backend :
+       {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+    // Uninterrupted reference: sealed base history plus a live-ingested
+    // tail appended directly to the store.
+    RandomTrace ref = MakeRandomTrace(seed, 250, backend);
+    const std::string script = UnconstrainedScript(ref);
+    const std::string trace_path =
+        ::testing::TempDir() + "/exec_durable_" + std::to_string(seed) +
+        "." + StorageBackendName(backend) + "." +
+        std::to_string(::getpid()) + ".trace";
+    ASSERT_TRUE(
+        SaveTraceFile(*ref.store, trace_path, TraceFormat::kBinaryV2).ok());
+
+    Rng rng(seed + 17);
+    std::vector<std::vector<Event>> batches;
+    for (size_t b = 0; b < 5; ++b) {
+      std::vector<Event> batch;
+      const size_t n = rng.Uniform(3) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        Event e = ref.events[rng.Uniform(ref.events.size())];
+        e.id = kInvalidEventId;
+        e.timestamp += static_cast<TimeMicros>(40000 + b * 31 + i);
+        batch.push_back(e);
+      }
+      batches.push_back(std::move(batch));
+    }
+    for (const auto& batch : batches) {
+      for (Event e : batch) ref.store->Append(e);
+    }
+
+    // Crashed daemon's data dir: the fallback trace, a WAL holding every
+    // acknowledged batch, and a torn half-record from the fatal append.
+    const std::string dir = ::testing::TempDir() + "/exec_durable_dir_" +
+                            std::to_string(seed) + "." +
+                            StorageBackendName(backend) + "." +
+                            std::to_string(::getpid());
+    ASSERT_TRUE(env->CreateDir(dir).ok());
+    std::string wal_bytes(kWalMagic, kWalMagicLen);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      wal_bytes += EncodeWalRecord(b + 1, batches[b]);
+    }
+    wal_bytes += EncodeWalRecord(99, batches[0]).substr(0, 11);
+    {
+      const std::string wal_path = dir + "/wal.log";
+      if (env->FileExists(wal_path)) {
+        ASSERT_TRUE(env->RemoveFile(wal_path).ok());
+      }
+      auto f = env->OpenForAppend(wal_path);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE((*f)->Append(wal_bytes).ok());
+      ASSERT_TRUE((*f)->Close().ok());
+    }
+
+    EventStoreOptions options;
+    options.partition_micros = 500;
+    options.segment_rows = 64;
+    options.cost_model = CostModel::Free();
+    options.backend = backend;
+    auto recovered = OpenDataDir(env, dir, trace_path, options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_EQ(recovered->wal.batches_applied, batches.size());
+    EXPECT_GT(recovered->wal.truncated_bytes, 0u);
+    EXPECT_NE(recovered->wal.diagnostic.find("STO-E00"), std::string::npos);
+
+    RandomTrace rec;
+    rec.store = std::move(recovered->store);
+    rec.events = ref.events;
+    rec.alert = ref.alert;
+
+    for (const int threads : {1, 4}) {
+      const RunFingerprint want = RunOnce(ref, script, threads);
+      // Recovered, tail still hot: identical physical layout, so every
+      // fingerprint field must match, simulated charges included.
+      const RunFingerprint unsealed = RunOnce(rec, script, threads);
+      ExpectIdentical(want, unsealed, seed, threads,
+                      StorageBackendName(backend));
+    }
+
+    // Seal the recovered tail into columnar segments (a no-op on the
+    // row backend): the *results* stay bit-identical even though the
+    // physical layout — and thus the simulated cost accounting — may
+    // legitimately change.
+    rec.store->SealTail(nullptr);
+    EXPECT_EQ(rec.store->TailRows(), 0u);
+    for (const int threads : {1, 4}) {
+      const RunFingerprint want = RunOnce(ref, script, threads);
+      const RunFingerprint sealed = RunOnce(rec, script, threads);
+      const std::string label = std::string("sealed ") +
+                                StorageBackendName(backend) +
+                                " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(sealed.graph_json, want.graph_json) << label;
+      ASSERT_EQ(sealed.batches.size(), want.batches.size()) << label;
+      for (size_t i = 0; i < want.batches.size(); ++i) {
+        EXPECT_EQ(sealed.batches[i].new_edges, want.batches[i].new_edges)
+            << label << " batch " << i;
+        EXPECT_EQ(sealed.batches[i].total_edges, want.batches[i].total_edges)
+            << label << " batch " << i;
+      }
+      EXPECT_EQ(sealed.reason, want.reason) << label;
+      EXPECT_EQ(sealed.events_added, want.events_added) << label;
+      EXPECT_EQ(sealed.events_filtered, want.events_filtered) << label;
+      EXPECT_EQ(sealed.objects_excluded, want.objects_excluded) << label;
+    }
   }
 }
 

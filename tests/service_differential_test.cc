@@ -5,17 +5,26 @@
 // The cross-session fair-share scheduler interleaves the sessions'
 // quanta arbitrarily; none of that interleaving may leak into results.
 
+#include <unistd.h>
+
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/session.h"
 #include "graph/json_writer.h"
 #include "service/session_manager.h"
+#include "storage/file_env.h"
+#include "storage/recovery.h"
+#include "storage/trace_io.h"
+#include "storage/wal.h"
 #include "tests/random_trace_util.h"
+#include "util/clock.h"
 
 namespace aptrace::service {
 namespace {
@@ -95,6 +104,128 @@ TEST_P(ServiceDifferential, ConcurrentSessionsBitIdenticalToSequential) {
           << StorageBackendName(backend);
     }
   }
+}
+
+// Durability axis: ingest through the durable daemon (WAL + background
+// tail sealing), crash without any drain snapshot, recover the data dir,
+// and serve sessions over the recovered store — every graph must be
+// byte-identical to a sequential run over the store that never crashed,
+// across both backends and session scan-thread counts {1, 4}.
+TEST_P(ServiceDifferential, DurableIngestCrashRecoverServesIdenticalGraphs) {
+  const StorageBackendKind backend = GetParam();
+  FileEnv* env = FileEnv::Posix();
+
+  // Uninterrupted reference: the ingested tail lands directly in the
+  // store, then each spec variant runs sequentially.
+  RandomTrace t = MakeRandomTrace(101, 500, backend);
+  const std::string trace_path =
+      ::testing::TempDir() + "/svc_durable_" +
+      std::string(StorageBackendName(backend)) + "." +
+      std::to_string(::getpid()) + ".trace";
+  ASSERT_TRUE(
+      SaveTraceFile(*t.store, trace_path, TraceFormat::kBinaryV2).ok());
+
+  Rng rng(202);
+  std::vector<std::vector<Event>> batches;
+  for (size_t b = 0; b < 6; ++b) {
+    std::vector<Event> batch;
+    const size_t n = rng.Uniform(4) + 2;
+    for (size_t i = 0; i < n; ++i) {
+      Event e = t.events[rng.Uniform(t.events.size())];
+      e.id = kInvalidEventId;
+      e.timestamp += static_cast<TimeMicros>(60000 + b * 53 + i);
+      batch.push_back(e);
+    }
+    batches.push_back(std::move(batch));
+  }
+  for (const auto& batch : batches) {
+    for (Event e : batch) t.store->Append(e);
+  }
+  const std::string script = UnconstrainedScript(t);
+  std::vector<std::string> expected;
+  for (const int threads : {1, 4}) {
+    expected.push_back(DirectRunGraph(t, script, threads));
+  }
+
+  // Durable daemon: recover the dir (first boot: fallback trace), accept
+  // every batch through the acked ingest path with background sealing
+  // enabled, then "crash" — no drain snapshot, plus a torn half-record
+  // as if the kill landed mid-append.
+  const std::string dir = ::testing::TempDir() + "/svc_durable_dir_" +
+                          std::string(StorageBackendName(backend)) + "." +
+                          std::to_string(::getpid());
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  for (const char* leftover : {"wal.log", "MANIFEST"}) {
+    const std::string path = dir + std::string("/") + leftover;
+    if (env->FileExists(path)) {
+      ASSERT_TRUE(env->RemoveFile(path).ok());
+    }
+  }
+  EventStoreOptions options;
+  options.partition_micros = 500;
+  options.segment_rows = 64;
+  options.cost_model = CostModel::Free();
+  options.backend = backend;
+  {
+    auto recovered = OpenDataDir(env, dir, trace_path, options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    auto wal = WalWriter::Open(env, dir + "/wal.log",
+                               recovered->wal_valid_bytes,
+                               recovered->next_seq);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+
+    ServiceLimits limits;
+    limits.seal_tail_rows = 8;  // background seals mid-stream
+    SessionManager manager(recovered->store.get(), limits);
+    manager.EnableDurability(wal->get(), recovered->next_seq - 1);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      auto ack = manager.Ingest(batches[b]);
+      ASSERT_TRUE(ack.ok()) << ack.status();
+      EXPECT_EQ(ack.value().wal_seq, b + 1);
+    }
+    const TimeMicros deadline = MonotonicNowMicros() + 60'000'000;
+    while (manager.stats().wal_applied_through < batches.size() &&
+           MonotonicNowMicros() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(manager.stats().wal_applied_through, batches.size());
+    manager.StopAndJoin();
+    // No SnapshotDataDir: the WAL alone carries the acked batches.
+  }
+  {
+    auto f = env->OpenForAppend(dir + "/wal.log");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(EncodeWalRecord(99, batches[0]).substr(0, 9))
+                    .ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  // Restarted daemon: recovery replays the WAL, repairs the torn tail,
+  // and the served graphs are byte-identical to the never-crashed run.
+  auto recovered = OpenDataDir(env, dir, trace_path, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->wal.batches_applied, batches.size());
+  EXPECT_GT(recovered->wal.truncated_bytes, 0u);
+  EXPECT_NE(recovered->wal.diagnostic.find("STO-E00"), std::string::npos)
+      << recovered->wal.diagnostic;
+
+  SessionManager manager(recovered->store.get(), ServiceLimits{});
+  size_t which = 0;
+  for (const int threads : {1, 4}) {
+    OpenOptions opts;
+    opts.start_event = t.alert.id;
+    opts.scan_threads = threads;
+    auto id = manager.Open(script, opts);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(manager.WaitAllTerminal(60'000'000));
+    auto graph = manager.GraphJson(id.value());
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    EXPECT_EQ(graph.value(), expected[which])
+        << "threads=" << threads << " backend="
+        << StorageBackendName(backend);
+    which++;
+  }
+  manager.StopAndJoin();
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ServiceDifferential,

@@ -280,7 +280,8 @@ TEST(ServiceTest, IngestAppendsOnBothBackends) {
     }
     auto accepted = manager.Ingest(batch);
     ASSERT_TRUE(accepted.ok()) << accepted.status();
-    EXPECT_EQ(accepted.value(), 5u);
+    EXPECT_EQ(accepted.value().accepted, 5u);
+    EXPECT_EQ(accepted.value().wal_seq, 0u);  // no WAL attached
     ASSERT_TRUE(WaitFor(
         [&] { return manager.stats().ingested_total == 5; }, kWaitMicros));
     EXPECT_EQ(t.store->NumEvents(), before + 5);

@@ -1,0 +1,295 @@
+// WAL corruption fuzz tests (docs/durability.md failure taxonomy): every
+// mutilation of the log — torn tails at every byte, bit flips at every
+// byte, duplicated batches, sequence jumps — must recover the longest
+// valid prefix with a typed STO-E0xx diagnostic, and never abort, crash,
+// or silently diverge from that prefix.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/file_env.h"
+#include "storage/recovery.h"
+#include "storage/wal.h"
+
+namespace aptrace {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Event> MakeBatch(uint64_t tag, size_t n) {
+  std::vector<Event> events;
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.timestamp = static_cast<TimeMicros>(1000 * tag + i);
+    e.subject = 2 * tag + i;
+    e.object = 3 * tag + i;
+    e.amount = 40 + tag;
+    e.host = static_cast<HostId>(tag % 3);
+    e.action = static_cast<ActionType>((tag + i) % 8);
+    e.direction = ActionDefaultDirection(e.action);
+    events.push_back(e);
+  }
+  return events;
+}
+
+struct FuzzLog {
+  std::string bytes;                   // magic + all records
+  std::vector<size_t> boundaries;      // offset after magic, after rec 1, ...
+  std::vector<std::vector<Event>> batches;
+};
+
+FuzzLog BuildLog(size_t num_batches) {
+  FuzzLog log;
+  log.bytes.assign(kWalMagic, kWalMagicLen);
+  log.boundaries.push_back(log.bytes.size());
+  for (uint64_t seq = 1; seq <= num_batches; ++seq) {
+    log.batches.push_back(MakeBatch(seq, seq % 4 + 1));
+    log.bytes += EncodeWalRecord(seq, log.batches.back());
+    log.boundaries.push_back(log.bytes.size());
+  }
+  return log;
+}
+
+// Number of complete records contained in a prefix of `cut` bytes.
+size_t CompleteRecords(const FuzzLog& log, size_t cut) {
+  size_t k = 0;
+  while (k + 1 < log.boundaries.size() && log.boundaries[k + 1] <= cut) ++k;
+  return k;
+}
+
+void ExpectPrefix(const FuzzLog& log, const WalScan& scan, size_t k,
+                  const std::string& context) {
+  ASSERT_EQ(scan.batches.size(), k) << context;
+  for (size_t i = 0; i < k; ++i) {
+    EXPECT_EQ(scan.batches[i].seq, i + 1) << context;
+    ASSERT_EQ(scan.batches[i].events.size(), log.batches[i].size()) << context;
+    for (size_t j = 0; j < log.batches[i].size(); ++j) {
+      EXPECT_EQ(scan.batches[i].events[j].timestamp,
+                log.batches[i][j].timestamp)
+          << context << " batch " << i << " event " << j;
+      EXPECT_EQ(scan.batches[i].events[j].subject, log.batches[i][j].subject)
+          << context;
+      EXPECT_EQ(scan.batches[i].events[j].object, log.batches[i][j].object)
+          << context;
+    }
+  }
+}
+
+TEST(WalFuzzTest, TornTailAtEveryByteRecoversTheLongestValidPrefix) {
+  const FuzzLog log = BuildLog(5);
+  ASSERT_GT(log.bytes.size(), 300u);  // hundreds of distinct cut points
+  for (size_t cut = kWalMagicLen; cut < log.bytes.size(); ++cut) {
+    auto scan = ScanWalBytes(std::string_view(log.bytes).substr(0, cut));
+    ASSERT_TRUE(scan.ok()) << "cut " << cut << ": " << scan.status();
+    const size_t k = CompleteRecords(log, cut);
+    ExpectPrefix(log, *scan, k, "cut " + std::to_string(cut));
+    EXPECT_EQ(scan->valid_bytes, log.boundaries[k]) << "cut " << cut;
+    EXPECT_EQ(scan->truncated_bytes, cut - log.boundaries[k])
+        << "cut " << cut;
+    if (cut != log.boundaries[k]) {
+      // Something was cut: the diagnostic must carry a typed code.
+      EXPECT_NE(scan->diagnostic.find("STO-E00"), std::string::npos)
+          << "cut " << cut << ": '" << scan->diagnostic << "'";
+    } else {
+      EXPECT_TRUE(scan->diagnostic.empty())
+          << "cut " << cut << ": '" << scan->diagnostic << "'";
+    }
+  }
+}
+
+TEST(WalFuzzTest, BitFlipAtEveryByteNeverYieldsDivergentBatches) {
+  const FuzzLog log = BuildLog(4);
+  for (size_t pos = kWalMagicLen; pos < log.bytes.size(); ++pos) {
+    std::string mutated = log.bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    auto scan = ScanWalBytes(mutated);
+    ASSERT_TRUE(scan.ok()) << "flip at " << pos << ": " << scan.status();
+    // Whatever byte was hit — length, CRC, seq, payload — the scanner
+    // must return some clean prefix of the original batches: corrupt
+    // data may be dropped, but never altered data accepted. (The CRC
+    // covers the payload; the structure checks cover the header.)
+    const size_t k = scan->batches.size();
+    ASSERT_LE(k, log.batches.size()) << "flip at " << pos;
+    ExpectPrefix(log, *scan, k, "flip at " + std::to_string(pos));
+    if (k < log.batches.size()) {
+      EXPECT_NE(scan->diagnostic.find("STO-E00"), std::string::npos)
+          << "flip at " << pos << ": '" << scan->diagnostic << "'";
+    }
+  }
+}
+
+TEST(WalFuzzTest, FlippedMagicIsRefusedNotRepaired) {
+  FuzzLog log = BuildLog(2);
+  log.bytes[3] ^= 0x01;
+  auto scan = ScanWalBytes(log.bytes);
+  ASSERT_FALSE(scan.ok());
+  EXPECT_NE(scan.status().message().find("STO-E002"), std::string::npos)
+      << scan.status();
+}
+
+TEST(WalFuzzTest, DuplicatedBatchIsSkippedIdempotently) {
+  // Re-append the record for batch 2 after batch 3 — the shape a retried
+  // append that actually landed twice leaves behind.
+  FuzzLog log = BuildLog(3);
+  const std::string dup = EncodeWalRecord(2, log.batches[1]);
+  std::string bytes = log.bytes + dup + EncodeWalRecord(4, MakeBatch(4, 2));
+  auto scan = ScanWalBytes(bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->batches.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) EXPECT_EQ(scan->batches[i].seq, i + 1);
+  EXPECT_EQ(scan->duplicates_skipped, 1u);
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  EXPECT_NE(scan->diagnostic.find("STO-E006"), std::string::npos)
+      << scan->diagnostic;
+  EXPECT_NE(scan->diagnostic.find("duplicate"), std::string::npos);
+}
+
+TEST(WalFuzzTest, SequenceJumpEndsTheTrustedPrefix) {
+  FuzzLog log = BuildLog(2);
+  // Batch 5 after batch 2: CRC-valid bytes our writer cannot have
+  // produced (a spliced foreign log). Everything from the jump on is
+  // untrusted.
+  std::string bytes = log.bytes + EncodeWalRecord(5, MakeBatch(5, 1));
+  auto scan = ScanWalBytes(bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->batches.size(), 2u);
+  EXPECT_EQ(scan->valid_bytes, log.bytes.size());
+  EXPECT_NE(scan->diagnostic.find("STO-E006"), std::string::npos)
+      << scan->diagnostic;
+  EXPECT_NE(scan->diagnostic.find("sequence break"), std::string::npos);
+}
+
+TEST(WalFuzzTest, ImplausibleLengthStopsTheScan) {
+  FuzzLog log = BuildLog(2);
+  // Hand-craft a header whose payload_len is far beyond the sanity cap.
+  std::string bytes = log.bytes;
+  const uint32_t huge = (kWalMaxBatchEvents + 1) * kWalEventBytes + 12;
+  for (int i = 0; i < 4; ++i) {
+    bytes.push_back(static_cast<char>((huge >> (8 * i)) & 0xff));
+  }
+  bytes += std::string(4, '\0');  // crc
+  bytes += "some trailing payload";
+  auto scan = ScanWalBytes(bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->batches.size(), 2u);
+  EXPECT_EQ(scan->valid_bytes, log.bytes.size());
+  EXPECT_NE(scan->diagnostic.find("STO-E005"), std::string::npos)
+      << scan->diagnostic;
+}
+
+// --- ReplayWal over real files -----------------------------------------
+
+TEST(WalFuzzTest, ReplayTruncatesTornTailsOnDisk) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_fuzz_replay.log");
+  if (env->FileExists(path)) ASSERT_TRUE(env->RemoveFile(path).ok());
+
+  const FuzzLog log = BuildLog(3);
+  {
+    auto f = env->OpenForAppend(path);
+    ASSERT_TRUE(f.ok());
+    // Full log plus half of a fourth record: a crash mid-append.
+    const std::string torn =
+        EncodeWalRecord(4, MakeBatch(4, 2)).substr(0, 13);
+    ASSERT_TRUE((*f)->Append(log.bytes + torn).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  std::vector<uint64_t> applied;
+  auto replay = ReplayWal(env, path, 0,
+                          [&](uint64_t seq, std::vector<Event>&& events) {
+                            applied.push_back(seq);
+                            EXPECT_FALSE(events.empty());
+                            return Status::Ok();
+                          });
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->batches_applied, 3u);
+  EXPECT_EQ(replay->last_seq, 3u);
+  EXPECT_EQ(replay->valid_bytes, log.bytes.size());
+  EXPECT_EQ(replay->truncated_bytes, 13u);
+  EXPECT_NE(replay->diagnostic.find("STO-E003"), std::string::npos)
+      << replay->diagnostic;
+  ASSERT_EQ(applied, (std::vector<uint64_t>{1, 2, 3}));
+
+  // The torn bytes were cut: the file is now exactly the valid prefix,
+  // and a second replay reports a pristine log.
+  auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, log.bytes.size());
+  auto again = ReplayWal(env, path, 0,
+                         [](uint64_t, std::vector<Event>&&) {
+                           return Status::Ok();
+                         });
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->batches_applied, 3u);
+  EXPECT_EQ(again->truncated_bytes, 0u);
+  EXPECT_TRUE(again->diagnostic.empty()) << again->diagnostic;
+}
+
+TEST(WalFuzzTest, ReplaySkipsBatchesTheSnapshotAlreadyCovers) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_fuzz_skip.log");
+  if (env->FileExists(path)) ASSERT_TRUE(env->RemoveFile(path).ok());
+
+  const FuzzLog log = BuildLog(5);
+  {
+    auto f = env->OpenForAppend(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(log.bytes).ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  std::vector<uint64_t> applied;
+  auto replay = ReplayWal(env, path, 3,
+                          [&](uint64_t seq, std::vector<Event>&&) {
+                            applied.push_back(seq);
+                            return Status::Ok();
+                          });
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->batches_applied, 2u);
+  EXPECT_EQ(replay->duplicates_skipped, 3u);
+  EXPECT_EQ(replay->last_seq, 5u);
+  ASSERT_EQ(applied, (std::vector<uint64_t>{4, 5}));
+}
+
+TEST(WalFuzzTest, ReplayOfAMissingFileIsACleanEmptyLog) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_fuzz_missing.log");
+  if (env->FileExists(path)) ASSERT_TRUE(env->RemoveFile(path).ok());
+  auto replay = ReplayWal(env, path, 0,
+                          [](uint64_t, std::vector<Event>&&) {
+                            return Status::Ok();
+                          });
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(replay->batches_applied, 0u);
+  EXPECT_EQ(replay->valid_bytes, 0u);
+}
+
+TEST(WalFuzzTest, ReplayRefusesAForeignFile) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_fuzz_foreign.log");
+  if (env->FileExists(path)) ASSERT_TRUE(env->RemoveFile(path).ok());
+  {
+    auto f = env->OpenForAppend(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("aptrace-trace v1\nH 0 h1\n").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  auto replay = ReplayWal(env, path, 0,
+                          [](uint64_t, std::vector<Event>&&) {
+                            return Status::Ok();
+                          });
+  ASSERT_FALSE(replay.ok());
+  EXPECT_NE(replay.status().message().find("STO-E002"), std::string::npos)
+      << replay.status();
+  // Refusing means not touching: the foreign file must be intact.
+  auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, 0u);
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -1,0 +1,358 @@
+// Unit tests for the write-ahead log (storage/wal.h): record codec,
+// longest-valid-prefix scanning, writer append/rollback behavior, and —
+// through FaultInjectingFileEnv — the ENOSPC / short-write / fsync
+// failure modes of the durability contract (docs/durability.md).
+
+#include "storage/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/fault_env.h"
+#include "storage/file_env.h"
+
+namespace aptrace {
+namespace {
+
+std::string TestPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+// A deterministic batch of `n` events whose fields are all derived from
+// `tag`, so round-trip mismatches point at the exact corrupted field.
+std::vector<Event> MakeBatch(uint64_t tag, size_t n) {
+  std::vector<Event> events;
+  for (size_t i = 0; i < n; ++i) {
+    Event e;
+    e.timestamp = static_cast<TimeMicros>(1000 * tag + i);
+    e.subject = 2 * tag + i;
+    e.object = 3 * tag + i;
+    e.amount = 40 + tag;
+    e.host = static_cast<HostId>(tag % 3);
+    e.action = static_cast<ActionType>((tag + i) % 8);
+    e.direction = ActionDefaultDirection(e.action);
+    events.push_back(e);
+  }
+  return events;
+}
+
+void ExpectBatchEq(const std::vector<Event>& want, const std::vector<Event>& got) {
+  ASSERT_EQ(want.size(), got.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(want[i].timestamp, got[i].timestamp) << "event " << i;
+    EXPECT_EQ(want[i].subject, got[i].subject) << "event " << i;
+    EXPECT_EQ(want[i].object, got[i].object) << "event " << i;
+    EXPECT_EQ(want[i].amount, got[i].amount) << "event " << i;
+    EXPECT_EQ(want[i].host, got[i].host) << "event " << i;
+    EXPECT_EQ(want[i].action, got[i].action) << "event " << i;
+    EXPECT_EQ(want[i].direction, got[i].direction) << "event " << i;
+  }
+}
+
+// Fresh WAL file at `path` (removes any leftover from a prior run).
+void RemoveIfExists(FileEnv* env, const std::string& path) {
+  if (env->FileExists(path)) ASSERT_TRUE(env->RemoveFile(path).ok());
+}
+
+TEST(WalCodecTest, Crc32MatchesIeeeCheckValue) {
+  // The canonical CRC-32/IEEE check value ("123456789" -> 0xCBF43926);
+  // pinning it guards the on-disk format against accidental polynomial
+  // or reflection changes.
+  EXPECT_EQ(WalCrc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(WalCrc32(""), 0u);
+}
+
+TEST(WalCodecTest, RecordLayoutIsLengthPrefixedAndCrcd) {
+  const std::vector<Event> batch = MakeBatch(7, 3);
+  const std::string record = EncodeWalRecord(42, batch);
+  // u32 len + u32 crc + (u64 seq + u32 count + n * 36).
+  ASSERT_EQ(record.size(), 8 + 12 + 3 * kWalEventBytes);
+  const std::string payload = record.substr(8);
+  const auto* p = reinterpret_cast<const unsigned char*>(record.data());
+  const uint32_t len = static_cast<uint32_t>(p[0]) | (p[1] << 8) |
+                       (p[2] << 16) | (static_cast<uint32_t>(p[3]) << 24);
+  EXPECT_EQ(len, payload.size());
+  const uint32_t crc = static_cast<uint32_t>(p[4]) | (p[5] << 8) |
+                       (p[6] << 16) | (static_cast<uint32_t>(p[7]) << 24);
+  EXPECT_EQ(crc, WalCrc32(payload));
+}
+
+TEST(WalCodecTest, ScanRoundTripsMultipleBatches) {
+  std::string bytes(kWalMagic, kWalMagicLen);
+  std::vector<std::vector<Event>> batches;
+  for (uint64_t seq = 1; seq <= 5; ++seq) {
+    batches.push_back(MakeBatch(seq, seq % 3 + 1));
+    bytes += EncodeWalRecord(seq, batches.back());
+  }
+  auto scan = ScanWalBytes(bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_EQ(scan->valid_bytes, bytes.size());
+  EXPECT_EQ(scan->truncated_bytes, 0u);
+  EXPECT_EQ(scan->duplicates_skipped, 0u);
+  EXPECT_TRUE(scan->diagnostic.empty()) << scan->diagnostic;
+  ASSERT_EQ(scan->batches.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan->batches[i].seq, i + 1);
+    ExpectBatchEq(batches[i], scan->batches[i].events);
+  }
+}
+
+TEST(WalCodecTest, EmptyBytesAreAFreshLog) {
+  auto scan = ScanWalBytes("");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->batches.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+}
+
+TEST(WalCodecTest, WrongMagicIsAHardError) {
+  auto scan = ScanWalBytes("definitely not a wal file\n");
+  ASSERT_FALSE(scan.ok());
+  EXPECT_NE(scan.status().message().find("STO-E002"), std::string::npos)
+      << scan.status();
+  // A short fragment that cannot even hold the magic is also not a WAL.
+  auto tiny = ScanWalBytes("apt");
+  ASSERT_FALSE(tiny.ok());
+  EXPECT_NE(tiny.status().message().find("STO-E002"), std::string::npos);
+}
+
+TEST(WalCodecTest, MagicAloneIsACleanEmptyLog) {
+  auto scan = ScanWalBytes(std::string(kWalMagic, kWalMagicLen));
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->batches.empty());
+  EXPECT_EQ(scan->valid_bytes, kWalMagicLen);
+  EXPECT_TRUE(scan->diagnostic.empty());
+}
+
+TEST(WalWriterTest, AppendAssignsSequenceAndPersists) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_append.log");
+  RemoveIfExists(env, path);
+
+  auto writer = WalWriter::Open(env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  WalWriter* w = writer->get();
+  for (uint64_t i = 1; i <= 3; ++i) {
+    auto seq = w->AppendBatch(MakeBatch(i, 2));
+    ASSERT_TRUE(seq.ok()) << seq.status();
+    EXPECT_EQ(seq.value(), i);
+  }
+  EXPECT_EQ(w->next_seq(), 4u);
+
+  auto bytes = env->ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(bytes->size(), w->offset());
+  auto scan = ScanWalBytes(*bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  ASSERT_EQ(scan->batches.size(), 3u);
+  for (uint64_t i = 1; i <= 3; ++i) {
+    EXPECT_EQ(scan->batches[i - 1].seq, i);
+    ExpectBatchEq(MakeBatch(i, 2), scan->batches[i - 1].events);
+  }
+}
+
+TEST(WalWriterTest, ReopenContinuesWhereRecoveryLeftOff) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_reopen.log");
+  RemoveIfExists(env, path);
+
+  uint64_t valid_bytes = 0;
+  {
+    auto writer = WalWriter::Open(env, path, 0, 1);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 1)).ok());
+    ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(2, 1)).ok());
+    valid_bytes = (*writer)->offset();
+  }
+  auto writer = WalWriter::Open(env, path, valid_bytes, 3);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  auto seq = (*writer)->AppendBatch(MakeBatch(3, 1));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 3u);
+
+  auto bytes = env->ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  auto scan = ScanWalBytes(*bytes);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->batches.size(), 3u);
+  EXPECT_EQ(scan->batches.back().seq, 3u);
+}
+
+TEST(WalWriterTest, OpenCutsTheFileBackToTheValidPrefix) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_cut.log");
+  RemoveIfExists(env, path);
+
+  uint64_t valid_bytes = 0;
+  {
+    auto writer = WalWriter::Open(env, path, 0, 1);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 2)).ok());
+    valid_bytes = (*writer)->offset();
+  }
+  // Torn tail from a crash mid-append.
+  {
+    auto f = env->OpenForAppend(path);
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append("torn half-record bytes").ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+  auto writer = WalWriter::Open(env, path, valid_bytes, 2);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  auto size = env->FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, valid_bytes);
+}
+
+TEST(WalWriterTest, ResetForgetsDurablySnapshottedBatches) {
+  FileEnv* env = FileEnv::Posix();
+  const std::string path = TestPath("wal_reset.log");
+  RemoveIfExists(env, path);
+
+  auto writer = WalWriter::Open(env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 3)).ok());
+  ASSERT_TRUE((*writer)->Reset().ok());
+  EXPECT_EQ((*writer)->offset(), kWalMagicLen);
+
+  auto bytes = env->ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, std::string(kWalMagic, kWalMagicLen));
+  // The sequence keeps counting across the reset — recovery relies on
+  // monotone seqs to skip snapshot-covered batches.
+  auto seq = (*writer)->AppendBatch(MakeBatch(2, 1));
+  ASSERT_TRUE(seq.ok());
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+// --- Fault injection ----------------------------------------------------
+
+TEST(WalFaultTest, EnospcRejectsTheBatchAndKeepsTheLogClean) {
+  FaultInjectingFileEnv env(FileEnv::Posix());
+  const std::string path = TestPath("wal_enospc.log");
+  RemoveIfExists(&env, path);
+
+  auto writer = WalWriter::Open(&env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 2)).ok());
+  const uint64_t good_offset = (*writer)->offset();
+
+  env.SetWriteBudget(0);  // disk full
+  auto rejected = (*writer)->AppendBatch(MakeBatch(2, 2));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("STO-E007"), std::string::npos)
+      << rejected.status();
+  EXPECT_GE(env.write_failures(), 1u);
+
+  // Rolled back to the last record boundary: the on-disk log still scans
+  // clean with exactly the acknowledged batch.
+  auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, good_offset);
+
+  // Disk space freed: the writer recovers and the sequence has no hole —
+  // the failed batch was never acknowledged, so seq 2 is reused.
+  env.SetWriteBudget(FaultInjectingFileEnv::kUnlimited);
+  auto seq = (*writer)->AppendBatch(MakeBatch(2, 2));
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ(seq.value(), 2u);
+
+  auto bytes = env.ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  auto scan = ScanWalBytes(*bytes);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->batches.size(), 2u);
+  EXPECT_TRUE(scan->diagnostic.empty()) << scan->diagnostic;
+}
+
+TEST(WalFaultTest, ShortWriteIsRolledBackToARecordBoundary) {
+  FaultInjectingFileEnv env(FileEnv::Posix());
+  const std::string path = TestPath("wal_short.log");
+  RemoveIfExists(&env, path);
+
+  auto writer = WalWriter::Open(&env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 2)).ok());
+  const uint64_t good_offset = (*writer)->offset();
+
+  // Allow 10 more bytes and land them: the record tears mid-write.
+  env.SetWriteBudget(10);
+  env.SetPartialWrites(true);
+  auto rejected = (*writer)->AppendBatch(MakeBatch(2, 2));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("STO-E007"), std::string::npos);
+
+  // The reported failure was repaired immediately: no torn bytes remain.
+  auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, good_offset);
+
+  env.SetWriteBudget(FaultInjectingFileEnv::kUnlimited);
+  auto seq = (*writer)->AppendBatch(MakeBatch(2, 2));
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+TEST(WalFaultTest, FsyncFailureIsNotAcknowledged) {
+  FaultInjectingFileEnv env(FileEnv::Posix());
+  const std::string path = TestPath("wal_fsync.log");
+  RemoveIfExists(&env, path);
+
+  auto writer = WalWriter::Open(&env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+  ASSERT_TRUE((*writer)->AppendBatch(MakeBatch(1, 1)).ok());
+  const uint64_t good_offset = (*writer)->offset();
+
+  env.FailNextSyncs(1);
+  auto rejected = (*writer)->AppendBatch(MakeBatch(2, 1));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_NE(rejected.status().message().find("STO-E007"), std::string::npos);
+  EXPECT_NE(rejected.status().message().find("fsync"), std::string::npos)
+      << rejected.status();
+  EXPECT_EQ(env.sync_failures(), 1u);
+
+  // The un-synced record was rolled back: what is on disk is exactly the
+  // acknowledged prefix, so a crash right now loses nothing acked.
+  auto size = env.FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, good_offset);
+
+  auto seq = (*writer)->AppendBatch(MakeBatch(2, 1));
+  ASSERT_TRUE(seq.ok()) << seq.status();
+  EXPECT_EQ(seq.value(), 2u);
+}
+
+TEST(WalFaultTest, WriterSurvivesARunOfFailures) {
+  FaultInjectingFileEnv env(FileEnv::Posix());
+  const std::string path = TestPath("wal_flaky.log");
+  RemoveIfExists(&env, path);
+
+  auto writer = WalWriter::Open(&env, path, 0, 1);
+  ASSERT_TRUE(writer.ok()) << writer.status();
+
+  uint64_t acked = 0;
+  for (int round = 0; round < 20; ++round) {
+    if (round % 3 == 1) env.FailNextSyncs(1);
+    if (round % 5 == 2) env.SetWriteBudget(3);
+    auto seq = (*writer)->AppendBatch(MakeBatch(static_cast<uint64_t>(round), 1));
+    env.SetWriteBudget(FaultInjectingFileEnv::kUnlimited);
+    if (seq.ok()) acked = seq.value();
+  }
+  ASSERT_GT(acked, 0u);
+
+  // Whatever subset of appends succeeded, the log is a clean record of
+  // exactly the acknowledged batches, in order, with contiguous seqs.
+  auto bytes = env.ReadFileToString(path);
+  ASSERT_TRUE(bytes.ok());
+  auto scan = ScanWalBytes(*bytes);
+  ASSERT_TRUE(scan.ok()) << scan.status();
+  EXPECT_TRUE(scan->diagnostic.empty()) << scan->diagnostic;
+  ASSERT_EQ(scan->batches.size(), acked);
+  for (size_t i = 0; i < scan->batches.size(); ++i) {
+    EXPECT_EQ(scan->batches[i].seq, i + 1);
+  }
+}
+
+}  // namespace
+}  // namespace aptrace

@@ -17,6 +17,9 @@
 //         --json` on the same trace and script). --profile additionally
 //         fetches the query profile and prints the per-hop / per-rule
 //         breakdown table plus one machine-readable `profile:` line.
+//         --resume=<ckpt> (alias --from=) resumes a checkpointed session
+//         instead of opening a fresh script, then polls it to completion
+//         the same way.
 //     poll --session=N [--cursor=N] [--max=N]
 //         One poll; prints the raw JSON response.
 //     cancel --session=N
@@ -149,6 +152,7 @@ Flags ParseFlags(int argc, char** argv) {
         TakeValue(a, "--json", &f.json_path) ||
         TakeValue(a, "--out", &f.out_path) ||
         TakeValue(a, "--from", &f.from_path) ||
+        TakeValue(a, "--resume", &f.from_path) ||  // alias of --from
         TakeValue(a, "--events", &f.events_path) ||
         TakeValue(a, "--path", &f.http_path)) {
       continue;

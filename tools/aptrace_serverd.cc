@@ -30,6 +30,18 @@
 //                             else 0 = off)
 //         --flight-dir=<dir>  directory for anomaly flight-recorder dumps
 //                             (flight-<id>-<reason>.json; omit to disable)
+//         --data-dir=<dir>    durable ingest (docs/durability.md): every
+//                             accepted `ingest` batch is fsync'd to
+//                             <dir>/wal.log before it is acked, and boot
+//                             recovers the store from the dir's snapshot
+//                             + WAL replay. With a manifest present,
+//                             --trace becomes the first-boot fallback
+//                             only.
+//         --seal-tail=N       hot-tail rows that trigger a background
+//                             seal into column segments between quanta
+//                             (columnar backend; 0 = off, the default)
+//         --retention=<dur>   evict sealed rows older than MaxTime minus
+//                             this BDL duration from scans (0/omit = off)
 //
 //   The flight recorder is always on: every thread records its recent
 //   spans into a ring buffer (capacity: the APTRACE_FLIGHT_BUFFER env
@@ -50,13 +62,17 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "obs/trace.h"
 #include "service/server.h"
 #include "service/session_manager.h"
+#include "storage/file_env.h"
+#include "storage/recovery.h"
 #include "storage/trace_io.h"
+#include "storage/wal.h"
 #include "util/env.h"
 #include "util/string_util.h"
 #include "util/worker_pool.h"
@@ -67,6 +83,7 @@ namespace {
 struct Flags {
   std::string trace_path;
   std::string socket_path;
+  std::string data_dir;
   int tcp_port = -1;
   StorageBackendKind backend = DefaultStorageBackendKind();
   service::ServiceLimits limits;
@@ -213,6 +230,23 @@ Flags ParseFlags(int argc, char** argv) {
       }
     } else if (TakeValue(a, "--flight-dir", &v)) {
       f.limits.flight_dump_dir = v;
+    } else if (TakeValue(a, "--data-dir", &f.data_dir)) {
+      // value captured
+    } else if (TakeValue(a, "--seal-tail", &v)) {
+      if (ParseCount("--seal-tail", v, 0, &n)) {
+        f.limits.seal_tail_rows = static_cast<size_t>(n);
+      } else {
+        f.ok = false;
+      }
+    } else if (TakeValue(a, "--retention", &v)) {
+      auto d = ParseBdlDuration(v);
+      if (!d.ok()) {
+        std::fprintf(stderr, "--retention: error[CLI-E001]: %s\n",
+                     d.status().message().c_str());
+        f.ok = false;
+      } else {
+        f.limits.retention_micros = d.value();
+      }
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", a);
       f.ok = false;
@@ -229,7 +263,9 @@ void OnSignal(int) { g_signalled = 1; }
 
 int Main(int argc, char** argv) {
   const Flags flags = ParseFlags(argc, argv);
-  if (!flags.ok || flags.trace_path.empty()) return Usage();
+  if (!flags.ok || (flags.trace_path.empty() && flags.data_dir.empty())) {
+    return Usage();
+  }
   if (flags.socket_path.empty() && flags.tcp_port < 0) {
     std::fprintf(stderr,
                  "error[CLI-E004]: no listener: pass --socket=<path> (or "
@@ -247,13 +283,58 @@ int Main(int argc, char** argv) {
 
   EventStoreOptions store_options;
   store_options.backend = flags.backend;
-  auto store = LoadTraceFile(flags.trace_path, store_options);
-  if (!store.ok()) {
-    std::fprintf(stderr, "%s\n", store.status().ToString().c_str());
-    return 1;
+
+  // With --data-dir the store comes out of crash recovery (snapshot +
+  // WAL replay; --trace is only the first-boot fallback) and every
+  // accepted ingest batch is fsync'd to the WAL before it is acked.
+  std::unique_ptr<EventStore> store;
+  std::unique_ptr<WalWriter> wal;
+  uint64_t recovered_through = 0;
+  FileEnv* env = FileEnv::Posix();
+  if (!flags.data_dir.empty()) {
+    auto recovered =
+        OpenDataDir(env, flags.data_dir, flags.trace_path, store_options);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "%s\n", recovered.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(recovered->store);
+    recovered_through = recovered->next_seq - 1;
+    std::printf("serverd: recovered %llu events (%llu batches, %llu "
+                "duplicates skipped, %llu torn bytes truncated) from %s\n",
+                static_cast<unsigned long long>(recovered->wal.events_applied),
+                static_cast<unsigned long long>(
+                    recovered->wal.batches_applied),
+                static_cast<unsigned long long>(
+                    recovered->wal.duplicates_skipped),
+                static_cast<unsigned long long>(
+                    recovered->wal.truncated_bytes),
+                flags.data_dir.c_str());
+    if (!recovered->wal.diagnostic.empty()) {
+      std::printf("serverd: wal repair: %s\n",
+                  recovered->wal.diagnostic.c_str());
+    }
+    auto writer = WalWriter::Open(env, flags.data_dir + "/wal.log",
+                                  recovered->wal_valid_bytes,
+                                  recovered->next_seq);
+    if (!writer.ok()) {
+      std::fprintf(stderr, "%s\n", writer.status().ToString().c_str());
+      return 1;
+    }
+    wal = std::move(writer).value();
+  } else {
+    auto loaded = LoadTraceFile(flags.trace_path, store_options);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+      return 1;
+    }
+    store = std::move(loaded).value();
   }
 
-  service::SessionManager manager(store.value().get(), flags.limits);
+  service::SessionManager manager(store.get(), flags.limits);
+  if (wal != nullptr) {
+    manager.EnableDurability(wal.get(), recovered_through);
+  }
   service::ServerOptions server_options;
   server_options.unix_socket_path = flags.socket_path;
   server_options.tcp_port = flags.tcp_port;
@@ -272,7 +353,7 @@ int Main(int argc, char** argv) {
     server.RequestShutdown();
   });
 
-  std::printf("serverd: serving %zu events", store.value()->NumEvents());
+  std::printf("serverd: serving %zu events", store->NumEvents());
   if (!flags.socket_path.empty()) {
     std::printf(" on %s", flags.socket_path.c_str());
   }
@@ -284,6 +365,23 @@ int Main(int argc, char** argv) {
   g_signalled = 1;  // release the watcher if the drain came from a client
   signal_watcher.join();
   server.Shutdown();
+  if (wal != nullptr) {
+    // Every acked batch is applied once the scheduler joins; fold them
+    // into a fresh snapshot and reset the WAL so the next boot replays
+    // nothing. A failure here is safe — the WAL still covers the
+    // batches, recovery just replays them.
+    manager.StopAndJoin();
+    if (auto st = SnapshotDataDir(env, flags.data_dir, *store,
+                                  manager.AppliedThrough(), wal.get());
+        !st.ok()) {
+      std::fprintf(stderr, "serverd: drain snapshot failed: %s\n",
+                   st.ToString().c_str());
+    } else {
+      std::printf("serverd: snapshot through batch %llu written to %s\n",
+                  static_cast<unsigned long long>(manager.AppliedThrough()),
+                  flags.data_dir.c_str());
+    }
+  }
   std::printf("serverd: drained\n");
   return 0;
 }
