@@ -11,9 +11,11 @@
 // two backends (that is the measured effect), so a sim-time cap would
 // cut the runs at different points and void the identity check.
 
+#include <fstream>
 #include <set>
 
 #include "bench/bench_common.h"
+#include "obs/json_dict.h"
 
 namespace aptrace::bench {
 namespace {
@@ -70,6 +72,45 @@ BackendResult RunAll(EventStore& store, const std::vector<Event>& alerts,
       MicrosToSeconds(MonotonicNowMicros() - wall_start);
   result.stats = store.stats();
   return result;
+}
+
+std::string StatsJson(const StoreStats& s, double wall_seconds) {
+  obs::JsonDict d;
+  d.Add("queries", s.queries);
+  d.Add("rows_matched", s.rows_matched);
+  d.Add("rows_filtered", s.rows_filtered);
+  d.Add("partitions_probed", s.partitions_probed);
+  d.Add("partitions_seeked", s.partitions_seeked);
+  d.Add("segments_pruned", s.segments_pruned);
+  d.Add("simulated_cost_us", static_cast<uint64_t>(s.simulated_cost));
+  d.Add("wall_seconds", wall_seconds);
+  return d.Str();
+}
+
+/// `--bench-json=F`: the machine-readable twin of the printed table, so
+/// the A/B lane leaves a perf-trajectory artifact like
+/// BENCH_shard_scaling.json does.
+bool WriteBenchJson(const std::string& path, const BenchArgs& args,
+                    const BackendResult& row, const BackendResult& columnar,
+                    size_t cases, size_t mismatches) {
+  obs::JsonDict top;
+  top.Add("bench", "backend_compare");
+  top.Add("cases", static_cast<uint64_t>(cases));
+  top.Add("hosts", static_cast<int64_t>(args.num_hosts));
+  top.Add("days", static_cast<int64_t>(args.days));
+  top.Add("seed", args.seed);
+  top.Add("shards", static_cast<uint64_t>(args.shards));
+  top.Add("identical_graphs", mismatches == 0);
+  top.AddRaw("row", StatsJson(row.stats, row.wall_seconds));
+  top.AddRaw("columnar",
+             StatsJson(columnar.stats, columnar.wall_seconds));
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return false;
+  }
+  out << top.Str() << "\n";
+  return true;
 }
 
 void ReportRow(const char* label, uint64_t row, uint64_t columnar) {
@@ -180,6 +221,11 @@ int Main(int argc, char** argv) {
                     std::max<double>(
                         1.0,
                         static_cast<double>(columnar.stats.simulated_cost)));
+  }
+  if (!args.bench_json.empty() &&
+      !WriteBenchJson(args.bench_json, args, row, columnar, alerts.size(),
+                      mismatches)) {
+    failed = true;
   }
   obs_run.Finish(*row_store);
   return failed ? 1 : 0;

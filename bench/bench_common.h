@@ -33,6 +33,10 @@ struct BenchArgs {
   /// Storage backend (default: APTRACE_BACKEND env var, else row).
   /// Results are identical across backends; only simulated cost differs.
   StorageBackendKind backend = DefaultStorageBackendKind();
+  /// Store shard count (default: APTRACE_SHARDS env var, else 1).
+  /// Results are identical at any count; only scan fan-out differs.
+  size_t shards = DefaultShardCount();
+  std::string bench_json;  // machine-readable result file (BENCH_*.json)
   std::string metrics_out;  // "-" = stdout, *.json = JSON export
   std::string trace_out;    // Chrome trace JSON; enables span recording
   std::string meta_out;     // run metadata JSON (default: <metrics>.meta.json)
@@ -70,6 +74,19 @@ struct BenchArgs {
           std::exit(2);  // NOLINT(concurrency-mt-unsafe)
         }
         args.backend = *parsed;
+      } else if (std::strncmp(a, "--shards=", 9) == 0) {
+        const long n = std::atol(a + 9);
+        if (n < 1 || n > static_cast<long>(kMaxStoreShards)) {
+          std::fprintf(stderr,
+                       "--shards: expected a shard count in [1, %d], "
+                       "got '%s'\n",
+                       static_cast<int>(kMaxStoreShards), a + 9);
+          // Single-threaded flag parsing at process start.
+          std::exit(2);  // NOLINT(concurrency-mt-unsafe)
+        }
+        args.shards = static_cast<size_t>(n);
+      } else if (std::strncmp(a, "--bench-json=", 13) == 0) {
+        args.bench_json = a + 13;
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
         args.metrics_out = a + 14;
       } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
@@ -80,6 +97,7 @@ struct BenchArgs {
         std::printf(
             "flags: --cases=N --hosts=N --days=N --seed=N --k=N "
             "--threads=N --scan-threads=N --backend=row|columnar "
+            "--shards=N --bench-json=F "
             "--metrics-out=F --trace-out=F --meta-out=F\n");
         // Single-threaded flag parsing at process start.
         std::exit(0);  // NOLINT(concurrency-mt-unsafe)
@@ -94,6 +112,7 @@ struct BenchArgs {
     config.days = days;
     config.seed = seed;
     config.backend = backend;
+    config.shards = shards;
     return config;
   }
 };

@@ -32,6 +32,11 @@ Status Executor::SaveCheckpoint(std::ostream& os,
   if (mark != nullptr) {
     os << "D\t" << mark->store_events << "\t" << mark->wal_seq << "\n";
   }
+  // Shard layout guard: event ids are global across shards, but probe
+  // accounting and the per-shard stats are layout-dependent, so a restore
+  // into a differently sharded store is refused rather than silently
+  // reinterpreted.
+  os << "H\t" << ctx_.store->shard_count() << "\n";
   // Store fingerprint guards against restoring over a different trace.
   os << "F\t" << ctx_.store->NumEvents() << "\t" << ctx_.store->MinTime()
      << "\t" << ctx_.store->MaxTime() << "\n";
@@ -96,6 +101,18 @@ Status Executor::RestoreCheckpoint(std::istream& is) {
             ") but the recovered store holds only " +
             std::to_string(ctx_.store->NumEvents()) +
             " — the data directory lost acknowledged batches");
+      }
+    } else if (kind == "H") {
+      size_t shards = 0;
+      f >> shards;
+      if (!f) return ParseError("bad shard-count record");
+      if (shards != ctx_.store->shard_count()) {
+        return Status::FailedPrecondition(
+            "STO-E011: checkpoint was taken over a store with " +
+            std::to_string(shards) + " shard(s) but this store runs " +
+            std::to_string(ctx_.store->shard_count()) +
+            " — restore with --shards=" + std::to_string(shards) +
+            " (or APTRACE_SHARDS) matching the checkpoint");
       }
     } else if (kind == "F") {
       size_t events = 0;

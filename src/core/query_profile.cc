@@ -20,6 +20,7 @@ std::string BucketJson(const char* key_name, int key,
   d.Add("rows_filtered", static_cast<uint64_t>(b.rows_filtered));
   d.Add("partitions_probed", static_cast<uint64_t>(b.partitions_probed));
   d.Add("segments_pruned", static_cast<uint64_t>(b.segments_pruned));
+  d.Add("shard_probes", static_cast<uint64_t>(b.shard_probes));
   d.Add("edges", static_cast<uint64_t>(b.edges));
   d.Add("sim_cost_micros", static_cast<uint64_t>(b.sim_cost));
   d.Add("wall_micros", static_cast<uint64_t>(b.wall_micros));

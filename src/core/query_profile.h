@@ -21,6 +21,9 @@ struct ProfileBucket {
   uint64_t rows_filtered = 0;  // rows rejected server-side
   uint64_t partitions_probed = 0;
   uint64_t segments_pruned = 0;
+  /// Shard fan-out of the windows' scans (1 per window on a monolithic
+  /// store; the scatter width on the sharded store).
+  uint64_t shard_probes = 0;
   uint64_t edges = 0;  // graph edges the windows contributed
   DurationMicros sim_cost = 0;  // simulated micros charged
   uint64_t wall_micros = 0;     // coordinator wall time (observational)
@@ -32,6 +35,7 @@ struct ProfileBucket {
     rows_filtered += probe.rows_filtered;
     partitions_probed += probe.partitions_probed;
     segments_pruned += probe.segments_pruned;
+    shard_probes += probe.shard_probes;
     edges += new_edges;
     sim_cost += cost;
     wall_micros += wall;

@@ -139,6 +139,17 @@ MetricsRegistry::MetricsRegistry(bool preregister_engine) {
                       "Queries answered by the row-store backend");
   FindOrCreateCounter(names::kStoreColumnarQueries,
                       "Queries answered by the columnar backend");
+  FindOrCreateGauge(names::kStoreShards,
+                    "Shard count of the most recently constructed sharded "
+                    "store (1 = monolithic)");
+  FindOrCreateCounter(names::kStoreShardScans,
+                      "Scatter-gather scans replayed by the sharded store");
+  FindOrCreateCounter(names::kStoreShardFanout,
+                      "Shard probes issued by scatter-gather scans (fan-out "
+                      "per scan, summed)");
+  FindOrCreateCounter(names::kStoreShardBoundaryRows,
+                      "Cross-host boundary rows gathered from a shard the "
+                      "probed object does not call home");
   FindOrCreateCounter(names::kRefinerReuse,
                       "Script updates that reused the cached graph");
   FindOrCreateCounter(names::kRefinerRestart,

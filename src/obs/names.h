@@ -64,6 +64,17 @@ inline constexpr char kStoreRowQueries[] =
 inline constexpr char kStoreColumnarQueries[] =
     "aptrace_store_columnar_queries_total";
 
+// Sharded store engine (storage/sharded_store.cc): scatter-gather scans
+// over (host, time-partition) shards. docs/sharding.md documents the
+// partitioning; the per-shard rows in /sessions carry the per-shard
+// breakdown of these process-wide totals.
+inline constexpr char kStoreShards[] = "aptrace_store_shards";
+inline constexpr char kStoreShardScans[] = "aptrace_store_shard_scans_total";
+inline constexpr char kStoreShardFanout[] =
+    "aptrace_store_shard_fanout_total";
+inline constexpr char kStoreShardBoundaryRows[] =
+    "aptrace_store_shard_boundary_rows_total";
+
 // Durable ingest: write-ahead log (storage/wal.cc) and recovery
 // (storage/recovery.cc). docs/durability.md documents the pipeline.
 inline constexpr char kWalAppendedBatches[] =

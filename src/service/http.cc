@@ -37,9 +37,33 @@ std::string SessionsJson(SessionManager* manager) {
     rows += d.Str();
   }
   rows += "]";
+  // Per-shard store rows (docs/sharding.md): one consistent snapshot, so
+  // the shard counters sum exactly to the store totals scraped at
+  // /metrics. A monolithic store renders a single shard-0 row.
+  std::string shards = "[";
+  first = true;
+  for (const StoreShardRow& row : manager->StoreShardRows()) {
+    if (!first) shards += ",";
+    first = false;
+    obs::JsonDict d;
+    d.Add("shard", static_cast<uint64_t>(row.shard));
+    d.Add("resident_rows", row.resident_rows);
+    d.Add("tail_rows", row.tail_rows);
+    d.Add("scans", row.scans);
+    d.Add("rows_matched", row.rows_matched);
+    d.Add("rows_filtered", row.rows_filtered);
+    d.Add("partitions_probed", row.partitions_probed);
+    d.Add("partitions_seeked", row.partitions_seeked);
+    d.Add("segments_pruned", row.segments_pruned);
+    d.Add("boundary_rows", row.boundary_rows);
+    d.Add("sim_cost_micros", row.sim_cost_micros);
+    shards += d.Str();
+  }
+  shards += "]";
   obs::JsonDict top;
   top.Add("draining", manager->draining());
   top.AddRaw("sessions", rows);
+  top.AddRaw("store_shards", shards);
   return top.Str();
 }
 

@@ -399,6 +399,28 @@ std::vector<SessionRow> SessionManager::SessionRows() const {
   return rows;
 }
 
+std::vector<StoreShardRow> SessionManager::StoreShardRows() const {
+  const ShardedStore::Snapshot snap = store_->ShardSnapshot();
+  std::vector<StoreShardRow> rows;
+  rows.reserve(snap.shards.size());
+  for (const ShardedStore::ShardStatsRow& s : snap.shards) {
+    StoreShardRow row;
+    row.shard = s.shard;
+    row.resident_rows = s.resident_rows;
+    row.tail_rows = s.tail_rows;
+    row.scans = s.stats.queries;
+    row.rows_matched = s.stats.rows_matched;
+    row.rows_filtered = s.stats.rows_filtered;
+    row.partitions_probed = s.stats.partitions_probed;
+    row.partitions_seeked = s.stats.partitions_seeked;
+    row.segments_pruned = s.stats.segments_pruned;
+    row.boundary_rows = s.boundary_rows;
+    row.sim_cost_micros = static_cast<uint64_t>(s.stats.simulated_cost);
+    rows.push_back(row);
+  }
+  return rows;
+}
+
 Status SessionManager::Checkpoint(uint64_t id, const std::string& path) {
   Managed* s = nullptr;
   {

@@ -168,6 +168,25 @@ struct SessionRow {
   bool stalled = false;          // parked on a full update buffer
 };
 
+/// One /sessions row per store shard (docs/sharding.md): the shard's
+/// resident rows plus its slice of the scatter-gather scan counters,
+/// taken from one consistent ShardedStore snapshot (the slices sum
+/// exactly to the store totals). A monolithic store renders a single
+/// synthetic shard-0 row so scrapers see a uniform shape.
+struct StoreShardRow {
+  uint32_t shard = 0;
+  uint64_t resident_rows = 0;
+  uint64_t tail_rows = 0;
+  uint64_t scans = 0;          // scatter-gather scans that touched the shard
+  uint64_t rows_matched = 0;
+  uint64_t rows_filtered = 0;
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  uint64_t segments_pruned = 0;
+  uint64_t boundary_rows = 0;  // delivered cross-host rows
+  uint64_t sim_cost_micros = 0;
+};
+
 /// What the `profile` op returns: the session's query profile document
 /// plus independently accumulated figures tests reconcile it against
 /// (core/query_profile.h explains the exact identities).
@@ -257,6 +276,11 @@ class SessionManager {
   /// One row per session (live and terminal) for the /sessions endpoint;
   /// ordered by id. Safe from any thread, never blocks on a quantum.
   std::vector<SessionRow> SessionRows() const;
+
+  /// One row per store shard for the /sessions endpoint, from a single
+  /// consistent store snapshot. Safe from any thread (the store takes
+  /// its own stats lock; no manager mutex involved).
+  std::vector<StoreShardRow> StoreShardRows() const;
 
   /// Persists a paused session to `path` (core checkpoint format).
   /// SRV-E003 unknown id; SRV-E005 terminal session; SRV-E009 I/O error.

@@ -30,7 +30,15 @@ EventStore::EventStore(EventStoreOptions options)
   if (options_.partition_micros <= 0) {
     options_.partition_micros = kMicrosPerHour;
   }
-  backend_ = MakeBackend(options_);
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.shards > kMaxStoreShards) options_.shards = kMaxStoreShards;
+  if (options_.shards > 1) {
+    auto sharded = std::make_unique<ShardedStore>(options_, &catalog_);
+    sharded_ = sharded.get();
+    backend_ = std::move(sharded);
+  } else {
+    backend_ = MakeBackend(options_);
+  }
 }
 
 EventStore::~EventStore() = default;
@@ -39,8 +47,22 @@ void EventStore::Seal() {
   if (backend_->sealed()) return;
   backend_->Seal();
   APTRACE_LOG(Info) << "EventStore sealed (" << backend_->name()
-                    << " backend): " << backend_->NumEvents() << " events, "
+                    << " backend, " << shard_count()
+                    << " shard(s)): " << backend_->NumEvents() << " events, "
                     << catalog_.size() << " objects";
+}
+
+ShardedStore::Snapshot EventStore::ShardSnapshot() const {
+  if (sharded_ != nullptr) return sharded_->TakeSnapshot();
+  ShardedStore::Snapshot snap;
+  snap.total = backend_->stats();
+  ShardedStore::ShardStatsRow row;
+  row.shard = 0;
+  row.resident_rows = backend_->NumEvents();
+  row.tail_rows = backend_->TailRows();
+  row.stats = snap.total;
+  snap.shards.push_back(row);
+  return snap;
 }
 
 size_t EventStore::ScanDest(ObjectId dest, TimeMicros begin, TimeMicros end,

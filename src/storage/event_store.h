@@ -9,6 +9,7 @@
 #include "event/catalog.h"
 #include "event/event.h"
 #include "storage/cost_model.h"
+#include "storage/sharded_store.h"
 #include "storage/storage_backend.h"
 #include "util/clock.h"
 #include "util/status.h"
@@ -32,6 +33,14 @@ struct EventStoreOptions {
 
   /// Rows per column segment (columnar backend). 0 = backend default.
   size_t segment_rows = 0;
+
+  /// Shard count for the sharded store engine (docs/sharding.md): > 1
+  /// partitions the store into (host, time-partition) shards, each with
+  /// its own backend of the kind above, and turns scans into
+  /// scatter-gather. 1 (the default) keeps the monolithic store exactly
+  /// as before. Defaults to the APTRACE_SHARDS environment variable when
+  /// set and valid (clamped to [1, 64]).
+  size_t shards = DefaultShardCount();
 };
 
 /// Simulated audit-log database: a thin façade that owns the ObjectCatalog
@@ -72,6 +81,19 @@ class EventStore {
   /// The physical layout behind this store.
   const StorageBackend& backend() const { return *backend_; }
   StorageBackendKind backend_kind() const { return backend_->kind(); }
+
+  /// Shards behind this store; 1 for the monolithic layout.
+  size_t shard_count() const {
+    return sharded_ != nullptr ? sharded_->shard_count() : 1;
+  }
+
+  /// The sharded engine, or nullptr when the store is monolithic.
+  const ShardedStore* sharded() const { return sharded_; }
+
+  /// One consistent (total, per-shard) stats snapshot. For a monolithic
+  /// store this is the plain stats() total with a single synthetic shard
+  /// row, so /sessions and the benches render uniformly.
+  ShardedStore::Snapshot ShardSnapshot() const;
 
   /// Appends an event; the store assigns and returns its EventId.
   /// Before Seal() this is the bulk-load path; after Seal() the event is
@@ -199,6 +221,8 @@ class EventStore {
   EventStoreOptions options_;
   ObjectCatalog catalog_;
   std::unique_ptr<StorageBackend> backend_;
+  /// Set when backend_ is the sharded engine (avoids RTTI on hot paths).
+  ShardedStore* sharded_ = nullptr;
 };
 
 }  // namespace aptrace

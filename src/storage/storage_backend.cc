@@ -38,6 +38,22 @@ StorageBackendKind DefaultStorageBackendKind() {
   return StorageBackendKind::kRow;
 }
 
+size_t DefaultShardCount() {
+  const auto value = GetValidatedEnv(
+      kEnvShards,
+      [](const std::string& v) {
+        if (v.empty() || v.size() > 2) return false;
+        for (const char c : v) {
+          if (c < '0' || c > '9') return false;
+        }
+        const unsigned long n = std::strtoul(v.c_str(), nullptr, 10);
+        return n >= 1 && n <= kMaxStoreShards;
+      },
+      "an integer shard count in [1, 64]");
+  if (value.has_value()) return std::strtoul(value->c_str(), nullptr, 10);
+  return 1;
+}
+
 /// Aggregate counters (all backends) plus the per-backend query counter:
 /// the Prometheus exporter emits one `# TYPE` line per metric name, so the
 /// backend dimension is encoded as a name suffix rather than a label.
@@ -132,13 +148,19 @@ size_t StorageBackend::ReplayScan(const RangeScanBatch& batch, Clock* clock,
     stats_.segments_pruned += batch.segments_pruned;
     stats_.simulated_cost += cost;
   }
+  ChargeQueryMetrics(rows + filtered, filtered, batch.segments_pruned);
+  return rows;
+}
+
+void StorageBackend::ChargeQueryMetrics(uint64_t rows_scanned,
+                                        uint64_t rows_filtered,
+                                        uint64_t segments_pruned) const {
   const BackendMetrics& m = Bm();
   m.queries->Add();
   m.backend_queries->Add();
-  m.events_scanned->Add(rows + filtered);
-  m.rows_filtered->Add(filtered);
-  m.segments_pruned->Add(batch.segments_pruned);
-  return rows;
+  m.events_scanned->Add(rows_scanned);
+  m.rows_filtered->Add(rows_filtered);
+  m.segments_pruned->Add(segments_pruned);
 }
 
 size_t StorageBackend::CountDest(ObjectId dest, TimeMicros begin,
@@ -162,10 +184,8 @@ size_t StorageBackend::CountDest(ObjectId dest, TimeMicros begin,
     stats_.segments_pruned += pruned;
     stats_.simulated_cost += cost;
   }
-  const BackendMetrics& m = Bm();
-  m.queries->Add();  // index-only COUNT: no event rows touched
-  m.backend_queries->Add();
-  m.segments_pruned->Add(pruned);
+  // Index-only COUNT: no event rows touched.
+  ChargeQueryMetrics(0, 0, pruned);
   return rows;
 }
 

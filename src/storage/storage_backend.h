@@ -40,6 +40,17 @@ std::optional<StorageBackendKind> ParseStorageBackendKind(
 /// variable in-process.
 StorageBackendKind DefaultStorageBackendKind();
 
+/// Hard ceiling on EventStoreOptions::shards: the sharded store keeps one
+/// bit per shard in a uint64_t routing mask per object.
+inline constexpr size_t kMaxStoreShards = 64;
+
+/// Shard count selected when EventStoreOptions does not pin one: the
+/// APTRACE_SHARDS environment variable (integer in [1, 64]) when set and
+/// valid, else 1 (the monolithic store). Read per call, like
+/// DefaultStorageBackendKind, so test fixtures and the sharded CI leg can
+/// flip the variable per run.
+size_t DefaultShardCount();
+
 /// What a backend can do / how it charges the cost model. Callers that
 /// care (benches, docs, the shell's status output) read these instead of
 /// switching on the kind.
@@ -87,6 +98,9 @@ struct ScanProbeStats {
   uint64_t partitions_probed = 0;
   uint64_t partitions_seeked = 0;
   uint64_t segments_pruned = 0;
+  /// Shards this scan fanned out to (always 1 on a monolithic store; on
+  /// the sharded store, the per-object routing mask's fan-out).
+  uint64_t shard_probes = 1;
 };
 
 /// Raw output of a pure index scan: the rows a Scan* call would visit (in
@@ -96,6 +110,23 @@ struct ScanProbeStats {
 /// ReplayScan, which applies the filter and charges exactly what the
 /// fused scan would have. ScanDest/ScanSrc are implemented as
 /// Collect + Replay, so the split is equivalent by construction.
+/// One shard's contribution to a scatter-gathered batch (sharded store
+/// only): the slice of the probe counters that this shard's backend
+/// produced before the coordinator merged the per-shard row lists.
+/// Summing the slices reproduces the batch-level counters exactly — the
+/// reconciliation the differential tests assert.
+struct ShardScanSlice {
+  uint32_t shard = 0;
+  uint64_t rows = 0;  // rows this shard contributed to `rows` below
+  uint64_t partitions_probed = 0;
+  uint64_t partitions_seeked = 0;
+  uint64_t segments_pruned = 0;
+  /// Rows whose event host differs from the probed object's catalog
+  /// host — cross-host flows gathered from a shard the object does not
+  /// call home (the boundary-edge exchange of docs/sharding.md).
+  uint64_t boundary_rows = 0;
+};
+
 struct RangeScanBatch {
   std::vector<EventId> rows;
   /// Storage units consulted (partitions or segments; see
@@ -104,6 +135,10 @@ struct RangeScanBatch {
   uint64_t partitions_seeked = 0;
   /// Storage units rejected purely from zone metadata (columnar only).
   uint64_t segments_pruned = 0;
+  /// Scatter-gather provenance: one slice per shard probed, in shard
+  /// order. Empty on unsharded backends. Slice counters sum to the
+  /// batch-level counters above.
+  std::vector<ShardScanSlice> shard_slices;
 };
 
 /// Physical storage layout behind an EventStore.
@@ -198,16 +233,19 @@ class StorageBackend {
   /// simulated cost, same counters). Returns the rows delivered.
   /// `probe_out`, when non-null, receives this scan's own attribution
   /// record (the per-query slice of the cumulative StoreStats).
-  size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
-                    const std::function<void(const Event&)>& fn,
-                    const RowFilter& filter = nullptr,
-                    DurationMicros* cost_out = nullptr,
-                    ScanProbeStats* probe_out = nullptr) const;
+  /// Virtual so the sharded store can additionally attribute the outcome
+  /// to its per-shard stats; overrides must preserve the observable
+  /// contract exactly (same callback order, cost, counters).
+  virtual size_t ReplayScan(const RangeScanBatch& batch, Clock* clock,
+                            const std::function<void(const Event&)>& fn,
+                            const RowFilter& filter = nullptr,
+                            DurationMicros* cost_out = nullptr,
+                            ScanProbeStats* probe_out = nullptr) const;
 
   /// Number of rows CollectDest would match, without fetching them
   /// (charges only probe/overhead cost — models a COUNT(*) on the index).
-  size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
-                   Clock* clock) const;
+  virtual size_t CountDest(ObjectId dest, TimeMicros begin, TimeMicros end,
+                           Clock* clock) const;
 
   /// --- Tiered-storage lifecycle (docs/durability.md) ---
   ///
@@ -248,14 +286,23 @@ class StorageBackend {
   virtual size_t TailRows() const { return 0; }
 
   /// One consistent snapshot of the cumulative I/O counters (single mutex;
-  /// no torn reads across fields).
-  StoreStats stats() const;
-  void ResetStats();
+  /// no torn reads across fields). Virtual: the sharded store keeps its
+  /// totals and per-shard stats behind one mutex of its own so a snapshot
+  /// of (total, per-shard) can never tear between the two.
+  virtual StoreStats stats() const;
+  virtual void ResetStats();
 
  protected:
   StorageBackend(StorageBackendKind kind, CostModel cost_model);
 
   const CostModel& cost_model() const { return cost_model_; }
+
+  /// Records one replayed query in the process metrics (the aggregate
+  /// store counters plus this backend's per-kind query counter). Factored
+  /// out of ReplayScan so overrides that do their own stats attribution
+  /// still charge the exact same metrics.
+  void ChargeQueryMetrics(uint64_t rows_scanned, uint64_t rows_filtered,
+                          uint64_t segments_pruned) const;
 
   /// Count-only variant of CollectDest, with the same probe accounting.
   virtual size_t CountDestRows(ObjectId dest, TimeMicros begin,

@@ -19,7 +19,10 @@ namespace aptrace {
 ///                          (positive integer; 0/unset disables)
 ///   APTRACE_FLIGHT_BUFFER  per-thread flight-recorder ring capacity in
 ///                          spans (positive integer)
+///   APTRACE_SHARDS         default store shard count (integer in [1, 64];
+///                          1 = monolithic store, see docs/sharding.md)
 inline constexpr char kEnvBackend[] = "APTRACE_BACKEND";
+inline constexpr char kEnvShards[] = "APTRACE_SHARDS";
 inline constexpr char kEnvLogLevel[] = "APTRACE_LOG_LEVEL";
 inline constexpr char kEnvServerSocket[] = "APTRACE_SERVER_SOCKET";
 inline constexpr char kEnvSlowQueryMicros[] = "APTRACE_SLOW_QUERY_MICROS";

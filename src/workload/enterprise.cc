@@ -12,6 +12,7 @@ namespace aptrace::workload {
 std::unique_ptr<EventStore> BuildEnterpriseTrace(const TraceConfig& config) {
   EventStoreOptions store_options;
   store_options.backend = config.backend;
+  store_options.shards = config.shards;
   auto store = std::make_unique<EventStore>(store_options);
   TraceBuilder builder(store.get());
   Rng rng(config.seed);

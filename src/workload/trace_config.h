@@ -24,6 +24,12 @@ struct TraceConfig {
   /// env var, else row). The generated events are identical either way.
   StorageBackendKind backend = DefaultStorageBackendKind();
 
+  /// Store shard count (default: APTRACE_SHARDS env var, else 1). Shard
+  /// routing happens below the append path, so the generated events —
+  /// ids, timestamps, everything — are identical at any count
+  /// (docs/sharding.md).
+  size_t shards = DefaultShardCount();
+
   /// Fleet shape.
   int num_hosts = 12;
   int days = 30;

@@ -621,3 +621,153 @@ if(NOT srvlog MATCHES "serverd: snapshot through batch 1 written to"
    OR NOT EXISTS ${DDIR}/MANIFEST)
   message(FATAL_ERROR "drain snapshot missing: ${srvlog}")
 endif()
+
+# ------------------------------------------------------------- sharding
+# Sharded store (docs/sharding.md): the same analysis at --shards=1 and
+# --shards=4 must write byte-identical graph JSON — sharding changes the
+# physical scan plan (scatter-gather over (host, time) shards), never
+# the answer. Uncapped for the same reason as the backend comparison.
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --quiet --backend=row --shards=1 --json=${WORKDIR}/shard1.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/shard1.json)
+  message(FATAL_ERROR "run --shards=1 failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+          --quiet --backend=row --shards=4
+          --json=${WORKDIR}/shard4.json --metrics-out=${WORKDIR}/shard.metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/shard4.json)
+  message(FATAL_ERROR "run --shards=4 failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${WORKDIR}/shard1.json ${WORKDIR}/shard4.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "--shards=4 graph JSON differs from --shards=1")
+endif()
+
+# The sharded run exports the shard gauge and a non-zero scatter counter.
+file(READ ${WORKDIR}/shard.metrics shardmetrics)
+if(NOT shardmetrics MATCHES "aptrace_store_shards 4")
+  message(FATAL_ERROR "metrics missing shard gauge: ${shardmetrics}")
+endif()
+if(NOT shardmetrics MATCHES "aptrace_store_shard_scans_total [1-9]")
+  message(FATAL_ERROR "metrics missing shard scan counter: ${shardmetrics}")
+endif()
+
+# Invalid or zero shard counts are usage errors with a documented code.
+foreach(bad 0 65 bogus)
+  execute_process(
+    COMMAND ${CLI} run --trace=${WORKDIR}/a2.tsv --script=${WORKDIR}/a2.tsv.bdl
+            --sim-limit=2mins --quiet --shards=${bad}
+    RESULT_VARIABLE rc ERROR_VARIABLE err)
+  if(rc EQUAL 0 OR NOT err MATCHES "CLI-E005")
+    message(FATAL_ERROR "--shards=${bad} should fail with CLI-E005: rc=${rc} ${err}")
+  endif()
+endforeach()
+
+# A sharded daemon serves the same bytes and exposes per-shard counters
+# on the scrape surface.
+set(SHSOCKET ${WORKDIR}/sharded.sock)
+set(SHSRVLOG ${WORKDIR}/sharded.log)
+file(REMOVE ${SHSOCKET} ${SHSRVLOG})
+execute_process(
+  COMMAND sh -c "'${SERVERD}' --trace='${WORKDIR}/a2.tsv' --shards=4 \
+                 --socket='${SHSOCKET}' \
+                 > '${SHSRVLOG}' 2>&1 & echo $! > '${WORKDIR}/sharded.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch sharded serverd: rc=${rc}")
+endif()
+file(READ ${WORKDIR}/sharded.pid SHARDED_PID)
+string(STRIP "${SHARDED_PID}" SHARDED_PID)
+set(ready FALSE)
+foreach(attempt RANGE 100)
+  if(EXISTS ${SHSRVLOG})
+    file(READ ${SHSRVLOG} srvlog)
+    if(srvlog MATCHES "serverd: ready")
+      set(ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT ready)
+  file(READ ${SHSRVLOG} srvlog)
+  message(FATAL_ERROR "sharded serverd never became ready: ${srvlog}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} run --socket=${SHSOCKET} --script=${WORKDIR}/a2.tsv.bdl
+          --json=${WORKDIR}/sharded_served.json --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/sharded_served.json)
+  message(FATAL_ERROR "sharded client run failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/shard1.json ${WORKDIR}/sharded_served.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded daemon graph JSON differs from --shards=1")
+endif()
+execute_process(
+  COMMAND ${CLIENT} http --socket=${SHSOCKET} --path=/metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "aptrace_store_shards 4"
+   OR NOT out MATCHES "aptrace_store_shard_scans_total [1-9]")
+  message(FATAL_ERROR "sharded /metrics missing shard counters: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} shutdown --socket=${SHSOCKET}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "sharded shutdown failed: rc=${rc} ${out}")
+endif()
+set(drained FALSE)
+foreach(attempt RANGE 100)
+  file(READ ${SHSRVLOG} srvlog)
+  if(srvlog MATCHES "serverd: drained")
+    set(drained TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT drained)
+  execute_process(COMMAND sh -c "kill ${SHARDED_PID} 2>/dev/null")
+  file(READ ${SHSRVLOG} srvlog)
+  message(FATAL_ERROR "sharded serverd did not drain: ${srvlog}")
+endif()
+
+# Checkpoints record the shard layout: one taken over a 4-shard store
+# resumes only into a 4-shard store; a mismatched restore is refused
+# with the documented code instead of silently reinterpreting the
+# layout-dependent probe accounting.
+file(WRITE ${WORKDIR}/shard_save.txt
+  "start ${WORKDIR}/a2.tsv.bdl\nstep\nsave ${WORKDIR}/shard.ckpt\nquit\n")
+execute_process(
+  COMMAND ${CLI} shell --trace=${WORKDIR}/a2.tsv --shards=4
+  INPUT_FILE ${WORKDIR}/shard_save.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "checkpoint written to"
+   OR NOT EXISTS ${WORKDIR}/shard.ckpt)
+  message(FATAL_ERROR "sharded shell save failed: rc=${rc} ${out}")
+endif()
+file(WRITE ${WORKDIR}/shard_load.txt "load ${WORKDIR}/shard.ckpt\nquit\n")
+execute_process(
+  COMMAND ${CLI} shell --trace=${WORKDIR}/a2.tsv --shards=1
+  INPUT_FILE ${WORKDIR}/shard_load.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "STO-E011")
+  message(FATAL_ERROR
+    "mismatched-shard restore should report STO-E011: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLI} shell --trace=${WORKDIR}/a2.tsv --shards=4
+  INPUT_FILE ${WORKDIR}/shard_load.txt
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "resumed from")
+  message(FATAL_ERROR "matching-shard restore failed: rc=${rc} ${out}")
+endif()

@@ -202,6 +202,85 @@ TEST(ConcurrencyTest, StatsSnapshotsAreConsistentAndMonotonic) {
   EXPECT_GT(snapshots.back().queries, 0u);
 }
 
+// Sharded store under concurrent scans: N shard backends charge cost
+// into the aggregate while readers take (total, per-shard) snapshots.
+// Every snapshot is taken under the store's single aggregation lock, so
+// the per-shard counters must sum exactly to the totals in EVERY
+// observed snapshot — not just at quiescence — and both levels must be
+// monotonic between snapshots. Under the CI TSan leg this doubles as
+// the data-race certification of ShardedStore's scatter-gather path.
+TEST(ConcurrencyTest, ShardedStatsSnapshotsReconcileUnderScans) {
+  workload::TraceConfig config = workload::TraceConfig::Small();
+  config.num_hosts = 4;
+  config.shards = 4;
+  auto store = workload::BuildEnterpriseTrace(config);
+  ASSERT_EQ(store->shard_count(), 4u);
+  store->ResetStats();
+  const auto alerts = workload::SampleAnomalyEvents(*store, 8, 19);
+
+  std::atomic<bool> done{false};
+  std::vector<ShardedStore::Snapshot> snapshots;
+  std::thread reader([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      snapshots.push_back(store->ShardSnapshot());
+    }
+    snapshots.push_back(store->ShardSnapshot());
+  });
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < 4; ++t) {
+    pool.emplace_back([&, t] {
+      for (size_t i = static_cast<size_t>(t); i < alerts.size(); i += 4) {
+        SimClock clock;
+        SessionOptions options;
+        options.scan_threads = 2;  // pool workers scatter-gather too
+        Session session(store.get(), &clock, options);
+        const auto spec = workload::GenericSpecFor(*store, alerts[i]);
+        if (!session.StartWithSpec(spec, alerts[i]).ok()) continue;
+        RunLimits limits;
+        limits.sim_time = 2 * kMicrosPerMinute;
+        (void)session.Step(limits);
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+  done.store(true, std::memory_order_relaxed);
+  reader.join();
+
+  ASSERT_FALSE(snapshots.empty());
+  const ShardedStore::Snapshot* prev = nullptr;
+  for (const ShardedStore::Snapshot& snap : snapshots) {
+    ASSERT_EQ(snap.shards.size(), 4u);
+    StoreStats sum;
+    for (const auto& row : snap.shards) {
+      sum.rows_matched += row.stats.rows_matched;
+      sum.rows_filtered += row.stats.rows_filtered;
+      sum.partitions_probed += row.stats.partitions_probed;
+      sum.partitions_seeked += row.stats.partitions_seeked;
+      sum.segments_pruned += row.stats.segments_pruned;
+    }
+    // The single-lock consistency contract: exact in every snapshot.
+    EXPECT_EQ(sum.rows_matched, snap.total.rows_matched);
+    EXPECT_EQ(sum.rows_filtered, snap.total.rows_filtered);
+    EXPECT_EQ(sum.partitions_probed, snap.total.partitions_probed);
+    EXPECT_EQ(sum.partitions_seeked, snap.total.partitions_seeked);
+    EXPECT_EQ(sum.segments_pruned, snap.total.segments_pruned);
+    if (prev != nullptr) {
+      EXPECT_GE(snap.total.queries, prev->total.queries);
+      EXPECT_GE(snap.total.rows_matched, prev->total.rows_matched);
+      EXPECT_GE(snap.total.simulated_cost, prev->total.simulated_cost);
+      for (size_t s = 0; s < snap.shards.size(); ++s) {
+        EXPECT_GE(snap.shards[s].stats.rows_matched,
+                  prev->shards[s].stats.rows_matched);
+        EXPECT_GE(snap.shards[s].stats.partitions_probed,
+                  prev->shards[s].stats.partitions_probed);
+      }
+    }
+    prev = &snap;
+  }
+  EXPECT_GT(snapshots.back().total.queries, 0u);
+}
+
 // TrySubmit racing Shutdown: the valve must cleanly return false once
 // the pool stops, never crash or leak a queued-but-dropped task count.
 TEST(ConcurrencyTest, TrySubmitRacesShutdownSafely) {

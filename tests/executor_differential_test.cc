@@ -294,6 +294,210 @@ TEST_P(DifferentialOracle, ColumnarBackendBitIdenticalToRow) {
   }
 }
 
+// Per-shard counters must sum exactly to the store totals in any
+// snapshot — the single-lock aggregation contract of
+// ShardedStore::TakeSnapshot (docs/sharding.md). `queries` is excluded:
+// one scan that fans out to k shards counts once in the totals but once
+// per touched shard in the per-shard rows.
+void ExpectShardReconciliation(const EventStore& store,
+                               const std::string& label) {
+  const ShardedStore::Snapshot snap = store.ShardSnapshot();
+  StoreStats sum;
+  uint64_t resident = 0;
+  for (const auto& row : snap.shards) {
+    sum.rows_matched += row.stats.rows_matched;
+    sum.rows_filtered += row.stats.rows_filtered;
+    sum.partitions_probed += row.stats.partitions_probed;
+    sum.partitions_seeked += row.stats.partitions_seeked;
+    sum.segments_pruned += row.stats.segments_pruned;
+    resident += row.resident_rows;
+  }
+  EXPECT_EQ(sum.rows_matched, snap.total.rows_matched) << label;
+  EXPECT_EQ(sum.rows_filtered, snap.total.rows_filtered) << label;
+  EXPECT_EQ(sum.partitions_probed, snap.total.partitions_probed) << label;
+  EXPECT_EQ(sum.partitions_seeked, snap.total.partitions_seeked) << label;
+  EXPECT_EQ(sum.segments_pruned, snap.total.segments_pruned) << label;
+  EXPECT_EQ(resident, store.NumEvents()) << label;
+}
+
+// Shard axis: the same trace partitioned across {2, 4, 8} shards must
+// yield analysis output bit-identical to the monolithic (shards = 1)
+// store — same graph JSON, same update-batch sequence, same
+// deterministic RunStats, and the same delivered-row totals — on both
+// backends and at any thread count. Scatter-gather may change how many
+// storage units are probed (a time slice whose rows span two hosts
+// occupies partitions in two shards), so the probe counters are checked
+// for within-run reconciliation rather than cross-count equality —
+// mirroring the row-vs-columnar contract above.
+TEST_P(DifferentialOracle, ShardedStoreBitIdenticalToMonolithic) {
+  const uint64_t seed = GetParam() ^ 0x54a2;
+  for (const StorageBackendKind backend :
+       {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+    const RandomTrace mono = MakeRandomTrace(seed, 350, backend, 1);
+    const std::string script = UnconstrainedScript(mono);
+
+    for (const size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+      const RandomTrace sharded = MakeRandomTrace(seed, 350, backend, shards);
+      ASSERT_EQ(UnconstrainedScript(sharded), script);
+      ASSERT_EQ(sharded.store->shard_count(), shards);
+
+      for (const int threads : {1, 4}) {
+        const auto label = [&] {
+          return std::string(StorageBackendName(backend)) +
+                 " seed=" + std::to_string(seed) +
+                 " shards=" + std::to_string(shards) +
+                 " threads=" + std::to_string(threads);
+        };
+        mono.store->ResetStats();
+        sharded.store->ResetStats();
+        const RunFingerprint want = RunOnce(mono, script, threads);
+        const RunFingerprint got = RunOnce(sharded, script, threads);
+
+        EXPECT_EQ(got.graph_json, want.graph_json) << label();
+        ASSERT_EQ(got.batches.size(), want.batches.size()) << label();
+        for (size_t i = 0; i < want.batches.size(); ++i) {
+          const UpdateBatch& w = want.batches[i];
+          const UpdateBatch& g = got.batches[i];
+          EXPECT_EQ(g.new_edges, w.new_edges) << label() << " batch " << i;
+          EXPECT_EQ(g.new_nodes, w.new_nodes) << label() << " batch " << i;
+          EXPECT_EQ(g.total_edges, w.total_edges)
+              << label() << " batch " << i;
+          EXPECT_EQ(g.total_nodes, w.total_nodes)
+              << label() << " batch " << i;
+        }
+        EXPECT_EQ(got.reason, want.reason) << label();
+        EXPECT_EQ(got.work_units, want.work_units) << label();
+        EXPECT_EQ(got.events_added, want.events_added) << label();
+        EXPECT_EQ(got.events_filtered, want.events_filtered) << label();
+        EXPECT_EQ(got.objects_excluded, want.objects_excluded) << label();
+
+        const StoreStats mono_stats = mono.store->stats();
+        const StoreStats shard_stats = sharded.store->stats();
+        EXPECT_EQ(shard_stats.queries, mono_stats.queries) << label();
+        EXPECT_EQ(shard_stats.rows_matched, mono_stats.rows_matched)
+            << label();
+        EXPECT_EQ(shard_stats.rows_filtered, mono_stats.rows_filtered)
+            << label();
+        ExpectShardReconciliation(*sharded.store, label());
+      }
+    }
+  }
+}
+
+// Durability axis at shards > 1: the ingest -> seal -> crash -> recover
+// cycle of RecoveredStoreBitIdenticalToUninterrupted, rebuilt on a
+// 4-way sharded store. WAL replay routes every acknowledged batch
+// through the shard map, so the recovered sharded store must be
+// bit-identical to the uninterrupted sharded store — and its graphs
+// must equal the monolithic store's graphs on top.
+TEST_P(DifferentialOracle, ShardedRecoveredStoreBitIdenticalToUninterrupted) {
+  const uint64_t seed = GetParam() ^ 0x5dad;
+  FileEnv* env = FileEnv::Posix();
+  constexpr size_t kShards = 4;
+
+  for (const StorageBackendKind backend :
+       {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+    RandomTrace ref = MakeRandomTrace(seed, 250, backend, kShards);
+    const std::string script = UnconstrainedScript(ref);
+    const RandomTrace mono = MakeRandomTrace(seed, 250, backend, 1);
+    const std::string trace_path =
+        ::testing::TempDir() + "/exec_shard_durable_" + std::to_string(seed) +
+        "." + StorageBackendName(backend) + "." +
+        std::to_string(::getpid()) + ".trace";
+    ASSERT_TRUE(
+        SaveTraceFile(*ref.store, trace_path, TraceFormat::kBinaryV2).ok());
+
+    Rng rng(seed + 23);
+    std::vector<std::vector<Event>> batches;
+    for (size_t b = 0; b < 5; ++b) {
+      std::vector<Event> batch;
+      const size_t n = rng.Uniform(3) + 1;
+      for (size_t i = 0; i < n; ++i) {
+        Event e = ref.events[rng.Uniform(ref.events.size())];
+        e.id = kInvalidEventId;
+        e.timestamp += static_cast<TimeMicros>(40000 + b * 37 + i);
+        batch.push_back(e);
+      }
+      batches.push_back(std::move(batch));
+    }
+    for (const auto& batch : batches) {
+      for (Event e : batch) {
+        ref.store->Append(e);
+        mono.store->Append(e);
+      }
+    }
+
+    const std::string dir = ::testing::TempDir() + "/exec_shard_durable_dir_" +
+                            std::to_string(seed) + "." +
+                            StorageBackendName(backend) + "." +
+                            std::to_string(::getpid());
+    ASSERT_TRUE(env->CreateDir(dir).ok());
+    std::string wal_bytes(kWalMagic, kWalMagicLen);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      wal_bytes += EncodeWalRecord(b + 1, batches[b]);
+    }
+    wal_bytes += EncodeWalRecord(99, batches[0]).substr(0, 11);
+    {
+      const std::string wal_path = dir + "/wal.log";
+      if (env->FileExists(wal_path)) {
+        ASSERT_TRUE(env->RemoveFile(wal_path).ok());
+      }
+      auto f = env->OpenForAppend(wal_path);
+      ASSERT_TRUE(f.ok());
+      ASSERT_TRUE((*f)->Append(wal_bytes).ok());
+      ASSERT_TRUE((*f)->Close().ok());
+    }
+
+    EventStoreOptions options;
+    options.partition_micros = 500;
+    options.segment_rows = 64;
+    options.cost_model = CostModel::Free();
+    options.backend = backend;
+    options.shards = kShards;
+    auto recovered = OpenDataDir(env, dir, trace_path, options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    EXPECT_EQ(recovered->wal.batches_applied, batches.size());
+    EXPECT_EQ(recovered->store->shard_count(), kShards);
+
+    RandomTrace rec;
+    rec.store = std::move(recovered->store);
+    rec.events = ref.events;
+    rec.alert = ref.alert;
+
+    for (const int threads : {1, 4}) {
+      const RunFingerprint want = RunOnce(ref, script, threads);
+      const RunFingerprint unsealed = RunOnce(rec, script, threads);
+      ExpectIdentical(want, unsealed, seed, threads,
+                      StorageBackendName(backend));
+      // And the sharded answer equals the monolithic one.
+      const RunFingerprint mono_fp = RunOnce(mono, script, threads);
+      EXPECT_EQ(unsealed.graph_json, mono_fp.graph_json)
+          << StorageBackendName(backend) << " seed=" << seed
+          << " threads=" << threads;
+    }
+
+    rec.store->SealTail(nullptr);
+    EXPECT_EQ(rec.store->TailRows(), 0u);
+    for (const int threads : {1, 4}) {
+      const RunFingerprint want = RunOnce(ref, script, threads);
+      const RunFingerprint sealed = RunOnce(rec, script, threads);
+      const std::string label = std::string("sealed ") +
+                                StorageBackendName(backend) +
+                                " seed=" + std::to_string(seed) +
+                                " threads=" + std::to_string(threads);
+      EXPECT_EQ(sealed.graph_json, want.graph_json) << label;
+      EXPECT_EQ(sealed.reason, want.reason) << label;
+      EXPECT_EQ(sealed.events_added, want.events_added) << label;
+      EXPECT_EQ(sealed.events_filtered, want.events_filtered) << label;
+      EXPECT_EQ(sealed.objects_excluded, want.objects_excluded) << label;
+    }
+    ExpectShardReconciliation(*rec.store,
+                              std::string("recovered ") +
+                                  StorageBackendName(backend) +
+                                  " seed=" + std::to_string(seed));
+  }
+}
+
 // Durability axis: an ingest -> seal -> crash -> recover cycle must be
 // invisible to analysis. The executor over a store recovered from a data
 // dir (base snapshot + WAL replay + torn-tail repair) is bit-identical

@@ -31,17 +31,20 @@ struct RandomTrace {
 /// A soup of random events over a handful of processes, files, and
 /// sockets; the alert is a random event with a process flow source (so
 /// there is something to explore). The optional backend override pins
-/// the physical layout (default: APTRACE_BACKEND env var, else row);
-/// the generated events are identical either way.
+/// the physical layout (default: APTRACE_BACKEND env var, else row) and
+/// `shards` the shard count (default: APTRACE_SHARDS env var, else 1);
+/// the generated events are identical in every configuration.
 inline RandomTrace MakeRandomTrace(
     uint64_t seed, size_t num_events,
-    StorageBackendKind backend = DefaultStorageBackendKind()) {
+    StorageBackendKind backend = DefaultStorageBackendKind(),
+    size_t shards = DefaultShardCount()) {
   RandomTrace t;
   EventStoreOptions options;
   options.partition_micros = 500;  // many partitions
   options.segment_rows = 64;       // many columnar segments, likewise
   options.cost_model = CostModel::Free();
   options.backend = backend;
+  options.shards = shards;
   t.store = std::make_unique<EventStore>(options);
   auto& c = t.store->catalog();
   Rng rng(seed);

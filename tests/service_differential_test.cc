@@ -106,6 +106,80 @@ TEST_P(ServiceDifferential, ConcurrentSessionsBitIdenticalToSequential) {
   }
 }
 
+// Shard axis: concurrent daemon sessions over a store partitioned into
+// {2, 4, 8} shards must serve graphs byte-identical to sequential runs
+// over the monolithic (shards = 1) store, at session scan-thread counts
+// {1, 4} — and the /sessions per-shard rows must sum exactly to the
+// store totals (the single-snapshot-lock contract, docs/sharding.md).
+TEST_P(ServiceDifferential, ShardedSessionsBitIdenticalToMonolithic) {
+  const StorageBackendKind backend = GetParam();
+  for (const size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    const RandomTrace mono = MakeRandomTrace(97, 600, backend, 1);
+    const RandomTrace t = MakeRandomTrace(97, 600, backend, shards);
+    ASSERT_EQ(t.store->shard_count(), shards);
+    const std::vector<std::string> variants = SpecVariants(t);
+    ASSERT_EQ(SpecVariants(mono), variants);
+
+    for (const int scan_threads : {1, 4}) {
+      std::vector<std::string> expected;
+      expected.reserve(variants.size());
+      for (const std::string& script : variants) {
+        expected.push_back(DirectRunGraph(mono, script, scan_threads));
+      }
+
+      ServiceLimits limits;
+      limits.quantum_windows = 2;
+      limits.scan_threads = 4;
+      SessionManager manager(t.store.get(), limits);
+      std::vector<uint64_t> ids;
+      for (const std::string& script : variants) {
+        OpenOptions opts;
+        opts.start_event = t.alert.id;
+        opts.scan_threads = scan_threads;
+        auto id = manager.Open(script, opts);
+        ASSERT_TRUE(id.ok()) << id.status();
+        ids.push_back(id.value());
+      }
+      ASSERT_TRUE(manager.WaitAllTerminal(60'000'000));
+
+      for (size_t i = 0; i < ids.size(); ++i) {
+        auto graph = manager.GraphJson(ids[i]);
+        ASSERT_TRUE(graph.ok());
+        EXPECT_EQ(graph.value(), expected[i])
+            << "variant " << i << " shards=" << shards
+            << " threads=" << scan_threads << " backend="
+            << StorageBackendName(backend);
+      }
+
+      // Per-shard rows (the /sessions payload) reconcile exactly with
+      // the store totals. `scans` is per-touched-shard and so sums to
+      // >= the store's query count.
+      const std::vector<StoreShardRow> rows = manager.StoreShardRows();
+      EXPECT_EQ(rows.size(), shards);
+      const StoreStats total = t.store->stats();
+      uint64_t matched = 0, filtered = 0, probed = 0, seeked = 0,
+               pruned = 0, resident = 0, scans = 0;
+      for (const StoreShardRow& row : rows) {
+        matched += row.rows_matched;
+        filtered += row.rows_filtered;
+        probed += row.partitions_probed;
+        seeked += row.partitions_seeked;
+        pruned += row.segments_pruned;
+        resident += row.resident_rows;
+        scans += row.scans;
+      }
+      EXPECT_EQ(matched, total.rows_matched);
+      EXPECT_EQ(filtered, total.rows_filtered);
+      EXPECT_EQ(probed, total.partitions_probed);
+      EXPECT_EQ(seeked, total.partitions_seeked);
+      EXPECT_EQ(pruned, total.segments_pruned);
+      EXPECT_EQ(resident, t.store->NumEvents());
+      EXPECT_GE(scans, total.queries);
+      manager.StopAndJoin();
+    }
+  }
+}
+
 // Durability axis: ingest through the durable daemon (WAL + background
 // tail sealing), crash without any drain snapshot, recover the data dir,
 // and serve sessions over the recovered store — every graph must be
@@ -208,6 +282,121 @@ TEST_P(ServiceDifferential, DurableIngestCrashRecoverServesIdenticalGraphs) {
   EXPECT_GT(recovered->wal.truncated_bytes, 0u);
   EXPECT_NE(recovered->wal.diagnostic.find("STO-E00"), std::string::npos)
       << recovered->wal.diagnostic;
+
+  SessionManager manager(recovered->store.get(), ServiceLimits{});
+  size_t which = 0;
+  for (const int threads : {1, 4}) {
+    OpenOptions opts;
+    opts.start_event = t.alert.id;
+    opts.scan_threads = threads;
+    auto id = manager.Open(script, opts);
+    ASSERT_TRUE(id.ok()) << id.status();
+    ASSERT_TRUE(manager.WaitAllTerminal(60'000'000));
+    auto graph = manager.GraphJson(id.value());
+    ASSERT_TRUE(graph.ok()) << graph.status();
+    EXPECT_EQ(graph.value(), expected[which])
+        << "threads=" << threads << " backend="
+        << StorageBackendName(backend);
+    which++;
+  }
+  manager.StopAndJoin();
+}
+
+// Durability axis at shards > 1: the same ingest -> background seal ->
+// crash -> recover flow, but with the store partitioned 4 ways. The WAL
+// carries no shard information — replay routes every acknowledged batch
+// through the shard map on boot — and the recovered daemon must serve
+// graphs byte-identical to a sequential run over the monolithic store
+// that never crashed.
+TEST_P(ServiceDifferential, ShardedDurableIngestCrashRecover) {
+  const StorageBackendKind backend = GetParam();
+  FileEnv* env = FileEnv::Posix();
+  constexpr size_t kShards = 4;
+
+  RandomTrace mono = MakeRandomTrace(103, 500, backend, 1);
+  RandomTrace t = MakeRandomTrace(103, 500, backend, kShards);
+  const std::string trace_path =
+      ::testing::TempDir() + "/svc_shard_durable_" +
+      std::string(StorageBackendName(backend)) + "." +
+      std::to_string(::getpid()) + ".trace";
+  ASSERT_TRUE(
+      SaveTraceFile(*t.store, trace_path, TraceFormat::kBinaryV2).ok());
+
+  Rng rng(204);
+  std::vector<std::vector<Event>> batches;
+  for (size_t b = 0; b < 6; ++b) {
+    std::vector<Event> batch;
+    const size_t n = rng.Uniform(4) + 2;
+    for (size_t i = 0; i < n; ++i) {
+      Event e = t.events[rng.Uniform(t.events.size())];
+      e.id = kInvalidEventId;
+      e.timestamp += static_cast<TimeMicros>(60000 + b * 59 + i);
+      batch.push_back(e);
+    }
+    batches.push_back(std::move(batch));
+  }
+  for (const auto& batch : batches) {
+    for (Event e : batch) mono.store->Append(e);
+  }
+  const std::string script = UnconstrainedScript(mono);
+  std::vector<std::string> expected;
+  for (const int threads : {1, 4}) {
+    expected.push_back(DirectRunGraph(mono, script, threads));
+  }
+
+  const std::string dir = ::testing::TempDir() + "/svc_shard_durable_dir_" +
+                          std::string(StorageBackendName(backend)) + "." +
+                          std::to_string(::getpid());
+  ASSERT_TRUE(env->CreateDir(dir).ok());
+  for (const char* leftover : {"wal.log", "MANIFEST"}) {
+    const std::string path = dir + std::string("/") + leftover;
+    if (env->FileExists(path)) {
+      ASSERT_TRUE(env->RemoveFile(path).ok());
+    }
+  }
+  EventStoreOptions options;
+  options.partition_micros = 500;
+  options.segment_rows = 64;
+  options.cost_model = CostModel::Free();
+  options.backend = backend;
+  options.shards = kShards;
+  {
+    auto recovered = OpenDataDir(env, dir, trace_path, options);
+    ASSERT_TRUE(recovered.ok()) << recovered.status();
+    ASSERT_EQ(recovered->store->shard_count(), kShards);
+    auto wal = WalWriter::Open(env, dir + "/wal.log",
+                               recovered->wal_valid_bytes,
+                               recovered->next_seq);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+
+    ServiceLimits limits;
+    limits.seal_tail_rows = 8;  // background seals fan out to shards
+    SessionManager manager(recovered->store.get(), limits);
+    manager.EnableDurability(wal->get(), recovered->next_seq - 1);
+    for (size_t b = 0; b < batches.size(); ++b) {
+      auto ack = manager.Ingest(batches[b]);
+      ASSERT_TRUE(ack.ok()) << ack.status();
+    }
+    const TimeMicros deadline = MonotonicNowMicros() + 60'000'000;
+    while (manager.stats().wal_applied_through < batches.size() &&
+           MonotonicNowMicros() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_EQ(manager.stats().wal_applied_through, batches.size());
+    manager.StopAndJoin();
+  }
+  {
+    auto f = env->OpenForAppend(dir + "/wal.log");
+    ASSERT_TRUE(f.ok());
+    ASSERT_TRUE((*f)->Append(EncodeWalRecord(99, batches[0]).substr(0, 9))
+                    .ok());
+    ASSERT_TRUE((*f)->Close().ok());
+  }
+
+  auto recovered = OpenDataDir(env, dir, trace_path, options);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->wal.batches_applied, batches.size());
+  EXPECT_EQ(recovered->store->shard_count(), kShards);
 
   SessionManager manager(recovered->store.get(), ServiceLimits{});
   size_t which = 0;

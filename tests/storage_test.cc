@@ -410,6 +410,243 @@ TEST(ColumnarPruningTest, DisjointErasAreSkipped) {
   EXPECT_GT(all.segments_pruned, 0u);
 }
 
+// ---------------------------------------------------------------------
+// Sharded store: N shard backends behind one StorageBackend facade must
+// answer every query shape identically to the monolithic store, while
+// the per-shard counters reconcile exactly against the store totals in
+// every snapshot (docs/sharding.md).
+
+class ShardEquivalenceTest : public testing::TestWithParam<uint64_t> {};
+
+TEST_P(ShardEquivalenceTest, ShardedMatchesMonolithic) {
+  for (const size_t shards : {size_t{2}, size_t{4}, size_t{8}}) {
+    for (const StorageBackendKind backend :
+         {StorageBackendKind::kRow, StorageBackendKind::kColumnar}) {
+      EventStoreOptions options;
+      options.partition_micros = 1000;
+      options.segment_rows = 32;
+      options.backend = backend;
+      options.shards = 1;
+      EventStore mono(options);
+      options.shards = shards;
+      EventStore sharded(options);
+      ASSERT_EQ(sharded.shard_count(), shards);
+      ASSERT_EQ(mono.shard_count(), 1u);
+
+      Rng rng(GetParam());
+      std::vector<ObjectId> keys;
+      std::vector<HostId> hosts;
+      for (auto* store : {&mono, &sharded}) {
+        ObjectCatalog& c = store->catalog();
+        hosts = {c.InternHost("h1"), c.InternHost("h2"),
+                 c.InternHost("h3")};
+        std::vector<ObjectId> ids;
+        for (int i = 0; i < 6; ++i) {
+          ids.push_back(c.AddProcess(hosts[i % 3], {.exename = "p"}));
+        }
+        for (int i = 0; i < 10; ++i) {
+          ids.push_back(c.AddFile(hosts[i % 3], {.path = "/f"}));
+        }
+        keys = ids;  // identical in both catalogs
+      }
+      for (int i = 0; i < 600; ++i) {
+        Event e = MakeEvent(keys[rng.Uniform(6)], keys[6 + rng.Uniform(10)],
+                            static_cast<TimeMicros>(rng.Uniform(50000)),
+                            rng.Bernoulli(0.5) ? ActionType::kWrite
+                                               : ActionType::kRead,
+                            hosts[rng.Uniform(3)]);
+        const EventId a = mono.Append(e);
+        const EventId b = sharded.Append(e);
+        EXPECT_EQ(a, b);  // global ids are the monolithic append order
+      }
+      mono.Seal();
+      sharded.Seal();
+
+      for (EventId id = 0; id < mono.NumEvents(); ++id) {
+        EXPECT_EQ(sharded.Get(id).timestamp, mono.Get(id).timestamp)
+            << "id=" << id;
+        EXPECT_EQ(sharded.Get(id).id, id);
+      }
+
+      for (int trial = 0; trial < 40; ++trial) {
+        const ObjectId key = keys[rng.Uniform(keys.size())];
+        TimeMicros lo = static_cast<TimeMicros>(rng.Uniform(52000));
+        TimeMicros hi = lo + static_cast<TimeMicros>(rng.Uniform(8000));
+        const auto label = [&] {
+          return std::string("shards=") + std::to_string(shards) +
+                 " key=" + std::to_string(key) + " [" + std::to_string(lo) +
+                 "," + std::to_string(hi) + ")";
+        };
+
+        const RangeScanBatch md = mono.CollectDest(key, lo, hi);
+        const RangeScanBatch sd = sharded.CollectDest(key, lo, hi);
+        EXPECT_EQ(sd.rows, md.rows) << "CollectDest " << label();
+        // Every delivered row is attributed to exactly one shard slice.
+        uint64_t slice_rows = 0;
+        for (const ShardScanSlice& slice : sd.shard_slices) {
+          EXPECT_LT(slice.shard, shards) << label();
+          slice_rows += slice.rows;
+        }
+        EXPECT_EQ(slice_rows, sd.rows.size()) << label();
+
+        EXPECT_EQ(sharded.CollectSrc(key, lo, hi).rows,
+                  mono.CollectSrc(key, lo, hi).rows)
+            << "CollectSrc " << label();
+        EXPECT_EQ(sharded.CollectRange(lo, hi).rows,
+                  mono.CollectRange(lo, hi).rows)
+            << "CollectRange " << label();
+        EXPECT_EQ(sharded.HasIncomingWrite(key, lo, hi),
+                  mono.HasIncomingWrite(key, lo, hi))
+            << label();
+        EXPECT_EQ(sharded.FlowDestsOf(key, lo, hi),
+                  mono.FlowDestsOf(key, lo, hi))
+            << label();
+        SimClock mc, sc;
+        EXPECT_EQ(sharded.CountDest(key, lo, hi, &sc),
+                  mono.CountDest(key, lo, hi, &mc))
+            << label();
+      }
+
+      // Row totals agree with the monolithic store; probe totals may
+      // differ (a time slice split across shards occupies one partition
+      // per shard) but must reconcile exactly against the per-shard
+      // rows of the same snapshot.
+      const StoreStats ms = mono.stats();
+      const ShardedStore::Snapshot snap = sharded.ShardSnapshot();
+      EXPECT_EQ(snap.total.queries, ms.queries);
+      EXPECT_EQ(snap.total.rows_matched, ms.rows_matched);
+      EXPECT_EQ(snap.total.rows_filtered, ms.rows_filtered);
+      EXPECT_EQ(snap.shards.size(), shards);
+      StoreStats sum;
+      uint64_t resident = 0;
+      for (const auto& row : snap.shards) {
+        sum.rows_matched += row.stats.rows_matched;
+        sum.rows_filtered += row.stats.rows_filtered;
+        sum.partitions_probed += row.stats.partitions_probed;
+        sum.partitions_seeked += row.stats.partitions_seeked;
+        sum.segments_pruned += row.stats.segments_pruned;
+        resident += row.resident_rows;
+      }
+      EXPECT_EQ(sum.rows_matched, snap.total.rows_matched);
+      EXPECT_EQ(sum.rows_filtered, snap.total.rows_filtered);
+      EXPECT_EQ(sum.partitions_probed, snap.total.partitions_probed);
+      EXPECT_EQ(sum.partitions_seeked, snap.total.partitions_seeked);
+      EXPECT_EQ(sum.segments_pruned, snap.total.segments_pruned);
+      EXPECT_EQ(resident, sharded.NumEvents());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ShardEquivalenceTest,
+                         testing::Values(7, 17, 27));
+
+// Boundary rows: delivered rows whose recording host differs from the
+// probed object's catalog host (cross-host flows through shared objects
+// like sockets). They surface per slice, per shard, and in the store
+// metrics — the scatter-gather "boundary-edge exchange" is observable.
+TEST(ShardedStoreTest, BoundaryRowsAreCountedAndReconciled) {
+  EventStoreOptions options;
+  options.partition_micros = 1000;
+  options.shards = 4;
+  EventStore store(options);
+  ObjectCatalog& c = store.catalog();
+  const HostId h1 = c.InternHost("h1");
+  const HostId h2 = c.InternHost("h2");
+  // The socket is homed on h1, but the writes into it are recorded on
+  // the connecting host h2 — every delivered row is a boundary row.
+  const ObjectId sock =
+      c.AddIp(h1, {.src_ip = "10.0.0.2", .dst_ip = "10.0.0.1"});
+  const ObjectId remote = c.AddProcess(h2, {.exename = "client"});
+  const ObjectId local = c.AddProcess(h1, {.exename = "server"});
+  for (int i = 0; i < 8; ++i) {
+    store.Append(MakeEvent(remote, sock, 100 + i, ActionType::kConnect, h2));
+  }
+  for (int i = 0; i < 3; ++i) {
+    store.Append(MakeEvent(local, sock, 500 + i, ActionType::kConnect, h1));
+  }
+  store.Seal();
+
+  const RangeScanBatch b = store.CollectDest(sock, 0, 1000);
+  EXPECT_EQ(b.rows.size(), 11u);
+  uint64_t boundary = 0;
+  for (const ShardScanSlice& slice : b.shard_slices) {
+    boundary += slice.boundary_rows;
+  }
+  EXPECT_EQ(boundary, 8u);  // the h2-recorded rows, not the h1 ones
+
+  // The snapshot's boundary counters accumulate on the charging scan
+  // path (ReplayScan), not on raw Collect* probes.
+  EXPECT_EQ(store.ScanDest(sock, 0, 1000, nullptr, nullptr), 11u);
+  const ShardedStore::Snapshot snap = store.ShardSnapshot();
+  uint64_t snap_boundary = 0;
+  for (const auto& row : snap.shards) snap_boundary += row.boundary_rows;
+  EXPECT_EQ(snap_boundary, 8u);
+}
+
+// Option clamping and the monolithic fallback: shards <= 1 keeps the
+// direct backend (no facade), out-of-range counts clamp to the routing
+// mask's width.
+TEST(ShardedStoreTest, ClampsAndReportsShardCount) {
+  EventStoreOptions options;
+  options.shards = 0;
+  {
+    EventStore store(options);
+    EXPECT_EQ(store.shard_count(), 1u);
+    EXPECT_EQ(store.sharded(), nullptr);
+  }
+  options.shards = 200;
+  {
+    EventStore store(options);
+    EXPECT_EQ(store.shard_count(), kMaxStoreShards);
+    EXPECT_NE(store.sharded(), nullptr);
+  }
+  options.shards = 1;
+  {
+    EventStore store(options);
+    EXPECT_EQ(store.shard_count(), 1u);
+    // The synthetic single-shard snapshot mirrors the store totals.
+    const ShardedStore::Snapshot snap = store.ShardSnapshot();
+    ASSERT_EQ(snap.shards.size(), 1u);
+    EXPECT_EQ(snap.shards[0].resident_rows, store.NumEvents());
+  }
+}
+
+// The APTRACE_SHARDS environment variable picks the default shard count
+// for every store built without an explicit override (this is how the
+// CI Release-sharded leg flips the whole test suite). Invalid values
+// warn once and fall back to 1.
+TEST(StorageShardEnvTest, EnvVarSelectsDefaultShardCount) {
+  const char* old = std::getenv("APTRACE_SHARDS");
+  const std::string saved = old ? old : "";
+
+  ASSERT_EQ(setenv("APTRACE_SHARDS", "4", 1), 0);
+  EXPECT_EQ(DefaultShardCount(), 4u);
+  {
+    EventStore store;
+    EXPECT_EQ(store.shard_count(), 4u);
+  }
+  ASSERT_EQ(setenv("APTRACE_SHARDS", "bogus", 1), 0);
+  EXPECT_EQ(DefaultShardCount(), 1u);
+  ASSERT_EQ(setenv("APTRACE_SHARDS", "0", 1), 0);
+  EXPECT_EQ(DefaultShardCount(), 1u);
+  ASSERT_EQ(setenv("APTRACE_SHARDS", "65", 1), 0);
+  EXPECT_EQ(DefaultShardCount(), 1u);
+  // An explicit option always beats the environment.
+  ASSERT_EQ(setenv("APTRACE_SHARDS", "4", 1), 0);
+  {
+    EventStoreOptions options;
+    options.shards = 2;
+    EventStore store(options);
+    EXPECT_EQ(store.shard_count(), 2u);
+  }
+
+  if (old) {
+    setenv("APTRACE_SHARDS", saved.c_str(), 1);
+  } else {
+    unsetenv("APTRACE_SHARDS");
+  }
+}
+
 // The APTRACE_BACKEND environment variable picks the default backend
 // for every store built without an explicit override (this is how the
 // CI columnar leg flips the whole test suite).

@@ -23,6 +23,11 @@
 //                             env var, else row); graph output is
 //                             bit-identical across backends — only the
 //                             simulated scan cost differs
+//         --shards=N          store shard count in [1, 64] (default:
+//                             APTRACE_SHARDS env var, else 1); N > 1
+//                             partitions the store by (host, time) and
+//                             scans scatter-gather — graph output is
+//                             bit-identical at any shard count
 //         --sim-limit=<dur>   stop after this much simulated time (2h...)
 //         --max-updates=N     stop after N updates
 //         --dot=<file>        write the graph as Graphviz DOT
@@ -102,6 +107,7 @@ struct Flags {
   int threads = 0;  // scan workers; 0 = hardware concurrency
   int train_days = -1;
   StorageBackendKind backend = DefaultStorageBackendKind();
+  size_t shards = DefaultShardCount();
   TraceFormat trace_format = TraceFormat::kTextV1;
   bool baseline = false;
   bool quiet = false;
@@ -162,6 +168,24 @@ bool ParseBackend(const std::string& value, StorageBackendKind* out) {
   return true;
 }
 
+/// Validates a `--shards` value: an integer shard count in [1, 64]
+/// (docs/sharding.md). Zero is rejected — a store needs at least one
+/// shard — as is anything beyond the routing mask's 64-bit width.
+bool ParseShards(const std::string& value, size_t* out) {
+  char* end = nullptr;
+  const long n = std::strtol(value.c_str(), &end, 10);
+  if (value.empty() || *end != '\0' || n < 1 ||
+      n > static_cast<long>(kMaxStoreShards)) {
+    std::fprintf(stderr,
+                 "--shards: error[CLI-E005]: expected a shard count in "
+                 "[1, 64], got '%s'\n",
+                 value.c_str());
+    return false;
+  }
+  *out = static_cast<size_t>(n);
+  return true;
+}
+
 /// Validates a `--trace-format` value for `export`.
 bool ParseTraceFormat(const std::string& value, TraceFormat* out) {
   if (value == "v1") {
@@ -183,6 +207,7 @@ bool ParseTraceFormat(const std::string& value, TraceFormat* out) {
 EventStoreOptions StoreOptions(const Flags& flags) {
   EventStoreOptions options;
   options.backend = flags.backend;
+  options.shards = flags.shards;
   return options;
 }
 
@@ -222,6 +247,8 @@ Flags ParseFlags(int argc, char** argv) {
       if (!ParseThreads(v, &f.threads)) f.command.clear();
     } else if (TakeValue(a, "--backend", &v)) {
       if (!ParseBackend(v, &f.backend)) f.command.clear();
+    } else if (TakeValue(a, "--shards", &v)) {
+      if (!ParseShards(v, &f.shards)) f.command.clear();
     } else if (TakeValue(a, "--trace-format", &v)) {
       if (!ParseTraceFormat(v, &f.trace_format)) f.command.clear();
     } else if (std::strcmp(a, "--baseline") == 0) {

@@ -10,6 +10,10 @@
 //         --backend=row|columnar
 //                             storage backend (default: APTRACE_BACKEND
 //                             env var, else row)
+//         --shards=N          store shard count in [1, 64] (default:
+//                             APTRACE_SHARDS env var, else 1); scans
+//                             scatter-gather across (host, time) shards,
+//                             /sessions lists one row per shard
 //         --max-sessions=N    live-session admission cap (default 8)
 //         --quantum=N         windows per scheduling quantum (default 8)
 //         --window-budget=N   default per-session window budget (0 = off)
@@ -86,6 +90,7 @@ struct Flags {
   std::string data_dir;
   int tcp_port = -1;
   StorageBackendKind backend = DefaultStorageBackendKind();
+  size_t shards = DefaultShardCount();
   service::ServiceLimits limits;
   bool ok = true;
 };
@@ -167,6 +172,19 @@ Flags ParseFlags(int argc, char** argv) {
         f.ok = false;
       } else {
         f.backend = *parsed;
+      }
+    } else if (TakeValue(a, "--shards", &v)) {
+      char* end = nullptr;
+      n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 1 ||
+          n > static_cast<long>(kMaxStoreShards)) {
+        std::fprintf(stderr,
+                     "--shards: error[CLI-E005]: expected a shard count in "
+                     "[1, 64], got '%s'\n",
+                     v.c_str());
+        f.ok = false;
+      } else {
+        f.shards = static_cast<size_t>(n);
       }
     } else if (TakeValue(a, "--max-sessions", &v)) {
       if (ParseCount("--max-sessions", v, 1, &n)) {
@@ -283,6 +301,7 @@ int Main(int argc, char** argv) {
 
   EventStoreOptions store_options;
   store_options.backend = flags.backend;
+  store_options.shards = flags.shards;
 
   // With --data-dir the store comes out of crash recovery (snapshot +
   // WAL replay; --trace is only the first-boot fallback) and every

@@ -91,6 +91,10 @@ void PrintStatus(ShellState& st, std::ostream& out) {
   if (snap.scan_threads > 1) {
     out << "scan threads: " << snap.scan_threads << "\n";
   }
+  if (st.store->shard_count() > 1) {
+    out << "store shards: " << st.store->shard_count()
+        << " (scatter-gather scans; see docs/sharding.md)\n";
+  }
 }
 
 void Step(ShellState& st, std::ostream& out, const RunLimits& limits) {
