@@ -17,6 +17,8 @@
 //
 //   --max-threads=N   highest ladder rung (default 8, ladder 1/2/4/8)
 //   --json-out=FILE   machine-readable results for CI trend tracking
+//   --bench-json=FILE alias for --json-out following the BENCH_*.json
+//                     artifact convention (CI uploads these)
 
 #include <cstring>
 #include <fstream>
@@ -54,6 +56,7 @@ int Main(int argc, char** argv) {
       json_out = a + 11;
     }
   }
+  if (json_out.empty()) json_out = args.bench_json;
 
   ObsRun obs_run(args, "bench_parallel_scaling");
   auto store = workload::BuildEnterpriseTrace(args.ToConfig());

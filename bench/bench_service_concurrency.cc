@@ -18,6 +18,8 @@
 //                     paper warns about — bounding it keeps the bench
 //                     CI-runnable while still dwarfing the smalls.
 //   --json-out=F      machine-readable results
+//   --bench-json=F    alias for --json-out following the BENCH_*.json
+//                     artifact convention (CI uploads these)
 
 #include <chrono>
 #include <cstring>
@@ -57,6 +59,7 @@ int Main(int argc, char** argv) {
       json_out = a + 11;
     }
   }
+  if (json_out.empty()) json_out = args.bench_json;
 
   workload::TraceConfig config = workload::TraceConfig::Small();
   config.num_hosts = args.num_hosts;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <exception>
 #include <thread>
 
 #include "obs/metrics.h"
@@ -114,11 +115,16 @@ struct Executor::PrefetchResult {
 /// coordinator. `ready` flips under `mu`; the coordinator waits on `cv`
 /// when it pops a window whose prefetch is still in flight, then moves
 /// the result out under the lock — nothing reads guarded fields after.
+/// A task that throws (a remote shard down, surfacing as DistError from
+/// the store) parks the exception in `error` and still flips `ready`, so
+/// the coordinator wakes and rethrows instead of waiting forever on a
+/// slot the pool silently abandoned.
 struct Executor::Prefetch {
   Mutex mu{"Executor::Prefetch::mu"};
   CondVar cv;
   bool ready APTRACE_GUARDED_BY(mu) = false;
   PrefetchResult result APTRACE_GUARDED_BY(mu);
+  std::exception_ptr error APTRACE_GUARDED_BY(mu);
 };
 
 Executor::Executor(TrackingContext ctx, Clock* clock, int num_windows_k,
@@ -178,31 +184,37 @@ void Executor::SubmitPrefetch(const ExecWindow& w) {
   const TimeMicros finish = w.finish;
   auto task = [entry, ctx, forward, frontier, begin, finish] {
     APTRACE_SPAN("executor/worker_scan");
-    const TimeMicros t0 = MonotonicNowMicros();
-    const EventStore& store = *ctx->store;
-    RangeScanBatch batch = forward
-                               ? store.CollectSrc(frontier, begin, finish)
-                               : store.CollectDest(frontier, begin, finish);
-    std::vector<uint8_t> verdicts;
-    verdicts.reserve(batch.rows.size());
-    const ObjectCatalog& catalog = store.catalog();
-    for (const EventId id : batch.rows) {
-      const Event& e = store.Get(id);
-      uint8_t v = 0;
-      if (ctx->HostAllowed(e.host)) v |= kVerdictHostOk;
-      const ObjectId fresh = forward ? e.FlowDest() : e.FlowSource();
-      if (ctx->IsAnchor(fresh) || ctx->WhereKeeps(catalog.Get(fresh), &e)) {
-        v |= kVerdictWhereKeeps;
-      }
-      verdicts.push_back(v);
-    }
-    Em().worker_scan_latency->Observe(
-        MicrosToSeconds(MonotonicNowMicros() - t0));
     Prefetch* slot = entry.get();
-    {
+    try {
+      const TimeMicros t0 = MonotonicNowMicros();
+      const EventStore& store = *ctx->store;
+      RangeScanBatch batch = forward
+                                 ? store.CollectSrc(frontier, begin, finish)
+                                 : store.CollectDest(frontier, begin, finish);
+      std::vector<uint8_t> verdicts;
+      verdicts.reserve(batch.rows.size());
+      const ObjectCatalog& catalog = store.catalog();
+      for (const EventId id : batch.rows) {
+        const Event& e = store.Get(id);
+        uint8_t v = 0;
+        if (ctx->HostAllowed(e.host)) v |= kVerdictHostOk;
+        const ObjectId fresh = forward ? e.FlowDest() : e.FlowSource();
+        if (ctx->IsAnchor(fresh) || ctx->WhereKeeps(catalog.Get(fresh), &e)) {
+          v |= kVerdictWhereKeeps;
+        }
+        verdicts.push_back(v);
+      }
+      Em().worker_scan_latency->Observe(
+          MicrosToSeconds(MonotonicNowMicros() - t0));
       MutexLock lock(&slot->mu);
       slot->result.batch = std::move(batch);
       slot->result.verdicts = std::move(verdicts);
+      slot->ready = true;
+    } catch (...) {
+      // Park the failure for the coordinator; letting it escape into the
+      // pool would strand the coordinator on a never-ready slot.
+      MutexLock lock(&slot->mu);
+      slot->error = std::current_exception();
       slot->ready = true;
     }
     slot->cv.NotifyAll();
@@ -366,7 +378,15 @@ StopReason Executor::Run(const RunLimits& limits) {
   // Top-up pass: windows restored from a checkpoint or kept across a
   // refine have no prefetch yet.
   SubmitMissingPrefetches();
-  const StopReason reason = RunLoop(limits);
+  StopReason reason = StopReason::kStopped;
+  std::exception_ptr run_error;
+  try {
+    reason = RunLoop(limits);
+  } catch (...) {
+    // The barrier below must run even when the loop throws (a degraded
+    // distributed scan): in-flight tasks still reference this executor.
+    run_error = std::current_exception();
+  }
   if (WorkerPool* pool = ScanPool(); pool != nullptr) {
     // Barrier: callers may mutate ctx_ (refine), serialize state
     // (checkpoint), or destroy the executor after Run returns; none of
@@ -378,6 +398,7 @@ StopReason Executor::Run(const RunLimits& limits) {
     Em().pool_queue_depth->Set(0);
   }
   Em().modeled_makespan->Set(model_.makespan());
+  if (run_error != nullptr) std::rethrow_exception(run_error);
   return reason;
 }
 
@@ -429,6 +450,7 @@ StopReason Executor::RunLoop(const RunLimits& limits) {
           Em().prefetch_waits->Add();
           while (!raw->ready) raw->cv.Wait(lock);
         }
+        if (raw->error != nullptr) std::rethrow_exception(raw->error);
         pre = std::make_unique<PrefetchResult>(std::move(raw->result));
       } else {
         // Submission failed or never happened; fall back to the fused

@@ -1,6 +1,7 @@
 #include "core/session.h"
 
 #include "bdl/analyzer.h"
+#include "dist/dist_error.h"
 #include "graph/dot_writer.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -93,7 +94,16 @@ Status Session::Start(std::string_view bdl_text,
 Status Session::StartWithSpec(bdl::TrackingSpec spec,
                               std::optional<Event> start_override) {
   APTRACE_SPAN("session/resolve_context");
-  auto ctx = ResolveContext(*store_, std::move(spec), clock_, start_override);
+  // Start-point resolution scans the store, so over the distributed
+  // fabric it can hit a downed shard daemon just like a Step can:
+  // surface the typed DST-E00x error instead of unwinding through the
+  // caller (in the daemon, an uncaught throw kills the process).
+  Result<TrackingContext> ctx = Status::Ok();
+  try {
+    ctx = ResolveContext(*store_, std::move(spec), clock_, start_override);
+  } catch (const dist::DistError& e) {
+    return Status::Internal(e.what());
+  }
   if (!ctx.ok()) return ctx.status();
   ctx.value().scan_threads = options_.scan_threads;
   start_override_ = start_override;
@@ -126,7 +136,17 @@ Result<StopReason> Session::Step(const RunLimits& limits) {
     RefreshSnapshot();
     if (limits.on_update) limits.on_update(batch);
   };
-  const auto reason = engine_->Run(wrapped);
+  StopReason reason;
+  try {
+    reason = engine_->Run(wrapped);
+  } catch (const dist::DistError& e) {
+    // Degraded distributed scan (a shard daemon down, DST-E00x): surface
+    // a typed error — the SessionManager marks the session failed with
+    // this detail — instead of letting the exception terminate the
+    // scheduler thread.
+    RefreshSnapshot();
+    return Status::Internal(e.what());
+  }
   RefreshSnapshot();
   return reason;
 }
@@ -139,8 +159,15 @@ Status Session::UpdateScript(std::string_view bdl_text) {
   WallTimer timer(obs::names::kSessionUpdateScriptLatency);
   auto spec = bdl::CompileBdl(bdl_text);
   if (!spec.ok()) return spec.status();
-  auto ctx = ResolveContext(*store_, std::move(spec.value()), clock_,
-                            start_override_);
+  // Re-resolution scans the store; same degraded-fabric contract as
+  // StartWithSpec.
+  Result<TrackingContext> ctx = Status::Ok();
+  try {
+    ctx = ResolveContext(*store_, std::move(spec.value()), clock_,
+                         start_override_);
+  } catch (const dist::DistError& e) {
+    return Status::Internal(e.what());
+  }
   if (!ctx.ok()) return ctx.status();
   ctx.value().scan_threads = options_.scan_threads;
 

@@ -1,0 +1,117 @@
+#ifndef APTRACE_DIST_REMOTE_BACKEND_H_
+#define APTRACE_DIST_REMOTE_BACKEND_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dist/shard_client.h"
+#include "storage/cost_model.h"
+#include "storage/storage_backend.h"
+#include "util/sync.h"
+
+namespace aptrace::dist {
+
+/// A StorageBackend whose rows live in a remote shard daemon. Plugged
+/// into the ShardedStore through EventStoreOptions::shard_backend_factory,
+/// it turns the in-process scatter-gather engine into the distributed
+/// fabric of docs/distribution.md: the coordinator keeps the gid
+/// directory, routing masks, merge, and stats exactly as before, and this
+/// class translates each per-shard Collect/lifecycle call into one RPC.
+///
+/// What stays local (never an RPC):
+///   - NumEvents/TailRows/sealed: mirrored counters, because the
+///     ShardedStore reads them under its own aggregation mutex and a
+///     network round-trip under a leaf lock would invert the lock order.
+///   - Get(): served from a bounded row cache filled by every collect
+///     response (a collect's rows are almost always fetched right after
+///     by ReplayScan); misses fall back to a shard.fetch RPC.
+///   - stats(): the base-class zeroes. Replay runs coordinator-side, so
+///     the ShardedStore's per-shard attribution is the source of truth.
+///
+/// Appends are batched: pre-seal rows buffer locally and flush every
+/// kAppendBatch rows (and at Seal), each batch carrying the predicted
+/// first_lid so the daemon can reject any divergence from the dense
+/// append order (DST-E007). Post-seal streaming appends flush
+/// immediately — the daemon must see the row before the next quantum's
+/// queries do.
+///
+/// Thread-safety: matches the read-after-build contract. Collect*/Get/
+/// HasIncomingWrite/FlowDestsOf are safe concurrently post-seal (the
+/// ShardClient pools connections per calling thread; the row cache is
+/// mutex-guarded). Append/Seal/lifecycle calls require the same external
+/// synchronization as every other backend.
+///
+/// All failures surface as DistError (DST-E00x) — the ShardedStore's
+/// fan-out turns them into a degraded-mode report naming the shard.
+class RemoteShardBackend final : public StorageBackend {
+ public:
+  /// Rows buffered per shard.append batch during bulk load.
+  static constexpr size_t kAppendBatch = 512;
+  /// Row-cache bound; reaching it evicts the whole cache (collect-driven
+  /// refill makes per-entry LRU pointless).
+  static constexpr size_t kMaxCachedRows = 1 << 18;
+
+  RemoteShardBackend(std::shared_ptr<ShardClient> client,
+                     StorageBackendKind kind, CostModel cost_model);
+  ~RemoteShardBackend() override;
+
+  const BackendCapabilities& capabilities() const override;
+
+  EventId Append(Event event) override;
+  void Seal() override;
+  size_t NumEvents() const override { return num_events_; }
+  Event Get(EventId id) const override;
+
+  RangeScanBatch CollectDest(ObjectId dest, TimeMicros begin,
+                             TimeMicros end) const override;
+  RangeScanBatch CollectSrc(ObjectId src, TimeMicros begin,
+                            TimeMicros end) const override;
+  RangeScanBatch CollectRange(TimeMicros begin, TimeMicros end) const override;
+
+  bool HasIncomingWrite(ObjectId object, TimeMicros begin,
+                        TimeMicros end) const override;
+  std::vector<ObjectId> FlowDestsOf(ObjectId src, TimeMicros begin,
+                                    TimeMicros end) const override;
+
+  size_t SealTail(WorkerPool* pool) override;
+  size_t Compact(WorkerPool* pool) override;
+  size_t EvictBefore(TimeMicros horizon) override;
+  size_t TailRows() const override { return tail_rows_; }
+
+  const ShardClient& client() const { return *client_; }
+
+ protected:
+  size_t CountDestRows(ObjectId dest, TimeMicros begin, TimeMicros end,
+                       uint64_t* probed, uint64_t* seeked,
+                       uint64_t* pruned) const override;
+
+ private:
+  /// Shared RPC + decode behind the three Collect* ops. Decoded rows are
+  /// deposited into the cache so the ensuing ReplayScan's Gets are local.
+  RangeScanBatch CollectRpc(const char* op, ObjectId key, TimeMicros begin,
+                            TimeMicros end) const;
+
+  /// Sends the buffered pre-seal rows as one shard.append.
+  void FlushAppends();
+
+  void CacheRows(const std::vector<Event>& rows) const;
+
+  std::shared_ptr<ShardClient> client_;
+
+  /// Local mirrors of the remote backend's counters (see class comment).
+  size_t num_events_ = 0;
+  size_t tail_rows_ = 0;
+
+  std::vector<Event> pending_;  // pre-seal append buffer
+  EventId pending_first_lid_ = 0;
+
+  mutable Mutex cache_mu_{"RemoteShardBackend::cache_mu_"};
+  mutable std::unordered_map<uint64_t, Event> cache_
+      APTRACE_GUARDED_BY(cache_mu_);
+};
+
+}  // namespace aptrace::dist
+
+#endif  // APTRACE_DIST_REMOTE_BACKEND_H_

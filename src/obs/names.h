@@ -75,6 +75,15 @@ inline constexpr char kStoreShardFanout[] =
 inline constexpr char kStoreShardBoundaryRows[] =
     "aptrace_store_shard_boundary_rows_total";
 
+// Distributed shard fabric (src/dist/): coordinator-side RPCs to remote
+// shard daemons (docs/distribution.md). kDistRpcs counts completed RPC
+// round trips (any outcome), kDistRetries redials after a transport
+// failure, kDistShardDown RPCs abandoned after the retry budget (each
+// one surfaces as a typed DST-E005 degraded error, never a hang).
+inline constexpr char kDistRpcs[] = "aptrace_dist_rpcs_total";
+inline constexpr char kDistRetries[] = "aptrace_dist_retries_total";
+inline constexpr char kDistShardDown[] = "aptrace_dist_shard_down_total";
+
 // Durable ingest: write-ahead log (storage/wal.cc) and recovery
 // (storage/recovery.cc). docs/durability.md documents the pipeline.
 inline constexpr char kWalAppendedBatches[] =

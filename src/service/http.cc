@@ -106,10 +106,13 @@ HttpResponse HandleHttpRequest(const HttpRequest& request,
     return TextResponse(200, "ok\n");
   }
   if (path == "/readyz") {
-    return manager->draining() ? TextResponse(503, "draining\n")
-                               : TextResponse(200, "ready\n");
+    // Manager-less daemons (aptrace_shardd) have no drain phase distinct
+    // from liveness: ready whenever they can answer.
+    const bool draining = manager != nullptr && manager->draining();
+    return draining ? TextResponse(503, "draining\n")
+                    : TextResponse(200, "ready\n");
   }
-  if (path == "/sessions") {
+  if (path == "/sessions" && manager != nullptr) {
     HttpResponse r;
     r.content_type = "application/json";
     r.body = SessionsJson(manager);

@@ -40,7 +40,9 @@ struct HttpResponse {
 bool ParseHttpRequestLine(const std::string& line, HttpRequest* out);
 
 /// Routes one scrape request. `manager` may be consulted for readiness
-/// and session rows; the response is complete and self-contained.
+/// and session rows; the response is complete and self-contained. A null
+/// manager (shard daemons) keeps /metrics and /healthz, makes /readyz
+/// unconditional, and 404s /sessions.
 HttpResponse HandleHttpRequest(const HttpRequest& request,
                                SessionManager* manager);
 

@@ -40,7 +40,20 @@ bool SendAll(int fd, const std::string& data) {
 }  // namespace
 
 Server::Server(SessionManager* manager, ServerOptions options)
-    : manager_(manager), options_(std::move(options)), handler_(manager) {}
+    : manager_(manager),
+      options_(std::move(options)),
+      protocol_(std::make_unique<ProtocolHandler>(manager)) {
+  ProtocolHandler* protocol = protocol_.get();
+  handler_ = [protocol](const std::string& line, bool* shutdown_requested) {
+    return protocol->HandleLine(line, shutdown_requested);
+  };
+}
+
+Server::Server(LineHandler handler, SessionManager* manager,
+               ServerOptions options)
+    : manager_(manager),
+      options_(std::move(options)),
+      handler_(std::move(handler)) {}
 
 Server::~Server() { Shutdown(); }
 
@@ -180,8 +193,7 @@ void Server::ConnectionLoop(int fd) {
       // later recv happens to start with "GET ".
       sniffed = true;
       bool shutdown_requested = false;
-      const std::string response =
-          handler_.HandleLine(line, &shutdown_requested);
+      const std::string response = handler_(line, &shutdown_requested);
       if (!SendAll(fd, response + "\n")) {
         open = false;
         break;
@@ -245,7 +257,9 @@ void Server::ServeHttp(int fd, std::string* pending) {
 void Server::RequestShutdown() {
   bool expected = false;
   if (!stop_.compare_exchange_strong(expected, true)) return;
-  manager_->Stop();  // quantum-boundary stop of the scheduler
+  // Quantum-boundary stop of the scheduler (custom-handler daemons have
+  // no scheduler to stop).
+  if (manager_ != nullptr) manager_->Stop();
   {
     MutexLock lock(&mu_);
     // Half-close read sides: blocked recv()s return 0, each connection

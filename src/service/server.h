@@ -2,6 +2,7 @@
 #define APTRACE_SERVICE_SERVER_H_
 
 #include <atomic>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -13,6 +14,13 @@
 #include "util/sync.h"
 
 namespace aptrace::service {
+
+/// One request line in, one response line out (no trailing newline — the
+/// transport owns framing). Set `*shutdown_requested` to drain the whole
+/// daemon after the response is on the wire.
+using LineHandler =
+    std::function<std::string(const std::string& line,
+                              bool* shutdown_requested)>;
 
 struct ServerOptions {
   /// Unix-domain listener path; empty disables it. A stale socket file
@@ -43,9 +51,19 @@ struct ServerOptions {
 /// threads, and waits for the last connection to finish. No request is
 /// abandoned mid-response and no session state is torn; paused sessions
 /// remain checkpointable until the process exits.
+///
+/// The transport is protocol-agnostic: the session daemon wires it to
+/// ProtocolHandler, while `aptrace_shardd` supplies its own LineHandler
+/// for the shard-RPC vocabulary (src/dist/shard_service.h) — same
+/// framing, same dialect sniff, same drain semantics either way.
 class Server {
  public:
   Server(SessionManager* manager, ServerOptions options);
+
+  /// Custom-protocol daemon: every line goes to `handler`; `manager` may
+  /// be null, in which case the HTTP scrape surface serves /metrics and
+  /// /healthz only (no sessions, readiness is liveness).
+  Server(LineHandler handler, SessionManager* manager, ServerOptions options);
 
   /// Shutdown() if still running.
   ~Server();
@@ -81,9 +99,12 @@ class Server {
   void ServeHttp(int fd, std::string* pending);
   void TrackConnection(int fd);
 
-  SessionManager* manager_;
+  SessionManager* manager_;  // null for custom-handler daemons
   ServerOptions options_;
-  ProtocolHandler handler_;
+  /// Owns the session protocol when constructed with a manager; custom
+  /// handlers live in handler_ directly.
+  std::unique_ptr<ProtocolHandler> protocol_;
+  LineHandler handler_;
 
   std::atomic<bool> stop_{false};
   Mutex mu_{"Server::mu_"};

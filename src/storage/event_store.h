@@ -41,6 +41,24 @@ struct EventStoreOptions {
   /// as before. Defaults to the APTRACE_SHARDS environment variable when
   /// set and valid (clamped to [1, 64]).
   size_t shards = DefaultShardCount();
+
+  /// Builds shard `shard`'s backend for the sharded engine. Unset (the
+  /// default) constructs an in-process backend of `backend`'s kind; the
+  /// distributed fabric injects RemoteShardBackend factories here so the
+  /// same coordinator engine — routing, gid directory, merge, stats —
+  /// drives remote shard daemons (docs/distribution.md).
+  std::function<std::unique_ptr<StorageBackend>(
+      size_t shard, const EventStoreOptions& options)>
+      shard_backend_factory;
+
+  /// Concurrency of the sharded store's per-shard Collect fan-out:
+  /// 0 (default) probes shards sequentially on the calling thread — right
+  /// for in-process shards, where a probe is a memory-bound index walk.
+  /// N > 0 gives the store N dedicated fan-out threads so remote probes
+  /// overlap their network round-trips and one slow daemon does not
+  /// serialize the rest. Orthogonal to the Executor's scan pool: fan-out
+  /// threads run inside a single Collect call.
+  size_t dist_fanout_threads = 0;
 };
 
 /// Simulated audit-log database: a thin façade that owns the ObjectCatalog

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <utility>
 
+#include "dist/dist_error.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
@@ -11,6 +12,7 @@
 #include "storage/event_store.h"
 #include "storage/row_store_backend.h"
 #include "util/logging.h"
+#include "util/worker_pool.h"
 
 namespace aptrace {
 
@@ -69,7 +71,15 @@ ShardedStore::ShardedStore(const EventStoreOptions& options,
     n = kMaxStoreShards;
   }
   shards_.resize(n);
-  for (Shard& s : shards_) s.backend = MakeShardBackend(options);
+  for (uint32_t i = 0; i < n; ++i) {
+    shards_[i].backend = options.shard_backend_factory != nullptr
+                             ? options.shard_backend_factory(i, options)
+                             : MakeShardBackend(options);
+  }
+  if (options.dist_fanout_threads > 0 && n > 1) {
+    fanout_pool_ = std::make_unique<WorkerPool>(
+        static_cast<int>(options.dist_fanout_threads));
+  }
   shard_stats_.resize(n);
   shard_boundary_.resize(n, 0);
   obs::Metrics()
@@ -122,6 +132,81 @@ RangeScanBatch ShardedStore::Gather(bool by_src, ObjectId key, uint64_t mask,
                                     HostId home, TimeMicros begin,
                                     TimeMicros end) const {
   APTRACE_SPAN("store/shard_scan");
+
+  std::vector<uint32_t> probe_shards;
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (mask & (uint64_t{1} << s)) probe_shards.push_back(s);
+  }
+
+  // Per-shard probes, optionally fanned out on the dedicated pool. Each
+  // probe catches its own failure: a remote shard that is down must
+  // surface as one typed degraded error naming the missing shards — and
+  // never hang the query or tear down the coordinator thread.
+  struct Probe {
+    RangeScanBatch batch;
+    bool failed = false;
+    std::string error;
+  };
+  std::vector<Probe> probes(probe_shards.size());
+  const auto run_probe = [&](size_t i) {
+    Probe& p = probes[i];
+    const uint32_t s = probe_shards[i];
+    try {
+      if (key == kInvalidObjectId) {
+        p.batch = shards_[s].backend->CollectRange(begin, end);
+      } else if (by_src) {
+        p.batch = shards_[s].backend->CollectSrc(key, begin, end);
+      } else {
+        p.batch = shards_[s].backend->CollectDest(key, begin, end);
+      }
+    } catch (const std::exception& e) {
+      p.failed = true;
+      p.error = e.what();
+    }
+  };
+
+  if (fanout_pool_ != nullptr && probe_shards.size() > 1) {
+    // Join on a per-call latch, not pool idleness: concurrent Gathers
+    // (the Executor's prefetch workers) share the pool and must not wait
+    // for each other's probes.
+    Mutex latch_mu("ShardedStore::gather_latch");
+    CondVar latch_cv;
+    size_t remaining = probe_shards.size();
+    for (size_t i = 0; i < probe_shards.size(); ++i) {
+      const bool queued = fanout_pool_->Submit([&, i] {
+        run_probe(i);
+        MutexLock lock(&latch_mu);
+        if (--remaining == 0) latch_cv.NotifyOne();
+      });
+      if (!queued) {
+        // Pool is shutting down; probe inline so the latch still opens.
+        run_probe(i);
+        MutexLock lock(&latch_mu);
+        --remaining;
+      }
+    }
+    MutexLock lock(&latch_mu);
+    while (remaining > 0) latch_cv.Wait(lock);
+  } else {
+    for (size_t i = 0; i < probe_shards.size(); ++i) run_probe(i);
+  }
+
+  size_t n_down = 0;
+  std::string down;
+  for (size_t i = 0; i < probe_shards.size(); ++i) {
+    if (!probes[i].failed) continue;
+    if (n_down++ > 0) down += "; ";
+    down += "shard " + std::to_string(probe_shards[i]) + ": " +
+            probes[i].error;
+  }
+  if (n_down > 0) {
+    throw dist::DistError(
+        dist::kDistErrUnavailable,
+        "degraded scan: " + std::to_string(n_down) + " of " +
+            std::to_string(probe_shards.size()) +
+            " probed shards unavailable (" + down + ")");
+  }
+
   RangeScanBatch out;
   struct Source {
     uint32_t shard;
@@ -130,16 +215,9 @@ RangeScanBatch ShardedStore::Gather(bool by_src, ObjectId key, uint64_t mask,
   };
   std::vector<Source> sources;
   size_t total_rows = 0;
-  for (uint32_t s = 0; s < shards_.size(); ++s) {
-    if ((mask & (uint64_t{1} << s)) == 0) continue;
-    RangeScanBatch b;
-    if (key == kInvalidObjectId) {
-      b = shards_[s].backend->CollectRange(begin, end);
-    } else if (by_src) {
-      b = shards_[s].backend->CollectSrc(key, begin, end);
-    } else {
-      b = shards_[s].backend->CollectDest(key, begin, end);
-    }
+  for (size_t i = 0; i < probe_shards.size(); ++i) {
+    const uint32_t s = probe_shards[i];
+    RangeScanBatch& b = probes[i].batch;
     ShardScanSlice slice;
     slice.shard = s;
     slice.rows = b.rows.size();

@@ -148,9 +148,13 @@ class ShardedStore final : public StorageBackend {
   uint32_t RouteShard(HostId host, TimeMicros timestamp) const;
 
   /// Shared scatter-gather walk behind CollectDest/CollectSrc/
-  /// CollectRange: probes the masked shards, translates local to global
+  /// CollectRange: probes the masked shards (concurrently on the fan-out
+  /// pool when configured, else sequentially), translates local to global
   /// ids, counts boundary rows against `home`, and k-way merges by
-  /// (timestamp, gid). `mask` bit s selects shard s.
+  /// (timestamp, gid). `mask` bit s selects shard s. A probe that throws
+  /// (a remote shard down) is caught per shard; the call then raises one
+  /// dist::DistError(DST-E005) naming every missing shard — degraded
+  /// mode, never a hang.
   RangeScanBatch Gather(bool by_src, ObjectId key, uint64_t mask,
                         HostId home, TimeMicros begin, TimeMicros end) const;
 
@@ -170,6 +174,11 @@ class ShardedStore final : public StorageBackend {
 
   const ObjectCatalog* catalog_;
   DurationMicros partition_micros_;
+  /// Dedicated fan-out workers for Gather when
+  /// EventStoreOptions::dist_fanout_threads > 0 (remote shards); null =
+  /// sequential probes. Gathers running concurrently share the pool but
+  /// join on their own per-call latch, never on pool idleness.
+  std::unique_ptr<WorkerPool> fanout_pool_;
   std::vector<Shard> shards_;
   std::vector<RowMeta> meta_;  // indexed by global EventId
 

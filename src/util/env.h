@@ -21,8 +21,20 @@ namespace aptrace {
 ///                          spans (positive integer)
 ///   APTRACE_SHARDS         default store shard count (integer in [1, 64];
 ///                          1 = monolithic store, see docs/sharding.md)
+///   APTRACE_SHARD_ENDPOINTS
+///                          comma-separated remote shard daemon endpoints
+///                          ("host:port" or "unix:<path>"/"/abs/path"),
+///                          one per shard, for the distributed fabric
+///                          (docs/distribution.md); empty/unset keeps
+///                          shards in-process
+///   APTRACE_DIST_DEADLINE_MICROS
+///                          per-RPC deadline for remote shard calls in
+///                          wall micros (positive integer; unset uses the
+///                          built-in default)
 inline constexpr char kEnvBackend[] = "APTRACE_BACKEND";
 inline constexpr char kEnvShards[] = "APTRACE_SHARDS";
+inline constexpr char kEnvShardEndpoints[] = "APTRACE_SHARD_ENDPOINTS";
+inline constexpr char kEnvDistDeadlineMicros[] = "APTRACE_DIST_DEADLINE_MICROS";
 inline constexpr char kEnvLogLevel[] = "APTRACE_LOG_LEVEL";
 inline constexpr char kEnvServerSocket[] = "APTRACE_SERVER_SOCKET";
 inline constexpr char kEnvSlowQueryMicros[] = "APTRACE_SLOW_QUERY_MICROS";

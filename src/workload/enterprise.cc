@@ -13,6 +13,7 @@ std::unique_ptr<EventStore> BuildEnterpriseTrace(const TraceConfig& config) {
   EventStoreOptions store_options;
   store_options.backend = config.backend;
   store_options.shards = config.shards;
+  if (config.store_tweak) config.store_tweak(store_options);
   auto store = std::make_unique<EventStore>(store_options);
   TraceBuilder builder(store.get());
   Rng rng(config.seed);

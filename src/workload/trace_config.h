@@ -2,7 +2,9 @@
 #define APTRACE_WORKLOAD_TRACE_CONFIG_H_
 
 #include <cstdint>
+#include <functional>
 
+#include "storage/event_store.h"
 #include "storage/storage_backend.h"
 #include "util/clock.h"
 
@@ -29,6 +31,12 @@ struct TraceConfig {
   /// ids, timestamps, everything — are identical at any count
   /// (docs/sharding.md).
   size_t shards = DefaultShardCount();
+
+  /// Last-chance edit of the store options before the trace store is
+  /// constructed. The distributed benches use it to inject a remote
+  /// shard-backend factory (docs/distribution.md); the generated events
+  /// are identical with or without it.
+  std::function<void(EventStoreOptions&)> store_tweak;
 
   /// Fleet shape.
   int num_hosts = 12;

@@ -771,3 +771,171 @@ execute_process(
 if(NOT rc EQUAL 0 OR NOT out MATCHES "resumed from")
   message(FATAL_ERROR "matching-shard restore failed: rc=${rc} ${out}")
 endif()
+
+# ---------------------------------------------------------- distribution
+# Distributed shard fabric (docs/distribution.md): aptrace_fleet forks a
+# 4-daemon shardd fleet plus a coordinator serverd wired to it with one
+# --shard-endpoint= per daemon. The tentpole invariant: graphs served
+# over the fabric are byte-identical to `aptrace run` over the same
+# trace. Then the degraded-mode contract — SIGKILL one daemon, the next
+# query fails with a typed DST error while the coordinator stays up —
+# and the dist counters on the /metrics scrape surface. Every failure
+# path goes through dist_fail so no daemon outlives the test.
+if(DEFINED FLEET AND DEFINED SHARDD)
+
+set(FDIR ${WORKDIR}/fleet)
+set(FSOCKET ${WORKDIR}/fleet.sock)
+set(FLOG ${WORKDIR}/fleet.log)
+file(REMOVE ${FSOCKET} ${FLOG})
+file(REMOVE_RECURSE ${FDIR})
+file(MAKE_DIRECTORY ${FDIR})
+execute_process(
+  COMMAND sh -c "'${FLEET}' --shardd='${SHARDD}' --serverd='${SERVERD}' \
+                 --shards=4 --trace='${WORKDIR}/a2.tsv' --socket='${FSOCKET}' \
+                 --pid-dir='${FDIR}' \
+                 > '${FLOG}' 2>&1 & echo $! > '${WORKDIR}/fleet.pid'"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "failed to launch fleet: rc=${rc}")
+endif()
+file(READ ${WORKDIR}/fleet.pid FLEET_PID)
+string(STRIP "${FLEET_PID}" FLEET_PID)
+
+# Teardown that works from any failure point: TERM the launcher (it
+# forwards the signal to the coordinator and reaps its shardds on exit),
+# wait briefly, then force-kill stragglers via the pid files.
+macro(dist_teardown)
+  execute_process(COMMAND sh -c "\
+kill ${FLEET_PID} 2>/dev/null; \
+for i in $(seq 1 50); do kill -0 ${FLEET_PID} 2>/dev/null || break; sleep 0.1; done; \
+kill -9 ${FLEET_PID} 2>/dev/null; \
+for f in '${FDIR}'/shard*.pid; do [ -f \"$f\" ] && kill -9 $(cat \"$f\") 2>/dev/null; done; \
+true")
+endmacro()
+macro(dist_fail msg)
+  dist_teardown()
+  message(FATAL_ERROR "${msg}")
+endmacro()
+
+# The launcher logs the shardd endpoints, the coordinator announces the
+# fabric, then its usual ready line.
+set(ready FALSE)
+foreach(attempt RANGE 150)
+  if(EXISTS ${FLOG})
+    file(READ ${FLOG} fleetlog)
+    if(fleetlog MATCHES "serverd: ready")
+      set(ready TRUE)
+      break()
+    endif()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT ready)
+  file(READ ${FLOG} fleetlog)
+  dist_fail("distributed serverd never became ready: ${fleetlog}")
+endif()
+if(NOT fleetlog MATCHES "fleet: 4 shardd\\(s\\) ready"
+   OR NOT fleetlog MATCHES "distributed fabric: 4 remote shard")
+  dist_fail("fleet log missing fabric announcements: ${fleetlog}")
+endif()
+
+# The tentpole invariant: fabric-served graph bytes == `aptrace run`.
+execute_process(
+  COMMAND ${CLIENT} run --socket=${FSOCKET} --script=${WORKDIR}/a2.tsv.bdl
+          --json=${WORKDIR}/dist_served.json --quiet
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(NOT rc EQUAL 0 OR NOT EXISTS ${WORKDIR}/dist_served.json)
+  dist_fail("distributed client run failed: rc=${rc} ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files
+          ${WORKDIR}/row.json ${WORKDIR}/dist_served.json
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  dist_fail("fabric-served graph JSON differs from `aptrace run`")
+endif()
+
+# The dist counters are on the scrape surface: RPCs flowed, no shard has
+# been declared down yet.
+execute_process(
+  COMMAND ${CLIENT} http --socket=${FSOCKET} --path=/metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "aptrace_dist_rpcs_total [1-9]"
+   OR NOT out MATCHES "aptrace_store_shards 4")
+  dist_fail("distributed /metrics missing dist counters: rc=${rc} ${out}")
+endif()
+if(NOT out MATCHES "aptrace_dist_shard_down_total 0")
+  dist_fail("healthy fleet should report zero shards down: ${out}")
+endif()
+
+# Degraded mode: SIGKILL one daemon (no drain — its connections die
+# mid-stream). The next query must fail with a typed DST error, within
+# the client's bounded retry budget, and the coordinator must stay up.
+file(READ ${FDIR}/shard2.pid SHARD2_PID)
+string(STRIP "${SHARD2_PID}" SHARD2_PID)
+# No wait-for-exit here: the kernel closes the daemon's sockets at the
+# kill, and the corpse stays a zombie until the launcher reaps it — so
+# polling `kill -0` would spin forever.
+execute_process(COMMAND sh -c "kill -9 ${SHARD2_PID}" RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  dist_fail("failed to SIGKILL shardd 2: rc=${rc}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} run --socket=${FSOCKET} --script=${WORKDIR}/a2.tsv.bdl
+          --json=${WORKDIR}/dist_degraded.json
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out ERROR_VARIABLE err)
+if(rc EQUAL 0)
+  dist_fail("query over a killed shard should fail, not succeed: ${out}")
+endif()
+if(NOT "${out}${err}" MATCHES "DST-")
+  dist_fail("degraded query missing typed DST error: ${out}${err}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} http --socket=${FSOCKET} --path=/healthz
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "ok")
+  dist_fail("coordinator died with its shard: rc=${rc} ${out}")
+endif()
+execute_process(
+  COMMAND ${CLIENT} http --socket=${FSOCKET} --path=/metrics
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0 OR NOT out MATCHES "aptrace_dist_shard_down_total [1-9]"
+   OR NOT out MATCHES "aptrace_dist_retries_total [1-9]")
+  dist_fail("degraded /metrics missing shard-down accounting: rc=${rc} ${out}")
+endif()
+
+# Graceful teardown: shut the coordinator down through the client; the
+# launcher reaps the remaining shardds and exits with the coordinator's
+# code.
+execute_process(
+  COMMAND ${CLIENT} shutdown --socket=${FSOCKET}
+  RESULT_VARIABLE rc OUTPUT_VARIABLE out)
+if(NOT rc EQUAL 0)
+  dist_fail("distributed shutdown failed: rc=${rc} ${out}")
+endif()
+set(stopped FALSE)
+foreach(attempt RANGE 100)
+  execute_process(COMMAND sh -c "kill -0 ${FLEET_PID} 2>/dev/null"
+                  RESULT_VARIABLE rc)
+  if(NOT rc EQUAL 0)
+    set(stopped TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.1)
+endforeach()
+if(NOT stopped)
+  dist_fail("fleet launcher did not exit after coordinator shutdown")
+endif()
+foreach(shard RANGE 3)
+  if(EXISTS ${FDIR}/shard${shard}.pid)
+    file(READ ${FDIR}/shard${shard}.pid SPID)
+    string(STRIP "${SPID}" SPID)
+    execute_process(COMMAND sh -c "kill -0 ${SPID} 2>/dev/null"
+                    RESULT_VARIABLE rc)
+    if(rc EQUAL 0)
+      dist_fail("shardd ${shard} (pid ${SPID}) outlived the fleet")
+    endif()
+  endif()
+endforeach()
+
+endif()  # DEFINED FLEET AND DEFINED SHARDD

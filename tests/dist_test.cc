@@ -1,0 +1,455 @@
+// Distributed fabric, in-process layer: the shard-RPC codec, endpoint
+// grammar, ShardService dispatch, and ShardClient failure taxonomy —
+// everything below the process boundary (dist_fabric_test.cc covers real
+// daemons). The robustness cases pin the typed DST-E00x contract: garbage
+// frames, truncated payloads, identity mismatches at connect, and dead
+// endpoints each map to their documented code, never a hang or a crash.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/dist_error.h"
+#include "dist/remote_backend.h"
+#include "dist/shard_client.h"
+#include "dist/shard_codec.h"
+#include "dist/shard_service.h"
+#include "service/json.h"
+#include "service/server.h"
+#include "storage/columnar_backend.h"
+#include "storage/row_store_backend.h"
+
+namespace aptrace::dist {
+namespace {
+
+Event TestEvent(uint64_t i) {
+  Event e;
+  e.subject = 100 + i;
+  e.object = 200 + (i % 7);
+  e.timestamp = static_cast<TimeMicros>(10 * i + 5);
+  e.amount = 64 * (i + 1);
+  e.action = (i % 2) != 0u ? ActionType::kWrite : ActionType::kRead;
+  e.direction = ActionDefaultDirection(e.action);
+  e.host = static_cast<HostId>(i % 3);
+  e.id = i;
+  return e;
+}
+
+void ExpectSameEvent(const Event& a, const Event& b) {
+  EXPECT_EQ(a.subject, b.subject);
+  EXPECT_EQ(a.object, b.object);
+  EXPECT_EQ(a.timestamp, b.timestamp);
+  EXPECT_EQ(a.amount, b.amount);
+  EXPECT_EQ(a.action, b.action);
+  EXPECT_EQ(a.direction, b.direction);
+  EXPECT_EQ(a.host, b.host);
+}
+
+// ---------------------------------------------------------------- codec
+
+TEST(ShardCodec, Base64RoundTripsArbitraryBytes) {
+  std::string bytes;
+  for (int i = 0; i < 257; ++i) bytes.push_back(static_cast<char>(i % 256));
+  for (size_t len : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                     size_t{255}, bytes.size()}) {
+    const std::string in = bytes.substr(0, len);
+    auto out = Base64Decode(Base64Encode(in));
+    ASSERT_TRUE(out.ok()) << out.status();
+    EXPECT_EQ(out.value(), in) << "len=" << len;
+  }
+}
+
+TEST(ShardCodec, Base64RejectsGarbage) {
+  for (const char* bad : {"a", "ab!=", "====", "AAA\x01", "AB=C", "A==="}) {
+    EXPECT_FALSE(Base64Decode(bad).ok()) << bad;
+  }
+}
+
+TEST(ShardCodec, EventsRoundTrip) {
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 37; ++i) events.push_back(TestEvent(i));
+  const std::string bytes = EncodeEvents(events);
+  EXPECT_EQ(bytes.size(), events.size() * kShardEventBytes);
+  auto decoded = DecodeEvents(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    ExpectSameEvent(decoded.value()[i], events[i]);
+  }
+}
+
+TEST(ShardCodec, RowsRoundTripWithLocalIds) {
+  std::vector<Event> rows;
+  for (uint64_t i = 0; i < 11; ++i) {
+    Event e = TestEvent(i);
+    e.id = 1000 + 3 * i;  // sparse lids survive the trip
+    rows.push_back(e);
+  }
+  auto decoded = DecodeRows(EncodeRows(rows));
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  ASSERT_EQ(decoded->size(), rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(decoded.value()[i].id, rows[i].id);
+    ExpectSameEvent(decoded.value()[i], rows[i]);
+  }
+}
+
+TEST(ShardCodec, TruncatedPayloadsAreRejected) {
+  const std::string rows = EncodeRows({TestEvent(1), TestEvent(2)});
+  EXPECT_FALSE(DecodeRows(rows.substr(0, rows.size() - 1)).ok());
+  const std::string events = EncodeEvents({TestEvent(1)});
+  EXPECT_FALSE(DecodeEvents(events.substr(1)).ok());
+  EXPECT_FALSE(DecodeU64s("1234567").ok());  // 7 bytes
+}
+
+TEST(ShardCodec, U64sRoundTrip) {
+  const std::vector<uint64_t> values = {0, 1, ~uint64_t{0}, 42, 1u << 31};
+  auto decoded = DecodeU64s(EncodeU64s(values));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded.value(), values);
+}
+
+// ------------------------------------------------------------ endpoints
+
+TEST(ShardEndpoints, ParsesTcpUnixAndBarePaths) {
+  auto tcp = ParseShardEndpoint("127.0.0.1:9000");
+  ASSERT_TRUE(tcp.ok());
+  EXPECT_EQ(tcp->host, "127.0.0.1");
+  EXPECT_EQ(tcp->port, 9000);
+  EXPECT_TRUE(tcp->unix_path.empty());
+  EXPECT_EQ(tcp->ToString(), "127.0.0.1:9000");
+
+  auto uds = ParseShardEndpoint("unix:/tmp/shard0.sock");
+  ASSERT_TRUE(uds.ok());
+  EXPECT_EQ(uds->unix_path, "/tmp/shard0.sock");
+  EXPECT_EQ(uds->ToString(), "unix:/tmp/shard0.sock");
+
+  auto bare = ParseShardEndpoint("/var/run/shard1.sock");
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare->unix_path, "/var/run/shard1.sock");
+}
+
+TEST(ShardEndpoints, RejectsMalformedEntries) {
+  for (const char* bad :
+       {"", "localhost", "host:", "host:0", "host:65536", "host:abc",
+        "unix:", ":9000"}) {
+    EXPECT_FALSE(ParseShardEndpoint(bad).ok()) << "'" << bad << "'";
+  }
+}
+
+TEST(ShardEndpoints, CsvSplitsAndSkipsEmpties) {
+  auto eps =
+      ParseShardEndpoints("127.0.0.1:9000, localhost:9001 ,unix:/tmp/s2");
+  ASSERT_TRUE(eps.ok()) << eps.status();
+  ASSERT_EQ(eps->size(), 3u);
+  EXPECT_EQ((*eps)[0].port, 9000);
+  EXPECT_EQ((*eps)[1].host, "localhost");
+  EXPECT_EQ((*eps)[2].unix_path, "/tmp/s2");
+  EXPECT_FALSE(ParseShardEndpoints("").ok());
+  EXPECT_FALSE(ParseShardEndpoints(",,").ok());
+  EXPECT_FALSE(ParseShardEndpoints("127.0.0.1:9000,bogus").ok());
+}
+
+// --------------------------------------------------------- ShardService
+
+class ShardServiceTest : public testing::Test {
+ protected:
+  ShardServiceTest()
+      : service_(7,
+                 std::make_unique<RowStoreBackend>(CostModel{},
+                                                   /*partition_micros=*/50)) {}
+
+  service::JsonValue Handle(const std::string& line) {
+    bool shutdown = false;
+    auto parsed = service::ParseJson(service_.HandleLine(line, &shutdown));
+    EXPECT_TRUE(parsed.ok()) << parsed.status();
+    return parsed.ok() ? std::move(parsed.value()) : service::JsonValue{};
+  }
+
+  std::string AppendRequest(const std::vector<Event>& events,
+                            uint64_t first_lid) {
+    obs::JsonDict d;
+    d.Add("op", "shard.append");
+    d.Add("rows", Base64Encode(EncodeEvents(events)));
+    d.Add("count", static_cast<uint64_t>(events.size()));
+    d.Add("first_lid", first_lid);
+    return d.Str();
+  }
+
+  ShardService service_;
+};
+
+TEST_F(ShardServiceTest, HelloAdvertisesIdentity) {
+  const auto resp = Handle("{\"op\":\"shard.hello\"}");
+  EXPECT_TRUE(resp.GetBool("ok"));
+  EXPECT_EQ(resp.GetString("proto"), kShardProto);
+  EXPECT_EQ(resp.GetUint("shard"), 7u);
+  EXPECT_EQ(resp.GetString("backend"), "row");
+  EXPECT_EQ(resp.GetUint("events"), 0u);
+  EXPECT_FALSE(resp.GetBool("sealed", true));
+}
+
+TEST_F(ShardServiceTest, AppendSealCollectRoundTrip) {
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 20; ++i) events.push_back(TestEvent(i));
+  const auto appended = Handle(AppendRequest(events, 0));
+  ASSERT_TRUE(appended.GetBool("ok")) << appended.GetString("error");
+  EXPECT_EQ(appended.GetUint("appended"), events.size());
+
+  const auto sealed = Handle("{\"op\":\"shard.seal\"}");
+  ASSERT_TRUE(sealed.GetBool("ok"));
+  EXPECT_EQ(sealed.GetUint("events"), events.size());
+
+  // Collect must agree with a local backend fed the same rows.
+  RowStoreBackend local(CostModel{}, 50);
+  for (const Event& e : events) local.Append(e);
+  local.Seal();
+  const RangeScanBatch want = local.CollectDest(events[3].FlowDest(), 0, 500);
+
+  obs::JsonDict req;
+  req.Add("op", "shard.collect_dest");
+  req.Add("key", static_cast<uint64_t>(events[3].FlowDest()));
+  req.Add("begin", int64_t{0});
+  req.Add("end", int64_t{500});
+  const auto resp = Handle(req.Str());
+  ASSERT_TRUE(resp.GetBool("ok")) << resp.GetString("error");
+  auto bytes = Base64Decode(resp.GetString("rows"));
+  ASSERT_TRUE(bytes.ok());
+  auto rows = DecodeRows(bytes.value());
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), want.rows.size());
+  EXPECT_EQ(resp.GetUint("count"), want.rows.size());
+  EXPECT_EQ(resp.GetUint("probed"), want.partitions_probed);
+  for (size_t i = 0; i < want.rows.size(); ++i) {
+    EXPECT_EQ(rows.value()[i].id, want.rows[i]);
+    ExpectSameEvent(rows.value()[i],
+                    events[static_cast<size_t>(want.rows[i])]);
+  }
+}
+
+TEST_F(ShardServiceTest, AppendLidMismatchIsTypedE007) {
+  const auto resp = Handle(AppendRequest({TestEvent(0)}, /*first_lid=*/5));
+  EXPECT_FALSE(resp.GetBool("ok", true));
+  EXPECT_EQ(resp.GetString("code"), kDistErrAppend);
+}
+
+TEST_F(ShardServiceTest, MalformedFramesAreTypedE003) {
+  // Garbage, non-object, unknown op, missing payload, count mismatch,
+  // truncated base64 — each a DST-E003, none a crash.
+  for (const std::string& line :
+       {std::string("not json at all"), std::string("[1,2,3]"),
+        std::string("{\"op\":\"shard.bogus\"}"),
+        std::string("{\"op\":\"shard.append\",\"count\":1}"),
+        std::string("{\"op\":\"shard.append\",\"rows\":\"AAAA\","
+                    "\"count\":7,\"first_lid\":0}"),
+        std::string("{\"op\":\"shard.fetch\",\"lids\":\"!!!\","
+                    "\"count\":1}")}) {
+    bool shutdown = false;
+    auto parsed =
+        service::ParseJson(service_.HandleLine(line, &shutdown));
+    ASSERT_TRUE(parsed.ok()) << line;
+    EXPECT_FALSE(parsed->GetBool("ok", true)) << line;
+    EXPECT_EQ(parsed->GetString("code"), kDistErrProtocol) << line;
+  }
+}
+
+TEST_F(ShardServiceTest, FetchOfUnknownLidIsTyped) {
+  ASSERT_TRUE(Handle(AppendRequest({TestEvent(0)}, 0)).GetBool("ok"));
+  obs::JsonDict req;
+  req.Add("op", "shard.fetch");
+  req.Add("lids", Base64Encode(EncodeU64s({99})));
+  req.Add("count", uint64_t{1});
+  const auto resp = Handle(req.Str());
+  EXPECT_FALSE(resp.GetBool("ok", true));
+  EXPECT_EQ(resp.GetString("code"), kDistErrProtocol);
+}
+
+TEST_F(ShardServiceTest, ShutdownOpRequestsDrain) {
+  bool shutdown = false;
+  service_.HandleLine("{\"op\":\"shard.shutdown\"}", &shutdown);
+  EXPECT_TRUE(shutdown);
+}
+
+// ----------------------------------------------------- ShardClient (TCP)
+
+/// One in-process shard daemon: a real service::Server (ephemeral TCP)
+/// around a ShardService — the full wire path without fork/exec.
+class InProcessShardd {
+ public:
+  explicit InProcessShardd(uint32_t shard,
+                           StorageBackendKind kind = StorageBackendKind::kRow)
+      : service_(shard, MakeBackend(kind)),
+        server_(
+            [this](const std::string& line, bool* shutdown) {
+              return service_.HandleLine(line, shutdown);
+            },
+            nullptr, Options()) {
+    auto s = server_.Start();
+    EXPECT_TRUE(s.ok()) << s;
+  }
+  ~InProcessShardd() { server_.Shutdown(); }
+
+  ShardEndpoint endpoint() const {
+    ShardEndpoint ep;
+    ep.host = "127.0.0.1";
+    ep.port = server_.port();
+    return ep;
+  }
+  ShardService& service() { return service_; }
+
+ private:
+  static std::unique_ptr<StorageBackend> MakeBackend(
+      StorageBackendKind kind) {
+    if (kind == StorageBackendKind::kColumnar) {
+      return std::make_unique<ColumnarSegmentBackend>(CostModel{}, 16);
+    }
+    return std::make_unique<RowStoreBackend>(CostModel{}, 50);
+  }
+  static service::ServerOptions Options() {
+    service::ServerOptions o;
+    o.tcp_port = 0;
+    return o;
+  }
+  ShardService service_;
+  service::Server server_;
+};
+
+ShardClientOptions FastFail() {
+  ShardClientOptions o;
+  o.deadline_micros = 2'000'000;
+  o.max_attempts = 2;
+  o.retry_backoff_micros = 1'000;
+  return o;
+}
+
+TEST(ShardClient, CallRoundTripsOverTcp) {
+  InProcessShardd shardd(3);
+  ShardClient client(shardd.endpoint(), 3, StorageBackendKind::kRow,
+                     FastFail());
+  const auto hello = client.Call("shard.hello");
+  EXPECT_EQ(hello.GetUint("shard"), 3u);
+  // The pooled connection is reused; a second call still answers.
+  const auto snap = client.Call("shard.snapshot");
+  EXPECT_EQ(snap.GetUint("events"), 0u);
+}
+
+TEST(ShardClient, WrongShardIdentityIsE004AndNeverRetried) {
+  InProcessShardd shardd(0);
+  // The client expects shard 1; the daemon at this endpoint is shard 0 —
+  // a miswired fleet must fail the handshake, not serve crossed data.
+  ShardClient client(shardd.endpoint(), 1, StorageBackendKind::kRow,
+                     FastFail());
+  try {
+    client.Call("shard.hello");
+    FAIL() << "expected DistError";
+  } catch (const DistError& e) {
+    EXPECT_EQ(e.code(), std::string(kDistErrIdentity)) << e.what();
+  }
+}
+
+TEST(ShardClient, WrongBackendIdentityIsE004) {
+  InProcessShardd shardd(2, StorageBackendKind::kColumnar);
+  ShardClient client(shardd.endpoint(), 2, StorageBackendKind::kRow,
+                     FastFail());
+  try {
+    client.Call("shard.hello");
+    FAIL() << "expected DistError";
+  } catch (const DistError& e) {
+    EXPECT_EQ(e.code(), std::string(kDistErrIdentity)) << e.what();
+  }
+}
+
+TEST(ShardClient, EventCountPinMismatchIsE004) {
+  InProcessShardd shardd(4);
+  ShardClientOptions options = FastFail();
+  options.expect_events = 123;  // the daemon is empty
+  ShardClient client(shardd.endpoint(), 4, StorageBackendKind::kRow,
+                     options);
+  try {
+    client.Call("shard.hello");
+    FAIL() << "expected DistError";
+  } catch (const DistError& e) {
+    EXPECT_EQ(e.code(), std::string(kDistErrIdentity)) << e.what();
+  }
+}
+
+TEST(ShardClient, DeadEndpointExhaustsRetriesToE005) {
+  // Bind an ephemeral port, note it, close it: dialing it now refuses.
+  ShardEndpoint dead;
+  dead.host = "127.0.0.1";
+  {
+    InProcessShardd ephemeral(0);
+    dead.port = ephemeral.endpoint().port;
+  }
+  ShardClient client(dead, 0, StorageBackendKind::kRow, FastFail());
+  try {
+    client.Call("shard.hello");
+    FAIL() << "expected DistError";
+  } catch (const DistError& e) {
+    EXPECT_EQ(e.code(), std::string(kDistErrUnavailable)) << e.what();
+    EXPECT_NE(std::string(e.what()).find("2 attempt"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(ShardClient, RemoteOpErrorPropagatesWithoutRetry) {
+  InProcessShardd shardd(5);
+  ShardClient client(shardd.endpoint(), 5, StorageBackendKind::kRow,
+                     FastFail());
+  obs::JsonDict req;
+  req.Add("rows", Base64Encode(EncodeEvents({TestEvent(0)})));
+  req.Add("count", uint64_t{1});
+  req.Add("first_lid", uint64_t{9});  // shard is empty: lid mismatch
+  try {
+    client.Call("shard.append", req);
+    FAIL() << "expected DistError";
+  } catch (const DistError& e) {
+    EXPECT_EQ(e.code(), std::string(kDistErrAppend)) << e.what();
+  }
+}
+
+// ----------------------------------------------- RemoteShardBackend
+
+TEST(RemoteShardBackend, MirrorsALocalBackendExactly) {
+  InProcessShardd shardd(1);
+  auto client = std::make_shared<ShardClient>(
+      shardd.endpoint(), 1, StorageBackendKind::kRow, FastFail());
+  RemoteShardBackend remote(client, StorageBackendKind::kRow, CostModel{});
+  RowStoreBackend local(CostModel{}, 50);
+
+  std::vector<Event> events;
+  for (uint64_t i = 0; i < 600; ++i) events.push_back(TestEvent(i));
+  for (const Event& e : events) {
+    EXPECT_EQ(remote.Append(e), local.Append(e));
+  }
+  remote.Seal();
+  local.Seal();
+  ASSERT_EQ(remote.NumEvents(), local.NumEvents());
+
+  for (const Event& probe : {events[3], events[17], events[599]}) {
+    const RangeScanBatch a =
+        remote.CollectDest(probe.FlowDest(), 0, 10'000);
+    const RangeScanBatch b = local.CollectDest(probe.FlowDest(), 0, 10'000);
+    EXPECT_EQ(a.rows, b.rows);
+    EXPECT_EQ(a.partitions_probed, b.partitions_probed);
+    const RangeScanBatch c = remote.CollectSrc(probe.FlowSource(), 0, 3000);
+    const RangeScanBatch d = local.CollectSrc(probe.FlowSource(), 0, 3000);
+    EXPECT_EQ(c.rows, d.rows);
+  }
+  const RangeScanBatch a = remote.CollectRange(100, 4000);
+  const RangeScanBatch b = local.CollectRange(100, 4000);
+  EXPECT_EQ(a.rows, b.rows);
+
+  for (const EventId lid : {EventId{0}, EventId{57}, EventId{599}}) {
+    ExpectSameEvent(remote.Get(lid), local.Get(lid));
+  }
+  EXPECT_EQ(remote.HasIncomingWrite(events[0].FlowDest(), 0, 10'000),
+            local.HasIncomingWrite(events[0].FlowDest(), 0, 10'000));
+  EXPECT_EQ(remote.FlowDestsOf(events[0].FlowSource(), 0, 10'000),
+            local.FlowDestsOf(events[0].FlowSource(), 0, 10'000));
+}
+
+}  // namespace
+}  // namespace aptrace::dist

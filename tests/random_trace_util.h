@@ -33,11 +33,14 @@ struct RandomTrace {
 /// there is something to explore). The optional backend override pins
 /// the physical layout (default: APTRACE_BACKEND env var, else row) and
 /// `shards` the shard count (default: APTRACE_SHARDS env var, else 1);
-/// the generated events are identical in every configuration.
+/// the generated events are identical in every configuration. `tweak`
+/// (when set) edits the store options last — the distributed fabric
+/// tests use it to inject remote shard-backend factories.
 inline RandomTrace MakeRandomTrace(
     uint64_t seed, size_t num_events,
     StorageBackendKind backend = DefaultStorageBackendKind(),
-    size_t shards = DefaultShardCount()) {
+    size_t shards = DefaultShardCount(),
+    const std::function<void(EventStoreOptions&)>& tweak = nullptr) {
   RandomTrace t;
   EventStoreOptions options;
   options.partition_micros = 500;  // many partitions
@@ -45,6 +48,7 @@ inline RandomTrace MakeRandomTrace(
   options.cost_model = CostModel::Free();
   options.backend = backend;
   options.shards = shards;
+  if (tweak) tweak(options);
   t.store = std::make_unique<EventStore>(options);
   auto& c = t.store->catalog();
   Rng rng(seed);

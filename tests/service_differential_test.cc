@@ -17,6 +17,9 @@
 #include <vector>
 
 #include "core/session.h"
+#include "dist/fleet.h"
+#include "dist/remote_backend.h"
+#include "dist/shard_client.h"
 #include "graph/json_writer.h"
 #include "service/session_manager.h"
 #include "storage/file_env.h"
@@ -415,6 +418,86 @@ TEST_P(ServiceDifferential, ShardedDurableIngestCrashRecover) {
     which++;
   }
   manager.StopAndJoin();
+}
+
+// Distributed axis: the same concurrent-session oracle, but the store's
+// shards are RemoteShardBackends talking to a real 4-daemon shardd fleet
+// (docs/distribution.md). Every daemon-served graph must stay
+// byte-identical to a sequential run over the monolithic in-process
+// store, at session scan-thread counts {1, 4}, both backends.
+TEST_P(ServiceDifferential, DistributedSessionsBitIdenticalToMonolithic) {
+  const StorageBackendKind backend = GetParam();
+  dist::FleetOptions fleet_options;
+  fleet_options.shardd_bin = APTRACE_SHARDD_BIN;
+  fleet_options.shards = 4;
+  fleet_options.backend = backend;
+  // Match MakeRandomTrace's layout knobs so the remote shards build the
+  // same partition structure as the in-process reference.
+  if (backend == StorageBackendKind::kColumnar) {
+    fleet_options.extra_args = {"--segment-rows=64"};
+  } else {
+    fleet_options.extra_args = {"--partition-micros=500"};
+  }
+  auto fleet = dist::ShardFleet::Launch(fleet_options);
+  ASSERT_TRUE(fleet.ok()) << fleet.status();
+  std::vector<dist::ShardEndpoint> endpoints;
+  for (const dist::ShardProcess& p : fleet.value()->shards()) {
+    auto ep = dist::ParseShardEndpoint(p.endpoint);
+    ASSERT_TRUE(ep.ok()) << ep.status();
+    endpoints.push_back(std::move(ep).value());
+  }
+
+  const RandomTrace mono = MakeRandomTrace(97, 400, backend, 1);
+  const RandomTrace t = MakeRandomTrace(
+      97, 400, backend, endpoints.size(),
+      [&endpoints](EventStoreOptions& options) {
+        options.dist_fanout_threads = endpoints.size();
+        options.shard_backend_factory =
+            [&endpoints](size_t shard, const EventStoreOptions& o)
+            -> std::unique_ptr<StorageBackend> {
+          auto client = std::make_shared<dist::ShardClient>(
+              endpoints[shard], static_cast<uint32_t>(shard), o.backend);
+          return std::make_unique<dist::RemoteShardBackend>(
+              std::move(client), o.backend, o.cost_model);
+        };
+      });
+  const std::vector<std::string> variants = SpecVariants(mono);
+
+  for (const int scan_threads : {1, 4}) {
+    std::vector<std::string> expected;
+    expected.reserve(variants.size());
+    for (const std::string& script : variants) {
+      expected.push_back(DirectRunGraph(mono, script, scan_threads));
+    }
+
+    ServiceLimits limits;
+    limits.quantum_windows = 2;
+    limits.scan_threads = 4;
+    SessionManager manager(t.store.get(), limits);
+    std::vector<uint64_t> ids;
+    for (const std::string& script : variants) {
+      OpenOptions opts;
+      opts.start_event = t.alert.id;
+      opts.scan_threads = scan_threads;
+      auto id = manager.Open(script, opts);
+      ASSERT_TRUE(id.ok()) << id.status();
+      ids.push_back(id.value());
+    }
+    ASSERT_TRUE(manager.WaitAllTerminal(120'000'000));
+
+    for (size_t i = 0; i < ids.size(); ++i) {
+      auto poll = manager.Poll(ids[i], 0, 0);
+      ASSERT_TRUE(poll.ok());
+      EXPECT_EQ(poll->state, SessionState::kDone)
+          << "variant " << i << ": " << poll->detail;
+      auto graph = manager.GraphJson(ids[i]);
+      ASSERT_TRUE(graph.ok());
+      EXPECT_EQ(graph.value(), expected[i])
+          << "variant " << i << " threads=" << scan_threads
+          << " backend=" << StorageBackendName(backend);
+    }
+    manager.StopAndJoin();
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, ServiceDifferential,

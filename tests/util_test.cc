@@ -388,10 +388,44 @@ TEST(EnvTest, GetValidatedEnvCountAcceptsOnlyUnsignedIntegers) {
 TEST(EnvTest, KnobNamesAreStable) {
   // The names are part of the documented interface (README, --help).
   EXPECT_STREQ(kEnvBackend, "APTRACE_BACKEND");
+  EXPECT_STREQ(kEnvShards, "APTRACE_SHARDS");
+  EXPECT_STREQ(kEnvShardEndpoints, "APTRACE_SHARD_ENDPOINTS");
+  EXPECT_STREQ(kEnvDistDeadlineMicros, "APTRACE_DIST_DEADLINE_MICROS");
   EXPECT_STREQ(kEnvLogLevel, "APTRACE_LOG_LEVEL");
   EXPECT_STREQ(kEnvServerSocket, "APTRACE_SERVER_SOCKET");
   EXPECT_STREQ(kEnvSlowQueryMicros, "APTRACE_SLOW_QUERY_MICROS");
   EXPECT_STREQ(kEnvFlightBuffer, "APTRACE_FLIGHT_BUFFER");
+}
+
+TEST(EnvTest, DistributionKnobsReadThroughValidatedEnv) {
+  // The distribution knobs go through the warn-once validated readers:
+  // a bad value warns exactly once and reads as unset, a good value
+  // passes through (docs/distribution.md).
+  ResetEnvWarningsForTest();
+  const uint64_t base = EnvWarningCountForTest();
+  const auto nonempty = [](const std::string& v) { return !v.empty(); };
+
+  setenv(kEnvShardEndpoints, "", 1);
+  EXPECT_EQ(GetValidatedEnv(kEnvShardEndpoints, nonempty,
+                            "a comma-separated shard endpoint list"),
+            std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), base + 1);
+  setenv(kEnvShardEndpoints, "127.0.0.1:7701,unix:/tmp/s1.sock", 1);
+  EXPECT_EQ(GetValidatedEnv(kEnvShardEndpoints, nonempty,
+                            "a comma-separated shard endpoint list"),
+            std::string("127.0.0.1:7701,unix:/tmp/s1.sock"));
+  EXPECT_EQ(EnvWarningCountForTest(), base + 1);
+
+  setenv(kEnvDistDeadlineMicros, "soon", 1);
+  EXPECT_EQ(GetValidatedEnvCount(kEnvDistDeadlineMicros), std::nullopt);
+  EXPECT_EQ(EnvWarningCountForTest(), base + 2);
+  setenv(kEnvDistDeadlineMicros, "2500000", 1);
+  EXPECT_EQ(GetValidatedEnvCount(kEnvDistDeadlineMicros), 2500000u);
+  EXPECT_EQ(EnvWarningCountForTest(), base + 2);
+
+  unsetenv(kEnvShardEndpoints);
+  unsetenv(kEnvDistDeadlineMicros);
+  ResetEnvWarningsForTest();
 }
 
 TEST(StringUtilTest, JsonEscape) {

@@ -1,0 +1,249 @@
+// aptrace_fleet — one-command launcher for a distributed APTrace fleet:
+// N shard daemons plus the coordinator, wired together, torn down as one.
+//
+//   aptrace_fleet --shardd=<bin> --serverd=<bin> --trace=<file> [options]
+//       [-- <extra serverd flags>]
+//     Launches --shards=N aptrace_shardd daemons on ephemeral loopback
+//     ports, waits for each ready line, then runs aptrace_serverd with
+//     one --shard-endpoint= per daemon (plus anything after `--`). The
+//     coordinator's stdout/stderr pass through, so scripts can still
+//     wait for its "serverd: ready" line. When the coordinator exits —
+//     or the launcher gets SIGINT/SIGTERM, which it forwards — the whole
+//     shard fleet is SIGTERMed, reaped with a short grace period, and
+//     SIGKILLed if stuck. The launcher's exit code is the coordinator's.
+//         --shardd=<bin>      path to aptrace_shardd (required)
+//         --serverd=<bin>     path to aptrace_serverd (required unless
+//                             --no-serverd)
+//         --shards=N          fleet size (default 4)
+//         --backend=row|columnar
+//                             backend hosted by every shardd and assumed
+//                             by the coordinator (default: APTRACE_BACKEND
+//                             env var, else row)
+//         --trace=<file>      trace the coordinator loads (forwarded)
+//         --tcp-port=N        coordinator TCP listener (forwarded;
+//                             default 0 = ephemeral)
+//         --socket=<path>     coordinator unix listener (forwarded)
+//         --data-dir=<dir>    per-shard durability: shard N journals to
+//                             <dir>/shard<N>/wal.log
+//         --pid-dir=<dir>     write shard<N>.pid files (cli_smoke's
+//                             kill-one-shard test reads these)
+//         --no-serverd        only launch the shard fleet; print the
+//                             endpoint CSV on stdout and wait for a
+//                             signal (CI uses this to compose its own
+//                             coordinator invocation)
+//
+// CI's Release-distributed leg runs exactly this binary: 1 coordinator +
+// 4 shardds (docs/distribution.md).
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dist/fleet.h"
+#include "storage/storage_backend.h"
+
+namespace aptrace {
+namespace {
+
+struct Flags {
+  std::string shardd_bin;
+  std::string serverd_bin;
+  std::string trace_path;
+  std::string socket_path;
+  std::string data_dir;
+  std::string pid_dir;
+  int tcp_port = 0;
+  size_t shards = 4;
+  StorageBackendKind backend = DefaultStorageBackendKind();
+  bool no_serverd = false;
+  std::vector<std::string> serverd_extra;
+  bool ok = true;
+};
+
+bool TakeValue(const char* arg, const char* name, std::string* out) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') {
+    *out = arg + n + 1;
+    return true;
+  }
+  return false;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aptrace_fleet --shardd=<bin> --serverd=<bin> "
+               "--trace=<file> [--shards=N] [--backend=row|columnar] "
+               "[flags] [-- <serverd flags>]\n"
+               "  see the header comment of tools/aptrace_fleet.cc or "
+               "docs/distribution.md\n");
+  return 2;
+}
+
+Flags ParseFlags(int argc, char** argv) {
+  Flags f;
+  std::string v;
+  bool passthrough = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (passthrough) {
+      f.serverd_extra.push_back(a);
+      continue;
+    }
+    if (std::strcmp(a, "--") == 0) {
+      passthrough = true;
+      continue;
+    }
+    if (TakeValue(a, "--shardd", &f.shardd_bin) ||
+        TakeValue(a, "--serverd", &f.serverd_bin) ||
+        TakeValue(a, "--trace", &f.trace_path) ||
+        TakeValue(a, "--socket", &f.socket_path) ||
+        TakeValue(a, "--data-dir", &f.data_dir) ||
+        TakeValue(a, "--pid-dir", &f.pid_dir)) {
+      continue;
+    }
+    if (std::strcmp(a, "--no-serverd") == 0) {
+      f.no_serverd = true;
+    } else if (TakeValue(a, "--shards", &v)) {
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 1 ||
+          n > static_cast<long>(kMaxStoreShards)) {
+        std::fprintf(stderr,
+                     "--shards: error[CLI-E005]: expected a shard count in "
+                     "[1, 64], got '%s'\n",
+                     v.c_str());
+        f.ok = false;
+      } else {
+        f.shards = static_cast<size_t>(n);
+      }
+    } else if (TakeValue(a, "--tcp-port", &v)) {
+      char* end = nullptr;
+      const long n = std::strtol(v.c_str(), &end, 10);
+      if (v.empty() || *end != '\0' || n < 0 || n > 65535) {
+        std::fprintf(stderr,
+                     "--tcp-port: error[CLI-E001]: '%s' is not a valid "
+                     "TCP port\n",
+                     v.c_str());
+        f.ok = false;
+      } else {
+        f.tcp_port = static_cast<int>(n);
+      }
+    } else if (TakeValue(a, "--backend", &v)) {
+      const auto parsed = ParseStorageBackendKind(v);
+      if (!parsed.has_value()) {
+        std::fprintf(stderr,
+                     "--backend: error[CLI-E002]: expected 'row' or "
+                     "'columnar', got '%s'\n",
+                     v.c_str());
+        f.ok = false;
+      } else {
+        f.backend = *parsed;
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", a);
+      f.ok = false;
+    }
+  }
+  return f;
+}
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void OnSignal(int sig) { g_signalled = sig; }
+
+int Main(int argc, char** argv) {
+  const Flags flags = ParseFlags(argc, argv);
+  if (!flags.ok || flags.shardd_bin.empty() ||
+      (!flags.no_serverd && flags.serverd_bin.empty())) {
+    return Usage();
+  }
+
+  dist::FleetOptions fleet_options;
+  fleet_options.shardd_bin = flags.shardd_bin;
+  fleet_options.shards = flags.shards;
+  fleet_options.backend = flags.backend;
+  fleet_options.data_dir = flags.data_dir;
+  fleet_options.pid_dir = flags.pid_dir;
+  auto fleet = dist::ShardFleet::Launch(fleet_options);
+  if (!fleet.ok()) {
+    std::fprintf(stderr, "fleet: %s\n", fleet.status().ToString().c_str());
+    return 1;
+  }
+  const std::string endpoints = fleet.value()->EndpointsCsv();
+  std::fprintf(stderr, "fleet: %zu shardd(s) ready: %s\n", flags.shards,
+               endpoints.c_str());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+
+  if (flags.no_serverd) {
+    // Endpoint CSV on stdout is the machine-readable contract here, the
+    // same shape APTRACE_SHARD_ENDPOINTS consumes.
+    std::printf("fleet: endpoints %s\n", endpoints.c_str());
+    std::fflush(stdout);
+    while (g_signalled == 0) usleep(100'000);
+    return 0;  // ~ShardFleet tears the daemons down
+  }
+
+  // Coordinator argv: binary, fleet wiring, then the pass-through flags.
+  std::vector<std::string> args;
+  args.push_back(flags.serverd_bin);
+  for (const auto& shard : fleet.value()->shards()) {
+    args.push_back("--shard-endpoint=" + shard.endpoint);
+  }
+  args.push_back("--backend=" +
+                 std::string(StorageBackendName(flags.backend)));
+  if (!flags.trace_path.empty()) args.push_back("--trace=" + flags.trace_path);
+  if (!flags.socket_path.empty()) {
+    args.push_back("--socket=" + flags.socket_path);
+  }
+  args.push_back("--tcp-port=" + std::to_string(flags.tcp_port));
+  for (const auto& extra : flags.serverd_extra) args.push_back(extra);
+
+  const pid_t serverd_pid = fork();
+  if (serverd_pid < 0) {
+    std::fprintf(stderr, "fleet: fork: %s\n", std::strerror(errno));
+    return 1;
+  }
+  if (serverd_pid == 0) {
+    std::vector<char*> argv_exec;
+    argv_exec.reserve(args.size() + 1);
+    for (auto& s : args) argv_exec.push_back(s.data());
+    argv_exec.push_back(nullptr);
+    execv(argv_exec[0], argv_exec.data());
+    std::fprintf(stderr, "fleet: exec %s: %s\n", argv_exec[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+
+  // Wait for the coordinator, forwarding any signal we get so its drain
+  // (and the drain snapshot) runs before the shard fleet goes away.
+  int wstatus = 0;
+  for (;;) {
+    if (g_signalled != 0) {
+      kill(serverd_pid, static_cast<int>(g_signalled));
+      g_signalled = 0;
+    }
+    const pid_t reaped = waitpid(serverd_pid, &wstatus, WNOHANG);
+    if (reaped == serverd_pid) break;
+    if (reaped < 0 && errno != EINTR) break;
+    usleep(50'000);
+  }
+  fleet.value()->Terminate();
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  if (WIFSIGNALED(wstatus)) return 128 + WTERMSIG(wstatus);
+  return 1;
+}
+
+}  // namespace
+}  // namespace aptrace
+
+int main(int argc, char** argv) { return aptrace::Main(argc, argv); }

@@ -14,6 +14,19 @@
 //                             APTRACE_SHARDS env var, else 1); scans
 //                             scatter-gather across (host, time) shards,
 //                             /sessions lists one row per shard
+//         --shard-endpoint=<ep>
+//                             distributed fabric (docs/distribution.md):
+//                             repeat once per shard daemon ("host:port",
+//                             "unix:<path>", or a comma-separated list;
+//                             default: APTRACE_SHARD_ENDPOINTS env var).
+//                             The store becomes a coordinator over N
+//                             remote shards — scans fan out concurrently
+//                             over the shard-RPC protocol and a dead
+//                             daemon degrades to a typed DST-E005 error,
+//                             never a hang. Incompatible with --data-dir
+//                             (durability lives in each shardd's
+//                             --data-dir); an explicit --shards must
+//                             match the endpoint count.
 //         --max-sessions=N    live-session admission cap (default 8)
 //         --quantum=N         windows per scheduling quantum (default 8)
 //         --window-budget=N   default per-session window budget (0 = off)
@@ -61,6 +74,7 @@
 //   boundary, and the process exits 0. On start the daemon prints one
 //   "serverd: ready" line to stdout so scripts can wait for it.
 
+#include <algorithm>
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -69,7 +83,11 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
+#include "dist/dist_error.h"
+#include "dist/remote_backend.h"
+#include "dist/shard_client.h"
 #include "obs/trace.h"
 #include "service/server.h"
 #include "service/session_manager.h"
@@ -91,6 +109,8 @@ struct Flags {
   int tcp_port = -1;
   StorageBackendKind backend = DefaultStorageBackendKind();
   size_t shards = DefaultShardCount();
+  bool shards_set = false;  // explicit --shards must match endpoints
+  std::vector<std::string> shard_endpoints;
   service::ServiceLimits limits;
   bool ok = true;
 };
@@ -185,6 +205,16 @@ Flags ParseFlags(int argc, char** argv) {
         f.ok = false;
       } else {
         f.shards = static_cast<size_t>(n);
+        f.shards_set = true;
+      }
+    } else if (TakeValue(a, "--shard-endpoint", &v)) {
+      if (v.empty()) {
+        std::fprintf(stderr,
+                     "--shard-endpoint: error[CLI-E006]: expected "
+                     "'host:port' or 'unix:<path>'\n");
+        f.ok = false;
+      } else {
+        f.shard_endpoints.push_back(v);
       }
     } else if (TakeValue(a, "--max-sessions", &v)) {
       if (ParseCount("--max-sessions", v, 1, &n)) {
@@ -270,6 +300,16 @@ Flags ParseFlags(int argc, char** argv) {
       f.ok = false;
     }
   }
+  // Flags win over the env var; the var is the zero-flag path CI's fleet
+  // launcher uses (warn-once validation through the shared helper).
+  if (f.shard_endpoints.empty()) {
+    if (auto eps = GetValidatedEnv(
+            kEnvShardEndpoints,
+            [](const std::string& value) { return !value.empty(); },
+            "a comma-separated shard endpoint list")) {
+      f.shard_endpoints.push_back(*eps);
+    }
+  }
   return f;
 }
 
@@ -299,9 +339,62 @@ int Main(int argc, char** argv) {
   }
   obs::Tracer::Global().SetEnabled(true);
 
+  // Distributed fabric: each store shard becomes a RemoteShardBackend
+  // talking to its own shard daemon; shard count is the endpoint count.
+  std::shared_ptr<std::vector<dist::ShardEndpoint>> endpoints;
+  if (!flags.shard_endpoints.empty()) {
+    std::string csv;
+    for (const std::string& e : flags.shard_endpoints) {
+      if (!csv.empty()) csv += ',';
+      csv += e;
+    }
+    auto parsed = dist::ParseShardEndpoints(csv);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "--shard-endpoint: error[CLI-E006]: %s\n",
+                   parsed.status().message().c_str());
+      return 2;
+    }
+    if (!flags.data_dir.empty()) {
+      std::fprintf(stderr,
+                   "--shard-endpoint: error[CLI-E006]: incompatible with "
+                   "--data-dir (run each shardd with its own --data-dir "
+                   "instead)\n");
+      return 2;
+    }
+    if (flags.shards_set && flags.shards != parsed->size()) {
+      std::fprintf(stderr,
+                   "--shards: error[CLI-E005]: --shards=%zu disagrees with "
+                   "%zu shard endpoint(s)\n",
+                   flags.shards, parsed->size());
+      return 2;
+    }
+    if (parsed->size() > kMaxStoreShards) {
+      std::fprintf(stderr,
+                   "--shard-endpoint: error[CLI-E006]: %zu endpoints exceed "
+                   "the %zu-shard store limit\n",
+                   parsed->size(), kMaxStoreShards);
+      return 2;
+    }
+    endpoints = std::make_shared<std::vector<dist::ShardEndpoint>>(
+        std::move(parsed).value());
+  }
+
   EventStoreOptions store_options;
   store_options.backend = flags.backend;
   store_options.shards = flags.shards;
+  if (endpoints != nullptr) {
+    store_options.shards = endpoints->size();
+    store_options.dist_fanout_threads =
+        std::min<size_t>(endpoints->size(), 16);
+    store_options.shard_backend_factory =
+        [endpoints](size_t shard, const EventStoreOptions& o)
+        -> std::unique_ptr<StorageBackend> {
+      auto client = std::make_shared<dist::ShardClient>(
+          (*endpoints)[shard], static_cast<uint32_t>(shard), o.backend);
+      return std::make_unique<dist::RemoteShardBackend>(
+          std::move(client), o.backend, o.cost_model);
+    };
+  }
 
   // With --data-dir the store comes out of crash recovery (snapshot +
   // WAL replay; --trace is only the first-boot fallback) and every
@@ -342,12 +435,21 @@ int Main(int argc, char** argv) {
     }
     wal = std::move(writer).value();
   } else {
-    auto loaded = LoadTraceFile(flags.trace_path, store_options);
-    if (!loaded.ok()) {
-      std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+    // With remote shards the load path itself RPCs (append batches, the
+    // final seal): a dead daemon surfaces as a typed DST-E00x here, not
+    // a crash.
+    try {
+      auto loaded = LoadTraceFile(flags.trace_path, store_options);
+      if (!loaded.ok()) {
+        std::fprintf(stderr, "%s\n", loaded.status().ToString().c_str());
+        return 1;
+      }
+      store = std::move(loaded).value();
+    } catch (const dist::DistError& e) {
+      std::fprintf(stderr, "serverd: distributed load failed: %s\n",
+                   e.what());
       return 1;
     }
-    store = std::move(loaded).value();
   }
 
   service::SessionManager manager(store.get(), flags.limits);
@@ -372,6 +474,14 @@ int Main(int argc, char** argv) {
     server.RequestShutdown();
   });
 
+  if (endpoints != nullptr) {
+    std::printf("serverd: distributed fabric: %zu remote shard(s):",
+                endpoints->size());
+    for (const auto& ep : *endpoints) {
+      std::printf(" %s", ep.ToString().c_str());
+    }
+    std::printf("\n");
+  }
   std::printf("serverd: serving %zu events", store->NumEvents());
   if (!flags.socket_path.empty()) {
     std::printf(" on %s", flags.socket_path.c_str());
